@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  (1) VReg port explosion vs TUs-per-core N — the quantitative basis
+ *      for the paper's N <= 4 cap ("with eight 4x4 TUs per core, the
+ *      VReg area and power overhead is 12.7% and 24.9% of the core"),
+ *      including the shared-port-group escape hatch;
+ *  (2) sparse-generator clustering knob — how the Fig. 11 knee depends
+ *      on how spatially clustered the pruned zeros are;
+ *  (3) white-space fraction — sensitivity of die area and TOPS/TCO to
+ *      the carried unknown-component percentage;
+ *  (4) memory cell choice (SRAM vs eDRAM) for the 32 MB Mem.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ---- (1) VReg overhead vs N --------------------------------------
+    std::printf("== ablation 1: VReg overhead vs TUs per core (4x4 "
+                "TUs) ==\n\n");
+    AsciiTable t1({"N (TUs/core)", "VReg ports", "VReg % core area",
+                   "VReg % core power", "shared-ports % area"});
+    for (int n : {1, 2, 4, 8}) {
+        ChipConfig cfg = datacenterBase();
+        cfg.tx = cfg.ty = 8; // wimpy many-core arrangement
+        cfg.core.numTU = n;
+        cfg.core.tu.rows = cfg.core.tu.cols = 4;
+        ChipModel chip(cfg);
+        const Breakdown &core = *chip.breakdown().find("core0");
+        const double vr_a = core.areaOfUm2("vector_regfile");
+        const double vr_p = core.powerOfW("vector_regfile");
+        const PAT tot = core.total();
+
+        ChipConfig shared = cfg;
+        shared.core.shareVregPorts = true;
+        ChipModel chip_s(shared);
+        const Breakdown &core_s = *chip_s.breakdown().find("core0");
+        const double vr_a_s =
+            core_s.areaOfUm2("vector_regfile") /
+            core_s.total().areaUm2;
+
+        t1.addRow({std::to_string(n),
+                   std::to_string(chip.core().vregReadPorts()) + "R" +
+                       std::to_string(chip.core().vregWritePorts()) +
+                       "W",
+                   AsciiTable::num(100.0 * vr_a / tot.areaUm2, 1),
+                   AsciiTable::num(100.0 * vr_p / tot.power.total(),
+                                   1),
+                   AsciiTable::num(100.0 * vr_a_s, 1)});
+    }
+    std::printf("%s", t1.str().c_str());
+    std::printf(
+        "paper: at N=8 the VReg reaches 12.7%% of core area and 24.9%%\n"
+        "of power, motivating the N <= 4 cap. Our trend matches in\n"
+        "power; our 4-lane VReg is smaller in area than theirs.\n\n");
+
+    // ---- (2) sparsity clustering knob ----------------------------------
+    std::printf("== ablation 2: Fig. 11 knee vs zero clustering "
+                "(8x8 skip fraction) ==\n\n");
+    AsciiTable t2({"sparsity", "clustering 0.0", "0.5", "0.85", "1.0"});
+    for (double s : {0.7, 0.8, 0.9, 0.95}) {
+        std::vector<std::string> row{AsciiTable::num(s, 2)};
+        for (double c : {0.0, 0.5, 0.85, 1.0}) {
+            SparseGenConfig g;
+            g.rows = g.cols = 1024;
+            g.sparsity = s;
+            g.clustering = c;
+            const SparseMatrix m(g);
+            row.push_back(
+                AsciiTable::num(m.zeroBlockFraction(8, 8), 3));
+        }
+        t2.addRow(row);
+    }
+    std::printf("%s", t2.str().c_str());
+    std::printf("unclustered pruning (0.0) never produces skippable\n"
+                "blocks; the Fig. 11 knee requires clustered zeros.\n\n");
+
+    // ---- (3) white-space sensitivity -----------------------------------
+    std::printf("== ablation 3: white-space fraction ==\n\n");
+    AsciiTable t3({"white space", "die mm^2", "peak TOPS/TCO"});
+    for (double ws : {0.0, 0.10, 0.21, 0.30}) {
+        ChipConfig cfg = applyDesignPoint(datacenterBase(),
+                                          {64, 2, 2, 4});
+        cfg.whiteSpaceFraction = ws;
+        ChipModel chip(cfg);
+        t3.addRow({AsciiTable::num(ws, 2),
+                   AsciiTable::num(chip.areaMm2(), 1),
+                   AsciiTable::num(chip.peakTopsPerTco(), 3)});
+    }
+    std::printf("%s", t3.str().c_str());
+    std::printf("TCO ~ 1/area^2: the carried unknown fraction matters\n"
+                "quadratically for cost efficiency.\n\n");
+
+    // ---- (4) Mem cell choice --------------------------------------------
+    std::printf("== ablation 4: 32 MB Mem cell type ==\n\n");
+    AsciiTable t4({"cell", "die mm^2", "TDP W", "Mem leak W"});
+    for (MemCellType cell : {MemCellType::SRAM, MemCellType::EDRAM}) {
+        ChipConfig cfg = applyDesignPoint(datacenterBase(),
+                                          {64, 2, 2, 4});
+        cfg.memCell = cell;
+        ChipModel chip(cfg);
+        const double leak =
+            8.0 *
+            chip.breakdown().find("mem")->total().power.leakageW;
+        t4.addRow({memCellTypeName(cell),
+                   AsciiTable::num(chip.areaMm2(), 1),
+                   AsciiTable::num(chip.tdpW(), 1),
+                   AsciiTable::num(leak, 2)});
+    }
+    std::printf("%s", t4.str().c_str());
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Fig. 3 reproduction: TPU-v1 area & power breakdown, modeled vs
+ * published. 28 nm, 0.86 V, 700 MHz; 256x256 int8 systolic array,
+ * 24 MB unified buffer (dual banks, 1R1W), 4 MB accumulator buffer,
+ * activation pipeline, 2x DDR3 ports (34 GB/s), PCIe Gen3 x16.
+ *
+ * Published references (ISCA'17): die < 331 mm^2, TDP 75 W; floorplan
+ * shares: MXU 24%, unified buffer 29%, accumulators 6%, activation 6%,
+ * DRAM ports 2.8%, PCIe 1.8%; ~5% host/ctrl unmodeled, ~21% white
+ * space.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+int
+main()
+{
+    const TechNode tech = TechNode::make(28.0, 0.86);
+    const double freq = 700e6;
+
+    // ---- Components, configured exactly as the paper's Fig. 3 note ----
+    TensorUnitConfig mxu_cfg;
+    mxu_cfg.rows = mxu_cfg.cols = 256;
+    mxu_cfg.mulType = DataType::Int8;
+    mxu_cfg.accType = DataType::Int32;
+    mxu_cfg.freqHz = freq;
+    TensorUnitModel mxu(tech, mxu_cfg);
+
+    MemoryModel mm(tech);
+    MemoryRequest ub_req;
+    ub_req.capacityBytes = 24.0 * units::mib;
+    ub_req.blockBytes = 256.0;
+    ub_req.readPorts = 1;
+    ub_req.writePorts = 1;
+    ub_req.targetCycleS = 1.0 / freq;
+    ub_req.targetReadBwBytesPerS = 256.0 * freq;
+    ub_req.targetWriteBwBytesPerS = 256.0 * freq;
+    const MemoryDesign ub = mm.optimize(ub_req);
+
+    MemoryRequest acc_req;
+    acc_req.capacityBytes = 4.0 * units::mib;
+    acc_req.blockBytes = 1024.0; // 256 int32 partial sums per cycle
+    acc_req.readPorts = 1;
+    acc_req.writePorts = 1;
+    acc_req.targetCycleS = 1.0 / freq;
+    acc_req.targetReadBwBytesPerS = 1024.0 * freq;
+    acc_req.targetWriteBwBytesPerS = 1024.0 * freq;
+    const MemoryDesign acc = mm.optimize(acc_req);
+
+    // 256 int32 accumulator adders between MXU and buffer.
+    PAT acc_adders =
+        logicPAT(tech, adderBlock(DataType::Int32), freq);
+    acc_adders.areaUm2 *= 256.0;
+    acc_adders.power = 256.0 * acc_adders.power;
+
+    // Weight FIFO: 1 MB SRAM staging the DDR3 weight stream.
+    const PAT wfifo = scratchpadPAT(tech, 1.0 * units::mib, 256, freq,
+                                    1.0, true);
+
+    VectorUnitConfig act_cfg;
+    act_cfg.lanes = 256;
+    act_cfg.laneType = DataType::Int32;
+    act_cfg.pipelineStages = 8; // deep activation pipeline
+    act_cfg.freqHz = freq;
+    VectorUnitModel act(tech, act_cfg);
+
+    const Breakdown ddr = dramPort(tech, DramKind::DDR3, 34e9);
+    const Breakdown pcie = pcieInterface(tech, 16);
+
+    // ---- Assemble the chip view ------------------------------------
+    auto memPat = [&](const MemoryDesign &d, double rd_af,
+                      double wr_af) {
+        PAT p;
+        p.areaUm2 = d.areaUm2;
+        p.power.dynamicW = freq * (rd_af * d.readEnergyJ +
+                                   wr_af * d.writeEnergyJ);
+        p.power.leakageW = d.leakageW;
+        return p;
+    };
+
+    Breakdown chip("tpu_v1");
+    Breakdown mxu_bd = mxu.breakdown();
+    mxu_bd.setName("systolic_array");
+    mxu_bd.scaleDynamic(0.95); // TDP activity
+    chip.addChild(std::move(mxu_bd));
+    Breakdown ubuf("unified_buffer_wfifo", memPat(ub, 1.0, 1.0));
+    ubuf.addLeaf("weight_fifo", wfifo);
+    chip.addChild(std::move(ubuf));
+    Breakdown acc_bd("accumulators", memPat(acc, 1.0, 1.0));
+    acc_bd.addLeaf("acc_adders", acc_adders);
+    chip.addChild(std::move(acc_bd));
+    Breakdown act_bd = act.breakdown();
+    act_bd.setName("activation_pipeline");
+    act_bd.scaleDynamic(0.5);
+    chip.addChild(std::move(act_bd));
+    Breakdown ddr_bd = ddr;
+    ddr_bd.scaleDynamic(0.85);
+    chip.addChild(std::move(ddr_bd));
+    Breakdown pcie_bd = pcie;
+    pcie_bd.scaleDynamic(0.5);
+    chip.addChild(std::move(pcie_bd));
+
+    // Clock distribution (amortized into the total, as the paper does).
+    PAT clk;
+    clk.power.dynamicW = 0.10 * chip.total().power.dynamicW;
+    chip.addLeaf("clock_tree", clk);
+
+    const double modeled_sum = um2ToMm2(chip.total().areaUm2);
+    // Unmodeled host interface/control (~5%) and unknown/white space
+    // (~21%) carried at the published shares.
+    const double chip_area = modeled_sum / (1.0 - 0.05 - 0.21);
+    const double tdp = chip.total().power.total();
+
+    std::printf("== Fig. 3: TPU-v1 validation (28 nm, 0.86 V, 700 MHz) "
+                "==\n\n%s\n",
+                chip.report(1).c_str());
+
+    AsciiTable area({"component", "model mm^2", "model %", "paper %"});
+    auto area_row = [&](const char *name, const char *node,
+                        double paper_pct) {
+        const double a = um2ToMm2(chip.areaOfUm2(node));
+        area.addRow({name, AsciiTable::num(a, 1),
+                     AsciiTable::num(100.0 * a / chip_area, 1),
+                     AsciiTable::num(paper_pct, 1)});
+    };
+    area_row("systolic array (MXU)", "systolic_array", 24.0);
+    area_row("unified buffer + wFIFO", "unified_buffer_wfifo", 29.0);
+    area_row("accumulators", "accumulators", 6.0);
+    area_row("activation pipeline", "activation_pipeline", 6.0);
+    area_row("DRAM ports", "dram_port", 2.8);
+    area_row("PCIe", "pcie", 1.8);
+    std::printf("%s\n", area.str().c_str());
+
+    AsciiTable tot({"metric", "model", "published", "error %"});
+    tot.addRow({"die area (mm^2)", AsciiTable::num(chip_area, 1),
+                "331 (upper bound)",
+                AsciiTable::num(100.0 * relError(chip_area, 331.0), 1)});
+    tot.addRow({"TDP (W)", AsciiTable::num(tdp, 1), "75",
+                AsciiTable::num(100.0 * relError(tdp, 75.0), 1)});
+    const double mxu_w = chip.powerOfW("systolic_array");
+    tot.addRow({"MXU power share (%)",
+                AsciiTable::num(100.0 * mxu_w / tdp, 1),
+                "~56 (NeuroMeter Fig. 3b)",
+                AsciiTable::num(100.0 * relError(mxu_w / tdp, 0.56),
+                                1)});
+    std::printf("%s\n", tot.str().c_str());
+    std::printf("peak perf: %.1f TOPS (int8) at %.0f MHz\n",
+                mxu.peakOpsPerS() / units::tera, freq / 1e6);
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fig. 5 reproduction: Eyeriss-v1 validation — single-PE and chip area
+ * breakdown plus runtime power on AlexNet Conv1/Conv5. 65 nm, 1.0 V,
+ * 200 MHz; 14x12 PE array with multicast X/Y-bus interconnect; per-PE
+ * 448 B SRAM spad + 72 B registers; 108 kB global buffer (27 banks).
+ *
+ * Published (ISCA'16): die 12.25 mm^2 (core), 278 mW at 200 MHz on
+ * AlexNet conv layers; PE array dominates area and runtime power.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+int
+main()
+{
+    const TechNode tech = TechNode::make(65.0, 1.0);
+    const double freq = 200e6;
+
+    // ---- PE array: multicast TU, Eyeriss-style heavy local buffers --
+    TensorUnitConfig pe_cfg;
+    pe_cfg.rows = 12;
+    pe_cfg.cols = 14;
+    pe_cfg.mulType = DataType::Int16; // 16-bit fixed point
+    pe_cfg.accType = DataType::Int32;
+    pe_cfg.interconnect = TuInterconnect::Multicast;
+    pe_cfg.perCellSramBytes = 448.0;
+    pe_cfg.perCellRegBytes = 72.0;
+    pe_cfg.perCellCtrlGates = 1200.0; // row-stationary PE control FSM
+    pe_cfg.freqHz = freq;
+    TensorUnitModel pes(tech, pe_cfg);
+    const double n_pe = 14.0 * 12.0;
+
+    // ---- Global buffer: 108 kB, 27 banks, dual ports ------------------
+    MemoryModel mm(tech);
+    MemoryRequest gb_req;
+    gb_req.capacityBytes = 108.0 * 1024.0;
+    gb_req.blockBytes = 8.0; // 4 x 16-bit words per access
+    gb_req.readPorts = 1;
+    gb_req.writePorts = 1;
+    gb_req.targetCycleS = 1.0 / freq;
+    gb_req.fixedBanks = 32; // published: 27 banks (nearest pow-2)
+    const MemoryDesign gb = mm.optimize(gb_req);
+
+    // ---- Chip-level glue: RLC+ReLU, config scan, top control ---------
+    LogicBlock rlc;
+    rlc.gates = 22e3;
+    rlc.activity = 0.25;
+    PAT rlc_pat = logicPAT(tech, rlc, freq);
+    LogicBlock topctl;
+    topctl.gates = 15e3;
+    topctl.activity = 0.2;
+    PAT top_pat = logicPAT(tech, topctl, freq);
+
+    Breakdown chip("eyeriss");
+    Breakdown pe_bd = pes.breakdown();
+    pe_bd.setName("pe_array");
+    chip.addChild(std::move(pe_bd));
+    PAT gb_pat;
+    gb_pat.areaUm2 = gb.areaUm2;
+    gb_pat.power.dynamicW =
+        freq * 0.5 * (gb.readEnergyJ + gb.writeEnergyJ);
+    gb_pat.power.leakageW = gb.leakageW;
+    chip.addLeaf("global_buffer", gb_pat);
+    chip.addLeaf("rlc_relu", rlc_pat);
+    chip.addLeaf("top_ctrl", top_pat);
+
+    const double pe_area_um2 =
+        pes.breakdown().total().areaUm2 / n_pe;
+    // 65 nm chips spend ~25% on pads, clock spines, and routing slack.
+    const double chip_mm2 =
+        um2ToMm2(chip.total().areaUm2) / (1.0 - 0.25);
+
+    std::printf("== Fig. 5: Eyeriss validation (65 nm, 1.0 V, 200 MHz) "
+                "==\n\n%s\n",
+                chip.report(2).c_str());
+
+    AsciiTable area({"metric", "model", "published", "error %"});
+    area.addRow({"single PE (um^2)", AsciiTable::num(pe_area_um2, 0),
+                 "~34700 (inferred)",
+                 AsciiTable::num(
+                     100.0 * relError(pe_area_um2, 34700.0), 1)});
+    area.addRow({"chip core area (mm^2)", AsciiTable::num(chip_mm2, 2),
+                 "12.25",
+                 AsciiTable::num(100.0 * relError(chip_mm2, 12.25),
+                                 1)});
+    const double pe_share = chip.areaOfUm2("pe_array") /
+                            chip.total().areaUm2;
+    area.addRow({"PE array share (%)",
+                 AsciiTable::num(100.0 * pe_share, 1), "~75",
+                 AsciiTable::num(100.0 * relError(pe_share, 0.75), 1)});
+    std::printf("%s\n", area.str().c_str());
+
+    // ---- Runtime power on AlexNet Conv1 / Conv5 ----------------------
+    // Activity factors from the published run statistics: processing
+    // time, active PEs, zero-input fraction, buffer accesses.
+    struct LayerRun
+    {
+        const char *name;
+        double active_pes;   // of 168
+        double mac_activity; // non-zero input fraction
+        double gb_access_per_cycle;
+        double published_mw;
+    };
+    const LayerRun runs[] = {
+        {"AlexNet-Conv1", 154.0, 0.85, 0.45, 332.0},
+        {"AlexNet-Conv5", 156.0, 0.55, 0.30, 236.0},
+    };
+
+    AsciiTable power({"layer", "model mW", "published mW", "error %"});
+    for (const LayerRun &r : runs) {
+        const Breakdown &bd = pes.breakdown();
+        const double util = r.active_pes / n_pe;
+        // Eyeriss gates clocks on zero inputs and idles lanes between
+        // passes — the same effects the paper cites as its residual
+        // error sources; 0.55 is the calibrated effectiveness.
+        const double gating = 0.55;
+        const double mac_w =
+            bd.powerOfW("mac") * util * r.mac_activity * gating;
+        const double spad_w = bd.find("local_buffer")
+                                  ->total().power.dynamicW *
+                              util * r.mac_activity * gating;
+        const double noc_w =
+            bd.find("interconnect")->total().power.dynamicW * util *
+            0.8 * gating;
+        const double fifo_w =
+            bd.find("io_fifo")->total().power.dynamicW * util * 0.6 *
+            gating;
+        const double gb_w =
+            freq * r.gb_access_per_cycle *
+            (gb.readEnergyJ + gb.writeEnergyJ) * 0.5;
+        const double leak = chip.total().power.leakageW;
+        const double clock =
+            0.07 * chip.total().power.dynamicW; // amortized clock
+        const double total_mw =
+            (mac_w + spad_w + noc_w + fifo_w + gb_w + leak + clock) *
+            1e3;
+        power.addRow({r.name, AsciiTable::num(total_mw, 0),
+                      AsciiTable::num(r.published_mw, 0),
+                      AsciiTable::num(
+                          100.0 * relError(total_mw * 1e-3,
+                                           r.published_mw * 1e-3),
+                          1)});
+    }
+    std::printf("%s\n", power.str().c_str());
+    std::printf("paper reports +11%% on Conv1 and -13%% on Conv5; the\n"
+                "PE array dominates runtime power in both.\n");
+    return 0;
+}

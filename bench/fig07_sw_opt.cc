@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 7 reproduction: simulated throughput before and after software
+ * graph optimization (space-to-batch/depth, double buffering,
+ * broadcast-aware scheduling) across batch sizes, on the
+ * (64, 2, 2, 4) datacenter inference design point.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipModel chip =
+        buildChip(datacenterBase(), {64, 2, 2, 4});
+    const TfSim sim(chip);
+
+    std::printf("== Fig. 7: throughput before/after software "
+                "optimization, (64,2,2,4) ==\n\n");
+
+    for (Workload wl : {resnet50(), inceptionV3(), nasnetALarge()}) {
+        AsciiTable t({"batch", "fps (no opt)", "fps (opt)", "speedup"});
+        for (int b : {1, 2, 4, 8, 16, 32, 64}) {
+            SimConfig off{b, false};
+            SimConfig on{b, true};
+            const double f0 = sim.run(wl, off).throughputFps;
+            const double f1 = sim.run(wl, on).throughputFps;
+            t.addRow({std::to_string(b), AsciiTable::num(f0, 0),
+                      AsciiTable::num(f1, 0),
+                      AsciiTable::num(f1 / f0, 2)});
+        }
+        std::printf("-- %s --\n%s\n", wl.name.c_str(), t.str().c_str());
+    }
+    std::printf("expected shape: optimizations help most at small "
+                "batch sizes.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 9 reproduction: throughput and latency vs batch size for the
+ * three CNNs on the (64, 2, 2, 4) design point, plus the 10 ms-SLO
+ * latency-limited batch sizes.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipModel chip =
+        buildChip(datacenterBase(), {64, 2, 2, 4});
+    const TfSim sim(chip);
+
+    std::printf("== Fig. 9: performance vs batch size, (64,2,2,4) "
+                "==\n\n");
+
+    for (Workload wl : {resnet50(), inceptionV3(), nasnetALarge()}) {
+        AsciiTable t({"batch", "latency ms", "fps", "achieved TOPS",
+                      "TU util"});
+        for (int b = 1; b <= 256; b *= 2) {
+            const SimResult r = sim.run(wl, {b, true});
+            t.addRow({std::to_string(b),
+                      AsciiTable::num(r.latencyS * 1e3, 3),
+                      AsciiTable::num(r.throughputFps, 0),
+                      AsciiTable::num(r.achievedTops, 2),
+                      AsciiTable::num(r.tuUtilization, 3)});
+        }
+        std::printf("-- %s --\n%s\n", wl.name.c_str(), t.str().c_str());
+    }
+
+    AsciiTable slo({"workload", "max batch @ 10 ms SLO",
+                    "paper @ (64,2,2,4)"});
+    slo.addRow({"ResNet",
+                std::to_string(sim.maxBatchUnderSlo(resnet50(), 0.010)),
+                "16"});
+    slo.addRow({"Inception",
+                std::to_string(
+                    sim.maxBatchUnderSlo(inceptionV3(), 0.010)),
+                "32"});
+    slo.addRow({"NasNet",
+                std::to_string(
+                    sim.maxBatchUnderSlo(nasnetALarge(), 0.010)),
+                "4"});
+    std::printf("%s\n", slo.str().c_str());
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Fig. 10 reproduction: average runtime performance of ResNet,
+ * Inception, and NasNet across the design space at three batch
+ * regimes — (a) bs=1, (b) latency-limited batch under a 10 ms SLO,
+ * (c) bs=256. Four metrics per point: achieved TOPS (arithmetic mean),
+ * TU utilization, normalized TOPS/TCO, normalized TOPS/Watt (geometric
+ * means, as in the paper).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+struct PointMetrics
+{
+    std::string name;
+    double tops = 0.0, util = 0.0, tco = 0.0, tpw = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const ChipConfig base = datacenterBase();
+    const std::vector<DesignPoint> points = {
+        {4, 4, 8, 8},  {8, 4, 4, 8},  {16, 4, 4, 4}, {32, 4, 2, 2},
+        {32, 2, 2, 4}, {64, 2, 2, 4}, {64, 4, 1, 2}, {128, 4, 1, 1},
+        {128, 2, 1, 2}, {256, 1, 1, 1},
+    };
+    const std::vector<Workload> wls = {resnet50(), inceptionV3(),
+                                       nasnetALarge()};
+
+    struct Regime
+    {
+        const char *title;
+        int fixed_batch; // 0 = latency-limited per workload
+    };
+    const Regime regimes[] = {
+        {"(a) batch = 1", 1},
+        {"(b) latency-limited batch (10 ms SLO)", 0},
+        {"(c) batch = 256", 256},
+    };
+
+    std::printf("== Fig. 10: average runtime performance across the "
+                "design space ==\n");
+
+    for (const Regime &reg : regimes) {
+        std::vector<PointMetrics> rows;
+        for (const DesignPoint &dp : points) {
+            ChipModel chip = buildChip(base, dp);
+            TfSim sim(chip);
+            std::vector<double> tops, util, tco, tpw;
+            for (const Workload &wl : wls) {
+                const int b = reg.fixed_batch > 0
+                    ? reg.fixed_batch
+                    : sim.maxBatchUnderSlo(wl, 0.010);
+                const SimResult r = sim.run(wl, {b, true});
+                tops.push_back(r.achievedTops);
+                util.push_back(r.tuUtilization);
+                tco.push_back(r.achievedTopsPerTco);
+                tpw.push_back(r.achievedTopsPerWatt);
+            }
+            PointMetrics pm;
+            pm.name = dp.str();
+            pm.tops = arithMean(tops); // throughput: arithmetic mean
+            pm.util = geoMean(util);   // ratios: geometric means
+            pm.tco = geoMean(tco);
+            pm.tpw = geoMean(tpw);
+            rows.push_back(pm);
+        }
+
+        // Normalize efficiency metrics against the series maxima
+        // (the paper normalizes against subfigure (c)'s maxima).
+        double max_tco = 0.0, max_tpw = 0.0;
+        for (const auto &r : rows) {
+            max_tco = std::max(max_tco, r.tco);
+            max_tpw = std::max(max_tpw, r.tpw);
+        }
+
+        PointMetrics best_tops, best_util, best_tco, best_tpw;
+        for (const auto &r : rows) {
+            if (r.tops > best_tops.tops) best_tops = r;
+            if (r.util > best_util.util) best_util = r;
+            if (r.tco > best_tco.tco) best_tco = r;
+            if (r.tpw > best_tpw.tpw) best_tpw = r;
+        }
+
+        AsciiTable t({"(X,N,Tx,Ty)", "achieved TOPS", "TU util",
+                      "norm TOPS/TCO", "norm TOPS/W"});
+        for (const auto &r : rows) {
+            t.addRow({r.name, AsciiTable::num(r.tops, 2),
+                      AsciiTable::num(r.util, 3),
+                      AsciiTable::num(r.tco / max_tco, 3),
+                      AsciiTable::num(r.tpw / max_tpw, 3)});
+        }
+        std::printf("\n-- %s --\n%s", reg.title, t.str().c_str());
+        std::printf("optima: throughput %s | utilization %s | "
+                    "cost-eff %s | energy-eff %s\n",
+                    best_tops.name.c_str(), best_util.name.c_str(),
+                    best_tco.name.c_str(), best_tpw.name.c_str());
+    }
+
+    // The paper's headline trade-off at bs=1.
+    {
+        ChipModel through = buildChip(base, {64, 2, 2, 4});
+        ChipModel eff = buildChip(base, {64, 4, 1, 2});
+        TfSim st(through), se(eff);
+        std::vector<double> t_tops, e_tops, t_tco, e_tco, t_tpw, e_tpw;
+        for (const Workload &wl : wls) {
+            const SimResult rt = st.run(wl, {1, true});
+            const SimResult re = se.run(wl, {1, true});
+            t_tops.push_back(rt.achievedTops);
+            e_tops.push_back(re.achievedTops);
+            t_tco.push_back(rt.achievedTopsPerTco);
+            e_tco.push_back(re.achievedTopsPerTco);
+            t_tpw.push_back(rt.achievedTopsPerWatt);
+            e_tpw.push_back(re.achievedTopsPerWatt);
+        }
+        std::printf(
+            "\n-- trade-off: (64,4,1,2) vs (64,2,2,4) at bs=1 --\n"
+            "achieved-TOPS sacrifice : %5.1f%%   (paper: ~16%%)\n"
+            "TOPS/TCO gain           : %5.2fx   (paper: ~2.1x)\n"
+            "TOPS/Watt gain          : %5.2fx   (paper: ~1.3x)\n",
+            100.0 * (1.0 - arithMean(e_tops) / arithMean(t_tops)),
+            geoMean(e_tco) / geoMean(t_tco),
+            geoMean(e_tpw) / geoMean(t_tpw));
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 11 reproduction: energy-efficiency gain of sparse over dense
+ * SpMV at different sparsity levels, on the Sec. IV architectures —
+ * TU32 (power-efficiency optimum, 32x32 TUs), TU8 (utilization
+ * optimum, 8x8 TUs), and reduction-tree machines with matched OPS per
+ * compute unit: RT1024 (1024-to-1) and RT64 (64-to-1).
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipConfig base = datacenterBase();
+
+    // Sec. IV machines, taken from the Fig. 10(b) optima.
+    ChipModel tu32 = buildChip(base, {32, 4, 2, 2});
+    ChipModel tu8 = buildChip(base, {8, 4, 4, 8});
+    ChipConfig rt1024_cfg = base;
+    rt1024_cfg.core.numTU = 0;
+    rt1024_cfg.core.numRT = 4;
+    rt1024_cfg.core.rt.inputs = 1024;
+    rt1024_cfg.tx = 2;
+    rt1024_cfg.ty = 2;
+    ChipModel rt1024(rt1024_cfg);
+    ChipConfig rt64_cfg = base;
+    rt64_cfg.core.numTU = 0;
+    rt64_cfg.core.numRT = 4;
+    rt64_cfg.core.rt.inputs = 64;
+    rt64_cfg.tx = 4;
+    rt64_cfg.ty = 8;
+    ChipModel rt64(rt64_cfg);
+
+    const SparseRoofline r_tu32(tu32, SkipScheme::TensorBlock, 32);
+    const SparseRoofline r_tu8(tu8, SkipScheme::TensorBlock, 8);
+    const SparseRoofline r_rt1024(rt1024, SkipScheme::RtVector, 1024);
+    const SparseRoofline r_rt64(rt64, SkipScheme::RtVector, 64);
+
+    std::printf(
+        "== Fig. 11: sparse-over-dense energy-efficiency gain ==\n"
+        "SpMV microbenchmark: 2048x2048 int8 weights (clustered zero\n"
+        "patches + element salt), batched vectors K=32, tiled CSR\n"
+        "(beta in [2.0, 2.5]), alpha = 1.\n\n");
+
+    AsciiTable t({"sparsity", "x", "beta", "TU32", "TU8", "RT1024",
+                  "RT64", "y(32x32)", "y(8x8)"});
+    const SpmvProblem prob{2048, 2048, 32};
+    for (double s : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85,
+                     0.9, 0.95, 0.98}) {
+        SparseGenConfig g;
+        g.rows = prob.m;
+        g.cols = prob.n;
+        g.sparsity = s;
+        const SparseMatrix m(g);
+        const SparseRunResult a = r_tu32.eval(prob, m);
+        const SparseRunResult b = r_tu8.eval(prob, m);
+        const SparseRunResult c = r_rt1024.eval(prob, m);
+        const SparseRunResult d = r_rt64.eval(prob, m);
+        t.addRow({AsciiTable::num(s, 2), AsciiTable::num(a.x, 3),
+                  AsciiTable::num(a.beta, 2),
+                  AsciiTable::num(a.energyEfficiencyGain, 3),
+                  AsciiTable::num(b.energyEfficiencyGain, 3),
+                  AsciiTable::num(c.energyEfficiencyGain, 3),
+                  AsciiTable::num(d.energyEfficiencyGain, 3),
+                  AsciiTable::num(a.y, 3), AsciiTable::num(b.y, 3)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf(
+        "expected shape: gains cross 1.0 only past ~0.5 sparsity (CSR\n"
+        "overhead beta~2 must amortize); TU8/RT64 show a knee near 0.9\n"
+        "as fine-grained zero-skip kicks in, while TU32/RT1024 grow\n"
+        "slowly from reduced CSR traffic alone.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * google-benchmark backing for the paper's "fast yet accurate" claim:
+ * full-chip model construction and runtime-analysis queries must be
+ * interactive-speed (ms-class), enabling sweeps of hundreds of design
+ * points.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+void
+BM_FullChipModel(benchmark::State &state)
+{
+    const int x = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ChipModel chip(applyDesignPoint(datacenterBase(),
+                                        {x, 2, 2, 2}));
+        benchmark::DoNotOptimize(chip.tdpW());
+    }
+}
+BENCHMARK(BM_FullChipModel)->Arg(8)->Arg(64)->Arg(256);
+
+void
+BM_MemoryOptimizer(benchmark::State &state)
+{
+    const TechNode tech = TechNode::make(28.0);
+    const MemoryModel mm(tech);
+    MemoryRequest req;
+    req.capacityBytes = state.range(0) * units::mib;
+    req.blockBytes = 64.0;
+    req.targetCycleS = 1.0 / 700e6;
+    req.searchPorts = true;
+    for (auto _ : state) {
+        MemoryDesign d = mm.optimize(req);
+        benchmark::DoNotOptimize(d.areaUm2);
+    }
+}
+BENCHMARK(BM_MemoryOptimizer)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_TfSimResnetInference(benchmark::State &state)
+{
+    ChipModel chip(applyDesignPoint(datacenterBase(), {64, 2, 2, 4}));
+    TfSim sim(chip);
+    const Workload wl = resnet50();
+    for (auto _ : state) {
+        SimResult r = sim.run(wl, {int(state.range(0)), true});
+        benchmark::DoNotOptimize(r.achievedTops);
+    }
+}
+BENCHMARK(BM_TfSimResnetInference)->Arg(1)->Arg(64);
+
+void
+BM_TensorUnitModel(benchmark::State &state)
+{
+    const TechNode tech = TechNode::make(28.0);
+    TensorUnitConfig cfg;
+    cfg.rows = cfg.cols = static_cast<int>(state.range(0));
+    cfg.freqHz = 700e6;
+    for (auto _ : state) {
+        TensorUnitModel tu(tech, cfg);
+        benchmark::DoNotOptimize(tu.energyPerMacJ());
+    }
+}
+BENCHMARK(BM_TensorUnitModel)->Arg(16)->Arg(256);
+
+} // namespace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Example: modeling a custom edge accelerator from components.
+ *
+ * Shows the lower-level component API (the same one the validation
+ * benches use): compose a TU, memories, a vector unit, and peripherals
+ * by hand, inspect per-component power/area/timing, and find the
+ * maximum clock the design supports at a 16 nm node — the workflow for
+ * an architecture that doesn't fit the stock multicore template.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+int
+main()
+{
+    const TechNode tech = TechNode::make(16.0); // node-default supply
+    const double freq = 940e6;
+
+    // An Eyeriss-inspired edge NPU: one 16x16 multicast array with
+    // per-cell scratchpads, a 2 MB scratchpad, a 16-lane vector unit.
+    TensorUnitConfig tu_cfg;
+    tu_cfg.rows = tu_cfg.cols = 16;
+    tu_cfg.mulType = DataType::Int8;
+    tu_cfg.accType = DataType::Int32;
+    tu_cfg.interconnect = TuInterconnect::Multicast;
+    tu_cfg.perCellSramBytes = 256.0;
+    tu_cfg.freqHz = freq;
+    const TensorUnitModel tu(tech, tu_cfg);
+
+    MemoryModel mm(tech);
+    MemoryRequest mem_req;
+    mem_req.capacityBytes = 2.0 * units::mib;
+    mem_req.blockBytes = 16.0;
+    mem_req.targetCycleS = 1.0 / freq;
+    mem_req.searchPorts = true;
+    mem_req.targetReadBwBytesPerS = 16.0 * freq;
+    const MemoryDesign mem = mm.optimize(mem_req);
+
+    VectorUnitConfig vu_cfg;
+    vu_cfg.lanes = 16;
+    vu_cfg.laneType = DataType::Int32;
+    vu_cfg.freqHz = freq;
+    const VectorUnitModel vu(tech, vu_cfg);
+
+    const Breakdown lpddr = dramPort(tech, DramKind::DDR4, 12e9);
+
+    Breakdown npu("edge_npu");
+    npu.addChild(tu.breakdown());
+    PAT mem_pat;
+    mem_pat.areaUm2 = mem.areaUm2;
+    mem_pat.power.dynamicW =
+        freq * 0.5 * (mem.readEnergyJ + mem.writeEnergyJ);
+    mem_pat.power.leakageW = mem.leakageW;
+    npu.addLeaf("scratchpad", mem_pat);
+    npu.addChild(vu.breakdown());
+    npu.addChild(lpddr);
+
+    std::printf("%s\n", npu.report(2).c_str());
+
+    const double max_clock =
+        1.0 / std::max({tu.minCycleS(), vu.minCycleS(),
+                        mem.randomCycleS});
+    std::printf("TU energy/MAC    : %.3f pJ\n",
+                tu.energyPerMacJ() * 1e12);
+    std::printf("scratchpad       : %d banks, %dR%dW, %.1f pJ/read\n",
+                mem.banks, mem.readPorts, mem.writePorts,
+                mem.readEnergyJ * 1e12);
+    std::printf("max clock        : %.0f MHz (requested %.0f MHz)\n",
+                max_clock / 1e6, freq / 1e6);
+    std::printf("peak perf        : %.2f TOPS int8, %.3f TOPS/W\n",
+                tu.peakOpsPerS() / units::tera,
+                tu.peakOpsPerS() / units::tera /
+                    npu.total().power.total());
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Quickstart: configure a small single-core inference accelerator and
+ * print its power/area/timing report.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+int
+main()
+{
+    using namespace neurometer;
+
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.tx = 1;
+    cfg.ty = 1;
+    cfg.core.numTU = 1;
+    cfg.core.tu.rows = 64;
+    cfg.core.tu.cols = 64;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    cfg.totalMemBytes = 4.0 * 1024 * 1024;
+    cfg.offchipBwBytesPerS = 100e9;
+    cfg.dram = DramKind::DDR4;
+
+    ChipModel chip(cfg);
+    std::printf("%s\n", chip.breakdown().report(3).c_str());
+    std::printf("die area      : %8.2f mm^2\n", chip.areaMm2());
+    std::printf("TDP           : %8.2f W\n", chip.tdpW());
+    std::printf("peak perf     : %8.2f TOPS (int8)\n", chip.peakTops());
+    std::printf("peak TOPS/W   : %8.3f\n", chip.peakTopsPerWatt());
+    return 0;
+}

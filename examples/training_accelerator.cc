@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: sketching a bf16 training accelerator (the paper models
+ * training parts too, deferring only the design-space study).
+ *
+ * A TPU-v2-flavored dual-core trainer: bf16 multiply / fp32 accumulate
+ * MXUs, cache-mode on-chip memory (training reuse patterns are less
+ * schedulable than inference scratchpads), HBM, and inter-chip links
+ * for data-parallel scale-out. The clock is solved from a target of
+ * 45 TFLOPS, then power/area and the all-reduce bandwidth balance are
+ * reported.
+ */
+
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+int
+main()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 16.0;
+    cfg.tx = 1;
+    cfg.ty = 2;
+    cfg.core.numTU = 1;
+    cfg.core.tu.rows = cfg.core.tu.cols = 128;
+    cfg.core.tu.mulType = DataType::BF16;
+    cfg.core.tu.accType = DataType::FP32;
+    cfg.core.vregEntries = 64;      // training keeps more live state
+    cfg.totalMemBytes = 16.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.dram = DramKind::HBM2;
+    cfg.iciLinks = 4;               // scale-out all-reduce links
+    cfg.iciGbpsPerDirection = 496.0;
+
+    // Solve the clock for the training throughput target.
+    const double target_tflops = 45.9;
+    cfg.freqHz = solveClockForTops(cfg, target_tflops);
+
+    ChipModel chip(cfg);
+    std::printf("%s\n", chip.breakdown().report(2).c_str());
+    std::printf("solved clock   : %.0f MHz for %.1f TFLOPS bf16\n",
+                cfg.freqHz / 1e6, chip.peakTops());
+    std::printf("die area       : %.1f mm^2\n", chip.areaMm2());
+    std::printf("TDP            : %.1f W\n", chip.tdpW());
+    std::printf("peak TFLOPS/W  : %.3f\n", chip.peakTopsPerWatt());
+
+    // Scale-out balance: gradients of a 90M-parameter model (bf16)
+    // must all-reduce within a step to keep the MXUs busy.
+    const double grad_bytes = 90e6 * 2.0;
+    const double ici_bw =
+        cfg.iciLinks * cfg.iciGbpsPerDirection * 1e9 / 8.0;
+    const double allreduce_s = 2.0 * grad_bytes / ici_bw;
+    const double step_flops = 6.0 * 90e6 * 256.0; // fwd+bwd, bs=256
+    const double step_s = step_flops / (chip.peakTops() * 1e12 * 0.5);
+    std::printf("all-reduce     : %.2f ms vs %.2f ms compute/step "
+                "(%s-bound)\n",
+                allreduce_s * 1e3, step_s * 1e3,
+                allreduce_s > step_s ? "network" : "compute");
+    return 0;
+}

@@ -1,0 +1,209 @@
+#include "chip/chip.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "components/noc.hh"
+#include "components/periph.hh"
+
+namespace neurometer {
+
+namespace {
+
+/** Scale the dynamic power of a named subtree by an activity factor. */
+void
+applyActivity(Breakdown &root, const std::string &name, double factor)
+{
+    // Walk mutable children by rebuilding is clumsy; instead scale in
+    // place through a recursive non-const find.
+    struct Walker
+    {
+        static Breakdown *
+        find(Breakdown &node, const std::string &target)
+        {
+            if (node.name() == target)
+                return &node;
+            for (auto &c :
+                 const_cast<std::vector<Breakdown> &>(node.children())) {
+                if (Breakdown *hit = find(c, target))
+                    return hit;
+            }
+            return nullptr;
+        }
+    };
+    if (Breakdown *hit = Walker::find(root, name))
+        hit->scaleDynamic(factor);
+}
+
+} // namespace
+
+ChipModel::ChipModel(const ChipConfig &cfg) : _cfg(cfg)
+{
+    validate(cfg);
+    _tech = std::make_unique<TechNode>(
+        TechNode::make(cfg.nodeNm, cfg.vddVolt));
+    _core = std::make_unique<CoreModel>(*_tech, cfg);
+
+    requireConfig(_core->minCycleS() <= 1.0 / cfg.freqHz * 1.0001,
+                  "core cannot close timing at the requested clock; "
+                  "slowest component needs " +
+                      std::to_string(_core->minCycleS() * 1e12) + " ps");
+
+    const int n_cores = cfg.numCores();
+
+    // ---- Cores --------------------------------------------------------
+    Breakdown cores("cores");
+    for (int i = 0; i < n_cores; ++i) {
+        Breakdown one = _core->breakdown();
+        one.setName("core" + std::to_string(i));
+        cores.addChild(std::move(one));
+    }
+    const double tile_area = _core->areaUm2();
+
+    // ---- NoC ------------------------------------------------------------
+    NocConfig noc_cfg;
+    noc_cfg.tx = cfg.tx;
+    noc_cfg.ty = cfg.ty;
+    noc_cfg.topology = cfg.autoNocTopology
+        ? (n_cores <= 4 ? NocTopology::Ring : NocTopology::Mesh2D)
+        : cfg.nocTopology;
+    noc_cfg.bisectionBwBytesPerS = cfg.nocBisectionBwBytesPerS;
+    noc_cfg.freqHz = cfg.freqHz;
+    noc_cfg.tileAreaUm2 = tile_area;
+    std::unique_ptr<NocModel> noc;
+    Breakdown noc_bd("noc");
+    if (n_cores > 1) {
+        noc = std::make_unique<NocModel>(*_tech, noc_cfg);
+        noc_bd = noc->breakdown();
+        _nocEnergyPerByteHop = noc->energyPerByteHopJ();
+    }
+
+    // ---- Clock distribution ---------------------------------------------
+    // The paper amortizes the clock network into components; we carry it
+    // as an explicit tree sized from the sequenced (core) power so the
+    // amortization is reproducible.
+    PAT clock;
+    {
+        const Power core_power = cores.total().power;
+        clock.power.dynamicW = 0.10 * core_power.dynamicW;
+        clock.power.leakageW = 0.02 * core_power.leakageW;
+        clock.areaUm2 = 0.008 * cores.total().areaUm2;
+    }
+
+    // ---- Off-chip interfaces ----------------------------------------------
+    Breakdown offchip("offchip");
+    offchip.addChild(dramPort(*_tech, cfg.dram, cfg.offchipBwBytesPerS));
+    if (cfg.pcieLanes > 0)
+        offchip.addChild(pcieInterface(*_tech, cfg.pcieLanes));
+    if (cfg.iciLinks > 0) {
+        offchip.addChild(iciInterface(*_tech, cfg.iciLinks,
+                                      cfg.iciGbpsPerDirection));
+    }
+    _offchipEnergyPerByte =
+        offchip.total().power.dynamicW / cfg.offchipBwBytesPerS;
+
+    // ---- Assembly -------------------------------------------------------------
+    _bd = Breakdown("chip");
+    _bd.addChild(std::move(cores));
+    if (n_cores > 1)
+        _bd.addChild(std::move(noc_bd));
+    _bd.addLeaf("clock_tree", clock);
+    _bd.addChild(std::move(offchip));
+
+    const double modeled_area = _bd.total().areaUm2;
+    const double ws_area = modeled_area * cfg.whiteSpaceFraction /
+                           (1.0 - cfg.whiteSpaceFraction);
+    PAT ws;
+    ws.areaUm2 = ws_area;
+    _bd.addLeaf("white_space", ws);
+
+    _areaMm2 = um2ToMm2(_bd.total().areaUm2);
+    _minCycleS = std::max(_core->minCycleS(),
+                          noc ? noc->minCycleS() : 0.0);
+    _bd.self().timing.cycleS = _minCycleS;
+
+    // ---- TDP: per-component activity factors -------------------------------
+    Breakdown tdp_tree = _bd;
+    const ActivityFactors &af = cfg.tdpActivity;
+    applyActivity(tdp_tree, "noc", af.noc);
+    applyActivity(tdp_tree, "offchip", af.offchip);
+    // Factors inside every core instance.
+    for (int i = 0; i < n_cores; ++i) {
+        const std::string cn = "core" + std::to_string(i);
+        struct Walker
+        {
+            static Breakdown *
+            find(Breakdown &node, const std::string &target)
+            {
+                if (node.name() == target)
+                    return &node;
+                for (auto &c : const_cast<std::vector<Breakdown> &>(
+                         node.children())) {
+                    if (Breakdown *hit = find(c, target))
+                        return hit;
+                }
+                return nullptr;
+            }
+        };
+        Breakdown *core_node = Walker::find(tdp_tree, cn);
+        requireModel(core_node != nullptr, "core node missing in TDP tree");
+        applyActivity(*core_node, "tensor_units", af.tensorUnit);
+        applyActivity(*core_node, "reduction_trees", af.reductionTree);
+        applyActivity(*core_node, "vector_unit", af.vectorUnit);
+        applyActivity(*core_node, "vector_regfile", af.vectorRegfile);
+        applyActivity(*core_node, "cdb", af.cdb);
+        applyActivity(*core_node, "mem", af.mem);
+        applyActivity(*core_node, "ifu", af.ifu);
+        applyActivity(*core_node, "lsu", af.lsu);
+        applyActivity(*core_node, "scalar_unit", af.scalarUnit);
+    }
+    const Power tdp_power = tdp_tree.total().power;
+    _tdpW = tdp_power.total();
+
+    const Power full = _bd.total().power;
+    _leakage.leakageW = full.leakageW;
+    // Clock/idle floor: un-gated clock load burns a fraction of the
+    // full-activity dynamic power even at zero utilization.
+    _idleDynamicW = 0.06 * full.dynamicW;
+}
+
+double
+ChipModel::peakTops() const
+{
+    return _core->peakOpsPerS() * _cfg.numCores() / units::tera;
+}
+
+double
+ChipModel::peakTopsPerTco() const
+{
+    const double a = _areaMm2;
+    return peakTops() / (a * a * tdpW()) * 1e6; // scaled for readability
+}
+
+Power
+ChipModel::runtimePower(const RuntimeStats &s) const
+{
+    const CoreEnergies &e = _core->energies();
+    Power p;
+    p.dynamicW = s.tuOpsPerS * e.tuPerOpJ + s.rtOpsPerS * e.rtPerOpJ +
+                 s.vuOpsPerS * e.vuPerOpJ +
+                 s.memReadBytesPerS * e.memReadPerByteJ +
+                 s.memWriteBytesPerS * e.memWritePerByteJ +
+                 s.vregBytesPerS * e.vregPerByteJ +
+                 s.cdbBytesPerS * e.cdbPerByteJ +
+                 s.nocByteHopsPerS * _nocEnergyPerByteHop +
+                 s.offchipBytesPerS * _offchipEnergyPerByte +
+                 _idleDynamicW;
+    p.leakageW = _leakage.leakageW;
+    return p;
+}
+
+double
+ChipModel::minCycleS() const
+{
+    return _minCycleS;
+}
+
+} // namespace neurometer

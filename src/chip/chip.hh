@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Whole-chip assembly: cores, NoC, off-chip ports (DRAM/HBM, PCIe,
+ * ICI), white space, TDP rollup, and the runtime power interface that
+ * external performance simulators feed with activity statistics.
+ */
+
+#ifndef NEUROMETER_CHIP_CHIP_HH
+#define NEUROMETER_CHIP_CHIP_HH
+
+#include <memory>
+
+#include "chip/config.hh"
+#include "chip/core.hh"
+#include "common/breakdown.hh"
+
+namespace neurometer {
+
+/**
+ * Runtime activity statistics, as average rates over a run. These are
+ * exactly the "runtime statistics" inputs of the paper's Fig. 1 —
+ * produced by an external performance simulator (our perf/ module or
+ * any other through this interface).
+ */
+struct RuntimeStats
+{
+    double tuOpsPerS = 0.0;       ///< arithmetic ops retired on TUs
+    double rtOpsPerS = 0.0;
+    double vuOpsPerS = 0.0;
+    double memReadBytesPerS = 0.0;
+    double memWriteBytesPerS = 0.0;
+    double vregBytesPerS = 0.0;
+    double cdbBytesPerS = 0.0;
+    double nocByteHopsPerS = 0.0;
+    double offchipBytesPerS = 0.0;
+};
+
+/** The fully evaluated chip. */
+class ChipModel
+{
+  public:
+    explicit ChipModel(const ChipConfig &cfg);
+
+    const ChipConfig &config() const { return _cfg; }
+    const TechNode &tech() const { return *_tech; }
+    const CoreModel &core() const { return *_core; }
+
+    /**
+     * Full-activity breakdown: "cores" (replicated core trees), "noc",
+     * "offchip" (dram/pcie/ici), "white_space".
+     */
+    const Breakdown &breakdown() const { return _bd; }
+
+    /** Die area including white space (mm^2). */
+    double areaMm2() const { return _areaMm2; }
+
+    /** Thermal design power: activity-factored dynamic + leakage (W). */
+    double tdpW() const { return _tdpW; }
+
+    /** Peak arithmetic throughput in TOPS (10^12 ops/s). */
+    double peakTops() const;
+
+    /** Peak-performance efficiency metrics. */
+    double peakTopsPerWatt() const { return peakTops() / tdpW(); }
+    /** TOPS/TCO proxy: TOPS / (mm^4 * W); see DESIGN.md. */
+    double peakTopsPerTco() const;
+
+    /** Runtime power for measured activity (paper Fig. 1 right path). */
+    Power runtimePower(const RuntimeStats &stats) const;
+
+    /** Minimum cycle the slowest component supports. */
+    double minCycleS() const;
+
+    /** Energy costs per event, for external simulators. */
+    const CoreEnergies &coreEnergies() const { return _core->energies(); }
+    double nocEnergyPerByteHopJ() const { return _nocEnergyPerByteHop; }
+    double offchipEnergyPerByteJ() const { return _offchipEnergyPerByte; }
+
+  private:
+    ChipConfig _cfg;
+    std::unique_ptr<TechNode> _tech;
+    std::unique_ptr<CoreModel> _core;
+    Breakdown _bd{"chip"};
+    double _areaMm2 = 0.0;
+    double _tdpW = 0.0;
+    double _minCycleS = 0.0;
+    double _nocEnergyPerByteHop = 0.0;
+    double _offchipEnergyPerByte = 0.0;
+    Power _leakage;
+    double _idleDynamicW = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CHIP_CHIP_HH

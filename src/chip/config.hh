@@ -1,0 +1,128 @@
+/**
+ * @file
+ * User-facing configuration of a NeuroMeter accelerator chip.
+ *
+ * Per the paper's input interface, users specify only high-level
+ * architecture (core count, TU geometry, data types, memory capacity,
+ * bandwidth targets) plus circuit/technology parameters; NeuroMeter
+ * derives the dependent hardware (VU lanes, VReg ports/width, memory
+ * banking, NoC link width) automatically.
+ */
+
+#ifndef NEUROMETER_CHIP_CONFIG_HH
+#define NEUROMETER_CHIP_CONFIG_HH
+
+#include "components/noc.hh"
+#include "components/periph.hh"
+#include "components/reduction_tree.hh"
+#include "components/tensor_unit.hh"
+#include "memory/sram_array.hh"
+
+namespace neurometer {
+
+/** Per-core architecture configuration. */
+struct CoreConfig
+{
+    int numTU = 1;               ///< N in the paper's (X, N, Tx, Ty)
+    TensorUnitConfig tu;
+
+    int numRT = 0;               ///< reduction trees per core
+    ReductionTreeConfig rt;
+
+    /** VU lanes; 0 = auto (matches TU array length). */
+    int vuLanes = 0;
+    int vregEntries = 32;
+    /** TUs share one VReg read/write port group instead of 2R1W each. */
+    bool shareVregPorts = false;
+
+    bool hasScalarUnit = true;
+
+    /** Per-core Mem slice; 0 = auto from ChipConfig::totalMemBytes. */
+    double memSliceBytes = 0.0;
+    /** Mem access width; 0 = auto (TU array length * operand bytes). */
+    double memBlockBytes = 0.0;
+};
+
+/** TDP activity factors (fraction of full-utilization dynamic power). */
+struct ActivityFactors
+{
+    double tensorUnit = 0.95;
+    double reductionTree = 0.95;
+    double vectorUnit = 0.50;
+    double vectorRegfile = 0.80;
+    double mem = 0.90;
+    double cdb = 0.60;
+    double noc = 0.50;
+    double scalarUnit = 0.35;
+    double ifu = 0.30;
+    double lsu = 0.50;
+    double offchip = 0.85;
+};
+
+/** Whole-chip configuration. */
+struct ChipConfig
+{
+    /** @name Technology / circuit level */
+    /** @{ */
+    double nodeNm = 28.0;
+    double vddVolt = 0.0;    ///< 0 = node default
+    double freqHz = 700e6;
+    /** @} */
+
+    /** @name Chip architecture level */
+    /** @{ */
+    int tx = 1;              ///< tiles in x
+    int ty = 1;              ///< tiles in y
+    CoreConfig core;
+
+    /** Auto topology: ring when Tx*Ty <= 4, 2D mesh when >= 8. */
+    bool autoNocTopology = true;
+    NocTopology nocTopology = NocTopology::Mesh2D;
+    double nocBisectionBwBytesPerS = 256e9;
+
+    double totalMemBytes = 32.0 * 1024.0 * 1024.0;
+    MemCellType memCell = MemCellType::SRAM;
+    /** Run Mem as a cache hierarchy instead of a scratchpad. */
+    bool memCacheMode = false;
+
+    DramKind dram = DramKind::HBM2;
+    double offchipBwBytesPerS = 700e9;
+    int pcieLanes = 16;
+    int iciLinks = 0;
+    double iciGbpsPerDirection = 496.0;
+
+    /** Fraction of die left as white space / unmodeled blocks. */
+    double whiteSpaceFraction = 0.21;
+    /** @} */
+
+    ActivityFactors tdpActivity;
+
+    int numCores() const { return tx * ty; }
+};
+
+/** A (X, N, Tx, Ty) tuple from the paper's design space (Sec. III-A). */
+struct DesignPoint
+{
+    int tuLength = 64; ///< X
+    int tuPerCore = 1; ///< N
+    int tx = 1;
+    int ty = 1;
+
+    std::string
+    str() const
+    {
+        return "(" + std::to_string(tuLength) + "," +
+               std::to_string(tuPerCore) + "," + std::to_string(tx) +
+               "," + std::to_string(ty) + ")";
+    }
+};
+
+/** Apply a design point onto a base chip config. */
+ChipConfig applyDesignPoint(ChipConfig base, const DesignPoint &dp);
+
+/** Validate a config, throwing ConfigError with a precise message. */
+void validate(const ChipConfig &cfg);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CHIP_CONFIG_HH

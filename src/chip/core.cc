@@ -1,0 +1,206 @@
+#include "chip/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "components/periph.hh"
+#include "components/scalar_unit.hh"
+#include "memory/fifo.hh"
+
+namespace neurometer {
+
+CoreModel::CoreModel(const TechNode &tech, const ChipConfig &cfg)
+{
+    const CoreConfig &cc = cfg.core;
+    _freqHz = cfg.freqHz;
+    const double cycle = 1.0 / cfg.freqHz;
+
+    // ---- Tensor units -------------------------------------------------
+    TensorUnitConfig tu_cfg = cc.tu;
+    tu_cfg.freqHz = cfg.freqHz;
+    std::unique_ptr<TensorUnitModel> tu;
+    Breakdown tus("tensor_units");
+    if (cc.numTU > 0) {
+        tu = std::make_unique<TensorUnitModel>(tech, tu_cfg);
+        for (int i = 0; i < cc.numTU; ++i) {
+            Breakdown one = tu->breakdown();
+            one.setName("tu" + std::to_string(i));
+            tus.addChild(std::move(one));
+        }
+        _peakOpsPerCycle += cc.numTU * tu->peakOpsPerCycle();
+        _energies.tuPerOpJ = tu->energyPerMacJ() / 2.0;
+    }
+
+    // ---- Reduction trees -------------------------------------------------
+    ReductionTreeConfig rt_cfg = cc.rt;
+    rt_cfg.freqHz = cfg.freqHz;
+    std::unique_ptr<ReductionTreeModel> rt;
+    Breakdown rts("reduction_trees");
+    if (cc.numRT > 0) {
+        rt = std::make_unique<ReductionTreeModel>(tech, rt_cfg);
+        for (int i = 0; i < cc.numRT; ++i) {
+            Breakdown one = rt->breakdown();
+            one.setName("rt" + std::to_string(i));
+            rts.addChild(std::move(one));
+        }
+        _peakOpsPerCycle += cc.numRT * rt->peakOpsPerCycle();
+        _energies.rtPerOpJ = rt->breakdown().total().power.dynamicW /
+                             (rt->peakOpsPerS());
+    }
+
+    // ---- Vector unit (lanes follow the TU array length) -----------------
+    _vuLanes = cc.vuLanes > 0
+        ? cc.vuLanes
+        : (cc.numTU > 0 ? cc.tu.cols
+                        : std::max(8, cc.rt.inputs / 8));
+    VectorUnitConfig vu_cfg;
+    vu_cfg.lanes = _vuLanes;
+    vu_cfg.laneType = cc.numTU > 0 ? cc.tu.accType : cc.rt.accType;
+    vu_cfg.freqHz = cfg.freqHz;
+    VectorUnitModel vu(tech, vu_cfg);
+    _energies.vuPerOpJ =
+        vu.breakdown().total().power.dynamicW / vu.peakOpsPerS();
+
+    // ---- Vector register file -------------------------------------------
+    // 2R+1W per functional unit; TUs optionally share one port group.
+    const int fu_groups =
+        1 /*VU*/ + (cc.shareVregPorts
+                        ? (cc.numTU + cc.numRT > 0 ? 1 : 0)
+                        : cc.numTU + cc.numRT);
+    _vregReadPorts = 2 * fu_groups;
+    _vregWritePorts = fu_groups;
+    VectorRegfileConfig vr_cfg;
+    vr_cfg.lanes = _vuLanes;
+    vr_cfg.laneBits = 32;
+    vr_cfg.entries = cc.vregEntries;
+    vr_cfg.readPorts = _vregReadPorts;
+    vr_cfg.writePorts = _vregWritePorts;
+    vr_cfg.freqHz = cfg.freqHz;
+    VectorRegfileModel vreg(tech, vr_cfg);
+    const double vreg_block_bytes = double(_vuLanes) * vr_cfg.laneBits / 8.0;
+    _energies.vregPerByteJ = vreg.readEnergyJ() / vreg_block_bytes;
+
+    // ---- On-chip memory slice ---------------------------------------------
+    const int mul_bytes =
+        std::max(1, dataTypeBits(cc.numTU > 0 ? cc.tu.mulType
+                                              : cc.rt.mulType) / 8);
+    double block_bytes = cc.memBlockBytes;
+    if (block_bytes <= 0.0) {
+        block_bytes = std::max(
+            32.0, double(cc.numTU > 0 ? cc.tu.rows : cc.rt.inputs) *
+                      mul_bytes);
+    }
+    double slice_bytes = cc.memSliceBytes;
+    if (slice_bytes <= 0.0)
+        slice_bytes = cfg.totalMemBytes / cfg.numCores();
+
+    MemoryRequest mem_req;
+    mem_req.capacityBytes = slice_bytes;
+    mem_req.blockBytes = block_bytes;
+    mem_req.cell = cfg.memCell;
+    mem_req.cacheMode = cfg.memCacheMode;
+    mem_req.readPorts = 1;
+    mem_req.writePorts = 1;
+    mem_req.searchPorts = true;
+    mem_req.targetCycleS = cycle;
+    // Operand streaming demand: each TU consumes one block per cycle;
+    // results write back at roughly half that rate.
+    const double streams =
+        std::max(1, cc.numTU + cc.numRT);
+    mem_req.targetReadBwBytesPerS =
+        streams * block_bytes * cfg.freqHz;
+    mem_req.targetWriteBwBytesPerS =
+        0.5 * streams * block_bytes * cfg.freqHz;
+    MemoryModel mm(tech);
+    _memDesign = mm.optimize(mem_req);
+    _energies.memReadPerByteJ = _memDesign.readEnergyJ / block_bytes;
+    _energies.memWritePerByteJ = _memDesign.writeEnergyJ / block_bytes;
+
+    PAT mem_pat;
+    mem_pat.areaUm2 = _memDesign.areaUm2;
+    mem_pat.power.dynamicW =
+        cfg.freqHz * (_memDesign.readPorts * _memDesign.readEnergyJ +
+                      _memDesign.writePorts * _memDesign.writeEnergyJ);
+    mem_pat.power.leakageW = _memDesign.leakageW;
+    mem_pat.timing.delayS = _memDesign.accessDelayS;
+    mem_pat.timing.cycleS = _memDesign.randomCycleS / _memDesign.banks;
+
+    // ---- Central data bus ----------------------------------------------------
+    const double exu_area = tus.total().areaUm2 + rts.total().areaUm2 +
+                            vu.breakdown().total().areaUm2 +
+                            vreg.breakdown().total().areaUm2;
+    CdbConfig cdb_cfg;
+    cdb_cfg.busBits = std::max(64, _vuLanes * 16);
+    cdb_cfg.attachedUnits = cc.numTU + cc.numRT + 2; // VU + Mem
+    cdb_cfg.routedAreaUm2 = exu_area + mem_pat.areaUm2;
+    cdb_cfg.freqHz = cfg.freqHz;
+    CdbModel cdb(tech, cdb_cfg);
+    _energies.cdbPerByteJ = cdb.energyPerByteJ();
+
+    // ---- Instruction fetch unit (lightweight, per the paper) -------------
+    Breakdown ifu("ifu");
+    {
+        LogicBlock fetch;
+        fetch.gates = 20000.0;
+        fetch.depthFo4 = 12.0;
+        fetch.activity = 0.25;
+        PAT p = logicPAT(tech, fetch, cfg.freqHz);
+        p += scratchpadPAT(tech, 4096.0, 128, cfg.freqHz, 0.5, true);
+        ifu.self() = p;
+    }
+
+    // ---- Load/store unit: DMA to off-chip + staging queues ----------------
+    Breakdown lsu("lsu");
+    {
+        const double offchip_slice =
+            cfg.offchipBwBytesPerS / cfg.numCores();
+        Breakdown dma = dmaEngine(tech, offchip_slice, cfg.freqHz);
+        lsu.addChild(std::move(dma));
+        FifoConfig stage;
+        stage.entries = 16;
+        stage.widthBits = int(block_bytes) * 8;
+        stage.freqHz = cfg.freqHz;
+        stage.activity = 0.6;
+        lsu.addLeaf("staging", fifoPAT(tech, stage));
+    }
+
+    // ---- Scalar unit ------------------------------------------------------------
+    std::unique_ptr<ScalarUnitModel> su;
+    if (cc.hasScalarUnit) {
+        ScalarUnitConfig su_cfg;
+        su_cfg.freqHz = cfg.freqHz;
+        su = std::make_unique<ScalarUnitModel>(tech, su_cfg);
+    }
+
+    // ---- Assemble the tree ------------------------------------------------------
+    Breakdown exu("exu");
+    if (cc.numTU > 0)
+        exu.addChild(std::move(tus));
+    if (cc.numRT > 0)
+        exu.addChild(std::move(rts));
+    exu.addChild(vu.breakdown());
+    exu.addChild(vreg.breakdown());
+    exu.addChild(cdb.breakdown());
+
+    _bd = Breakdown("core");
+    _bd.addChild(std::move(exu));
+    _bd.addChild(Breakdown("mem", mem_pat));
+    _bd.addChild(std::move(ifu));
+    _bd.addChild(std::move(lsu));
+    if (su)
+        _bd.addChild(su->breakdown());
+
+    // ---- Timing closure ---------------------------------------------------------
+    _minCycleS = 0.0;
+    if (tu)
+        _minCycleS = std::max(_minCycleS, tu->minCycleS());
+    if (rt)
+        _minCycleS = std::max(_minCycleS, rt->minCycleS());
+    _minCycleS = std::max({_minCycleS, vu.minCycleS(), vreg.minCycleS(),
+                           cdb.minCycleS()});
+    _bd.self().timing.cycleS = _minCycleS;
+}
+
+} // namespace neurometer

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Core-level assembly: IFU + LSU + EXU (TUs/RTs, VU, VReg, CDB) + SU +
+ * the core's slice of the distributed on-chip Mem (paper Fig. 6).
+ * Dependent hardware is derived here: VU lane count and VReg width
+ * follow the TU array length; VReg ports follow the functional-unit
+ * count (2R+1W each); Mem banking/ports are searched from the
+ * throughput the compute units demand.
+ */
+
+#ifndef NEUROMETER_CHIP_CORE_HH
+#define NEUROMETER_CHIP_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/config.hh"
+#include "common/breakdown.hh"
+#include "components/cdb.hh"
+#include "components/reduction_tree.hh"
+#include "components/tensor_unit.hh"
+#include "components/vector_regfile.hh"
+#include "components/vector_unit.hh"
+
+namespace neurometer {
+
+/** Per-access / per-op energies the runtime analysis consumes. */
+struct CoreEnergies
+{
+    double tuPerOpJ = 0.0;       ///< per arithmetic op (MAC = 2 ops)
+    double rtPerOpJ = 0.0;
+    double vuPerOpJ = 0.0;
+    double memReadPerByteJ = 0.0;
+    double memWritePerByteJ = 0.0;
+    double vregPerByteJ = 0.0;
+    double cdbPerByteJ = 0.0;
+};
+
+/** One accelerator core, fully derived and evaluated. */
+class CoreModel
+{
+  public:
+    CoreModel(const TechNode &tech, const ChipConfig &cfg);
+
+    /**
+     * Full-activity PAT tree. Children: "exu" (with "tensor_units",
+     * "reduction_trees", "vector_unit", "vector_regfile", "cdb"),
+     * "mem", "ifu", "lsu", "scalar_unit".
+     */
+    const Breakdown &breakdown() const { return _bd; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    /** Peak arithmetic ops per cycle from TUs + RTs (paper's TOPS). */
+    double peakOpsPerCycle() const { return _peakOpsPerCycle; }
+    double peakOpsPerS() const { return _peakOpsPerCycle * _freqHz; }
+
+    const CoreEnergies &energies() const { return _energies; }
+
+    /** Resolved dependent parameters (for reporting / tests). */
+    int vuLanes() const { return _vuLanes; }
+    int vregReadPorts() const { return _vregReadPorts; }
+    int vregWritePorts() const { return _vregWritePorts; }
+    const MemoryDesign &memDesign() const { return _memDesign; }
+
+    double areaUm2() const { return _bd.total().areaUm2; }
+
+  private:
+    double _freqHz = 0.0;
+    Breakdown _bd{"core"};
+    double _minCycleS = 0.0;
+    double _peakOpsPerCycle = 0.0;
+    CoreEnergies _energies;
+    int _vuLanes = 0;
+    int _vregReadPorts = 0;
+    int _vregWritePorts = 0;
+    MemoryDesign _memDesign;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CHIP_CORE_HH

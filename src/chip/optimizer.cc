@@ -1,0 +1,114 @@
+#include "chip/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace neurometer {
+
+double
+solveClockForTops(const ChipConfig &cfg, double target_tops)
+{
+    requireConfig(target_tops > 0.0, "TOPS target must be positive");
+
+    // Peak ops/cycle is architectural: TU/RT geometry only.
+    const CoreConfig &cc = cfg.core;
+    const double ops_per_cycle_core =
+        cc.numTU * 2.0 * double(cc.tu.rows) * cc.tu.cols +
+        cc.numRT * 2.0 * double(cc.rt.inputs);
+    const double ops_per_cycle = ops_per_cycle_core * cfg.numCores();
+    requireConfig(ops_per_cycle > 0.0, "architecture has no compute units");
+
+    const double freq = target_tops * units::tera / ops_per_cycle;
+
+    // Verify timing closure by building at that clock. ChipModel throws
+    // ConfigError when a component cannot reach it.
+    ChipConfig probe = cfg;
+    probe.freqHz = freq;
+    ChipModel chip(probe);
+    requireModel(std::abs(chip.peakTops() - target_tops) <
+                     1e-6 * target_tops + 1e-9,
+                 "clock solve missed the TOPS target");
+    return freq;
+}
+
+std::vector<std::pair<int, int>>
+candidateGrids(int max_cores)
+{
+    std::vector<std::pair<int, int>> grids;
+    for (int ty = 1; ty <= 64; ty *= 2) {
+        for (int tx : {ty, ty / 2}) {
+            if (tx < 1)
+                continue;
+            if (tx * ty > max_cores)
+                continue;
+            grids.emplace_back(tx, ty);
+        }
+    }
+    // Ascending core count; (tx==ty) before (ty/2, ty) at equal count.
+    std::sort(grids.begin(), grids.end(),
+              [](const auto &a, const auto &b) {
+                  const int ca = a.first * a.second;
+                  const int cb = b.first * b.second;
+                  if (ca != cb)
+                      return ca < cb;
+                  return a.first > b.first;
+              });
+    grids.erase(std::unique(grids.begin(), grids.end()), grids.end());
+    return grids;
+}
+
+GridSearchResult
+maximizeCores(const ChipConfig &base, int tu_length, int tu_per_core,
+              const DesignConstraints &constraints)
+{
+    GridSearchResult best;
+    best.point.tuLength = tu_length;
+    best.point.tuPerCore = tu_per_core;
+
+    for (const auto &[tx, ty] : candidateGrids()) {
+        DesignPoint dp;
+        dp.tuLength = tu_length;
+        dp.tuPerCore = tu_per_core;
+        dp.tx = tx;
+        dp.ty = ty;
+
+        ChipConfig cfg = applyDesignPoint(base, dp);
+        std::optional<ChipModel> chip;
+        try {
+            chip.emplace(cfg);
+        } catch (const ConfigError &) {
+            continue; // timing or banking infeasible at this grid
+        }
+
+        if (chip->areaMm2() > constraints.areaBudgetMm2)
+            continue; // a sibling grid shape may still fit
+        if (chip->tdpW() > constraints.powerBudgetW)
+            continue;
+        if (chip->peakTops() >
+            constraints.topsUpperBound * (1.0 + 1e-6)) {
+            continue; // overshoots the peak-TOPS cap
+        }
+
+        if (!best.feasible || chip->peakTops() > best.peakTops ||
+            (chip->peakTops() == best.peakTops &&
+             chip->areaMm2() < best.areaMm2)) {
+            best.point = dp;
+            best.peakTops = chip->peakTops();
+            best.areaMm2 = chip->areaMm2();
+            best.tdpW = chip->tdpW();
+            best.feasible = true;
+        }
+    }
+    return best;
+}
+
+ChipModel
+buildChip(const ChipConfig &base, const DesignPoint &dp)
+{
+    return ChipModel(applyDesignPoint(base, dp));
+}
+
+} // namespace neurometer

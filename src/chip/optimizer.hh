@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design-space optimization on top of ChipModel:
+ *  - clock-rate search for a peak-TOPS target (the paper's default
+ *    optimization input), and
+ *  - core-count maximization under area/power budgets with a TOPS
+ *    upper bound (the Sec. III datacenter sweep).
+ */
+
+#ifndef NEUROMETER_CHIP_OPTIMIZER_HH
+#define NEUROMETER_CHIP_OPTIMIZER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chip/chip.hh"
+
+namespace neurometer {
+
+/** Budgets/limits for the datacenter sweep (paper Table I). */
+struct DesignConstraints
+{
+    double areaBudgetMm2 = 500.0;
+    double powerBudgetW = 300.0;
+    double topsUpperBound = 92.0;
+};
+
+/**
+ * Find the minimum clock rate that delivers `target_tops` of peak
+ * throughput for the given architecture, verifying timing closure.
+ *
+ * @returns the clock (Hz).
+ * @throws ConfigError when no component-feasible clock reaches it.
+ */
+double solveClockForTops(const ChipConfig &cfg, double target_tops);
+
+/**
+ * Candidate (Tx, Ty) grids: power-of-two counts with Tx == Ty or
+ * Tx == Ty/2 (paper Sec. III-A), ascending in core count.
+ */
+std::vector<std::pair<int, int>> candidateGrids(int max_cores = 256);
+
+/** Result of maximizing the core count for one (X, N) design point. */
+struct GridSearchResult
+{
+    DesignPoint point;
+    double peakTops = 0.0;
+    double areaMm2 = 0.0;
+    double tdpW = 0.0;
+    bool feasible = false;
+};
+
+/**
+ * Maximize total core count for TU length X / count N under the
+ * constraints; returns the chosen grid and its headline metrics.
+ */
+GridSearchResult maximizeCores(const ChipConfig &base, int tu_length,
+                               int tu_per_core,
+                               const DesignConstraints &constraints);
+
+/** Build the chip for a design point (convenience wrapper). */
+ChipModel buildChip(const ChipConfig &base, const DesignPoint &dp);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CHIP_OPTIMIZER_HH

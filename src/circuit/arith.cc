@@ -1,0 +1,186 @@
+#include "circuit/arith.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "circuit/fit.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+int
+dataTypeBits(DataType t)
+{
+    switch (t) {
+      case DataType::Int8: return 8;
+      case DataType::Int16: return 16;
+      case DataType::Int32: return 32;
+      case DataType::BF16: return 16;
+      case DataType::FP16: return 16;
+      case DataType::FP32: return 32;
+    }
+    throw ModelError("unknown data type");
+}
+
+int
+dataTypeMantissa(DataType t)
+{
+    switch (t) {
+      case DataType::Int8: return 8;
+      case DataType::Int16: return 16;
+      case DataType::Int32: return 32;
+      case DataType::BF16: return 8;   // 7 stored + hidden bit
+      case DataType::FP16: return 11;  // 10 stored + hidden bit
+      case DataType::FP32: return 24;  // 23 stored + hidden bit
+    }
+    throw ModelError("unknown data type");
+}
+
+int
+dataTypeExponent(DataType t)
+{
+    switch (t) {
+      case DataType::Int8:
+      case DataType::Int16:
+      case DataType::Int32:
+        return 0;
+      case DataType::BF16: return 8;
+      case DataType::FP16: return 5;
+      case DataType::FP32: return 8;
+    }
+    throw ModelError("unknown data type");
+}
+
+bool
+isFloat(DataType t)
+{
+    return dataTypeExponent(t) > 0;
+}
+
+std::string
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::Int8: return "int8";
+      case DataType::Int16: return "int16";
+      case DataType::Int32: return "int32";
+      case DataType::BF16: return "bf16";
+      case DataType::FP16: return "fp16";
+      case DataType::FP32: return "fp32";
+    }
+    throw ModelError("unknown data type");
+}
+
+DataType
+dataTypeFromName(const std::string &name)
+{
+    std::string s;
+    for (char c : name)
+        s.push_back(static_cast<char>(std::tolower(c)));
+    if (s == "int8") return DataType::Int8;
+    if (s == "int16") return DataType::Int16;
+    if (s == "int32") return DataType::Int32;
+    if (s == "bf16") return DataType::BF16;
+    if (s == "fp16") return DataType::FP16;
+    if (s == "fp32") return DataType::FP32;
+    throw ConfigError("unknown data type name: " + name);
+}
+
+DataType
+defaultAccumType(DataType mul)
+{
+    switch (mul) {
+      case DataType::Int8: return DataType::Int32;
+      case DataType::Int16: return DataType::Int32;
+      case DataType::Int32: return DataType::Int32;
+      case DataType::BF16: return DataType::FP32;
+      case DataType::FP16: return DataType::FP32;
+      case DataType::FP32: return DataType::FP32;
+    }
+    throw ModelError("unknown data type");
+}
+
+namespace {
+
+double
+log2d(double x)
+{
+    return std::log2(std::max(2.0, x));
+}
+
+} // namespace
+
+LogicBlock
+multiplierBlock(DataType t)
+{
+    const double m = dataTypeMantissa(t);
+    LogicBlock blk;
+    blk.gates = fit::multQuad * m * m + fit::multLin * m;
+    blk.depthFo4 = fit::multDepthLog * log2d(m) + fit::multDepthBase;
+    blk.activity = isFloat(t) ? fit::actFp : fit::actIntMult;
+    if (isFloat(t)) {
+        blk.gates += fit::fpMulExp * dataTypeExponent(t) + fit::fpMulBase;
+        blk.depthFo4 += 4.0;
+    }
+    return blk;
+}
+
+LogicBlock
+adderBlock(DataType t)
+{
+    LogicBlock blk;
+    if (isFloat(t)) {
+        const double m = dataTypeMantissa(t);
+        const double e = dataTypeExponent(t);
+        blk.gates = fit::fpAddMant * m * log2d(m) + fit::fpAddExp * e +
+                    fit::fpAddBase;
+        blk.depthFo4 = fit::fpDepthBase;
+        blk.activity = fit::actFp;
+    } else {
+        const double n = dataTypeBits(t);
+        blk.gates = fit::addGatesPerBit * n;
+        blk.depthFo4 = fit::addDepthLog * log2d(n) + fit::addDepthBase;
+        blk.activity = fit::actIntAdd;
+    }
+    return blk;
+}
+
+LogicBlock
+macBlock(DataType mul, DataType acc)
+{
+    LogicBlock blk = multiplierBlock(mul);
+    blk += adderBlock(acc);
+    return blk;
+}
+
+LogicBlock
+aluBlock(int bits)
+{
+    requireConfig(bits > 0, "ALU width must be positive");
+    LogicBlock blk;
+    // Prefix adder + logic unit + barrel shifter + result mux.
+    const double n = bits;
+    blk.gates = fit::addGatesPerBit * n + 4.0 * n +
+                3.0 * n * log2d(n) + 2.0 * n;
+    blk.depthFo4 = fit::addDepthLog * log2d(n) + fit::addDepthBase + 4.0;
+    blk.activity = 0.30;
+    return blk;
+}
+
+LogicBlock
+vectorLaneBlock(DataType t)
+{
+    LogicBlock blk = multiplierBlock(t);
+    blk += adderBlock(defaultAccumType(t));
+    // Comparator (max-pool) + piecewise-linear activation lookup.
+    const double n = dataTypeBits(t);
+    LogicBlock aux;
+    aux.gates = 6.0 * n + 10.0 * n; // compare + LUT/interp
+    aux.depthFo4 = 8.0;
+    aux.activity = 0.25;
+    blk += aux;
+    return blk;
+}
+
+} // namespace neurometer

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Empirical arithmetic-unit models (the paper's "curve fitting ...
+ * parameterizable numerical model" for complex custom-layout logic):
+ * integer and floating-point multipliers, adders, and the fused MAC
+ * units that populate tensor units, reduction trees, and vector lanes.
+ */
+
+#ifndef NEUROMETER_CIRCUIT_ARITH_HH
+#define NEUROMETER_CIRCUIT_ARITH_HH
+
+#include <string>
+
+#include "circuit/logic.hh"
+
+namespace neurometer {
+
+/** Operand data types supported by the compute-unit models. */
+enum class DataType { Int8, Int16, Int32, BF16, FP16, FP32 };
+
+/** Storage width in bits. */
+int dataTypeBits(DataType t);
+
+/** Mantissa width used by the multiplier array (int width for ints). */
+int dataTypeMantissa(DataType t);
+
+/** Exponent width (0 for ints). */
+int dataTypeExponent(DataType t);
+
+bool isFloat(DataType t);
+
+std::string dataTypeName(DataType t);
+
+/** Parse "int8", "bf16", ... (case-insensitive); throws ConfigError. */
+DataType dataTypeFromName(const std::string &name);
+
+/** @name Arithmetic block generators (NAND2-equivalent LogicBlocks) */
+/** @{ */
+LogicBlock multiplierBlock(DataType t);
+LogicBlock adderBlock(DataType t);
+
+/**
+ * Multiply-accumulate: multiplier in @p mul type, accumulation in
+ * @p acc type (e.g. int8 x int8 -> int32, or bf16 x bf16 -> fp32 as in
+ * the TPU-v2 MXU).
+ */
+LogicBlock macBlock(DataType mul, DataType acc);
+
+/** Scalar ALU (add/sub/logic/shift) of the given bit width. */
+LogicBlock aluBlock(int bits);
+
+/**
+ * One vector-unit lane: multiplier + adder + comparator + piecewise
+ * activation lookup, supporting the paper's pooling/activation/
+ * normalization vector ops.
+ */
+LogicBlock vectorLaneBlock(DataType t);
+/** @} */
+
+/** Natural accumulator type for a multiplier type (int8->int32 etc.). */
+DataType defaultAccumType(DataType mul);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CIRCUIT_ARITH_HH

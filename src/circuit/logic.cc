@@ -1,0 +1,43 @@
+#include "circuit/logic.hh"
+
+#include "circuit/fit.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+PAT
+logicPAT(const TechNode &tech, const LogicBlock &blk, double ops_per_s,
+         double duty)
+{
+    requireModel(blk.gates >= 0.0, "negative gate count");
+    requireModel(ops_per_s >= 0.0 && duty >= 0.0, "negative op rate");
+
+    PAT pat;
+    pat.areaUm2 =
+        blk.gates * tech.nand2AreaUm2() * fit::datapathLayoutOverhead;
+    pat.power.dynamicW = blk.gates * blk.activity * tech.nand2EnergyJ() *
+                         ops_per_s * duty;
+    pat.power.leakageW = blk.gates * tech.nand2LeakW();
+    pat.timing.delayS = blk.depthFo4 * tech.fo4S();
+    pat.timing.cycleS = pat.timing.delayS + tech.dffDelayS();
+    return pat;
+}
+
+PAT
+registersPAT(const TechNode &tech, double bits, double freq_hz, double toggle,
+             double clock_gate_duty)
+{
+    requireModel(bits >= 0.0, "negative register bits");
+
+    PAT pat;
+    pat.areaUm2 = bits * tech.dffAreaUm2() * fit::registerLayoutOverhead;
+    // Clock pin switches every (ungated) cycle; data side by `toggle`.
+    pat.power.dynamicW = bits * tech.dffEnergyJ() * freq_hz *
+                         clock_gate_duty * (0.4 + 0.6 * toggle);
+    pat.power.leakageW = bits * tech.dffLeakW();
+    pat.timing.delayS = tech.dffDelayS();
+    pat.timing.cycleS = tech.dffDelayS();
+    return pat;
+}
+
+} // namespace neurometer

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Gate-level currency: every regular logic structure reduces to a count
+ * of NAND2-equivalents plus a logic depth, which this file converts into
+ * power/area/timing at a technology node.
+ */
+
+#ifndef NEUROMETER_CIRCUIT_LOGIC_HH
+#define NEUROMETER_CIRCUIT_LOGIC_HH
+
+#include "common/pat.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** An abstract logic block: gate count, depth, and toggle activity. */
+struct LogicBlock
+{
+    double gates = 0.0;     ///< NAND2-equivalents
+    double depthFo4 = 1.0;  ///< critical path in FO4 units
+    double activity = 0.4;  ///< avg toggles per gate per operation
+
+    LogicBlock &
+    operator+=(const LogicBlock &o)
+    {
+        // Series composition: depths add, activity averages by gates.
+        const double g = gates + o.gates;
+        if (g > 0.0)
+            activity = (activity * gates + o.activity * o.gates) / g;
+        gates = g;
+        depthFo4 += o.depthFo4;
+        return *this;
+    }
+};
+
+/**
+ * Evaluate a logic block at an operating point.
+ *
+ * @param ops_per_s operations issued per second (freq * issue rate)
+ * @param duty      fraction of ops that actually toggle the block
+ */
+PAT logicPAT(const TechNode &tech, const LogicBlock &blk, double ops_per_s,
+             double duty = 1.0);
+
+/**
+ * A bank of flip-flops (pipeline registers, small buffers).
+ *
+ * @param toggle fraction of bits changing per clock (data activity);
+ *               clock pin energy is charged every cycle regardless.
+ */
+PAT registersPAT(const TechNode &tech, double bits, double freq_hz,
+                 double toggle = 0.5, double clock_gate_duty = 1.0);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CIRCUIT_LOGIC_HH

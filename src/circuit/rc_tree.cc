@@ -1,0 +1,83 @@
+#include "circuit/rc_tree.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+RCTree::RCTree(double root_r_ohm, double root_c_f)
+{
+    _parent.push_back(-1);
+    _r.push_back(root_r_ohm);
+    _c.push_back(root_c_f);
+}
+
+int
+RCTree::addNode(int parent, double r_ohm, double c_f)
+{
+    requireModel(parent >= 0 && parent < numNodes(),
+                 "RCTree parent out of range");
+    requireModel(r_ohm >= 0.0 && c_f >= 0.0, "negative RC element");
+    _parent.push_back(parent);
+    _r.push_back(r_ohm);
+    _c.push_back(c_f);
+    return numNodes() - 1;
+}
+
+void
+RCTree::addCap(int node, double c_f)
+{
+    requireModel(node >= 0 && node < numNodes(), "RCTree node out of range");
+    _c[node] += c_f;
+}
+
+std::vector<double>
+RCTree::subtreeCaps() const
+{
+    // Children always have larger indices than their parent, so a
+    // reverse sweep accumulates subtree capacitance in one pass.
+    std::vector<double> sub(_c);
+    for (int n = numNodes() - 1; n > 0; --n)
+        sub[_parent[n]] += sub[n];
+    return sub;
+}
+
+double
+RCTree::elmoreDelayS(int node) const
+{
+    requireModel(node >= 0 && node < numNodes(), "RCTree node out of range");
+    const std::vector<double> sub = subtreeCaps();
+    // delay(sink) = sum over edges on the root->sink path of
+    // R_edge * C_subtree(edge). The root's own R (the driver) sees the
+    // whole tree.
+    double delay = 0.0;
+    for (int n = node; n != -1; n = _parent[n])
+        delay += _r[n] * sub[n];
+    return delay;
+}
+
+double
+RCTree::criticalDelayS() const
+{
+    const std::vector<double> sub = subtreeCaps();
+    double worst = 0.0;
+    for (int node = 0; node < numNodes(); ++node) {
+        double delay = 0.0;
+        for (int n = node; n != -1; n = _parent[n])
+            delay += _r[n] * sub[n];
+        worst = std::max(worst, delay);
+    }
+    return worst;
+}
+
+double
+RCTree::totalCapF() const
+{
+    double c = 0.0;
+    for (double ci : _c)
+        c += ci;
+    return c;
+}
+
+} // namespace neurometer

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generic RC tree with Elmore delay evaluation.
+ *
+ * Used where the wire topology is not a simple point-to-point route —
+ * most prominently the multicast (X/Y-bus) inner-TU interconnect, where
+ * one FIFO driver feeds a pi-RC segment chain with a systolic-cell load
+ * hanging off every segment (paper Fig. 2(d)).
+ */
+
+#ifndef NEUROMETER_CIRCUIT_RC_TREE_HH
+#define NEUROMETER_CIRCUIT_RC_TREE_HH
+
+#include <vector>
+
+namespace neurometer {
+
+/**
+ * An RC tree rooted at a driver. Node 0 is the root (the driver's output
+ * node, carrying the driver resistance from the ideal source).
+ */
+class RCTree
+{
+  public:
+    /** Create the tree with a root node. */
+    RCTree(double root_r_ohm, double root_c_f);
+
+    /**
+     * Add a node connected to @p parent through resistance @p r_ohm,
+     * with grounded capacitance @p c_f.
+     *
+     * @returns the new node's index.
+     */
+    int addNode(int parent, double r_ohm, double c_f);
+
+    /** Add extra grounded capacitance to an existing node. */
+    void addCap(int node, double c_f);
+
+    int numNodes() const { return static_cast<int>(_parent.size()); }
+
+    /**
+     * Elmore delay from the ideal source to @p node:
+     *   sum over nodes k of C_k * R(path(root->node) intersect
+     *   path(root->k)).
+     */
+    double elmoreDelayS(int node) const;
+
+    /** Max Elmore delay over all nodes (the critical sink). */
+    double criticalDelayS() const;
+
+    /** Total capacitance (for switching-energy estimates). */
+    double totalCapF() const;
+
+  private:
+    std::vector<int> _parent;   // -1 for root
+    std::vector<double> _r;     // resistance from parent (driver R at root)
+    std::vector<double> _c;     // grounded cap at node
+
+    /** Capacitance of each node's subtree (one reverse sweep). */
+    std::vector<double> subtreeCaps() const;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CIRCUIT_RC_TREE_HH

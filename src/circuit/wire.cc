@@ -1,0 +1,135 @@
+#include "circuit/wire.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+namespace {
+
+// Elmore coefficients for a step input through a distributed line.
+constexpr double kLumped = 0.69;
+constexpr double kDistributed = 0.38;
+
+// Repeaters are sized a fixed multiple of the unit driver; sweeping the
+// size adds little accuracy at this abstraction level.
+constexpr double repeaterSizing = 24.0;
+
+} // namespace
+
+double
+WireModel::unitDriverROhm() const
+{
+    // Effective drive resistance of a ~4x-min inverter.
+    return _tech.rOnOhmUm() / (4.0 * 3.0 * _tech.nodeNm() * 1e-3);
+}
+
+double
+WireModel::unitDriverCF() const
+{
+    // Gate cap of the same inverter (P+N widths ~ 3 Lmin each side).
+    return _tech.cGateFPerUm() * (4.0 * 3.0 * _tech.nodeNm() * 1e-3) * 2.0;
+}
+
+double
+WireModel::unitDriverAreaUm2() const
+{
+    return 1.5 * _tech.nand2AreaUm2();
+}
+
+WireResult
+WireModel::unrepeated(WireLayer layer, double length_um, double drive_r_ohm,
+                      double load_c_f) const
+{
+    requireConfig(length_um >= 0.0, "negative wire length");
+    const WireParams &w = _tech.wire(layer);
+    const double rw = w.rOhmPerUm * length_um;
+    const double cw = w.cFPerUm * length_um;
+
+    WireResult res;
+    res.delayS = kLumped * drive_r_ohm * (cw + load_c_f) +
+                 kDistributed * rw * cw + kLumped * rw * load_c_f;
+    const double v = _tech.vdd();
+    res.energyJ = (cw + load_c_f) * v * v;
+    res.routingAreaUm2 = w.pitchUm * length_um;
+    return res;
+}
+
+WireResult
+WireModel::repeated(WireLayer layer, double length_um, double load_c_f) const
+{
+    const WireParams &w = _tech.wire(layer);
+    const double r0 = unitDriverROhm() / repeaterSizing;
+    const double c0 = unitDriverCF() * repeaterSizing;
+
+    // Classic optimal segment length sqrt(2 R0 C0 / (r c)).
+    const double l_opt =
+        std::sqrt(2.0 * r0 * c0 / (w.rOhmPerUm * w.cFPerUm));
+
+    if (length_um <= l_opt)
+        return unrepeated(layer, length_um, r0, load_c_f);
+
+    const int segments = static_cast<int>(std::ceil(length_um / l_opt));
+    const double seg_len = length_um / segments;
+    const double rw = w.rOhmPerUm * seg_len;
+    const double cw = w.cFPerUm * seg_len;
+
+    WireResult res;
+    res.numRepeaters = segments; // one driver per segment
+    const double seg_delay = kLumped * r0 * (cw + c0) +
+                             kDistributed * rw * cw + kLumped * rw * c0;
+    // Last segment drives the receiver instead of another repeater.
+    const double last_extra = kLumped * (r0 + rw) * (load_c_f - c0);
+    res.delayS = segments * seg_delay + std::max(0.0, last_extra);
+
+    const double v = _tech.vdd();
+    res.energyJ =
+        (w.cFPerUm * length_um + segments * c0 + load_c_f) * v * v;
+    res.leakageW =
+        segments * repeaterSizing * 0.5 * _tech.nand2LeakW();
+    res.repeaterAreaUm2 =
+        segments * repeaterSizing / 4.0 * unitDriverAreaUm2();
+    res.routingAreaUm2 = w.pitchUm * length_um;
+    return res;
+}
+
+PAT
+WireModel::bus(WireLayer layer, double length_um, int bits, double freq_hz,
+               double activity, int *stages_out) const
+{
+    requireConfig(bits > 0, "bus must have at least one bit");
+    requireConfig(freq_hz > 0.0, "bus frequency must be positive");
+
+    const double cycle_s = 1.0 / freq_hz;
+    const WireResult one = repeated(layer, length_um, unitDriverCF());
+
+    // Sequencing overhead per stage is one flop traversal.
+    const double stage_budget =
+        std::max(cycle_s - _tech.dffDelayS(), 0.25 * cycle_s);
+    const int stages =
+        std::max(1, static_cast<int>(std::ceil(one.delayS / stage_budget)));
+    if (stages_out)
+        *stages_out = stages;
+
+    PAT pat;
+    const int pipe_flops = bits * std::max(0, stages - 1);
+    // Buses route over active logic on upper metal; only a fraction of
+    // the track area turns into real blockage/feed-through cost.
+    constexpr double routing_blockage = 0.35;
+    pat.areaUm2 = bits * (one.repeaterAreaUm2 +
+                          routing_blockage * one.routingAreaUm2) +
+                  pipe_flops * _tech.dffAreaUm2();
+    pat.power.dynamicW =
+        bits * freq_hz *
+        (activity * one.energyJ +
+         (stages - 1) * _tech.dffEnergyJ() * (0.5 * activity + 0.5));
+    pat.power.leakageW =
+        bits * one.leakageW + pipe_flops * _tech.dffLeakW();
+    pat.timing.delayS = one.delayS + (stages - 1) * _tech.dffDelayS();
+    pat.timing.cycleS = one.delayS / stages + _tech.dffDelayS();
+    return pat;
+}
+
+} // namespace neurometer

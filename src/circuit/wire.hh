@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Distributed-RC wire model with Elmore delay and optimal repeater
+ * insertion. This is the workhorse behind CDB, NoC links, multicast
+ * TU buses, and memory H-trees.
+ */
+
+#ifndef NEUROMETER_CIRCUIT_WIRE_HH
+#define NEUROMETER_CIRCUIT_WIRE_HH
+
+#include "common/pat.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Result of evaluating one wire (single bit line). */
+struct WireResult
+{
+    double delayS = 0.0;        ///< Elmore delay driver -> far end
+    double energyJ = 0.0;       ///< per full-swing transition
+    double leakageW = 0.0;      ///< repeater leakage
+    double repeaterAreaUm2 = 0.0;
+    double routingAreaUm2 = 0.0; ///< pitch * length occupied on its layer
+    int numRepeaters = 0;
+};
+
+/**
+ * Analytical wire evaluator bound to a technology node.
+ *
+ * Delay model: 0.69*Rd*(Cw+Cl) + 0.38*Rw*Cw + 0.69*Rw*Cl per segment
+ * (the standard Elmore form for a distributed RC line with a lumped
+ * driver and load).
+ */
+class WireModel
+{
+  public:
+    explicit WireModel(const TechNode &tech) : _tech(tech) {}
+
+    /**
+     * Unrepeated point-to-point wire.
+     *
+     * @param layer        metal layer class
+     * @param length_um    route length
+     * @param drive_r_ohm  lumped driver resistance
+     * @param load_c_f     lumped receiver capacitance
+     */
+    WireResult unrepeated(WireLayer layer, double length_um,
+                          double drive_r_ohm, double load_c_f) const;
+
+    /**
+     * Wire with automatically inserted repeaters when that reduces
+     * delay. Falls back to the unrepeated result for short wires.
+     */
+    WireResult repeated(WireLayer layer, double length_um,
+                        double load_c_f) const;
+
+    /**
+     * A pipelined multi-bit bus meeting a cycle-time target: repeated
+     * wire split into ceil(delay/cycle) stages with pipeline flops.
+     *
+     * @returns PAT with area = repeaters + flops + routing-layer use,
+     *          power.dynamicW = energy/bit-cycle * bits * freq * activity.
+     */
+    PAT bus(WireLayer layer, double length_um, int bits, double freq_hz,
+            double activity, int *stages_out = nullptr) const;
+
+    /** Characteristic resistance of a unit repeater (ohm). */
+    double unitDriverROhm() const;
+    /** Input capacitance of a unit repeater (F). */
+    double unitDriverCF() const;
+    /** Area of a unit repeater (um^2). */
+    double unitDriverAreaUm2() const;
+
+  private:
+    const TechNode &_tech;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CIRCUIT_WIRE_HH

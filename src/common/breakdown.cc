@@ -1,0 +1,109 @@
+#include "common/breakdown.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/units.hh"
+
+namespace neurometer {
+
+PAT
+Breakdown::total() const
+{
+    PAT t = _self;
+    for (const auto &c : _children)
+        t += c.total();
+    return t;
+}
+
+const Breakdown *
+Breakdown::find(const std::string &node_name) const
+{
+    if (_name == node_name)
+        return this;
+    for (const auto &c : _children) {
+        if (const Breakdown *hit = c.find(node_name))
+            return hit;
+    }
+    return nullptr;
+}
+
+double
+Breakdown::areaOfUm2(const std::string &node_name) const
+{
+    const Breakdown *node = find(node_name);
+    return node ? node->total().areaUm2 : 0.0;
+}
+
+double
+Breakdown::powerOfW(const std::string &node_name) const
+{
+    const Breakdown *node = find(node_name);
+    return node ? node->total().power.total() : 0.0;
+}
+
+void
+Breakdown::scale(double factor)
+{
+    _self.areaUm2 *= factor;
+    _self.power.dynamicW *= factor;
+    _self.power.leakageW *= factor;
+    for (auto &c : _children)
+        c.scale(factor);
+}
+
+void
+Breakdown::scaleDynamic(double factor)
+{
+    _self.power.dynamicW *= factor;
+    for (auto &c : _children)
+        c.scaleDynamic(factor);
+}
+
+namespace {
+
+void
+reportNode(std::ostream &os, const Breakdown &node, int depth,
+           int max_depth, double root_area, double root_power)
+{
+    const PAT t = node.total();
+    const double area_mm2 = um2ToMm2(t.areaUm2);
+    const double power_w = t.power.total();
+
+    os << std::left << std::setw(44)
+       << (std::string(2 * depth, ' ') + node.name())
+       << std::right << std::fixed << std::setprecision(3)
+       << std::setw(10) << area_mm2
+       << std::setw(7) << std::setprecision(1)
+       << (root_area > 0 ? 100.0 * t.areaUm2 / root_area : 0.0)
+       << std::setw(10) << std::setprecision(3) << power_w
+       << std::setw(7) << std::setprecision(1)
+       << (root_power > 0 ? 100.0 * power_w / root_power : 0.0)
+       << std::setw(10) << std::setprecision(1)
+       << t.timing.cycleS * 1e12
+       << "\n";
+
+    if (depth >= max_depth)
+        return;
+    for (const auto &c : node.children())
+        reportNode(os, c, depth + 1, max_depth, root_area, root_power);
+}
+
+} // namespace
+
+std::string
+Breakdown::report(int max_depth) const
+{
+    std::ostringstream os;
+    const PAT t = total();
+    os << std::left << std::setw(44) << "component"
+       << std::right
+       << std::setw(10) << "mm^2" << std::setw(7) << "%"
+       << std::setw(10) << "W" << std::setw(7) << "%"
+       << std::setw(10) << "Tcyc_ps" << "\n";
+    os << std::string(88, '-') << "\n";
+    reportNode(os, *this, 0, max_depth, t.areaUm2, t.power.total());
+    return os.str();
+}
+
+} // namespace neurometer

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Hierarchical power/area/timing breakdown tree.
+ *
+ * Every modeled component returns a Breakdown: its own PAT contribution
+ * plus named children. The chip model composes these into the full-chip
+ * tree that validation benches slice into the paper's ring charts.
+ */
+
+#ifndef NEUROMETER_COMMON_BREAKDOWN_HH
+#define NEUROMETER_COMMON_BREAKDOWN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/pat.hh"
+
+namespace neurometer {
+
+/** A named node in the PAT breakdown tree. */
+class Breakdown
+{
+  public:
+    Breakdown() = default;
+
+    explicit Breakdown(std::string name) : _name(std::move(name)) {}
+
+    Breakdown(std::string name, PAT self)
+        : _name(std::move(name)), _self(self)
+    {}
+
+    const std::string &name() const { return _name; }
+
+    /** This node's own contribution, excluding children. */
+    const PAT &self() const { return _self; }
+    PAT &self() { return _self; }
+
+    const std::vector<Breakdown> &children() const { return _children; }
+
+    /** Append a child subtree and return a reference to it. */
+    Breakdown &
+    addChild(Breakdown child)
+    {
+        _children.push_back(std::move(child));
+        return _children.back();
+    }
+
+    /** Convenience: add a leaf child. */
+    Breakdown &
+    addLeaf(const std::string &child_name, const PAT &pat)
+    {
+        return addChild(Breakdown(child_name, pat));
+    }
+
+    /**
+     * Recursive total over this node and all descendants. Timing merges
+     * as parallel blocks (max of delays and cycle times).
+     */
+    PAT total() const;
+
+    /**
+     * Find the first descendant (depth-first, including this node) whose
+     * name matches. Returns nullptr when absent.
+     */
+    const Breakdown *find(const std::string &node_name) const;
+
+    /** Total area of the named subtree, or 0 when absent. */
+    double areaOfUm2(const std::string &node_name) const;
+
+    /** Total power of the named subtree, or 0 when absent. */
+    double powerOfW(const std::string &node_name) const;
+
+    /**
+     * Render the tree as an indented ascii table of area (mm^2, %),
+     * power (W, %), and per-node cycle time.
+     *
+     * @param max_depth levels to expand (0 = only this node).
+     */
+    std::string report(int max_depth = 8) const;
+
+    /** Multiply all areas/powers in the subtree by a scalar. */
+    void scale(double factor);
+
+    /** Multiply only dynamic power in the subtree (activity scaling). */
+    void scaleDynamic(double factor);
+
+    /** Rename this node (used when instantiating templates). */
+    void setName(std::string n) { _name = std::move(n); }
+
+  private:
+    std::string _name;
+    PAT _self;
+    std::vector<Breakdown> _children;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_BREAKDOWN_HH

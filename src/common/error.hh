@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error-handling primitives.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *   - ConfigError is thrown for user-caused problems (invalid or
+ *     unsatisfiable configuration) — the analog of fatal().
+ *   - ModelError is thrown for internal inconsistencies that indicate a
+ *     bug in NeuroMeter itself — the analog of panic().
+ */
+
+#ifndef NEUROMETER_COMMON_ERROR_HH
+#define NEUROMETER_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace neurometer {
+
+/** User-facing configuration error: bad or unsatisfiable inputs. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("config error: " + msg)
+    {}
+};
+
+/** Internal modeling invariant violation: a NeuroMeter bug. */
+class ModelError : public std::logic_error
+{
+  public:
+    explicit ModelError(const std::string &msg)
+        : std::logic_error("model error: " + msg)
+    {}
+};
+
+/** Throw ConfigError unless a user-supplied condition holds. */
+inline void
+requireConfig(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw ConfigError(msg);
+}
+
+/** Throw ModelError unless an internal invariant holds. */
+inline void
+requireModel(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw ModelError(msg);
+}
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_ERROR_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Power/Area/Timing value types — the common currency of every model.
+ */
+
+#ifndef NEUROMETER_COMMON_PAT_HH
+#define NEUROMETER_COMMON_PAT_HH
+
+namespace neurometer {
+
+/**
+ * Power of a hardware block, split into dynamic and static (leakage)
+ * components. Dynamic power here is an *achievable* power at some stated
+ * activity; TDP vs runtime power differ only in the activity factors fed
+ * into the models.
+ */
+struct Power
+{
+    double dynamicW = 0.0;
+    double leakageW = 0.0;
+
+    double total() const { return dynamicW + leakageW; }
+
+    Power &
+    operator+=(const Power &o)
+    {
+        dynamicW += o.dynamicW;
+        leakageW += o.leakageW;
+        return *this;
+    }
+
+    friend Power
+    operator+(Power a, const Power &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend Power
+    operator*(double s, Power p)
+    {
+        p.dynamicW *= s;
+        p.leakageW *= s;
+        return p;
+    }
+};
+
+/**
+ * Timing of a hardware block.
+ *
+ * delayS is the end-to-end signal propagation delay through the block
+ * (e.g. Elmore delay of its critical wire or logic path); cycleS is the
+ * minimum clock period the block supports after internal pipelining.
+ */
+struct Timing
+{
+    double delayS = 0.0;
+    double cycleS = 0.0;
+
+    /** Combine with a block in the same pipeline stage set. */
+    Timing &
+    mergeParallel(const Timing &o)
+    {
+        delayS = delayS > o.delayS ? delayS : o.delayS;
+        cycleS = cycleS > o.cycleS ? cycleS : o.cycleS;
+        return *this;
+    }
+};
+
+/** The full power/area/timing triple. Area in um^2 (see units.hh). */
+struct PAT
+{
+    double areaUm2 = 0.0;
+    Power power;
+    Timing timing;
+
+    PAT &
+    operator+=(const PAT &o)
+    {
+        areaUm2 += o.areaUm2;
+        power += o.power;
+        timing.mergeParallel(o.timing);
+        return *this;
+    }
+
+    friend PAT
+    operator+(PAT a, const PAT &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_PAT_HH

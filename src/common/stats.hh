@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small statistics helpers used when averaging metrics across workloads
+ * (the paper uses arithmetic means for throughput and geometric means for
+ * ratio metrics such as utilization and efficiency).
+ */
+
+#ifndef NEUROMETER_COMMON_STATS_HH
+#define NEUROMETER_COMMON_STATS_HH
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+/** Arithmetic mean; requires a non-empty input. */
+inline double
+arithMean(std::span<const double> xs)
+{
+    requireModel(!xs.empty(), "arithMean of empty span");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+/** Geometric mean; requires non-empty, strictly positive input. */
+inline double
+geoMean(std::span<const double> xs)
+{
+    requireModel(!xs.empty(), "geoMean of empty span");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        requireModel(x > 0.0, "geoMean of non-positive value");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Relative error of a modeled value against a reference. */
+inline double
+relError(double modeled, double reference)
+{
+    requireModel(reference != 0.0, "relError against zero reference");
+    return (modeled - reference) / reference;
+}
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_STATS_HH

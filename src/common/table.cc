@@ -1,0 +1,65 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+    requireModel(!_header.empty(), "AsciiTable with empty header");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    requireModel(row.size() == _header.size(),
+                 "AsciiTable row arity mismatch");
+    _rows.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+AsciiTable::str() const
+{
+    std::vector<size_t> widths(_header.size());
+    for (size_t i = 0; i < _header.size(); ++i)
+        widths[i] = _header[i].size();
+    for (const auto &row : _rows)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << (i == 0 ? "" : "  ")
+               << std::setw(static_cast<int>(widths[i]))
+               << (i == 0 ? std::left : std::right) << row[i];
+            // setw/left-right interplay: re-apply alignment per column.
+            os << std::right;
+        }
+        os << "\n";
+    };
+
+    emit(_header);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+} // namespace neurometer

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal ascii table writer used by the benchmark harnesses to print the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef NEUROMETER_COMMON_TABLE_HH
+#define NEUROMETER_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace neurometer {
+
+/** Column-aligned ascii table with a header row. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_TABLE_HH

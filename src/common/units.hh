@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used across NeuroMeter.
+ *
+ * Internal conventions (deviating from these at a module boundary is a bug):
+ *   - length:      micrometers (um)
+ *   - area:        square micrometers (um^2); reports convert to mm^2
+ *   - resistance:  ohm
+ *   - capacitance: farad
+ *   - time:        seconds
+ *   - energy:      joules
+ *   - power:       watts
+ *   - frequency:   hertz
+ */
+
+#ifndef NEUROMETER_COMMON_UNITS_HH
+#define NEUROMETER_COMMON_UNITS_HH
+
+namespace neurometer {
+
+namespace units {
+
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+constexpr double tera = 1e12;
+
+constexpr double milli = 1e-3;
+constexpr double micro = 1e-6;
+constexpr double nano = 1e-9;
+constexpr double pico = 1e-12;
+constexpr double femto = 1e-15;
+
+/** Square micrometers per square millimeter. */
+constexpr double um2PerMm2 = 1e6;
+
+/** Bytes per kibibyte / mebibyte. */
+constexpr double kib = 1024.0;
+constexpr double mib = 1024.0 * 1024.0;
+
+} // namespace units
+
+/** Convert an internal area (um^2) to mm^2 for reporting. */
+constexpr double
+um2ToMm2(double um2)
+{
+    return um2 / units::um2PerMm2;
+}
+
+/** Convert mm^2 (typical user-facing budgets) to internal um^2. */
+constexpr double
+mm2ToUm2(double mm2)
+{
+    return mm2 * units::um2PerMm2;
+}
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_UNITS_HH

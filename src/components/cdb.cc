@@ -1,0 +1,40 @@
+#include "components/cdb.hh"
+
+#include <cmath>
+
+#include "circuit/wire.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+CdbModel::CdbModel(const TechNode &tech, const CdbConfig &cfg)
+    : _cfg(cfg), _bd("cdb")
+{
+    requireConfig(cfg.busBits > 0, "CDB width must be > 0");
+    requireConfig(cfg.routedAreaUm2 > 0.0, "CDB needs the routed area");
+    requireConfig(cfg.attachedUnits >= 1, "CDB needs attached units");
+
+    // Wires route around the functional blocks: one run per attached
+    // unit, each ~ sqrt of the covered area.
+    const double run_len = std::sqrt(cfg.routedAreaUm2);
+    const WireModel wires(tech);
+
+    PAT total;
+    int worst_stages = 1;
+    for (int u = 0; u < cfg.attachedUnits; ++u) {
+        int stages = 1;
+        PAT run = wires.bus(WireLayer::Intermediate, run_len, cfg.busBits,
+                            cfg.freqHz, /*activity=*/0.35, &stages);
+        worst_stages = std::max(worst_stages, stages);
+        total += run;
+    }
+
+    _stages = worst_stages;
+    _minCycleS = total.timing.cycleS;
+    _energyPerByte =
+        wires.repeated(WireLayer::Intermediate, run_len,
+                       wires.unitDriverCF()).energyJ * 8.0 * 0.5;
+    _bd = Breakdown("cdb", total);
+}
+
+} // namespace neurometer

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Central Data Bus (CDB): the intra-core interconnect between VReg and
+ * the functional components (TU, VU, Mem). Wires route around the
+ * blocks, so their length is estimated as the square root of the summed
+ * component area; long runs are pipelined to hold the clock (paper
+ * Sec. II-A).
+ */
+
+#ifndef NEUROMETER_COMPONENTS_CDB_HH
+#define NEUROMETER_COMPONENTS_CDB_HH
+
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** High-level CDB configuration. */
+struct CdbConfig
+{
+    int busBits = 1024;        ///< data width per attached unit
+    int attachedUnits = 3;     ///< TU(s), VU, Mem
+    double routedAreaUm2 = 0.0;///< area the bus routes around
+    double freqHz = 700e6;
+};
+
+/** Evaluated CDB model. */
+class CdbModel
+{
+  public:
+    CdbModel(const TechNode &tech, const CdbConfig &cfg);
+
+    const Breakdown &breakdown() const { return _bd; }
+
+    int pipelineStages() const { return _stages; }
+    double minCycleS() const { return _minCycleS; }
+
+    /** Dynamic energy per byte moved across the bus. */
+    double energyPerByteJ() const { return _energyPerByte; }
+
+    const CdbConfig &config() const { return _cfg; }
+
+  private:
+    CdbConfig _cfg;
+    Breakdown _bd;
+    int _stages = 1;
+    double _minCycleS = 0.0;
+    double _energyPerByte = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_CDB_HH

@@ -1,0 +1,187 @@
+#include "components/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logic.hh"
+#include "circuit/wire.hh"
+#include "common/error.hh"
+#include "memory/fifo.hh"
+
+namespace neurometer {
+
+std::string
+nocTopologyName(NocTopology t)
+{
+    switch (t) {
+      case NocTopology::Bus: return "bus";
+      case NocTopology::Ring: return "ring";
+      case NocTopology::Mesh2D: return "mesh2d";
+      case NocTopology::HTree: return "htree";
+    }
+    throw ModelError("unknown NoC topology");
+}
+
+namespace {
+
+/** Per-topology structural parameters. */
+struct Shape
+{
+    int routers;
+    int links;        // unidirectional channels
+    int routerPorts;  // per router, incl. local port
+    int bisectionChannels; // per direction
+    double avgHops;
+    double linkLenFactor; // link length in units of tile pitch
+};
+
+Shape
+shapeFor(const NocConfig &cfg)
+{
+    const int n = cfg.tx * cfg.ty;
+    Shape s{};
+    switch (cfg.topology) {
+      case NocTopology::Bus:
+        s.routers = 0;
+        s.links = 1; // one shared multi-drop channel pair
+        s.routerPorts = 0;
+        s.bisectionChannels = 1;
+        s.avgHops = 1.0;
+        s.linkLenFactor = std::max(1.0, n / 2.0);
+        break;
+      case NocTopology::Ring:
+        s.routers = n;
+        s.links = 2 * n; // bidirectional ring
+        s.routerPorts = 3;
+        s.bisectionChannels = 2;
+        s.avgHops = n / 4.0 + 0.5;
+        s.linkLenFactor = 1.0;
+        break;
+      case NocTopology::Mesh2D: {
+        s.routers = n;
+        s.links = 2 * ((cfg.tx - 1) * cfg.ty + cfg.tx * (cfg.ty - 1));
+        s.routerPorts = 5;
+        s.bisectionChannels = std::min(cfg.tx, cfg.ty);
+        s.avgHops = (cfg.tx + cfg.ty) / 3.0;
+        s.linkLenFactor = 1.0;
+        break;
+      }
+      case NocTopology::HTree: {
+        const int levels =
+            std::max(1, int(std::ceil(std::log2(std::max(2, n)))));
+        s.routers = n - 1;
+        s.links = 2 * 2 * (n - 1);
+        s.routerPorts = 3;
+        s.bisectionChannels = 1;
+        s.avgHops = levels;
+        s.linkLenFactor = 1.5;
+        break;
+      }
+      default:
+        throw ModelError("unknown NoC topology");
+    }
+    return s;
+}
+
+} // namespace
+
+NocModel::NocModel(const TechNode &tech, const NocConfig &cfg)
+    : _cfg(cfg), _bd("noc")
+{
+    requireConfig(cfg.tx >= 1 && cfg.ty >= 1, "NoC dims must be >= 1");
+    requireConfig(cfg.freqHz > 0.0, "NoC frequency must be > 0");
+    requireConfig(cfg.tileAreaUm2 > 0.0, "NoC needs the tile area");
+
+    const Shape s = shapeFor(cfg);
+    _numRouters = s.routers;
+    _numLinks = s.links;
+    _avgHops = s.avgHops;
+
+    // ---- Link width: honor the explicit width or solve the bisection
+    // bandwidth target.
+    if (cfg.flitBits > 0) {
+        _flitBits = cfg.flitBits;
+    } else if (cfg.bisectionBwBytesPerS > 0.0) {
+        const double bits = cfg.bisectionBwBytesPerS * 8.0 /
+                            (s.bisectionChannels * cfg.freqHz);
+        _flitBits = std::max(32, int(std::ceil(bits / 32.0)) * 32);
+    } else {
+        _flitBits = 256;
+    }
+    _bisectionBw =
+        s.bisectionChannels * _flitBits / 8.0 * cfg.freqHz;
+
+    const double tile_pitch = std::sqrt(cfg.tileAreaUm2);
+    const WireModel wires(tech);
+
+    // ---- Links -----------------------------------------------------------
+    PAT link_pat;
+    double link_energy_per_bit = 0.0;
+    {
+        const double len = tile_pitch * s.linkLenFactor;
+        PAT one = wires.bus(WireLayer::Global, len, _flitBits, cfg.freqHz,
+                            /*activity=*/0.35);
+        link_energy_per_bit =
+            wires.repeated(WireLayer::Global, len,
+                           wires.unitDriverCF()).energyJ;
+        link_pat = one;
+        link_pat.areaUm2 *= s.links;
+        link_pat.power = double(s.links) * link_pat.power;
+        link_pat.timing = one.timing;
+    }
+
+    // ---- Routers ------------------------------------------------------------
+    PAT router_pat;
+    double router_energy_per_flit = 0.0;
+    if (s.routers > 0) {
+        PAT one;
+        // Input buffers.
+        FifoConfig buf;
+        buf.entries = cfg.bufferDepth;
+        buf.widthBits = _flitBits;
+        buf.freqHz = cfg.freqHz;
+        buf.activity = 0.5;
+        PAT buf_pat = fifoPAT(tech, buf);
+        for (int p = 0; p < s.routerPorts; ++p)
+            one += buf_pat;
+        // Crossbar: crosspoint gates per bit per port pair.
+        LogicBlock xbar;
+        xbar.gates = 0.4 * _flitBits * s.routerPorts * s.routerPorts;
+        xbar.depthFo4 = 6.0;
+        xbar.activity = 0.15;
+        one += logicPAT(tech, xbar, cfg.freqHz);
+        // VC/switch allocator + routing logic.
+        LogicBlock alloc;
+        alloc.gates = 500.0 + 60.0 * s.routerPorts * s.routerPorts;
+        alloc.depthFo4 = 12.0;
+        alloc.activity = 0.2;
+        one += logicPAT(tech, alloc, cfg.freqHz);
+
+        router_energy_per_flit =
+            one.power.dynamicW / cfg.freqHz; // full-activity estimate
+        router_pat = one;
+        router_pat.areaUm2 *= s.routers;
+        router_pat.power = double(s.routers) * router_pat.power;
+        router_pat.timing = one.timing;
+    } else {
+        // Bus: central arbiter only.
+        LogicBlock arb;
+        arb.gates = 300.0 + 40.0 * cfg.tx * cfg.ty;
+        arb.depthFo4 = 10.0;
+        arb.activity = 0.2;
+        router_pat = logicPAT(tech, arb, cfg.freqHz);
+        router_energy_per_flit = router_pat.power.dynamicW / cfg.freqHz;
+    }
+
+    _bd.addLeaf("routers", router_pat);
+    _bd.addLeaf("links", link_pat);
+
+    _energyPerByteHop =
+        (link_energy_per_bit * 8.0 * 0.5 /*avg toggle*/) +
+        router_energy_per_flit * 8.0 / _flitBits;
+    _minCycleS = std::max(link_pat.timing.cycleS,
+                          router_pat.timing.cycleS);
+    _bd.self().timing.cycleS = _minCycleS;
+}
+
+} // namespace neurometer

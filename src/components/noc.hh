@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Network-on-Chip model: 2-D mesh, ring, bus, and H-tree topologies of
+ * wormhole routers and repeated/pipelined links (paper Sec. II-A).
+ */
+
+#ifndef NEUROMETER_COMPONENTS_NOC_HH
+#define NEUROMETER_COMPONENTS_NOC_HH
+
+#include <string>
+
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Supported NoC topologies. */
+enum class NocTopology { Bus, Ring, Mesh2D, HTree };
+
+std::string nocTopologyName(NocTopology t);
+
+/** High-level NoC configuration. */
+struct NocConfig
+{
+    NocTopology topology = NocTopology::Mesh2D;
+    int tx = 2;               ///< tiles in x
+    int ty = 2;               ///< tiles in y
+    /** Explicit link width; 0 = derive from the bisection target. */
+    int flitBits = 0;
+    /** Bisection bandwidth target per direction (bytes/s). */
+    double bisectionBwBytesPerS = 0.0;
+    double freqHz = 700e6;
+    /** Tile area (um^2) from which link lengths are derived. */
+    double tileAreaUm2 = 0.0;
+    int bufferDepth = 4;      ///< router input buffer, flits per port
+};
+
+/** Evaluated NoC with routers + links breakdown. */
+class NocModel
+{
+  public:
+    NocModel(const TechNode &tech, const NocConfig &cfg);
+
+    /** Children: "routers", "links". */
+    const Breakdown &breakdown() const { return _bd; }
+
+    int flitBits() const { return _flitBits; }
+    int numRouters() const { return _numRouters; }
+    int numLinks() const { return _numLinks; }
+
+    /** Achieved bisection bandwidth per direction (bytes/s). */
+    double bisectionBwBytesPerS() const { return _bisectionBw; }
+
+    /** Average hop count between random tile pairs. */
+    double avgHops() const { return _avgHops; }
+
+    /** Dynamic energy moving one byte one hop (router + link). */
+    double energyPerByteHopJ() const { return _energyPerByteHop; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    const NocConfig &config() const { return _cfg; }
+
+  private:
+    NocConfig _cfg;
+    Breakdown _bd;
+    int _flitBits = 0;
+    int _numRouters = 0;
+    int _numLinks = 0;
+    double _bisectionBw = 0.0;
+    double _avgHops = 0.0;
+    double _energyPerByteHop = 0.0;
+    double _minCycleS = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_NOC_HH

@@ -1,0 +1,172 @@
+#include "components/periph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+#include "memory/fifo.hh"
+
+namespace neurometer {
+
+namespace {
+
+/**
+ * Analog/mixed-signal area scales weakly with the node: ~sqrt of the
+ * logic shrink relative to the constant's reference node.
+ */
+double
+analogScale(const TechNode &tech, double ref_node_nm)
+{
+    return std::sqrt(tech.nodeNm() / ref_node_nm);
+}
+
+/** Controller/digital logic at `gates`, evaluated at a nominal clock. */
+PAT
+ctrlLogic(const TechNode &tech, double gates, double freq_hz)
+{
+    LogicBlock blk;
+    blk.gates = gates;
+    blk.depthFo4 = 16.0;
+    blk.activity = 0.2;
+    return logicPAT(tech, blk, freq_hz);
+}
+
+} // namespace
+
+Breakdown
+dramPort(const TechNode &tech, DramKind kind, double bandwidth_bytes_per_s)
+{
+    requireConfig(bandwidth_bytes_per_s > 0.0,
+                  "DRAM port bandwidth must be > 0");
+
+    Breakdown bd("dram_port");
+    const double gbs = bandwidth_bytes_per_s / units::giga;
+
+    // Reference-calibrated constants (area in mm^2 at the ref node).
+    double phy_mm2_per_gbs, ctrl_gates_per_gbs, pj_per_bit, ref_node;
+    double chan_gbs; // bandwidth granularity of one channel/stack
+    switch (kind) {
+      case DramKind::DDR3:
+        // TPU-v1: two DDR3-2133 channels ~ 34 GB/s, modeled ~6% of die.
+        phy_mm2_per_gbs = 0.42;
+        ctrl_gates_per_gbs = 9.0e3;
+        pj_per_bit = 18.0;
+        ref_node = 28.0;
+        chan_gbs = 17.0;
+        break;
+      case DramKind::DDR4:
+        phy_mm2_per_gbs = 0.30;
+        ctrl_gates_per_gbs = 8.0e3;
+        pj_per_bit = 14.0;
+        ref_node = 28.0;
+        chan_gbs = 25.0;
+        break;
+      case DramKind::HBM2:
+        // TPU-v2: 700 GB/s of HBM, ports ~9% of a ~513 mm^2 model.
+        phy_mm2_per_gbs = 0.058;
+        ctrl_gates_per_gbs = 2.2e3;
+        pj_per_bit = 3.5;
+        ref_node = 16.0;
+        chan_gbs = 180.0;
+        break;
+      default:
+        throw ModelError("unknown DRAM kind");
+    }
+
+    const int channels =
+        std::max(1, int(std::ceil(gbs / chan_gbs)));
+
+    PAT phy;
+    phy.areaUm2 = mm2ToUm2(phy_mm2_per_gbs * gbs) *
+                  analogScale(tech, ref_node);
+    phy.power.dynamicW = pj_per_bit * 1e-12 * bandwidth_bytes_per_s * 8.0;
+    phy.power.leakageW = 0.05 * channels; // bias/always-on analog
+    bd.addLeaf("phy", phy);
+
+    PAT ctrl = ctrlLogic(tech, ctrl_gates_per_gbs * gbs, 1e9);
+    // Scheduling queues.
+    FifoConfig q;
+    q.entries = 32;
+    q.widthBits = 256;
+    q.freqHz = 1e9;
+    q.activity = 0.5;
+    for (int c = 0; c < channels; ++c)
+        ctrl += fifoPAT(tech, q);
+    bd.addLeaf("controller", ctrl);
+    return bd;
+}
+
+Breakdown
+pcieInterface(const TechNode &tech, int lanes, double gbps_per_lane)
+{
+    requireConfig(lanes > 0, "PCIe lanes must be > 0");
+
+    Breakdown bd("pcie");
+    // ~0.55 mm^2 per Gen3 lane at 28 nm (SerDes + glue), weakly scaled.
+    PAT serdes;
+    serdes.areaUm2 =
+        mm2ToUm2(0.55 * lanes) * analogScale(tech, 28.0) *
+        (gbps_per_lane / 8.0);
+    const double bw_bits = lanes * gbps_per_lane * 1e9;
+    serdes.power.dynamicW = 6.0e-12 * bw_bits; // ~6 pJ/bit
+    serdes.power.leakageW = 0.02 * lanes;
+    bd.addLeaf("serdes", serdes);
+
+    PAT ctrl = ctrlLogic(tech, 120e3, 1e9); // LTSSM + DMA glue + TLP
+    bd.addLeaf("controller", ctrl);
+    return bd;
+}
+
+Breakdown
+iciInterface(const TechNode &tech, int links, double gbps_per_direction)
+{
+    requireConfig(links > 0, "ICI links must be > 0");
+
+    Breakdown bd("ici");
+    const double lane_gbps = 28.0;
+    const int lanes_per_link = std::max(
+        1, int(std::ceil(gbps_per_direction / lane_gbps)));
+
+    // SerDes macro ~0.68 mm^2/lane at 16 nm, weak node scaling.
+    PAT serdes;
+    serdes.areaUm2 = mm2ToUm2(0.68) * lanes_per_link * links *
+                     analogScale(tech, 16.0);
+    const double bw_bits = links * gbps_per_direction * 1e9 * 2.0;
+    serdes.power.dynamicW = 8.0e-12 * bw_bits;
+    serdes.power.leakageW = 0.03 * lanes_per_link * links;
+    bd.addLeaf("serdes", serdes);
+
+    // NIU + switch: packetization, routing, retransmit buffers.
+    PAT niu = ctrlLogic(tech, 900e3, 1e9);
+    FifoConfig buf;
+    buf.entries = 256;
+    buf.widthBits = 512;
+    buf.freqHz = 1e9;
+    buf.activity = 0.6;
+    for (int l = 0; l < links; ++l)
+        niu += fifoPAT(tech, buf);
+    bd.addLeaf("niu_switch", niu);
+    return bd;
+}
+
+Breakdown
+dmaEngine(const TechNode &tech, double bandwidth_bytes_per_s,
+          double freq_hz)
+{
+    Breakdown bd("dma");
+    const double bytes_per_cycle =
+        bandwidth_bytes_per_s / std::max(freq_hz, 1.0);
+    PAT ctrl = ctrlLogic(tech, 25e3 + 50.0 * bytes_per_cycle, freq_hz);
+    FifoConfig q;
+    q.entries = 64;
+    q.widthBits = std::max(64, int(bytes_per_cycle * 8.0));
+    q.freqHz = freq_hz;
+    q.activity = 0.6;
+    ctrl += fifoPAT(tech, q);
+    bd.addLeaf("engine", ctrl);
+    return bd;
+}
+
+} // namespace neurometer

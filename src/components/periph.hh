@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Peripheral blocks: off-chip memory ports (DDR/HBM controllers + PHY),
+ * PCIe host interface, inter-chip interconnect (ICI) links with their
+ * network interface units (NIU), and DMA engines.
+ *
+ * These are I/O- and analog-dominated blocks, so they follow empirical
+ * per-bandwidth / per-lane constants (calibrated against TPU-v1/v2
+ * floorplans) with weak (sqrt) area scaling across nodes — SerDes and
+ * PHY analog does not shrink like logic.
+ */
+
+#ifndef NEUROMETER_COMPONENTS_PERIPH_HH
+#define NEUROMETER_COMPONENTS_PERIPH_HH
+
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Off-chip DRAM families. */
+enum class DramKind { DDR3, DDR4, HBM2 };
+
+/**
+ * A DRAM port: controller + PHY sized for the requested bandwidth.
+ * Energy accounts for the on-die interface only (device energy is off
+ * chip). Dynamic power assumes full-bandwidth streaming; scale by
+ * utilization for runtime analysis.
+ */
+Breakdown dramPort(const TechNode &tech, DramKind kind,
+                   double bandwidth_bytes_per_s);
+
+/** PCIe endpoint of `lanes` lanes at `gbps_per_lane` (Gen3 ~ 8 Gb/s). */
+Breakdown pcieInterface(const TechNode &tech, int lanes,
+                        double gbps_per_lane = 8.0);
+
+/**
+ * Inter-chip interconnect: NIU + router/switch + SerDes lanes for
+ * `links` links of `gbps_per_direction` each (TPU-v2 style ICI).
+ */
+Breakdown iciInterface(const TechNode &tech, int links,
+                       double gbps_per_direction);
+
+/** DMA engine moving `bandwidth_bytes_per_s` at `freq_hz`. */
+Breakdown dmaEngine(const TechNode &tech, double bandwidth_bytes_per_s,
+                    double freq_hz);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_PERIPH_HH

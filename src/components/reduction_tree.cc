@@ -1,0 +1,92 @@
+#include "components/reduction_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logic.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+namespace {
+
+bool
+isPow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+ReductionTreeModel::ReductionTreeModel(const TechNode &tech,
+                                       const ReductionTreeConfig &cfg)
+    : _cfg(cfg), _bd("reduction_tree")
+{
+    requireConfig(isPow2(cfg.inputs),
+                  "reduction tree inputs must be a power of two");
+    requireConfig(cfg.freqHz > 0.0, "RT frequency must be > 0");
+
+    const int layers = static_cast<int>(std::log2(cfg.inputs));
+    const int acc_bits = dataTypeBits(cfg.accType);
+
+    // ---- Leaf 1-D MAC (multiplier) array -----------------------------
+    const LogicBlock mul = multiplierBlock(cfg.mulType);
+    PAT mul_one = logicPAT(tech, mul, cfg.freqHz);
+    PAT mul_all = mul_one;
+    mul_all.areaUm2 *= cfg.inputs;
+    mul_all.power = double(cfg.inputs) * mul_all.power;
+    // Input operand registers.
+    mul_all += registersPAT(
+        tech, 2.0 * dataTypeBits(cfg.mulType) * cfg.inputs, cfg.freqHz,
+        0.5);
+
+    // ---- Adder tree ----------------------------------------------------
+    // Default: 2-to-1 adders of the accumulation type at every layer
+    // (users can widen per layer by choosing a wider accType).
+    const LogicBlock add = adderBlock(cfg.accType);
+    PAT add_one = logicPAT(tech, add, cfg.freqHz);
+    const int adders = cfg.inputs - 1;
+    PAT add_all = add_one;
+    add_all.areaUm2 *= adders;
+    add_all.power = double(adders) * add_all.power;
+
+    // ---- Pipeline flops between layers ------------------------------
+    PAT pipe;
+    int pipe_stages = 0;
+    if (cfg.pipelineEveryLayers > 0) {
+        double pipe_bits = 0.0;
+        for (int l = 1; l <= layers; ++l) {
+            if (l % cfg.pipelineEveryLayers != 0)
+                continue;
+            const int values = cfg.inputs >> l; // outputs of layer l
+            pipe_bits += double(values) * acc_bits;
+            ++pipe_stages;
+        }
+        pipe = registersPAT(tech, pipe_bits, cfg.freqHz, 0.5);
+    }
+
+    _bd.addLeaf("mac_array", mul_all);
+    _bd.addLeaf("adder_tree", add_all);
+    _bd.addLeaf("pipeline", pipe);
+
+    // ---- Timing -----------------------------------------------------------
+    const int layers_per_stage = cfg.pipelineEveryLayers > 0
+        ? cfg.pipelineEveryLayers
+        : layers;
+    const double stage_logic =
+        std::max(mul_one.timing.delayS,
+                 layers_per_stage * add_one.timing.delayS);
+    _minCycleS = stage_logic + tech.dffDelayS();
+    _latencyCycles = 1.0 + pipe_stages;
+    _bd.self().timing.delayS =
+        mul_one.timing.delayS + layers * add_one.timing.delayS;
+    _bd.self().timing.cycleS = _minCycleS;
+}
+
+double
+ReductionTreeModel::peakOpsPerCycle() const
+{
+    return 2.0 * _cfg.inputs;
+}
+
+} // namespace neurometer

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reduction Tree (RT): an N-input 1-D MAC array cascaded into a log(N)-
+ * layered adder tree with optional inter-layer pipeline flops (paper
+ * Sec. II-A). RTs map sparse/irregular reductions more flexibly than 2-D
+ * systolic arrays and anchor the Sec. IV sparsity mini-study.
+ */
+
+#ifndef NEUROMETER_COMPONENTS_REDUCTION_TREE_HH
+#define NEUROMETER_COMPONENTS_REDUCTION_TREE_HH
+
+#include "circuit/arith.hh"
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** High-level RT configuration. */
+struct ReductionTreeConfig
+{
+    int inputs = 64;                 ///< N; must be a power of two
+    DataType mulType = DataType::Int8;
+    DataType accType = DataType::Int32;
+    /** Insert pipeline flops every this many tree layers (0 = none). */
+    int pipelineEveryLayers = 1;
+    double freqHz = 700e6;
+};
+
+/** Evaluated RT model. */
+class ReductionTreeModel
+{
+  public:
+    ReductionTreeModel(const TechNode &tech,
+                       const ReductionTreeConfig &cfg);
+
+    /** Children: "mac_array", "adder_tree", "pipeline". */
+    const Breakdown &breakdown() const { return _bd; }
+
+    /** N multiplies + (N-1) adds per invocation ~= 2N ops/cycle. */
+    double peakOpsPerCycle() const;
+    double peakOpsPerS() const { return peakOpsPerCycle() * _cfg.freqHz; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    /** Full input->result latency including pipeline stages. */
+    double latencyCycles() const { return _latencyCycles; }
+
+    const ReductionTreeConfig &config() const { return _cfg; }
+
+  private:
+    ReductionTreeConfig _cfg;
+    Breakdown _bd;
+    double _minCycleS = 0.0;
+    double _latencyCycles = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_REDUCTION_TREE_HH

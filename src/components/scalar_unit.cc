@@ -1,0 +1,83 @@
+#include "components/scalar_unit.hh"
+
+#include <algorithm>
+
+#include "circuit/arith.hh"
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "memory/fifo.hh"
+#include "memory/sram_array.hh"
+
+namespace neurometer {
+
+ScalarUnitModel::ScalarUnitModel(const TechNode &tech,
+                                 const ScalarUnitConfig &cfg)
+    : _cfg(cfg), _bd("scalar_unit")
+{
+    requireConfig(cfg.dataBits > 0 && cfg.archRegs > 0,
+                  "SU config must be positive");
+
+    // ---- Instruction fetch (no branch prediction) ----------------------
+    LogicBlock ifu;
+    // PC/fetch/align plus a full decode/issue stage — McPAT's stripped
+    // A9 keeps the in-order front end.
+    ifu.gates = 55000.0;
+    ifu.depthFo4 = 14.0;
+    ifu.activity = 0.25;
+    PAT ifu_pat = logicPAT(tech, ifu, cfg.freqHz);
+    ifu_pat += registersPAT(tech, 4.0 * 32.0 + 64.0, cfg.freqHz, 0.4);
+
+    // ---- Integer register file -----------------------------------------
+    MemoryModel mm(tech);
+    MemoryRequest rf_req;
+    rf_req.capacityBytes = double(cfg.archRegs) * cfg.dataBits / 8.0;
+    rf_req.blockBytes = cfg.dataBits / 8.0;
+    rf_req.cell = MemCellType::DFF;
+    rf_req.readPorts = 2;
+    rf_req.writePorts = 1;
+    MemoryDesign rf = mm.evaluate(rf_req, 1, std::max(16, cfg.archRegs),
+                                  std::max(16, cfg.dataBits), 2, 1);
+    PAT rf_pat;
+    rf_pat.areaUm2 = rf.areaUm2;
+    rf_pat.power.dynamicW =
+        cfg.freqHz * (2.0 * rf.readEnergyJ + rf.writeEnergyJ) * 0.6;
+    rf_pat.power.leakageW = rf.leakageW;
+    rf_pat.timing.cycleS = rf.randomCycleS;
+
+    // ---- ALU (address calculation is the main workload) ----------------
+    PAT alu_pat = logicPAT(tech, aluBlock(cfg.dataBits), cfg.freqHz, 0.7);
+
+    // ---- LSU: load/store queue + address generation ----------------------
+    FifoConfig lsq;
+    lsq.entries = cfg.lsqEntries;
+    lsq.widthBits = cfg.dataBits + 32; // data + address/ctl
+    lsq.freqHz = cfg.freqHz;
+    lsq.activity = 0.5;
+    PAT lsu_pat = fifoPAT(tech, lsq);
+    lsu_pat += logicPAT(tech, aluBlock(32), cfg.freqHz, 0.5);
+    // Alignment, forwarding, and TLB-less address check logic.
+    LogicBlock lsu_ctl;
+    lsu_ctl.gates = 25000.0;
+    lsu_ctl.depthFo4 = 12.0;
+    lsu_ctl.activity = 0.25;
+    lsu_pat += logicPAT(tech, lsu_ctl, cfg.freqHz);
+
+    // ---- Local memories ---------------------------------------------------
+    PAT imem = scratchpadPAT(tech, cfg.icacheBytes, 64, cfg.freqHz, 0.8,
+                             true);
+    PAT dspad = scratchpadPAT(tech, cfg.dspadBytes, cfg.dataBits,
+                              cfg.freqHz, 0.4, true);
+
+    _bd.addLeaf("ifu", ifu_pat);
+    _bd.addLeaf("regfile", rf_pat);
+    _bd.addLeaf("alu", alu_pat);
+    _bd.addLeaf("lsu", lsu_pat);
+    _bd.addLeaf("imem", imem);
+    _bd.addLeaf("dspad", dspad);
+
+    _minCycleS = std::max({alu_pat.timing.cycleS, rf.randomCycleS,
+                           imem.timing.cycleS});
+    _bd.self().timing.cycleS = _minCycleS;
+}
+
+} // namespace neurometer

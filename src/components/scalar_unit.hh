@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Scalar Unit (SU): control-flow helper core. Following the paper (and
+ * McPAT's configuration), it defaults to a stripped "ARM Cortex-A9":
+ * instruction fetch without branch prediction, integer register file,
+ * ALU, and an LSU — everything else removed. Parameters are exposed so
+ * it can be re-sized for other control architectures.
+ */
+
+#ifndef NEUROMETER_COMPONENTS_SCALAR_UNIT_HH
+#define NEUROMETER_COMPONENTS_SCALAR_UNIT_HH
+
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** High-level SU configuration. */
+struct ScalarUnitConfig
+{
+    int dataBits = 32;
+    int archRegs = 32;
+    double icacheBytes = 8.0 * 1024.0;
+    double dspadBytes = 8.0 * 1024.0;
+    int lsqEntries = 16;
+    double freqHz = 700e6;
+};
+
+/** Evaluated SU model. */
+class ScalarUnitModel
+{
+  public:
+    ScalarUnitModel(const TechNode &tech, const ScalarUnitConfig &cfg);
+
+    /** Children: "ifu", "regfile", "alu", "lsu", "imem", "dspad". */
+    const Breakdown &breakdown() const { return _bd; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    const ScalarUnitConfig &config() const { return _cfg; }
+
+  private:
+    ScalarUnitConfig _cfg;
+    Breakdown _bd;
+    double _minCycleS = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_SCALAR_UNIT_HH

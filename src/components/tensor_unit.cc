@@ -1,0 +1,157 @@
+#include "components/tensor_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logic.hh"
+#include "circuit/rc_tree.hh"
+#include "circuit/wire.hh"
+#include "common/error.hh"
+#include "memory/fifo.hh"
+
+namespace neurometer {
+
+TensorUnitModel::TensorUnitModel(const TechNode &tech,
+                                 const TensorUnitConfig &cfg)
+    : _cfg(cfg), _bd("tensor_unit")
+{
+    requireConfig(cfg.rows > 0 && cfg.cols > 0, "TU dimensions must be > 0");
+    requireConfig(cfg.freqHz > 0.0, "TU frequency must be > 0");
+
+    const double cells = double(cfg.rows) * cfg.cols;
+    const int mul_bits = dataTypeBits(cfg.mulType);
+    const int acc_bits = dataTypeBits(cfg.accType);
+
+    // ---- Per-cell MAC logic (+ any per-cell control FSM) --------------
+    LogicBlock mac = macBlock(cfg.mulType, cfg.accType);
+    if (cfg.perCellCtrlGates > 0.0) {
+        LogicBlock ctrl;
+        ctrl.gates = cfg.perCellCtrlGates;
+        ctrl.depthFo4 = 0.0; // control path, off the MAC critical path
+        ctrl.activity = 0.25;
+        mac += ctrl;
+    }
+    PAT mac_pat = logicPAT(tech, mac, cfg.freqHz);
+
+    // ---- Per-cell local buffer ---------------------------------------
+    // Minimum pipeline state: stationary operand + pass-through operand
+    // + partial sum (weight-stationary) or stationary accumulator
+    // (output-stationary).
+    double reg_bytes = cfg.perCellRegBytes;
+    if (reg_bytes <= 0.0)
+        reg_bytes = (2.0 * mul_bits + acc_bits) / 8.0;
+    PAT buf_pat = registersPAT(tech, reg_bytes * 8.0, cfg.freqHz, 0.4);
+    if (cfg.perCellSramBytes > 0.0) {
+        buf_pat += scratchpadPAT(tech, cfg.perCellSramBytes,
+                                 /*width_bits=*/16, cfg.freqHz,
+                                 /*accesses_per_cycle=*/2.0,
+                                 /*sram_cells=*/true);
+    }
+
+    // ---- Cell floorplan ------------------------------------------------
+    const double cell_area = mac_pat.areaUm2 + buf_pat.areaUm2;
+    _cellPitchUm = std::sqrt(cell_area);
+
+    // ---- Inner-array interconnect ---------------------------------------
+    const WireModel wires(tech);
+    PAT icn_pat;
+    double icn_cycle = 0.0;
+    const double vdd = tech.vdd();
+    const WireParams &local = tech.wire(WireLayer::Local);
+
+    if (cfg.interconnect == TuInterconnect::Unicast) {
+        // Nearest-neighbor links: operands flow right, partial sums flow
+        // down (WS). Each cell drives pitch-length wires every cycle.
+        const double hop_cap =
+            local.cFPerUm * _cellPitchUm + wires.unitDriverCF();
+        const double bits_per_cell = mul_bits + acc_bits;
+        const double e_cell_wires =
+            bits_per_cell * hop_cap * vdd * vdd * 0.4; // toggle rate
+        icn_pat.power.dynamicW = cells * e_cell_wires * cfg.freqHz;
+        // Drivers fold into cell area; count their gates explicitly.
+        icn_pat.areaUm2 =
+            cells * bits_per_cell * 0.5 * tech.nand2AreaUm2();
+        const WireResult hop = wires.unrepeated(
+            WireLayer::Local, _cellPitchUm,
+            wires.unitDriverROhm() / 2.0, wires.unitDriverCF());
+        icn_cycle = hop.delayS + tech.dffDelayS();
+        icn_pat.timing.delayS = hop.delayS;
+        icn_pat.timing.cycleS = icn_cycle;
+    } else {
+        // Multicast X/Y buses (paper Fig. 2(d)): the FIFO driver feeds a
+        // segmented wire with one cell load per column of a row bus.
+        const double drv_r = wires.unitDriverROhm() / 16.0;
+        RCTree row_bus(drv_r, wires.unitDriverCF() * 16.0);
+        int prev = 0;
+        const double seg_r = local.rOhmPerUm * _cellPitchUm;
+        const double seg_c = local.cFPerUm * _cellPitchUm;
+        const double cell_in_cap = wires.unitDriverCF();
+        for (int i = 0; i < cfg.cols; ++i) {
+            prev = row_bus.addNode(prev, seg_r, seg_c);
+            row_bus.addCap(prev, cell_in_cap);
+        }
+        const double bus_delay = row_bus.criticalDelayS();
+        const double bus_cap = row_bus.totalCapF();
+
+        // Row buses carry inputs (mul bits both X and Y directions);
+        // output collection reuses the Y bus at acc width.
+        const double row_buses = cfg.rows * (mul_bits);
+        const double col_buses = cfg.cols * (mul_bits + acc_bits);
+        const double total_bus_bits =
+            row_buses + col_buses * double(cfg.rows) / cfg.cols;
+        // A multicast write toggles one bus per row per cycle.
+        icn_pat.power.dynamicW = (cfg.rows * mul_bits + cfg.cols * acc_bits)
+            * bus_cap * vdd * vdd * 0.4 * cfg.freqHz;
+        icn_pat.areaUm2 = total_bus_bits *
+            (0.3 * local.pitchUm * _cellPitchUm * cfg.cols * 0.1 +
+             2.0 * tech.nand2AreaUm2());
+        icn_cycle = bus_delay + tech.dffDelayS();
+        icn_pat.timing.delayS = bus_delay;
+        icn_pat.timing.cycleS = icn_cycle;
+    }
+
+    // ---- Edge I/O FIFOs ---------------------------------------------------
+    FifoConfig in_fifo;
+    in_fifo.entries = cfg.ioFifoDepth;
+    in_fifo.widthBits = mul_bits;
+    in_fifo.freqHz = cfg.freqHz;
+    FifoConfig out_fifo = in_fifo;
+    out_fifo.widthBits = acc_bits;
+    PAT fifo_pat;
+    // One input FIFO per row (activations), one per column (weights in /
+    // results out).
+    for (int i = 0; i < cfg.rows; ++i)
+        fifo_pat += fifoPAT(tech, in_fifo);
+    for (int i = 0; i < cfg.cols; ++i)
+        fifo_pat += fifoPAT(tech, out_fifo);
+
+    // ---- Assemble ------------------------------------------------------------
+    PAT macs = mac_pat;
+    macs.areaUm2 *= cells;
+    macs.power = cells * macs.power;
+    PAT bufs = buf_pat;
+    bufs.areaUm2 *= cells;
+    bufs.power = cells * bufs.power;
+
+    _bd.addLeaf("mac", macs);
+    _bd.addLeaf("local_buffer", bufs);
+    _bd.addLeaf("interconnect", icn_pat);
+    _bd.addLeaf("io_fifo", fifo_pat);
+
+    _minCycleS = std::max({mac_pat.timing.cycleS, icn_cycle,
+                           fifo_pat.timing.cycleS});
+    requireConfig(_minCycleS <= 1.0 / cfg.freqHz * 1.0001 ||
+                      cfg.interconnect == TuInterconnect::Multicast,
+                  "TU cannot meet the requested clock rate");
+
+    const double dyn_w = _bd.total().power.dynamicW;
+    _energyPerMacJ = dyn_w / (cells * cfg.freqHz);
+}
+
+double
+TensorUnitModel::peakOpsPerCycle() const
+{
+    return 2.0 * double(_cfg.rows) * _cfg.cols;
+}
+
+} // namespace neurometer

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tensor Unit (TU): the generic systolic array model (paper Sec. II-A).
+ *
+ * A TU is (1) an array of systolic cells — each a MAC plus a DFF/SRAM
+ * local buffer; (2) the inner-array interconnect (unicast nearest-
+ * neighbor as in TPU-v1, or multicast X/Y buses as in Eyeriss); and
+ * (3) DFF/SRAM I/O FIFOs on the array edges.
+ */
+
+#ifndef NEUROMETER_COMPONENTS_TENSOR_UNIT_HH
+#define NEUROMETER_COMPONENTS_TENSOR_UNIT_HH
+
+#include "circuit/arith.hh"
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Inner-TU interconnect styles (paper Fig. 2(c)). */
+enum class TuInterconnect { Unicast, Multicast };
+
+/** Supported systolic dataflows for unicast TUs. */
+enum class TuDataflow { WeightStationary, OutputStationary };
+
+/** High-level TU configuration — all the user must supply. */
+struct TensorUnitConfig
+{
+    int rows = 128;
+    int cols = 128;
+    DataType mulType = DataType::Int8;
+    /** Accumulation type; defaults from mulType when left as given. */
+    DataType accType = DataType::Int32;
+    TuInterconnect interconnect = TuInterconnect::Unicast;
+    TuDataflow dataflow = TuDataflow::WeightStationary;
+
+    /**
+     * Per-cell local storage beyond the minimum pipeline registers
+     * (Eyeriss-style row-stationary PEs carry a real scratchpad).
+     */
+    double perCellSramBytes = 0.0;
+    double perCellRegBytes = 0.0; ///< 0 = auto from dataflow/datatypes
+
+    /**
+     * Per-cell control logic gates (NAND2-equivalent). Plain systolic
+     * cells need almost none; Eyeriss-style PEs carry a real control
+     * FSM managing their scratchpads and dataflow.
+     */
+    double perCellCtrlGates = 20.0;
+
+    int ioFifoDepth = 4;
+    double freqHz = 700e6;
+};
+
+/** Evaluated TU with PAT breakdown and performance metadata. */
+class TensorUnitModel
+{
+  public:
+    TensorUnitModel(const TechNode &tech, const TensorUnitConfig &cfg);
+
+    /**
+     * PAT breakdown at full utilization (all cells active every cycle).
+     * Children: "mac", "local_buffer", "interconnect", "io_fifo".
+     */
+    const Breakdown &breakdown() const { return _bd; }
+
+    /** MAC throughput: 2 ops (mul+add) per cell per cycle. */
+    double peakOpsPerCycle() const;
+    double peakOpsPerS() const { return peakOpsPerCycle() * _cfg.freqHz; }
+
+    /** Minimum clock period this TU supports. */
+    double minCycleS() const { return _minCycleS; }
+
+    /** Dynamic energy per MAC operation pair (for runtime analysis). */
+    double energyPerMacJ() const { return _energyPerMacJ; }
+
+    const TensorUnitConfig &config() const { return _cfg; }
+
+    /** Edge length of one systolic cell (um), for floorplan estimates. */
+    double cellPitchUm() const { return _cellPitchUm; }
+
+  private:
+    TensorUnitConfig _cfg;
+    Breakdown _bd;
+    double _minCycleS = 0.0;
+    double _energyPerMacJ = 0.0;
+    double _cellPitchUm = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_TENSOR_UNIT_HH

@@ -1,0 +1,71 @@
+#include "components/vector_regfile.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+VectorRegfileModel::VectorRegfileModel(const TechNode &tech,
+                                       const VectorRegfileConfig &cfg)
+    : _cfg(cfg), _bd("vector_regfile")
+{
+    requireConfig(cfg.lanes > 0 && cfg.laneBits > 0 && cfg.entries > 0,
+                  "VReg geometry must be positive");
+    requireConfig(cfg.readPorts >= 1 && cfg.writePorts >= 1,
+                  "VReg needs at least 1R1W");
+
+    const double total_bits =
+        double(cfg.entries) * cfg.lanes * cfg.laneBits;
+
+    MemoryModel mm(tech);
+    MemoryRequest req;
+    req.capacityBytes = total_bits / 8.0;
+    req.blockBytes = double(cfg.lanes) * cfg.laneBits / 8.0;
+    req.cell = MemCellType::SRAM; // multi-ported RF cells
+    req.readPorts = cfg.readPorts;
+    req.writePorts = cfg.writePorts;
+
+    // Register files are shallow and wide: rows = entries, the lanes
+    // fold into parallel subarray slices. Heavily ported cells blow up
+    // the wordline run, so narrow the slices until the clock closes.
+    const int rows = std::max(16, cfg.entries);
+    const double target_cycle = 1.0 / cfg.freqHz;
+    MemoryDesign d;
+    bool have = false;
+    // Wide slices first (least periphery); stop at the first geometry
+    // meeting the clock. If none does, keep the fastest.
+    for (int cols : {256, 128, 64, 32, 16}) {
+        if (double(cols) > 2.0 * std::max(16.0, total_bits / rows))
+            continue;
+        MemoryDesign cand = mm.evaluate(req, /*banks=*/1, rows, cols,
+                                        cfg.readPorts, cfg.writePorts);
+        if (!cand.feasible)
+            continue;
+        if (!have || cand.randomCycleS < d.randomCycleS) {
+            d = cand;
+            have = true;
+        }
+        if (cand.randomCycleS <= target_cycle) {
+            d = cand;
+            break;
+        }
+    }
+    requireModel(have, "VReg geometry infeasible");
+
+    _readEnergyJ = d.readEnergyJ;
+    _writeEnergyJ = d.writeEnergyJ;
+    _minCycleS = d.randomCycleS;
+
+    PAT pat;
+    pat.areaUm2 = d.areaUm2;
+    // Full-activity dynamic power: every port streams every cycle.
+    pat.power.dynamicW = cfg.freqHz * (cfg.readPorts * d.readEnergyJ +
+                                       cfg.writePorts * d.writeEnergyJ);
+    pat.power.leakageW = d.leakageW;
+    pat.timing.delayS = d.accessDelayS;
+    pat.timing.cycleS = d.randomCycleS;
+    _bd = Breakdown("vector_regfile", pat);
+}
+
+} // namespace neurometer

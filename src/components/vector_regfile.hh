@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Vector Register file (VReg): the data-exchange hub between TU, VU,
+ * and Mem. NeuroMeter auto-configures its ports — two read ports and
+ * one write port per attached functional unit (so 4R/2W for a single
+ * TU + single VU core) — and its vector width to the TU array length.
+ * Port count is the dominant cost driver: the paper caps TUs per core
+ * at 4 because VReg area/power explodes beyond that.
+ */
+
+#ifndef NEUROMETER_COMPONENTS_VECTOR_REGFILE_HH
+#define NEUROMETER_COMPONENTS_VECTOR_REGFILE_HH
+
+#include "common/breakdown.hh"
+#include "memory/sram_array.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** High-level VReg configuration. */
+struct VectorRegfileConfig
+{
+    int lanes = 128;        ///< vector width, matches TU array length
+    int laneBits = 32;
+    int entries = 32;       ///< architectural vector registers
+    int readPorts = 4;
+    int writePorts = 2;
+    double freqHz = 700e6;
+};
+
+/** Evaluated VReg model (a heavily multi-ported register array). */
+class VectorRegfileModel
+{
+  public:
+    VectorRegfileModel(const TechNode &tech,
+                       const VectorRegfileConfig &cfg);
+
+    const Breakdown &breakdown() const { return _bd; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    /** Energy of one full-vector read / write (runtime analysis). */
+    double readEnergyJ() const { return _readEnergyJ; }
+    double writeEnergyJ() const { return _writeEnergyJ; }
+
+    const VectorRegfileConfig &config() const { return _cfg; }
+
+  private:
+    VectorRegfileConfig _cfg;
+    Breakdown _bd;
+    double _minCycleS = 0.0;
+    double _readEnergyJ = 0.0;
+    double _writeEnergyJ = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_VECTOR_REGFILE_HH

@@ -1,0 +1,54 @@
+#include "components/vector_unit.hh"
+
+#include "circuit/logic.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+VectorUnitModel::VectorUnitModel(const TechNode &tech,
+                                 const VectorUnitConfig &cfg)
+    : _cfg(cfg), _bd("vector_unit")
+{
+    requireConfig(cfg.lanes > 0, "VU lanes must be > 0");
+    requireConfig(cfg.pipelineStages >= 1, "VU needs >= 1 pipe stage");
+
+    LogicBlock lane = vectorLaneBlock(cfg.laneType);
+    if (cfg.hasSfu) {
+        // Piecewise-polynomial SFU: two extra multipliers + range
+        // reduction + coefficient storage, duty-cycled (~20% of ops).
+        LogicBlock sfu = multiplierBlock(cfg.laneType);
+        sfu.gates *= 2.2;
+        sfu.activity *= 0.2;
+        sfu.depthFo4 = 0.0; // own pipe stages; not on the lane path
+        lane += sfu;
+    }
+    PAT lane_one = logicPAT(tech, lane, cfg.freqHz);
+    PAT lanes = lane_one;
+    lanes.areaUm2 *= cfg.lanes;
+    lanes.power = double(cfg.lanes) * lanes.power;
+
+    const double bits = dataTypeBits(cfg.laneType);
+    PAT pipe = registersPAT(
+        tech, double(cfg.lanes) * bits * cfg.pipelineStages, cfg.freqHz,
+        0.5);
+
+    // Lane-shared sequencing/control (opcode decode, predication).
+    LogicBlock ctrl;
+    ctrl.gates = 800.0 + 12.0 * cfg.lanes;
+    ctrl.depthFo4 = 10.0;
+    ctrl.activity = 0.2;
+    PAT ctrl_pat = logicPAT(tech, ctrl, cfg.freqHz);
+
+    _bd.addLeaf("lanes", lanes);
+    _bd.addLeaf("pipeline", pipe);
+    _bd.addLeaf("control", ctrl_pat);
+
+    // Lane logic spreads over pipelineStages stages.
+    const double stage_delay =
+        lane_one.timing.delayS / cfg.pipelineStages + tech.dffDelayS();
+    _minCycleS = stage_delay;
+    _bd.self().timing.delayS = lane_one.timing.delayS;
+    _bd.self().timing.cycleS = _minCycleS;
+}
+
+} // namespace neurometer

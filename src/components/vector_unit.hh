@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Vector Unit (VU): the 1-D SIMD engine handling pooling, activation,
+ * normalization variants, and partial-sum merging when an operator must
+ * be tiled across TUs (paper Sec. II-A).
+ */
+
+#ifndef NEUROMETER_COMPONENTS_VECTOR_UNIT_HH
+#define NEUROMETER_COMPONENTS_VECTOR_UNIT_HH
+
+#include "circuit/arith.hh"
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** High-level VU configuration. */
+struct VectorUnitConfig
+{
+    int lanes = 128;         ///< defaults to the TU array length
+    DataType laneType = DataType::Int32;
+    int pipelineStages = 4;
+    /**
+     * Include a special-function unit per lane (piecewise exp/div/sqrt
+     * for softmax/normalization — the bulk of an "activation pipeline"
+     * like TPU-v1's).
+     */
+    bool hasSfu = true;
+    double freqHz = 700e6;
+};
+
+/** Evaluated VU model. */
+class VectorUnitModel
+{
+  public:
+    VectorUnitModel(const TechNode &tech, const VectorUnitConfig &cfg);
+
+    /** Children: "lanes", "pipeline", "control". */
+    const Breakdown &breakdown() const { return _bd; }
+
+    /** 2 ops (mul+add path) per lane per cycle. */
+    double peakOpsPerCycle() const { return 2.0 * _cfg.lanes; }
+    double peakOpsPerS() const { return peakOpsPerCycle() * _cfg.freqHz; }
+
+    double minCycleS() const { return _minCycleS; }
+
+    const VectorUnitConfig &config() const { return _cfg; }
+
+  private:
+    VectorUnitConfig _cfg;
+    Breakdown _bd;
+    double _minCycleS = 0.0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMPONENTS_VECTOR_UNIT_HH

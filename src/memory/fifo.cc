@@ -1,0 +1,114 @@
+#include "memory/fifo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/fit.hh"
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "memory/sram_array.hh"
+
+namespace neurometer {
+
+namespace {
+
+/** Pointer/control logic shared by both FIFO flavors. */
+LogicBlock
+fifoControl(int entries)
+{
+    LogicBlock ctrl;
+    const double ptr_bits = std::max(1.0, std::log2(double(entries)));
+    ctrl.gates = 2.0 * (ptr_bits * 8.0) + 30.0; // counters + full/empty
+    ctrl.depthFo4 = 6.0;
+    ctrl.activity = 0.3;
+    return ctrl;
+}
+
+} // namespace
+
+PAT
+fifoPAT(const TechNode &tech, const FifoConfig &cfg)
+{
+    requireConfig(cfg.entries > 0 && cfg.widthBits > 0,
+                  "FIFO entries/width must be positive");
+
+    const double bits = double(cfg.entries) * cfg.widthBits;
+    PAT pat;
+
+    if (bits <= 16.0 * 1024.0) {
+        // Register-based: write enables one entry; read muxes one out.
+        PAT store = registersPAT(tech, bits, cfg.freqHz,
+                                 /*toggle=*/0.5 / cfg.entries,
+                                 /*clock_gate_duty=*/
+                                 std::min(1.0, cfg.activity));
+        // Read mux tree: width * (entries-1) 2:1 muxes ~ 1.2 gates each.
+        LogicBlock mux;
+        mux.gates = 1.2 * cfg.widthBits * std::max(0, cfg.entries - 1);
+        mux.depthFo4 = 1.5 * std::max(1.0, std::log2(double(cfg.entries)));
+        mux.activity = 0.25;
+        PAT muxp = logicPAT(tech, mux, cfg.freqHz * cfg.activity);
+        PAT ctrl = logicPAT(tech, fifoControl(cfg.entries),
+                            cfg.freqHz * cfg.activity);
+        pat = store + muxp + ctrl;
+    } else {
+        MemoryModel mm(tech);
+        MemoryRequest req;
+        req.capacityBytes = bits / 8.0;
+        req.blockBytes = cfg.widthBits / 8.0;
+        req.cell = MemCellType::SRAM;
+        req.readPorts = 1;
+        req.writePorts = 1;
+        req.targetCycleS = 1.0 / cfg.freqHz;
+        MemoryDesign d = mm.optimize(req);
+        pat.areaUm2 = d.areaUm2;
+        const double rate = cfg.freqHz * 0.5 * cfg.activity;
+        Power p = d.powerAt(rate, rate);
+        pat.power = p;
+        pat.timing.delayS = d.accessDelayS;
+        pat.timing.cycleS = d.randomCycleS;
+        PAT ctrl = logicPAT(tech, fifoControl(cfg.entries),
+                            cfg.freqHz * cfg.activity);
+        pat += ctrl;
+    }
+    return pat;
+}
+
+PAT
+scratchpadPAT(const TechNode &tech, double bytes, int width_bits,
+              double freq_hz, double accesses_per_cycle, bool sram_cells)
+{
+    requireConfig(bytes > 0.0, "scratchpad size must be positive");
+
+    if (!sram_cells || bytes <= 96.0) {
+        // Small register files stay flops.
+        PAT store = registersPAT(tech, bytes * 8.0, freq_hz,
+                                 0.3 * accesses_per_cycle);
+        return store;
+    }
+
+    // Compact single-bank SRAM: pick a near-square subarray.
+    const double bits = bytes * 8.0;
+    int rows = 16;
+    while (double(rows) * 2.0 * rows < bits && rows < 512)
+        rows *= 2;
+    int cols = std::max(16, int(std::ceil(bits / rows)));
+
+    MemoryModel mm(tech);
+    MemoryRequest req;
+    req.capacityBytes = bytes;
+    req.blockBytes = width_bits / 8.0;
+    req.cell = MemCellType::SRAM;
+    req.readPorts = 1;
+    req.writePorts = 1;
+    MemoryDesign d = mm.evaluate(req, 1, rows, cols, 1, 1);
+
+    PAT pat;
+    pat.areaUm2 = d.areaUm2;
+    const double rate = freq_hz * accesses_per_cycle;
+    pat.power = d.powerAt(0.6 * rate, 0.4 * rate);
+    pat.timing.delayS = d.accessDelayS;
+    pat.timing.cycleS = d.randomCycleS;
+    return pat;
+}
+
+} // namespace neurometer

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FIFO / small-scratchpad models: DFF-based for shallow queues (TU I/O
+ * FIFOs, NoC router buffers), SRAM-backed above a size threshold.
+ */
+
+#ifndef NEUROMETER_MEMORY_FIFO_HH
+#define NEUROMETER_MEMORY_FIFO_HH
+
+#include "common/pat.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Configuration of a FIFO queue. */
+struct FifoConfig
+{
+    int entries = 4;
+    int widthBits = 32;
+    double freqHz = 1e9;
+    /** Push+pop events per cycle at full utilization (<= 2.0). */
+    double activity = 1.0;
+};
+
+/**
+ * Evaluate a FIFO at full utilization (scale dynamic power externally
+ * for lower activity). Uses DFF storage below 16 Kbit, SRAM above.
+ */
+PAT fifoPAT(const TechNode &tech, const FifoConfig &cfg);
+
+/**
+ * A small single-ported scratchpad (e.g. the per-PE spad in Eyeriss),
+ * accessed @p accesses_per_cycle times per cycle at full utilization.
+ */
+PAT scratchpadPAT(const TechNode &tech, double bytes, int width_bits,
+                  double freq_hz, double accesses_per_cycle,
+                  bool sram_cells);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_MEMORY_FIFO_HH

@@ -1,0 +1,363 @@
+#include "memory/sram_array.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "circuit/fit.hh"
+#include "circuit/wire.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace neurometer {
+
+std::string
+memCellTypeName(MemCellType t)
+{
+    switch (t) {
+      case MemCellType::SRAM: return "sram";
+      case MemCellType::DFF: return "dff";
+      case MemCellType::EDRAM: return "edram";
+    }
+    throw ModelError("unknown memory cell type");
+}
+
+Power
+MemoryDesign::powerAt(double reads_per_s, double writes_per_s) const
+{
+    Power p;
+    p.dynamicW = reads_per_s * readEnergyJ + writes_per_s * writeEnergyJ;
+    p.leakageW = leakageW;
+    return p;
+}
+
+namespace {
+
+/** Per-cell geometry/electrical properties after port scaling. */
+struct CellProps
+{
+    double areaUm2;
+    double widthUm;
+    double heightUm;
+    double bitlineCapF;   // cap each cell adds to its column
+    double wordlineCapF;  // cap each cell adds to its row
+    double driveROhm;     // discharge resistance seen by the bitline
+    double leakW;
+    double cyclePenalty;  // multiplicative (eDRAM restore etc.)
+};
+
+CellProps
+cellProps(const TechNode &tech, MemCellType type, int ports)
+{
+    constexpr double aspect = 1.4; // width : height
+    CellProps c{};
+    const double min_w_um = 3.0 * tech.nodeNm() * 1e-3;
+    switch (type) {
+      case MemCellType::SRAM: {
+        const double g = 1.0 + fit::portCellGrowth * (ports - 1);
+        c.areaUm2 = tech.sramCellUm2() * g * g;
+        c.bitlineCapF = tech.sramCellBitlineCapF();
+        c.wordlineCapF = 2.0 * tech.cGateFPerUm() * 1.5 * min_w_um;
+        c.driveROhm = tech.rOnOhmUm() / (2.0 * min_w_um);
+        c.leakW = tech.sramCellLeakW() * (1.0 + 0.3 * (ports - 1));
+        c.cyclePenalty = 1.0;
+        break;
+      }
+      case MemCellType::DFF: {
+        const double g = 1.0 + 0.15 * (ports - 1);
+        c.areaUm2 = tech.dffAreaUm2() * g;
+        c.bitlineCapF = 0.08e-15; // read-mux drain load
+        c.wordlineCapF = tech.cGateFPerUm() * 1.5 * min_w_um;
+        c.driveROhm = tech.rOnOhmUm() / (8.0 * min_w_um); // active drive
+        c.leakW = tech.dffLeakW();
+        c.cyclePenalty = 1.0;
+        break;
+      }
+      case MemCellType::EDRAM: {
+        const double g = 1.0 + fit::portCellGrowth * (ports - 1);
+        c.areaUm2 = tech.edramCellUm2() * g * g;
+        c.bitlineCapF = 0.8 * tech.sramCellBitlineCapF();
+        c.wordlineCapF = tech.cGateFPerUm() * 1.5 * min_w_um;
+        c.driveROhm = 1.5 * tech.rOnOhmUm() / (2.0 * min_w_um);
+        c.leakW = 0.1 * tech.sramCellLeakW() +
+                  tech.edramRefreshWPerBit();
+        c.cyclePenalty = 1.5; // destructive read + restore
+        break;
+      }
+      default:
+        throw ModelError("unknown memory cell type");
+    }
+    c.widthUm = std::sqrt(c.areaUm2 * aspect);
+    c.heightUm = std::sqrt(c.areaUm2 / aspect);
+    return c;
+}
+
+/** Fraction of the supply the bitline swings before sensing. */
+constexpr double bitlineSwing = 0.12;
+
+} // namespace
+
+MemoryDesign
+MemoryModel::evaluate(const MemoryRequest &req, int banks, int rows,
+                      int cols, int read_ports, int write_ports) const
+{
+    requireConfig(req.capacityBytes > 0.0, "memory capacity must be > 0");
+    requireConfig(req.blockBytes > 0.0, "memory block size must be > 0");
+    requireModel(banks > 0 && rows > 0 && cols > 0, "bad geometry");
+    requireModel(read_ports >= 1 && write_ports >= 0, "bad ports");
+
+    MemoryDesign d;
+    d.banks = banks;
+    d.rows = rows;
+    d.cols = cols;
+    d.readPorts = read_ports;
+    d.writePorts = write_ports;
+
+    const int ports = read_ports + write_ports;
+    const CellProps cell = cellProps(_tech, req.cell, ports);
+    const WireModel wires(_tech);
+    const double vdd = _tech.vdd();
+
+    const double cap_bits = req.capacityBytes * 8.0;
+    const double block_bits = req.blockBytes * 8.0;
+    const double bits_per_sub = static_cast<double>(rows) * cols;
+    d.subarraysPerBank = static_cast<int>(
+        std::ceil(cap_bits / (banks * bits_per_sub)));
+    if (d.subarraysPerBank < 1)
+        d.subarraysPerBank = 1;
+
+    // Subarrays activated per access / column mux degree.
+    const double active_subs = std::max(1.0, block_bits / cols);
+    const double mux_deg = std::max(1.0, cols / block_bits);
+    if (active_subs > d.subarraysPerBank) {
+        d.feasible = false; // bank cannot deliver one block per access
+        return d;
+    }
+
+    // ---- Subarray geometry ----------------------------------------
+    const double wl_len = cols * cell.widthUm;
+    const double bl_len = rows * cell.heightUm;
+
+    const double cell_area = bits_per_sub * cell.areaUm2;
+    const double dec_gates =
+        rows * (fit::rowDriverGates + std::log2(std::max(2.0, double(rows))) / 4.0);
+    const double sa_per_sub = cols / mux_deg; // output bits per subarray
+    const double periph_gates =
+        ports * dec_gates +
+        cols * 2.0 +                                     // precharge
+        read_ports * sa_per_sub * fit::senseAmpGates +   // sense amps
+        write_ports * cols * 1.5;                        // write drivers
+    const double sub_area =
+        (cell_area + periph_gates * _tech.nand2AreaUm2()) * 1.12;
+
+    // ---- Subarray timing -------------------------------------------
+    const double dec_delay =
+        (2.0 * std::log2(std::max(2.0, double(rows))) + 4.0) * _tech.fo4S();
+    const WireParams &local = _tech.wire(WireLayer::Local);
+    const double c_wl = cols * cell.wordlineCapF + local.cFPerUm * wl_len;
+    const double r_wl = local.rOhmPerUm * wl_len;
+    const double r_wl_drv = wires.unitDriverROhm() / 8.0;
+    const double wl_delay = 0.69 * r_wl_drv * c_wl + 0.38 * r_wl * c_wl;
+
+    const double c_bl = rows * cell.bitlineCapF + local.cFPerUm * bl_len;
+    const double r_bl = local.rOhmPerUm * bl_len;
+    const double bl_delay =
+        (cell.driveROhm + 0.5 * r_bl) * c_bl * bitlineSwing / 0.5;
+    const double sa_delay = 2.0 * _tech.fo4S();
+
+    const double sub_access =
+        dec_delay + wl_delay + bl_delay + sa_delay + 2.0 * _tech.fo4S();
+    d.randomCycleS = 1.2 * sub_access * cell.cyclePenalty;
+
+    // ---- Bank assembly ----------------------------------------------
+    const double bank_core_area =
+        d.subarraysPerBank * sub_area * fit::bankLayoutOverhead;
+    const double htree_len = 1.2 * std::sqrt(bank_core_area);
+    const double data_bits = block_bits * ports;
+    const double addr_bits = 32.0 * ports;
+    const WireResult htree_wire =
+        wires.repeated(WireLayer::Intermediate, htree_len,
+                       wires.unitDriverCF());
+    const double htree_area =
+        (data_bits + addr_bits) *
+        (htree_wire.repeaterAreaUm2 + 0.25 * htree_wire.routingAreaUm2);
+    const double bank_area = bank_core_area + htree_area;
+
+    // ---- Chip-level assembly ----------------------------------------
+    const double arrays_area = banks * bank_area;
+    double global_area = 0.0;
+    WireResult global_wire{};
+    if (banks > 1) {
+        const double global_len = 1.1 * std::sqrt(arrays_area);
+        global_wire = wires.repeated(WireLayer::Global, global_len,
+                                     wires.unitDriverCF());
+        global_area = data_bits *
+            (global_wire.repeaterAreaUm2 +
+             0.25 * global_wire.routingAreaUm2);
+    }
+    d.areaUm2 = arrays_area * 1.05 + global_area;
+
+    // ---- Energy ------------------------------------------------------
+    const double e_dec = dec_gates * 0.5 * _tech.nand2EnergyJ();
+    const double e_wl = c_wl * vdd * vdd;
+    // All columns of an active subarray swing by the sense margin.
+    const double e_bl_read = cols * c_bl * vdd * (vdd * bitlineSwing);
+    const double e_sa = sa_per_sub * fit::senseAmpGates *
+                        _tech.nand2EnergyJ();
+    const double e_sub_read =
+        e_dec + e_wl + e_bl_read + e_sa +
+        sa_per_sub * 2.0 * _tech.nand2EnergyJ(); // output drive
+    const double e_htree = 0.5 * (block_bits + 32.0) * htree_wire.energyJ;
+    const double e_global =
+        banks > 1 ? 0.5 * block_bits * global_wire.energyJ : 0.0;
+
+    d.readEnergyJ = active_subs * e_sub_read + e_htree + e_global;
+    // Writes drive selected columns full swing; no sensing.
+    const double e_bl_write =
+        block_bits / active_subs * c_bl * vdd * vdd +
+        (cols - block_bits / active_subs) * c_bl * vdd *
+            (vdd * bitlineSwing) * 0.5;
+    d.writeEnergyJ = active_subs * (e_dec + e_wl + e_bl_write) + e_htree +
+                     e_global;
+
+    // ---- Delay / bandwidth -------------------------------------------
+    d.accessDelayS = sub_access + htree_wire.delayS + global_wire.delayS;
+
+    // Ports are per bank; banks operate concurrently (software-managed
+    // scratchpads are laid out conflict-free), so bandwidth scales with
+    // the bank count as well as the per-bank ports.
+    const double min_pipe_cycle = 2.0 * _tech.dffDelayS();
+    const double issue_cycle = std::max(d.randomCycleS, min_pipe_cycle);
+    const double eff_cycle = req.targetCycleS > 0.0
+        ? std::max(req.targetCycleS, issue_cycle)
+        : issue_cycle;
+    d.readBwBytesPerS = banks * read_ports * req.blockBytes / eff_cycle;
+    d.writeBwBytesPerS =
+        banks * write_ports * req.blockBytes / eff_cycle;
+
+    // ---- Leakage -------------------------------------------------------
+    const double total_bits =
+        static_cast<double>(banks) * d.subarraysPerBank * bits_per_sub;
+    d.leakageW = total_bits * cell.leakW +
+                 banks * d.subarraysPerBank * periph_gates *
+                     _tech.nand2LeakW() +
+                 banks * (data_bits + addr_bits) * htree_wire.leakageW;
+
+    // ---- Cache mode: tags, comparators, lookup costs -------------------
+    double tag_area = 0.0;
+    double tag_leak = 0.0;
+    if (req.cacheMode) {
+        requireConfig(req.cacheWays >= 1 && req.tagBits >= 1,
+                      "cache config must be positive");
+        const double lines = req.capacityBytes / req.blockBytes;
+        const double tag_bits = lines * (req.tagBits + 2.0); // +V/D
+        tag_area = tag_bits * cell.areaUm2 * 1.25; // tag periphery
+        tag_leak = tag_bits * cell.leakW;
+        d.areaUm2 += tag_area;
+        d.leakageW += tag_leak;
+        // Lookup: read `ways` tags + compare, then the selected way.
+        const double e_tag =
+            req.cacheWays *
+            (req.tagBits + 2.0) *
+            (c_bl * vdd * (vdd * bitlineSwing) / rows +
+             2.0 * _tech.nand2EnergyJ());
+        const double e_cmp = req.cacheWays * req.tagBits * 1.5 *
+                             _tech.nand2EnergyJ();
+        d.readEnergyJ += e_tag + e_cmp;
+        d.writeEnergyJ += e_tag + e_cmp;
+        // Tag lookup pipelines ahead of the data access, so it
+        // lengthens latency but the bandwidth/feasibility terms
+        // (computed above) are unaffected.
+        const double t_cmp = 4.0 * _tech.fo4S();
+        d.accessDelayS += t_cmp;
+        d.randomCycleS += t_cmp;
+    }
+
+    // ---- Feasibility ----------------------------------------------------
+    d.feasible = true;
+    if (req.targetCycleS > 0.0 && issue_cycle > req.targetCycleS)
+        d.feasible = false;
+    if (req.targetReadBwBytesPerS > 0.0 &&
+        d.readBwBytesPerS < req.targetReadBwBytesPerS)
+        d.feasible = false;
+    if (req.targetWriteBwBytesPerS > 0.0 &&
+        d.writeBwBytesPerS < req.targetWriteBwBytesPerS)
+        d.feasible = false;
+
+    // ---- Breakdown -------------------------------------------------------
+    d.breakdown = Breakdown("mem");
+    PAT cells_pat;
+    cells_pat.areaUm2 = banks * d.subarraysPerBank * cell_area;
+    cells_pat.power.leakageW = total_bits * cell.leakW;
+    d.breakdown.addLeaf("cells", cells_pat);
+    PAT periph_pat;
+    periph_pat.areaUm2 = d.areaUm2 - cells_pat.areaUm2 - htree_area * banks -
+                         global_area;
+    periph_pat.areaUm2 = std::max(0.0, periph_pat.areaUm2);
+    periph_pat.power.leakageW = banks * d.subarraysPerBank * periph_gates *
+                                _tech.nand2LeakW();
+    d.breakdown.addLeaf("periphery", periph_pat);
+    PAT route_pat;
+    route_pat.areaUm2 = htree_area * banks + global_area;
+    d.breakdown.addLeaf("routing", route_pat);
+    d.breakdown.self().timing.delayS = d.accessDelayS;
+    d.breakdown.self().timing.cycleS = issue_cycle;
+
+    return d;
+}
+
+MemoryDesign
+MemoryModel::optimize(const MemoryRequest &req) const
+{
+    static const std::vector<int> bank_choices = {1, 2, 4, 8, 16, 32, 64,
+                                                  128, 256, 512};
+    static const std::vector<int> row_choices = {16, 32, 64, 128, 256, 512,
+                                                 1024};
+    static const std::vector<int> col_choices = {16, 32, 64, 128, 256, 512};
+
+    const int max_rp = req.searchPorts ? 4 : req.readPorts;
+    const int max_wp = req.searchPorts ? 2 : req.writePorts;
+
+    MemoryDesign best;
+    bool have_best = false;
+
+    for (int rp = req.readPorts; rp <= max_rp; ++rp) {
+        for (int wp = std::max(1, req.writePorts); wp <= std::max(1, max_wp);
+             ++wp) {
+            for (int banks : bank_choices) {
+                if (req.fixedBanks > 0 && banks != req.fixedBanks)
+                    continue;
+                // Skip configurations with more banks than data.
+                if (banks * 16.0 * 16.0 > req.capacityBytes * 8.0 &&
+                    banks > 1) {
+                    continue;
+                }
+                for (int rows : row_choices) {
+                    for (int cols : col_choices) {
+                        if (static_cast<double>(rows) * cols >
+                            req.capacityBytes * 8.0 * 2.0) {
+                            continue; // subarray bigger than the memory
+                        }
+                        MemoryDesign d =
+                            evaluate(req, banks, rows, cols, rp, wp);
+                        if (!d.feasible)
+                            continue;
+                        if (!have_best || d.areaUm2 < best.areaUm2) {
+                            best = d;
+                            have_best = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if (!have_best) {
+        throw ConfigError(
+            "memory optimizer: no design meets cycle/bandwidth targets "
+            "(capacity " + std::to_string(req.capacityBytes) + " B)");
+    }
+    return best;
+}
+
+} // namespace neurometer

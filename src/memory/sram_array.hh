@@ -1,0 +1,123 @@
+/**
+ * @file
+ * CACTI-lite memory array model.
+ *
+ * Models a multi-banked on-chip memory (SRAM, DFF, or eDRAM cells) the
+ * way the paper describes Mem: the user gives capacity, block size, port
+ * requirements (or throughput targets from which ports are searched),
+ * and a cycle-time target; the internal optimizer picks the number of
+ * banks, subarray geometry, and ports.
+ *
+ * Structure: chip Mem = banks x bank; bank = subarrays x subarray
+ * (rows x cols mat with row decoder, wordline drivers, bitlines, sense
+ * amps, column mux) + intra-bank H-tree; banks are stitched by a global
+ * repeated bus sized for the access width.
+ */
+
+#ifndef NEUROMETER_MEMORY_SRAM_ARRAY_HH
+#define NEUROMETER_MEMORY_SRAM_ARRAY_HH
+
+#include <string>
+
+#include "common/breakdown.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+
+/** Storage cell families supported by Mem (paper Sec. II-A). */
+enum class MemCellType { SRAM, DFF, EDRAM };
+
+std::string memCellTypeName(MemCellType t);
+
+/** User-level memory request (the high-level config the paper asks for). */
+struct MemoryRequest
+{
+    double capacityBytes = 0.0;
+    double blockBytes = 32.0;     ///< bytes delivered per port per access
+    MemCellType cell = MemCellType::SRAM;
+
+    /**
+     * Explicit per-bank port counts. When searchPorts is set these are
+     * treated as minimums and the optimizer raises them until the
+     * bandwidth targets are met (how TPU-v2's "two read ports and one
+     * write port per bank" VMem config is "automatically searched ...
+     * with the given throughput requirement").
+     */
+    int readPorts = 1;
+    int writePorts = 1;
+    bool searchPorts = false;
+
+    /** Pin the bank count (0 = let the optimizer search it). */
+    int fixedBanks = 0;
+
+    /**
+     * Cache mode (paper Sec. II-A: Mem "can be configured as a
+     * software-managed scratchpad ... or a cache hierarchy"): adds
+     * per-line tag storage, way comparators, and the associated
+     * lookup energy/latency.
+     */
+    bool cacheMode = false;
+    int cacheWays = 4;
+    int tagBits = 24;
+
+    double targetCycleS = 0.0;          ///< 0 = unconstrained
+    double targetReadBwBytesPerS = 0.0; ///< 0 = unconstrained
+    double targetWriteBwBytesPerS = 0.0;
+};
+
+/** A fully resolved memory design point with its evaluation. */
+struct MemoryDesign
+{
+    // Resolved low-level parameters.
+    int banks = 1;
+    int rows = 0;
+    int cols = 0;
+    int subarraysPerBank = 0;
+    int readPorts = 1;
+    int writePorts = 1;
+
+    // Evaluation.
+    double readEnergyJ = 0.0;   ///< per block read
+    double writeEnergyJ = 0.0;
+    double accessDelayS = 0.0;  ///< address -> data
+    double randomCycleS = 0.0;  ///< min back-to-back access period
+    double readBwBytesPerS = 0.0;
+    double writeBwBytesPerS = 0.0;
+    double areaUm2 = 0.0;
+    double leakageW = 0.0;
+
+    Breakdown breakdown;        ///< cells / periphery / routing split
+    bool feasible = false;
+
+    /** Dynamic power at given access rates (accesses/s per port class). */
+    Power powerAt(double reads_per_s, double writes_per_s) const;
+};
+
+/** Analytical evaluator + optimizer for memory arrays. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const TechNode &tech) : _tech(tech) {}
+
+    /**
+     * Evaluate one fixed design point. Geometry that cannot hold the
+     * capacity yields feasible=false.
+     */
+    MemoryDesign evaluate(const MemoryRequest &req, int banks, int rows,
+                          int cols, int read_ports, int write_ports) const;
+
+    /**
+     * Search banks/subarray geometry/ports for the minimum-area design
+     * meeting the request's cycle and bandwidth targets.
+     *
+     * @throws ConfigError when no enumerated design satisfies them.
+     */
+    MemoryDesign optimize(const MemoryRequest &req) const;
+
+  private:
+    const TechNode &_tech;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_MEMORY_SRAM_ARRAY_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Umbrella public header for the NeuroMeter library.
+ */
+
+#ifndef NEUROMETER_NEUROMETER_HH
+#define NEUROMETER_NEUROMETER_HH
+
+#include "chip/chip.hh"
+#include "chip/config.hh"
+#include "chip/core.hh"
+#include "chip/optimizer.hh"
+#include "circuit/arith.hh"
+#include "circuit/logic.hh"
+#include "circuit/rc_tree.hh"
+#include "circuit/wire.hh"
+#include "common/breakdown.hh"
+#include "common/error.hh"
+#include "common/pat.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "components/cdb.hh"
+#include "components/noc.hh"
+#include "components/periph.hh"
+#include "components/reduction_tree.hh"
+#include "components/scalar_unit.hh"
+#include "components/tensor_unit.hh"
+#include "components/vector_regfile.hh"
+#include "components/vector_unit.hh"
+#include "memory/fifo.hh"
+#include "perf/tfsim.hh"
+#include "perf/workload.hh"
+#include "sparse/csr.hh"
+#include "sparse/roofline.hh"
+#include "sparse/sparse_matrix.hh"
+#include "memory/sram_array.hh"
+#include "tech/tech_node.hh"
+
+#endif // NEUROMETER_NEUROMETER_HH

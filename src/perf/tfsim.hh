@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TF-Sim analog: an analytical layer-mapping performance simulator.
+ *
+ * The paper pairs NeuroMeter with TF-Sim, an unpublished TensorFlow
+ * graph simulator. This module reproduces the signals that case study
+ * consumes: per-layer mapping of im2col GEMMs onto the chip's systolic
+ * TUs (weight-stationary tiling, fill/drain, weight-load overlap),
+ * multi-core/multi-TU parallelization with partial-sum merge costs,
+ * HBM/Mem/NoC roofline terms, and the software graph optimizations the
+ * paper names (space-to-batch/depth, double buffering). Its outputs —
+ * latency, throughput, utilization, and component activity rates — feed
+ * ChipModel::runtimePower exactly like TF-Sim feeds NeuroMeter.
+ */
+
+#ifndef NEUROMETER_PERF_TFSIM_HH
+#define NEUROMETER_PERF_TFSIM_HH
+
+#include "chip/chip.hh"
+#include "perf/workload.hh"
+
+namespace neurometer {
+
+/** Simulation knobs. */
+struct SimConfig
+{
+    int batch = 1;
+    /**
+     * Enable graph optimizations: space-to-batch / space-to-depth on
+     * shallow-K convolutions, double buffering of weight tiles, and
+     * batch folding (paper Fig. 7's "after software optimization").
+     */
+    bool swOptimizations = true;
+};
+
+/** End-to-end simulation result for one (workload, batch) run. */
+struct SimResult
+{
+    double latencyS = 0.0;       ///< one batch, end to end
+    double throughputFps = 0.0;  ///< frames per second
+    double achievedTops = 0.0;   ///< sustained arithmetic TOPS
+    double tuUtilization = 0.0;  ///< achieved / peak TOPS
+
+    RuntimeStats stats;          ///< average rates over the run
+    Power runtimePower;          ///< NeuroMeter runtime power
+
+    double achievedTopsPerWatt = 0.0;
+    /** achieved TOPS / (mm^4 * W), scaled like ChipModel's TCO. */
+    double achievedTopsPerTco = 0.0;
+};
+
+/** The analytical performance simulator bound to a chip model. */
+class TfSim
+{
+  public:
+    explicit TfSim(const ChipModel &chip) : _chip(chip) {}
+
+    /** Simulate one workload at the given batch size. */
+    SimResult run(const Workload &wl, const SimConfig &cfg) const;
+
+    /**
+     * Largest batch size (power of two up to 256) whose batch latency
+     * meets the SLO; 1 when even batch 1 misses it (paper's
+     * "latency-limited batch size").
+     */
+    int maxBatchUnderSlo(const Workload &wl, double slo_s,
+                         bool sw_opt = true) const;
+
+  private:
+    const ChipModel &_chip;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_PERF_TFSIM_HH

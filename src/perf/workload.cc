@@ -1,0 +1,490 @@
+#include "perf/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+int
+Op::outH() const
+{
+    // SAME padding throughout: out = ceil(in / stride).
+    return std::max(1, (h + stride - 1) / stride);
+}
+
+int
+Op::outW() const
+{
+    return std::max(1, (w + stride - 1) / stride);
+}
+
+double
+Op::opsPerSample() const
+{
+    switch (kind) {
+      case OpKind::Conv2D:
+        return 2.0 * double(outH()) * outW() * cout * cin * kh * kw;
+      case OpKind::DepthwiseConv2D:
+        return 2.0 * double(outH()) * outW() * cin * kh * kw;
+      case OpKind::MatMul:
+        return 2.0 * mmK * mmN;
+      case OpKind::Pool:
+        return double(outH()) * outW() * cin * kh * kw;
+      case OpKind::Activation:
+        return double(h) * w * cin;
+      case OpKind::EltwiseAdd:
+        return double(h) * w * cin;
+    }
+    throw ModelError("unknown op kind");
+}
+
+double
+Op::paramBytes() const
+{
+    switch (kind) {
+      case OpKind::Conv2D:
+        return double(cin) * kh * kw * cout;
+      case OpKind::DepthwiseConv2D:
+        return double(cin) * kh * kw;
+      case OpKind::MatMul:
+        return mmK * mmN;
+      default:
+        return 0.0;
+    }
+}
+
+double
+Op::inActBytes() const
+{
+    if (kind == OpKind::MatMul)
+        return mmK;
+    return double(h) * w * cin;
+}
+
+double
+Op::outActBytes() const
+{
+    switch (kind) {
+      case OpKind::Conv2D:
+        return double(outH()) * outW() * cout;
+      case OpKind::DepthwiseConv2D:
+      case OpKind::Pool:
+        return double(outH()) * outW() * cin;
+      case OpKind::MatMul:
+        return mmN;
+      case OpKind::Activation:
+      case OpKind::EltwiseAdd:
+        return double(h) * w * cin;
+    }
+    throw ModelError("unknown op kind");
+}
+
+GemmShape
+Op::gemm(int batch) const
+{
+    GemmShape g;
+    switch (kind) {
+      case OpKind::Conv2D:
+        g.m = double(batch) * outH() * outW();
+        g.k = double(cin) * kh * kw;
+        g.n = cout;
+        break;
+      case OpKind::DepthwiseConv2D:
+        // Lowered channel-by-channel: tiny K, N=1 slices; represent as
+        // a thin GEMM (poor TU fit by construction).
+        g.m = double(batch) * outH() * outW() * cin;
+        g.k = double(kh) * kw;
+        g.n = 1.0;
+        break;
+      case OpKind::MatMul:
+        g.m = batch;
+        g.k = mmK;
+        g.n = mmN;
+        break;
+      default:
+        break;
+    }
+    return g;
+}
+
+bool
+Op::isTensorOp() const
+{
+    return kind == OpKind::Conv2D || kind == OpKind::DepthwiseConv2D ||
+           kind == OpKind::MatMul;
+}
+
+double
+Workload::totalOps() const
+{
+    double s = 0.0;
+    for (const Op &op : ops)
+        s += op.opsPerSample();
+    return s;
+}
+
+double
+Workload::totalParamBytes() const
+{
+    double s = 0.0;
+    for (const Op &op : ops)
+        s += op.paramBytes();
+    return s;
+}
+
+double
+Workload::totalActivationBytes() const
+{
+    // In-place operators (activations, residual adds) do not allocate
+    // new transient tensors.
+    double s = 0.0;
+    for (const Op &op : ops) {
+        if (op.kind == OpKind::Activation || op.kind == OpKind::EltwiseAdd)
+            continue;
+        s += op.outActBytes();
+    }
+    return s;
+}
+
+double
+Workload::peakDataBytes() const
+{
+    return 0.5 * totalActivationBytes();
+}
+
+namespace {
+
+Op
+conv(std::string name, int h, int w, int cin, int k, int cout, int stride)
+{
+    Op op;
+    op.kind = OpKind::Conv2D;
+    op.name = std::move(name);
+    op.h = h;
+    op.w = w;
+    op.cin = cin;
+    op.kh = op.kw = k;
+    op.cout = cout;
+    op.stride = stride;
+    return op;
+}
+
+Op
+convRect(std::string name, int h, int w, int cin, int kh, int kw, int cout)
+{
+    Op op = conv(std::move(name), h, w, cin, 1, cout, 1);
+    op.kh = kh;
+    op.kw = kw;
+    return op;
+}
+
+Op
+sepConv(std::string name, int h, int w, int cin, int k, int cout,
+        int stride, std::vector<Op> *out)
+{
+    // Depthwise + pointwise pair.
+    Op dw;
+    dw.kind = OpKind::DepthwiseConv2D;
+    dw.name = name + "_dw";
+    dw.h = h;
+    dw.w = w;
+    dw.cin = cin;
+    dw.kh = dw.kw = k;
+    dw.cout = cin;
+    dw.stride = stride;
+    out->push_back(dw);
+    const int oh = dw.outH(), ow = dw.outW();
+    Op pw = conv(name + "_pw", oh, ow, cin, 1, cout, 1);
+    out->push_back(pw);
+    return pw;
+}
+
+Op
+fc(std::string name, double k, double n)
+{
+    Op op;
+    op.kind = OpKind::MatMul;
+    op.name = std::move(name);
+    op.mmK = k;
+    op.mmN = n;
+    return op;
+}
+
+Op
+pool(std::string name, int h, int w, int c, int k, int stride)
+{
+    Op op;
+    op.kind = OpKind::Pool;
+    op.name = std::move(name);
+    op.h = h;
+    op.w = w;
+    op.cin = c;
+    op.kh = op.kw = k;
+    op.cout = c;
+    op.stride = stride;
+    return op;
+}
+
+Op
+eltwise(std::string name, int h, int w, int c)
+{
+    Op op;
+    op.kind = OpKind::EltwiseAdd;
+    op.name = std::move(name);
+    op.h = h;
+    op.w = w;
+    op.cin = c;
+    return op;
+}
+
+} // namespace
+
+Workload
+resnet50()
+{
+    Workload wl;
+    wl.name = "ResNet";
+    auto &ops = wl.ops;
+
+    ops.push_back(conv("conv1", 224, 224, 3, 7, 64, 2));
+    ops.push_back(pool("pool1", 112, 112, 64, 3, 2));
+
+    struct Stage
+    {
+        int blocks, width, inC, outC, spatial, stride;
+    };
+    const Stage stages[] = {
+        {3, 64, 64, 256, 56, 1},
+        {4, 128, 256, 512, 56, 2},
+        {6, 256, 512, 1024, 28, 2},
+        {3, 512, 1024, 2048, 14, 2},
+    };
+    for (const Stage &st : stages) {
+        int in_c = st.inC;
+        int hw = st.spatial;
+        for (int b = 0; b < st.blocks; ++b) {
+            const int stride = (b == 0) ? st.stride : 1;
+            const int out_hw = hw / stride;
+            const std::string base =
+                "res" + std::to_string(st.width) + "_" +
+                std::to_string(b);
+            ops.push_back(conv(base + "_a", hw, hw, in_c, 1, st.width,
+                               stride));
+            ops.push_back(conv(base + "_b", out_hw, out_hw, st.width, 3,
+                               st.width, 1));
+            ops.push_back(conv(base + "_c", out_hw, out_hw, st.width, 1,
+                               st.outC, 1));
+            if (b == 0) {
+                ops.push_back(conv(base + "_proj", hw, hw, in_c, 1,
+                                   st.outC, stride));
+            }
+            ops.push_back(eltwise(base + "_add", out_hw, out_hw,
+                                  st.outC));
+            in_c = st.outC;
+            hw = out_hw;
+        }
+    }
+    ops.push_back(pool("avgpool", 7, 7, 2048, 7, 7));
+    ops.push_back(fc("fc1000", 2048, 1000));
+    return wl;
+}
+
+Workload
+inceptionV3()
+{
+    // Inception-v3 topology at 224x224 input (the case study's op
+    // accounting; see DESIGN.md on Table II calibration).
+    Workload wl;
+    wl.name = "Inception";
+    auto &ops = wl.ops;
+
+    ops.push_back(conv("stem1", 192, 192, 3, 3, 32, 2));
+    ops.push_back(conv("stem2", 96, 96, 32, 3, 32, 1));
+    ops.push_back(conv("stem3", 96, 96, 32, 3, 64, 1));
+    ops.push_back(pool("stem_pool", 96, 96, 64, 3, 2));
+    ops.push_back(conv("stem4", 48, 48, 64, 1, 80, 1));
+    ops.push_back(conv("stem5", 48, 48, 80, 3, 192, 1));
+    ops.push_back(pool("stem_pool2", 48, 48, 192, 3, 2));
+
+    // 3x Inception-A at 24x24 (channels 192/256/288 -> 288).
+    int hw = 24;
+    int c = 192;
+    for (int i = 0; i < 3; ++i) {
+        const std::string b = "mixedA" + std::to_string(i);
+        ops.push_back(conv(b + "_1x1", hw, hw, c, 1, 64, 1));
+        ops.push_back(conv(b + "_5x5a", hw, hw, c, 1, 48, 1));
+        ops.push_back(conv(b + "_5x5b", hw, hw, 48, 5, 64, 1));
+        ops.push_back(conv(b + "_3x3a", hw, hw, c, 1, 64, 1));
+        ops.push_back(conv(b + "_3x3b", hw, hw, 64, 3, 96, 1));
+        ops.push_back(conv(b + "_3x3c", hw, hw, 96, 3, 96, 1));
+        ops.push_back(conv(b + "_poolproj", hw, hw, c, 1,
+                           i == 0 ? 32 : 64, 1));
+        c = (i == 0) ? 256 : 288;
+    }
+
+    // Reduction-A to 13x13 / 768.
+    ops.push_back(conv("redA_3x3", hw, hw, 288, 3, 384, 2));
+    ops.push_back(conv("redA_dbl_a", hw, hw, 288, 1, 64, 1));
+    ops.push_back(conv("redA_dbl_b", hw, hw, 64, 3, 96, 1));
+    ops.push_back(conv("redA_dbl_c", hw, hw, 96, 3, 96, 2));
+    hw = 12;
+    c = 768;
+
+    // 4x Inception-B (factorized 7x7) at 13x13 / 768.
+    const int seven[4] = {128, 160, 160, 192};
+    for (int i = 0; i < 4; ++i) {
+        const std::string b = "mixedB" + std::to_string(i);
+        const int s = seven[i];
+        ops.push_back(conv(b + "_1x1", hw, hw, c, 1, 192, 1));
+        ops.push_back(conv(b + "_7a", hw, hw, c, 1, s, 1));
+        ops.push_back(convRect(b + "_7b", hw, hw, s, 1, 7, s));
+        ops.push_back(convRect(b + "_7c", hw, hw, s, 7, 1, 192));
+        ops.push_back(conv(b + "_d7a", hw, hw, c, 1, s, 1));
+        ops.push_back(convRect(b + "_d7b", hw, hw, s, 7, 1, s));
+        ops.push_back(convRect(b + "_d7c", hw, hw, s, 1, 7, s));
+        ops.push_back(convRect(b + "_d7d", hw, hw, s, 7, 1, s));
+        ops.push_back(convRect(b + "_d7e", hw, hw, s, 1, 7, 192));
+        ops.push_back(conv(b + "_poolproj", hw, hw, c, 1, 192, 1));
+    }
+
+    // Reduction-B to 6x6 / 1280.
+    ops.push_back(conv("redB_a", hw, hw, c, 1, 192, 1));
+    ops.push_back(conv("redB_b", hw, hw, 192, 3, 320, 2));
+    ops.push_back(conv("redB_c", hw, hw, c, 1, 192, 1));
+    ops.push_back(convRect("redB_d", hw, hw, 192, 1, 7, 192));
+    ops.push_back(convRect("redB_e", hw, hw, 192, 7, 1, 192));
+    ops.push_back(conv("redB_f", hw, hw, 192, 3, 192, 2));
+    hw = 6;
+    c = 1280;
+
+    // 2x Inception-C at 6x6 (1280 -> 2048).
+    for (int i = 0; i < 2; ++i) {
+        const std::string b = "mixedC" + std::to_string(i);
+        ops.push_back(conv(b + "_1x1", hw, hw, c, 1, 320, 1));
+        ops.push_back(conv(b + "_3a", hw, hw, c, 1, 384, 1));
+        ops.push_back(convRect(b + "_3b1", hw, hw, 384, 1, 3, 384));
+        ops.push_back(convRect(b + "_3b2", hw, hw, 384, 3, 1, 384));
+        ops.push_back(conv(b + "_d3a", hw, hw, c, 1, 448, 1));
+        ops.push_back(conv(b + "_d3b", hw, hw, 448, 3, 384, 1));
+        ops.push_back(convRect(b + "_d3c1", hw, hw, 384, 1, 3, 384));
+        ops.push_back(convRect(b + "_d3c2", hw, hw, 384, 3, 1, 384));
+        ops.push_back(conv(b + "_poolproj", hw, hw, c, 1, 192, 1));
+        c = 2048;
+    }
+    ops.push_back(pool("avgpool", 6, 6, 2048, 6, 6));
+    ops.push_back(fc("fc1000", 2048, 1000));
+    return wl;
+}
+
+Workload
+nasnetALarge()
+{
+    // NASNet-A-Large (6@4032-class cell structure) at 224x224. Each
+    // normal cell: five blocks mixing separable 3x3/5x5/7x7 convs and
+    // pools on a `f`-channel stream; reduction cells halve the grid
+    // and double the filters.
+    Workload wl;
+    wl.name = "NasNet";
+    auto &ops = wl.ops;
+
+    ops.push_back(conv("stem", 224, 224, 3, 3, 96, 2));
+
+    int hw = 112;
+    int c = 96;
+    int f = 192;
+
+    auto normal_cell = [&](const std::string &base, int cell_hw, int cin,
+                           int filters) {
+        // 1x1 squeezes on the two cell inputs.
+        ops.push_back(conv(base + "_sq0", cell_hw, cell_hw, cin, 1,
+                           filters, 1));
+        ops.push_back(conv(base + "_sq1", cell_hw, cell_hw, cin, 1,
+                           filters, 1));
+        // Five blocks: sep5x5+sep3x3, sep5x5+sep3x3, avg+id,
+        // avg+avg, sep3x3+id (NASNet-A normal cell).
+        sepConv(base + "_b0a", cell_hw, cell_hw, filters, 5, filters, 1,
+                &ops);
+        sepConv(base + "_b0b", cell_hw, cell_hw, filters, 3, filters, 1,
+                &ops);
+        sepConv(base + "_b1a", cell_hw, cell_hw, filters, 5, filters, 1,
+                &ops);
+        sepConv(base + "_b1b", cell_hw, cell_hw, filters, 3, filters, 1,
+                &ops);
+        ops.push_back(pool(base + "_b2", cell_hw, cell_hw, filters, 3,
+                           1));
+        ops.push_back(pool(base + "_b3a", cell_hw, cell_hw, filters, 3,
+                           1));
+        ops.push_back(pool(base + "_b3b", cell_hw, cell_hw, filters, 3,
+                           1));
+        sepConv(base + "_b4", cell_hw, cell_hw, filters, 3, filters, 1,
+                &ops);
+        // Concatenated output: ~6 streams of `filters`.
+    };
+
+    auto reduction_cell = [&](const std::string &base, int cell_hw,
+                              int cin, int filters) {
+        ops.push_back(conv(base + "_sq", cell_hw, cell_hw, cin, 1,
+                           filters, 1));
+        sepConv(base + "_r0", cell_hw, cell_hw, filters, 5, filters, 2,
+                &ops);
+        sepConv(base + "_r1", cell_hw, cell_hw, filters, 7, filters, 2,
+                &ops);
+        sepConv(base + "_r2", cell_hw, cell_hw, filters, 5, filters, 2,
+                &ops);
+        sepConv(base + "_r3", cell_hw / 2, cell_hw / 2, filters, 3,
+                filters, 1, &ops);
+        ops.push_back(pool(base + "_rp", cell_hw, cell_hw, filters, 3,
+                           2));
+    };
+
+    // Two stem reduction cells down to 28x28.
+    reduction_cell("stem_r1", hw, c, f / 2);
+    hw /= 2;
+    c = 6 * f / 2;
+    reduction_cell("stem_r2", hw, c, f);
+    hw /= 2;
+    c = 6 * f;
+
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int n = 0; n < 6; ++n) {
+            normal_cell("s" + std::to_string(stage) + "_n" +
+                            std::to_string(n),
+                        hw, c, f);
+            c = 6 * f;
+        }
+        if (stage < 2) {
+            f *= 2;
+            reduction_cell("s" + std::to_string(stage) + "_red", hw, c,
+                           f);
+            hw /= 2;
+            c = 6 * f;
+        }
+    }
+    ops.push_back(pool("avgpool", hw, hw, c, hw, hw));
+    ops.push_back(fc("fc1000", c, 1000));
+    return wl;
+}
+
+Workload
+alexnet()
+{
+    Workload wl;
+    wl.name = "AlexNet";
+    auto &ops = wl.ops;
+    ops.push_back(conv("conv1", 227, 227, 3, 11, 96, 4));
+    ops.push_back(pool("pool1", 55, 55, 96, 3, 2));
+    ops.push_back(conv("conv2", 27, 27, 96, 5, 256, 1));
+    ops.push_back(pool("pool2", 27, 27, 256, 3, 2));
+    ops.push_back(conv("conv3", 13, 13, 256, 3, 384, 1));
+    ops.push_back(conv("conv4", 13, 13, 384, 3, 384, 1));
+    ops.push_back(conv("conv5", 13, 13, 384, 3, 256, 1));
+    ops.push_back(pool("pool5", 13, 13, 256, 3, 2));
+    ops.push_back(fc("fc6", 9216, 4096));
+    ops.push_back(fc("fc7", 4096, 4096));
+    ops.push_back(fc("fc8", 4096, 1000));
+    return wl;
+}
+
+} // namespace neurometer

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ML workload descriptors: operator-level tables of CNN models with the
+ * compute/footprint accounting used across the case studies (paper
+ * Table II). Operations count 2 per MAC (multiply + accumulate),
+ * consistent with the peak-TOPS accounting (92 TOPS = 2 * 64 K MACs *
+ * 700 MHz for TPU-v1 geometry).
+ */
+
+#ifndef NEUROMETER_PERF_WORKLOAD_HH
+#define NEUROMETER_PERF_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace neurometer {
+
+/** Operator kinds the mapper understands. */
+enum class OpKind {
+    Conv2D,
+    DepthwiseConv2D,
+    MatMul,
+    Pool,
+    Activation,
+    EltwiseAdd,
+};
+
+/** The GEMM view of an operator after im2col lowering. */
+struct GemmShape
+{
+    double m = 0.0; ///< output rows (batch * out pixels)
+    double k = 0.0; ///< reduction depth (cin * kh * kw)
+    double n = 0.0; ///< output channels
+};
+
+/** One operator in a model graph (per-sample shapes). */
+struct Op
+{
+    OpKind kind = OpKind::Conv2D;
+    std::string name;
+
+    // Spatial operator fields (Conv/Pool/Depthwise).
+    int h = 0, w = 0;     ///< input spatial dims
+    int cin = 0;
+    int kh = 1, kw = 1;
+    int cout = 0;
+    int stride = 1;
+
+    // MatMul fields (per sample): out = [1 x k] * [k x n].
+    double mmK = 0.0, mmN = 0.0;
+
+    int outH() const;
+    int outW() const;
+
+    /** Arithmetic ops per sample (2 per MAC; pooling/eltwise 1/elem). */
+    double opsPerSample() const;
+
+    /** Parameter bytes (int8 weights). */
+    double paramBytes() const;
+
+    double inActBytes() const;  ///< int8 activations in
+    double outActBytes() const; ///< int8 activations out
+
+    /** im2col GEMM shape with the batch folded into M. */
+    GemmShape gemm(int batch) const;
+
+    /** True for operators executed on the TU (GEMM-shaped). */
+    bool isTensorOp() const;
+};
+
+/** A whole model: named list of operators. */
+struct Workload
+{
+    std::string name;
+    std::vector<Op> ops;
+
+    /** Total arithmetic ops per sample (Table II "#MAC Op"). */
+    double totalOps() const;
+
+    /** Total parameter bytes (Table II "#Param", int8). */
+    double totalParamBytes() const;
+
+    /**
+     * Peak transient activation footprint per frame (Table II
+     * "#Data"): live-set estimate under ping-pong buffer reuse —
+     * half the total activation volume.
+     */
+    double peakDataBytes() const;
+
+    /** Total activation bytes written across the graph. */
+    double totalActivationBytes() const;
+};
+
+/** @name Model zoo used in the paper's case study (all at 224x224) */
+/** @{ */
+Workload resnet50();
+Workload inceptionV3();
+Workload nasnetALarge();
+/** AlexNet (for the Eyeriss runtime-power validation, Fig. 5). */
+Workload alexnet();
+/** @} */
+
+} // namespace neurometer
+
+#endif // NEUROMETER_PERF_WORKLOAD_HH

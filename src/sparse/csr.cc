@@ -1,0 +1,76 @@
+#include "sparse/csr.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+TiledCsrSize
+tiledCsrSize(const SparseMatrix &m, int tile)
+{
+    requireConfig(tile >= 1, "tile must be >= 1");
+    TiledCsrSize sz;
+    sz.valueBytes = m.nnz();
+    sz.colIndexBytes = m.nnz(); // one byte per nnz (intra-tile column)
+    // One byte per row of every tile (intra-submatrix row index).
+    sz.rowIndexBytes = std::ceil(double(m.cols()) / tile) * m.rows();
+    sz.tileIndexBytes = 2.0 * std::ceil(double(m.rows()) / tile) *
+                        std::ceil(double(m.cols()) / tile);
+    return sz;
+}
+
+double
+csrBeta(const SparseMatrix &m, int tile)
+{
+    const double dense_bytes = double(m.rows()) * m.cols();
+    const double x = m.nonZeroRatio();
+    requireConfig(x > 0.0, "beta undefined for an all-zero matrix");
+    return tiledCsrSize(m, tile).total() / (x * dense_bytes);
+}
+
+CsrMatrix::CsrMatrix(const SparseMatrix &m, float value_scale)
+    : _rows(m.rows()), _cols(m.cols())
+{
+    _indptr.reserve(_rows + 1);
+    _indptr.push_back(0);
+    for (int r = 0; r < _rows; ++r) {
+        for (int c = 0; c < _cols; ++c) {
+            if (m.isNonZero(r, c)) {
+                _indices.push_back(c);
+                // Deterministic, position-derived value.
+                _values.push_back(value_scale *
+                                  (1.0f + float((r * 31 + c) % 7)));
+            }
+        }
+        _indptr.push_back(static_cast<int>(_indices.size()));
+    }
+}
+
+std::vector<float>
+CsrMatrix::spmv(const std::vector<float> &x) const
+{
+    requireConfig(static_cast<int>(x.size()) == _cols,
+                  "SpMV vector length mismatch");
+    std::vector<float> y(_rows, 0.0f);
+    for (int r = 0; r < _rows; ++r) {
+        float acc = 0.0f;
+        for (int i = _indptr[r]; i < _indptr[r + 1]; ++i)
+            acc += _values[i] * x[_indices[i]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+std::vector<float>
+CsrMatrix::toDense() const
+{
+    std::vector<float> d(static_cast<size_t>(_rows) * _cols, 0.0f);
+    for (int r = 0; r < _rows; ++r)
+        for (int i = _indptr[r]; i < _indptr[r + 1]; ++i)
+            d[static_cast<size_t>(r) * _cols + _indices[i]] =
+                _values[i];
+    return d;
+}
+
+} // namespace neurometer

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tiled CSR encoding per the paper's Sec. IV scheme: the weight matrix
+ * is tiled into 256x256 submatrices; each int8 non-zero carries one
+ * byte of column index, each tiled row one byte of intra-tile row
+ * index, and each tile two bytes of tile index. The resulting storage
+ * overhead factor beta lands in the paper's [2.0, 2.5] range.
+ *
+ * A functional CSR (indptr/indices) with SpMV is included so the
+ * encoding invariants are testable against a dense reference.
+ */
+
+#ifndef NEUROMETER_SPARSE_CSR_HH
+#define NEUROMETER_SPARSE_CSR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/sparse_matrix.hh"
+
+namespace neurometer {
+
+/** Size accounting of the paper's tiled CSR encoding. */
+struct TiledCsrSize
+{
+    double valueBytes = 0.0;
+    double colIndexBytes = 0.0;
+    double rowIndexBytes = 0.0;
+    double tileIndexBytes = 0.0;
+
+    double total() const
+    {
+        return valueBytes + colIndexBytes + rowIndexBytes +
+               tileIndexBytes;
+    }
+};
+
+/** Compute the tiled-CSR footprint of an occupancy matrix. */
+TiledCsrSize tiledCsrSize(const SparseMatrix &m, int tile = 256);
+
+/**
+ * The paper's beta: sparse bytes / (x * dense bytes), i.e. the storage
+ * blow-up per retained non-zero relative to dense int8.
+ */
+double csrBeta(const SparseMatrix &m, int tile = 256);
+
+/** A real CSR matrix supporting SpMV, for functional testing. */
+class CsrMatrix
+{
+  public:
+    /** Build from an occupancy mask, assigning each nnz a value. */
+    CsrMatrix(const SparseMatrix &m, float value_scale = 1.0f);
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+    std::size_t nnz() const { return _indices.size(); }
+
+    /** y = A * x (dense vector in, dense vector out). */
+    std::vector<float> spmv(const std::vector<float> &x) const;
+
+    /** Reconstruct the dense matrix (row-major) for verification. */
+    std::vector<float> toDense() const;
+
+  private:
+    int _rows;
+    int _cols;
+    std::vector<int> _indptr;
+    std::vector<int> _indices;
+    std::vector<float> _values;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_SPARSE_CSR_HH

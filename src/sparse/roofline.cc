@@ -1,0 +1,71 @@
+#include "sparse/roofline.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace neurometer {
+
+SparseRoofline::SparseRoofline(const ChipModel &chip, SkipScheme scheme,
+                               int skip_size, double alpha)
+    : _chip(chip), _scheme(scheme), _skipSize(skip_size), _alpha(alpha)
+{
+    requireConfig(skip_size >= 1, "skip size must be >= 1");
+    requireConfig(alpha > 0.0, "alpha must be > 0");
+}
+
+SparseRunResult
+SparseRoofline::eval(const SpmvProblem &prob,
+                     const SparseMatrix &weights) const
+{
+    requireConfig(prob.m == weights.rows() && prob.n == weights.cols(),
+                  "problem/matrix shape mismatch");
+    requireConfig(prob.m >= 1024 && prob.n >= 1024 && prob.k >= 32,
+                  "Sec. IV requires M,N >= 1024 and K >= 32 for "
+                  "sufficient parallelism");
+
+    SparseRunResult r;
+    r.x = weights.nonZeroRatio();
+    r.beta = csrBeta(weights);
+    const double skipped =
+        _scheme == SkipScheme::TensorBlock
+            ? weights.zeroBlockFraction(_skipSize, _skipSize)
+            : weights.zeroVectorFraction(_skipSize);
+    r.y = 1.0 - skipped;
+
+    // Dense problem terms (int8).
+    const double C = 2.0 * double(prob.m) * prob.n * prob.k; // ops
+    const double s_w = double(prob.m) * prob.n;              // bytes
+    const double s_v = double(prob.n + prob.m) * prob.k;     // in+out
+    const double F = _chip.peakTops() * units::tera;
+    const double B = _chip.config().offchipBwBytesPerS;
+
+    r.tDenseS = std::max(C / F, (s_v + s_w) / B);
+    r.tSparseS = std::max(_alpha * r.y * C / F,
+                          (s_v + r.beta * r.x * s_w) / B);
+
+    // Runtime powers from NeuroMeter at each run's activity.
+    RuntimeStats dense;
+    dense.tuOpsPerS = C / r.tDenseS;
+    dense.offchipBytesPerS = (s_v + s_w) / r.tDenseS;
+    dense.memReadBytesPerS = (s_v + s_w) / r.tDenseS;
+    dense.memWriteBytesPerS = double(prob.m) * prob.k / r.tDenseS;
+    dense.vregBytesPerS = dense.tuOpsPerS;
+    r.denseP = _chip.runtimePower(dense);
+
+    RuntimeStats sparse;
+    sparse.tuOpsPerS = _alpha * r.y * C / r.tSparseS;
+    sparse.offchipBytesPerS =
+        (s_v + r.beta * r.x * s_w) / r.tSparseS;
+    sparse.memReadBytesPerS = sparse.offchipBytesPerS;
+    sparse.memWriteBytesPerS = double(prob.m) * prob.k / r.tSparseS;
+    sparse.vregBytesPerS = sparse.tuOpsPerS;
+    r.sparseP = _chip.runtimePower(sparse);
+
+    r.energyEfficiencyGain = (r.denseP.total() * r.tDenseS) /
+                             (r.sparseP.total() * r.tSparseS);
+    return r;
+}
+
+} // namespace neurometer

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Sec. IV sparse roofline model:
+ *
+ *   t_d = max(C/F, (S_V + S_W)/B)
+ *   t_s = max(alpha*y*C/F, (S_V + beta*x*S_W)/B)
+ *   gain = (P_d * t_d) / (P_s * t_s)
+ *
+ * where C is dense compute, F/B the machine's compute/bandwidth, x the
+ * non-zero ratio, beta the CSR storage blow-up, y the compute left
+ * after block/vector zero-skipping, and P the NeuroMeter runtime
+ * powers of the dense and sparse runs.
+ */
+
+#ifndef NEUROMETER_SPARSE_ROOFLINE_HH
+#define NEUROMETER_SPARSE_ROOFLINE_HH
+
+#include "chip/chip.hh"
+#include "sparse/csr.hh"
+#include "sparse/sparse_matrix.hh"
+
+namespace neurometer {
+
+/** Which zero-skip scheme the compute units implement. */
+enum class SkipScheme {
+    TensorBlock, ///< skip TU-sized all-zero weight blocks
+    RtVector,    ///< skip RT-width all-zero weight vectors
+};
+
+/** SpMV problem: weight [M x N] (sparse), batched vectors [N x K]. */
+struct SpmvProblem
+{
+    int m = 1024;
+    int n = 1024;
+    int k = 32;
+};
+
+/** Evaluation of one sparsity point on one machine. */
+struct SparseRunResult
+{
+    double x = 0.0;      ///< achieved non-zero ratio
+    double beta = 0.0;   ///< CSR storage factor
+    double y = 0.0;      ///< compute fraction surviving zero-skip
+    double tDenseS = 0.0;
+    double tSparseS = 0.0;
+    Power denseP;
+    Power sparseP;
+    double energyEfficiencyGain = 0.0; ///< (Pd*td)/(Ps*ts)
+};
+
+/** Roofline evaluator bound to a chip and its skip granularity. */
+class SparseRoofline
+{
+  public:
+    /**
+     * @param skip_size TU edge length (TensorBlock) or RT input width
+     *                  (RtVector) — the zero-skip granularity.
+     * @param alpha     CSR decode compute overhead (paper sets 1.0).
+     */
+    SparseRoofline(const ChipModel &chip, SkipScheme scheme,
+                   int skip_size, double alpha = 1.0);
+
+    /** Evaluate one generated weight matrix on this machine. */
+    SparseRunResult eval(const SpmvProblem &prob,
+                         const SparseMatrix &weights) const;
+
+  private:
+    const ChipModel &_chip;
+    SkipScheme _scheme;
+    int _skipSize;
+    double _alpha;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_SPARSE_ROOFLINE_HH

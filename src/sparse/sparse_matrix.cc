@@ -1,0 +1,81 @@
+#include "sparse/sparse_matrix.hh"
+
+#include <random>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+SparseMatrix::SparseMatrix(const SparseGenConfig &cfg)
+    : _rows(cfg.rows), _cols(cfg.cols)
+{
+    requireConfig(cfg.rows > 0 && cfg.cols > 0, "matrix dims must be > 0");
+    requireConfig(cfg.sparsity >= 0.0 && cfg.sparsity < 1.0,
+                  "sparsity must be in [0, 1)");
+    requireConfig(cfg.patch >= 1, "patch must be >= 1");
+    requireConfig(cfg.clustering >= 0.0 && cfg.clustering <= 1.0,
+                  "clustering must be in [0, 1]");
+
+    _mask.assign(static_cast<size_t>(_rows) * _cols, 1);
+    std::mt19937_64 rng(cfg.seed);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+    // Split the zero budget: p of all elements die as whole patches,
+    // the rest as element salt inside surviving patches.
+    const double p_patch = cfg.clustering * cfg.sparsity;
+    const double q_elem =
+        p_patch < 1.0
+            ? (cfg.sparsity - p_patch) / (1.0 - p_patch)
+            : 0.0;
+
+    const int pr = (_rows + cfg.patch - 1) / cfg.patch;
+    const int pc = (_cols + cfg.patch - 1) / cfg.patch;
+    std::vector<std::uint8_t> patch_dead(
+        static_cast<size_t>(pr) * pc, 0);
+    for (auto &d : patch_dead)
+        d = uni(rng) < p_patch ? 1 : 0;
+
+    double nnz = 0.0;
+    for (int r = 0; r < _rows; ++r) {
+        const int prow = r / cfg.patch;
+        for (int c = 0; c < _cols; ++c) {
+            const int pcol = c / cfg.patch;
+            std::uint8_t alive = 1;
+            if (patch_dead[static_cast<size_t>(prow) * pc + pcol])
+                alive = 0;
+            else if (q_elem > 0.0 && uni(rng) < q_elem)
+                alive = 0;
+            _mask[static_cast<size_t>(r) * _cols + c] = alive;
+            nnz += alive;
+        }
+    }
+    _nnz = nnz;
+}
+
+double
+SparseMatrix::zeroBlockFraction(int bh, int bw) const
+{
+    requireConfig(bh >= 1 && bw >= 1, "block dims must be >= 1");
+    const int br = _rows / bh;
+    const int bc = _cols / bw;
+    requireModel(br >= 1 && bc >= 1, "block larger than matrix");
+
+    long zero_blocks = 0;
+    for (int b = 0; b < br; ++b) {
+        for (int d = 0; d < bc; ++d) {
+            bool all_zero = true;
+            for (int r = b * bh; all_zero && r < (b + 1) * bh; ++r) {
+                for (int c = d * bw; c < (d + 1) * bw; ++c) {
+                    if (isNonZero(r, c)) {
+                        all_zero = false;
+                        break;
+                    }
+                }
+            }
+            zero_blocks += all_zero ? 1 : 0;
+        }
+    }
+    return double(zero_blocks) / (double(br) * bc);
+}
+
+} // namespace neurometer

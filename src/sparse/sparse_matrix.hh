@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic sparse weight-matrix generator for the Sec. IV mini-study.
+ *
+ * Zeros in pruned ML weights cluster spatially; the generator models
+ * that with two levels: square zero *patches* (default 4x4) plus
+ * independent element-level zeros inside live patches. Block-aligned
+ * zero-skip opportunities then emerge naturally: an XxX tile is
+ * skippable only when every patch it covers is zero, which stays
+ * negligible for brawny tiles (32x32) until extreme sparsity but rises
+ * sharply past ~0.9 for wimpy tiles (8x8) — the knee in Fig. 11.
+ */
+
+#ifndef NEUROMETER_SPARSE_SPARSE_MATRIX_HH
+#define NEUROMETER_SPARSE_SPARSE_MATRIX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neurometer {
+
+/** Generation parameters. */
+struct SparseGenConfig
+{
+    int rows = 1024;
+    int cols = 1024;
+    /** Target fraction of zero elements, in [0, 1). */
+    double sparsity = 0.5;
+    /** Zero-patch edge (clustering granularity). */
+    int patch = 4;
+    /**
+     * Fraction of the zero budget spent on whole patches (the rest is
+     * element-wise salt). 1.0 = fully clustered.
+     */
+    double clustering = 0.85;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** A generated sparse 0/1 occupancy matrix with analysis helpers. */
+class SparseMatrix
+{
+  public:
+    explicit SparseMatrix(const SparseGenConfig &cfg);
+
+    int rows() const { return _rows; }
+    int cols() const { return _cols; }
+
+    bool isNonZero(int r, int c) const
+    {
+        return _mask[static_cast<std::size_t>(r) * _cols + c] != 0;
+    }
+
+    /** Number of non-zero elements. */
+    double nnz() const { return _nnz; }
+
+    /** Achieved non-zero ratio x = nnz / (rows*cols). */
+    double nonZeroRatio() const
+    {
+        return _nnz / (double(_rows) * _cols);
+    }
+
+    /**
+     * Fraction of bh x bw aligned blocks that are entirely zero —
+     * the TU block-wise zero-skip opportunity.
+     */
+    double zeroBlockFraction(int bh, int bw) const;
+
+    /** Fraction of 1 x len aligned row chunks entirely zero (RT). */
+    double zeroVectorFraction(int len) const
+    {
+        return zeroBlockFraction(1, len);
+    }
+
+  private:
+    int _rows;
+    int _cols;
+    double _nnz = 0.0;
+    std::vector<std::uint8_t> _mask;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_SPARSE_SPARSE_MATRIX_HH

@@ -1,0 +1,187 @@
+#include "tech/tech_node.hh"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+namespace {
+
+/** Raw tabulated values at one published node (at the default supply). */
+struct NodeRow
+{
+    double nodeNm;
+    double vdd;
+
+    double fo4Ps;
+    double cGateFfPerUm;
+    double rOnOhmUm;
+    double iOffNaPerUm;
+
+    double nand2AreaUm2;
+    double nand2CapFf;
+    double nand2LeakNw;
+
+    double sramCellUm2;
+    double sramLeakPw;
+    double sramBlCapFf;
+
+    // r (ohm/um), c (fF/um), pitch (um) for local/intermediate/global.
+    double wl[3];
+    double wc[3];
+    double wp[3];
+};
+
+/**
+ * Calibration table. Values are representative published/ITRS-class
+ * numbers; the chip-level validation benches (Figs. 3-5) are the ground
+ * truth these were fit against, in the same spirit as the paper's
+ * Design-Compiler curve fitting.
+ */
+constexpr std::array<NodeRow, 6> nodeTable = {{
+    //  nm   vdd  fo4   cg    ron   ioff  nA2   cA2   lkA2  sram   slk   sbl
+    { 65.0, 1.00, 22.0, 1.00, 9000,  30.0, 1.90, 3.60, 18.0, 0.525, 18.0, 0.110,
+      { 2.0, 0.80, 0.15 }, { 0.20, 0.22, 0.24 }, { 0.20, 0.40, 0.80 } },
+    { 45.0, 0.95, 15.5, 1.00, 9500,  40.0, 1.06, 2.40, 14.0, 0.299, 14.0, 0.085,
+      { 3.2, 1.10, 0.18 }, { 0.19, 0.21, 0.23 }, { 0.14, 0.28, 0.60 } },
+    { 28.0, 0.86, 10.0, 1.05, 10500, 45.0, 0.49, 1.55,  9.0, 0.127,  9.0, 0.060,
+      { 6.0, 2.00, 0.28 }, { 0.18, 0.20, 0.23 }, { 0.09, 0.18, 0.45 } },
+    { 16.0, 0.75,  6.2, 1.10, 11500, 35.0, 0.23, 0.95,  5.0, 0.074,  5.0, 0.042,
+      { 15.0, 4.50, 0.50 }, { 0.17, 0.19, 0.22 }, { 0.055, 0.11, 0.30 } },
+    { 12.0, 0.75,  5.4, 1.10, 12000, 32.0, 0.17, 0.80,  4.2, 0.070,  4.5, 0.038,
+      { 21.0, 6.00, 0.65 }, { 0.17, 0.19, 0.22 }, { 0.045, 0.09, 0.26 } },
+    {  7.0, 0.70,  3.8, 1.15, 13000, 28.0, 0.062, 0.50, 2.8, 0.027,  3.0, 0.028,
+      { 45.0, 12.0, 1.10 }, { 0.16, 0.18, 0.21 }, { 0.028, 0.06, 0.18 } },
+}};
+
+static_assert(nodeTable.size() == 6);
+
+/** Log-space interpolation between two values at two nodes. */
+double
+interp(double node, double n0, double n1, double v0, double v1)
+{
+    if (v0 <= 0.0 || v1 <= 0.0) {
+        // Linear fallback for zero/negative entries (not expected).
+        const double t = (node - n0) / (n1 - n0);
+        return v0 + t * (v1 - v0);
+    }
+    const double t = (std::log(node) - std::log(n0)) /
+                     (std::log(n1) - std::log(n0));
+    return std::exp(std::log(v0) + t * (std::log(v1) - std::log(v0)));
+}
+
+NodeRow
+rowFor(double node_nm)
+{
+    // Table is ordered from the largest node to the smallest.
+    const NodeRow &first = nodeTable.front();
+    const NodeRow &last = nodeTable.back();
+    requireConfig(node_nm <= first.nodeNm && node_nm >= last.nodeNm,
+                  "technology node outside supported range [7, 65] nm");
+
+    for (const NodeRow &row : nodeTable)
+        if (row.nodeNm == node_nm)
+            return row;
+
+    // Find the bracketing rows and interpolate every field.
+    for (size_t i = 0; i + 1 < nodeTable.size(); ++i) {
+        const NodeRow &hi = nodeTable[i];
+        const NodeRow &lo = nodeTable[i + 1];
+        if (node_nm < hi.nodeNm && node_nm > lo.nodeNm) {
+            NodeRow out{};
+            out.nodeNm = node_nm;
+            auto f = [&](double a, double b) {
+                return interp(node_nm, hi.nodeNm, lo.nodeNm, a, b);
+            };
+            out.vdd = f(hi.vdd, lo.vdd);
+            out.fo4Ps = f(hi.fo4Ps, lo.fo4Ps);
+            out.cGateFfPerUm = f(hi.cGateFfPerUm, lo.cGateFfPerUm);
+            out.rOnOhmUm = f(hi.rOnOhmUm, lo.rOnOhmUm);
+            out.iOffNaPerUm = f(hi.iOffNaPerUm, lo.iOffNaPerUm);
+            out.nand2AreaUm2 = f(hi.nand2AreaUm2, lo.nand2AreaUm2);
+            out.nand2CapFf = f(hi.nand2CapFf, lo.nand2CapFf);
+            out.nand2LeakNw = f(hi.nand2LeakNw, lo.nand2LeakNw);
+            out.sramCellUm2 = f(hi.sramCellUm2, lo.sramCellUm2);
+            out.sramLeakPw = f(hi.sramLeakPw, lo.sramLeakPw);
+            out.sramBlCapFf = f(hi.sramBlCapFf, lo.sramBlCapFf);
+            for (int k = 0; k < 3; ++k) {
+                out.wl[k] = f(hi.wl[k], lo.wl[k]);
+                out.wc[k] = f(hi.wc[k], lo.wc[k]);
+                out.wp[k] = f(hi.wp[k], lo.wp[k]);
+            }
+            return out;
+        }
+    }
+    throw ModelError("tech node interpolation failed");
+}
+
+} // namespace
+
+TechNode
+TechNode::make(double node_nm, double vdd_volt)
+{
+    NodeRow row = rowFor(node_nm);
+
+    TechNode t;
+    t._nodeNm = node_nm;
+    t._vdd = vdd_volt > 0.0 ? vdd_volt : row.vdd;
+
+    const double vr = t._vdd / row.vdd;
+    // Energy ~ C V^2 (the V^2 is applied where energy is computed from the
+    // stored caps; caps themselves are supply-independent). Delay worsens
+    // roughly ~1/V near nominal; leakage follows ~V^3 empirically.
+    t._vddEnergyScale = vr * vr;
+    const double delay_scale = 1.0 / vr;
+    const double leak_scale = vr * vr * vr;
+
+    t._fo4S = row.fo4Ps * 1e-12 * delay_scale;
+    t._cGateFPerUm = row.cGateFfPerUm * 1e-15;
+    t._rOnOhmUm = row.rOnOhmUm * delay_scale;
+    t._iOffAPerUm = row.iOffNaPerUm * 1e-9 * leak_scale;
+
+    t._nand2AreaUm2 = row.nand2AreaUm2;
+    t._nand2CapF = row.nand2CapFf * 1e-15;
+    t._nand2LeakW = row.nand2LeakNw * 1e-9 * leak_scale;
+
+    // A standard DFF is ~4.5 NAND2 of area and ~3x the switched cap; its
+    // internal clock buffering leaks ~4x a NAND2.
+    t._dffAreaUm2 = 4.5 * row.nand2AreaUm2;
+    t._dffCapF = 3.0 * row.nand2CapFf * 1e-15;
+    t._dffLeakW = 4.0 * t._nand2LeakW;
+
+    t._sramCellUm2 = row.sramCellUm2;
+    t._sramCellLeakW = row.sramLeakPw * 1e-12 * leak_scale;
+    t._sramCellBlCapF = row.sramBlCapFf * 1e-15;
+    // Refresh energy amortizes to a small constant per bit.
+    t._edramRefreshWPerBit = 2.0e-12;
+
+    auto mk = [&](int k) {
+        WireParams w;
+        w.rOhmPerUm = row.wl[k];
+        w.cFPerUm = row.wc[k] * 1e-15;
+        w.pitchUm = row.wp[k];
+        return w;
+    };
+    t._wireLocal = mk(0);
+    t._wireIntermediate = mk(1);
+    t._wireGlobal = mk(2);
+    return t;
+}
+
+const WireParams &
+TechNode::wire(WireLayer layer) const
+{
+    switch (layer) {
+      case WireLayer::Local:
+        return _wireLocal;
+      case WireLayer::Intermediate:
+        return _wireIntermediate;
+      case WireLayer::Global:
+        return _wireGlobal;
+    }
+    throw ModelError("unknown wire layer");
+}
+
+} // namespace neurometer

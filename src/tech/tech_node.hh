@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Technology-node parameter model.
+ *
+ * NeuroMeter maps every architectural component down to standard-cell
+ * logic, memory cells, and wires. This file holds the per-node backend
+ * parameters those mappings consume. Parameters are tabulated at discrete
+ * published nodes (65/45/28/16/12/7 nm) and geometrically interpolated in
+ * between; supply voltage can be overridden, rescaling energy (~V^2) and
+ * leakage (~V^3, an empirical fit of the sub/near-threshold slope).
+ *
+ * Anchors are public foundry/ITRS-style values (see DESIGN.md Sec. 5).
+ */
+
+#ifndef NEUROMETER_TECH_TECH_NODE_HH
+#define NEUROMETER_TECH_TECH_NODE_HH
+
+namespace neurometer {
+
+/** Metal stack layer classes used by the wire models. */
+enum class WireLayer { Local, Intermediate, Global };
+
+/** Per-layer distributed wire parasitics. */
+struct WireParams
+{
+    double rOhmPerUm = 0.0;
+    double cFPerUm = 0.0;
+    double pitchUm = 0.0;
+};
+
+/**
+ * All circuit/technology-level parameters at one node and supply voltage.
+ * Construct via TechNode::make().
+ */
+class TechNode
+{
+  public:
+    /**
+     * Build the parameter set for a feature size.
+     *
+     * @param node_nm   drawn feature size in nm, within [7, 65]
+     * @param vdd_volt  supply override; <= 0 selects the node default
+     */
+    static TechNode make(double node_nm, double vdd_volt = 0.0);
+
+    double nodeNm() const { return _nodeNm; }
+    double vdd() const { return _vdd; }
+
+    /** @name Device primitives */
+    /** @{ */
+    /** FO4 inverter delay (s): the unit of logic-depth timing. */
+    double fo4S() const { return _fo4S; }
+    /** Transistor gate capacitance per um of width (F/um). */
+    double cGateFPerUm() const { return _cGateFPerUm; }
+    /** Drive resistance x width of a minimum device (ohm*um). */
+    double rOnOhmUm() const { return _rOnOhmUm; }
+    /** Off-state leakage current per um width (A/um). */
+    double iOffAPerUm() const { return _iOffAPerUm; }
+    /** @} */
+
+    /** @name Standard-cell library (NAND2-equivalent currency) */
+    /** @{ */
+    double nand2AreaUm2() const { return _nand2AreaUm2; }
+    /** Switched capacitance per NAND2 output transition (F). */
+    double nand2CapF() const { return _nand2CapF; }
+    /** NAND2 leakage power (W). */
+    double nand2LeakW() const { return _nand2LeakW; }
+    /** Dynamic energy of one NAND2 transition (J). */
+    double nand2EnergyJ() const { return _nand2CapF * _vdd * _vdd; }
+
+    double dffAreaUm2() const { return _dffAreaUm2; }
+    /** Energy per DFF clock event including internal clocking (J). */
+    double dffEnergyJ() const { return _dffCapF * _vdd * _vdd; }
+    double dffLeakW() const { return _dffLeakW; }
+    /** clk-to-q + setup: the sequencing overhead per pipe stage (s). */
+    double dffDelayS() const { return 3.0 * _fo4S; }
+    /** @} */
+
+    /** @name Memory cells */
+    /** @{ */
+    /** 6T SRAM bit cell area (um^2), single-ported. */
+    double sramCellUm2() const { return _sramCellUm2; }
+    /** SRAM cell leakage (W/bit). */
+    double sramCellLeakW() const { return _sramCellLeakW; }
+    /** Bitline capacitance contribution per cell on the column (F). */
+    double sramCellBitlineCapF() const { return _sramCellBlCapF; }
+    /** 1T1C eDRAM bit cell area (um^2). */
+    double edramCellUm2() const { return _sramCellUm2 / 3.0; }
+    /** eDRAM refresh power (W/bit), amortized. */
+    double edramRefreshWPerBit() const { return _edramRefreshWPerBit; }
+    /** @} */
+
+    /** Wire parasitics for a given metal layer class. */
+    const WireParams &wire(WireLayer layer) const;
+
+    /**
+     * Scale a dynamic energy from the node's default supply to the
+     * configured supply. Applied internally; exposed for tests.
+     */
+    double vddEnergyScale() const { return _vddEnergyScale; }
+
+  private:
+    TechNode() = default;
+
+    double _nodeNm = 0.0;
+    double _vdd = 0.0;
+    double _vddEnergyScale = 1.0;
+
+    double _fo4S = 0.0;
+    double _cGateFPerUm = 0.0;
+    double _rOnOhmUm = 0.0;
+    double _iOffAPerUm = 0.0;
+
+    double _nand2AreaUm2 = 0.0;
+    double _nand2CapF = 0.0;
+    double _nand2LeakW = 0.0;
+
+    double _dffAreaUm2 = 0.0;
+    double _dffCapF = 0.0;
+    double _dffLeakW = 0.0;
+
+    double _sramCellUm2 = 0.0;
+    double _sramCellLeakW = 0.0;
+    double _sramCellBlCapF = 0.0;
+    double _edramRefreshWPerBit = 0.0;
+
+    WireParams _wireLocal;
+    WireParams _wireIntermediate;
+    WireParams _wireGlobal;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_TECH_TECH_NODE_HH

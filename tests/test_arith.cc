@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the empirical arithmetic-unit (curve-fit) models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/arith.hh"
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(DataTypeTest, BitsAndFields)
+{
+    EXPECT_EQ(dataTypeBits(DataType::Int8), 8);
+    EXPECT_EQ(dataTypeBits(DataType::BF16), 16);
+    EXPECT_EQ(dataTypeBits(DataType::FP32), 32);
+    EXPECT_EQ(dataTypeMantissa(DataType::BF16), 8);
+    EXPECT_EQ(dataTypeMantissa(DataType::FP32), 24);
+    EXPECT_EQ(dataTypeExponent(DataType::Int32), 0);
+    EXPECT_EQ(dataTypeExponent(DataType::FP16), 5);
+    EXPECT_FALSE(isFloat(DataType::Int16));
+    EXPECT_TRUE(isFloat(DataType::BF16));
+}
+
+/** Name round-trip over every type. */
+class DataTypeRoundTrip : public ::testing::TestWithParam<DataType>
+{};
+
+TEST_P(DataTypeRoundTrip, NameParsesBack)
+{
+    const DataType t = GetParam();
+    EXPECT_EQ(dataTypeFromName(dataTypeName(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, DataTypeRoundTrip,
+    ::testing::Values(DataType::Int8, DataType::Int16, DataType::Int32,
+                      DataType::BF16, DataType::FP16, DataType::FP32));
+
+TEST(DataTypeTest, ParseIsCaseInsensitiveAndRejectsJunk)
+{
+    EXPECT_EQ(dataTypeFromName("Bf16"), DataType::BF16);
+    EXPECT_EQ(dataTypeFromName("INT8"), DataType::Int8);
+    EXPECT_THROW(dataTypeFromName("int7"), ConfigError);
+}
+
+TEST(DataTypeTest, DefaultAccumTypes)
+{
+    EXPECT_EQ(defaultAccumType(DataType::Int8), DataType::Int32);
+    EXPECT_EQ(defaultAccumType(DataType::BF16), DataType::FP32);
+    EXPECT_EQ(defaultAccumType(DataType::FP32), DataType::FP32);
+}
+
+TEST(Multiplier, GatesGrowQuadraticallyWithWidth)
+{
+    const double g8 = multiplierBlock(DataType::Int8).gates;
+    const double g16 = multiplierBlock(DataType::Int16).gates;
+    const double g32 = multiplierBlock(DataType::Int32).gates;
+    EXPECT_GT(g16 / g8, 3.0);
+    EXPECT_LT(g16 / g8, 4.5);
+    EXPECT_GT(g32 / g16, 3.0);
+}
+
+TEST(Multiplier, Bf16CheaperThanFp32)
+{
+    EXPECT_LT(multiplierBlock(DataType::BF16).gates,
+              multiplierBlock(DataType::FP32).gates);
+    // bf16's mantissa multiplier matches int8's array; the FP overhead
+    // is the exponent/rounding adder.
+    EXPECT_GT(multiplierBlock(DataType::BF16).gates,
+              multiplierBlock(DataType::Int8).gates);
+}
+
+TEST(Adder, LinearInWidthForInts)
+{
+    const double g8 = adderBlock(DataType::Int8).gates;
+    const double g32 = adderBlock(DataType::Int32).gates;
+    EXPECT_NEAR(g32 / g8, 4.0, 1e-9);
+}
+
+TEST(Adder, FpAdderMuchBiggerThanIntAdder)
+{
+    EXPECT_GT(adderBlock(DataType::FP32).gates,
+              3.0 * adderBlock(DataType::Int32).gates);
+}
+
+TEST(MacTest, MacIsMultPlusAdd)
+{
+    const LogicBlock mac = macBlock(DataType::Int8, DataType::Int32);
+    const double expect = multiplierBlock(DataType::Int8).gates +
+                          adderBlock(DataType::Int32).gates;
+    EXPECT_NEAR(mac.gates, expect, 1e-9);
+    EXPECT_NEAR(mac.depthFo4,
+                multiplierBlock(DataType::Int8).depthFo4 +
+                    adderBlock(DataType::Int32).depthFo4,
+                1e-9);
+}
+
+TEST(MacTest, Int8MacAreaAnchorAt28nm)
+{
+    // Calibration anchor: an int8 MAC datapath at 28 nm lands in the
+    // several-hundred-um^2 range consistent with the TPU-v1 MXU
+    // floorplan share (DESIGN.md Sec. 5).
+    const TechNode tech = TechNode::make(28.0);
+    const PAT p =
+        logicPAT(tech, macBlock(DataType::Int8, DataType::Int32), 700e6);
+    EXPECT_GT(p.areaUm2, 500.0);
+    EXPECT_LT(p.areaUm2, 1500.0);
+}
+
+TEST(MacTest, Int8MacEnergyAnchorAt28nm)
+{
+    // ~0.5-1.5 pJ per MAC at 28 nm/0.86 V (datapath only).
+    const TechNode tech = TechNode::make(28.0);
+    const LogicBlock mac = macBlock(DataType::Int8, DataType::Int32);
+    const double e_pj =
+        mac.gates * mac.activity * tech.nand2EnergyJ() * 1e12;
+    EXPECT_GT(e_pj, 0.4);
+    EXPECT_LT(e_pj, 1.6);
+}
+
+TEST(MacTest, MacMeets700MhzAt28nm)
+{
+    const TechNode tech = TechNode::make(28.0);
+    const PAT p =
+        logicPAT(tech, macBlock(DataType::Int8, DataType::Int32), 700e6);
+    EXPECT_LT(p.timing.cycleS, 1.0 / 700e6);
+}
+
+TEST(AluTest, GatesGrowSuperlinearlyFromShifter)
+{
+    const double g16 = aluBlock(16).gates;
+    const double g32 = aluBlock(32).gates;
+    EXPECT_GT(g32, 2.0 * g16);
+    EXPECT_THROW(aluBlock(0), ConfigError);
+}
+
+TEST(VectorLane, IncludesCompareAndLut)
+{
+    const double lane = vectorLaneBlock(DataType::Int32).gates;
+    const double mac = macBlock(DataType::Int32, DataType::Int32).gates;
+    EXPECT_GT(lane, mac);
+}
+
+/** Datatype sweep: every type yields a positive, well-formed block. */
+class ArithSweep : public ::testing::TestWithParam<DataType>
+{};
+
+TEST_P(ArithSweep, BlocksAreWellFormed)
+{
+    const DataType t = GetParam();
+    for (const LogicBlock &blk :
+         {multiplierBlock(t), adderBlock(t),
+          macBlock(t, defaultAccumType(t)), vectorLaneBlock(t)}) {
+        EXPECT_GT(blk.gates, 0.0);
+        EXPECT_GT(blk.depthFo4, 0.0);
+        EXPECT_GT(blk.activity, 0.0);
+        EXPECT_LE(blk.activity, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ArithSweep,
+    ::testing::Values(DataType::Int8, DataType::Int16, DataType::Int32,
+                      DataType::BF16, DataType::FP16, DataType::FP32));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Central data bus tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "components/cdb.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class CdbFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    CdbConfig
+    cfg(double area_um2 = 5e6) const
+    {
+        CdbConfig c;
+        c.busBits = 512;
+        c.attachedUnits = 3;
+        c.routedAreaUm2 = area_um2;
+        c.freqHz = 700e6;
+        return c;
+    }
+};
+
+TEST_F(CdbFixture, BasicResults)
+{
+    CdbModel cdb(tech, cfg());
+    EXPECT_GT(cdb.breakdown().total().areaUm2, 0.0);
+    EXPECT_GT(cdb.breakdown().total().power.dynamicW, 0.0);
+    EXPECT_GT(cdb.energyPerByteJ(), 0.0);
+    EXPECT_GE(cdb.pipelineStages(), 1);
+}
+
+TEST_F(CdbFixture, LargerCoreLongerWiresMoreCost)
+{
+    CdbModel small(tech, cfg(2e6));
+    CdbModel big(tech, cfg(50e6));
+    EXPECT_GT(big.energyPerByteJ(), small.energyPerByteJ());
+    EXPECT_GT(big.breakdown().total().areaUm2,
+              small.breakdown().total().areaUm2);
+}
+
+TEST_F(CdbFixture, VeryLargeCoreRequiresPipelining)
+{
+    // Paper: "when the length is large, wires are pipelined to meet
+    // the throughput requirement".
+    CdbConfig c = cfg(400e6); // 20 mm run
+    c.freqHz = 2e9;
+    CdbModel cdb(tech, c);
+    EXPECT_GT(cdb.pipelineStages(), 1);
+    EXPECT_LE(cdb.minCycleS(), 1.0 / 2e9 + tech.dffDelayS());
+}
+
+TEST_F(CdbFixture, MoreUnitsMoreRuns)
+{
+    CdbConfig two = cfg();
+    two.attachedUnits = 2;
+    CdbConfig six = cfg();
+    six.attachedUnits = 6;
+    CdbModel a(tech, two), b(tech, six);
+    EXPECT_NEAR(b.breakdown().total().areaUm2 /
+                    a.breakdown().total().areaUm2,
+                3.0, 0.1);
+}
+
+TEST_F(CdbFixture, RejectsBadConfig)
+{
+    CdbConfig bad = cfg();
+    bad.busBits = 0;
+    EXPECT_THROW(CdbModel(tech, bad), ConfigError);
+    CdbConfig bad2 = cfg();
+    bad2.routedAreaUm2 = 0.0;
+    EXPECT_THROW(CdbModel(tech, bad2), ConfigError);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Whole-chip assembly tests: derivation rules, TDP semantics, runtime
+ * power interface, and integration invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+namespace {
+
+ChipConfig
+smallChip()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.tx = 1;
+    cfg.ty = 2;
+    cfg.core.numTU = 2;
+    cfg.core.tu.rows = 32;
+    cfg.core.tu.cols = 32;
+    cfg.totalMemBytes = 8.0 * 1024 * 1024;
+    cfg.offchipBwBytesPerS = 200e9;
+    return cfg;
+}
+
+TEST(ChipTest, AssemblesWithExpectedTree)
+{
+    ChipModel chip(smallChip());
+    const Breakdown &bd = chip.breakdown();
+    EXPECT_NE(bd.find("core0"), nullptr);
+    EXPECT_NE(bd.find("core1"), nullptr);
+    EXPECT_NE(bd.find("noc"), nullptr);
+    EXPECT_NE(bd.find("offchip"), nullptr);
+    EXPECT_NE(bd.find("white_space"), nullptr);
+    EXPECT_NE(bd.find("clock_tree"), nullptr);
+}
+
+TEST(ChipTest, SingleCoreHasNoNoc)
+{
+    ChipConfig cfg = smallChip();
+    cfg.tx = cfg.ty = 1;
+    ChipModel chip(cfg);
+    EXPECT_EQ(chip.breakdown().find("noc"), nullptr);
+}
+
+TEST(ChipTest, PeakTopsFormula)
+{
+    ChipModel chip(smallChip());
+    // 2 cores * 2 TUs * 2*32*32 ops * 700 MHz.
+    const double expect = 2.0 * 2.0 * 2.0 * 32 * 32 * 700e6 / 1e12;
+    EXPECT_NEAR(chip.peakTops(), expect, 1e-9);
+}
+
+TEST(ChipTest, WhiteSpaceFractionHolds)
+{
+    ChipConfig cfg = smallChip();
+    cfg.whiteSpaceFraction = 0.21;
+    ChipModel chip(cfg);
+    const double ws = chip.breakdown().areaOfUm2("white_space");
+    const double total = chip.breakdown().total().areaUm2;
+    EXPECT_NEAR(ws / total, 0.21, 1e-6);
+}
+
+TEST(ChipTest, ZeroWhiteSpaceAllowed)
+{
+    ChipConfig cfg = smallChip();
+    cfg.whiteSpaceFraction = 0.0;
+    ChipModel chip(cfg);
+    EXPECT_NEAR(chip.breakdown().areaOfUm2("white_space"), 0.0, 1e-9);
+}
+
+TEST(ChipTest, TdpBelowFullActivityPower)
+{
+    ChipModel chip(smallChip());
+    const double full = chip.breakdown().total().power.total();
+    EXPECT_LT(chip.tdpW(), full);
+    EXPECT_GT(chip.tdpW(), 0.3 * full);
+}
+
+TEST(ChipTest, TdpRespondsToActivityFactors)
+{
+    ChipConfig hot = smallChip();
+    ChipConfig cool = smallChip();
+    cool.tdpActivity.tensorUnit = 0.2;
+    cool.tdpActivity.mem = 0.2;
+    EXPECT_LT(ChipModel(cool).tdpW(), ChipModel(hot).tdpW());
+}
+
+TEST(ChipTest, RuntimePowerScalesWithActivity)
+{
+    ChipModel chip(smallChip());
+    RuntimeStats idle;
+    RuntimeStats busy;
+    busy.tuOpsPerS = chip.peakTops() * 1e12 * 0.5;
+    busy.memReadBytesPerS = 100e9;
+    busy.offchipBytesPerS = 50e9;
+    const Power pi = chip.runtimePower(idle);
+    const Power pb = chip.runtimePower(busy);
+    EXPECT_GT(pb.dynamicW, pi.dynamicW);
+    EXPECT_DOUBLE_EQ(pi.leakageW, pb.leakageW);
+    // Idle still burns the clock floor.
+    EXPECT_GT(pi.dynamicW, 0.0);
+}
+
+TEST(ChipTest, RuntimePowerAtFullUtilizationNearFullDynamic)
+{
+    ChipModel chip(smallChip());
+    RuntimeStats full;
+    full.tuOpsPerS = chip.peakTops() * 1e12;
+    const Power p = chip.runtimePower(full);
+    EXPECT_LT(p.total(), 1.3 * chip.breakdown().total().power.total());
+}
+
+TEST(ChipTest, AutoNocTopologySelection)
+{
+    ChipConfig small = smallChip(); // 2 cores -> ring
+    ChipModel c2(small);
+    // 8 cores -> mesh. Verified indirectly: both must assemble.
+    ChipConfig big = smallChip();
+    big.tx = 2;
+    big.ty = 4;
+    big.core.tu.rows = big.core.tu.cols = 16;
+    ChipModel c8(big);
+    EXPECT_GT(c8.breakdown().areaOfUm2("noc"), 0.0);
+    EXPECT_GT(c2.breakdown().areaOfUm2("noc"), 0.0);
+}
+
+TEST(ChipTest, ThrowsWhenClockUnreachable)
+{
+    ChipConfig cfg = smallChip();
+    cfg.freqHz = 50e9;
+    EXPECT_THROW({ ChipModel chip(cfg); }, ConfigError);
+}
+
+TEST(ChipTest, ValidateRejectsBadConfigs)
+{
+    ChipConfig cfg = smallChip();
+    cfg.tx = 0;
+    EXPECT_THROW({ ChipModel chip(cfg); }, ConfigError);
+    cfg = smallChip();
+    cfg.core.numTU = 0;
+    cfg.core.numRT = 0;
+    EXPECT_THROW({ ChipModel chip(cfg); }, ConfigError);
+    cfg = smallChip();
+    cfg.whiteSpaceFraction = 0.95;
+    EXPECT_THROW({ ChipModel chip(cfg); }, ConfigError);
+}
+
+TEST(ChipTest, VregPortsFollowFunctionalUnits)
+{
+    ChipConfig cfg = smallChip(); // 2 TUs + VU
+    ChipModel chip(cfg);
+    EXPECT_EQ(chip.core().vregReadPorts(), 6);
+    EXPECT_EQ(chip.core().vregWritePorts(), 3);
+
+    ChipConfig shared = cfg;
+    shared.core.shareVregPorts = true; // one group for TUs + one for VU
+    ChipModel chip2(shared);
+    EXPECT_EQ(chip2.core().vregReadPorts(), 4);
+    EXPECT_EQ(chip2.core().vregWritePorts(), 2);
+}
+
+TEST(ChipTest, VuLanesFollowTuLength)
+{
+    ChipModel chip(smallChip());
+    EXPECT_EQ(chip.core().vuLanes(), 32);
+}
+
+TEST(ChipTest, RtOnlyCoreSupported)
+{
+    // EIE-style accelerator without 2D TUs (paper Sec. II-A note).
+    ChipConfig cfg = smallChip();
+    cfg.core.numTU = 0;
+    cfg.core.numRT = 4;
+    cfg.core.rt.inputs = 64;
+    ChipModel chip(cfg);
+    EXPECT_GT(chip.peakTops(), 0.0);
+    EXPECT_NE(chip.breakdown().find("reduction_trees"), nullptr);
+}
+
+TEST(ChipTest, CoreEnergiesExposed)
+{
+    ChipModel chip(smallChip());
+    const CoreEnergies &e = chip.coreEnergies();
+    EXPECT_GT(e.tuPerOpJ, 0.0);
+    EXPECT_GT(e.memReadPerByteJ, 0.0);
+    EXPECT_GT(e.vregPerByteJ, 0.0);
+    EXPECT_GT(chip.nocEnergyPerByteHopJ(), 0.0);
+    EXPECT_GT(chip.offchipEnergyPerByteJ(), 0.0);
+}
+
+TEST(ChipTest, MemDesignMeetsCoreClock)
+{
+    ChipModel chip(smallChip());
+    const MemoryDesign &d = chip.core().memDesign();
+    EXPECT_TRUE(d.feasible);
+    EXPECT_GE(d.readBwBytesPerS,
+              2.0 * 32.0 * 700e6); // 2 TUs * 32 B/cycle
+}
+
+/** Design-point sweep: chips across the Table I space all assemble. */
+class ChipSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{};
+
+TEST_P(ChipSweep, AssemblesAndIsConsistent)
+{
+    const auto [x, n, tx, ty] = GetParam();
+    ChipConfig cfg = smallChip();
+    cfg.core.numTU = n;
+    cfg.core.tu.rows = cfg.core.tu.cols = x;
+    cfg.tx = tx;
+    cfg.ty = ty;
+    cfg.totalMemBytes = 32.0 * 1024 * 1024;
+    ChipModel chip(cfg);
+    EXPECT_GT(chip.areaMm2(), 0.0);
+    EXPECT_GT(chip.tdpW(), 0.0);
+    EXPECT_GT(chip.peakTops(), 0.0);
+    EXPECT_LE(chip.minCycleS(), 1.0 / cfg.freqHz * 1.0001);
+    // TOPS/TCO and TOPS/W well defined.
+    EXPECT_GT(chip.peakTopsPerWatt(), 0.0);
+    EXPECT_GT(chip.peakTopsPerTco(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignPoints, ChipSweep,
+    ::testing::Values(std::make_tuple(8, 4, 4, 8),
+                      std::make_tuple(16, 2, 4, 4),
+                      std::make_tuple(32, 4, 2, 2),
+                      std::make_tuple(64, 2, 2, 4),
+                      std::make_tuple(64, 4, 1, 2),
+                      std::make_tuple(128, 4, 1, 1),
+                      std::make_tuple(256, 1, 1, 1)));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the common module: units, PAT algebra, breakdown tree,
+ * stats helpers, and the ascii table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/breakdown.hh"
+#include "common/error.hh"
+#include "common/pat.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(Units, AreaRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(um2ToMm2(mm2ToUm2(123.456)), 123.456);
+    EXPECT_DOUBLE_EQ(mm2ToUm2(1.0), 1e6);
+}
+
+TEST(Power, AddAndScale)
+{
+    Power a{1.0, 0.5};
+    Power b{2.0, 0.25};
+    Power c = a + b;
+    EXPECT_DOUBLE_EQ(c.dynamicW, 3.0);
+    EXPECT_DOUBLE_EQ(c.leakageW, 0.75);
+    EXPECT_DOUBLE_EQ(c.total(), 3.75);
+    Power d = 2.0 * a;
+    EXPECT_DOUBLE_EQ(d.dynamicW, 2.0);
+    EXPECT_DOUBLE_EQ(d.leakageW, 1.0);
+}
+
+TEST(Timing, ParallelMergeTakesMax)
+{
+    Timing a{1e-9, 2e-9};
+    Timing b{3e-9, 1e-9};
+    a.mergeParallel(b);
+    EXPECT_DOUBLE_EQ(a.delayS, 3e-9);
+    EXPECT_DOUBLE_EQ(a.cycleS, 2e-9);
+}
+
+TEST(PATTest, AdditionAccumulatesAreaPowerAndMergesTiming)
+{
+    PAT a;
+    a.areaUm2 = 10.0;
+    a.power = {1.0, 0.1};
+    a.timing = {1e-9, 2e-9};
+    PAT b;
+    b.areaUm2 = 5.0;
+    b.power = {0.5, 0.2};
+    b.timing = {2e-9, 1e-9};
+    PAT c = a + b;
+    EXPECT_DOUBLE_EQ(c.areaUm2, 15.0);
+    EXPECT_DOUBLE_EQ(c.power.dynamicW, 1.5);
+    EXPECT_DOUBLE_EQ(c.timing.delayS, 2e-9);
+    EXPECT_DOUBLE_EQ(c.timing.cycleS, 2e-9);
+}
+
+Breakdown
+sampleTree()
+{
+    Breakdown root("chip");
+    PAT a;
+    a.areaUm2 = 100.0;
+    a.power = {2.0, 0.5};
+    PAT b;
+    b.areaUm2 = 50.0;
+    b.power = {1.0, 0.25};
+    Breakdown core("core");
+    core.addLeaf("tu", a);
+    core.addLeaf("mem", b);
+    root.addChild(std::move(core));
+    root.addLeaf("noc", b);
+    return root;
+}
+
+TEST(BreakdownTest, TotalsSumRecursively)
+{
+    Breakdown root = sampleTree();
+    const PAT t = root.total();
+    EXPECT_DOUBLE_EQ(t.areaUm2, 200.0);
+    EXPECT_DOUBLE_EQ(t.power.dynamicW, 4.0);
+    EXPECT_DOUBLE_EQ(t.power.leakageW, 1.0);
+}
+
+TEST(BreakdownTest, FindLocatesNestedNodes)
+{
+    Breakdown root = sampleTree();
+    ASSERT_NE(root.find("tu"), nullptr);
+    EXPECT_EQ(root.find("nonexistent"), nullptr);
+    EXPECT_DOUBLE_EQ(root.areaOfUm2("tu"), 100.0);
+    EXPECT_DOUBLE_EQ(root.powerOfW("mem"), 1.25);
+    EXPECT_DOUBLE_EQ(root.areaOfUm2("nonexistent"), 0.0);
+}
+
+TEST(BreakdownTest, ScaleAffectsWholeSubtree)
+{
+    Breakdown root = sampleTree();
+    root.scale(2.0);
+    EXPECT_DOUBLE_EQ(root.total().areaUm2, 400.0);
+    EXPECT_DOUBLE_EQ(root.total().power.dynamicW, 8.0);
+}
+
+TEST(BreakdownTest, ScaleDynamicLeavesAreaAndLeakage)
+{
+    Breakdown root = sampleTree();
+    root.scaleDynamic(0.5);
+    EXPECT_DOUBLE_EQ(root.total().areaUm2, 200.0);
+    EXPECT_DOUBLE_EQ(root.total().power.dynamicW, 2.0);
+    EXPECT_DOUBLE_EQ(root.total().power.leakageW, 1.0);
+}
+
+TEST(BreakdownTest, ReportContainsComponentsAndHeader)
+{
+    Breakdown root = sampleTree();
+    const std::string rep = root.report();
+    EXPECT_NE(rep.find("chip"), std::string::npos);
+    EXPECT_NE(rep.find("tu"), std::string::npos);
+    EXPECT_NE(rep.find("mm^2"), std::string::npos);
+}
+
+TEST(BreakdownTest, ReportDepthLimitsExpansion)
+{
+    Breakdown root = sampleTree();
+    const std::string rep = root.report(0);
+    EXPECT_EQ(rep.find("tu"), std::string::npos);
+}
+
+TEST(Stats, ArithMean)
+{
+    const double xs[] = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(arithMean(xs), 2.0);
+}
+
+TEST(Stats, GeoMean)
+{
+    const double xs[] = {1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geoMean(xs), 2.0);
+}
+
+TEST(Stats, GeoMeanRejectsNonPositive)
+{
+    const double xs[] = {1.0, -4.0};
+    EXPECT_THROW(geoMean(xs), ModelError);
+}
+
+TEST(Stats, RelError)
+{
+    EXPECT_DOUBLE_EQ(relError(110.0, 100.0), 0.10);
+    EXPECT_DOUBLE_EQ(relError(90.0, 100.0), -0.10);
+    EXPECT_THROW(relError(1.0, 0.0), ModelError);
+}
+
+TEST(AsciiTableTest, AlignsAndRejectsArityMismatch)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    EXPECT_THROW(t.addRow({"only-one"}), ModelError);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(AsciiTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+}
+
+TEST(Errors, RequireHelpers)
+{
+    EXPECT_NO_THROW(requireConfig(true, "x"));
+    EXPECT_THROW(requireConfig(false, "x"), ConfigError);
+    EXPECT_NO_THROW(requireModel(true, "x"));
+    EXPECT_THROW(requireModel(false, "x"), ModelError);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FIFO / scratchpad model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "memory/fifo.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class FifoFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+};
+
+TEST_F(FifoFixture, BasicPositiveResults)
+{
+    FifoConfig cfg;
+    cfg.entries = 8;
+    cfg.widthBits = 32;
+    cfg.freqHz = 700e6;
+    const PAT p = fifoPAT(tech, cfg);
+    EXPECT_GT(p.areaUm2, 0.0);
+    EXPECT_GT(p.power.dynamicW, 0.0);
+    EXPECT_GT(p.power.leakageW, 0.0);
+}
+
+TEST_F(FifoFixture, AreaGrowsWithDepthAndWidth)
+{
+    FifoConfig a;
+    a.entries = 4;
+    a.widthBits = 32;
+    FifoConfig b = a;
+    b.entries = 16;
+    FifoConfig c = a;
+    c.widthBits = 128;
+    EXPECT_GT(fifoPAT(tech, b).areaUm2, fifoPAT(tech, a).areaUm2);
+    EXPECT_GT(fifoPAT(tech, c).areaUm2, fifoPAT(tech, a).areaUm2);
+}
+
+TEST_F(FifoFixture, LargeFifoUsesSramAndIsDenser)
+{
+    // Storage above the 16 Kbit threshold switches to SRAM: per-bit
+    // area must drop well below the flop-based small FIFO's.
+    FifoConfig small;
+    small.entries = 32;
+    small.widthBits = 64; // 2 Kbit -> flops
+    FifoConfig large;
+    large.entries = 2048;
+    large.widthBits = 64; // 128 Kbit -> SRAM
+    const double small_per_bit =
+        fifoPAT(tech, small).areaUm2 / (32.0 * 64.0);
+    const double large_per_bit =
+        fifoPAT(tech, large).areaUm2 / (2048.0 * 64.0);
+    EXPECT_LT(large_per_bit, 0.5 * small_per_bit);
+}
+
+TEST_F(FifoFixture, ActivityScalesDynamicPower)
+{
+    FifoConfig busy;
+    busy.entries = 8;
+    busy.widthBits = 64;
+    busy.activity = 1.0;
+    FifoConfig quiet = busy;
+    quiet.activity = 0.25;
+    EXPECT_LT(fifoPAT(tech, quiet).power.dynamicW,
+              fifoPAT(tech, busy).power.dynamicW);
+}
+
+TEST_F(FifoFixture, RejectsBadConfig)
+{
+    FifoConfig bad;
+    bad.entries = 0;
+    EXPECT_THROW(fifoPAT(tech, bad), ConfigError);
+}
+
+TEST_F(FifoFixture, ScratchpadSramBeatsFlopsAboveThreshold)
+{
+    const PAT regs = scratchpadPAT(tech, 64.0, 16, 700e6, 1.0, false);
+    const PAT sram = scratchpadPAT(tech, 448.0, 16, 700e6, 1.0, true);
+    EXPECT_GT(regs.areaUm2, 0.0);
+    EXPECT_GT(sram.areaUm2, 0.0);
+    // Per byte, SRAM must be denser than flops.
+    EXPECT_LT(sram.areaUm2 / 448.0, regs.areaUm2 / 64.0);
+}
+
+TEST_F(FifoFixture, ScratchpadRejectsZeroSize)
+{
+    EXPECT_THROW(scratchpadPAT(tech, 0.0, 16, 1e9, 1.0, true),
+                 ConfigError);
+}
+
+TEST_F(FifoFixture, EyerissSpadAnchor)
+{
+    // 448 B per-PE spad at 65 nm: a few thousand um^2 — small enough
+    // that 168 PEs fit a 12.25 mm^2 die with room for the MACs.
+    const TechNode t65 = TechNode::make(65.0);
+    const PAT spad = scratchpadPAT(t65, 448.0, 16, 200e6, 1.5, true);
+    EXPECT_LT(spad.areaUm2, 25e3);
+    EXPECT_GT(spad.areaUm2, 2e3);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Cross-module integration tests: full pipelines from config through
+ * chip assembly, performance simulation, and runtime power — plus the
+ * design-choice invariants the ablation bench reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/optimizer.hh"
+#include "common/units.hh"
+#include "perf/tfsim.hh"
+#include "sparse/roofline.hh"
+
+namespace neurometer {
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+TEST(Integration, VregOverheadGrowsWithTuCount)
+{
+    // The ablation behind the paper's N <= 4 cap: VReg share of core
+    // power grows superlinearly with TUs per core.
+    double prev_share = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        ChipConfig cfg = datacenterBase();
+        cfg.tx = cfg.ty = 8;
+        cfg.core.numTU = n;
+        cfg.core.tu.rows = cfg.core.tu.cols = 4;
+        ChipModel chip(cfg);
+        const Breakdown &core = *chip.breakdown().find("core0");
+        const double share = core.powerOfW("vector_regfile") /
+                             core.total().power.total();
+        EXPECT_GT(share, prev_share) << n;
+        prev_share = share;
+    }
+    EXPECT_GT(prev_share, 0.2); // N=8 blows up (paper: 24.9%)
+}
+
+TEST(Integration, SharedVregPortsContainTheExplosion)
+{
+    ChipConfig cfg = datacenterBase();
+    cfg.tx = cfg.ty = 8;
+    cfg.core.numTU = 8;
+    cfg.core.tu.rows = cfg.core.tu.cols = 4;
+    ChipModel full(cfg);
+    cfg.core.shareVregPorts = true;
+    ChipModel shared(cfg);
+    EXPECT_LT(shared.breakdown().find("core0")
+                  ->areaOfUm2("vector_regfile"),
+              full.breakdown().find("core0")
+                  ->areaOfUm2("vector_regfile"));
+}
+
+TEST(Integration, EdramMemShrinksDieGrowsRefresh)
+{
+    ChipConfig sram_cfg =
+        applyDesignPoint(datacenterBase(), {64, 2, 2, 4});
+    ChipConfig edram_cfg = sram_cfg;
+    edram_cfg.memCell = MemCellType::EDRAM;
+    ChipModel s(sram_cfg), e(edram_cfg);
+    EXPECT_LT(e.areaMm2(), s.areaMm2());
+}
+
+TEST(Integration, CacheModeMemCostsMoreThanScratchpad)
+{
+    ChipConfig spad = applyDesignPoint(datacenterBase(), {64, 2, 2, 4});
+    ChipConfig cache = spad;
+    cache.memCacheMode = true;
+    ChipModel cs(spad), cc(cache);
+    EXPECT_GT(cc.areaMm2(), cs.areaMm2());
+    EXPECT_GT(cc.coreEnergies().memReadPerByteJ,
+              cs.coreEnergies().memReadPerByteJ);
+}
+
+TEST(Integration, ExplicitNocTopologiesAssemble)
+{
+    for (NocTopology topo :
+         {NocTopology::Bus, NocTopology::Ring, NocTopology::Mesh2D,
+          NocTopology::HTree}) {
+        ChipConfig cfg = applyDesignPoint(datacenterBase(),
+                                          {16, 2, 2, 4});
+        cfg.autoNocTopology = false;
+        cfg.nocTopology = topo;
+        ChipModel chip(cfg);
+        EXPECT_GT(chip.breakdown().areaOfUm2("noc"), 0.0)
+            << nocTopologyName(topo);
+    }
+}
+
+TEST(Integration, NodeScalingShrinksTheSameArchitecture)
+{
+    ChipConfig cfg = applyDesignPoint(datacenterBase(), {32, 2, 2, 2});
+    ChipModel c28(cfg);
+    cfg.nodeNm = 16.0;
+    ChipModel c16(cfg);
+    EXPECT_LT(c16.areaMm2(), c28.areaMm2());
+    EXPECT_LT(c16.tdpW(), c28.tdpW());
+    EXPECT_DOUBLE_EQ(c16.peakTops(), c28.peakTops());
+}
+
+TEST(Integration, ClockSolveThenSimulate)
+{
+    // The paper's default flow: give a TOPS target, get a clock, then
+    // run the performance simulation on the resulting chip.
+    ChipConfig cfg = applyDesignPoint(datacenterBase(), {64, 2, 2, 4});
+    const double freq = solveClockForTops(cfg, 46.0);
+    cfg.freqHz = freq;
+    ChipModel chip(cfg);
+    EXPECT_NEAR(chip.peakTops(), 46.0, 1e-6);
+    TfSim sim(chip);
+    const SimResult r = sim.run(resnet50(), {8, true});
+    EXPECT_GT(r.achievedTops, 0.0);
+    EXPECT_LE(r.achievedTops, chip.peakTops());
+}
+
+TEST(Integration, RuntimePowerConsistentBetweenSimAndChip)
+{
+    ChipModel chip = buildChip(datacenterBase(), {64, 2, 2, 4});
+    TfSim sim(chip);
+    const SimResult r = sim.run(inceptionV3(), {16, true});
+    const Power direct = chip.runtimePower(r.stats);
+    EXPECT_DOUBLE_EQ(direct.total(), r.runtimePower.total());
+}
+
+TEST(Integration, SparsityStudyEndToEnd)
+{
+    // Build the Sec. IV machine from a design point and confirm the
+    // whole sparse pipeline (generator -> CSR -> roofline -> power)
+    // produces the paper's qualitative result.
+    ChipModel tu8 = buildChip(datacenterBase(), {8, 4, 4, 8});
+    const SparseRoofline roofline(tu8, SkipScheme::TensorBlock, 8);
+    SparseGenConfig g;
+    g.rows = g.cols = 1024;
+    g.sparsity = 0.95;
+    const SparseMatrix m(g);
+    const SparseRunResult r =
+        roofline.eval(SpmvProblem{1024, 1024, 32}, m);
+    EXPECT_GT(r.energyEfficiencyGain, 1.5);
+    EXPECT_LT(r.tSparseS, r.tDenseS);
+    EXPECT_LT(r.sparseP.total(), r.denseP.total() * 1.05);
+}
+
+TEST(Integration, WhiteSpaceQuadraticallyHurtsTco)
+{
+    ChipConfig lean = applyDesignPoint(datacenterBase(), {64, 2, 2, 4});
+    lean.whiteSpaceFraction = 0.0;
+    ChipConfig fat = lean;
+    fat.whiteSpaceFraction = 0.30;
+    ChipModel cl(lean), cf(fat);
+    const double area_ratio = cf.areaMm2() / cl.areaMm2();
+    const double tco_ratio = cl.peakTopsPerTco() / cf.peakTopsPerTco();
+    EXPECT_NEAR(tco_ratio, area_ratio * area_ratio, 0.05 * tco_ratio);
+}
+
+TEST(Integration, EyerissStyleEdgeChipAssembles)
+{
+    // Mobile/edge corner: multicast TU with per-cell spads at 65 nm.
+    ChipConfig cfg;
+    cfg.nodeNm = 65.0;
+    cfg.freqHz = 200e6;
+    cfg.tx = cfg.ty = 1;
+    cfg.core.numTU = 1;
+    cfg.core.tu.rows = 12;
+    cfg.core.tu.cols = 14;
+    cfg.core.tu.mulType = DataType::Int16;
+    cfg.core.tu.interconnect = TuInterconnect::Multicast;
+    cfg.core.tu.perCellSramBytes = 448.0;
+    cfg.core.hasScalarUnit = false;
+    cfg.totalMemBytes = 108.0 * 1024.0;
+    cfg.offchipBwBytesPerS = 1e9;
+    cfg.dram = DramKind::DDR3;
+    cfg.pcieLanes = 0;
+    ChipModel chip(cfg);
+    EXPECT_LT(chip.areaMm2(), 40.0);
+    EXPECT_LT(chip.tdpW(), 2.0);
+}
+
+} // namespace
+} // namespace neurometer

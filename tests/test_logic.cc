@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the NAND2-equivalent logic currency and register banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/fit.hh"
+#include "circuit/logic.hh"
+#include "common/error.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class LogicFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+};
+
+TEST_F(LogicFixture, AreaIsGatesTimesCellTimesOverhead)
+{
+    LogicBlock blk;
+    blk.gates = 1000.0;
+    const PAT p = logicPAT(tech, blk, 1e9);
+    EXPECT_NEAR(p.areaUm2,
+                1000.0 * tech.nand2AreaUm2() * fit::datapathLayoutOverhead,
+                1e-9);
+}
+
+TEST_F(LogicFixture, DynamicPowerScalesWithRateActivityAndDuty)
+{
+    LogicBlock blk;
+    blk.gates = 500.0;
+    blk.activity = 0.4;
+    const PAT full = logicPAT(tech, blk, 1e9, 1.0);
+    const PAT half_rate = logicPAT(tech, blk, 0.5e9, 1.0);
+    const PAT half_duty = logicPAT(tech, blk, 1e9, 0.5);
+    EXPECT_NEAR(half_rate.power.dynamicW, full.power.dynamicW / 2, 1e-12);
+    EXPECT_NEAR(half_duty.power.dynamicW, full.power.dynamicW / 2, 1e-12);
+    // Leakage is independent of the op rate.
+    EXPECT_DOUBLE_EQ(half_rate.power.leakageW, full.power.leakageW);
+}
+
+TEST_F(LogicFixture, DelayIsDepthTimesFo4)
+{
+    LogicBlock blk;
+    blk.gates = 10.0;
+    blk.depthFo4 = 12.0;
+    const PAT p = logicPAT(tech, blk, 1e9);
+    EXPECT_NEAR(p.timing.delayS, 12.0 * tech.fo4S(), 1e-18);
+    EXPECT_NEAR(p.timing.cycleS, 12.0 * tech.fo4S() + tech.dffDelayS(),
+                1e-18);
+}
+
+TEST_F(LogicFixture, SeriesCompositionAddsDepthAndAveragesActivity)
+{
+    LogicBlock a;
+    a.gates = 100.0;
+    a.depthFo4 = 5.0;
+    a.activity = 0.2;
+    LogicBlock b;
+    b.gates = 300.0;
+    b.depthFo4 = 7.0;
+    b.activity = 0.6;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.gates, 400.0);
+    EXPECT_DOUBLE_EQ(a.depthFo4, 12.0);
+    EXPECT_NEAR(a.activity, (100 * 0.2 + 300 * 0.6) / 400.0, 1e-12);
+}
+
+TEST_F(LogicFixture, RegistersClockPinBurnsEvenWithoutDataToggles)
+{
+    const PAT quiet = registersPAT(tech, 1024.0, 1e9, 0.0);
+    EXPECT_GT(quiet.power.dynamicW, 0.0);
+    const PAT busy = registersPAT(tech, 1024.0, 1e9, 1.0);
+    EXPECT_GT(busy.power.dynamicW, quiet.power.dynamicW);
+}
+
+TEST_F(LogicFixture, RegistersClockGatingScalesDynamic)
+{
+    const PAT on = registersPAT(tech, 1024.0, 1e9, 0.5, 1.0);
+    const PAT gated = registersPAT(tech, 1024.0, 1e9, 0.5, 0.25);
+    EXPECT_NEAR(gated.power.dynamicW, 0.25 * on.power.dynamicW, 1e-12);
+    EXPECT_DOUBLE_EQ(gated.power.leakageW, on.power.leakageW);
+}
+
+TEST_F(LogicFixture, RegisterAreaLinearInBits)
+{
+    const PAT a = registersPAT(tech, 100.0, 1e9);
+    const PAT b = registersPAT(tech, 200.0, 1e9);
+    EXPECT_NEAR(b.areaUm2, 2.0 * a.areaUm2, 1e-9);
+}
+
+TEST_F(LogicFixture, RejectsNegativeInputs)
+{
+    LogicBlock blk;
+    blk.gates = -1.0;
+    EXPECT_THROW(logicPAT(tech, blk, 1e9), ModelError);
+    EXPECT_THROW(registersPAT(tech, -5.0, 1e9), ModelError);
+}
+
+/** Node sweep: logic cost falls monotonically with scaling. */
+class LogicNodeSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LogicNodeSweep, SmallerNodesAreCheaper)
+{
+    const TechNode big = TechNode::make(65.0);
+    const TechNode cur = TechNode::make(GetParam());
+    LogicBlock blk;
+    blk.gates = 1000.0;
+    const PAT pb = logicPAT(big, blk, 1e9);
+    const PAT pc = logicPAT(cur, blk, 1e9);
+    EXPECT_LT(pc.areaUm2, pb.areaUm2);
+    EXPECT_LT(pc.power.dynamicW, pb.power.dynamicW);
+    EXPECT_LT(pc.timing.delayS, pb.timing.delayS);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, LogicNodeSweep,
+                         ::testing::Values(45.0, 28.0, 16.0, 12.0, 7.0));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * NoC model tests across topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "components/noc.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class NocFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    NocConfig
+    cfg(int tx, int ty, NocTopology topo = NocTopology::Mesh2D) const
+    {
+        NocConfig c;
+        c.tx = tx;
+        c.ty = ty;
+        c.topology = topo;
+        c.freqHz = 700e6;
+        c.tileAreaUm2 = 10e6; // ~3.2 mm tiles
+        c.bisectionBwBytesPerS = 256e9;
+        return c;
+    }
+};
+
+TEST_F(NocFixture, MeshStructure)
+{
+    NocModel noc(tech, cfg(4, 4));
+    EXPECT_EQ(noc.numRouters(), 16);
+    EXPECT_EQ(noc.numLinks(), 2 * (3 * 4 + 4 * 3));
+}
+
+TEST_F(NocFixture, RingStructure)
+{
+    NocModel noc(tech, cfg(2, 2, NocTopology::Ring));
+    EXPECT_EQ(noc.numRouters(), 4);
+    EXPECT_EQ(noc.numLinks(), 8);
+}
+
+TEST_F(NocFixture, BisectionTargetIsMet)
+{
+    for (auto topo : {NocTopology::Mesh2D, NocTopology::Ring,
+                      NocTopology::Bus, NocTopology::HTree}) {
+        NocModel noc(tech, cfg(4, 4, topo));
+        EXPECT_GE(noc.bisectionBwBytesPerS(), 256e9)
+            << nocTopologyName(topo);
+    }
+}
+
+TEST_F(NocFixture, ExplicitFlitWidthWins)
+{
+    NocConfig c = cfg(4, 4);
+    c.flitBits = 128;
+    NocModel noc(tech, c);
+    EXPECT_EQ(noc.flitBits(), 128);
+}
+
+TEST_F(NocFixture, FewerBisectionChannelsNeedWiderLinks)
+{
+    NocModel mesh(tech, cfg(4, 4));
+    NocModel ring(tech, cfg(4, 4, NocTopology::Ring));
+    EXPECT_GT(ring.flitBits(), mesh.flitBits());
+}
+
+TEST_F(NocFixture, BiggerMeshCostsMore)
+{
+    NocModel small(tech, cfg(2, 4));
+    NocModel big(tech, cfg(4, 8));
+    EXPECT_GT(big.breakdown().total().areaUm2,
+              small.breakdown().total().areaUm2);
+    EXPECT_GT(big.breakdown().total().power.total(),
+              small.breakdown().total().power.total());
+}
+
+TEST_F(NocFixture, AverageHopsGrowWithSize)
+{
+    NocModel small(tech, cfg(2, 2));
+    NocModel big(tech, cfg(8, 8));
+    EXPECT_GT(big.avgHops(), small.avgHops());
+}
+
+TEST_F(NocFixture, EnergyPerByteHopPositiveAndSane)
+{
+    NocModel noc(tech, cfg(4, 4));
+    EXPECT_GT(noc.energyPerByteHopJ(), 0.05e-12);
+    EXPECT_LT(noc.energyPerByteHopJ(), 60e-12);
+}
+
+TEST_F(NocFixture, BiggerTilesLongerLinksMoreEnergy)
+{
+    NocConfig small_tile = cfg(4, 4);
+    NocConfig big_tile = cfg(4, 4);
+    big_tile.tileAreaUm2 = 4.0 * small_tile.tileAreaUm2;
+    NocModel a(tech, small_tile), b(tech, big_tile);
+    EXPECT_GT(b.energyPerByteHopJ(), a.energyPerByteHopJ());
+}
+
+TEST_F(NocFixture, RejectsBadConfig)
+{
+    NocConfig bad = cfg(0, 4);
+    EXPECT_THROW(NocModel(tech, bad), ConfigError);
+    NocConfig bad2 = cfg(2, 2);
+    bad2.tileAreaUm2 = 0.0;
+    EXPECT_THROW(NocModel(tech, bad2), ConfigError);
+}
+
+TEST_F(NocFixture, RoutersAndLinksInBreakdown)
+{
+    NocModel noc(tech, cfg(4, 4));
+    EXPECT_NE(noc.breakdown().find("routers"), nullptr);
+    EXPECT_NE(noc.breakdown().find("links"), nullptr);
+}
+
+/** Topology sweep: all are well formed on an 8-tile chip. */
+class NocTopoSweep : public ::testing::TestWithParam<NocTopology>
+{};
+
+TEST_P(NocTopoSweep, WellFormed)
+{
+    const TechNode tech = TechNode::make(28.0);
+    NocConfig c;
+    c.tx = 2;
+    c.ty = 4;
+    c.topology = GetParam();
+    c.freqHz = 700e6;
+    c.tileAreaUm2 = 8e6;
+    c.bisectionBwBytesPerS = 128e9;
+    NocModel noc(tech, c);
+    EXPECT_GT(noc.breakdown().total().areaUm2, 0.0);
+    EXPECT_GT(noc.flitBits(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, NocTopoSweep,
+                         ::testing::Values(NocTopology::Bus,
+                                           NocTopology::Ring,
+                                           NocTopology::Mesh2D,
+                                           NocTopology::HTree));
+
+} // namespace
+} // namespace neurometer

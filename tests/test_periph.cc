@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Peripheral (DRAM/HBM ports, PCIe, ICI, DMA) model tests, including
+ * the TPU-v1/v2 floorplan anchors the constants were fit to.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "components/periph.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(DramPortTest, Tpu1Ddr3Anchor)
+{
+    // Two DDR3 channels (~34 GB/s) at 28 nm: the paper's own model
+    // attributes ~6% of a ~300 mm^2 chip (~18 mm^2) to DRAM ports.
+    const TechNode t = TechNode::make(28.0);
+    const Breakdown bd = dramPort(t, DramKind::DDR3, 34e9);
+    const double mm2 = um2ToMm2(bd.total().areaUm2);
+    EXPECT_GT(mm2, 10.0);
+    EXPECT_LT(mm2, 25.0);
+}
+
+TEST(DramPortTest, Tpu2HbmAnchor)
+{
+    // 700 GB/s of HBM at 16 nm: ~9% of ~513 mm^2 (~46 mm^2).
+    const TechNode t = TechNode::make(16.0);
+    const Breakdown bd = dramPort(t, DramKind::HBM2, 700e9);
+    const double mm2 = um2ToMm2(bd.total().areaUm2);
+    EXPECT_GT(mm2, 30.0);
+    EXPECT_LT(mm2, 60.0);
+}
+
+TEST(DramPortTest, AreaAndPowerScaleWithBandwidth)
+{
+    const TechNode t = TechNode::make(16.0);
+    const Breakdown a = dramPort(t, DramKind::HBM2, 100e9);
+    const Breakdown b = dramPort(t, DramKind::HBM2, 400e9);
+    EXPECT_GT(b.total().areaUm2, a.total().areaUm2);
+    EXPECT_GT(b.total().power.dynamicW, 3.0 * a.total().power.dynamicW);
+}
+
+TEST(DramPortTest, HbmMoreEfficientPerByteThanDdr)
+{
+    const TechNode t = TechNode::make(16.0);
+    const double bw = 34e9;
+    const double ddr_w =
+        dramPort(t, DramKind::DDR3, bw).total().power.dynamicW;
+    const double hbm_w =
+        dramPort(t, DramKind::HBM2, bw).total().power.dynamicW;
+    EXPECT_LT(hbm_w, ddr_w);
+}
+
+TEST(DramPortTest, RejectsZeroBandwidth)
+{
+    const TechNode t = TechNode::make(28.0);
+    EXPECT_THROW(dramPort(t, DramKind::DDR4, 0.0), ConfigError);
+}
+
+TEST(PcieTest, Tpu1Gen3x16Anchor)
+{
+    // PCIe Gen3 x16 at 28 nm: paper's model shows ~3% of the die
+    // (~9-10 mm^2).
+    const TechNode t = TechNode::make(28.0);
+    const Breakdown bd = pcieInterface(t, 16);
+    const double mm2 = um2ToMm2(bd.total().areaUm2);
+    EXPECT_GT(mm2, 5.0);
+    EXPECT_LT(mm2, 14.0);
+}
+
+TEST(PcieTest, LanesScaleArea)
+{
+    const TechNode t = TechNode::make(28.0);
+    const double a4 = pcieInterface(t, 4).total().areaUm2;
+    const double a16 = pcieInterface(t, 16).total().areaUm2;
+    EXPECT_GT(a16, 3.0 * a4);
+    EXPECT_THROW(pcieInterface(t, 0), ConfigError);
+}
+
+TEST(IciTest, Tpu2Anchor)
+{
+    // ICI at 496 Gb/s/direction with 4 links at 16 nm: the paper's
+    // model attributes ~12% of ~513 mm^2 (~60 mm^2).
+    const TechNode t = TechNode::make(16.0);
+    const Breakdown bd = iciInterface(t, 4, 496.0);
+    const double mm2 = um2ToMm2(bd.total().areaUm2);
+    EXPECT_GT(mm2, 40.0);
+    EXPECT_LT(mm2, 80.0);
+}
+
+TEST(IciTest, MoreLinksMoreArea)
+{
+    const TechNode t = TechNode::make(16.0);
+    EXPECT_GT(iciInterface(t, 4, 496.0).total().areaUm2,
+              iciInterface(t, 2, 496.0).total().areaUm2);
+}
+
+TEST(DmaTest, ScalesWithBandwidth)
+{
+    const TechNode t = TechNode::make(28.0);
+    const Breakdown a = dmaEngine(t, 10e9, 700e6);
+    const Breakdown b = dmaEngine(t, 160e9, 700e6);
+    EXPECT_GT(b.total().areaUm2, a.total().areaUm2);
+}
+
+TEST(AnalogScaling, WeakNodeScaling)
+{
+    // Peripheral area shrinks much more slowly than logic between 28
+    // and 7 nm (sqrt vs quadratic shrink).
+    const TechNode t28 = TechNode::make(28.0);
+    const TechNode t7 = TechNode::make(7.0);
+    const double r = pcieInterface(t7, 16).total().areaUm2 /
+                     pcieInterface(t28, 16).total().areaUm2;
+    EXPECT_GT(r, 0.4); // logic would be ~0.06
+    EXPECT_LT(r, 1.0);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * RC-tree Elmore tests against hand-computed small networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/rc_tree.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(RCTree, SingleNodeIsDriverTimesCap)
+{
+    RCTree t(100.0, 2e-15);
+    EXPECT_NEAR(t.elmoreDelayS(0), 100.0 * 2e-15, 1e-24);
+    EXPECT_EQ(t.numNodes(), 1);
+}
+
+TEST(RCTree, TwoNodeChainHandComputed)
+{
+    // Driver R=100 at node0 (C=1f), then R=50 to node1 (C=3f).
+    RCTree t(100.0, 1e-15);
+    const int n1 = t.addNode(0, 50.0, 3e-15);
+    // delay(n1) = 100*(1f+3f) + 50*3f = 400f + 150f = 550 fs.
+    EXPECT_NEAR(t.elmoreDelayS(n1), 550e-15, 1e-20);
+    // delay(n0) = 100*(4f) = 400 fs.
+    EXPECT_NEAR(t.elmoreDelayS(0), 400e-15, 1e-20);
+}
+
+TEST(RCTree, BranchHandComputed)
+{
+    //       [n1: C=2f]
+    // root -+
+    //       [n2: C=4f]
+    // R(root)=10, R(n1)=20, R(n2)=30, C(root)=1f.
+    RCTree t(10.0, 1e-15);
+    const int n1 = t.addNode(0, 20.0, 2e-15);
+    const int n2 = t.addNode(0, 30.0, 4e-15);
+    // delay(n1) = 10*(1+2+4)f + 20*2f = 70f + 40f = 110 fs.
+    EXPECT_NEAR(t.elmoreDelayS(n1), 110e-15, 1e-20);
+    // delay(n2) = 10*7f + 30*4f = 190 fs.
+    EXPECT_NEAR(t.elmoreDelayS(n2), 190e-15, 1e-20);
+    EXPECT_NEAR(t.criticalDelayS(), 190e-15, 1e-20);
+}
+
+TEST(RCTree, AddCapIncreasesDelay)
+{
+    RCTree t(100.0, 1e-15);
+    const int n1 = t.addNode(0, 50.0, 1e-15);
+    const double before = t.elmoreDelayS(n1);
+    t.addCap(n1, 5e-15);
+    EXPECT_GT(t.elmoreDelayS(n1), before);
+}
+
+TEST(RCTree, TotalCap)
+{
+    RCTree t(1.0, 1e-15);
+    t.addNode(0, 1.0, 2e-15);
+    t.addNode(0, 1.0, 3e-15);
+    EXPECT_NEAR(t.totalCapF(), 6e-15, 1e-24);
+}
+
+TEST(RCTree, RejectsBadIndices)
+{
+    RCTree t(1.0, 1e-15);
+    EXPECT_THROW(t.addNode(5, 1.0, 1e-15), ModelError);
+    EXPECT_THROW(t.addCap(-1, 1e-15), ModelError);
+    EXPECT_THROW(t.elmoreDelayS(7), ModelError);
+    EXPECT_THROW(t.addNode(0, -1.0, 1e-15), ModelError);
+}
+
+TEST(RCTree, CriticalSinkIsChainEndForUniformChain)
+{
+    RCTree t(100.0, 1e-15);
+    int prev = 0;
+    int last = 0;
+    for (int i = 0; i < 20; ++i)
+        last = prev = t.addNode(prev, 10.0, 1e-15);
+    EXPECT_NEAR(t.criticalDelayS(), t.elmoreDelayS(last), 1e-24);
+}
+
+TEST(RCTree, ChainDelayMatchesDistributedQuadraticGrowth)
+{
+    // A uniform chain's Elmore delay from the far end grows ~ n^2/2 in
+    // the distributed limit (plus the driver term linear in n).
+    auto chain_delay = [](int n) {
+        RCTree t(0.0, 0.0);
+        int prev = 0;
+        for (int i = 0; i < n; ++i)
+            prev = t.addNode(prev, 1.0, 1e-15);
+        return t.elmoreDelayS(prev);
+    };
+    const double d10 = chain_delay(10);
+    const double d20 = chain_delay(20);
+    // Exact Elmore of a discrete chain: sum_{k=1..n} k = n(n+1)/2.
+    EXPECT_NEAR(d10, 1e-15 * 10 * 11 / 2.0, 1e-20);
+    EXPECT_NEAR(d20 / d10, (20.0 * 21) / (10.0 * 11), 1e-9);
+}
+
+TEST(RCTree, MulticastBusLoadsSlowTheBus)
+{
+    // The paper's Fig. 2(d) use case: same wire, more cell loads.
+    auto bus_delay = [](int loads, double load_cap) {
+        RCTree t(500.0, 2e-15);
+        int prev = 0;
+        for (int i = 0; i < loads; ++i) {
+            prev = t.addNode(prev, 5.0, 0.5e-15);
+            t.addCap(prev, load_cap);
+        }
+        return t.criticalDelayS();
+    };
+    EXPECT_GT(bus_delay(14, 2e-15), bus_delay(14, 1e-15));
+    EXPECT_GT(bus_delay(28, 1e-15), bus_delay(14, 1e-15));
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reduction-tree model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "components/reduction_tree.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class RtFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    ReductionTreeConfig
+    cfg(int n) const
+    {
+        ReductionTreeConfig c;
+        c.inputs = n;
+        c.freqHz = 700e6;
+        return c;
+    }
+};
+
+TEST_F(RtFixture, BreakdownHasAllParts)
+{
+    ReductionTreeModel rt(tech, cfg(64));
+    EXPECT_NE(rt.breakdown().find("mac_array"), nullptr);
+    EXPECT_NE(rt.breakdown().find("adder_tree"), nullptr);
+    EXPECT_NE(rt.breakdown().find("pipeline"), nullptr);
+}
+
+TEST_F(RtFixture, RequiresPowerOfTwoInputs)
+{
+    EXPECT_THROW(ReductionTreeModel(tech, cfg(48)), ConfigError);
+    EXPECT_NO_THROW(ReductionTreeModel(tech, cfg(64)));
+}
+
+TEST_F(RtFixture, PeakOpsCountsMulAndAdd)
+{
+    ReductionTreeModel rt(tech, cfg(64));
+    EXPECT_DOUBLE_EQ(rt.peakOpsPerCycle(), 128.0);
+}
+
+TEST_F(RtFixture, AreaScalesLinearlyInInputs)
+{
+    ReductionTreeModel a(tech, cfg(64)), b(tech, cfg(128));
+    const double ratio =
+        b.breakdown().total().areaUm2 / a.breakdown().total().areaUm2;
+    EXPECT_NEAR(ratio, 2.0, 0.15);
+}
+
+TEST_F(RtFixture, PipeliningShortensTheCycle)
+{
+    ReductionTreeConfig pipelined = cfg(256);
+    pipelined.pipelineEveryLayers = 1;
+    ReductionTreeConfig combinational = cfg(256);
+    combinational.pipelineEveryLayers = 0;
+    ReductionTreeModel p(tech, pipelined), c(tech, combinational);
+    EXPECT_LT(p.minCycleS(), c.minCycleS());
+    EXPECT_GT(p.latencyCycles(), c.latencyCycles());
+}
+
+TEST_F(RtFixture, SparserPipelineUsesFewerFlops)
+{
+    ReductionTreeConfig dense = cfg(256);
+    dense.pipelineEveryLayers = 1;
+    ReductionTreeConfig sparse = cfg(256);
+    sparse.pipelineEveryLayers = 2;
+    ReductionTreeModel d(tech, dense), s(tech, sparse);
+    EXPECT_GT(d.breakdown().areaOfUm2("pipeline"),
+              s.breakdown().areaOfUm2("pipeline"));
+}
+
+TEST_F(RtFixture, LatencyGrowsWithDepth)
+{
+    ReductionTreeModel small(tech, cfg(16)), big(tech, cfg(1024));
+    EXPECT_GT(big.latencyCycles(), small.latencyCycles());
+}
+
+TEST_F(RtFixture, SameOpsRtVsTuComparableOrder)
+{
+    // RT1024 has the same OPS as a 32x32 TU (Sec. IV pairing); its
+    // area should be the same order of magnitude.
+    ReductionTreeModel rt(tech, cfg(1024));
+    EXPECT_GT(rt.breakdown().total().areaUm2, 1e5);
+    EXPECT_LT(rt.breakdown().total().areaUm2, 4e6);
+}
+
+/** Sweep the Sec. IV configurations. */
+class RtSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RtSweep, WellFormed)
+{
+    const TechNode tech = TechNode::make(28.0);
+    ReductionTreeConfig c;
+    c.inputs = GetParam();
+    c.freqHz = 700e6;
+    ReductionTreeModel rt(tech, c);
+    EXPECT_GT(rt.breakdown().total().areaUm2, 0.0);
+    EXPECT_LE(rt.minCycleS(), 1.0 / 700e6 * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RtSweep,
+                         ::testing::Values(16, 64, 256, 1024));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scalar unit (stripped Cortex-A9-like control core) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "components/scalar_unit.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class SuFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+};
+
+TEST_F(SuFixture, HasExpectedSubBlocks)
+{
+    ScalarUnitModel su(tech, {});
+    for (const char *part :
+         {"ifu", "regfile", "alu", "lsu", "imem", "dspad"}) {
+        EXPECT_NE(su.breakdown().find(part), nullptr) << part;
+    }
+}
+
+TEST_F(SuFixture, SizeAnchorSimplifiedA9)
+{
+    // A stripped A9-class control core at 28 nm: a fraction of a mm^2
+    // (the full A9 is ~1 mm^2 at 28 nm with caches).
+    ScalarUnitConfig cfg;
+    cfg.freqHz = 700e6;
+    ScalarUnitModel su(tech, cfg);
+    const double mm2 = um2ToMm2(su.breakdown().total().areaUm2);
+    EXPECT_GT(mm2, 0.02);
+    EXPECT_LT(mm2, 0.8);
+}
+
+TEST_F(SuFixture, MeetsClock)
+{
+    ScalarUnitConfig cfg;
+    cfg.freqHz = 700e6;
+    ScalarUnitModel su(tech, cfg);
+    EXPECT_LE(su.minCycleS(), 1.0 / 700e6);
+}
+
+TEST_F(SuFixture, BiggerCachesBiggerCore)
+{
+    ScalarUnitConfig small;
+    small.icacheBytes = 4096;
+    small.dspadBytes = 4096;
+    ScalarUnitConfig big;
+    big.icacheBytes = 32768;
+    big.dspadBytes = 32768;
+    ScalarUnitModel a(tech, small), b(tech, big);
+    EXPECT_GT(b.breakdown().total().areaUm2,
+              a.breakdown().total().areaUm2);
+}
+
+TEST_F(SuFixture, WiderDatapathCostsMore)
+{
+    ScalarUnitConfig w32;
+    w32.dataBits = 32;
+    ScalarUnitConfig w64;
+    w64.dataBits = 64;
+    ScalarUnitModel a(tech, w32), b(tech, w64);
+    EXPECT_GT(b.breakdown().areaOfUm2("alu"),
+              a.breakdown().areaOfUm2("alu"));
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Sparse-module tests: generator statistics, tiled CSR encoding
+ * (functional SpMV vs dense reference), and the Sec. IV roofline.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "chip/optimizer.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+#include "sparse/csr.hh"
+#include "sparse/roofline.hh"
+#include "sparse/sparse_matrix.hh"
+
+namespace neurometer {
+namespace {
+
+SparseGenConfig
+gen(double sparsity, int n = 1024)
+{
+    SparseGenConfig g;
+    g.rows = g.cols = n;
+    g.sparsity = sparsity;
+    return g;
+}
+
+TEST(SparseMatrixTest, AchievesTargetSparsity)
+{
+    for (double s : {0.0, 0.3, 0.6, 0.9}) {
+        const SparseMatrix m(gen(s));
+        EXPECT_NEAR(1.0 - m.nonZeroRatio(), s, 0.03) << s;
+    }
+}
+
+TEST(SparseMatrixTest, DeterministicBySeed)
+{
+    const SparseMatrix a(gen(0.5)), b(gen(0.5));
+    EXPECT_DOUBLE_EQ(a.nnz(), b.nnz());
+    SparseGenConfig g = gen(0.5);
+    g.seed = 123;
+    const SparseMatrix c(g);
+    EXPECT_NE(a.nnz(), c.nnz()); // overwhelmingly likely
+}
+
+TEST(SparseMatrixTest, SmallBlocksSkipMoreThanBigBlocks)
+{
+    const SparseMatrix m(gen(0.9));
+    EXPECT_GE(m.zeroBlockFraction(8, 8), m.zeroBlockFraction(32, 32));
+    EXPECT_GE(m.zeroBlockFraction(4, 4), m.zeroBlockFraction(8, 8));
+}
+
+TEST(SparseMatrixTest, KneeBehaviorAtHighSparsity)
+{
+    // Fig. 11's mechanism: 8x8 zero-block fraction is negligible at
+    // 0.5 sparsity but substantial past 0.9; 32x32 stays negligible.
+    const SparseMatrix mid(gen(0.5));
+    const SparseMatrix high(gen(0.95));
+    EXPECT_LT(mid.zeroBlockFraction(8, 8), 0.08);
+    EXPECT_GT(high.zeroBlockFraction(8, 8), 0.25);
+    EXPECT_LT(high.zeroBlockFraction(32, 32), 0.15);
+}
+
+TEST(SparseMatrixTest, VectorSkipMatchesRowBlocks)
+{
+    const SparseMatrix m(gen(0.9));
+    EXPECT_DOUBLE_EQ(m.zeroVectorFraction(64),
+                     m.zeroBlockFraction(1, 64));
+}
+
+TEST(SparseMatrixTest, RejectsBadConfig)
+{
+    SparseGenConfig g = gen(1.0);
+    EXPECT_THROW(SparseMatrix m(g), ConfigError);
+    g = gen(0.5);
+    g.rows = 0;
+    EXPECT_THROW(SparseMatrix m(g), ConfigError);
+}
+
+TEST(CsrTest, BetaInPaperRange)
+{
+    // Paper: beta in [2.0, 2.5] depending on sparsity/shape.
+    for (double s : {0.5, 0.7, 0.9, 0.95}) {
+        const SparseMatrix m(gen(s));
+        const double beta = csrBeta(m);
+        EXPECT_GE(beta, 1.9) << s;
+        EXPECT_LE(beta, 2.6) << s;
+    }
+}
+
+TEST(CsrTest, SizePartsAddUp)
+{
+    const SparseMatrix m(gen(0.8));
+    const TiledCsrSize sz = tiledCsrSize(m);
+    EXPECT_DOUBLE_EQ(sz.valueBytes, m.nnz());
+    EXPECT_DOUBLE_EQ(sz.colIndexBytes, m.nnz());
+    EXPECT_GT(sz.rowIndexBytes, 0.0);
+    EXPECT_GT(sz.tileIndexBytes, 0.0);
+    EXPECT_NEAR(sz.total(),
+                sz.valueBytes + sz.colIndexBytes + sz.rowIndexBytes +
+                    sz.tileIndexBytes,
+                1e-9);
+}
+
+TEST(CsrTest, SpmvMatchesDenseReference)
+{
+    const SparseMatrix occ(gen(0.7, 128));
+    const CsrMatrix a(occ);
+    std::vector<float> x(128);
+    for (int i = 0; i < 128; ++i)
+        x[i] = 0.25f * float((i % 11) - 5);
+
+    const std::vector<float> y = a.spmv(x);
+    const std::vector<float> dense = a.toDense();
+    for (int r = 0; r < 128; ++r) {
+        float acc = 0.0f;
+        for (int c = 0; c < 128; ++c)
+            acc += dense[size_t(r) * 128 + c] * x[c];
+        EXPECT_NEAR(y[r], acc, 1e-3) << r;
+    }
+}
+
+TEST(CsrTest, NnzMatchesMask)
+{
+    const SparseMatrix occ(gen(0.6, 256));
+    const CsrMatrix a(occ);
+    EXPECT_DOUBLE_EQ(double(a.nnz()), occ.nnz());
+    EXPECT_THROW(a.spmv(std::vector<float>(7)), ConfigError);
+}
+
+// ---- Roofline --------------------------------------------------------
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+class RooflineFixture : public ::testing::Test
+{
+  protected:
+    ChipModel tu8 = buildChip(datacenterBase(), {8, 4, 4, 8});
+    ChipModel tu32 = buildChip(datacenterBase(), {32, 4, 2, 2});
+    SpmvProblem prob{2048, 2048, 32};
+
+    SparseMatrix
+    mat(double s) const
+    {
+        SparseGenConfig g;
+        g.rows = g.cols = 2048;
+        g.sparsity = s;
+        return SparseMatrix(g);
+    }
+};
+
+TEST_F(RooflineFixture, DenseBaselineHasUnitGain)
+{
+    const SparseRoofline r(tu32, SkipScheme::TensorBlock, 32);
+    const SparseRunResult res = r.eval(prob, mat(0.0));
+    // Dense-as-sparse pays the CSR overhead: gain < 1.
+    EXPECT_LT(res.energyEfficiencyGain, 1.0);
+    EXPECT_NEAR(res.y, 1.0, 1e-9);
+}
+
+TEST_F(RooflineFixture, GainCrossesUnityNearHalfSparsity)
+{
+    const SparseRoofline r(tu32, SkipScheme::TensorBlock, 32);
+    EXPECT_LT(r.eval(prob, mat(0.3)).energyEfficiencyGain, 1.0);
+    EXPECT_GT(r.eval(prob, mat(0.7)).energyEfficiencyGain, 1.0);
+}
+
+TEST_F(RooflineFixture, GainMonotoneInSparsity)
+{
+    const SparseRoofline r(tu8, SkipScheme::TensorBlock, 8);
+    double prev = 0.0;
+    for (double s : {0.0, 0.3, 0.6, 0.9, 0.95}) {
+        const double g = r.eval(prob, mat(s)).energyEfficiencyGain;
+        EXPECT_GT(g, prev) << s;
+        prev = g;
+    }
+}
+
+TEST_F(RooflineFixture, WimpySkipsMoreComputeAtHighSparsity)
+{
+    const SparseRoofline r8(tu8, SkipScheme::TensorBlock, 8);
+    const SparseRoofline r32(tu32, SkipScheme::TensorBlock, 32);
+    const SparseMatrix m = mat(0.95);
+    const SparseRunResult a8 = r8.eval(prob, m);
+    const SparseRunResult a32 = r32.eval(prob, m);
+    EXPECT_LT(a8.y, a32.y);                    // more zero-skip
+    EXPECT_GT(a8.energyEfficiencyGain,
+              a32.energyEfficiencyGain);       // bigger gain (Fig. 11)
+}
+
+TEST_F(RooflineFixture, DenseTimeMatchesRooflineClosedForm)
+{
+    // t_d = max(C/F, (S_V + S_W)/B) exactly (paper Sec. IV).
+    const SparseRoofline r(tu32, SkipScheme::TensorBlock, 32);
+    const SparseRunResult res = r.eval(prob, mat(0.5));
+    const double s_w = 2048.0 * 2048.0;
+    const double s_v = (2048.0 + 2048.0) * 32.0;
+    const double c_ops = 2.0 * 2048.0 * 2048.0 * 32.0;
+    const double expect = std::max(
+        c_ops / (tu32.peakTops() * 1e12), (s_v + s_w) / 700e9);
+    EXPECT_NEAR(res.tDenseS, expect, 1e-12);
+}
+
+TEST_F(RooflineFixture, RejectsUndersizedProblems)
+{
+    const SparseRoofline r(tu32, SkipScheme::TensorBlock, 32);
+    SpmvProblem small{512, 512, 32};
+    SparseGenConfig g;
+    g.rows = g.cols = 512;
+    g.sparsity = 0.5;
+    const SparseMatrix m(g);
+    EXPECT_THROW(r.eval(small, m), ConfigError);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the technology-node model: tabulated anchors, interpolation,
+ * monotone scaling across nodes, and supply-voltage overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(TechNode, RejectsOutOfRangeNodes)
+{
+    EXPECT_THROW(TechNode::make(5.0), ConfigError);
+    EXPECT_THROW(TechNode::make(90.0), ConfigError);
+    EXPECT_NO_THROW(TechNode::make(7.0));
+    EXPECT_NO_THROW(TechNode::make(65.0));
+}
+
+TEST(TechNode, PublishedSramCellAnchors)
+{
+    // Anchors from DESIGN.md Sec. 5 (published foundry values).
+    EXPECT_NEAR(TechNode::make(65).sramCellUm2(), 0.525, 1e-9);
+    EXPECT_NEAR(TechNode::make(28).sramCellUm2(), 0.127, 1e-9);
+    EXPECT_NEAR(TechNode::make(16).sramCellUm2(), 0.074, 1e-9);
+    EXPECT_NEAR(TechNode::make(7).sramCellUm2(), 0.027, 1e-9);
+}
+
+TEST(TechNode, DefaultVddMatchesValidationSetups)
+{
+    // TPU-v1 runs 0.86 V at 28 nm, TPU-v2 0.75 V at 16 nm, Eyeriss
+    // 1.0 V at 65 nm — the node defaults must match those setups.
+    EXPECT_NEAR(TechNode::make(28).vdd(), 0.86, 1e-9);
+    EXPECT_NEAR(TechNode::make(16).vdd(), 0.75, 1e-9);
+    EXPECT_NEAR(TechNode::make(65).vdd(), 1.00, 1e-9);
+}
+
+/** Parameterized sweep: all adjacent node pairs must scale monotonely. */
+class TechScaling : public ::testing::TestWithParam<std::pair<double, double>>
+{};
+
+TEST_P(TechScaling, SmallerNodeIsSmallerFasterDenser)
+{
+    const auto [big_nm, small_nm] = GetParam();
+    const TechNode big = TechNode::make(big_nm);
+    const TechNode small = TechNode::make(small_nm);
+
+    EXPECT_LT(small.nand2AreaUm2(), big.nand2AreaUm2());
+    EXPECT_LT(small.sramCellUm2(), big.sramCellUm2());
+    EXPECT_LT(small.dffAreaUm2(), big.dffAreaUm2());
+    EXPECT_LT(small.fo4S(), big.fo4S());
+    EXPECT_LT(small.nand2EnergyJ(), big.nand2EnergyJ());
+    // Wires get worse per um as they shrink.
+    EXPECT_GT(small.wire(WireLayer::Local).rOhmPerUm,
+              big.wire(WireLayer::Local).rOhmPerUm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdjacentNodes, TechScaling,
+    ::testing::Values(std::make_pair(65.0, 45.0),
+                      std::make_pair(45.0, 28.0),
+                      std::make_pair(28.0, 16.0),
+                      std::make_pair(16.0, 12.0),
+                      std::make_pair(12.0, 7.0)));
+
+/** Interpolated nodes must land strictly between their brackets. */
+class TechInterp : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(TechInterp, InterpolationIsBracketed)
+{
+    const double node = GetParam();
+    // Find bracket nodes from the published table.
+    const double table[] = {65, 45, 28, 16, 12, 7};
+    double hi = 65, lo = 7;
+    for (size_t i = 0; i + 1 < std::size(table); ++i) {
+        if (node < table[i] && node > table[i + 1]) {
+            hi = table[i];
+            lo = table[i + 1];
+        }
+    }
+    const TechNode t = TechNode::make(node);
+    const TechNode th = TechNode::make(hi);
+    const TechNode tl = TechNode::make(lo);
+    EXPECT_LT(t.nand2AreaUm2(), th.nand2AreaUm2());
+    EXPECT_GT(t.nand2AreaUm2(), tl.nand2AreaUm2());
+    EXPECT_LT(t.fo4S(), th.fo4S());
+    EXPECT_GT(t.fo4S(), tl.fo4S());
+    EXPECT_LT(t.sramCellUm2(), th.sramCellUm2());
+    EXPECT_GT(t.sramCellUm2(), tl.sramCellUm2());
+}
+
+INSTANTIATE_TEST_SUITE_P(BetweenNodes, TechInterp,
+                         ::testing::Values(55.0, 40.0, 32.0, 22.0, 20.0,
+                                           14.0, 10.0));
+
+TEST(TechNode, VddOverrideScalesEnergyQuadratically)
+{
+    const TechNode nominal = TechNode::make(28.0); // 0.86 V default
+    const TechNode low = TechNode::make(28.0, 0.70);
+    const double ratio = low.nand2EnergyJ() / nominal.nand2EnergyJ();
+    EXPECT_NEAR(ratio, (0.70 / 0.86) * (0.70 / 0.86), 1e-9);
+}
+
+TEST(TechNode, LowerVddSlowsAndLeaksLess)
+{
+    const TechNode nominal = TechNode::make(28.0);
+    const TechNode low = TechNode::make(28.0, 0.70);
+    EXPECT_GT(low.fo4S(), nominal.fo4S());
+    EXPECT_LT(low.nand2LeakW(), nominal.nand2LeakW());
+    EXPECT_LT(low.sramCellLeakW(), nominal.sramCellLeakW());
+}
+
+TEST(TechNode, WireLayersOrderedByParasitics)
+{
+    const TechNode t = TechNode::make(28.0);
+    // Resistance: local worst; capacitance roughly comparable but
+    // monotone; pitch: global widest.
+    EXPECT_GT(t.wire(WireLayer::Local).rOhmPerUm,
+              t.wire(WireLayer::Intermediate).rOhmPerUm);
+    EXPECT_GT(t.wire(WireLayer::Intermediate).rOhmPerUm,
+              t.wire(WireLayer::Global).rOhmPerUm);
+    EXPECT_LT(t.wire(WireLayer::Local).pitchUm,
+              t.wire(WireLayer::Global).pitchUm);
+}
+
+TEST(TechNode, DerivedCellRelations)
+{
+    const TechNode t = TechNode::make(28.0);
+    EXPECT_NEAR(t.dffAreaUm2() / t.nand2AreaUm2(), 4.5, 1e-9);
+    EXPECT_GT(t.dffEnergyJ(), t.nand2EnergyJ());
+    EXPECT_GT(t.dffDelayS(), 0.0);
+    EXPECT_LT(t.edramCellUm2(), t.sramCellUm2());
+}
+
+TEST(TechNode, ExactTableNodesBypassInterpolation)
+{
+    // make() at a tabulated node must return exactly the table row.
+    const TechNode t = TechNode::make(45.0);
+    EXPECT_NEAR(t.sramCellUm2(), 0.299, 1e-12);
+    EXPECT_NEAR(t.vdd(), 0.95, 1e-12);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tensor-unit (systolic array) model tests: composition, scaling laws,
+ * interconnect styles, and the TPU-v1 MXU calibration anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "components/tensor_unit.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class TuFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    TensorUnitConfig
+    cfg(int n) const
+    {
+        TensorUnitConfig c;
+        c.rows = n;
+        c.cols = n;
+        c.freqHz = 700e6;
+        return c;
+    }
+};
+
+TEST_F(TuFixture, BreakdownHasAllParts)
+{
+    TensorUnitModel tu(tech, cfg(32));
+    const Breakdown &bd = tu.breakdown();
+    EXPECT_NE(bd.find("mac"), nullptr);
+    EXPECT_NE(bd.find("local_buffer"), nullptr);
+    EXPECT_NE(bd.find("interconnect"), nullptr);
+    EXPECT_NE(bd.find("io_fifo"), nullptr);
+}
+
+TEST_F(TuFixture, PeakOpsIsTwoPerCellPerCycle)
+{
+    TensorUnitModel tu(tech, cfg(64));
+    EXPECT_DOUBLE_EQ(tu.peakOpsPerCycle(), 2.0 * 64 * 64);
+    EXPECT_DOUBLE_EQ(tu.peakOpsPerS(), 2.0 * 64 * 64 * 700e6);
+}
+
+TEST_F(TuFixture, MacAreaScalesQuadraticallyFifosLinearly)
+{
+    TensorUnitModel a(tech, cfg(16)), b(tech, cfg(32));
+    EXPECT_NEAR(b.breakdown().areaOfUm2("mac") /
+                    a.breakdown().areaOfUm2("mac"),
+                4.0, 0.01);
+    EXPECT_NEAR(b.breakdown().areaOfUm2("io_fifo") /
+                    a.breakdown().areaOfUm2("io_fifo"),
+                2.0, 0.01);
+}
+
+TEST_F(TuFixture, EnergyPerMacRoughlySizeIndependentForUnicast)
+{
+    TensorUnitModel a(tech, cfg(16)), b(tech, cfg(128));
+    EXPECT_NEAR(b.energyPerMacJ() / a.energyPerMacJ(), 1.0, 0.35);
+}
+
+TEST_F(TuFixture, Tpu1MxuAnchors)
+{
+    // 256x256 int8 @ 700 MHz, 28 nm: published MXU ~24% of <331 mm^2
+    // (~79 mm^2); systolic array TDP share ~56% of 75 W (~42 W).
+    TensorUnitModel mxu(tech, cfg(256));
+    const PAT t = mxu.breakdown().total();
+    EXPECT_GT(um2ToMm2(t.areaUm2), 79.0 * 0.75);
+    EXPECT_LT(um2ToMm2(t.areaUm2), 79.0 * 1.25);
+    EXPECT_GT(t.power.dynamicW, 42.0 * 0.75);
+    EXPECT_LT(t.power.dynamicW, 42.0 * 1.25);
+}
+
+TEST_F(TuFixture, MulticastCostsMoreInterconnectEnergy)
+{
+    TensorUnitConfig uni = cfg(14);
+    uni.rows = 12;
+    uni.freqHz = 200e6;
+    TensorUnitConfig multi = uni;
+    multi.interconnect = TuInterconnect::Multicast;
+    const TechNode t65 = TechNode::make(65.0);
+    TensorUnitModel tu_uni(t65, uni), tu_multi(t65, multi);
+    EXPECT_GT(tu_multi.breakdown().powerOfW("interconnect"),
+              tu_uni.breakdown().powerOfW("interconnect"));
+}
+
+TEST_F(TuFixture, MulticastBusIsSlowerThanNeighborHop)
+{
+    TensorUnitConfig uni = cfg(64);
+    TensorUnitConfig multi = uni;
+    multi.interconnect = TuInterconnect::Multicast;
+    multi.freqHz = 200e6;
+    TensorUnitModel tu_uni(tech, uni), tu_multi(tech, multi);
+    EXPECT_GT(tu_multi.breakdown().find("interconnect")
+                  ->total().timing.delayS,
+              tu_uni.breakdown().find("interconnect")
+                  ->total().timing.delayS);
+}
+
+TEST_F(TuFixture, PerCellSramAddsAreaAndPower)
+{
+    TensorUnitConfig plain = cfg(14);
+    TensorUnitConfig eyeriss = plain;
+    eyeriss.perCellSramBytes = 448.0;
+    eyeriss.perCellRegBytes = 72.0;
+    TensorUnitModel a(tech, plain), b(tech, eyeriss);
+    EXPECT_GT(b.breakdown().areaOfUm2("local_buffer"),
+              3.0 * a.breakdown().areaOfUm2("local_buffer"));
+    EXPECT_GT(b.cellPitchUm(), a.cellPitchUm());
+}
+
+TEST_F(TuFixture, DataflowDefaultsGiveSameFootprint)
+{
+    // WS and OS differ in scheduling, not per-cell resources, under
+    // the default register allocation.
+    TensorUnitConfig ws = cfg(32);
+    TensorUnitConfig os = ws;
+    os.dataflow = TuDataflow::OutputStationary;
+    TensorUnitModel a(tech, ws), b(tech, os);
+    EXPECT_DOUBLE_EQ(a.breakdown().total().areaUm2,
+                     b.breakdown().total().areaUm2);
+}
+
+TEST_F(TuFixture, WiderAccumTypeCostsMore)
+{
+    TensorUnitConfig narrow = cfg(32);
+    narrow.mulType = DataType::Int8;
+    narrow.accType = DataType::Int32;
+    TensorUnitConfig fp = cfg(32);
+    fp.mulType = DataType::BF16;
+    fp.accType = DataType::FP32;
+    TensorUnitModel a(tech, narrow), b(tech, fp);
+    EXPECT_GT(b.breakdown().total().areaUm2,
+              a.breakdown().total().areaUm2);
+    EXPECT_GT(b.energyPerMacJ(), a.energyPerMacJ());
+}
+
+TEST_F(TuFixture, RejectsBadConfig)
+{
+    TensorUnitConfig bad = cfg(0);
+    EXPECT_THROW(TensorUnitModel(tech, bad), ConfigError);
+    TensorUnitConfig too_fast = cfg(32);
+    too_fast.freqHz = 50e9;
+    EXPECT_THROW(TensorUnitModel(tech, too_fast), ConfigError);
+}
+
+/** Size sweep: invariants across the paper's X range {4..256}. */
+class TuSizeSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TuSizeSweep, WellFormedAcrossDesignSpace)
+{
+    const TechNode tech = TechNode::make(28.0);
+    TensorUnitConfig c;
+    c.rows = c.cols = GetParam();
+    c.freqHz = 700e6;
+    TensorUnitModel tu(tech, c);
+    const PAT t = tu.breakdown().total();
+    EXPECT_GT(t.areaUm2, 0.0);
+    EXPECT_GT(t.power.dynamicW, 0.0);
+    EXPECT_LE(tu.minCycleS(), 1.0 / 700e6 * 1.0001);
+    EXPECT_GT(tu.energyPerMacJ(), 0.1e-12);
+    EXPECT_LT(tu.energyPerMacJ(), 5e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, TuSizeSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));
+
+} // namespace
+} // namespace neurometer

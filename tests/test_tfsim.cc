@@ -1,0 +1,200 @@
+/**
+ * @file
+ * TF-Sim-analog tests: mapping invariants, batch scaling, software
+ * optimization effects, SLO search, and the case-study orderings the
+ * paper reports (Sec. III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/optimizer.hh"
+#include "common/error.hh"
+#include "common/units.hh"
+#include "perf/tfsim.hh"
+
+namespace neurometer {
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+class TfSimFixture : public ::testing::Test
+{
+  protected:
+    ChipModel chip = buildChip(datacenterBase(), {64, 2, 2, 4});
+    TfSim sim{chip};
+    Workload resnet = resnet50();
+};
+
+TEST_F(TfSimFixture, BasicResultSanity)
+{
+    const SimResult r = sim.run(resnet, {1, true});
+    EXPECT_GT(r.latencyS, 0.0);
+    EXPECT_GT(r.throughputFps, 0.0);
+    EXPECT_GT(r.achievedTops, 0.0);
+    EXPECT_GT(r.tuUtilization, 0.0);
+    EXPECT_LT(r.tuUtilization, 1.0);
+    EXPECT_GT(r.runtimePower.total(), 0.0);
+    // Runtime power stays below the full-activity rollup.
+    EXPECT_LT(r.runtimePower.total(),
+              chip.breakdown().total().power.total());
+}
+
+TEST_F(TfSimFixture, ThroughputImprovesWithBatch)
+{
+    const double f1 = sim.run(resnet, {1, true}).throughputFps;
+    const double f16 = sim.run(resnet, {16, true}).throughputFps;
+    const double f64 = sim.run(resnet, {64, true}).throughputFps;
+    EXPECT_GT(f16, 1.5 * f1); // paper Fig. 9: large gains to bs=64
+    EXPECT_GE(f64, f16);
+}
+
+TEST_F(TfSimFixture, LatencyGrowsWithBatch)
+{
+    const double l1 = sim.run(resnet, {1, true}).latencyS;
+    const double l64 = sim.run(resnet, {64, true}).latencyS;
+    EXPECT_GT(l64, 5.0 * l1);
+}
+
+TEST_F(TfSimFixture, SoftwareOptimizationsHelpMostAtSmallBatch)
+{
+    auto speedup = [&](int b) {
+        return sim.run(resnet, {b, true}).throughputFps /
+               sim.run(resnet, {b, false}).throughputFps;
+    };
+    EXPECT_GT(speedup(1), 1.05);
+    EXPECT_GT(speedup(1), speedup(64)); // paper Fig. 7 shape
+}
+
+TEST_F(TfSimFixture, UtilizationIsAchievedOverPeak)
+{
+    const SimResult r = sim.run(resnet, {8, true});
+    EXPECT_NEAR(r.tuUtilization, r.achievedTops / chip.peakTops(),
+                1e-12);
+}
+
+TEST_F(TfSimFixture, SloBatchIsMonotoneInSlo)
+{
+    const int b10 = sim.maxBatchUnderSlo(resnet, 0.010);
+    const int b50 = sim.maxBatchUnderSlo(resnet, 0.050);
+    EXPECT_GE(b50, b10);
+    EXPECT_GE(b10, 1);
+}
+
+TEST_F(TfSimFixture, SloBatchLatencyActuallyMeetsSlo)
+{
+    const int b = sim.maxBatchUnderSlo(resnet, 0.010);
+    EXPECT_LE(sim.run(resnet, {b, true}).latencyS, 0.010);
+}
+
+TEST_F(TfSimFixture, NasNetStreamsWeightsOffChip)
+{
+    // 84.9 MB of parameters exceed the 32 MB Mem: off-chip traffic
+    // per frame must include them (amortized over the batch).
+    const SimResult r1 = sim.run(nasnetALarge(), {1, true});
+    EXPECT_GT(r1.stats.offchipBytesPerS * r1.latencyS, 80e6);
+    const SimResult rr = sim.run(resnet, {1, true});
+    EXPECT_LT(rr.stats.offchipBytesPerS * rr.latencyS, 10e6);
+}
+
+TEST_F(TfSimFixture, RejectsBadConfigs)
+{
+    EXPECT_THROW(sim.run(resnet, {0, true}), ConfigError);
+    ChipConfig rt_cfg = datacenterBase();
+    rt_cfg.core.numTU = 0;
+    rt_cfg.core.numRT = 4;
+    ChipModel rt_chip(rt_cfg);
+    TfSim rt_sim(rt_chip);
+    EXPECT_THROW(rt_sim.run(resnet, {1, true}), ConfigError);
+}
+
+TEST(TfSimOrderings, WimpyHasHighestUtilization)
+{
+    // Paper Sec. III-B2: (8,4,4,8) always has the highest TU
+    // utilization among the highlighted points.
+    const ChipConfig base = datacenterBase();
+    const Workload wl = resnet50();
+    double util_wimpy = 0.0, util_brawny = 0.0, util_jumbo = 0.0;
+    {
+        ChipModel c = buildChip(base, {8, 4, 4, 8});
+        util_wimpy = TfSim(c).run(wl, {1, true}).tuUtilization;
+    }
+    {
+        ChipModel c = buildChip(base, {64, 2, 2, 4});
+        util_brawny = TfSim(c).run(wl, {1, true}).tuUtilization;
+    }
+    {
+        ChipModel c = buildChip(base, {256, 1, 1, 1});
+        util_jumbo = TfSim(c).run(wl, {1, true}).tuUtilization;
+    }
+    EXPECT_GT(util_wimpy, util_brawny);
+    EXPECT_GT(util_brawny, util_jumbo);
+}
+
+TEST(TfSimOrderings, BrawnyHasHighestThroughput)
+{
+    const ChipConfig base = datacenterBase();
+    const Workload wl = resnet50();
+    double t_wimpy, t_brawny;
+    {
+        ChipModel c = buildChip(base, {8, 4, 4, 8});
+        t_wimpy = TfSim(c).run(wl, {1, true}).achievedTops;
+    }
+    {
+        ChipModel c = buildChip(base, {64, 2, 2, 4});
+        t_brawny = TfSim(c).run(wl, {1, true}).achievedTops;
+    }
+    EXPECT_GT(t_brawny, t_wimpy);
+}
+
+TEST(TfSimOrderings, FewerCoresTradeThroughputForEfficiency)
+{
+    // (64,4,1,2) vs (64,2,2,4) at bs=1: modest throughput sacrifice,
+    // clear TOPS/TCO gain (paper: ~16% for >2x).
+    const ChipConfig base = datacenterBase();
+    const Workload wl = resnet50();
+    ChipModel through = buildChip(base, {64, 2, 2, 4});
+    ChipModel eff = buildChip(base, {64, 4, 1, 2});
+    const SimResult rt = TfSim(through).run(wl, {1, true});
+    const SimResult re = TfSim(eff).run(wl, {1, true});
+    EXPECT_LT(re.achievedTops, rt.achievedTops);
+    EXPECT_GT(re.achievedTops, 0.5 * rt.achievedTops);
+    EXPECT_GT(re.achievedTopsPerTco, 1.2 * rt.achievedTopsPerTco);
+}
+
+/** Every (workload, batch) pair simulates cleanly. */
+class TfSimSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(TfSimSweep, WellFormed)
+{
+    const auto [wl_idx, batch] = GetParam();
+    const Workload wls[] = {resnet50(), inceptionV3(),
+                            nasnetALarge()};
+    ChipModel chip = buildChip(datacenterBase(), {32, 2, 2, 2});
+    const SimResult r =
+        TfSim(chip).run(wls[wl_idx], {batch, true});
+    EXPECT_GT(r.achievedTops, 0.0);
+    EXPECT_LE(r.tuUtilization, 1.0);
+    EXPECT_GT(r.runtimePower.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TfSimSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 16,
+                                                              256)));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Vector register file tests — the port-count cost explosion is the
+ * architectural story here (it is why the paper caps TUs per core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "components/vector_regfile.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class VregFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    VectorRegfileConfig
+    cfg(int lanes, int rp = 4, int wp = 2) const
+    {
+        VectorRegfileConfig c;
+        c.lanes = lanes;
+        c.readPorts = rp;
+        c.writePorts = wp;
+        c.freqHz = 700e6;
+        return c;
+    }
+};
+
+TEST_F(VregFixture, DefaultSingleTuVuConfigIs4R2W)
+{
+    // Paper: "for the core with single VU and single TU, VReg is
+    // configured as 4 read ports and 2 write ports".
+    VectorRegfileConfig c = cfg(64);
+    EXPECT_EQ(c.readPorts, 4);
+    EXPECT_EQ(c.writePorts, 2);
+    EXPECT_NO_THROW(VectorRegfileModel(tech, c));
+}
+
+TEST_F(VregFixture, PortExplosionIsSuperlinear)
+{
+    // Going 6 -> 15 ports (N=1 -> N=4 TUs) must grow area much faster
+    // than the port ratio itself: the cell grows in both dimensions.
+    VectorRegfileModel few(tech, cfg(64, 4, 2));
+    VectorRegfileModel many(tech, cfg(64, 10, 5));
+    const double area_ratio = many.breakdown().total().areaUm2 /
+                              few.breakdown().total().areaUm2;
+    EXPECT_GT(area_ratio, 2.5);
+}
+
+TEST_F(VregFixture, AreaLinearInLanes)
+{
+    VectorRegfileModel a(tech, cfg(32)), b(tech, cfg(128));
+    const double ratio =
+        b.breakdown().total().areaUm2 / a.breakdown().total().areaUm2;
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 6.5);
+}
+
+TEST_F(VregFixture, EnergiesPositiveAndWriteCostsMore)
+{
+    VectorRegfileModel v(tech, cfg(64));
+    EXPECT_GT(v.readEnergyJ(), 0.0);
+    EXPECT_GT(v.writeEnergyJ(), 0.0);
+}
+
+TEST_F(VregFixture, MoreEntriesMoreArea)
+{
+    VectorRegfileConfig small = cfg(64);
+    small.entries = 16;
+    VectorRegfileConfig big = cfg(64);
+    big.entries = 64;
+    VectorRegfileModel a(tech, small), b(tech, big);
+    EXPECT_GT(b.breakdown().total().areaUm2,
+              a.breakdown().total().areaUm2);
+}
+
+TEST_F(VregFixture, MeetsClockAt700Mhz)
+{
+    VectorRegfileModel v(tech, cfg(128));
+    EXPECT_LT(v.minCycleS(), 1.0 / 700e6);
+}
+
+TEST_F(VregFixture, RejectsBadConfig)
+{
+    VectorRegfileConfig bad = cfg(0);
+    EXPECT_THROW(VectorRegfileModel(tech, bad), ConfigError);
+    VectorRegfileConfig bad2 = cfg(32, 0, 1);
+    EXPECT_THROW(VectorRegfileModel(tech, bad2), ConfigError);
+}
+
+} // namespace
+} // namespace neurometer

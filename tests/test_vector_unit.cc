@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Vector-unit model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "components/vector_unit.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class VuFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+
+    VectorUnitConfig
+    cfg(int lanes) const
+    {
+        VectorUnitConfig c;
+        c.lanes = lanes;
+        c.freqHz = 700e6;
+        return c;
+    }
+};
+
+TEST_F(VuFixture, BreakdownParts)
+{
+    VectorUnitModel vu(tech, cfg(64));
+    EXPECT_NE(vu.breakdown().find("lanes"), nullptr);
+    EXPECT_NE(vu.breakdown().find("pipeline"), nullptr);
+    EXPECT_NE(vu.breakdown().find("control"), nullptr);
+}
+
+TEST_F(VuFixture, AreaNearLinearInLanes)
+{
+    VectorUnitModel a(tech, cfg(32)), b(tech, cfg(128));
+    const double ratio =
+        b.breakdown().total().areaUm2 / a.breakdown().total().areaUm2;
+    EXPECT_GT(ratio, 3.3);
+    EXPECT_LT(ratio, 4.3);
+}
+
+TEST_F(VuFixture, PeakOps)
+{
+    VectorUnitModel vu(tech, cfg(64));
+    EXPECT_DOUBLE_EQ(vu.peakOpsPerCycle(), 128.0);
+}
+
+TEST_F(VuFixture, SfuAddsAreaButNotCriticalPath)
+{
+    VectorUnitConfig with = cfg(64);
+    VectorUnitConfig without = cfg(64);
+    without.hasSfu = false;
+    VectorUnitModel a(tech, with), b(tech, without);
+    EXPECT_GT(a.breakdown().total().areaUm2,
+              b.breakdown().total().areaUm2);
+    EXPECT_DOUBLE_EQ(a.minCycleS(), b.minCycleS());
+}
+
+TEST_F(VuFixture, DeeperPipelineShortensCycle)
+{
+    VectorUnitConfig shallow = cfg(64);
+    shallow.pipelineStages = 1;
+    VectorUnitConfig deep = cfg(64);
+    deep.pipelineStages = 6;
+    VectorUnitModel a(tech, shallow), b(tech, deep);
+    EXPECT_GT(a.minCycleS(), b.minCycleS());
+}
+
+TEST_F(VuFixture, RejectsBadConfig)
+{
+    VectorUnitConfig bad = cfg(0);
+    EXPECT_THROW(VectorUnitModel(tech, bad), ConfigError);
+    VectorUnitConfig bad2 = cfg(8);
+    bad2.pipelineStages = 0;
+    EXPECT_THROW(VectorUnitModel(tech, bad2), ConfigError);
+}
+
+/** Lane-type sweep. */
+class VuTypeSweep : public ::testing::TestWithParam<DataType>
+{};
+
+TEST_P(VuTypeSweep, WellFormed)
+{
+    const TechNode tech = TechNode::make(16.0);
+    VectorUnitConfig c;
+    c.lanes = 32;
+    c.laneType = GetParam();
+    c.freqHz = 940e6;
+    VectorUnitModel vu(tech, c);
+    EXPECT_GT(vu.breakdown().total().areaUm2, 0.0);
+    EXPECT_GT(vu.breakdown().total().power.dynamicW, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, VuTypeSweep,
+                         ::testing::Values(DataType::Int8, DataType::Int32,
+                                           DataType::BF16,
+                                           DataType::FP32));
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Wire model tests: Elmore closed forms, repeater insertion behavior,
+ * and pipelined bus properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/wire.hh"
+#include "common/error.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+class WireFixture : public ::testing::Test
+{
+  protected:
+    TechNode tech = TechNode::make(28.0);
+    WireModel wires{tech};
+};
+
+TEST_F(WireFixture, UnrepeatedMatchesClosedForm)
+{
+    const double len = 100.0, rd = 1000.0, cl = 2e-15;
+    const WireParams &w = tech.wire(WireLayer::Intermediate);
+    const WireResult r =
+        wires.unrepeated(WireLayer::Intermediate, len, rd, cl);
+    const double rw = w.rOhmPerUm * len;
+    const double cw = w.cFPerUm * len;
+    const double expect =
+        0.69 * rd * (cw + cl) + 0.38 * rw * cw + 0.69 * rw * cl;
+    EXPECT_NEAR(r.delayS, expect, 1e-18);
+    EXPECT_NEAR(r.energyJ, (cw + cl) * tech.vdd() * tech.vdd(), 1e-21);
+    EXPECT_EQ(r.numRepeaters, 0);
+}
+
+TEST_F(WireFixture, ZeroLengthWireIsDriverOnly)
+{
+    const WireResult r =
+        wires.unrepeated(WireLayer::Local, 0.0, 500.0, 1e-15);
+    EXPECT_NEAR(r.delayS, 0.69 * 500.0 * 1e-15, 1e-20);
+    EXPECT_THROW(wires.unrepeated(WireLayer::Local, -1.0, 1.0, 0.0),
+                 ConfigError);
+}
+
+TEST_F(WireFixture, UnrepeatedDelayGrowsQuadratically)
+{
+    auto d = [&](double len) {
+        return wires
+            .unrepeated(WireLayer::Global, len, 100.0, 1e-15)
+            .delayS;
+    };
+    // For long wires the r*c*L^2 term dominates: doubling length must
+    // more than triple the wire-dominated part.
+    const double d1 = d(5000.0), d2 = d(10000.0);
+    EXPECT_GT(d2 / d1, 3.0);
+}
+
+TEST_F(WireFixture, RepeatedDelayGrowsLinearly)
+{
+    auto d = [&](double len) {
+        return wires.repeated(WireLayer::Global, len, 1e-15).delayS;
+    };
+    const double d1 = d(5000.0), d2 = d(10000.0);
+    EXPECT_NEAR(d2 / d1, 2.0, 0.35);
+}
+
+TEST_F(WireFixture, RepeatersBeatUnrepeatedOnLongWires)
+{
+    const double len = 8000.0;
+    const double d_rep =
+        wires.repeated(WireLayer::Global, len, 1e-15).delayS;
+    const double d_unrep =
+        wires
+            .unrepeated(WireLayer::Global, len,
+                        wires.unitDriverROhm() / 24.0, 1e-15)
+            .delayS;
+    EXPECT_LT(d_rep, d_unrep);
+}
+
+TEST_F(WireFixture, ShortWireGetsNoRepeaters)
+{
+    const WireResult r = wires.repeated(WireLayer::Global, 10.0, 1e-15);
+    EXPECT_EQ(r.numRepeaters, 0);
+}
+
+TEST_F(WireFixture, RepeaterCountGrowsWithLength)
+{
+    const WireResult a = wires.repeated(WireLayer::Global, 2000.0, 1e-15);
+    const WireResult b = wires.repeated(WireLayer::Global, 8000.0, 1e-15);
+    EXPECT_GE(b.numRepeaters, a.numRepeaters);
+    EXPECT_GT(b.repeaterAreaUm2, a.repeaterAreaUm2);
+    EXPECT_GT(b.leakageW, a.leakageW);
+}
+
+TEST_F(WireFixture, EnergyScalesWithLength)
+{
+    const WireResult a = wires.repeated(WireLayer::Global, 1000.0, 1e-15);
+    const WireResult b = wires.repeated(WireLayer::Global, 2000.0, 1e-15);
+    EXPECT_NEAR(b.energyJ / a.energyJ, 2.0, 0.25);
+}
+
+TEST_F(WireFixture, BusPipelinesToMeetCycle)
+{
+    // A multi-mm wire at a fast clock needs more than one stage.
+    int stages = 0;
+    const PAT bus = wires.bus(WireLayer::Global, 12000.0, 64, 2e9, 0.5,
+                              &stages);
+    EXPECT_GT(stages, 1);
+    EXPECT_LE(bus.timing.cycleS, 1.0 / 2e9 + tech.dffDelayS());
+    EXPECT_GT(bus.areaUm2, 0.0);
+    EXPECT_GT(bus.power.dynamicW, 0.0);
+}
+
+TEST_F(WireFixture, SlowClockNeedsOneStage)
+{
+    int stages = 0;
+    wires.bus(WireLayer::Global, 1000.0, 32, 100e6, 0.5, &stages);
+    EXPECT_EQ(stages, 1);
+}
+
+TEST_F(WireFixture, BusPowerScalesWithBitsAndActivity)
+{
+    const PAT b32 = wires.bus(WireLayer::Global, 3000.0, 32, 1e9, 0.5);
+    const PAT b64 = wires.bus(WireLayer::Global, 3000.0, 64, 1e9, 0.5);
+    EXPECT_NEAR(b64.power.dynamicW / b32.power.dynamicW, 2.0, 0.01);
+    const PAT quiet = wires.bus(WireLayer::Global, 3000.0, 32, 1e9, 0.1);
+    EXPECT_LT(quiet.power.dynamicW, b32.power.dynamicW);
+}
+
+TEST_F(WireFixture, BusRejectsBadArgs)
+{
+    EXPECT_THROW(wires.bus(WireLayer::Global, 100.0, 0, 1e9, 0.5),
+                 ConfigError);
+    EXPECT_THROW(wires.bus(WireLayer::Global, 100.0, 8, 0.0, 0.5),
+                 ConfigError);
+}
+
+/** Layer sweep: every layer must produce self-consistent results. */
+class WireLayerSweep : public ::testing::TestWithParam<WireLayer>
+{};
+
+TEST_P(WireLayerSweep, RepeatedWireInvariants)
+{
+    const TechNode tech = TechNode::make(16.0);
+    const WireModel wires(tech);
+    const WireResult r = wires.repeated(GetParam(), 4000.0, 2e-15);
+    EXPECT_GT(r.delayS, 0.0);
+    EXPECT_GT(r.energyJ, 0.0);
+    EXPECT_GT(r.routingAreaUm2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, WireLayerSweep,
+                         ::testing::Values(WireLayer::Local,
+                                           WireLayer::Intermediate,
+                                           WireLayer::Global));
+
+TEST_F(WireFixture, LocalLayerSlowerThanGlobalForSameRun)
+{
+    const double len = 3000.0;
+    const double d_local =
+        wires.repeated(WireLayer::Local, len, 1e-15).delayS;
+    const double d_global =
+        wires.repeated(WireLayer::Global, len, 1e-15).delayS;
+    EXPECT_GT(d_local, d_global);
+}
+
+} // namespace
+} // namespace neurometer

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Workload-module tests: operator accounting, GEMM lowering, and the
+ * Table II calibration contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "perf/workload.hh"
+
+namespace neurometer {
+namespace {
+
+TEST(OpTest, ConvOpsCountTwoPerMac)
+{
+    Op c;
+    c.kind = OpKind::Conv2D;
+    c.h = c.w = 8;
+    c.cin = 4;
+    c.kh = c.kw = 3;
+    c.cout = 16;
+    c.stride = 1;
+    // SAME padding: out 8x8; MACs = 8*8*16*4*3*3.
+    EXPECT_DOUBLE_EQ(c.opsPerSample(), 2.0 * 8 * 8 * 16 * 4 * 9);
+    EXPECT_DOUBLE_EQ(c.paramBytes(), 4.0 * 9 * 16);
+}
+
+TEST(OpTest, StridedConvShrinksOutput)
+{
+    Op c;
+    c.kind = OpKind::Conv2D;
+    c.h = c.w = 224;
+    c.cin = 3;
+    c.kh = c.kw = 7;
+    c.cout = 64;
+    c.stride = 2;
+    EXPECT_EQ(c.outH(), 112);
+    EXPECT_EQ(c.outW(), 112);
+}
+
+TEST(OpTest, GemmLoweringConv)
+{
+    Op c;
+    c.kind = OpKind::Conv2D;
+    c.h = c.w = 56;
+    c.cin = 64;
+    c.kh = c.kw = 3;
+    c.cout = 128;
+    c.stride = 1;
+    const GemmShape g = c.gemm(4);
+    EXPECT_DOUBLE_EQ(g.m, 4.0 * 56 * 56);
+    EXPECT_DOUBLE_EQ(g.k, 64.0 * 9);
+    EXPECT_DOUBLE_EQ(g.n, 128.0);
+}
+
+TEST(OpTest, GemmLoweringMatMulAndDepthwise)
+{
+    Op fc;
+    fc.kind = OpKind::MatMul;
+    fc.mmK = 2048;
+    fc.mmN = 1000;
+    const GemmShape g = fc.gemm(8);
+    EXPECT_DOUBLE_EQ(g.m, 8.0);
+    EXPECT_DOUBLE_EQ(g.k, 2048.0);
+    EXPECT_DOUBLE_EQ(g.n, 1000.0);
+
+    Op dw;
+    dw.kind = OpKind::DepthwiseConv2D;
+    dw.h = dw.w = 28;
+    dw.cin = 96;
+    dw.kh = dw.kw = 3;
+    dw.cout = 96;
+    dw.stride = 1;
+    const GemmShape gd = dw.gemm(1);
+    EXPECT_DOUBLE_EQ(gd.k, 9.0);
+    EXPECT_DOUBLE_EQ(gd.n, 1.0); // thin GEMM: poor TU fit
+}
+
+TEST(OpTest, TensorOpClassification)
+{
+    Op p;
+    p.kind = OpKind::Pool;
+    EXPECT_FALSE(p.isTensorOp());
+    Op c;
+    c.kind = OpKind::Conv2D;
+    EXPECT_TRUE(c.isTensorOp());
+    Op m;
+    m.kind = OpKind::MatMul;
+    EXPECT_TRUE(m.isTensorOp());
+}
+
+/** Table II contract: totals within tolerance of the paper's values. */
+struct TableIIRef
+{
+    Workload (*make)();
+    double ops_g, param_m;
+};
+
+class TableII : public ::testing::TestWithParam<TableIIRef>
+{};
+
+TEST_P(TableII, OpsAndParamsMatchPaper)
+{
+    const TableIIRef ref = GetParam();
+    const Workload wl = ref.make();
+    EXPECT_NEAR(wl.totalOps() / 1e9, ref.ops_g, 0.15 * ref.ops_g)
+        << wl.name;
+    EXPECT_NEAR(wl.totalParamBytes() / 1e6, ref.param_m,
+                0.12 * ref.param_m)
+        << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, TableII,
+    ::testing::Values(TableIIRef{&resnet50, 7.8, 23.7},
+                      TableIIRef{&inceptionV3, 5.7, 22.0},
+                      TableIIRef{&nasnetALarge, 23.8, 84.9}));
+
+TEST(Models, ResNetDataFootprintNearPaper)
+{
+    EXPECT_NEAR(resnet50().peakDataBytes() / 1e6, 5.72, 0.3 * 5.72);
+}
+
+TEST(Models, ResNetHasExpectedStructure)
+{
+    const Workload wl = resnet50();
+    // 1 stem + 16 bottleneck blocks (3 convs each) + 4 projections +
+    // pools/eltwise/fc.
+    int convs = 0, matmuls = 0;
+    for (const Op &op : wl.ops) {
+        convs += op.kind == OpKind::Conv2D;
+        matmuls += op.kind == OpKind::MatMul;
+    }
+    EXPECT_EQ(convs, 1 + 16 * 3 + 4);
+    EXPECT_EQ(matmuls, 1);
+}
+
+TEST(Models, NasNetUsesDepthwiseSeparables)
+{
+    const Workload wl = nasnetALarge();
+    int dw = 0;
+    for (const Op &op : wl.ops)
+        dw += op.kind == OpKind::DepthwiseConv2D;
+    EXPECT_GT(dw, 50);
+}
+
+TEST(Models, AlexNetFcHeavy)
+{
+    const Workload wl = alexnet();
+    // AlexNet's parameters are dominated by its FC layers.
+    double fc_param = 0.0;
+    for (const Op &op : wl.ops)
+        if (op.kind == OpKind::MatMul)
+            fc_param += op.paramBytes();
+    EXPECT_GT(fc_param / wl.totalParamBytes(), 0.9);
+    EXPECT_NEAR(wl.totalParamBytes() / 1e6, 61.0, 6.0);
+}
+
+TEST(Models, AllModelsWellFormed)
+{
+    for (const Workload &wl :
+         {resnet50(), inceptionV3(), nasnetALarge(), alexnet()}) {
+        EXPECT_GT(wl.ops.size(), 10u) << wl.name;
+        for (const Op &op : wl.ops) {
+            EXPECT_GE(op.opsPerSample(), 0.0) << op.name;
+            EXPECT_GE(op.paramBytes(), 0.0) << op.name;
+            if (op.isTensorOp()) {
+                const GemmShape g = op.gemm(1);
+                EXPECT_GT(g.m * g.k * g.n, 0.0) << op.name;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace neurometer
