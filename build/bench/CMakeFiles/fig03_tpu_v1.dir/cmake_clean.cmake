@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_tpu_v1.dir/fig03_tpu_v1.cc.o"
+  "CMakeFiles/fig03_tpu_v1.dir/fig03_tpu_v1.cc.o.d"
+  "fig03_tpu_v1"
+  "fig03_tpu_v1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tpu_v1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_tpu_v1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tpu_v2.dir/fig04_tpu_v2.cc.o"
+  "CMakeFiles/fig04_tpu_v2.dir/fig04_tpu_v2.cc.o.d"
+  "fig04_tpu_v2"
+  "fig04_tpu_v2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tpu_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_eyeriss.dir/fig05_eyeriss.cc.o"
+  "CMakeFiles/fig05_eyeriss.dir/fig05_eyeriss.cc.o.d"
+  "fig05_eyeriss"
+  "fig05_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

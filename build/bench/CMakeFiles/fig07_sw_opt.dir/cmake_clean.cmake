@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sw_opt.dir/fig07_sw_opt.cc.o"
+  "CMakeFiles/fig07_sw_opt.dir/fig07_sw_opt.cc.o.d"
+  "fig07_sw_opt"
+  "fig07_sw_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sw_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

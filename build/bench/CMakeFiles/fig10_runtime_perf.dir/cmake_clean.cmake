@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_runtime_perf.dir/fig10_runtime_perf.cc.o"
+  "CMakeFiles/fig10_runtime_perf.dir/fig10_runtime_perf.cc.o.d"
+  "fig10_runtime_perf"
+  "fig10_runtime_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_runtime_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

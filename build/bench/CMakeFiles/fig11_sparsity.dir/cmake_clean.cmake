@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sparsity.dir/fig11_sparsity.cc.o"
+  "CMakeFiles/fig11_sparsity.dir/fig11_sparsity.cc.o.d"
+  "fig11_sparsity"
+  "fig11_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

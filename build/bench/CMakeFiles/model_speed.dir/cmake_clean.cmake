@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_speed.dir/model_speed.cc.o"
+  "CMakeFiles/model_speed.dir/model_speed.cc.o.d"
+  "model_speed"
+  "model_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

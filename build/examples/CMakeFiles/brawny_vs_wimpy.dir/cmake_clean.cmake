@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brawny_vs_wimpy.dir/brawny_vs_wimpy.cc.o"
+  "CMakeFiles/brawny_vs_wimpy.dir/brawny_vs_wimpy.cc.o.d"
+  "brawny_vs_wimpy"
+  "brawny_vs_wimpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brawny_vs_wimpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

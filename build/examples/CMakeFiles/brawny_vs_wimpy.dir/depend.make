@@ -1,0 +1,2 @@
+# Empty dependencies file for brawny_vs_wimpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_accelerator.dir/training_accelerator.cc.o"
+  "CMakeFiles/training_accelerator.dir/training_accelerator.cc.o.d"
+  "training_accelerator"
+  "training_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

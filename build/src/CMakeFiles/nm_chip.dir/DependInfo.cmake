@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/chip.cc" "src/CMakeFiles/nm_chip.dir/chip/chip.cc.o" "gcc" "src/CMakeFiles/nm_chip.dir/chip/chip.cc.o.d"
+  "/root/repo/src/chip/config.cc" "src/CMakeFiles/nm_chip.dir/chip/config.cc.o" "gcc" "src/CMakeFiles/nm_chip.dir/chip/config.cc.o.d"
+  "/root/repo/src/chip/core.cc" "src/CMakeFiles/nm_chip.dir/chip/core.cc.o" "gcc" "src/CMakeFiles/nm_chip.dir/chip/core.cc.o.d"
+  "/root/repo/src/chip/optimizer.cc" "src/CMakeFiles/nm_chip.dir/chip/optimizer.cc.o" "gcc" "src/CMakeFiles/nm_chip.dir/chip/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_chip.dir/chip/chip.cc.o"
+  "CMakeFiles/nm_chip.dir/chip/chip.cc.o.d"
+  "CMakeFiles/nm_chip.dir/chip/config.cc.o"
+  "CMakeFiles/nm_chip.dir/chip/config.cc.o.d"
+  "CMakeFiles/nm_chip.dir/chip/core.cc.o"
+  "CMakeFiles/nm_chip.dir/chip/core.cc.o.d"
+  "CMakeFiles/nm_chip.dir/chip/optimizer.cc.o"
+  "CMakeFiles/nm_chip.dir/chip/optimizer.cc.o.d"
+  "libnm_chip.a"
+  "libnm_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_circuit.dir/circuit/arith.cc.o"
+  "CMakeFiles/nm_circuit.dir/circuit/arith.cc.o.d"
+  "CMakeFiles/nm_circuit.dir/circuit/logic.cc.o"
+  "CMakeFiles/nm_circuit.dir/circuit/logic.cc.o.d"
+  "CMakeFiles/nm_circuit.dir/circuit/rc_tree.cc.o"
+  "CMakeFiles/nm_circuit.dir/circuit/rc_tree.cc.o.d"
+  "CMakeFiles/nm_circuit.dir/circuit/wire.cc.o"
+  "CMakeFiles/nm_circuit.dir/circuit/wire.cc.o.d"
+  "libnm_circuit.a"
+  "libnm_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

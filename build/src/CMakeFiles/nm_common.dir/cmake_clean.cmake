@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_common.dir/common/breakdown.cc.o"
+  "CMakeFiles/nm_common.dir/common/breakdown.cc.o.d"
+  "CMakeFiles/nm_common.dir/common/table.cc.o"
+  "CMakeFiles/nm_common.dir/common/table.cc.o.d"
+  "libnm_common.a"
+  "libnm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

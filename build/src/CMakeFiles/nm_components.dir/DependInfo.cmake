@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/components/cdb.cc" "src/CMakeFiles/nm_components.dir/components/cdb.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/cdb.cc.o.d"
+  "/root/repo/src/components/noc.cc" "src/CMakeFiles/nm_components.dir/components/noc.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/noc.cc.o.d"
+  "/root/repo/src/components/periph.cc" "src/CMakeFiles/nm_components.dir/components/periph.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/periph.cc.o.d"
+  "/root/repo/src/components/reduction_tree.cc" "src/CMakeFiles/nm_components.dir/components/reduction_tree.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/reduction_tree.cc.o.d"
+  "/root/repo/src/components/scalar_unit.cc" "src/CMakeFiles/nm_components.dir/components/scalar_unit.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/scalar_unit.cc.o.d"
+  "/root/repo/src/components/tensor_unit.cc" "src/CMakeFiles/nm_components.dir/components/tensor_unit.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/tensor_unit.cc.o.d"
+  "/root/repo/src/components/vector_regfile.cc" "src/CMakeFiles/nm_components.dir/components/vector_regfile.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/vector_regfile.cc.o.d"
+  "/root/repo/src/components/vector_unit.cc" "src/CMakeFiles/nm_components.dir/components/vector_unit.cc.o" "gcc" "src/CMakeFiles/nm_components.dir/components/vector_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

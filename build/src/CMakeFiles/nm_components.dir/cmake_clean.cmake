@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_components.dir/components/cdb.cc.o"
+  "CMakeFiles/nm_components.dir/components/cdb.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/noc.cc.o"
+  "CMakeFiles/nm_components.dir/components/noc.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/periph.cc.o"
+  "CMakeFiles/nm_components.dir/components/periph.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/reduction_tree.cc.o"
+  "CMakeFiles/nm_components.dir/components/reduction_tree.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/scalar_unit.cc.o"
+  "CMakeFiles/nm_components.dir/components/scalar_unit.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/tensor_unit.cc.o"
+  "CMakeFiles/nm_components.dir/components/tensor_unit.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/vector_regfile.cc.o"
+  "CMakeFiles/nm_components.dir/components/vector_regfile.cc.o.d"
+  "CMakeFiles/nm_components.dir/components/vector_unit.cc.o"
+  "CMakeFiles/nm_components.dir/components/vector_unit.cc.o.d"
+  "libnm_components.a"
+  "libnm_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_memory.dir/memory/fifo.cc.o"
+  "CMakeFiles/nm_memory.dir/memory/fifo.cc.o.d"
+  "CMakeFiles/nm_memory.dir/memory/sram_array.cc.o"
+  "CMakeFiles/nm_memory.dir/memory/sram_array.cc.o.d"
+  "libnm_memory.a"
+  "libnm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_perf.dir/perf/tfsim.cc.o"
+  "CMakeFiles/nm_perf.dir/perf/tfsim.cc.o.d"
+  "CMakeFiles/nm_perf.dir/perf/workload.cc.o"
+  "CMakeFiles/nm_perf.dir/perf/workload.cc.o.d"
+  "libnm_perf.a"
+  "libnm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

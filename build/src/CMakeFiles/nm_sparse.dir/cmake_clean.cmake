@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_sparse.dir/sparse/csr.cc.o"
+  "CMakeFiles/nm_sparse.dir/sparse/csr.cc.o.d"
+  "CMakeFiles/nm_sparse.dir/sparse/roofline.cc.o"
+  "CMakeFiles/nm_sparse.dir/sparse/roofline.cc.o.d"
+  "CMakeFiles/nm_sparse.dir/sparse/sparse_matrix.cc.o"
+  "CMakeFiles/nm_sparse.dir/sparse/sparse_matrix.cc.o.d"
+  "libnm_sparse.a"
+  "libnm_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_tech.dir/tech/tech_node.cc.o"
+  "CMakeFiles/nm_tech.dir/tech/tech_node.cc.o.d"
+  "libnm_tech.a"
+  "libnm_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdb.dir/test_cdb.cc.o"
+  "CMakeFiles/test_cdb.dir/test_cdb.cc.o.d"
+  "test_cdb"
+  "test_cdb.pdb"
+  "test_cdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periph.dir/test_periph.cc.o"
+  "CMakeFiles/test_periph.dir/test_periph.cc.o.d"
+  "test_periph"
+  "test_periph.pdb"
+  "test_periph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduction_tree.dir/test_reduction_tree.cc.o"
+  "CMakeFiles/test_reduction_tree.dir/test_reduction_tree.cc.o.d"
+  "test_reduction_tree"
+  "test_reduction_tree.pdb"
+  "test_reduction_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduction_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

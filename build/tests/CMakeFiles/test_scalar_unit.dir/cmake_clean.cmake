@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalar_unit.dir/test_scalar_unit.cc.o"
+  "CMakeFiles/test_scalar_unit.dir/test_scalar_unit.cc.o.d"
+  "test_scalar_unit"
+  "test_scalar_unit.pdb"
+  "test_scalar_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalar_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_unit.dir/test_tensor_unit.cc.o"
+  "CMakeFiles/test_tensor_unit.dir/test_tensor_unit.cc.o.d"
+  "test_tensor_unit"
+  "test_tensor_unit.pdb"
+  "test_tensor_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tfsim.dir/test_tfsim.cc.o"
+  "CMakeFiles/test_tfsim.dir/test_tfsim.cc.o.d"
+  "test_tfsim"
+  "test_tfsim.pdb"
+  "test_tfsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

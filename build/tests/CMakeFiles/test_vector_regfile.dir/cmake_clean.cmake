@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_regfile.dir/test_vector_regfile.cc.o"
+  "CMakeFiles/test_vector_regfile.dir/test_vector_regfile.cc.o.d"
+  "test_vector_regfile"
+  "test_vector_regfile.pdb"
+  "test_vector_regfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vector_unit.cc" "tests/CMakeFiles/test_vector_unit.dir/test_vector_unit.cc.o" "gcc" "tests/CMakeFiles/test_vector_unit.dir/test_vector_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

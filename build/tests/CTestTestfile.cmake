@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_rc_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_arith[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_fifo[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_vector_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_vector_regfile[1]_include.cmake")
+include("/root/repo/build/tests/test_scalar_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_cdb[1]_include.cmake")
+include("/root/repo/build/tests/test_periph[1]_include.cmake")
+include("/root/repo/build/tests/test_chip[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_tfsim[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
