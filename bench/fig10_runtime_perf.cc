@@ -31,7 +31,7 @@ datacenterBase()
     return cfg;
 }
 
-struct PointMetrics
+struct RuntimeRow
 {
     std::string name;
     double tops = 0.0, util = 0.0, tco = 0.0, tpw = 0.0;
@@ -66,7 +66,7 @@ main()
                 "design space ==\n");
 
     for (const Regime &reg : regimes) {
-        std::vector<PointMetrics> rows;
+        std::vector<RuntimeRow> rows;
         for (const DesignPoint &dp : points) {
             ChipModel chip = buildChip(base, dp);
             TfSim sim(chip);
@@ -81,7 +81,7 @@ main()
                 tco.push_back(r.achievedTopsPerTco);
                 tpw.push_back(r.achievedTopsPerWatt);
             }
-            PointMetrics pm;
+            RuntimeRow pm;
             pm.name = dp.str();
             pm.tops = arithMean(tops); // throughput: arithmetic mean
             pm.util = geoMean(util);   // ratios: geometric means
@@ -98,7 +98,7 @@ main()
             max_tpw = std::max(max_tpw, r.tpw);
         }
 
-        PointMetrics best_tops, best_util, best_tco, best_tpw;
+        RuntimeRow best_tops, best_util, best_tco, best_tpw;
         for (const auto &r : rows) {
             if (r.tops > best_tops.tops) best_tops = r;
             if (r.util > best_util.util) best_util = r;

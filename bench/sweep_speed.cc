@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sweep-engine throughput: serial vs parallel configs/sec over a
+ * 756-point datacenter grid, plus the memoized re-run. Reports the
+ * speedup, verifies parallel records match the serial reference
+ * bit-for-bit, and prints the cache hit rate of a repeated sweep.
+ *
+ * Thread count defaults to the hardware concurrency; override with
+ * NEUROMETER_THREADS (the speedup target assumes >= 4 real cores).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+SweepGrid
+bigGrid()
+{
+    SweepGrid g;
+    g.tuLengths = {4, 8, 16, 32, 64, 128};
+    g.tuPerCore = {1, 2, 4};
+    g.coreGrids = candidateGrids(64);
+    g.clocksHz = {600e6, 700e6, 800e6};
+    g.memBytes = {16.0 * units::mib, 32.0 * units::mib};
+    return g;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** One timed cold-cache sweep; returns records and elapsed seconds. */
+std::vector<EvalRecord>
+timedRun(int threads, const SweepGrid &grid, double &elapsed_s)
+{
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepEngine engine(datacenterBase(), opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<EvalRecord> recs = engine.run(grid);
+    elapsed_s = seconds(t0, std::chrono::steady_clock::now());
+    return recs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const SweepGrid grid = bigGrid();
+    int threads = ThreadPool::hardwareThreads();
+    if (const char *env = std::getenv("NEUROMETER_THREADS"))
+        threads = std::atoi(env) > 0 ? std::atoi(env) : threads;
+
+    std::printf("== sweep_speed: %zu-point design-space sweep ==\n\n",
+                grid.size());
+
+    double serial_s = 0.0;
+    const std::vector<EvalRecord> serial =
+        timedRun(1, grid, serial_s);
+
+    double par_s = 0.0;
+    const std::vector<EvalRecord> parallel =
+        timedRun(threads, grid, par_s);
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        if (!(serial[i] == parallel[i]))
+            ++mismatches;
+
+    // Repeat the sweep on a warm engine: every point is a cache hit.
+    double warm_s = 0.0;
+    CacheStats rerun;
+    {
+        SweepOptions opts;
+        opts.threads = threads;
+        SweepEngine engine(datacenterBase(), opts);
+        engine.run(grid); // populate
+        const CacheStats cold = engine.cache().stats();
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.run(grid);
+        warm_s = seconds(t0, std::chrono::steady_clock::now());
+        const CacheStats total = engine.cache().stats();
+        rerun.hits = total.hits - cold.hits;
+        rerun.misses = total.misses - cold.misses;
+    }
+
+    const double n = double(grid.size());
+    std::printf("serial   (1 thread):   %7.2f s  %8.1f configs/s\n",
+                serial_s, n / serial_s);
+    std::printf("parallel (%d threads): %7.2f s  %8.1f configs/s\n",
+                threads, par_s, n / par_s);
+    std::printf("speedup: %.2fx  (hardware concurrency: %d)\n",
+                serial_s / par_s, ThreadPool::hardwareThreads());
+    std::printf("warm-cache re-run:     %7.4f s  %8.0f configs/s\n",
+                warm_s, n / warm_s);
+    std::printf("repeat-sweep cache hit rate: %.1f%% "
+                "(%llu hits / %llu misses)\n",
+                100.0 * rerun.hitRate(),
+                (unsigned long long)rerun.hits,
+                (unsigned long long)rerun.misses);
+    std::printf("parallel vs serial records: %s (%zu mismatches)\n",
+                mismatches == 0 ? "IDENTICAL" : "MISMATCH",
+                mismatches);
+    return mismatches == 0 ? 0 : 1;
+}

@@ -115,6 +115,8 @@ struct DesignPoint
                std::to_string(tuPerCore) + "," + std::to_string(tx) +
                "," + std::to_string(ty) + ")";
     }
+
+    bool operator==(const DesignPoint &) const = default;
 };
 
 /** Apply a design point onto a base chip config. */

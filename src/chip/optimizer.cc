@@ -60,14 +60,85 @@ candidateGrids(int max_cores)
     return grids;
 }
 
+const char *
+feasibilityStr(Feasibility f)
+{
+    switch (f) {
+      case Feasibility::Feasible:
+        return "feasible";
+      case Feasibility::TimingInfeasible:
+        return "timing_infeasible";
+      case Feasibility::AreaOverBudget:
+        return "area_over_budget";
+      case Feasibility::PowerOverBudget:
+        return "power_over_budget";
+      case Feasibility::TopsOverCap:
+        return "tops_over_cap";
+    }
+    return "unknown";
+}
+
+PointMetrics
+measurePoint(const ChipConfig &cfg)
+{
+    PointMetrics m;
+    std::optional<ChipModel> chip;
+    try {
+        chip.emplace(cfg);
+    } catch (const ConfigError &e) {
+        m.buildError = e.what(); // timing or banking infeasible
+        return m;
+    }
+    m.buildOk = true;
+    m.peakTops = chip->peakTops();
+    m.areaMm2 = chip->areaMm2();
+    m.tdpW = chip->tdpW();
+    m.topsPerWatt = chip->peakTopsPerWatt();
+    m.topsPerTco = chip->peakTopsPerTco();
+
+    // Per-core subtrees are identical; find() returns the first
+    // instance, so scale by the core count.
+    const Breakdown &bd = chip->breakdown();
+    const double total_a = bd.total().areaUm2;
+    const double n_cores = cfg.numCores();
+    m.memAreaPct = 100.0 * n_cores * bd.areaOfUm2("mem") / total_a;
+    m.tuAreaPct =
+        100.0 * n_cores * bd.areaOfUm2("tensor_units") / total_a;
+    m.nocAreaPct = 100.0 *
+                   (bd.areaOfUm2("noc") +
+                    n_cores * bd.areaOfUm2("cdb")) /
+                   total_a;
+    m.ctrlAreaPct = 100.0 * n_cores *
+                    (bd.areaOfUm2("scalar_unit") +
+                     bd.areaOfUm2("ifu") + bd.areaOfUm2("lsu")) /
+                    total_a;
+    return m;
+}
+
+Feasibility
+classify(const PointMetrics &m, const DesignConstraints &c)
+{
+    if (!m.buildOk)
+        return Feasibility::TimingInfeasible;
+    if (m.areaMm2 > c.areaBudgetMm2)
+        return Feasibility::AreaOverBudget;
+    if (m.tdpW > c.powerBudgetW)
+        return Feasibility::PowerOverBudget;
+    if (m.peakTops > c.topsUpperBound * (1.0 + 1e-6))
+        return Feasibility::TopsOverCap;
+    return Feasibility::Feasible;
+}
+
 GridSearchResult
 maximizeCores(const ChipConfig &base, int tu_length, int tu_per_core,
-              const DesignConstraints &constraints)
+              const DesignConstraints &constraints,
+              const PointEvaluator &eval)
 {
     GridSearchResult best;
     best.point.tuLength = tu_length;
     best.point.tuPerCore = tu_per_core;
 
+    bool first_grid = true;
     for (const auto &[tx, ty] : candidateGrids()) {
         DesignPoint dp;
         dp.tuLength = tu_length;
@@ -75,31 +146,25 @@ maximizeCores(const ChipConfig &base, int tu_length, int tu_per_core,
         dp.tx = tx;
         dp.ty = ty;
 
-        ChipConfig cfg = applyDesignPoint(base, dp);
-        std::optional<ChipModel> chip;
-        try {
-            chip.emplace(cfg);
-        } catch (const ConfigError &) {
-            continue; // timing or banking infeasible at this grid
+        const ChipConfig cfg = applyDesignPoint(base, dp);
+        const PointMetrics m = eval ? eval(cfg) : measurePoint(cfg);
+        const Feasibility why = classify(m, constraints);
+        if (first_grid) {
+            best.why = why; // smallest grid = the binding bottleneck
+            first_grid = false;
         }
-
-        if (chip->areaMm2() > constraints.areaBudgetMm2)
+        if (why != Feasibility::Feasible)
             continue; // a sibling grid shape may still fit
-        if (chip->tdpW() > constraints.powerBudgetW)
-            continue;
-        if (chip->peakTops() >
-            constraints.topsUpperBound * (1.0 + 1e-6)) {
-            continue; // overshoots the peak-TOPS cap
-        }
 
-        if (!best.feasible || chip->peakTops() > best.peakTops ||
-            (chip->peakTops() == best.peakTops &&
-             chip->areaMm2() < best.areaMm2)) {
+        if (!best.feasible || m.peakTops > best.peakTops ||
+            (m.peakTops == best.peakTops &&
+             m.areaMm2 < best.areaMm2)) {
             best.point = dp;
-            best.peakTops = chip->peakTops();
-            best.areaMm2 = chip->areaMm2();
-            best.tdpW = chip->tdpW();
+            best.peakTops = m.peakTops;
+            best.areaMm2 = m.areaMm2;
+            best.tdpW = m.tdpW;
             best.feasible = true;
+            best.why = Feasibility::Feasible;
         }
     }
     return best;

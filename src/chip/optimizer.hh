@@ -10,8 +10,10 @@
 #ifndef NEUROMETER_CHIP_OPTIMIZER_HH
 #define NEUROMETER_CHIP_OPTIMIZER_HH
 
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "chip/chip.hh"
@@ -25,6 +27,68 @@ struct DesignConstraints
     double powerBudgetW = 300.0;
     double topsUpperBound = 92.0;
 };
+
+/**
+ * Why a design point is (in)feasible under a DesignConstraints set.
+ * Checks run in the listed order and report the first violation, so a
+ * point that busts several budgets carries the earliest one.
+ */
+enum class Feasibility {
+    Feasible,
+    /** Timing or banking closure failed: ChipModel refused the config. */
+    TimingInfeasible,
+    AreaOverBudget,
+    PowerOverBudget,
+    /** Peak throughput overshoots the TOPS upper bound. */
+    TopsOverCap,
+};
+
+/** Short lower_snake name for a Feasibility value (stable, for export). */
+const char *feasibilityStr(Feasibility f);
+
+/**
+ * Constraint-independent metrics of one fully resolved ChipConfig —
+ * everything a sweep needs without re-building the ChipModel. This is
+ * the unit of work the explore/ evaluation cache memoizes; feasibility
+ * against any DesignConstraints is classified afterwards (classify()),
+ * so one cached evaluation serves every constraint set.
+ */
+struct PointMetrics
+{
+    /** False when ChipModel construction threw ConfigError. */
+    bool buildOk = false;
+    /** The ConfigError message when !buildOk (timing/banking detail). */
+    std::string buildError;
+
+    double peakTops = 0.0;
+    double areaMm2 = 0.0;
+    double tdpW = 0.0;
+    double topsPerWatt = 0.0;
+    double topsPerTco = 0.0;
+
+    /** @name Area shares (percent of total die, incl. white space) */
+    /** @{ */
+    double memAreaPct = 0.0;  ///< all cores' Mem slices
+    double tuAreaPct = 0.0;   ///< all cores' tensor units
+    double nocAreaPct = 0.0;  ///< chip NoC + all cores' CDBs
+    double ctrlAreaPct = 0.0; ///< scalar units + IFUs + LSUs
+    /** @} */
+
+    bool operator==(const PointMetrics &) const = default;
+};
+
+/** Build the ChipModel for `cfg` and roll it up into PointMetrics. */
+PointMetrics measurePoint(const ChipConfig &cfg);
+
+/** First constraint a measured point violates (Feasible when none). */
+Feasibility classify(const PointMetrics &m, const DesignConstraints &c);
+
+/**
+ * Evaluation hook for the grid search: maps a resolved config to its
+ * metrics. The explore/ engine injects a memoizing wrapper here; the
+ * default is a plain measurePoint() call.
+ */
+using PointEvaluator = std::function<PointMetrics(const ChipConfig &)>;
 
 /**
  * Find the minimum clock rate that delivers `target_tops` of peak
@@ -49,15 +113,26 @@ struct GridSearchResult
     double areaMm2 = 0.0;
     double tdpW = 0.0;
     bool feasible = false;
+    /**
+     * Feasible when any grid fit. Otherwise: the violation of the
+     * *smallest* candidate grid — the shape most likely to fit — which
+     * names the binding bottleneck (area vs power vs timing) for this
+     * (X, N) point.
+     */
+    Feasibility why = Feasibility::TimingInfeasible;
 };
 
 /**
  * Maximize total core count for TU length X / count N under the
  * constraints; returns the chosen grid and its headline metrics.
+ *
+ * @param eval optional memoizing evaluator (see PointEvaluator); the
+ *             default measures each candidate grid from scratch.
  */
 GridSearchResult maximizeCores(const ChipConfig &base, int tu_length,
                                int tu_per_core,
-                               const DesignConstraints &constraints);
+                               const DesignConstraints &constraints,
+                               const PointEvaluator &eval = {});
 
 /** Build the chip for a design point (convenience wrapper). */
 ChipModel buildChip(const ChipConfig &base, const DesignPoint &dp);

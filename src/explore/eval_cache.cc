@@ -1,0 +1,166 @@
+#include "explore/eval_cache.hh"
+
+#include <cstdio>
+
+namespace neurometer {
+
+namespace {
+
+// Hex-float ("%a") round-trips doubles exactly and is locale-free;
+// '|' separators keep adjacent fields from aliasing.
+void
+put(std::string &s, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a|", v);
+    s += buf;
+}
+
+void
+put(std::string &s, int v)
+{
+    s += std::to_string(v);
+    s += '|';
+}
+
+void
+put(std::string &s, bool v)
+{
+    s += v ? "1|" : "0|";
+}
+
+template <typename E>
+void
+putEnum(std::string &s, E v)
+{
+    put(s, int(v));
+}
+
+} // namespace
+
+std::string
+configKey(const ChipConfig &c)
+{
+    std::string s;
+    s.reserve(640);
+
+    // Technology / circuit level.
+    put(s, c.nodeNm);
+    put(s, c.vddVolt);
+    put(s, c.freqHz);
+
+    // Chip architecture level.
+    put(s, c.tx);
+    put(s, c.ty);
+    put(s, c.autoNocTopology);
+    putEnum(s, c.nocTopology);
+    put(s, c.nocBisectionBwBytesPerS);
+    put(s, c.totalMemBytes);
+    putEnum(s, c.memCell);
+    put(s, c.memCacheMode);
+    putEnum(s, c.dram);
+    put(s, c.offchipBwBytesPerS);
+    put(s, c.pcieLanes);
+    put(s, c.iciLinks);
+    put(s, c.iciGbpsPerDirection);
+    put(s, c.whiteSpaceFraction);
+
+    // Core architecture.
+    const CoreConfig &cc = c.core;
+    put(s, cc.numTU);
+    put(s, cc.tu.rows);
+    put(s, cc.tu.cols);
+    putEnum(s, cc.tu.mulType);
+    putEnum(s, cc.tu.accType);
+    putEnum(s, cc.tu.interconnect);
+    putEnum(s, cc.tu.dataflow);
+    put(s, cc.tu.perCellSramBytes);
+    put(s, cc.tu.perCellRegBytes);
+    put(s, cc.tu.perCellCtrlGates);
+    put(s, cc.tu.ioFifoDepth);
+    put(s, cc.numRT);
+    put(s, cc.rt.inputs);
+    putEnum(s, cc.rt.mulType);
+    putEnum(s, cc.rt.accType);
+    put(s, cc.rt.pipelineEveryLayers);
+    put(s, cc.vuLanes);
+    put(s, cc.vregEntries);
+    put(s, cc.shareVregPorts);
+    put(s, cc.hasScalarUnit);
+    put(s, cc.memSliceBytes);
+    put(s, cc.memBlockBytes);
+
+    // TDP activity factors (they shape tdpW and everything derived).
+    const ActivityFactors &a = c.tdpActivity;
+    put(s, a.tensorUnit);
+    put(s, a.reductionTree);
+    put(s, a.vectorUnit);
+    put(s, a.vectorRegfile);
+    put(s, a.mem);
+    put(s, a.cdb);
+    put(s, a.noc);
+    put(s, a.scalarUnit);
+    put(s, a.ifu);
+    put(s, a.lsu);
+    put(s, a.offchip);
+    return s;
+}
+
+PointMetrics
+EvalCache::getOrCompute(const ChipConfig &cfg,
+                        const PointEvaluator &compute)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        std::shared_ptr<Entry> &slot = _map[configKey(cfg)];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    bool computed_here = false;
+    std::call_once(entry->once, [&] {
+        entry->value = compute(cfg);
+        computed_here = true;
+    });
+    if (computed_here)
+        _misses.fetch_add(1, std::memory_order_relaxed);
+    else
+        _hits.fetch_add(1, std::memory_order_relaxed);
+    return entry->value;
+}
+
+PointMetrics
+EvalCache::evaluate(const ChipConfig &cfg)
+{
+    return getOrCompute(
+        cfg, [](const ChipConfig &c) { return measurePoint(c); });
+}
+
+CacheStats
+EvalCache::stats() const
+{
+    CacheStats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _map.size();
+}
+
+void
+EvalCache::clear()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _map.clear();
+    _hits.store(0);
+    _misses.store(0);
+}
+
+} // namespace neurometer

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thread-safe memoization of design-point evaluation.
+ *
+ * Sweeps revisit configurations constantly: overlapping grids share
+ * points, maximizeCores probes the same (X, N, Tx, Ty) chips across
+ * constraint sets, and repeated runs re-ask identical questions. The
+ * cache keys on a canonical serialization of every resolved ChipConfig
+ * field and stores the constraint-independent PointMetrics, so one
+ * ChipModel build serves every consumer and every constraint set.
+ *
+ * Concurrency: the map is guarded by a mutex held only for lookup and
+ * insertion — never while a point is being modeled. Concurrent
+ * requests for the *same* uncached key rendezvous on a per-entry
+ * std::call_once, so each point is computed exactly once.
+ */
+
+#ifndef NEUROMETER_EXPLORE_EVAL_CACHE_HH
+#define NEUROMETER_EXPLORE_EVAL_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chip/optimizer.hh"
+
+namespace neurometer {
+
+/**
+ * Canonical cache key: every ChipConfig field (architecture, tech,
+ * activity factors) serialized with exact (hex-float) formatting.
+ * Two configs share a key iff every modeled input is bit-identical.
+ */
+std::string configKey(const ChipConfig &cfg);
+
+/** Hit/miss counters of an EvalCache, sampled atomically per counter. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t n = hits + misses;
+        return n == 0 ? 0.0 : double(hits) / double(n);
+    }
+};
+
+/** Memoized, thread-safe ChipConfig -> PointMetrics map. */
+class EvalCache
+{
+  public:
+    /**
+     * Return the cached metrics for `cfg`, computing them with
+     * `compute(cfg)` on first request. A request that triggers the
+     * computation counts as a miss; every other request for the key —
+     * including ones that block while another thread computes it —
+     * counts as a hit.
+     */
+    PointMetrics getOrCompute(const ChipConfig &cfg,
+                              const PointEvaluator &compute);
+
+    /** getOrCompute with the standard measurePoint() evaluator. */
+    PointMetrics evaluate(const ChipConfig &cfg);
+
+    CacheStats stats() const;
+
+    /** Number of distinct cached points. */
+    std::size_t size() const;
+
+    /** Drop all entries and zero the counters (not concurrency-safe
+     *  against in-flight getOrCompute calls). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        PointMetrics value;
+    };
+
+    mutable std::mutex _mu;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> _map;
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<std::uint64_t> _misses{0};
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_EVAL_CACHE_HH

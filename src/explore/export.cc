@@ -1,0 +1,150 @@
+#include "explore/export.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/arith.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+namespace {
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** CSV field quoting (build errors carry commas and spaces). */
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Minimal JSON string escaping for error messages. */
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+toCsv(const std::vector<EvalRecord> &records)
+{
+    std::string s =
+        "tu_length,tu_per_core,tx,ty,cores,node_nm,freq_mhz,mem_mib,"
+        "mul_type,feasible,why,peak_tops,area_mm2,tdp_w,tops_per_w,"
+        "tops_per_tco,mem_area_pct,tu_area_pct,noc_area_pct,"
+        "ctrl_area_pct,build_error\n";
+    for (const EvalRecord &r : records) {
+        const PointMetrics &m = r.metrics;
+        s += std::to_string(r.point.tuLength) + ',';
+        s += std::to_string(r.point.tuPerCore) + ',';
+        s += std::to_string(r.point.tx) + ',';
+        s += std::to_string(r.point.ty) + ',';
+        s += std::to_string(r.point.tx * r.point.ty) + ',';
+        s += num(r.nodeNm) + ',';
+        s += num(r.freqHz / 1e6) + ',';
+        s += num(r.memBytes / (1024.0 * 1024.0)) + ',';
+        s += dataTypeName(r.mulType) + ',';
+        s += r.feasible() ? "1," : "0,";
+        s += std::string(feasibilityStr(r.why)) + ',';
+        s += num(m.peakTops) + ',';
+        s += num(m.areaMm2) + ',';
+        s += num(m.tdpW) + ',';
+        s += num(m.topsPerWatt) + ',';
+        s += num(m.topsPerTco) + ',';
+        s += num(m.memAreaPct) + ',';
+        s += num(m.tuAreaPct) + ',';
+        s += num(m.nocAreaPct) + ',';
+        s += num(m.ctrlAreaPct) + ',';
+        s += csvQuote(m.buildError) + '\n';
+    }
+    return s;
+}
+
+std::string
+toJson(const std::vector<EvalRecord> &records)
+{
+    std::string s = "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const EvalRecord &r = records[i];
+        const PointMetrics &m = r.metrics;
+        s += "  {";
+        s += "\"tu_length\": " + std::to_string(r.point.tuLength);
+        s += ", \"tu_per_core\": " + std::to_string(r.point.tuPerCore);
+        s += ", \"tx\": " + std::to_string(r.point.tx);
+        s += ", \"ty\": " + std::to_string(r.point.ty);
+        s += ", \"node_nm\": " + num(r.nodeNm);
+        s += ", \"freq_hz\": " + num(r.freqHz);
+        s += ", \"mem_bytes\": " + num(r.memBytes);
+        s += ", \"mul_type\": \"" + dataTypeName(r.mulType) + '"';
+        s += std::string(", \"feasible\": ") +
+             (r.feasible() ? "true" : "false");
+        s += std::string(", \"why\": \"") + feasibilityStr(r.why) + '"';
+        s += ", \"peak_tops\": " + num(m.peakTops);
+        s += ", \"area_mm2\": " + num(m.areaMm2);
+        s += ", \"tdp_w\": " + num(m.tdpW);
+        s += ", \"tops_per_w\": " + num(m.topsPerWatt);
+        s += ", \"tops_per_tco\": " + num(m.topsPerTco);
+        s += ", \"mem_area_pct\": " + num(m.memAreaPct);
+        s += ", \"tu_area_pct\": " + num(m.tuAreaPct);
+        s += ", \"noc_area_pct\": " + num(m.nocAreaPct);
+        s += ", \"ctrl_area_pct\": " + num(m.ctrlAreaPct);
+        s += ", \"build_error\": " + jsonQuote(m.buildError);
+        s += i + 1 < records.size() ? "},\n" : "}\n";
+    }
+    s += "]\n";
+    return s;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path, std::ios::binary);
+    requireConfig(f.good(), "cannot open " + path + " for writing");
+    f << content;
+    f.close();
+    requireConfig(f.good(), "failed writing " + path);
+}
+
+} // namespace neurometer

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Sweep-result writers: CSV and JSON renderings of EvalRecord sets so
+ * downstream tools (plotting, spreadsheets, other optimizers) can
+ * consume NeuroMeter sweeps without linking against the library.
+ */
+
+#ifndef NEUROMETER_EXPLORE_EXPORT_HH
+#define NEUROMETER_EXPLORE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hh"
+
+namespace neurometer {
+
+/**
+ * One header row plus one row per record. Columns: design-point
+ * coordinates, swept axes, feasibility (+ reason), headline metrics,
+ * and the per-component area shares.
+ */
+std::string toCsv(const std::vector<EvalRecord> &records);
+
+/** A JSON array of flat objects with the same fields as the CSV. */
+std::string toJson(const std::vector<EvalRecord> &records);
+
+/** Write `content` to `path`, throwing ConfigError on I/O failure. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_EXPORT_HH

@@ -1,0 +1,79 @@
+#include "explore/pareto.hh"
+
+#include <algorithm>
+
+namespace neurometer {
+
+std::vector<Objective>
+defaultObjectives()
+{
+    return {
+        {"peak_tops",
+         [](const EvalRecord &r) { return r.metrics.peakTops; }, true},
+        {"tdp_w", [](const EvalRecord &r) { return r.metrics.tdpW; },
+         false},
+        {"area_mm2",
+         [](const EvalRecord &r) { return r.metrics.areaMm2; }, false},
+    };
+}
+
+bool
+dominates(const EvalRecord &a, const EvalRecord &b,
+          const std::vector<Objective> &objectives)
+{
+    bool strictly_better = false;
+    for (const Objective &o : objectives) {
+        // Orient every axis as "bigger is better".
+        const double va = o.maximize ? o.value(a) : -o.value(a);
+        const double vb = o.maximize ? o.value(b) : -o.value(b);
+        if (va < vb)
+            return false;
+        if (va > vb)
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<EvalRecord> &records,
+               const std::vector<Objective> &objectives)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!records[i].feasible())
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < records.size(); ++j) {
+            if (j == i || !records[j].feasible())
+                continue;
+            if (dominates(records[j], records[i], objectives)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+std::vector<std::size_t>
+topK(const std::vector<EvalRecord> &records,
+     const std::function<double(const EvalRecord &)> &metric,
+     std::size_t k)
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < records.size(); ++i)
+        if (records[i].feasible())
+            idx.push_back(i);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return metric(records[a]) >
+                                metric(records[b]);
+                     });
+    if (idx.size() > k)
+        idx.resize(k);
+    return idx;
+}
+
+} // namespace neurometer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Result analysis over sweep records: n-dimensional Pareto-frontier
+ * extraction and top-k selection. The default objective set is the
+ * paper's Sec. III efficiency space — maximize peak TOPS while
+ * minimizing TDP and die area.
+ */
+
+#ifndef NEUROMETER_EXPLORE_PARETO_HH
+#define NEUROMETER_EXPLORE_PARETO_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/sweep.hh"
+
+namespace neurometer {
+
+/** One optimization dimension over an EvalRecord. */
+struct Objective
+{
+    std::string name;
+    std::function<double(const EvalRecord &)> value;
+    bool maximize = true;
+};
+
+/** The paper's space: {TOPS up, TDP W down, area mm^2 down}. */
+std::vector<Objective> defaultObjectives();
+
+/**
+ * True when `a` is at least as good as `b` in every objective and
+ * strictly better in at least one (identical points dominate nothing).
+ */
+bool dominates(const EvalRecord &a, const EvalRecord &b,
+               const std::vector<Objective> &objectives);
+
+/**
+ * Indices (ascending) of the Pareto-optimal *feasible* records: no
+ * other feasible record dominates them. Infeasible records are never
+ * on the frontier and never dominate.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<EvalRecord> &records,
+               const std::vector<Objective> &objectives =
+                   defaultObjectives());
+
+/**
+ * Indices of the best `k` feasible records by `metric`, descending
+ * (ties broken by lower index). Negate the metric to minimize.
+ */
+std::vector<std::size_t>
+topK(const std::vector<EvalRecord> &records,
+     const std::function<double(const EvalRecord &)> &metric,
+     std::size_t k);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_PARETO_HH

@@ -1,0 +1,110 @@
+#include "explore/sweep.hh"
+
+#include <algorithm>
+
+#include "circuit/arith.hh"
+
+namespace neurometer {
+
+namespace {
+
+// Optional axes sweep the base value when unspecified.
+template <typename T>
+std::vector<T>
+axisOr(const std::vector<T> &axis, T base_value)
+{
+    if (!axis.empty())
+        return axis;
+    return {base_value};
+}
+
+} // namespace
+
+std::size_t
+SweepGrid::size() const
+{
+    auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
+    return dim(tuLengths.size()) * dim(tuPerCore.size()) *
+           dim(coreGrids.size()) * dim(nodesNm.size()) *
+           dim(clocksHz.size()) * dim(memBytes.size()) *
+           dim(mulTypes.size());
+}
+
+SweepEngine::SweepEngine(ChipConfig base, SweepOptions opts)
+    : _base(std::move(base)), _opts(opts), _pool(opts.threads)
+{}
+
+std::vector<EvalRecord>
+SweepEngine::run(const SweepGrid &grid)
+{
+    const auto nodes = axisOr(grid.nodesNm, _base.nodeNm);
+    const auto clocks = axisOr(grid.clocksHz, _base.freqHz);
+    const auto mems = axisOr(grid.memBytes, _base.totalMemBytes);
+    const auto muls = axisOr(grid.mulTypes, _base.core.tu.mulType);
+
+    // Expand the cross product up front so records land in grid order
+    // no matter which thread evaluates them.
+    std::vector<EvalRecord> records;
+    std::vector<ChipConfig> cfgs;
+    records.reserve(grid.size());
+    cfgs.reserve(grid.size());
+    for (int x : grid.tuLengths) {
+        for (int n : grid.tuPerCore) {
+            for (const auto &[tx, ty] : grid.coreGrids) {
+                for (double node : nodes) {
+                    for (double clk : clocks) {
+                        for (double mem : mems) {
+                            for (DataType mul : muls) {
+                                EvalRecord r;
+                                r.point = {x, n, tx, ty};
+                                r.nodeNm = node;
+                                r.freqHz = clk;
+                                r.memBytes = mem;
+                                r.mulType = mul;
+
+                                ChipConfig cfg = _base;
+                                cfg.nodeNm = node;
+                                cfg.freqHz = clk;
+                                cfg.totalMemBytes = mem;
+                                cfg.core.tu.mulType = mul;
+                                if (!grid.mulTypes.empty()) {
+                                    cfg.core.tu.accType =
+                                        defaultAccumType(mul);
+                                }
+                                cfgs.push_back(
+                                    applyDesignPoint(cfg, r.point));
+                                records.push_back(std::move(r));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    _pool.parallelFor(records.size(), [&](std::size_t i) {
+        records[i].metrics = _cache.evaluate(cfgs[i]);
+        records[i].why =
+            classify(records[i].metrics, _opts.constraints);
+    });
+
+    if (!_opts.keepInfeasible) {
+        records.erase(std::remove_if(records.begin(), records.end(),
+                                     [](const EvalRecord &r) {
+                                         return !r.feasible();
+                                     }),
+                      records.end());
+    }
+    return records;
+}
+
+GridSearchResult
+SweepEngine::maximizeCores(int tu_length, int tu_per_core,
+                           const DesignConstraints &constraints)
+{
+    return neurometer::maximizeCores(
+        _base, tu_length, tu_per_core, constraints,
+        [this](const ChipConfig &cfg) { return _cache.evaluate(cfg); });
+}
+
+} // namespace neurometer

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Declarative design-space sweeps over ChipConfig (paper Sec. III).
+ *
+ * A SweepGrid names the axes to vary — TU geometry, core grid, tech
+ * node, clock, on-chip memory, datatype — and the SweepEngine fans
+ * the cross product out across a ThreadPool, memoizing every point in
+ * an EvalCache and classifying it against DesignConstraints. Records
+ * come back in grid order regardless of thread count, and a
+ * `threads = 1` engine produces bit-identical results on the caller
+ * thread (the validation reference for the parallel path).
+ */
+
+#ifndef NEUROMETER_EXPLORE_SWEEP_HH
+#define NEUROMETER_EXPLORE_SWEEP_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "chip/optimizer.hh"
+#include "explore/eval_cache.hh"
+#include "explore/thread_pool.hh"
+
+namespace neurometer {
+
+/**
+ * Cartesian parameter grid. The four architectural axes always
+ * participate; the optional axes (node, clock, memory, datatype) are
+ * inherited from the engine's base config when left empty.
+ */
+struct SweepGrid
+{
+    std::vector<int> tuLengths{64};                  ///< X
+    std::vector<int> tuPerCore{1};                   ///< N
+    std::vector<std::pair<int, int>> coreGrids{{1, 1}}; ///< (Tx, Ty)
+
+    /** @name Optional axes (empty = keep the base config's value) */
+    /** @{ */
+    std::vector<double> nodesNm{};
+    std::vector<double> clocksHz{};
+    std::vector<double> memBytes{};
+    /** Multiplier type; accumulate type follows defaultAccumType(). */
+    std::vector<DataType> mulTypes{};
+    /** @} */
+
+    /** Number of points in the cross product. */
+    std::size_t size() const;
+};
+
+/** One evaluated sweep point: coordinates, metrics, and feasibility. */
+struct EvalRecord
+{
+    DesignPoint point;        ///< (X, N, Tx, Ty)
+    double nodeNm = 0.0;
+    double freqHz = 0.0;
+    double memBytes = 0.0;
+    DataType mulType = DataType::Int8;
+
+    PointMetrics metrics;
+    Feasibility why = Feasibility::TimingInfeasible;
+
+    bool feasible() const { return why == Feasibility::Feasible; }
+
+    bool operator==(const EvalRecord &) const = default;
+};
+
+/** Engine knobs: parallelism and the constraint set to classify by. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = serial/inline. */
+    int threads = 0;
+    DesignConstraints constraints;
+    /** Keep infeasible points in the result (exports show the *why*). */
+    bool keepInfeasible = true;
+};
+
+/**
+ * The sweep engine: a thread pool plus an evaluation cache bound to
+ * one base ChipConfig. Engines are reusable — successive run() calls
+ * share the cache, so overlapping grids only pay for new points.
+ */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(ChipConfig base, SweepOptions opts = {});
+
+    /** Evaluate every point of `grid`; records in grid order. */
+    std::vector<EvalRecord> run(const SweepGrid &grid);
+
+    /**
+     * Core-count maximization for one (X, N) on the shared cache —
+     * the chip/optimizer grid search with memoized evaluation.
+     */
+    GridSearchResult maximizeCores(int tu_length, int tu_per_core,
+                                   const DesignConstraints &constraints);
+
+    const ChipConfig &base() const { return _base; }
+    const SweepOptions &options() const { return _opts; }
+    EvalCache &cache() { return _cache; }
+    ThreadPool &pool() { return _pool; }
+
+  private:
+    ChipConfig _base;
+    SweepOptions _opts;
+    ThreadPool _pool;
+    EvalCache _cache;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_SWEEP_HH

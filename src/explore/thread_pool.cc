@@ -1,0 +1,127 @@
+#include "explore/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace neurometer {
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? int(n) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : _numThreads(num_threads > 0 ? num_threads : hardwareThreads())
+{
+    if (_numThreads == 1)
+        return; // inline mode: no workers, no queue traffic
+    _workers.reserve(_numThreads);
+    for (int i = 0; i < _numThreads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _stop = true;
+    }
+    _cv.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _cv.wait(lk, [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop();
+        }
+        task(); // exceptions land in the task's future
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> pt(std::move(task));
+    std::future<void> fut = pt.get_future();
+    if (_workers.empty()) {
+        pt(); // serial mode: run on the caller, now
+        return fut;
+    }
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _queue.push(std::move(pt));
+    }
+    _cv.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (_workers.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i); // strict 0..n-1 order: the serial reference path
+        return;
+    }
+
+    // ~8 chunks per thread balances scheduling overhead against skew
+    // from uneven per-point cost (big grids model slower than small).
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (8 * std::size_t(_numThreads)));
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abandon{false};
+
+    const std::size_t n_tasks =
+        std::min<std::size_t>(std::size_t(_numThreads), count);
+    std::vector<std::future<void>> futs;
+    futs.reserve(n_tasks);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+        futs.push_back(submit([&] {
+            for (;;) {
+                const std::size_t begin = next.fetch_add(chunk);
+                if (begin >= count || abandon.load())
+                    return;
+                const std::size_t end = std::min(begin + chunk, count);
+                for (std::size_t i = begin; i < end; ++i) {
+                    try {
+                        body(i);
+                    } catch (...) {
+                        abandon.store(true);
+                        throw; // captured by the packaged_task future
+                    }
+                }
+            }
+        }));
+    }
+
+    // Wait for *all* workers before rethrowing, so `next`/`abandon`
+    // stay alive; keep the first exception in submission order.
+    std::exception_ptr first;
+    for (std::future<void> &f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace neurometer

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-size worker pool with a dynamically chunked parallel-for,
+ * built on standard C++ threads only (no external dependencies).
+ *
+ * `numThreads() == 1` degenerates to inline execution on the caller
+ * thread — no workers are spawned and iteration order is exactly
+ * 0..n-1, giving the bit-identical serial path that parallel sweeps
+ * are validated against.
+ */
+
+#ifndef NEUROMETER_EXPLORE_THREAD_POOL_HH
+#define NEUROMETER_EXPLORE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace neurometer {
+
+/** A minimal task pool for fan-out evaluation of independent work. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 = hardwareThreads(); 1 = inline/serial. */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return _numThreads; }
+
+    /**
+     * Enqueue one task (runs inline when numThreads() == 1). The
+     * returned future rethrows the task's exception on get().
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [0, count) and block until all
+     * iterations finish. Work is handed out in dynamically sized
+     * chunks from a shared counter, so threads that draw cheap points
+     * steal the remaining range from slow ones. The first exception
+     * any iteration throws is rethrown here, after all workers have
+     * drained (remaining chunks are abandoned).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    int _numThreads = 1;
+    std::vector<std::thread> _workers;
+    std::queue<std::packaged_task<void()>> _queue;
+    std::mutex _mu;
+    std::condition_variable _cv;
+    bool _stop = false;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_THREAD_POOL_HH

@@ -28,6 +28,11 @@
 #include "components/tensor_unit.hh"
 #include "components/vector_regfile.hh"
 #include "components/vector_unit.hh"
+#include "explore/eval_cache.hh"
+#include "explore/export.hh"
+#include "explore/pareto.hh"
+#include "explore/sweep.hh"
+#include "explore/thread_pool.hh"
 #include "memory/fifo.hh"
 #include "perf/tfsim.hh"
 #include "perf/workload.hh"

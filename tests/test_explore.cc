@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Explore-subsystem tests: thread-pool coverage and exception
+ * propagation, cache keying and hit/miss accounting, parallel-vs-
+ * serial sweep determinism, infeasibility-reason classification,
+ * Pareto invariants, top-k ordering, and export shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "explore/eval_cache.hh"
+#include "explore/export.hh"
+#include "explore/pareto.hh"
+#include "explore/sweep.hh"
+#include "explore/thread_pool.hh"
+
+namespace neurometer {
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+SweepGrid
+smallGrid()
+{
+    SweepGrid g;
+    g.tuLengths = {8, 16, 32};
+    g.tuPerCore = {1, 2};
+    g.coreGrids = candidateGrids(16);
+    return g;
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> seen(n);
+    pool.parallelFor(n, [&](std::size_t i) { seen[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SerialModeRunsInOrderInline)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(100, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i); // strict 0..n-1: the reference path
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(1000,
+                                      [](std::size_t i) {
+                                          if (i == 37)
+                                              throw ConfigError("boom");
+                                      }),
+                     ConfigError);
+    }
+}
+
+TEST(ThreadPool, SubmitFutureRethrows)
+{
+    ThreadPool pool(2);
+    auto fut =
+        pool.submit([] { throw ModelError("worker exploded"); });
+    EXPECT_THROW(fut.get(), ModelError);
+}
+
+TEST(EvalCacheKey, IdenticalConfigsShareAKey)
+{
+    EXPECT_EQ(configKey(datacenterBase()), configKey(datacenterBase()));
+}
+
+TEST(EvalCacheKey, EveryAxisChangesTheKey)
+{
+    const ChipConfig base = datacenterBase();
+    std::set<std::string> keys{configKey(base)};
+    auto expect_new = [&](ChipConfig cfg, const char *what) {
+        EXPECT_TRUE(keys.insert(configKey(cfg)).second)
+            << what << " did not change the cache key";
+    };
+
+    ChipConfig c = base;
+    c.freqHz = 701e6;
+    expect_new(c, "freqHz");
+    c = base;
+    c.tx = 2;
+    expect_new(c, "tx");
+    c = base;
+    c.nodeNm = 16.0;
+    expect_new(c, "nodeNm");
+    c = base;
+    c.core.tu.rows = 65;
+    expect_new(c, "tu.rows");
+    c = base;
+    c.core.tu.mulType = DataType::BF16;
+    expect_new(c, "mulType");
+    c = base;
+    c.totalMemBytes = 16.0 * units::mib;
+    expect_new(c, "totalMemBytes");
+    c = base;
+    c.tdpActivity.mem = 0.91;
+    expect_new(c, "activity factor");
+    c = base;
+    c.core.shareVregPorts = true;
+    expect_new(c, "shareVregPorts");
+}
+
+TEST(EvalCache, CountsHitsAndMissesAndReturnsIdenticalRecords)
+{
+    EvalCache cache;
+    const ChipConfig cfg =
+        applyDesignPoint(datacenterBase(), {32, 2, 2, 2});
+    const PointMetrics first = cache.evaluate(cfg);
+    const PointMetrics second = cache.evaluate(cfg);
+    EXPECT_EQ(first, second);
+    EXPECT_TRUE(first.buildOk);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(Sweep, GridSizeIsTheCrossProduct)
+{
+    SweepGrid g = smallGrid();
+    EXPECT_EQ(g.size(), 3u * 2u * candidateGrids(16).size());
+    g.clocksHz = {600e6, 700e6};
+    EXPECT_EQ(g.size(), 3u * 2u * candidateGrids(16).size() * 2u);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit)
+{
+    const SweepGrid grid = smallGrid();
+
+    SweepOptions serial_opts;
+    serial_opts.threads = 1;
+    SweepEngine serial(datacenterBase(), serial_opts);
+    const std::vector<EvalRecord> ref = serial.run(grid);
+
+    SweepOptions par_opts;
+    par_opts.threads = 4;
+    SweepEngine parallel(datacenterBase(), par_opts);
+    const std::vector<EvalRecord> got = parallel.run(grid);
+
+    ASSERT_EQ(ref.size(), got.size());
+    ASSERT_EQ(ref.size(), grid.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(ref[i], got[i]) << "record " << i;
+}
+
+TEST(Sweep, RepeatedSweepIsAllCacheHits)
+{
+    SweepOptions opts;
+    opts.threads = 4;
+    SweepEngine engine(datacenterBase(), opts);
+    const SweepGrid grid = smallGrid();
+
+    const std::vector<EvalRecord> first = engine.run(grid);
+    const CacheStats cold = engine.cache().stats();
+    EXPECT_EQ(cold.misses, grid.size());
+
+    const std::vector<EvalRecord> second = engine.run(grid);
+    const CacheStats warm = engine.cache().stats();
+    EXPECT_EQ(warm.misses, cold.misses) << "re-sweep recomputed points";
+    EXPECT_EQ(warm.hits, cold.hits + grid.size());
+    EXPECT_EQ(first, second);
+}
+
+TEST(Sweep, ReportsWhyAPointIsInfeasible)
+{
+    const ChipConfig base = datacenterBase();
+    SweepGrid one;
+    one.tuLengths = {64};
+    one.tuPerCore = {2};
+    one.coreGrids = {{2, 2}};
+
+    auto run_with = [&](DesignConstraints c) {
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.constraints = c;
+        SweepEngine engine(base, opts);
+        return engine.run(one).at(0);
+    };
+
+    EXPECT_EQ(run_with(DesignConstraints{}).why,
+              Feasibility::Feasible);
+
+    DesignConstraints tight_area;
+    tight_area.areaBudgetMm2 = 10.0;
+    EXPECT_EQ(run_with(tight_area).why, Feasibility::AreaOverBudget);
+
+    DesignConstraints tight_power;
+    tight_power.powerBudgetW = 1.0;
+    EXPECT_EQ(run_with(tight_power).why, Feasibility::PowerOverBudget);
+
+    DesignConstraints tight_tops;
+    tight_tops.topsUpperBound = 1.0;
+    EXPECT_EQ(run_with(tight_tops).why, Feasibility::TopsOverCap);
+
+    // A 100 GHz clock is un-closable: build fails, metrics say why.
+    SweepGrid fast = one;
+    fast.clocksHz = {100e9};
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(base, opts);
+    const EvalRecord r = engine.run(fast).at(0);
+    EXPECT_EQ(r.why, Feasibility::TimingInfeasible);
+    EXPECT_FALSE(r.metrics.buildOk);
+    EXPECT_FALSE(r.metrics.buildError.empty());
+}
+
+TEST(Sweep, MaximizeCoresMatchesTheUncachedOptimizer)
+{
+    const ChipConfig base = datacenterBase();
+    const DesignConstraints c;
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(base, opts);
+
+    for (int x : {16, 64}) {
+        const GridSearchResult direct = maximizeCores(base, x, 2, c);
+        const GridSearchResult cached = engine.maximizeCores(x, 2, c);
+        EXPECT_EQ(direct.feasible, cached.feasible);
+        EXPECT_EQ(direct.point.tx, cached.point.tx);
+        EXPECT_EQ(direct.point.ty, cached.point.ty);
+        EXPECT_EQ(direct.peakTops, cached.peakTops);
+        EXPECT_EQ(direct.areaMm2, cached.areaMm2);
+        EXPECT_EQ(direct.why, cached.why);
+    }
+}
+
+TEST(MaximizeCores, NamesTheBindingConstraintWhenNothingFits)
+{
+    const ChipConfig base = datacenterBase();
+    DesignConstraints impossible;
+    impossible.areaBudgetMm2 = 1.0; // even one core busts this
+    const GridSearchResult r = maximizeCores(base, 64, 2, impossible);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.why, Feasibility::AreaOverBudget);
+    EXPECT_STREQ(feasibilityStr(r.why), "area_over_budget");
+}
+
+TEST(Pareto, FrontierInvariantsHoldOnARealSweep)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(smallGrid());
+    const std::vector<Objective> objs = defaultObjectives();
+    const std::vector<std::size_t> frontier = paretoFrontier(recs, objs);
+    ASSERT_FALSE(frontier.empty());
+
+    const std::set<std::size_t> on(frontier.begin(), frontier.end());
+    for (std::size_t i : frontier) {
+        EXPECT_TRUE(recs[i].feasible());
+        for (std::size_t j = 0; j < recs.size(); ++j) {
+            if (j != i && recs[j].feasible()) {
+                EXPECT_FALSE(dominates(recs[j], recs[i], objs))
+                    << j << " dominates frontier point " << i;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        if (!recs[i].feasible() || on.count(i))
+            continue;
+        bool dominated = false;
+        for (std::size_t j : frontier)
+            dominated = dominated || dominates(recs[j], recs[i], objs);
+        EXPECT_TRUE(dominated)
+            << "excluded point " << i << " is not dominated";
+    }
+}
+
+EvalRecord
+fakeRecord(double tops, double w, double mm2)
+{
+    EvalRecord r;
+    r.metrics.buildOk = true;
+    r.metrics.peakTops = tops;
+    r.metrics.tdpW = w;
+    r.metrics.areaMm2 = mm2;
+    r.why = Feasibility::Feasible;
+    return r;
+}
+
+TEST(Pareto, HandBuiltCase)
+{
+    std::vector<EvalRecord> recs;
+    recs.push_back(fakeRecord(10.0, 100.0, 400.0)); // on frontier
+    recs.push_back(fakeRecord(10.0, 120.0, 400.0)); // dominated by 0
+    recs.push_back(fakeRecord(5.0, 50.0, 200.0));   // on frontier
+    recs.push_back(fakeRecord(20.0, 200.0, 500.0)); // on frontier
+    recs.push_back(fakeRecord(4.0, 60.0, 250.0));   // dominated by 2
+    recs.push_back(fakeRecord(99.0, 1.0, 1.0));     // infeasible
+    recs.back().why = Feasibility::AreaOverBudget;
+
+    const std::vector<std::size_t> f = paretoFrontier(recs);
+    EXPECT_EQ(f, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(Pareto, TopKOrdersDescendingAndSkipsInfeasible)
+{
+    std::vector<EvalRecord> recs;
+    recs.push_back(fakeRecord(1.0, 10.0, 100.0));
+    recs.push_back(fakeRecord(3.0, 10.0, 100.0));
+    recs.push_back(fakeRecord(2.0, 10.0, 100.0));
+    recs.push_back(fakeRecord(9.0, 10.0, 100.0));
+    recs.back().why = Feasibility::PowerOverBudget;
+
+    const auto k = topK(
+        recs,
+        [](const EvalRecord &r) { return r.metrics.peakTops; }, 2);
+    EXPECT_EQ(k, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Export, CsvAndJsonShape)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+    SweepGrid g;
+    g.tuLengths = {16, 64};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}, {2, 2}};
+    const std::vector<EvalRecord> recs = engine.run(g);
+
+    const std::string csv = toCsv(recs);
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, recs.size() + 1); // header + one row each
+    EXPECT_NE(csv.find("peak_tops"), std::string::npos);
+    EXPECT_NE(csv.find("why"), std::string::npos);
+    EXPECT_NE(csv.find("int8"), std::string::npos);
+
+    const std::string json = toJson(recs);
+    std::size_t objects = 0;
+    for (char c : json)
+        objects += c == '{';
+    EXPECT_EQ(objects, recs.size());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"feasible\": true"), std::string::npos);
+}
+
+} // namespace
+} // namespace neurometer
