@@ -60,19 +60,19 @@ main()
     opts.constraints = budget;
     SweepEngine engine(base, opts);
 
-    struct XN
-    {
-        int x, n;
-    };
-    std::vector<XN> points;
-    for (int x : {4, 8, 16, 32, 64, 128, 256})
-        for (int n : {1, 2, 4})
-            points.push_back({x, n});
+    // The Table I (X, N) space, declared as named schema axes (first
+    // axis outermost, so X varies slowest just like the paper's
+    // table); maximizeCores then drives the (Tx, Ty) search for each
+    // expanded point.
+    SweepGrid xn;
+    xn.axis("core.tu.rows", {4, 8, 16, 32, 64, 128, 256}) // X
+        .axis("core.numTU", {1, 2, 4});                   // N
+    const std::vector<ChipConfig> points = xn.expandNamed(base);
 
     std::vector<GridSearchResult> results(points.size());
     engine.pool().parallelFor(points.size(), [&](std::size_t i) {
-        results[i] =
-            engine.maximizeCores(points[i].x, points[i].n, budget);
+        results[i] = engine.maximizeCores(points[i].core.tu.rows,
+                                          points[i].core.numTU, budget);
     });
 
     for (const GridSearchResult &r : results) {

@@ -2,6 +2,10 @@
  * @file
  * Quickstart: configure a small single-core inference accelerator and
  * print its power/area/timing report.
+ *
+ * The same kind of configuration can live in a plain-text file — see
+ * examples/configs/tpu_v1_like.cfg and run it with
+ * `build/tools/neurometer eval examples/configs/tpu_v1_like.cfg`.
  */
 
 #include <cstdio>

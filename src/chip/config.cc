@@ -1,5 +1,6 @@
 #include "chip/config.hh"
 
+#include "chip/config_schema.hh"
 #include "common/error.hh"
 
 namespace neurometer {
@@ -18,22 +19,14 @@ applyDesignPoint(ChipConfig base, const DesignPoint &dp)
 void
 validate(const ChipConfig &cfg)
 {
-    requireConfig(cfg.tx >= 1 && cfg.ty >= 1, "Tx/Ty must be >= 1");
-    requireConfig(cfg.freqHz > 0.0, "clock rate must be positive");
-    requireConfig(cfg.nodeNm >= 7.0 && cfg.nodeNm <= 65.0,
-                  "technology node outside supported range");
+    // Per-field bounds live in the schema — one table serves
+    // validation, parsing, and the eval-cache key alike.
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields())
+        f.check(cfg);
+
+    // Cross-field rules the per-field registry cannot express.
     requireConfig(cfg.core.numTU + cfg.core.numRT >= 1,
                   "a core needs at least one TU or RT");
-    requireConfig(cfg.core.numTU >= 0 && cfg.core.numRT >= 0,
-                  "negative unit counts");
-    requireConfig(cfg.core.tu.rows > 0 && cfg.core.tu.cols > 0,
-                  "TU dimensions must be positive");
-    requireConfig(cfg.totalMemBytes > 0.0, "on-chip memory must be > 0");
-    requireConfig(cfg.whiteSpaceFraction >= 0.0 &&
-                      cfg.whiteSpaceFraction < 0.9,
-                  "white space fraction out of range [0, 0.9)");
-    requireConfig(cfg.offchipBwBytesPerS > 0.0,
-                  "off-chip bandwidth must be > 0");
 }
 
 } // namespace neurometer

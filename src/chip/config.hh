@@ -12,6 +12,8 @@
 #ifndef NEUROMETER_CHIP_CONFIG_HH
 #define NEUROMETER_CHIP_CONFIG_HH
 
+#include <string>
+
 #include "components/noc.hh"
 #include "components/periph.hh"
 #include "components/reduction_tree.hh"
@@ -98,6 +100,23 @@ struct ChipConfig
     ActivityFactors tdpActivity;
 
     int numCores() const { return tx * ty; }
+
+    /** @name Config files (key = value, dotted schema paths)
+     * Parsing and echoing are driven by the field registry in
+     * chip/config_schema.hh; every registered field is accepted as a
+     * `name = value` line and unknown keys, malformed or out-of-bounds
+     * values, and duplicate keys throw ConfigError citing
+     * `source:line`. */
+    /** @{ */
+    /** Parse a config file; diagnostics cite the path + line. */
+    static ChipConfig fromFile(const std::string &path);
+    /** Parse config text; `source` labels diagnostics. */
+    static ChipConfig fromString(const std::string &text,
+                                 const std::string &source = "<string>");
+    /** Complete field echo; fromString(toString()) is exact (the
+     *  round-trip reproduces an identical eval-cache key). */
+    std::string toString() const;
+    /** @} */
 };
 
 /** A (X, N, Tx, Ty) tuple from the paper's design space (Sec. III-A). */

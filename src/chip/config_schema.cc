@@ -1,0 +1,275 @@
+#include "chip/config_schema.hh"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+/*
+ * Completeness tripwires: when one of these fires you added (or
+ * resized) a config field. Register it in buildChipSchema() below —
+ * or, if it is derived rather than user-set, add it to the "derived,
+ * not registered" note — then update the expected size. Skipping the
+ * registration silently corrupts eval-cache keys and config files,
+ * which is exactly what these asserts exist to prevent.
+ */
+static_assert(sizeof(TensorUnitConfig) == 64,
+              "TensorUnitConfig changed: update buildChipSchema()");
+static_assert(sizeof(ReductionTreeConfig) == 24,
+              "ReductionTreeConfig changed: update buildChipSchema()");
+static_assert(sizeof(CoreConfig) == 136,
+              "CoreConfig changed: update buildChipSchema()");
+static_assert(sizeof(ActivityFactors) == 88,
+              "ActivityFactors changed: update buildChipSchema()");
+static_assert(sizeof(ChipConfig) == 328,
+              "ChipConfig changed: update buildChipSchema()");
+
+namespace {
+
+std::vector<std::string>
+dataTypeNames()
+{
+    // Index order must match enum class DataType (circuit/arith.hh).
+    return {"int8", "int16", "int32", "bf16", "fp16", "fp32"};
+}
+
+FieldRegistry<ChipConfig>
+buildChipSchema()
+{
+    FieldRegistry<ChipConfig> reg;
+
+    // Accessor-based registration: #path doubles as the dotted name,
+    // so a typo'd path is a compile error, not a mismatched key.
+#define NM_FIELD(path, bounds, doc)                                    \
+    reg.add(makeField<ChipConfig>(                                     \
+        #path, bounds, doc,                                            \
+        [](auto &c) -> auto & { return c.path; }))
+#define NM_ENUM(path, names, doc)                                      \
+    reg.add(makeEnumField<ChipConfig>(                                 \
+        #path, doc, [](auto &c) -> auto & { return c.path; }, names))
+
+    /*
+     * Registration order is the cache-key ABI (see config_schema.hh):
+     * it reproduces the historical hand-rolled serializer layout —
+     * tech/circuit, chip architecture, core, TDP activity factors.
+     *
+     * Derived, not registered: core.tu.freqHz and core.rt.freqHz are
+     * overwritten with ChipConfig::freqHz during core assembly, so
+     * they are not independent inputs of a chip evaluation.
+     */
+
+    // Technology / circuit level.
+    NM_FIELD(nodeNm, inRange(7.0, 65.0),
+             "technology node (nm)");
+    NM_FIELD(vddVolt, atLeast(0.0),
+             "supply voltage (V); 0 = node default");
+    NM_FIELD(freqHz, greaterThan(0.0), "clock rate (Hz)");
+
+    // Chip architecture level.
+    NM_FIELD(tx, atLeast(1), "tiles in x");
+    NM_FIELD(ty, atLeast(1), "tiles in y");
+    NM_FIELD(autoNocTopology, unbounded(),
+             "pick ring/mesh automatically from the core count");
+    NM_ENUM(nocTopology,
+            (std::vector<std::string>{"bus", "ring", "mesh2d",
+                                      "htree"}),
+            "NoC topology when autoNocTopology = false");
+    NM_FIELD(nocBisectionBwBytesPerS, greaterThan(0.0),
+             "NoC bisection bandwidth target (B/s)");
+    NM_FIELD(totalMemBytes, greaterThan(0.0),
+             "total on-chip memory (bytes)");
+    NM_ENUM(memCell,
+            (std::vector<std::string>{"sram", "dff", "edram"}),
+            "on-chip memory cell type");
+    NM_FIELD(memCacheMode, unbounded(),
+             "run Mem as a cache hierarchy instead of a scratchpad");
+    NM_ENUM(dram, (std::vector<std::string>{"ddr3", "ddr4", "hbm2"}),
+            "off-chip DRAM kind");
+    NM_FIELD(offchipBwBytesPerS, greaterThan(0.0),
+             "off-chip bandwidth (B/s)");
+    NM_FIELD(pcieLanes, atLeast(0), "PCIe lane count");
+    NM_FIELD(iciLinks, atLeast(0),
+             "inter-chip interconnect link count");
+    NM_FIELD(iciGbpsPerDirection, atLeast(0.0),
+             "ICI bandwidth per link per direction (Gb/s)");
+    NM_FIELD(whiteSpaceFraction, rightOpen(0.0, 0.9),
+             "fraction of die left as white space");
+
+    // Core architecture.
+    NM_FIELD(core.numTU, atLeast(0), "tensor units per core (N)");
+    NM_FIELD(core.tu.rows, atLeast(1), "TU systolic-array rows (X)");
+    NM_FIELD(core.tu.cols, atLeast(1), "TU systolic-array columns");
+    NM_ENUM(core.tu.mulType, dataTypeNames(),
+            "TU multiplier operand type");
+    NM_ENUM(core.tu.accType, dataTypeNames(),
+            "TU accumulation type");
+    NM_ENUM(core.tu.interconnect,
+            (std::vector<std::string>{"unicast", "multicast"}),
+            "inner-TU interconnect style");
+    NM_ENUM(core.tu.dataflow,
+            (std::vector<std::string>{"weight_stationary",
+                                      "output_stationary"}),
+            "systolic dataflow (unicast TUs)");
+    NM_FIELD(core.tu.perCellSramBytes, atLeast(0.0),
+             "per-cell SRAM scratchpad beyond pipeline registers");
+    NM_FIELD(core.tu.perCellRegBytes, atLeast(0.0),
+             "per-cell register bytes; 0 = auto from dataflow");
+    NM_FIELD(core.tu.perCellCtrlGates, atLeast(0.0),
+             "per-cell control logic (NAND2-equivalent gates)");
+    NM_FIELD(core.tu.ioFifoDepth, atLeast(0),
+             "TU edge I/O FIFO depth (entries)");
+    NM_FIELD(core.numRT, atLeast(0), "reduction trees per core");
+    NM_FIELD(core.rt.inputs, atLeast(1),
+             "RT input count (power of two)");
+    NM_ENUM(core.rt.mulType, dataTypeNames(),
+            "RT multiplier operand type");
+    NM_ENUM(core.rt.accType, dataTypeNames(),
+            "RT accumulation type");
+    NM_FIELD(core.rt.pipelineEveryLayers, atLeast(0),
+             "pipeline flops every this many RT layers (0 = none)");
+    NM_FIELD(core.vuLanes, atLeast(0),
+             "vector-unit lanes; 0 = auto (TU array length)");
+    NM_FIELD(core.vregEntries, atLeast(1),
+             "vector register file entries");
+    NM_FIELD(core.shareVregPorts, unbounded(),
+             "TUs share one VReg port group instead of 2R1W each");
+    NM_FIELD(core.hasScalarUnit, unbounded(),
+             "include the scalar control core");
+    NM_FIELD(core.memSliceBytes, atLeast(0.0),
+             "per-core Mem slice (bytes); 0 = auto from totalMemBytes");
+    NM_FIELD(core.memBlockBytes, atLeast(0.0),
+             "Mem access width (bytes); 0 = auto");
+
+    // TDP activity factors (fractions of full-utilization power).
+    NM_FIELD(tdpActivity.tensorUnit, inRange(0.0, 1.0),
+             "TU TDP activity factor");
+    NM_FIELD(tdpActivity.reductionTree, inRange(0.0, 1.0),
+             "RT TDP activity factor");
+    NM_FIELD(tdpActivity.vectorUnit, inRange(0.0, 1.0),
+             "VU TDP activity factor");
+    NM_FIELD(tdpActivity.vectorRegfile, inRange(0.0, 1.0),
+             "VReg TDP activity factor");
+    NM_FIELD(tdpActivity.mem, inRange(0.0, 1.0),
+             "Mem TDP activity factor");
+    NM_FIELD(tdpActivity.cdb, inRange(0.0, 1.0),
+             "CDB TDP activity factor");
+    NM_FIELD(tdpActivity.noc, inRange(0.0, 1.0),
+             "NoC TDP activity factor");
+    NM_FIELD(tdpActivity.scalarUnit, inRange(0.0, 1.0),
+             "scalar-unit TDP activity factor");
+    NM_FIELD(tdpActivity.ifu, inRange(0.0, 1.0),
+             "instruction-fetch TDP activity factor");
+    NM_FIELD(tdpActivity.lsu, inRange(0.0, 1.0),
+             "load/store TDP activity factor");
+    NM_FIELD(tdpActivity.offchip, inRange(0.0, 1.0),
+             "off-chip interface TDP activity factor");
+
+#undef NM_FIELD
+#undef NM_ENUM
+    return reg;
+}
+
+/** "config error: " prefix of a nested ConfigError being re-thrown
+ *  with a file/line location prepended. */
+std::string
+stripConfigPrefix(const char *what)
+{
+    const std::string msg = what;
+    const std::string prefix = "config error: ";
+    return msg.rfind(prefix, 0) == 0 ? msg.substr(prefix.size()) : msg;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+const FieldRegistry<ChipConfig> &
+chipSchema()
+{
+    static const FieldRegistry<ChipConfig> schema = buildChipSchema();
+    return schema;
+}
+
+ChipConfig
+ChipConfig::fromString(const std::string &text, const std::string &source)
+{
+    const FieldRegistry<ChipConfig> &schema = chipSchema();
+    ChipConfig cfg;
+    std::unordered_set<std::string> seen;
+
+    std::istringstream in(text);
+    std::string raw;
+    for (int line = 1; std::getline(in, raw); ++line) {
+        const auto loc = [&] {
+            return source + ":" + std::to_string(line) + ": ";
+        };
+        // '#' starts a comment anywhere on the line.
+        const std::size_t hash = raw.find('#');
+        const std::string stmt =
+            trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+        if (stmt.empty())
+            continue;
+
+        const std::size_t eq = stmt.find('=');
+        if (eq == std::string::npos)
+            throw ConfigError(loc() + "expected 'key = value', got '" +
+                              stmt + "'");
+        const std::string key = trim(stmt.substr(0, eq));
+        const std::string value = trim(stmt.substr(eq + 1));
+        if (key.empty())
+            throw ConfigError(loc() + "missing key before '='");
+        if (value.empty())
+            throw ConfigError(loc() + "missing value for key '" + key +
+                              "'");
+
+        const FieldDef<ChipConfig> *field = schema.find(key);
+        if (!field)
+            throw ConfigError(loc() + "unknown key '" + key +
+                              "' (run `neurometer fields` for the "
+                              "schema)");
+        if (!seen.insert(key).second)
+            throw ConfigError(loc() + "duplicate key '" + key + "'");
+
+        try {
+            field->setText(cfg, value);
+        } catch (const ConfigError &e) {
+            throw ConfigError(loc() + stripConfigPrefix(e.what()));
+        }
+    }
+    return cfg;
+}
+
+ChipConfig
+ChipConfig::fromFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    requireConfig(f.good(), "cannot open config file " + path);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return fromString(buf.str(), path);
+}
+
+std::string
+ChipConfig::toString() const
+{
+    // Exact echo: every field, schema order, values rendered so that
+    // fromString(toString()) reproduces an identical cache key.
+    std::string out =
+        "# NeuroMeter chip configuration (complete field echo)\n";
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields())
+        out += f.name + " = " + f.getText(*this) + "\n";
+    return out;
+}
+
+} // namespace neurometer

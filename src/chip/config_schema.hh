@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The ChipConfig field schema: one registry enumerating every user
+ * input of the model — name (dotted path), kind, bounds, and doc —
+ * that powers the cache key (explore/eval_cache), validate(), the
+ * config-file parser (ChipConfig::fromFile/fromString/toString), and
+ * name-addressed sweep axes (explore/sweep).
+ *
+ * Completeness contract: every ChipConfig/CoreConfig/TensorUnitConfig/
+ * ReductionTreeConfig/ActivityFactors member is either registered here
+ * or explicitly listed as derived in config_schema.cc. sizeof
+ * static_asserts there trip the build when a struct gains a field, and
+ * tests/test_config_schema.cc asserts every registered field perturbs
+ * the cache key.
+ */
+
+#ifndef NEUROMETER_CHIP_CONFIG_SCHEMA_HH
+#define NEUROMETER_CHIP_CONFIG_SCHEMA_HH
+
+#include "chip/config.hh"
+#include "common/fields.hh"
+
+namespace neurometer {
+
+/**
+ * The singleton ChipConfig registry. Field order is the serialization
+ * ABI: the eval-cache key walks it front to back, so reordering or
+ * interleaving entries invalidates persisted keys (in-process caches
+ * only notice as a cold start, but keep order appends-only anyway).
+ */
+const FieldRegistry<ChipConfig> &chipSchema();
+
+} // namespace neurometer
+
+#endif // NEUROMETER_CHIP_CONFIG_SCHEMA_HH

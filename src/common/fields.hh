@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Reflection-lite field registry: a runtime description of the scalar
+ * fields of a config struct (name, kind, bounds, doc, accessors) that
+ * lets one table drive serialization, validation, parsing, and
+ * name-addressed sweeps instead of four hand-maintained copies.
+ *
+ * A FieldDef views one field through a uniform double-valued lens
+ * (bool -> 0/1, enum -> index); the text-facing helpers render and
+ * parse the natural spelling of each kind ("true", "bf16", "0.21").
+ * A FieldRegistry is an ordered, name-indexed collection of defs —
+ * iteration order is part of the contract (cache keys depend on it).
+ */
+
+#ifndef NEUROMETER_COMMON_FIELDS_HH
+#define NEUROMETER_COMMON_FIELDS_HH
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+/** Value categories a registered field can have. */
+enum class FieldKind { Bool, Int, Double, Enum };
+
+/**
+ * Shortest decimal rendering that parses back to exactly `v`: %.15g
+ * when that round-trips, escalating to %.17g (which always does).
+ * The workhorse behind exact config-file echoes and axis labels.
+ */
+inline std::string
+exactDoubleText(double v)
+{
+    char buf[40];
+    for (int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+inline const char *
+fieldKindName(FieldKind k)
+{
+    switch (k) {
+      case FieldKind::Bool:
+        return "bool";
+      case FieldKind::Int:
+        return "int";
+      case FieldKind::Double:
+        return "double";
+      case FieldKind::Enum:
+        return "enum";
+    }
+    return "?";
+}
+
+/** Numeric interval a field value must lie in, open or closed per end. */
+struct FieldBounds
+{
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    bool loExclusive = false;
+    bool hiExclusive = false;
+
+    bool
+    contains(double v) const
+    {
+        if (loExclusive ? v <= lo : v < lo)
+            return false;
+        if (hiExclusive ? v >= hi : v > hi)
+            return false;
+        return true;
+    }
+
+    /** True when at least one end constrains. */
+    bool
+    bounded() const
+    {
+        return std::isfinite(lo) || std::isfinite(hi);
+    }
+
+    /** "[0, 1]", "(0, inf)", "[0, 0.9)" — for error messages/docs. */
+    std::string
+    str() const
+    {
+        auto end = [](double v) -> std::string {
+            if (std::isinf(v))
+                return v > 0 ? "inf" : "-inf";
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%g", v);
+            return buf;
+        };
+        // Infinite ends are always open by convention.
+        const bool lo_open = loExclusive || std::isinf(lo);
+        const bool hi_open = hiExclusive || std::isinf(hi);
+        return std::string(lo_open ? "(" : "[") + end(lo) + ", " +
+               end(hi) + (hi_open ? ")" : "]");
+    }
+};
+
+inline FieldBounds
+unbounded()
+{
+    return {};
+}
+
+inline FieldBounds
+atLeast(double lo)
+{
+    FieldBounds b;
+    b.lo = lo;
+    return b;
+}
+
+inline FieldBounds
+greaterThan(double lo)
+{
+    FieldBounds b;
+    b.lo = lo;
+    b.loExclusive = true;
+    return b;
+}
+
+/** Closed interval [lo, hi]. */
+inline FieldBounds
+inRange(double lo, double hi)
+{
+    FieldBounds b;
+    b.lo = lo;
+    b.hi = hi;
+    return b;
+}
+
+/** Half-open interval [lo, hi). */
+inline FieldBounds
+rightOpen(double lo, double hi)
+{
+    FieldBounds b = inRange(lo, hi);
+    b.hiExclusive = true;
+    return b;
+}
+
+/** One registered field of an Owner struct. */
+template <typename Owner>
+struct FieldDef
+{
+    std::string name; ///< dotted path, e.g. "core.tu.rows"
+    FieldKind kind = FieldKind::Double;
+    FieldBounds bounds;
+    std::string doc;
+    /** Enum kind only: spelling per enumerator, index order. */
+    std::vector<std::string> enumNames;
+
+    std::function<double(const Owner &)> rawGet;
+    std::function<void(Owner &, double)> rawSet;
+
+    /** Field value as a double (bool -> 0/1, enum -> index). */
+    double
+    get(const Owner &o) const
+    {
+        return rawGet(o);
+    }
+
+    /** Checked write; throws ConfigError naming the field. */
+    void
+    set(Owner &o, double v) const
+    {
+        checkValue(v);
+        rawSet(o, v);
+    }
+
+    /** Throw ConfigError when the field's current value is invalid. */
+    void
+    check(const Owner &o) const
+    {
+        checkValue(get(o));
+    }
+
+    /** Exact textual rendering (round-trips through setText). */
+    std::string
+    getText(const Owner &o) const
+    {
+        const double v = get(o);
+        char buf[40];
+        switch (kind) {
+          case FieldKind::Bool:
+            return v != 0.0 ? "true" : "false";
+          case FieldKind::Int:
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(v));
+            return buf;
+          case FieldKind::Double:
+            return exactDoubleText(v);
+          case FieldKind::Enum:
+            return enumNames.at(static_cast<std::size_t>(v));
+        }
+        return "";
+    }
+
+    /** Parse + checked write; throws ConfigError on any problem. */
+    void
+    setText(Owner &o, const std::string &text) const
+    {
+        set(o, parseText(text));
+    }
+
+    /** Parse `text` per this field's kind without writing anywhere. */
+    double
+    parseText(const std::string &text) const
+    {
+        switch (kind) {
+          case FieldKind::Bool: {
+            const std::string t = lower(text);
+            if (t == "true" || t == "1")
+                return 1.0;
+            if (t == "false" || t == "0")
+                return 0.0;
+            throw ConfigError(name + ": expected true/false, got '" +
+                              text + "'");
+          }
+          case FieldKind::Enum: {
+            const std::string t = lower(text);
+            for (std::size_t i = 0; i < enumNames.size(); ++i)
+                if (t == enumNames[i])
+                    return double(i);
+            std::string valid;
+            for (const std::string &n : enumNames)
+                valid += (valid.empty() ? "" : ", ") + n;
+            throw ConfigError(name + ": unknown value '" + text +
+                              "' (valid: " + valid + ")");
+          }
+          case FieldKind::Int:
+          case FieldKind::Double: {
+            char *end = nullptr;
+            const double v = std::strtod(text.c_str(), &end);
+            if (end == text.c_str() || *end != '\0' || !std::isfinite(v))
+                throw ConfigError(name + ": '" + text + "' is not a " +
+                                  fieldKindName(kind));
+            return v;
+          }
+        }
+        throw ModelError("unhandled field kind");
+    }
+
+  private:
+    static std::string
+    lower(const std::string &s)
+    {
+        std::string out = s;
+        for (char &c : out)
+            c = char(std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    }
+
+    void
+    checkValue(double v) const
+    {
+        const bool integral =
+            std::isfinite(v) && v == std::floor(v);
+        switch (kind) {
+          case FieldKind::Bool:
+            requireConfig(v == 0.0 || v == 1.0,
+                          name + " must be true/false");
+            break;
+          case FieldKind::Enum:
+            requireConfig(integral && v >= 0.0 &&
+                              v < double(enumNames.size()),
+                          name + ": enum value out of range");
+            break;
+          case FieldKind::Int:
+            requireConfig(integral,
+                          name + " must be an integer");
+            [[fallthrough]];
+          case FieldKind::Double:
+            if (!bounds.contains(v)) {
+                char buf[40];
+                std::snprintf(buf, sizeof(buf), "%g", v);
+                throw ConfigError(name + " = " + buf +
+                                  " out of range " + bounds.str());
+            }
+            break;
+        }
+    }
+};
+
+/** Ordered, name-indexed set of FieldDefs for one Owner struct. */
+template <typename Owner>
+class FieldRegistry
+{
+  public:
+    FieldRegistry &
+    add(FieldDef<Owner> f)
+    {
+        requireModel(!f.name.empty(), "unnamed field");
+        requireModel(_index.emplace(f.name, _fields.size()).second,
+                     "duplicate field '" + f.name + "'");
+        _fields.push_back(std::move(f));
+        return *this;
+    }
+
+    /** Null when no field has this name. */
+    const FieldDef<Owner> *
+    find(const std::string &name) const
+    {
+        const auto it = _index.find(name);
+        return it == _index.end() ? nullptr : &_fields[it->second];
+    }
+
+    /** Like find(), but throws ConfigError on an unknown name. */
+    const FieldDef<Owner> &
+    at(const std::string &name) const
+    {
+        const FieldDef<Owner> *f = find(name);
+        if (!f)
+            throw ConfigError("unknown field '" + name + "'");
+        return *f;
+    }
+
+    /** Registration order — stable, part of the serialization ABI. */
+    const std::vector<FieldDef<Owner>> &
+    fields() const
+    {
+        return _fields;
+    }
+
+    std::size_t
+    size() const
+    {
+        return _fields.size();
+    }
+
+  private:
+    std::vector<FieldDef<Owner>> _fields;
+    std::unordered_map<std::string, std::size_t> _index;
+};
+
+namespace field_detail {
+
+template <typename T>
+constexpr FieldKind
+kindOf()
+{
+    if constexpr (std::is_same_v<T, bool>)
+        return FieldKind::Bool;
+    else if constexpr (std::is_enum_v<T>)
+        return FieldKind::Enum;
+    else if constexpr (std::is_integral_v<T>)
+        return FieldKind::Int;
+    else {
+        static_assert(std::is_floating_point_v<T>,
+                      "unsupported field type");
+        return FieldKind::Double;
+    }
+}
+
+} // namespace field_detail
+
+/**
+ * Build a FieldDef from an accessor lambda returning a mutable
+ * reference to the member (`[](auto &c) -> auto & { return c.x; }`).
+ * The kind is deduced from the member type; enums must go through
+ * makeEnumField() so they carry their spellings.
+ */
+template <typename Owner, typename Accessor>
+FieldDef<Owner>
+makeField(std::string name, FieldBounds bounds, std::string doc,
+          Accessor acc)
+{
+    using T = std::remove_reference_t<decltype(acc(
+        std::declval<Owner &>()))>;
+    static_assert(!std::is_enum_v<T>, "use makeEnumField for enums");
+
+    FieldDef<Owner> f;
+    f.name = std::move(name);
+    f.kind = field_detail::kindOf<T>();
+    f.bounds = bounds;
+    f.doc = std::move(doc);
+    f.rawGet = [acc](const Owner &o) {
+        return double(acc(const_cast<Owner &>(o)));
+    };
+    f.rawSet = [acc](Owner &o, double v) { acc(o) = T(v); };
+    return f;
+}
+
+/** makeField() for enum members; `names` is indexed by enum value. */
+template <typename Owner, typename Accessor>
+FieldDef<Owner>
+makeEnumField(std::string name, std::string doc, Accessor acc,
+              std::vector<std::string> names)
+{
+    using T = std::remove_reference_t<decltype(acc(
+        std::declval<Owner &>()))>;
+    static_assert(std::is_enum_v<T>, "makeEnumField needs an enum");
+
+    FieldDef<Owner> f;
+    f.name = std::move(name);
+    f.kind = FieldKind::Enum;
+    f.doc = std::move(doc);
+    f.enumNames = std::move(names);
+    f.rawGet = [acc](const Owner &o) {
+        return double(
+            static_cast<std::underlying_type_t<T>>(
+                acc(const_cast<Owner &>(o))));
+    };
+    f.rawSet = [acc](Owner &o, double v) {
+        acc(o) = T(static_cast<std::underlying_type_t<T>>(v));
+    };
+    return f;
+}
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_FIELDS_HH

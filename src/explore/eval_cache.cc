@@ -2,107 +2,38 @@
 
 #include <cstdio>
 
+#include "chip/config_schema.hh"
+
 namespace neurometer {
-
-namespace {
-
-// Hex-float ("%a") round-trips doubles exactly and is locale-free;
-// '|' separators keep adjacent fields from aliasing.
-void
-put(std::string &s, double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%a|", v);
-    s += buf;
-}
-
-void
-put(std::string &s, int v)
-{
-    s += std::to_string(v);
-    s += '|';
-}
-
-void
-put(std::string &s, bool v)
-{
-    s += v ? "1|" : "0|";
-}
-
-template <typename E>
-void
-putEnum(std::string &s, E v)
-{
-    put(s, int(v));
-}
-
-} // namespace
 
 std::string
 configKey(const ChipConfig &c)
 {
+    // A schema walk: every registered field, registry order. Doubles
+    // use hex-float ("%a") — exact and locale-free; ints/enums print
+    // decimally; '|' separators keep adjacent fields from aliasing.
+    // Field coverage is guaranteed by the schema's completeness
+    // tripwires, not by this function.
     std::string s;
     s.reserve(640);
-
-    // Technology / circuit level.
-    put(s, c.nodeNm);
-    put(s, c.vddVolt);
-    put(s, c.freqHz);
-
-    // Chip architecture level.
-    put(s, c.tx);
-    put(s, c.ty);
-    put(s, c.autoNocTopology);
-    putEnum(s, c.nocTopology);
-    put(s, c.nocBisectionBwBytesPerS);
-    put(s, c.totalMemBytes);
-    putEnum(s, c.memCell);
-    put(s, c.memCacheMode);
-    putEnum(s, c.dram);
-    put(s, c.offchipBwBytesPerS);
-    put(s, c.pcieLanes);
-    put(s, c.iciLinks);
-    put(s, c.iciGbpsPerDirection);
-    put(s, c.whiteSpaceFraction);
-
-    // Core architecture.
-    const CoreConfig &cc = c.core;
-    put(s, cc.numTU);
-    put(s, cc.tu.rows);
-    put(s, cc.tu.cols);
-    putEnum(s, cc.tu.mulType);
-    putEnum(s, cc.tu.accType);
-    putEnum(s, cc.tu.interconnect);
-    putEnum(s, cc.tu.dataflow);
-    put(s, cc.tu.perCellSramBytes);
-    put(s, cc.tu.perCellRegBytes);
-    put(s, cc.tu.perCellCtrlGates);
-    put(s, cc.tu.ioFifoDepth);
-    put(s, cc.numRT);
-    put(s, cc.rt.inputs);
-    putEnum(s, cc.rt.mulType);
-    putEnum(s, cc.rt.accType);
-    put(s, cc.rt.pipelineEveryLayers);
-    put(s, cc.vuLanes);
-    put(s, cc.vregEntries);
-    put(s, cc.shareVregPorts);
-    put(s, cc.hasScalarUnit);
-    put(s, cc.memSliceBytes);
-    put(s, cc.memBlockBytes);
-
-    // TDP activity factors (they shape tdpW and everything derived).
-    const ActivityFactors &a = c.tdpActivity;
-    put(s, a.tensorUnit);
-    put(s, a.reductionTree);
-    put(s, a.vectorUnit);
-    put(s, a.vectorRegfile);
-    put(s, a.mem);
-    put(s, a.cdb);
-    put(s, a.noc);
-    put(s, a.scalarUnit);
-    put(s, a.ifu);
-    put(s, a.lsu);
-    put(s, a.offchip);
+    char buf[40];
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields()) {
+        const double v = f.get(c);
+        switch (f.kind) {
+          case FieldKind::Double:
+            std::snprintf(buf, sizeof(buf), "%a", v);
+            s += buf;
+            break;
+          case FieldKind::Int:
+          case FieldKind::Enum:
+            s += std::to_string(static_cast<long long>(v));
+            break;
+          case FieldKind::Bool:
+            s += v != 0.0 ? '1' : '0';
+            break;
+        }
+        s += '|';
+    }
     return s;
 }
 

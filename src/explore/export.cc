@@ -72,9 +72,15 @@ toCsv(const std::vector<EvalRecord> &records)
 {
     std::string s =
         "tu_length,tu_per_core,tx,ty,cores,node_nm,freq_mhz,mem_mib,"
-        "mul_type,feasible,why,peak_tops,area_mm2,tdp_w,tops_per_w,"
-        "tops_per_tco,mem_area_pct,tu_area_pct,noc_area_pct,"
-        "ctrl_area_pct,build_error\n";
+        "mul_type,";
+    // Named-axis columns (uniform across one run's records): the
+    // schema path is the header, the swept value the cell.
+    if (!records.empty())
+        for (const auto &[path, value] : records.front().named)
+            s += path + ',';
+    s += "feasible,why,peak_tops,area_mm2,tdp_w,tops_per_w,"
+         "tops_per_tco,mem_area_pct,tu_area_pct,noc_area_pct,"
+         "ctrl_area_pct,build_error\n";
     for (const EvalRecord &r : records) {
         const PointMetrics &m = r.metrics;
         s += std::to_string(r.point.tuLength) + ',';
@@ -86,6 +92,8 @@ toCsv(const std::vector<EvalRecord> &records)
         s += num(r.freqHz / 1e6) + ',';
         s += num(r.memBytes / (1024.0 * 1024.0)) + ',';
         s += dataTypeName(r.mulType) + ',';
+        for (const auto &[path, value] : r.named)
+            s += value + ',';
         s += r.feasible() ? "1," : "0,";
         s += std::string(feasibilityStr(r.why)) + ',';
         s += num(m.peakTops) + ',';
@@ -118,6 +126,8 @@ toJson(const std::vector<EvalRecord> &records)
         s += ", \"freq_hz\": " + num(r.freqHz);
         s += ", \"mem_bytes\": " + num(r.memBytes);
         s += ", \"mul_type\": \"" + dataTypeName(r.mulType) + '"';
+        for (const auto &[path, value] : r.named)
+            s += ", " + jsonQuote(path) + ": " + jsonQuote(value);
         s += std::string(", \"feasible\": ") +
              (r.feasible() ? "true" : "false");
         s += std::string(", \"why\": \"") + feasibilityStr(r.why) + '"';

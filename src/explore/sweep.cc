@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chip/config_schema.hh"
 #include "circuit/arith.hh"
 
 namespace neurometer {
@@ -18,16 +19,115 @@ axisOr(const std::vector<T> &axis, T base_value)
     return {base_value};
 }
 
+// A named axis resolved against the schema: field plus pre-parsed
+// values (resolution throws on unknown paths or unparsable values
+// before any evaluation starts).
+struct ResolvedAxis
+{
+    const FieldDef<ChipConfig> *field;
+    const NamedAxis *axis;
+    std::vector<double> parsed;
+};
+
+std::vector<ResolvedAxis>
+resolveNamedAxes(const std::vector<NamedAxis> &axes)
+{
+    std::vector<ResolvedAxis> out;
+    out.reserve(axes.size());
+    for (const NamedAxis &a : axes) {
+        requireConfig(!a.values.empty(),
+                      "named axis '" + a.path + "' has no values");
+        ResolvedAxis r;
+        r.field = &chipSchema().at(a.path);
+        r.axis = &a;
+        for (const std::string &v : a.values)
+            r.parsed.push_back(r.field->parseText(v));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+// Decode flat index `k` into one value per axis (first axis
+// outermost) and apply them; appends (path, value) to `record`.
+void
+applyNamedCombo(const std::vector<ResolvedAxis> &axes, std::size_t k,
+                ChipConfig &cfg,
+                std::vector<std::pair<std::string, std::string>> *record)
+{
+    std::size_t stride = 1;
+    for (const ResolvedAxis &a : axes)
+        stride *= a.parsed.size();
+    for (const ResolvedAxis &a : axes) {
+        stride /= a.parsed.size();
+        const std::size_t idx = (k / stride) % a.parsed.size();
+        a.field->set(cfg, a.parsed[idx]);
+        if (record)
+            record->emplace_back(a.axis->path, a.axis->values[idx]);
+    }
+}
+
+std::size_t
+namedComboCount(const std::vector<ResolvedAxis> &axes)
+{
+    std::size_t n = 1;
+    for (const ResolvedAxis &a : axes)
+        n *= a.parsed.size();
+    return n;
+}
+
 } // namespace
+
+SweepGrid &
+SweepGrid::axis(const std::string &path,
+                const std::vector<double> &values)
+{
+    std::vector<std::string> text;
+    text.reserve(values.size());
+    for (double v : values)
+        text.push_back(exactDoubleText(v));
+    return axis(path, std::move(text));
+}
+
+SweepGrid &
+SweepGrid::axis(const std::string &path,
+                std::initializer_list<double> values)
+{
+    return axis(path, std::vector<double>(values));
+}
+
+SweepGrid &
+SweepGrid::axis(const std::string &path, std::vector<std::string> values)
+{
+    namedAxes.push_back({path, std::move(values)});
+    return *this;
+}
+
+std::vector<ChipConfig>
+SweepGrid::expandNamed(const ChipConfig &base) const
+{
+    const std::vector<ResolvedAxis> axes = resolveNamedAxes(namedAxes);
+    const std::size_t n = namedComboCount(axes);
+    std::vector<ChipConfig> out;
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        ChipConfig cfg = base;
+        applyNamedCombo(axes, k, cfg, nullptr);
+        out.push_back(cfg);
+    }
+    return out;
+}
 
 std::size_t
 SweepGrid::size() const
 {
     auto dim = [](std::size_t n) { return n == 0 ? 1 : n; };
-    return dim(tuLengths.size()) * dim(tuPerCore.size()) *
-           dim(coreGrids.size()) * dim(nodesNm.size()) *
-           dim(clocksHz.size()) * dim(memBytes.size()) *
-           dim(mulTypes.size());
+    std::size_t n = dim(tuLengths.size()) * dim(tuPerCore.size()) *
+                    dim(coreGrids.size()) * dim(nodesNm.size()) *
+                    dim(clocksHz.size()) * dim(memBytes.size()) *
+                    dim(mulTypes.size());
+    for (const NamedAxis &a : namedAxes)
+        n *= dim(a.values.size());
+    return n;
 }
 
 SweepEngine::SweepEngine(ChipConfig base, SweepOptions opts)
@@ -42,6 +142,12 @@ SweepEngine::run(const SweepGrid &grid)
     const auto mems = axisOr(grid.memBytes, _base.totalMemBytes);
     const auto muls = axisOr(grid.mulTypes, _base.core.tu.mulType);
 
+    // Resolve named axes first: unknown paths and bad values fail
+    // here, before any point is evaluated.
+    const std::vector<ResolvedAxis> named =
+        resolveNamedAxes(grid.namedAxes);
+    const std::size_t ncombos = namedComboCount(named);
+
     // Expand the cross product up front so records land in grid order
     // no matter which thread evaluates them.
     std::vector<EvalRecord> records;
@@ -55,6 +161,8 @@ SweepEngine::run(const SweepGrid &grid)
                     for (double clk : clocks) {
                         for (double mem : mems) {
                             for (DataType mul : muls) {
+                              for (std::size_t k = 0; k < ncombos;
+                                   ++k) {
                                 EvalRecord r;
                                 r.point = {x, n, tx, ty};
                                 r.nodeNm = node;
@@ -71,9 +179,14 @@ SweepEngine::run(const SweepGrid &grid)
                                     cfg.core.tu.accType =
                                         defaultAccumType(mul);
                                 }
-                                cfgs.push_back(
-                                    applyDesignPoint(cfg, r.point));
+                                cfg = applyDesignPoint(cfg, r.point);
+                                // Named axes land last: they win over
+                                // any typed axis on the same field.
+                                applyNamedCombo(named, k, cfg,
+                                                &r.named);
+                                cfgs.push_back(cfg);
                                 records.push_back(std::move(r));
+                              }
                             }
                         }
                     }

@@ -15,6 +15,8 @@
 #define NEUROMETER_EXPLORE_SWEEP_HH
 
 #include <cstddef>
+#include <initializer_list>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -25,9 +27,25 @@
 namespace neurometer {
 
 /**
+ * One name-addressed sweep axis: a dotted ChipConfig schema path (see
+ * chip/config_schema.hh, `neurometer fields`) plus the values to
+ * sweep, held as text and parsed/validated per the field's kind.
+ */
+struct NamedAxis
+{
+    std::string path;
+    std::vector<std::string> values;
+
+    bool operator==(const NamedAxis &) const = default;
+};
+
+/**
  * Cartesian parameter grid. The four architectural axes always
  * participate; the optional axes (node, clock, memory, datatype) are
- * inherited from the engine's base config when left empty.
+ * inherited from the engine's base config when left empty. Any other
+ * ChipConfig field sweeps through a named axis — `axis("core.numTU",
+ * {1, 2, 4})` — which is applied *after* the typed axes, so a named
+ * axis wins when both address the same field.
  */
 struct SweepGrid
 {
@@ -44,7 +62,30 @@ struct SweepGrid
     std::vector<DataType> mulTypes{};
     /** @} */
 
-    /** Number of points in the cross product. */
+    /** @name Named axes (any schema field, first axis outermost) */
+    /** @{ */
+    std::vector<NamedAxis> namedAxes{};
+
+    /** Add a numeric/bool axis; values are schema-checked at run. */
+    SweepGrid &axis(const std::string &path,
+                    const std::vector<double> &values);
+    /** Braced-list spelling of the numeric overload. */
+    SweepGrid &axis(const std::string &path,
+                    std::initializer_list<double> values);
+    /** Add an axis from spelled-out values ("bf16", "true", "0.21"). */
+    SweepGrid &axis(const std::string &path,
+                    std::vector<std::string> values);
+
+    /**
+     * Cross product of only the named axes applied to `base` (first
+     * axis outermost) — for callers that drive evaluation themselves,
+     * e.g. a maximizeCores search per combination. Throws ConfigError
+     * on an unknown path or a value the schema rejects.
+     */
+    std::vector<ChipConfig> expandNamed(const ChipConfig &base) const;
+    /** @} */
+
+    /** Number of points in the cross product (named axes included). */
     std::size_t size() const;
 };
 
@@ -56,6 +97,9 @@ struct EvalRecord
     double freqHz = 0.0;
     double memBytes = 0.0;
     DataType mulType = DataType::Int8;
+
+    /** Named-axis coordinates as (path, value-text), grid order. */
+    std::vector<std::pair<std::string, std::string>> named{};
 
     PointMetrics metrics;
     Feasibility why = Feasibility::TimingInfeasible;

@@ -8,6 +8,7 @@
 
 #include "chip/chip.hh"
 #include "chip/config.hh"
+#include "chip/config_schema.hh"
 #include "chip/core.hh"
 #include "chip/optimizer.hh"
 #include "circuit/arith.hh"
@@ -16,6 +17,7 @@
 #include "circuit/wire.hh"
 #include "common/breakdown.hh"
 #include "common/error.hh"
+#include "common/fields.hh"
 #include "common/pat.hh"
 #include "common/stats.hh"
 #include "common/table.hh"

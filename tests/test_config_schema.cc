@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Field-schema tests: registry completeness against the eval-cache
+ * key (the regression guard the old hand-rolled serializer never
+ * had), legacy key-layout compatibility, config-file parser error
+ * paths with line-numbered diagnostics, exact toString()/fromString()
+ * round-trips, and the registry-driven validate() bounds.
+ *
+ * Unregistered-field detection is split between build time and here:
+ * the sizeof static_asserts in chip/config_schema.cc trip when a
+ * config struct gains a member, and the mutation test below trips
+ * when a registered field's accessors don't actually reach the key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chip/config_schema.hh"
+#include "common/error.hh"
+#include "explore/eval_cache.hh"
+
+namespace neurometer {
+namespace {
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+/** The message a ConfigError-throwing callable produces. */
+template <typename Fn>
+std::string
+configErrorOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const ConfigError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected ConfigError";
+    return "";
+}
+
+/** A legal value for `f` different from its current one. */
+double
+differentValue(const FieldDef<ChipConfig> &f, double v)
+{
+    if (f.kind == FieldKind::Bool)
+        return v == 0.0 ? 1.0 : 0.0;
+    if (f.kind == FieldKind::Enum)
+        return double((std::size_t(v) + 1) % f.enumNames.size());
+    for (double cand : {v + 1.0, v - 1.0, v / 2.0, v * 2.0, 0.5}) {
+        const bool integral = cand == std::floor(cand);
+        if (cand != v && f.bounds.contains(cand) &&
+            (f.kind != FieldKind::Int || integral))
+            return cand;
+    }
+    ADD_FAILURE() << "no alternative value for " << f.name;
+    return v;
+}
+
+TEST(Schema, RegistersEveryField)
+{
+    // 3 tech + 14 chip architecture + 22 core + 11 activity factors.
+    // (core.tu.freqHz / core.rt.freqHz are derived, not registered.)
+    EXPECT_EQ(chipSchema().size(), 50u);
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields()) {
+        EXPECT_FALSE(f.doc.empty()) << f.name << " lacks a doc string";
+        if (f.kind == FieldKind::Enum) {
+            EXPECT_FALSE(f.enumNames.empty()) << f.name;
+        }
+    }
+}
+
+// The satellite regression guard: every registered field, mutated one
+// at a time on a default config, must perturb the eval-cache key. A
+// field whose getter/setter pair is wired to the wrong member shows
+// up here as a key collision.
+TEST(Schema, EveryFieldMutationChangesTheCacheKey)
+{
+    const ChipConfig base;
+    const std::string base_key = configKey(base);
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields()) {
+        ChipConfig mutated = base;
+        const double v = f.get(base);
+        const double nv = differentValue(f, v);
+        f.set(mutated, nv);
+        EXPECT_EQ(f.get(mutated), nv) << f.name;
+        EXPECT_NE(configKey(mutated), base_key)
+            << "mutating " << f.name
+            << " did not change the cache key";
+        // One-field mutation must change exactly that field.
+        f.set(mutated, v);
+        EXPECT_EQ(configKey(mutated), base_key) << f.name;
+    }
+}
+
+// The registry walk must reproduce the historical hand-rolled key
+// byte for byte: '|'-separated, doubles in hex-float, ints/enums
+// decimal, bools 0/1, in registration order.
+TEST(Schema, KeyKeepsTheLegacyLayout)
+{
+    std::vector<std::string> tok;
+    {
+        const std::string key = configKey(ChipConfig{});
+        std::string cur;
+        for (char c : key) {
+            if (c == '|') {
+                tok.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        EXPECT_TRUE(cur.empty()) << "key must end with a separator";
+    }
+    ASSERT_EQ(tok.size(), chipSchema().size());
+
+    char hex[40];
+    std::snprintf(hex, sizeof(hex), "%a", 28.0);
+    EXPECT_EQ(tok[0], hex);   // nodeNm, hex-float
+    EXPECT_EQ(tok[3], "1");   // tx, decimal int
+    EXPECT_EQ(tok[5], "1");   // autoNocTopology, bool as 0/1
+    EXPECT_EQ(tok[6], "2");   // nocTopology, enum as index (Mesh2D)
+    EXPECT_EQ(tok[13], "16"); // pcieLanes
+    EXPECT_EQ(tok[18], "128"); // core.tu.rows
+}
+
+ChipConfig
+oddConfig()
+{
+    ChipConfig c;
+    c.vddVolt = 0.815;
+    c.freqHz = 940e6;
+    c.tx = 2;
+    c.ty = 4;
+    c.whiteSpaceFraction = 1.0 / 3.0;
+    c.memCell = MemCellType::EDRAM;
+    c.memCacheMode = true;
+    c.core.tu.mulType = DataType::BF16;
+    c.core.tu.accType = DataType::FP32;
+    c.core.tu.perCellRegBytes = 3.25;
+    c.core.shareVregPorts = true;
+    c.core.memBlockBytes = 123.5;
+    c.tdpActivity.noc = 0.123456789012345678;
+    return c;
+}
+
+TEST(ConfigFile, ToStringRoundTripsToAnIdenticalCacheKey)
+{
+    const ChipConfig c = oddConfig();
+    const ChipConfig back = ChipConfig::fromString(c.toString());
+    EXPECT_EQ(configKey(back), configKey(c));
+
+    // And the echo covers every field (one line each + header).
+    std::size_t lines = 0;
+    for (char ch : c.toString())
+        lines += ch == '\n';
+    EXPECT_EQ(lines, chipSchema().size() + 1);
+}
+
+TEST(ConfigFile, EmptyTextYieldsTheDefaultConfig)
+{
+    EXPECT_EQ(configKey(ChipConfig::fromString("")),
+              configKey(ChipConfig{}));
+}
+
+TEST(ConfigFile, ParsesCommentsWhitespaceAndEnums)
+{
+    const ChipConfig c = ChipConfig::fromString(
+        "# a comment\n"
+        "\n"
+        "  tx = 2   # trailing comment\n"
+        "dram = hbm2\n"
+        "core.tu.mulType = BF16\n" // spellings are case-insensitive
+        "memCacheMode = true\n"
+        "freqHz = 1.05e9\n");
+    EXPECT_EQ(c.tx, 2);
+    EXPECT_EQ(c.dram, DramKind::HBM2);
+    EXPECT_EQ(c.core.tu.mulType, DataType::BF16);
+    EXPECT_TRUE(c.memCacheMode);
+    EXPECT_DOUBLE_EQ(c.freqHz, 1.05e9);
+}
+
+TEST(ConfigFile, UnknownKeyCitesKeyAndLine)
+{
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("tx = 2\nbogus.key = 3\n", "chip.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "chip.cfg:2")) << msg;
+    EXPECT_TRUE(contains(msg, "bogus.key")) << msg;
+}
+
+TEST(ConfigFile, MalformedValueCitesKeyAndLine)
+{
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("freqHz = fast\n", "chip.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "chip.cfg:1")) << msg;
+    EXPECT_TRUE(contains(msg, "freqHz")) << msg;
+
+    const std::string enum_msg = configErrorOf([] {
+        ChipConfig::fromString("x = 1\ndram = hbm3\n", "m.cfg");
+    });
+    EXPECT_TRUE(contains(enum_msg, "m.cfg:1")) << enum_msg; // unknown x
+}
+
+TEST(ConfigFile, BadEnumListsTheValidSpellings)
+{
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("dram = hbm3\n", "chip.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "chip.cfg:1")) << msg;
+    EXPECT_TRUE(contains(msg, "hbm3")) << msg;
+    EXPECT_TRUE(contains(msg, "hbm2")) << msg;
+}
+
+TEST(ConfigFile, OutOfBoundsValueCitesTheRange)
+{
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("\nnodeNm = 3\n", "chip.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "chip.cfg:2")) << msg;
+    EXPECT_TRUE(contains(msg, "nodeNm")) << msg;
+    EXPECT_TRUE(contains(msg, "[7, 65]")) << msg;
+}
+
+TEST(ConfigFile, DuplicateKeyCitesKeyAndLine)
+{
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("tx = 2\ntx = 3\n", "chip.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "chip.cfg:2")) << msg;
+    EXPECT_TRUE(contains(msg, "duplicate key 'tx'")) << msg;
+}
+
+TEST(ConfigFile, MissingDelimiterOrValueIsRejected)
+{
+    EXPECT_TRUE(contains(configErrorOf([] {
+                             ChipConfig::fromString("tx 2\n", "c");
+                         }),
+                         "c:1"));
+    EXPECT_TRUE(contains(configErrorOf([] {
+                             ChipConfig::fromString("tx =\n", "c");
+                         }),
+                         "missing value"));
+    EXPECT_TRUE(contains(configErrorOf([] {
+                             ChipConfig::fromString("= 3\n", "c");
+                         }),
+                         "missing key"));
+}
+
+TEST(ConfigFile, FromFileReadsAndLabelsDiagnosticsWithThePath)
+{
+    const std::string path =
+        testing::TempDir() + "neurometer_schema_test.cfg";
+    {
+        std::ofstream f(path);
+        f << "tx = 2\nty = 2\ncore.tu.rows = 32\ncore.tu.cols = 32\n";
+    }
+    const ChipConfig c = ChipConfig::fromFile(path);
+    EXPECT_EQ(c.tx * c.ty, 4);
+    EXPECT_EQ(c.core.tu.rows, 32);
+
+    {
+        std::ofstream f(path);
+        f << "nonsense = 1\n";
+    }
+    const std::string msg =
+        configErrorOf([&] { ChipConfig::fromFile(path); });
+    EXPECT_TRUE(contains(msg, path + ":1")) << msg;
+
+    EXPECT_THROW(ChipConfig::fromFile(path + ".does-not-exist"),
+                 ConfigError);
+    std::remove(path.c_str());
+}
+
+// Satellite: bounds validate() historically accepted silently.
+TEST(Validate, RejectsTheFormerlyUncheckedFields)
+{
+    EXPECT_NO_THROW(validate(ChipConfig{}));
+
+    ChipConfig c;
+    c.tdpActivity.mem = 1.2;
+    EXPECT_THROW(validate(c), ConfigError);
+    c = ChipConfig{};
+    c.tdpActivity.tensorUnit = -0.1;
+    EXPECT_THROW(validate(c), ConfigError);
+    c = ChipConfig{};
+    c.core.vregEntries = 0;
+    EXPECT_THROW(validate(c), ConfigError);
+    c = ChipConfig{};
+    c.core.vuLanes = -1;
+    EXPECT_THROW(validate(c), ConfigError);
+    c = ChipConfig{};
+    c.core.memSliceBytes = -1.0;
+    EXPECT_THROW(validate(c), ConfigError);
+    c = ChipConfig{};
+    c.core.memBlockBytes = -64.0;
+    EXPECT_THROW(validate(c), ConfigError);
+}
+
+TEST(Validate, ErrorsNameTheFieldAndItsRange)
+{
+    ChipConfig c;
+    c.tdpActivity.mem = 1.2;
+    const std::string msg = configErrorOf([&] { validate(c); });
+    EXPECT_TRUE(contains(msg, "tdpActivity.mem")) << msg;
+    EXPECT_TRUE(contains(msg, "[0, 1]")) << msg;
+}
+
+TEST(Validate, KeepsTheCrossFieldRules)
+{
+    ChipConfig c;
+    c.core.numTU = 0;
+    c.core.numRT = 0;
+    EXPECT_THROW(validate(c), ConfigError);
+}
+
+} // namespace
+} // namespace neurometer

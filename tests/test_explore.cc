@@ -151,6 +151,89 @@ TEST(Sweep, GridSizeIsTheCrossProduct)
     EXPECT_EQ(g.size(), 3u * 2u * candidateGrids(16).size());
     g.clocksHz = {600e6, 700e6};
     EXPECT_EQ(g.size(), 3u * 2u * candidateGrids(16).size() * 2u);
+    g.axis("core.vregEntries", {16, 32, 64});
+    EXPECT_EQ(g.size(), 3u * 2u * candidateGrids(16).size() * 2u * 3u);
+}
+
+TEST(Sweep, NamedAxisSweepsAnySchemaField)
+{
+    SweepGrid g;
+    g.tuLengths = {16};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}};
+    // No typed axis exists for activity factors — that's the point.
+    g.axis("tdpActivity.mem", {0.2, 0.9});
+
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(g);
+    ASSERT_EQ(recs.size(), 2u);
+
+    ASSERT_EQ(recs[0].named.size(), 1u);
+    EXPECT_EQ(recs[0].named[0].first, "tdpActivity.mem");
+    EXPECT_EQ(recs[0].named[0].second, "0.2");
+    EXPECT_EQ(recs[1].named[0].second, "0.9");
+    // A hotter Mem raises TDP; the axis really reached the model.
+    EXPECT_LT(recs[0].metrics.tdpW, recs[1].metrics.tdpW);
+}
+
+TEST(Sweep, NamedAxisAppliesAfterTypedAxes)
+{
+    // Both the typed clock axis and a named freqHz axis address the
+    // same field; the named one must win.
+    SweepGrid g;
+    g.tuLengths = {16};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}};
+    g.clocksHz = {600e6};
+    g.axis("freqHz", {500e6});
+
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(g);
+    ASSERT_EQ(recs.size(), 1u);
+
+    ChipConfig expect = applyDesignPoint(datacenterBase(), recs[0].point);
+    expect.freqHz = 500e6;
+    EXPECT_EQ(recs[0].metrics, measurePoint(expect));
+}
+
+TEST(Sweep, BadNamedAxesFailBeforeAnyEvaluation)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+
+    SweepGrid unknown;
+    unknown.axis("core.bogus", {1});
+    EXPECT_THROW(engine.run(unknown), ConfigError);
+
+    SweepGrid bad_value;
+    bad_value.axis("core.tu.mulType",
+                   std::vector<std::string>{"int8", "int9"});
+    EXPECT_THROW(engine.run(bad_value), ConfigError);
+
+    SweepGrid empty_axis;
+    empty_axis.namedAxes.push_back({"freqHz", {}});
+    EXPECT_THROW(engine.run(empty_axis), ConfigError);
+
+    EXPECT_EQ(engine.cache().size(), 0u) << "points were evaluated";
+}
+
+TEST(Sweep, ExpandNamedIsFirstAxisOutermost)
+{
+    SweepGrid g;
+    g.axis("core.tu.rows", {8, 16}).axis("core.numTU", {1, 2});
+    const std::vector<ChipConfig> pts =
+        g.expandNamed(datacenterBase());
+    ASSERT_EQ(pts.size(), 4u);
+    const int want[4][2] = {{8, 1}, {8, 2}, {16, 1}, {16, 2}};
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(pts[i].core.tu.rows, want[i][0]) << i;
+        EXPECT_EQ(pts[i].core.numTU, want[i][1]) << i;
+    }
 }
 
 TEST(Sweep, ParallelMatchesSerialBitForBit)
@@ -350,6 +433,8 @@ TEST(Export, CsvAndJsonShape)
     const std::vector<EvalRecord> recs = engine.run(g);
 
     const std::string csv = toCsv(recs);
+    EXPECT_EQ(csv.find("core."), std::string::npos)
+        << "no named-axis columns without named axes";
     std::size_t lines = 0;
     for (char c : csv)
         lines += c == '\n';
@@ -365,6 +450,30 @@ TEST(Export, CsvAndJsonShape)
     EXPECT_EQ(objects, recs.size());
     EXPECT_EQ(json.front(), '[');
     EXPECT_NE(json.find("\"feasible\": true"), std::string::npos);
+}
+
+TEST(Export, NamedAxisValuesBecomeColumns)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(datacenterBase(), opts);
+    SweepGrid g;
+    g.tuLengths = {16};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}};
+    g.axis("core.vregEntries", {16, 64});
+    const std::vector<EvalRecord> recs = engine.run(g);
+    ASSERT_EQ(recs.size(), 2u);
+
+    const std::string csv = toCsv(recs);
+    EXPECT_NE(csv.find("mul_type,core.vregEntries,feasible"),
+              std::string::npos)
+        << csv.substr(0, 200);
+    EXPECT_NE(csv.find(",16,"), std::string::npos);
+
+    const std::string json = toJson(recs);
+    EXPECT_NE(json.find("\"core.vregEntries\": \"64\""),
+              std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The `neurometer` command-line front-end: evaluate a chip described
+ * by a config file, sweep any schema field over named axes, or list
+ * the schema itself. This is the paper's Fig. 1 input interface as an
+ * invokable product — a declarative architecture spec in, PAT
+ * breakdowns / CSV / JSON out, no C++ required.
+ *
+ *   neurometer eval chip.cfg [--json]
+ *   neurometer sweep chip.cfg --axis core.numTU=1,2,4 [--axis ...]
+ *              [--out sweep.csv] [--json] [--threads N]
+ *   neurometer fields
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chip/config_schema.hh"
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: neurometer <command> [args]\n"
+        "\n"
+        "  eval <chip.cfg> [--json]\n"
+        "      Build the chip and print its power/area/timing report\n"
+        "      (--json: machine-readable metrics instead).\n"
+        "\n"
+        "  sweep <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
+        "        [--out FILE] [--json] [--threads N]\n"
+        "      Cross-product sweep over named schema axes, CSV (or\n"
+        "      JSON) to FILE or stdout. Axes apply on top of the\n"
+        "      config file's values.\n"
+        "\n"
+        "  fields\n"
+        "      List every config field: name, type, default, range.\n");
+    return to == stderr ? 2 : 0;
+}
+
+/** Render the allowed values of a field for the `fields` table. */
+std::string
+rangeText(const FieldDef<ChipConfig> &f)
+{
+    switch (f.kind) {
+      case FieldKind::Bool:
+        return "true/false";
+      case FieldKind::Enum: {
+        std::string s;
+        for (const std::string &n : f.enumNames)
+            s += (s.empty() ? "" : "|") + n;
+        return s;
+      }
+      case FieldKind::Int:
+      case FieldKind::Double:
+        return f.bounds.bounded() ? f.bounds.str() : "-";
+    }
+    return "-";
+}
+
+int
+cmdFields()
+{
+    const ChipConfig defaults;
+    AsciiTable t({"field", "type", "default", "range", "description"});
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields())
+        t.addRow({f.name, fieldKindName(f.kind), f.getText(defaults),
+                  rangeText(f), f.doc});
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}
+
+/** The loaded config as a one-record EvalRecord set (reuses the
+ *  explore/export JSON writer for `eval --json`). */
+EvalRecord
+evalRecordFor(const ChipConfig &cfg)
+{
+    EvalRecord r;
+    r.point = {cfg.core.tu.rows, cfg.core.numTU, cfg.tx, cfg.ty};
+    r.nodeNm = cfg.nodeNm;
+    r.freqHz = cfg.freqHz;
+    r.memBytes = cfg.totalMemBytes;
+    r.mulType = cfg.core.tu.mulType;
+    r.metrics = measurePoint(cfg);
+    r.why = r.metrics.buildOk ? Feasibility::Feasible
+                              : Feasibility::TimingInfeasible;
+    return r;
+}
+
+int
+cmdEval(const std::vector<std::string> &args)
+{
+    std::string path;
+    bool json = false;
+    for (const std::string &a : args) {
+        if (a == "--json")
+            json = true;
+        else if (!a.empty() && a[0] == '-')
+            throw ConfigError("unknown eval option '" + a + "'");
+        else if (path.empty())
+            path = a;
+        else
+            throw ConfigError("eval takes one config file");
+    }
+    requireConfig(!path.empty(), "eval needs a config file");
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+    if (json) {
+        std::fputs(toJson({evalRecordFor(cfg)}).c_str(), stdout);
+        return 0;
+    }
+    const ChipModel chip(cfg);
+    std::printf("%s\n", chip.breakdown().report(3).c_str());
+    std::printf("die area      : %8.2f mm^2\n", chip.areaMm2());
+    std::printf("TDP           : %8.2f W\n", chip.tdpW());
+    std::printf("peak perf     : %8.2f TOPS (%s)\n", chip.peakTops(),
+                dataTypeName(cfg.core.tu.mulType).c_str());
+    std::printf("peak TOPS/W   : %8.3f\n", chip.peakTopsPerWatt());
+    return 0;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    std::string path;
+    std::string out;
+    bool json = false;
+    int threads = 0;
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--out") {
+            out = next("--out");
+        } else if (a == "--threads") {
+            threads = std::atoi(next("--threads").c_str());
+        } else if (a == "--axis") {
+            const std::string &spec = next("--axis");
+            const std::size_t eq = spec.find('=');
+            requireConfig(eq != std::string::npos && eq > 0,
+                          "--axis expects PATH=V1,V2,... got '" + spec +
+                              "'");
+            std::vector<std::string> values;
+            std::string axis_path = spec.substr(0, eq);
+            std::size_t b = eq + 1;
+            while (b <= spec.size()) {
+                const std::size_t comma = spec.find(',', b);
+                const std::size_t e =
+                    comma == std::string::npos ? spec.size() : comma;
+                if (e > b)
+                    values.push_back(spec.substr(b, e - b));
+                b = e + 1;
+            }
+            requireConfig(!values.empty(),
+                          "--axis " + axis_path + " has no values");
+            axes.emplace_back(std::move(axis_path), std::move(values));
+        } else if (!a.empty() && a[0] == '-') {
+            throw ConfigError("unknown sweep option '" + a + "'");
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            throw ConfigError("sweep takes one config file");
+        }
+    }
+    requireConfig(!path.empty(), "sweep needs a config file");
+    requireConfig(!axes.empty(),
+                  "sweep needs at least one --axis PATH=V1,V2,...");
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+
+    // Anchor the typed axes at the file's design point; everything the
+    // user varies goes through named axes (applied after, so an axis
+    // may also override the geometry fields themselves).
+    SweepGrid grid;
+    grid.tuLengths = {cfg.core.tu.rows};
+    grid.tuPerCore = {cfg.core.numTU};
+    grid.coreGrids = {{cfg.tx, cfg.ty}};
+    if (cfg.core.tu.cols != cfg.core.tu.rows) {
+        // applyDesignPoint squares the TU; restore the file's cols.
+        grid.axis("core.tu.cols",
+                  std::vector<std::string>{
+                      std::to_string(cfg.core.tu.cols)});
+    }
+    for (auto &[axis_path, values] : axes)
+        grid.axis(axis_path, std::move(values));
+
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepEngine engine(cfg, opts);
+    const std::vector<EvalRecord> records = engine.run(grid);
+
+    const std::string rendered =
+        json ? toJson(records) : toCsv(records);
+    if (out.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+    } else {
+        writeFile(out, rendered);
+        std::printf("wrote %zu points to %s\n", records.size(),
+                    out.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    try {
+        if (cmd == "fields")
+            return cmdFields();
+        if (cmd == "eval")
+            return cmdEval(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
+        if (cmd == "help" || cmd == "--help" || cmd == "-h")
+            return usage(stdout);
+        std::fprintf(stderr, "neurometer: unknown command '%s'\n\n",
+                     cmd.c_str());
+        return usage(stderr);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "neurometer: %s\n", e.what());
+        return 1;
+    }
+}
