@@ -40,21 +40,60 @@ BM_FullChipModel(benchmark::State &state)
 BENCHMARK(BM_FullChipModel)->Arg(8)->Arg(64)->Arg(256);
 
 void
+BM_FullChipModelColdCache(benchmark::State &state)
+{
+    // Every iteration pays the full memory searches: the sweep-style
+    // steady state is BM_FullChipModel, whose iterations 2+ hit the
+    // process-wide memory-design cache.
+    const int x = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        memoryDesignCache().clear();
+        ChipModel chip(applyDesignPoint(datacenterBase(),
+                                        {x, 2, 2, 2}));
+        benchmark::DoNotOptimize(chip.tdpW());
+    }
+}
+BENCHMARK(BM_FullChipModelColdCache)->Arg(8)->Arg(64)->Arg(256);
+
+MemoryRequest
+optimizerRequest(std::int64_t mib)
+{
+    MemoryRequest req;
+    req.capacityBytes = double(mib) * units::mib;
+    req.blockBytes = 64.0;
+    req.targetCycleS = 1.0 / 700e6;
+    req.searchPorts = true;
+    return req;
+}
+
+void
 BM_MemoryOptimizer(benchmark::State &state)
 {
     const TechNode tech = TechNode::make(28.0);
     const MemoryModel mm(tech);
-    MemoryRequest req;
-    req.capacityBytes = state.range(0) * units::mib;
-    req.blockBytes = 64.0;
-    req.targetCycleS = 1.0 / 700e6;
-    req.searchPorts = true;
+    const MemoryRequest req = optimizerRequest(state.range(0));
     for (auto _ : state) {
         MemoryDesign d = mm.optimize(req);
         benchmark::DoNotOptimize(d.areaUm2);
     }
 }
 BENCHMARK(BM_MemoryOptimizer)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_MemoryOptimizerExhaustive(benchmark::State &state)
+{
+    // The unpruned reference search: same candidate space and result,
+    // every candidate fully evaluated. The BM_MemoryOptimizer ratio is
+    // the pruning speedup.
+    const TechNode tech = TechNode::make(28.0);
+    const MemoryModel mm(tech);
+    const MemoryRequest req = optimizerRequest(state.range(0));
+    for (auto _ : state) {
+        MemoryDesign d = mm.optimizeExhaustive(req);
+        benchmark::DoNotOptimize(d.areaUm2);
+    }
+}
+BENCHMARK(BM_MemoryOptimizerExhaustive)->Arg(1)->Arg(8)->Arg(32);
 
 void
 BM_TfSimResnetInference(benchmark::State &state)

@@ -122,6 +122,12 @@ main()
                 100.0 * rerun.hitRate(),
                 (unsigned long long)rerun.hits,
                 (unsigned long long)rerun.misses);
+    const MemoryCacheStats mem = memoryDesignCache().stats();
+    std::printf("memory-design cache (process-wide): %.1f%% hits "
+                "(%llu hits / %llu misses)\n",
+                100.0 * mem.hitRate(),
+                (unsigned long long)mem.hits,
+                (unsigned long long)mem.misses);
     std::printf("parallel vs serial records: %s (%zu mismatches)\n",
                 mismatches == 0 ? "IDENTICAL" : "MISMATCH",
                 mismatches);

@@ -7,6 +7,7 @@
 #include "common/error.hh"
 #include "components/periph.hh"
 #include "components/scalar_unit.hh"
+#include "memory/design_cache.hh"
 #include "memory/fifo.hh"
 
 namespace neurometer {
@@ -113,8 +114,7 @@ CoreModel::CoreModel(const TechNode &tech, const ChipConfig &cfg)
         streams * block_bytes * cfg.freqHz;
     mem_req.targetWriteBwBytesPerS =
         0.5 * streams * block_bytes * cfg.freqHz;
-    MemoryModel mm(tech);
-    _memDesign = mm.optimize(mem_req);
+    _memDesign = memoryDesignCache().optimize(tech, mem_req);
     _energies.memReadPerByteJ = _memDesign.readEnergyJ / block_bytes;
     _energies.memWritePerByteJ = _memDesign.writeEnergyJ / block_bytes;
 

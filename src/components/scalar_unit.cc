@@ -5,6 +5,7 @@
 #include "circuit/arith.hh"
 #include "circuit/logic.hh"
 #include "common/error.hh"
+#include "memory/design_cache.hh"
 #include "memory/fifo.hh"
 #include "memory/sram_array.hh"
 
@@ -28,15 +29,15 @@ ScalarUnitModel::ScalarUnitModel(const TechNode &tech,
     ifu_pat += registersPAT(tech, 4.0 * 32.0 + 64.0, cfg.freqHz, 0.4);
 
     // ---- Integer register file -----------------------------------------
-    MemoryModel mm(tech);
     MemoryRequest rf_req;
     rf_req.capacityBytes = double(cfg.archRegs) * cfg.dataBits / 8.0;
     rf_req.blockBytes = cfg.dataBits / 8.0;
     rf_req.cell = MemCellType::DFF;
     rf_req.readPorts = 2;
     rf_req.writePorts = 1;
-    MemoryDesign rf = mm.evaluate(rf_req, 1, std::max(16, cfg.archRegs),
-                                  std::max(16, cfg.dataBits), 2, 1);
+    MemoryDesign rf = memoryDesignCache().evaluate(
+        tech, rf_req, 1, std::max(16, cfg.archRegs),
+        std::max(16, cfg.dataBits), 2, 1);
     PAT rf_pat;
     rf_pat.areaUm2 = rf.areaUm2;
     rf_pat.power.dynamicW =

@@ -1,8 +1,10 @@
 #include "components/vector_regfile.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hh"
+#include "memory/design_cache.hh"
 
 namespace neurometer {
 
@@ -18,7 +20,6 @@ VectorRegfileModel::VectorRegfileModel(const TechNode &tech,
     const double total_bits =
         double(cfg.entries) * cfg.lanes * cfg.laneBits;
 
-    MemoryModel mm(tech);
     MemoryRequest req;
     req.capacityBytes = total_bits / 8.0;
     req.blockBytes = double(cfg.lanes) * cfg.laneBits / 8.0;
@@ -31,27 +32,39 @@ VectorRegfileModel::VectorRegfileModel(const TechNode &tech,
     // the wordline run, so narrow the slices until the clock closes.
     const int rows = std::max(16, cfg.entries);
     const double target_cycle = 1.0 / cfg.freqHz;
-    MemoryDesign d;
-    bool have = false;
-    // Wide slices first (least periphery); stop at the first geometry
-    // meeting the clock. If none does, keep the fastest.
-    for (int cols : {256, 128, 64, 32, 16}) {
-        if (double(cols) > 2.0 * std::max(16.0, total_bits / rows))
-            continue;
-        MemoryDesign cand = mm.evaluate(req, /*banks=*/1, rows, cols,
-                                        cfg.readPorts, cfg.writePorts);
-        if (!cand.feasible)
-            continue;
-        if (!have || cand.randomCycleS < d.randomCycleS) {
-            d = cand;
-            have = true;
-        }
-        if (cand.randomCycleS <= target_cycle) {
-            d = cand;
-            break;
-        }
-    }
-    requireModel(have, "VReg geometry infeasible");
+    // The whole cols search is one cache entry: its result depends
+    // only on the request, rows, and the clock target.
+    char vrf[48];
+    std::snprintf(vrf, sizeof(vrf), "vrf|%d|%a|", rows, target_cycle);
+    MemoryDesign d = memoryDesignCache().getOrCompute(
+        vrf + memoryRequestKey(req, tech), [&] {
+            MemoryModel mm(tech);
+            MemoryDesign best;
+            bool have = false;
+            // Wide slices first (least periphery); stop at the first
+            // geometry meeting the clock. If none does, keep the
+            // fastest.
+            for (int cols : {256, 128, 64, 32, 16}) {
+                if (double(cols) >
+                    2.0 * std::max(16.0, total_bits / rows))
+                    continue;
+                MemoryDesign cand =
+                    mm.evaluate(req, /*banks=*/1, rows, cols,
+                                cfg.readPorts, cfg.writePorts);
+                if (!cand.feasible)
+                    continue;
+                if (!have || cand.randomCycleS < best.randomCycleS) {
+                    best = cand;
+                    have = true;
+                }
+                if (cand.randomCycleS <= target_cycle) {
+                    best = cand;
+                    break;
+                }
+            }
+            requireModel(have, "VReg geometry infeasible");
+            return best;
+        });
 
     _readEnergyJ = d.readEnergyJ;
     _writeEnergyJ = d.writeEnergyJ;

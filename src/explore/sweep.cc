@@ -220,4 +220,10 @@ SweepEngine::maximizeCores(int tu_length, int tu_per_core,
         [this](const ChipConfig &cfg) { return _cache.evaluate(cfg); });
 }
 
+MemoryCacheStats
+SweepEngine::memoryCacheStats() const
+{
+    return memoryDesignCache().stats();
+}
+
 } // namespace neurometer

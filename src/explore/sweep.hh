@@ -23,6 +23,7 @@
 #include "chip/optimizer.hh"
 #include "explore/eval_cache.hh"
 #include "explore/thread_pool.hh"
+#include "memory/design_cache.hh"
 
 namespace neurometer {
 
@@ -143,6 +144,13 @@ class SweepEngine
     const SweepOptions &options() const { return _opts; }
     EvalCache &cache() { return _cache; }
     ThreadPool &pool() { return _pool; }
+
+    /**
+     * Hit/miss counters of the process-wide memory-design cache the
+     * chip models underneath this engine share. Unlike cache(), the
+     * counters are global — concurrent engines all feed them.
+     */
+    MemoryCacheStats memoryCacheStats() const;
 
   private:
     ChipConfig _base;

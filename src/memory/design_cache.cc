@@ -1,0 +1,148 @@
+#include "memory/design_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+/*
+ * Every MemoryRequest field must be serialized by memoryRequestKey().
+ * When a field is added, removed, or resized, extend the key and
+ * update this tripwire — skipping it silently aliases distinct
+ * requests onto one cached design.
+ */
+static_assert(sizeof(MemoryRequest) == 72,
+              "MemoryRequest changed: update memoryRequestKey()");
+
+std::string
+memoryRequestKey(const MemoryRequest &r, const TechNode &tech)
+{
+    // Hex-float ("%a") doubles are exact and locale-free; '|'
+    // separators keep adjacent fields from aliasing. The tech node is
+    // identified by its constructor inputs (feature size, resolved
+    // supply) — every derived parameter is a function of those.
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%a|%a|%d|%d|%d|%d|%d|%d|%d|%d|%a|%a|%a|%a|%a",
+                  r.capacityBytes, r.blockBytes,
+                  static_cast<int>(r.cell), r.readPorts, r.writePorts,
+                  static_cast<int>(r.searchPorts), r.fixedBanks,
+                  static_cast<int>(r.cacheMode), r.cacheWays, r.tagBits,
+                  r.targetCycleS, r.targetReadBwBytesPerS,
+                  r.targetWriteBwBytesPerS, tech.nodeNm(), tech.vdd());
+    return buf;
+}
+
+namespace {
+
+/** Undo the "config error: " / "model error: " prefix the exception
+ *  constructors prepend, so a cached rethrow doesn't double it. */
+std::string
+stripPrefix(const char *what, const char *prefix)
+{
+    const std::size_t n = std::strlen(prefix);
+    return std::strncmp(what, prefix, n) == 0 ? std::string(what + n)
+                                              : std::string(what);
+}
+
+} // namespace
+
+MemoryDesign
+MemoryDesignCache::getOrCompute(const std::string &key,
+                                const Compute &compute)
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        std::shared_ptr<Entry> &slot = _map[key];
+        if (!slot)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    bool computed_here = false;
+    std::call_once(entry->once, [&] {
+        computed_here = true;
+        try {
+            entry->value = compute();
+        } catch (const ConfigError &e) {
+            entry->outcome = Outcome::ConfigFailure;
+            entry->error = stripPrefix(e.what(), "config error: ");
+        } catch (const ModelError &e) {
+            entry->outcome = Outcome::ModelFailure;
+            entry->error = stripPrefix(e.what(), "model error: ");
+        }
+    });
+    if (computed_here)
+        _misses.fetch_add(1, std::memory_order_relaxed);
+    else
+        _hits.fetch_add(1, std::memory_order_relaxed);
+
+    switch (entry->outcome) {
+      case Outcome::ConfigFailure:
+        throw ConfigError(entry->error);
+      case Outcome::ModelFailure:
+        throw ModelError(entry->error);
+      case Outcome::Value:
+        break;
+    }
+    return entry->value;
+}
+
+MemoryDesign
+MemoryDesignCache::optimize(const TechNode &tech, const MemoryRequest &req)
+{
+    return getOrCompute("opt|" + memoryRequestKey(req, tech), [&] {
+        return MemoryModel(tech).optimize(req);
+    });
+}
+
+MemoryDesign
+MemoryDesignCache::evaluate(const TechNode &tech, const MemoryRequest &req,
+                            int banks, int rows, int cols, int read_ports,
+                            int write_ports)
+{
+    char geom[96];
+    std::snprintf(geom, sizeof(geom), "ev|%d|%d|%d|%d|%d|", banks, rows,
+                  cols, read_ports, write_ports);
+    return getOrCompute(geom + memoryRequestKey(req, tech), [&] {
+        return MemoryModel(tech).evaluate(req, banks, rows, cols,
+                                          read_ports, write_ports);
+    });
+}
+
+MemoryCacheStats
+MemoryDesignCache::stats() const
+{
+    MemoryCacheStats s;
+    s.hits = _hits.load(std::memory_order_relaxed);
+    s.misses = _misses.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t
+MemoryDesignCache::size() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _map.size();
+}
+
+void
+MemoryDesignCache::clear()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _map.clear();
+    _hits.store(0);
+    _misses.store(0);
+}
+
+MemoryDesignCache &
+memoryDesignCache()
+{
+    static MemoryDesignCache cache;
+    return cache;
+}
+
+} // namespace neurometer

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Process-wide memoization of memory-array searches.
+ *
+ * Every ChipModel build runs at least three memory searches — the core
+ * Mem slice (an optimize() over ~3k candidates), the scalar-unit
+ * register file, and the vector register file — plus the FIFO/
+ * scratchpad helpers, and design-space sweeps rebuild thousands of
+ * chips whose memory subsystems are identical (only the TU geometry
+ * varies). The cache keys on a canonical serialization of the
+ * MemoryRequest plus the technology identity (node, supply), so those
+ * sweeps never re-run a memory search at all.
+ *
+ * Concurrency mirrors explore/eval_cache: a mutex guards the map only
+ * for lookup/insert — never while a design is being computed — and
+ * concurrent requests for the same uncached key rendezvous on a
+ * per-entry std::call_once, so each design is computed exactly once.
+ * Searches that throw (ConfigError/ModelError) are cached too and
+ * rethrown with the original message on every later request.
+ */
+
+#ifndef NEUROMETER_MEMORY_DESIGN_CACHE_HH
+#define NEUROMETER_MEMORY_DESIGN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "memory/sram_array.hh"
+
+namespace neurometer {
+
+/**
+ * Canonical cache key: every MemoryRequest field plus the tech-node
+ * identity (feature size, supply) with exact hex-float formatting.
+ * Two requests share a key iff every modeled input is bit-identical.
+ */
+std::string memoryRequestKey(const MemoryRequest &req,
+                             const TechNode &tech);
+
+/** Hit/miss counters, sampled atomically per counter. */
+struct MemoryCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t n = hits + misses;
+        return n == 0 ? 0.0 : double(hits) / double(n);
+    }
+};
+
+/** Memoized, thread-safe memory-search result map. */
+class MemoryDesignCache
+{
+  public:
+    using Compute = std::function<MemoryDesign()>;
+
+    /**
+     * Memoize an arbitrary memory search under `key`. The request
+     * that triggers the computation counts as a miss; every other
+     * request for the key — including ones that block while another
+     * thread computes it — counts as a hit. A compute that throws
+     * ConfigError or ModelError caches the failure.
+     */
+    MemoryDesign getOrCompute(const std::string &key,
+                              const Compute &compute);
+
+    /** Memoized MemoryModel(tech).optimize(req). */
+    MemoryDesign optimize(const TechNode &tech, const MemoryRequest &req);
+
+    /** Memoized MemoryModel(tech).evaluate(req, geometry, ports). */
+    MemoryDesign evaluate(const TechNode &tech, const MemoryRequest &req,
+                          int banks, int rows, int cols, int read_ports,
+                          int write_ports);
+
+    MemoryCacheStats stats() const;
+
+    /** Number of distinct cached searches (failures included). */
+    std::size_t size() const;
+
+    /** Drop all entries and zero the counters (not concurrency-safe
+     *  against in-flight getOrCompute calls). */
+    void clear();
+
+  private:
+    enum class Outcome { Value, ConfigFailure, ModelFailure };
+
+    struct Entry
+    {
+        std::once_flag once;
+        Outcome outcome = Outcome::Value;
+        MemoryDesign value;
+        std::string error; ///< message minus the class prefix
+    };
+
+    mutable std::mutex _mu;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> _map;
+    std::atomic<std::uint64_t> _hits{0};
+    std::atomic<std::uint64_t> _misses{0};
+};
+
+/** The process-wide instance shared by every model that embeds Mem. */
+MemoryDesignCache &memoryDesignCache();
+
+} // namespace neurometer
+
+#endif // NEUROMETER_MEMORY_DESIGN_CACHE_HH

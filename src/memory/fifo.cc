@@ -6,6 +6,7 @@
 #include "circuit/fit.hh"
 #include "circuit/logic.hh"
 #include "common/error.hh"
+#include "memory/design_cache.hh"
 #include "memory/sram_array.hh"
 
 namespace neurometer {
@@ -51,7 +52,6 @@ fifoPAT(const TechNode &tech, const FifoConfig &cfg)
                             cfg.freqHz * cfg.activity);
         pat = store + muxp + ctrl;
     } else {
-        MemoryModel mm(tech);
         MemoryRequest req;
         req.capacityBytes = bits / 8.0;
         req.blockBytes = cfg.widthBits / 8.0;
@@ -59,7 +59,7 @@ fifoPAT(const TechNode &tech, const FifoConfig &cfg)
         req.readPorts = 1;
         req.writePorts = 1;
         req.targetCycleS = 1.0 / cfg.freqHz;
-        MemoryDesign d = mm.optimize(req);
+        MemoryDesign d = memoryDesignCache().optimize(tech, req);
         pat.areaUm2 = d.areaUm2;
         const double rate = cfg.freqHz * 0.5 * cfg.activity;
         Power p = d.powerAt(rate, rate);
@@ -93,14 +93,14 @@ scratchpadPAT(const TechNode &tech, double bytes, int width_bits,
         rows *= 2;
     int cols = std::max(16, int(std::ceil(bits / rows)));
 
-    MemoryModel mm(tech);
     MemoryRequest req;
     req.capacityBytes = bytes;
     req.blockBytes = width_bits / 8.0;
     req.cell = MemCellType::SRAM;
     req.readPorts = 1;
     req.writePorts = 1;
-    MemoryDesign d = mm.evaluate(req, 1, rows, cols, 1, 1);
+    MemoryDesign d =
+        memoryDesignCache().evaluate(tech, req, 1, rows, cols, 1, 1);
 
     PAT pat;
     pat.areaUm2 = d.areaUm2;

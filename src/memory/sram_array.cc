@@ -95,11 +95,48 @@ cellProps(const TechNode &tech, MemCellType type, int ports)
 /** Fraction of the supply the bitline swings before sensing. */
 constexpr double bitlineSwing = 0.12;
 
+/** Candidate enumerations shared by the pruned/exhaustive searches. */
+const std::vector<int> bank_choices = {1, 2, 4, 8, 16, 32, 64,
+                                       128, 256, 512};
+const std::vector<int> row_choices = {16, 32, 64, 128, 256, 512, 1024};
+const std::vector<int> col_choices = {16, 32, 64, 128, 256, 512};
+
+/** The multiplicative layout factors every bit of cell area pays on the
+ *  way to chip area: mat overhead x bank layout x chip assembly. */
+constexpr double cellAreaToChipArea = 1.12 * fit::bankLayoutOverhead * 1.05;
+
 } // namespace
+
+bool
+betterMemoryDesign(const MemoryDesign &a, const MemoryDesign &b)
+{
+    if (a.areaUm2 != b.areaUm2)
+        return a.areaUm2 < b.areaUm2;
+    const int ap = a.readPorts + a.writePorts;
+    const int bp = b.readPorts + b.writePorts;
+    if (ap != bp)
+        return ap < bp;
+    if (a.readPorts != b.readPorts)
+        return a.readPorts < b.readPorts;
+    if (a.banks != b.banks)
+        return a.banks < b.banks;
+    if (a.rows != b.rows)
+        return a.rows < b.rows;
+    return a.cols < b.cols;
+}
 
 MemoryDesign
 MemoryModel::evaluate(const MemoryRequest &req, int banks, int rows,
                       int cols, int read_ports, int write_ports) const
+{
+    return evaluateImpl(req, banks, rows, cols, read_ports, write_ports,
+                        /*with_breakdown=*/true);
+}
+
+MemoryDesign
+MemoryModel::evaluateImpl(const MemoryRequest &req, int banks, int rows,
+                          int cols, int read_ports, int write_ports,
+                          bool with_breakdown) const
 {
     requireConfig(req.capacityBytes > 0.0, "memory capacity must be > 0");
     requireConfig(req.blockBytes > 0.0, "memory block size must be > 0");
@@ -284,65 +321,181 @@ MemoryModel::evaluate(const MemoryRequest &req, int banks, int rows,
         d.writeBwBytesPerS < req.targetWriteBwBytesPerS)
         d.feasible = false;
 
-    // ---- Breakdown -------------------------------------------------------
-    d.breakdown = Breakdown("mem");
-    PAT cells_pat;
-    cells_pat.areaUm2 = banks * d.subarraysPerBank * cell_area;
-    cells_pat.power.leakageW = total_bits * cell.leakW;
-    d.breakdown.addLeaf("cells", cells_pat);
-    PAT periph_pat;
-    periph_pat.areaUm2 = d.areaUm2 - cells_pat.areaUm2 - htree_area * banks -
-                         global_area;
-    periph_pat.areaUm2 = std::max(0.0, periph_pat.areaUm2);
-    periph_pat.power.leakageW = banks * d.subarraysPerBank * periph_gates *
-                                _tech.nand2LeakW();
-    d.breakdown.addLeaf("periphery", periph_pat);
-    PAT route_pat;
-    route_pat.areaUm2 = htree_area * banks + global_area;
-    d.breakdown.addLeaf("routing", route_pat);
-    d.breakdown.self().timing.delayS = d.accessDelayS;
-    d.breakdown.self().timing.cycleS = issue_cycle;
+    // ---- Breakdown (lazy: skipped per candidate during a search) ---------
+    if (with_breakdown) {
+        d.breakdown = Breakdown("mem");
+        PAT cells_pat;
+        cells_pat.areaUm2 = banks * d.subarraysPerBank * cell_area;
+        cells_pat.power.leakageW = total_bits * cell.leakW;
+        d.breakdown.addLeaf("cells", cells_pat);
+        PAT periph_pat;
+        periph_pat.areaUm2 = d.areaUm2 - cells_pat.areaUm2 -
+                             htree_area * banks - global_area;
+        periph_pat.areaUm2 = std::max(0.0, periph_pat.areaUm2);
+        periph_pat.power.leakageW = banks * d.subarraysPerBank *
+                                    periph_gates * _tech.nand2LeakW();
+        d.breakdown.addLeaf("periphery", periph_pat);
+        PAT route_pat;
+        route_pat.areaUm2 = htree_area * banks + global_area;
+        d.breakdown.addLeaf("routing", route_pat);
+        d.breakdown.self().timing.delayS = d.accessDelayS;
+        d.breakdown.self().timing.cycleS = issue_cycle;
+    }
 
     return d;
 }
 
 MemoryDesign
-MemoryModel::optimize(const MemoryRequest &req) const
+MemoryModel::search(const MemoryRequest &req, bool pruned,
+                    MemorySearchStats *stats) const
 {
-    static const std::vector<int> bank_choices = {1, 2, 4, 8, 16, 32, 64,
-                                                  128, 256, 512};
-    static const std::vector<int> row_choices = {16, 32, 64, 128, 256, 512,
-                                                 1024};
-    static const std::vector<int> col_choices = {16, 32, 64, 128, 256, 512};
+    // evaluate() would reject these on the first candidate; hoisted so
+    // both search flavors fail identically even when the screen would
+    // discard every candidate before an evaluation runs.
+    requireConfig(req.capacityBytes > 0.0, "memory capacity must be > 0");
+    requireConfig(req.blockBytes > 0.0, "memory block size must be > 0");
+    if (req.cacheMode) {
+        requireConfig(req.cacheWays >= 1 && req.tagBits >= 1,
+                      "cache config must be positive");
+    }
 
     const int max_rp = req.searchPorts ? 4 : req.readPorts;
-    const int max_wp = req.searchPorts ? 2 : req.writePorts;
+    const int wp_lo = std::max(1, req.writePorts);
+    const int wp_hi = std::max(1, req.searchPorts ? 2 : req.writePorts);
+
+    const double cap_bits = req.capacityBytes * 8.0;
+    const double block_bits = req.blockBytes * 8.0;
+    const double min_pipe_cycle = 2.0 * _tech.dffDelayS();
+    const double fo4 = _tech.fo4S();
+    const bool bw_constrained = req.targetReadBwBytesPerS > 0.0 ||
+                                req.targetWriteBwBytesPerS > 0.0;
+    // Each bank must hold at least one minimum-geometry subarray of
+    // data; banking beyond that is pure area waste — unless a
+    // bandwidth target might need the extra bank-level parallelism.
+    const double min_sub_bits =
+        double(row_choices.front()) * col_choices.front();
+
+    // Smallest chip area any design with `ports` ports can reach:
+    // every stored bit pays the port-scaled cell area plus the
+    // multiplicative layout factors (periphery, H-trees, and the
+    // global bus only add to it). Monotone in the port count.
+    auto area_floor = [&](int ports) {
+        const CellProps c = cellProps(_tech, req.cell, ports);
+        double floor_um2 = cap_bits * c.areaUm2 * cellAreaToChipArea;
+        if (req.cacheMode) {
+            const double lines = req.capacityBytes / req.blockBytes;
+            floor_um2 += lines * (req.tagBits + 2.0) * c.areaUm2 * 1.25;
+        }
+        return floor_um2;
+    };
+
+    MemorySearchStats local;
+    MemorySearchStats &st = stats ? *stats : local;
 
     MemoryDesign best;
     bool have_best = false;
 
     for (int rp = req.readPorts; rp <= max_rp; ++rp) {
-        for (int wp = std::max(1, req.writePorts); wp <= std::max(1, max_wp);
-             ++wp) {
+        if (pruned && have_best &&
+            area_floor(rp + wp_lo) >= best.areaUm2) {
+            break; // area grows with ports: no higher rp can win
+        }
+        for (int wp = wp_lo; wp <= wp_hi; ++wp) {
+            const int ports = rp + wp;
+            const CellProps cell = cellProps(_tech, req.cell, ports);
+            const double port_floor = area_floor(ports);
+            if (pruned && have_best && port_floor >= best.areaUm2)
+                break; // monotone in wp too
+            const double tag_area =
+                req.cacheMode ? req.capacityBytes / req.blockBytes *
+                                    (req.tagBits + 2.0) * cell.areaUm2 *
+                                    1.25
+                              : 0.0;
             for (int banks : bank_choices) {
                 if (req.fixedBanks > 0 && banks != req.fixedBanks)
                     continue;
-                // Skip configurations with more banks than data.
-                if (banks * 16.0 * 16.0 > req.capacityBytes * 8.0 &&
-                    banks > 1) {
-                    continue;
+                if (!bw_constrained && banks > 1 &&
+                    banks * min_sub_bits > cap_bits) {
+                    continue; // overbanked: more banks than data
                 }
                 for (int rows : row_choices) {
                     for (int cols : col_choices) {
-                        if (static_cast<double>(rows) * cols >
-                            req.capacityBytes * 8.0 * 2.0) {
+                        const double bits_per_sub =
+                            static_cast<double>(rows) * cols;
+                        if (bits_per_sub > cap_bits * 2.0)
                             continue; // subarray bigger than the memory
+                        ++st.candidates;
+
+                        if (pruned) {
+                            // ---- Screening pass: no PAT, no strings.
+                            // Mirrors evaluate()'s capacity math, then
+                            // bounds cycle time below (decode + sense
+                            // depth only; wordline/bitline RC only add)
+                            // and bandwidth above.
+                            int subs = static_cast<int>(std::ceil(
+                                cap_bits / (banks * bits_per_sub)));
+                            if (subs < 1)
+                                subs = 1;
+                            const double active_subs =
+                                std::max(1.0, block_bits / cols);
+                            bool may_fit = active_subs <= subs;
+                            const double cycle_lb =
+                                1.2 * cell.cyclePenalty *
+                                (2.0 * std::log2(
+                                           std::max(2.0, double(rows))) +
+                                 8.0) *
+                                fo4;
+                            const double issue_lb =
+                                std::max(cycle_lb, min_pipe_cycle);
+                            if (may_fit && req.targetCycleS > 0.0 &&
+                                issue_lb > req.targetCycleS)
+                                may_fit = false;
+                            if (may_fit && bw_constrained) {
+                                const double eff_lb =
+                                    req.targetCycleS > 0.0
+                                        ? std::max(req.targetCycleS,
+                                                   issue_lb)
+                                        : issue_lb;
+                                if (req.targetReadBwBytesPerS > 0.0 &&
+                                    banks * rp * req.blockBytes /
+                                            eff_lb <
+                                        req.targetReadBwBytesPerS)
+                                    may_fit = false;
+                                if (may_fit &&
+                                    req.targetWriteBwBytesPerS > 0.0 &&
+                                    banks * wp * req.blockBytes /
+                                            eff_lb <
+                                        req.targetWriteBwBytesPerS)
+                                    may_fit = false;
+                            }
+                            if (!may_fit) {
+                                ++st.screened;
+                                continue;
+                            }
+                            // ---- Dominance bound: the true area
+                            // strictly exceeds the packed-cell floor,
+                            // so a floor at or above the incumbent can
+                            // never win (even on tie-breaks).
+                            if (have_best) {
+                                const double lb_area =
+                                    double(banks) * subs * bits_per_sub *
+                                        cell.areaUm2 *
+                                        cellAreaToChipArea +
+                                    tag_area;
+                                if (lb_area >= best.areaUm2) {
+                                    ++st.bounded;
+                                    continue;
+                                }
+                            }
                         }
+
+                        ++st.evaluated;
                         MemoryDesign d =
-                            evaluate(req, banks, rows, cols, rp, wp);
+                            evaluateImpl(req, banks, rows, cols, rp, wp,
+                                         /*with_breakdown=*/false);
                         if (!d.feasible)
                             continue;
-                        if (!have_best || d.areaUm2 < best.areaUm2) {
+                        if (!have_best || betterMemoryDesign(d, best)) {
                             best = d;
                             have_best = true;
                         }
@@ -357,7 +510,24 @@ MemoryModel::optimize(const MemoryRequest &req) const
             "memory optimizer: no design meets cycle/bandwidth targets "
             "(capacity " + std::to_string(req.capacityBytes) + " B)");
     }
-    return best;
+    // Lazy breakdown: only the winning design pays for the PAT tree.
+    return evaluateImpl(req, best.banks, best.rows, best.cols,
+                        best.readPorts, best.writePorts,
+                        /*with_breakdown=*/true);
+}
+
+MemoryDesign
+MemoryModel::optimize(const MemoryRequest &req,
+                      MemorySearchStats *stats) const
+{
+    return search(req, /*pruned=*/true, stats);
+}
+
+MemoryDesign
+MemoryModel::optimizeExhaustive(const MemoryRequest &req,
+                                MemorySearchStats *stats) const
+{
+    return search(req, /*pruned=*/false, stats);
 }
 
 } // namespace neurometer

@@ -17,6 +17,7 @@
 #ifndef NEUROMETER_MEMORY_SRAM_ARRAY_HH
 #define NEUROMETER_MEMORY_SRAM_ARRAY_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/breakdown.hh"
@@ -93,6 +94,24 @@ struct MemoryDesign
     Power powerAt(double reads_per_s, double writes_per_s) const;
 };
 
+/**
+ * Deterministic "is `a` a better optimizer result than `b`": smaller
+ * area first; on exactly equal area prefer fewer total ports, then
+ * fewer read ports, then fewer banks, then smaller rows, then smaller
+ * cols. Both the pruned and the exhaustive search rank candidates with
+ * this comparator, so they return bit-identical designs.
+ */
+bool betterMemoryDesign(const MemoryDesign &a, const MemoryDesign &b);
+
+/** Counters describing one optimizer search (perf introspection). */
+struct MemorySearchStats
+{
+    std::uint64_t candidates = 0; ///< geometry points enumerated
+    std::uint64_t screened = 0;   ///< rejected by the cheap screen
+    std::uint64_t bounded = 0;    ///< skipped by the area lower bound
+    std::uint64_t evaluated = 0;  ///< full PAT evaluations run
+};
+
 /** Analytical evaluator + optimizer for memory arrays. */
 class MemoryModel
 {
@@ -110,11 +129,40 @@ class MemoryModel
      * Search banks/subarray geometry/ports for the minimum-area design
      * meeting the request's cycle and bandwidth targets.
      *
+     * The search is pruned: a cheap screening pass (capacity fit,
+     * cycle-time lower bound from decode/sense depth, port-count
+     * bandwidth ceiling) rejects candidates without evaluating them,
+     * a per-candidate cell-area lower bound skips points that cannot
+     * beat the incumbent, and the port loops exit early once even a
+     * perfectly packed higher-port array must be larger than the best
+     * design found. The full Breakdown tree is built only for the
+     * returned design. Pruning is conservative: the result is
+     * bit-identical to optimizeExhaustive().
+     *
      * @throws ConfigError when no enumerated design satisfies them.
      */
-    MemoryDesign optimize(const MemoryRequest &req) const;
+    MemoryDesign optimize(const MemoryRequest &req,
+                          MemorySearchStats *stats = nullptr) const;
+
+    /**
+     * Reference search: the same candidate space and tie-breaking as
+     * optimize(), but every candidate gets a full evaluation (no
+     * screening, no bounding). The equivalence anchor for the pruned
+     * search, and the baseline for bench/model_speed comparisons.
+     */
+    MemoryDesign optimizeExhaustive(const MemoryRequest &req,
+                                    MemorySearchStats *stats
+                                    = nullptr) const;
 
   private:
+    MemoryDesign evaluateImpl(const MemoryRequest &req, int banks,
+                              int rows, int cols, int read_ports,
+                              int write_ports,
+                              bool with_breakdown) const;
+
+    MemoryDesign search(const MemoryRequest &req, bool pruned,
+                        MemorySearchStats *stats) const;
+
     const TechNode &_tech;
 };
 

@@ -35,6 +35,7 @@
 #include "explore/pareto.hh"
 #include "explore/sweep.hh"
 #include "explore/thread_pool.hh"
+#include "memory/design_cache.hh"
 #include "memory/fifo.hh"
 #include "perf/tfsim.hh"
 #include "perf/workload.hh"

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+#include <string>
+
 #include "common/error.hh"
 #include "common/units.hh"
 #include "memory/sram_array.hh"
@@ -260,6 +264,235 @@ TEST_F(MemFixture, CacheModeRejectsBadWays)
     c.cacheMode = true;
     c.cacheWays = 0;
     EXPECT_THROW(mm.evaluate(c, 1, 64, 64, 1, 1), ConfigError);
+}
+
+TEST_F(MemFixture, OptimizerOverbanksSmallArraysForBandwidth)
+{
+    // Regression: the bank-search heuristic used to skip every bank
+    // count whose per-bank share fell below one minimum subarray
+    // (16x16 bits), even when the bandwidth target is only reachable
+    // through bank-level parallelism. A 512 B array streaming 1 TB/s
+    // needs ~32 banks; the old skip capped the search at 16 and the
+    // optimizer threw.
+    MemoryRequest r;
+    r.capacityBytes = 512.0;
+    r.blockBytes = 8.0;
+    r.targetCycleS = 1e-9;
+    r.searchPorts = true;
+    r.targetReadBwBytesPerS = 1e12;
+    const MemoryDesign d = mm.optimize(r);
+    EXPECT_GE(d.readBwBytesPerS, 1e12);
+    EXPECT_GE(d.banks, 32);
+}
+
+TEST_F(MemFixture, BankSkipStillPrunesWithoutBandwidthTargets)
+{
+    // Without bandwidth targets the overbanking skip applies: a small
+    // unconstrained array never comes back with more banks than data.
+    MemoryRequest r = req(1, 8.0); // 1 KiB
+    const MemoryDesign d = mm.optimize(r);
+    EXPECT_LE(double(d.banks) * 16.0 * 16.0, r.capacityBytes * 8.0);
+}
+
+TEST(MemTieBreak, BetterMemoryDesignOrdersDeterministically)
+{
+    MemoryDesign a;
+    a.areaUm2 = 100.0;
+    a.readPorts = 1;
+    a.writePorts = 1;
+    a.banks = 2;
+    a.rows = 64;
+    a.cols = 64;
+    MemoryDesign b = a;
+
+    // Strictly smaller area always wins, whatever the rest says.
+    b.areaUm2 = 101.0;
+    b.readPorts = 4;
+    EXPECT_TRUE(betterMemoryDesign(a, b));
+    EXPECT_FALSE(betterMemoryDesign(b, a));
+
+    // Equal area: fewer total ports...
+    b = a;
+    b.writePorts = 2;
+    EXPECT_TRUE(betterMemoryDesign(a, b));
+    EXPECT_FALSE(betterMemoryDesign(b, a));
+
+    // ...then fewer read ports at equal totals...
+    b = a;
+    b.readPorts = 2;
+    b.writePorts = 1;
+    MemoryDesign c = a;
+    c.readPorts = 1;
+    c.writePorts = 2;
+    EXPECT_TRUE(betterMemoryDesign(c, b));
+    EXPECT_FALSE(betterMemoryDesign(b, c));
+
+    // ...then fewer banks, smaller rows, smaller cols.
+    b = a;
+    b.banks = 4;
+    EXPECT_TRUE(betterMemoryDesign(a, b));
+    b = a;
+    b.rows = 128;
+    EXPECT_TRUE(betterMemoryDesign(a, b));
+    b = a;
+    b.cols = 128;
+    EXPECT_TRUE(betterMemoryDesign(a, b));
+
+    // Identical designs: strict ordering, neither is better.
+    EXPECT_FALSE(betterMemoryDesign(a, a));
+}
+
+TEST_F(MemFixture, PrunedSearchSkipsMostCandidates)
+{
+    MemoryRequest r = req(4096, 64);
+    r.targetCycleS = 1.0 / 700e6;
+    r.targetReadBwBytesPerS = 100e9;
+    r.searchPorts = true;
+
+    MemorySearchStats pruned;
+    const MemoryDesign dp = mm.optimize(r, &pruned);
+    MemorySearchStats full;
+    const MemoryDesign df = mm.optimizeExhaustive(r, &full);
+
+    // Every enumerated candidate is screened, bounded, or evaluated.
+    EXPECT_EQ(pruned.candidates,
+              pruned.screened + pruned.bounded + pruned.evaluated);
+    EXPECT_GT(pruned.screened, 0u);
+    // The port-loop exits alone shrink the enumeration, and the screen
+    // plus dominance bound cut full evaluations >=5x vs exhaustive.
+    EXPECT_LT(pruned.candidates, full.candidates);
+    EXPECT_LE(pruned.evaluated * 5, full.evaluated);
+    // The exhaustive reference evaluates everything it enumerates.
+    EXPECT_EQ(full.evaluated, full.candidates);
+    EXPECT_EQ(full.screened, 0u);
+    EXPECT_EQ(full.bounded, 0u);
+    // Same winner either way.
+    EXPECT_EQ(dp.banks, df.banks);
+    EXPECT_EQ(dp.areaUm2, df.areaUm2);
+}
+
+// ---------------------------------------------------------------------
+// Pruned-vs-exhaustive equivalence over a randomized request corpus.
+// The pruning rules are conservative bounds, so the two searches must
+// agree bit-for-bit — including which requests throw, and with what
+// message.
+// ---------------------------------------------------------------------
+
+namespace equivalence {
+
+struct SearchOutcome
+{
+    bool threw = false;
+    std::string error;
+    MemoryDesign d;
+};
+
+SearchOutcome
+run(const MemoryModel &mm, const MemoryRequest &r, bool pruned)
+{
+    SearchOutcome o;
+    try {
+        o.d = pruned ? mm.optimize(r) : mm.optimizeExhaustive(r);
+    } catch (const ConfigError &e) {
+        o.threw = true;
+        o.error = e.what();
+    }
+    return o;
+}
+
+MemoryRequest
+randomRequest(std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::uniform_int_distribution<int> cap_exp(9, 21); // 512 B..2 MiB
+
+    MemoryRequest r;
+    r.capacityBytes = std::ldexp(1.0, cap_exp(rng));
+    if (uni(rng) < 0.3)
+        r.capacityBytes *= 1.5; // non-power-of-two capacities too
+    static const double blocks[] = {8.0, 16.0, 32.0, 64.0, 128.0, 256.0};
+    r.blockBytes = blocks[std::min<int>(5, int(uni(rng) * 6.0))];
+
+    const double cell_pick = uni(rng);
+    r.cell = cell_pick < 0.7   ? MemCellType::SRAM
+             : cell_pick < 0.85 ? MemCellType::DFF
+                                : MemCellType::EDRAM;
+
+    r.readPorts = 1 + std::min(2, int(uni(rng) * 3.0));
+    r.writePorts = 1 + std::min(1, int(uni(rng) * 2.0));
+    r.searchPorts = uni(rng) < 0.4;
+    if (uni(rng) < 0.3) {
+        static const int fixed[] = {1, 2, 4, 8, 16};
+        r.fixedBanks = fixed[std::min<int>(4, int(uni(rng) * 5.0))];
+    }
+    if (uni(rng) < 0.2) {
+        r.cacheMode = true;
+        static const int ways[] = {2, 4, 8};
+        r.cacheWays = ways[std::min<int>(2, int(uni(rng) * 3.0))];
+        r.tagBits = 16 + int(uni(rng) * 16.0);
+    }
+
+    const double freq = 2.5e8 * std::pow(8.0, uni(rng)); // 250M..2GHz
+    if (uni(rng) < 0.7)
+        r.targetCycleS = 1.0 / freq;
+    if (uni(rng) < 0.4)
+        r.targetReadBwBytesPerS =
+            r.blockBytes * freq * (0.5 + 5.5 * uni(rng));
+    if (uni(rng) < 0.3)
+        r.targetWriteBwBytesPerS =
+            r.blockBytes * freq * (0.5 + 2.5 * uni(rng));
+    return r;
+}
+
+} // namespace equivalence
+
+TEST(MemOptimizerEquivalence, PrunedMatchesExhaustiveOnRandomCorpus)
+{
+    using equivalence::SearchOutcome;
+
+    std::mt19937 rng(20260805u);
+    const TechNode t28 = TechNode::make(28.0);
+    const TechNode t7 = TechNode::make(7.0);
+
+    int compared = 0;
+    for (int i = 0; i < 220; ++i) {
+        const TechNode &tech = (i % 2 == 0) ? t28 : t7;
+        const MemoryModel mm(tech);
+        const MemoryRequest r = equivalence::randomRequest(rng);
+        SCOPED_TRACE("request " + std::to_string(i) + ": cap " +
+                     std::to_string(r.capacityBytes) + " B, block " +
+                     std::to_string(r.blockBytes) + " B");
+
+        const SearchOutcome p = equivalence::run(mm, r, true);
+        const SearchOutcome f = equivalence::run(mm, r, false);
+
+        ASSERT_EQ(p.threw, f.threw);
+        if (p.threw) {
+            EXPECT_EQ(p.error, f.error);
+            continue;
+        }
+        ++compared;
+        EXPECT_EQ(p.d.banks, f.d.banks);
+        EXPECT_EQ(p.d.rows, f.d.rows);
+        EXPECT_EQ(p.d.cols, f.d.cols);
+        EXPECT_EQ(p.d.subarraysPerBank, f.d.subarraysPerBank);
+        EXPECT_EQ(p.d.readPorts, f.d.readPorts);
+        EXPECT_EQ(p.d.writePorts, f.d.writePorts);
+        // Bit-identical PAT figures: both winners are re-evaluated by
+        // the same code path, so EXPECT_EQ on doubles is exact.
+        EXPECT_EQ(p.d.areaUm2, f.d.areaUm2);
+        EXPECT_EQ(p.d.readEnergyJ, f.d.readEnergyJ);
+        EXPECT_EQ(p.d.writeEnergyJ, f.d.writeEnergyJ);
+        EXPECT_EQ(p.d.accessDelayS, f.d.accessDelayS);
+        EXPECT_EQ(p.d.randomCycleS, f.d.randomCycleS);
+        EXPECT_EQ(p.d.readBwBytesPerS, f.d.readBwBytesPerS);
+        EXPECT_EQ(p.d.writeBwBytesPerS, f.d.writeBwBytesPerS);
+        EXPECT_EQ(p.d.leakageW, f.d.leakageW);
+        EXPECT_TRUE(p.d.feasible);
+    }
+    // The corpus must really exercise the comparison, not just the
+    // throw-parity path.
+    EXPECT_GE(compared, 100);
 }
 
 /** Node sweep: memory cost falls with technology scaling. */

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Process-wide memory-design cache tests: key canonicalization, the
+ * concurrent same-key rendezvous, failure caching, stats counters, and
+ * the end-to-end property the cache exists for — a second ChipModel
+ * build with an unchanged memory subsystem re-runs no memory search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "common/error.hh"
+#include "memory/design_cache.hh"
+#include "tech/tech_node.hh"
+
+namespace neurometer {
+namespace {
+
+MemoryRequest
+baseRequest()
+{
+    MemoryRequest r;
+    r.capacityBytes = 256.0 * 1024.0;
+    r.blockBytes = 64.0;
+    r.targetCycleS = 1.0 / 700e6;
+    return r;
+}
+
+TEST(MemoryRequestKey, SensitiveToEveryField)
+{
+    const TechNode tech = TechNode::make(28.0);
+    const std::string base = memoryRequestKey(baseRequest(), tech);
+
+    const auto differs = [&](void (*mutate)(MemoryRequest &)) {
+        MemoryRequest r = baseRequest();
+        mutate(r);
+        return memoryRequestKey(r, tech) != base;
+    };
+
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.capacityBytes *= 2.0; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.blockBytes = 32.0; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.cell = MemCellType::DFF; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.readPorts = 2; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.writePorts = 2; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.searchPorts = true; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.fixedBanks = 4; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.cacheMode = true; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.cacheWays = 8; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.tagBits = 32; }));
+    EXPECT_TRUE(differs([](MemoryRequest &r) { r.targetCycleS = 2e-9; }));
+    EXPECT_TRUE(
+        differs([](MemoryRequest &r) { r.targetReadBwBytesPerS = 1e9; }));
+    EXPECT_TRUE(
+        differs([](MemoryRequest &r) { r.targetWriteBwBytesPerS = 1e9; }));
+
+    // The tech identity participates too: node and supply each change
+    // the key (an ulp of Vdd is a different design space).
+    EXPECT_NE(memoryRequestKey(baseRequest(), TechNode::make(16.0)), base);
+    EXPECT_NE(memoryRequestKey(baseRequest(), TechNode::make(28.0, 0.95)),
+              base);
+}
+
+TEST(MemoryDesignCache, SecondLookupIsAHit)
+{
+    MemoryDesignCache cache;
+    const TechNode tech = TechNode::make(28.0);
+    const MemoryRequest r = baseRequest();
+
+    const MemoryDesign d1 = cache.optimize(tech, r);
+    const MemoryDesign d2 = cache.optimize(tech, r);
+
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(d1.areaUm2, d2.areaUm2);
+    EXPECT_EQ(d1.banks, d2.banks);
+    // The cached design keeps its breakdown (lazily built once).
+    EXPECT_GT(d2.breakdown.total().areaUm2, 0.0);
+}
+
+TEST(MemoryDesignCache, OptimizeAndEvaluateKeysDoNotCollide)
+{
+    MemoryDesignCache cache;
+    const TechNode tech = TechNode::make(28.0);
+    const MemoryRequest r = baseRequest();
+
+    cache.optimize(tech, r);
+    cache.evaluate(tech, r, 4, 256, 128, 1, 1);
+    cache.evaluate(tech, r, 4, 256, 128, 2, 1);
+
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(MemoryDesignCache, ClearDropsEntriesAndCounters)
+{
+    MemoryDesignCache cache;
+    const TechNode tech = TechNode::make(28.0);
+    cache.optimize(tech, baseRequest());
+    cache.optimize(tech, baseRequest());
+    ASSERT_GT(cache.size(), 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().hitRate(), 0.0);
+
+    cache.optimize(tech, baseRequest());
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MemoryDesignCache, ConcurrentSameKeyComputesExactlyOnce)
+{
+    MemoryDesignCache cache;
+    std::atomic<int> computes{0};
+    constexpr int kThreads = 8;
+
+    MemoryDesign seed;
+    seed.banks = 7;
+    seed.areaUm2 = 42.0;
+    seed.feasible = true;
+
+    std::vector<std::thread> threads;
+    std::vector<MemoryDesign> got(kThreads);
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            got[t] = cache.getOrCompute("race-key", [&] {
+                computes.fetch_add(1);
+                return seed;
+            });
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // All threads rendezvous on one computation and share its result.
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, std::uint64_t(kThreads - 1));
+    for (const MemoryDesign &d : got) {
+        EXPECT_EQ(d.banks, 7);
+        EXPECT_EQ(d.areaUm2, 42.0);
+    }
+}
+
+TEST(MemoryDesignCache, FailuresAreCachedAndRethrownVerbatim)
+{
+    MemoryDesignCache cache;
+    const TechNode tech = TechNode::make(28.0);
+    MemoryRequest r = baseRequest();
+    r.targetCycleS = 1e-12; // 1 THz: unsatisfiable
+
+    std::string first;
+    try {
+        cache.optimize(tech, r);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        first = e.what();
+    }
+    // The second request must not re-run the search — and it must see
+    // the byte-identical message (no prefix stacking).
+    std::string second;
+    try {
+        cache.optimize(tech, r);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        second = e.what();
+    }
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    int computes = 0;
+    for (int i = 0; i < 2; ++i) {
+        try {
+            cache.getOrCompute("model-failure", [&]() -> MemoryDesign {
+                ++computes;
+                throw ModelError("synthetic failure");
+            });
+            FAIL() << "expected ModelError";
+        } catch (const ModelError &e) {
+            EXPECT_STREQ(e.what(), "model error: synthetic failure");
+        }
+    }
+    EXPECT_EQ(computes, 1);
+}
+
+/**
+ * The end-to-end property: chip builds whose memory subsystem is
+ * unchanged run zero memory searches against a warm cache. The config
+ * pins memBlockBytes and vuLanes so that varying the TU rows leaves
+ * every derived MemoryRequest identical.
+ */
+TEST(MemoryDesignCache, SecondChipBuildHitsProcessWideCache)
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.tx = cfg.ty = 1;
+    cfg.core.numTU = 2;
+    cfg.core.tu.rows = 64;
+    cfg.core.tu.cols = 64;
+    cfg.core.vuLanes = 64;          // pin: otherwise follows tu.cols
+    cfg.core.memBlockBytes = 64.0;  // pin: otherwise follows tu.rows
+    cfg.totalMemBytes = 4.0 * 1024 * 1024;
+
+    MemoryDesignCache &cache = memoryDesignCache();
+    cache.clear();
+
+    ChipModel first(cfg);
+    const MemoryCacheStats cold = cache.stats();
+    EXPECT_GT(cold.misses, 0u);
+
+    // Identical rebuild: pure hits.
+    ChipModel second(cfg);
+    const MemoryCacheStats warm = cache.stats();
+    EXPECT_EQ(warm.misses, cold.misses);
+    EXPECT_GT(warm.hits, cold.hits);
+
+    // A TU-geometry-only variation (the design-space sweep axis) also
+    // leaves the memory subsystem untouched.
+    ChipConfig taller = cfg;
+    taller.core.tu.rows = 128;
+    ChipModel third(taller);
+    EXPECT_EQ(cache.stats().misses, cold.misses);
+
+    // Same models either way.
+    EXPECT_EQ(first.breakdown().total().areaUm2,
+              second.breakdown().total().areaUm2);
+}
+
+} // namespace
+} // namespace neurometer

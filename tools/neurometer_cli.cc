@@ -203,6 +203,18 @@ cmdSweep(const std::vector<std::string> &args)
     SweepEngine engine(cfg, opts);
     const std::vector<EvalRecord> records = engine.run(grid);
 
+    const CacheStats cs = engine.cache().stats();
+    const MemoryCacheStats ms = engine.memoryCacheStats();
+    std::fprintf(stderr,
+                 "eval cache: %llu hits / %llu misses (%.1f%%)\n"
+                 "memory-design cache: %llu hits / %llu misses (%.1f%%)\n",
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
+                 100.0 * cs.hitRate(),
+                 static_cast<unsigned long long>(ms.hits),
+                 static_cast<unsigned long long>(ms.misses),
+                 100.0 * ms.hitRate());
+
     const std::string rendered =
         json ? toJson(records) : toCsv(records);
     if (out.empty()) {
