@@ -133,5 +133,7 @@ main()
                    AsciiTable::num(leak, 2)});
     }
     std::printf("%s", t4.str().c_str());
+    obs::writeMetricsManifest("bench/ablation",
+                              "ablation.manifest.json");
     return 0;
 }

@@ -151,5 +151,7 @@ main()
     std::printf("%s\n", tot.str().c_str());
     std::printf("peak perf: %.1f TOPS (int8) at %.0f MHz\n",
                 mxu.peakOpsPerS() / units::tera, freq / 1e6);
+    obs::writeMetricsManifest("bench/fig03_tpu_v1",
+                              "fig03_tpu_v1.manifest.json");
     return 0;
 }

@@ -139,5 +139,7 @@ main()
                 100.0 * relError(chip_area, 611.0));
     std::printf("TDP error vs published: %.1f%% (paper: ~9%%)\n",
                 100.0 * relError(tdp, 280.0));
+    obs::writeMetricsManifest("bench/fig04_tpu_v2",
+                              "fig04_tpu_v2.manifest.json");
     return 0;
 }

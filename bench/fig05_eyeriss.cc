@@ -149,5 +149,7 @@ main()
     std::printf("%s\n", power.str().c_str());
     std::printf("paper reports +11%% on Conv1 and -13%% on Conv5; the\n"
                 "PE array dominates runtime power in both.\n");
+    obs::writeMetricsManifest("bench/fig05_eyeriss",
+                              "fig05_eyeriss.manifest.json");
     return 0;
 }

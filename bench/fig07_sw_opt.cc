@@ -55,5 +55,7 @@ main()
     }
     std::printf("expected shape: optimizations help most at small "
                 "batch sizes.\n");
+    obs::writeMetricsManifest("bench/fig07_sw_opt",
+                              "fig07_sw_opt.manifest.json");
     return 0;
 }

@@ -105,5 +105,7 @@ main()
         "spend more area/power on NoC/CDB and control, yet reach only\n"
         "a small fraction of the brawny peak TOPS.\n",
         best_eff_point.c_str());
+    obs::writeMetricsManifest("bench/fig08_design_space",
+                              "fig08_design_space.manifest.json");
     return 0;
 }

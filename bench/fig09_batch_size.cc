@@ -67,5 +67,7 @@ main()
                     sim.maxBatchUnderSlo(nasnetALarge(), 0.010)),
                 "4"});
     std::printf("%s\n", slo.str().c_str());
+    obs::writeMetricsManifest("bench/fig09_batch_size",
+                              "fig09_batch_size.manifest.json");
     return 0;
 }

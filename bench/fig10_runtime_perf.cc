@@ -146,5 +146,7 @@ main()
             geoMean(e_tco) / geoMean(t_tco),
             geoMean(e_tpw) / geoMean(t_tpw));
     }
+    obs::writeMetricsManifest("bench/fig10_runtime_perf",
+                              "fig10_runtime_perf.manifest.json");
     return 0;
 }

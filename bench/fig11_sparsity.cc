@@ -93,5 +93,7 @@ main()
         "overhead beta~2 must amortize); TU8/RT64 show a knee near 0.9\n"
         "as fine-grained zero-skip kicks in, while TU32/RT1024 grow\n"
         "slowly from reduced CSR traffic alone.\n");
+    obs::writeMetricsManifest("bench/fig11_sparsity",
+                              "fig11_sparsity.manifest.json");
     return 0;
 }

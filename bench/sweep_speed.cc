@@ -122,14 +122,14 @@ main()
                 100.0 * rerun.hitRate(),
                 (unsigned long long)rerun.hits,
                 (unsigned long long)rerun.misses);
-    const MemoryCacheStats mem = memoryDesignCache().stats();
-    std::printf("memory-design cache (process-wide): %.1f%% hits "
-                "(%llu hits / %llu misses)\n",
-                100.0 * mem.hitRate(),
-                (unsigned long long)mem.hits,
-                (unsigned long long)mem.misses);
+    // Process-wide telemetry (memory-design cache, eval cache, search
+    // funnel, latency histograms) in one place: the obs registry.
+    std::printf("\n%s", obs::snapshot().format().c_str());
     std::printf("parallel vs serial records: %s (%zu mismatches)\n",
                 mismatches == 0 ? "IDENTICAL" : "MISMATCH",
                 mismatches);
+    obs::writeMetricsManifest("bench/sweep_speed",
+                              "sweep_speed.manifest.json");
+    std::printf("manifest: sweep_speed.manifest.json\n");
     return mismatches == 0 ? 0 : 1;
 }

@@ -47,5 +47,7 @@ main()
         "#Data uses a ping-pong live-set proxy (half the transient\n"
         "activation volume); NasNet overshoots it — the paper's exact\n"
         "accounting is not public (see EXPERIMENTS.md).\n");
+    obs::writeMetricsManifest("bench/table2_workloads",
+                              "table2_workloads.manifest.json");
     return 0;
 }

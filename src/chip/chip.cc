@@ -7,6 +7,8 @@
 #include "common/units.hh"
 #include "components/noc.hh"
 #include "components/periph.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace neurometer {
 
@@ -41,15 +43,29 @@ applyActivity(Breakdown &root, const std::string &name, double factor)
 
 ChipModel::ChipModel(const ChipConfig &cfg) : _cfg(cfg)
 {
-    validate(cfg);
-    _tech = std::make_unique<TechNode>(
-        TechNode::make(cfg.nodeNm, cfg.vddVolt));
-    _core = std::make_unique<CoreModel>(*_tech, cfg);
+    obs::TraceScope build_span("chip.build");
+    static const obs::Counter builds = obs::counter("chip.builds");
+    static const obs::Histogram build_hist =
+        obs::histogram("chip.build_s");
+    builds.inc();
+    obs::ScopedTimer timer(build_hist);
+
+    {
+        // Phase 1: validation, tech resolution, and the core model —
+        // the expensive part (every memory search lives under here).
+        obs::TraceScope phase("chip.core_model");
+        validate(cfg);
+        _tech = std::make_unique<TechNode>(
+            TechNode::make(cfg.nodeNm, cfg.vddVolt));
+        _core = std::make_unique<CoreModel>(*_tech, cfg);
+    }
 
     requireConfig(_core->minCycleS() <= 1.0 / cfg.freqHz * 1.0001,
                   "core cannot close timing at the requested clock; "
                   "slowest component needs " +
                       std::to_string(_core->minCycleS() * 1e12) + " ps");
+
+    obs::TraceScope assemble_span("chip.assemble");
 
     const int n_cores = cfg.numCores();
 
@@ -125,6 +141,7 @@ ChipModel::ChipModel(const ChipConfig &cfg) : _cfg(cfg)
     _bd.self().timing.cycleS = _minCycleS;
 
     // ---- TDP: per-component activity factors -------------------------------
+    obs::TraceScope tdp_span("chip.tdp");
     Breakdown tdp_tree = _bd;
     const ActivityFactors &af = cfg.tdpActivity;
     applyActivity(tdp_tree, "noc", af.noc);

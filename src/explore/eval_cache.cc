@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "chip/config_schema.hh"
+#include "obs/metrics.hh"
 
 namespace neurometer {
 
@@ -55,10 +56,18 @@ EvalCache::getOrCompute(const ChipConfig &cfg,
         entry->value = compute(cfg);
         computed_here = true;
     });
-    if (computed_here)
+    // Per-instance counters feed stats(); the process-wide registry
+    // gets the union of every EvalCache in the process.
+    static const obs::Counter reg_hits = obs::counter("eval_cache.hits");
+    static const obs::Counter reg_misses =
+        obs::counter("eval_cache.misses");
+    if (computed_here) {
         _misses.fetch_add(1, std::memory_order_relaxed);
-    else
+        reg_misses.inc();
+    } else {
         _hits.fetch_add(1, std::memory_order_relaxed);
+        reg_hits.inc();
+    }
     return entry->value;
 }
 

@@ -1,9 +1,14 @@
 #include "explore/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
 
 #include "chip/config_schema.hh"
 #include "circuit/arith.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace neurometer {
 
@@ -195,11 +200,65 @@ SweepEngine::run(const SweepGrid &grid)
         }
     }
 
+    static const obs::Counter runs = obs::counter("sweep.runs");
+    static const obs::Counter points = obs::counter("sweep.points");
+    static const obs::Histogram point_hist =
+        obs::histogram("sweep.point_s");
+    runs.inc();
+    obs::TraceScope run_span("sweep.run", records.size());
+
+    // Progress plumbing: a shared done-counter, a time-based rate
+    // limiter (CAS on the last-report tick so only one thread wins a
+    // slot), and a mutex that serializes observer invocations.
+    using clock = std::chrono::steady_clock;
+    const clock::time_point t0 = clock::now();
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::int64_t> last_report_ns{-1};
+    std::mutex report_mu;
+    const std::int64_t interval_ns =
+        std::int64_t(_opts.progressIntervalS * 1e9);
+    auto report = [&](std::size_t d) {
+        SweepProgress p;
+        p.done = d;
+        p.total = records.size();
+        p.elapsedS =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        p.pointsPerS = p.elapsedS > 0.0 ? double(d) / p.elapsedS : 0.0;
+        p.etaS = p.pointsPerS > 0.0
+                     ? double(p.total - d) / p.pointsPerS
+                     : 0.0;
+        p.evalCache = _cache.stats();
+        p.memoryCache = memoryDesignCache().stats();
+        std::lock_guard<std::mutex> lk(report_mu);
+        _opts.onProgress(p);
+    };
+
     _pool.parallelFor(records.size(), [&](std::size_t i) {
+        obs::TraceScope span("sweep.point", i);
+        obs::ScopedTimer timer(point_hist);
         records[i].metrics = _cache.evaluate(cfgs[i]);
         records[i].why =
             classify(records[i].metrics, _opts.constraints);
+        points.inc();
+        if (!_opts.onProgress)
+            return;
+        const std::size_t d = done.fetch_add(1) + 1;
+        if (d == records.size())
+            return; // the final report is issued after the loop
+        const std::int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count();
+        std::int64_t last = last_report_ns.load(std::memory_order_relaxed);
+        if (last >= 0 && now_ns - last < interval_ns)
+            return;
+        if (!last_report_ns.compare_exchange_strong(last, now_ns))
+            return; // another thread took this reporting slot
+        report(d);
     });
+
+    if (_opts.onProgress)
+        report(records.size());
 
     if (!_opts.keepInfeasible) {
         records.erase(std::remove_if(records.begin(), records.end(),

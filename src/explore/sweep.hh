@@ -15,6 +15,7 @@
 #define NEUROMETER_EXPLORE_SWEEP_HH
 
 #include <cstddef>
+#include <functional>
 #include <initializer_list>
 #include <string>
 #include <utility>
@@ -110,6 +111,31 @@ struct EvalRecord
     bool operator==(const EvalRecord &) const = default;
 };
 
+/**
+ * Moment-in-time progress of one SweepEngine::run(), as handed to the
+ * progress observer: points done/total, throughput, ETA, and the
+ * cache hit counters a live progress line wants to show.
+ */
+struct SweepProgress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    double elapsedS = 0.0;
+    double pointsPerS = 0.0;
+    /** Remaining-points estimate at the current rate (0 when done). */
+    double etaS = 0.0;
+    CacheStats evalCache;          ///< this engine's cache, cumulative
+    MemoryCacheStats memoryCache;  ///< process-wide memory-design cache
+};
+
+/**
+ * Progress callback. Invocations are serialized (never concurrent)
+ * and rate-limited to progressIntervalS, except that the final call —
+ * done == total — is always delivered. Called from worker threads:
+ * keep it fast and do not touch the engine from inside it.
+ */
+using SweepObserver = std::function<void(const SweepProgress &)>;
+
 /** Engine knobs: parallelism and the constraint set to classify by. */
 struct SweepOptions
 {
@@ -118,6 +144,10 @@ struct SweepOptions
     DesignConstraints constraints;
     /** Keep infeasible points in the result (exports show the *why*). */
     bool keepInfeasible = true;
+    /** Progress observer (empty = no progress reporting). */
+    SweepObserver onProgress{};
+    /** Minimum seconds between onProgress calls (0 = every point). */
+    double progressIntervalS = 0.25;
 };
 
 /**

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace neurometer {
 
 int
@@ -46,6 +49,7 @@ ThreadPool::workerLoop()
             task = std::move(_queue.front());
             _queue.pop();
         }
+        obs::TraceScope span("pool.task");
         task(); // exceptions land in the task's future
     }
 }
@@ -53,6 +57,8 @@ ThreadPool::workerLoop()
 std::future<void>
 ThreadPool::submit(std::function<void()> task)
 {
+    static const obs::Counter tasks = obs::counter("thread_pool.tasks");
+    tasks.inc();
     std::packaged_task<void()> pt(std::move(task));
     std::future<void> fut = pt.get_future();
     if (_workers.empty()) {
@@ -71,11 +77,17 @@ void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &body)
 {
+    static const obs::Counter fors =
+        obs::counter("thread_pool.parallel_fors");
+    static const obs::Counter iters =
+        obs::counter("thread_pool.iterations");
     if (count == 0)
         return;
+    fors.inc();
     if (_workers.empty()) {
         for (std::size_t i = 0; i < count; ++i)
             body(i); // strict 0..n-1 order: the serial reference path
+        iters.inc(count);
         return;
     }
 
@@ -97,6 +109,7 @@ ThreadPool::parallelFor(std::size_t count,
                 if (begin >= count || abandon.load())
                     return;
                 const std::size_t end = std::min(begin + chunk, count);
+                iters.inc(end - begin);
                 for (std::size_t i = begin; i < end; ++i) {
                     try {
                         body(i);

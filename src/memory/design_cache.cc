@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hh"
+#include "obs/metrics.hh"
 
 namespace neurometer {
 
@@ -75,10 +76,20 @@ MemoryDesignCache::getOrCompute(const std::string &key,
             entry->error = stripPrefix(e.what(), "model error: ");
         }
     });
-    if (computed_here)
+    // clear() zeroes the per-instance atomics below; the registry
+    // counters stay monotonic across clears (they are run telemetry,
+    // not cache state).
+    static const obs::Counter reg_hits =
+        obs::counter("memory_design_cache.hits");
+    static const obs::Counter reg_misses =
+        obs::counter("memory_design_cache.misses");
+    if (computed_here) {
         _misses.fetch_add(1, std::memory_order_relaxed);
-    else
+        reg_misses.inc();
+    } else {
         _hits.fetch_add(1, std::memory_order_relaxed);
+        reg_hits.inc();
+    }
 
     switch (entry->outcome) {
       case Outcome::ConfigFailure:

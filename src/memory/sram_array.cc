@@ -8,6 +8,8 @@
 #include "circuit/wire.hh"
 #include "common/error.hh"
 #include "common/units.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace neurometer {
 
@@ -345,10 +347,46 @@ MemoryModel::evaluateImpl(const MemoryRequest &req, int banks, int rows,
     return d;
 }
 
+namespace {
+
+/** Folds a search's MemorySearchStats into the process-wide registry
+ *  on scope exit — also when the search throws (no-fit ConfigError),
+ *  so run telemetry counts the work done, not just the successes. */
+struct SearchStatsRecorder
+{
+    const MemorySearchStats &st;
+
+    ~SearchStatsRecorder()
+    {
+        static const obs::Counter searches =
+            obs::counter("memory_search.searches");
+        static const obs::Counter candidates =
+            obs::counter("memory_search.candidates");
+        static const obs::Counter screened =
+            obs::counter("memory_search.screened");
+        static const obs::Counter bounded =
+            obs::counter("memory_search.bounded");
+        static const obs::Counter evaluated =
+            obs::counter("memory_search.evaluated");
+        searches.inc();
+        candidates.inc(st.candidates);
+        screened.inc(st.screened);
+        bounded.inc(st.bounded);
+        evaluated.inc(st.evaluated);
+    }
+};
+
+} // namespace
+
 MemoryDesign
 MemoryModel::search(const MemoryRequest &req, bool pruned,
                     MemorySearchStats *stats) const
 {
+    obs::TraceScope span("memory.search",
+                         std::uint64_t(req.capacityBytes));
+    static const obs::Histogram search_hist =
+        obs::histogram("memory.search_s");
+    obs::ScopedTimer timer(search_hist);
     // evaluate() would reject these on the first candidate; hoisted so
     // both search flavors fail identically even when the screen would
     // discard every candidate before an evaluation runs.
@@ -391,6 +429,10 @@ MemoryModel::search(const MemoryRequest &req, bool pruned,
 
     MemorySearchStats local;
     MemorySearchStats &st = stats ? *stats : local;
+    // Registry totals include the counts already in *stats when a
+    // caller hands in a non-zero struct; in-tree callers always pass
+    // a fresh one.
+    SearchStatsRecorder recorder{st};
 
     MemoryDesign best;
     bool have_best = false;

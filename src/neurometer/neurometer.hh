@@ -37,6 +37,9 @@
 #include "explore/thread_pool.hh"
 #include "memory/design_cache.hh"
 #include "memory/fifo.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "perf/tfsim.hh"
 #include "perf/workload.hh"
 #include "sparse/csr.hh"

@@ -1,0 +1,204 @@
+#include "obs/manifest.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "common/error.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+#ifndef NEUROMETER_GIT_DESCRIBE
+#define NEUROMETER_GIT_DESCRIBE "unknown"
+#endif
+#ifndef NEUROMETER_BUILD_TYPE
+#define NEUROMETER_BUILD_TYPE "unknown"
+#endif
+
+namespace neurometer::obs {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+std::string
+BuildInfo::gitDescribe()
+{
+    return NEUROMETER_GIT_DESCRIBE;
+}
+
+std::string
+BuildInfo::compiler()
+{
+#ifdef __VERSION__
+    return __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+BuildInfo::buildType()
+{
+    return NEUROMETER_BUILD_TYPE;
+}
+
+bool
+BuildInfo::traceCompiledIn()
+{
+    return obs::traceCompiledIn;
+}
+
+ManifestBuilder &
+ManifestBuilder::set(const std::string &key, const std::string &value)
+{
+    _items.emplace_back(key, jsonQuote(value));
+    return *this;
+}
+
+ManifestBuilder &
+ManifestBuilder::set(const std::string &key, const char *value)
+{
+    return set(key, std::string(value));
+}
+
+ManifestBuilder &
+ManifestBuilder::set(const std::string &key, double value)
+{
+    _items.emplace_back(key, jsonNum(value));
+    return *this;
+}
+
+ManifestBuilder &
+ManifestBuilder::set(const std::string &key, std::int64_t value)
+{
+    _items.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+ManifestBuilder &
+ManifestBuilder::set(const std::string &key, bool value)
+{
+    _items.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+ManifestBuilder &
+ManifestBuilder::raw(const std::string &key, const std::string &json)
+{
+    // Trim the trailing newline JSON renderers in this codebase emit
+    // so the splice nests cleanly.
+    std::string j = json;
+    while (!j.empty() && (j.back() == '\n' || j.back() == ' '))
+        j.pop_back();
+    _items.emplace_back(key, std::move(j));
+    return *this;
+}
+
+std::string
+ManifestBuilder::str() const
+{
+    std::string s = "{\n";
+    for (std::size_t i = 0; i < _items.size(); ++i) {
+        // Re-indent nested multi-line values by one level.
+        std::string value = _items[i].second;
+        std::string indented;
+        indented.reserve(value.size());
+        for (char c : value) {
+            indented += c;
+            if (c == '\n')
+                indented += "  ";
+        }
+        s += "  " + jsonQuote(_items[i].first) + ": " + indented;
+        s += i + 1 < _items.size() ? ",\n" : "\n";
+    }
+    s += "}\n";
+    return s;
+}
+
+ManifestBuilder
+runManifest(const std::string &tool, const std::string &command)
+{
+    ManifestBuilder m;
+    m.set("tool", tool)
+        .set("command", command)
+        .set("created_at", isoTimestampUtc())
+        .set("git_describe", BuildInfo::gitDescribe())
+        .set("compiler", BuildInfo::compiler())
+        .set("build_type", BuildInfo::buildType())
+        .set("trace_enabled", BuildInfo::traceCompiledIn());
+    return m;
+}
+
+void
+writeMetricsManifest(const std::string &tool, const std::string &path)
+{
+    ManifestBuilder m = runManifest(tool, tool);
+    m.raw("metrics", snapshot().toJson());
+    writeTextFile(path, m.str());
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path, std::ios::binary);
+    requireConfig(f.good(), "cannot open " + path + " for writing");
+    f << content;
+    f.close();
+    requireConfig(f.good(), "failed writing " + path);
+}
+
+} // namespace neurometer::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Run manifests: a machine-readable JSON record written next to every
+ * sweep/bench export so any CSV can be traced back to exactly what
+ * produced it — the command, the resolved config, the build (git
+ * describe, compiler, flags), elapsed time, and a final metrics
+ * snapshot. Plus the small JSON-rendering helpers the rest of obs/
+ * shares (quoting, number formatting, timestamps).
+ */
+
+#ifndef NEUROMETER_OBS_MANIFEST_HH
+#define NEUROMETER_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neurometer::obs {
+
+/** JSON string literal (quotes, escapes control chars/backslashes). */
+std::string jsonQuote(const std::string &s);
+
+/** JSON number with round-trip precision; inf/nan render as null. */
+std::string jsonNum(double v);
+
+/** Current wall-clock time as ISO-8601 UTC ("2026-08-05T09:31:02Z"). */
+std::string isoTimestampUtc();
+
+/** Compile-time identity of this binary, for manifests. */
+struct BuildInfo
+{
+    /** `git describe --always --dirty --tags` at configure time. */
+    static std::string gitDescribe();
+    /** Compiler identification (__VERSION__). */
+    static std::string compiler();
+    /** CMAKE_BUILD_TYPE the library was built with. */
+    static std::string buildType();
+    /** Whether the Chrome-trace tracer is compiled in. */
+    static bool traceCompiledIn();
+};
+
+/**
+ * Ordered key -> JSON-value builder. Values set through set() are
+ * rendered as the matching JSON type; raw() splices pre-rendered JSON
+ * (arrays, nested objects, a metrics Snapshot::toJson()) under a key.
+ * str() renders the whole object with keys in insertion order.
+ */
+class ManifestBuilder
+{
+  public:
+    ManifestBuilder &set(const std::string &key, const std::string &value);
+    ManifestBuilder &set(const std::string &key, const char *value);
+    ManifestBuilder &set(const std::string &key, double value);
+    ManifestBuilder &set(const std::string &key, std::int64_t value);
+    ManifestBuilder &set(const std::string &key, bool value);
+    ManifestBuilder &raw(const std::string &key, const std::string &json);
+
+    std::string str() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> _items;
+};
+
+/**
+ * A builder pre-filled with the standard header every NeuroMeter run
+ * manifest shares: tool, command, timestamp, git describe, compiler,
+ * build type, trace availability.
+ */
+ManifestBuilder runManifest(const std::string &tool,
+                            const std::string &command);
+
+/**
+ * The standard bench epilogue: write runManifest(tool, tool) plus the
+ * current metrics snapshot (under "metrics") to `path`.
+ */
+void writeMetricsManifest(const std::string &tool, const std::string &path);
+
+/** Write `content` to `path`, throwing ConfigError on I/O failure. */
+void writeTextFile(const std::string &path, const std::string &content);
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_OBS_MANIFEST_HH

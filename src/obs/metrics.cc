@@ -1,0 +1,442 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hh"
+#include "obs/manifest.hh"
+
+namespace neurometer::obs {
+
+namespace {
+
+// Fixed per-shard slot capacities: a shard is one flat slab of
+// atomics, so handles index it directly with no per-access lookup.
+// Raising these only costs idle bytes per thread.
+constexpr std::uint32_t kMaxCounters = 192;
+constexpr std::uint32_t kMaxGauges = 64;
+constexpr std::uint32_t kMaxHistograms = 32;
+// Power-of-two nanosecond buckets: bucket i holds values in
+// (2^(i-1), 2^i] ns; 48 buckets span ~3 days.
+constexpr std::uint32_t kBuckets = 48;
+
+struct HistShard
+{
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sumNs{0};
+    std::atomic<std::uint64_t> minNs{UINT64_MAX};
+    std::atomic<std::uint64_t> maxNs{0};
+};
+
+struct Shard
+{
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<HistShard, kMaxHistograms> hists{};
+};
+
+struct State
+{
+    std::mutex mu; ///< guards names + shard list, never metric cells
+    std::vector<std::string> counterNames;
+    std::vector<std::string> gaugeNames;
+    std::vector<std::string> histNames;
+    std::vector<std::shared_ptr<Shard>> shards;
+    std::array<std::atomic<double>, kMaxGauges> gauges{};
+};
+
+State &
+state()
+{
+    // Leaked on purpose: worker threads owned by function-local static
+    // objects (e.g. the process-wide memory-design cache) may record
+    // metrics during static destruction.
+    static State *s = new State;
+    return *s;
+}
+
+Shard &
+localShard()
+{
+    thread_local std::shared_ptr<Shard> tls;
+    if (!tls) {
+        tls = std::make_shared<Shard>();
+        State &s = state();
+        std::lock_guard<std::mutex> lk(s.mu);
+        // The registry co-owns the shard so a thread's contributions
+        // survive its exit (snapshot() still merges them).
+        s.shards.push_back(tls);
+    }
+    return *tls;
+}
+
+std::uint32_t
+intern(std::vector<std::string> &names, const std::string &name,
+       std::uint32_t cap, const char *kind)
+{
+    for (std::uint32_t i = 0; i < names.size(); ++i)
+        if (names[i] == name)
+            return i;
+    requireModel(names.size() < cap,
+                 std::string("obs: too many registered ") + kind +
+                     " metrics (cap " + std::to_string(cap) + ")");
+    names.push_back(name);
+    return std::uint32_t(names.size() - 1);
+}
+
+std::uint64_t
+toNs(double seconds)
+{
+    if (!(seconds > 0.0))
+        return 0;
+    const double ns = seconds * 1e9;
+    return ns >= 9e18 ? std::uint64_t(9e18) : std::uint64_t(std::llround(ns));
+}
+
+std::uint32_t
+bucketOf(std::uint64_t ns)
+{
+    const std::uint32_t b = std::uint32_t(std::bit_width(ns));
+    return std::min(b, kBuckets - 1);
+}
+
+void
+atomicMin(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/** Upper bound of bucket i in seconds. */
+double
+bucketUpperS(std::uint32_t i)
+{
+    return double(std::uint64_t(1) << i) * 1e-9;
+}
+
+/** Short human time: 412ns / 3.2us / 1.4ms / 2.1s. */
+std::string
+humanTime(double s)
+{
+    char buf[32];
+    if (s <= 0.0)
+        std::snprintf(buf, sizeof(buf), "0");
+    else if (s < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.0fns", s * 1e9);
+    else if (s < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1fus", s * 1e6);
+    else if (s < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fs", s);
+    return buf;
+}
+
+} // namespace
+
+void
+Counter::inc(std::uint64_t n) const
+{
+    localShard().counters[_id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Gauge::set(double v) const
+{
+    state().gauges[_id].store(v, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(double v) const
+{
+    std::atomic<double> &slot = state().gauges[_id];
+    double cur = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::record(double seconds) const
+{
+    const std::uint64_t ns = toNs(seconds);
+    HistShard &h = localShard().hists[_id];
+    h.buckets[bucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    h.count.fetch_add(1, std::memory_order_relaxed);
+    h.sumNs.fetch_add(ns, std::memory_order_relaxed);
+    atomicMin(h.minNs, ns);
+    atomicMax(h.maxNs, ns);
+}
+
+Counter
+Registry::counter(const std::string &name)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return Counter(intern(s.counterNames, name, kMaxCounters, "counter"));
+}
+
+Gauge
+Registry::gauge(const std::string &name)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return Gauge(intern(s.gaugeNames, name, kMaxGauges, "gauge"));
+}
+
+Histogram
+Registry::histogram(const std::string &name)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return Histogram(intern(s.histNames, name, kMaxHistograms, "histogram"));
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    State &s = state();
+    std::vector<std::string> counter_names, gauge_names, hist_names;
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        counter_names = s.counterNames;
+        gauge_names = s.gaugeNames;
+        hist_names = s.histNames;
+        shards = s.shards;
+    }
+
+    Snapshot snap;
+    snap.counters.reserve(counter_names.size());
+    for (std::uint32_t i = 0; i < counter_names.size(); ++i) {
+        std::uint64_t sum = 0;
+        for (const auto &sh : shards)
+            sum += sh->counters[i].load(std::memory_order_relaxed);
+        snap.counters.emplace_back(counter_names[i], sum);
+    }
+
+    snap.gauges.reserve(gauge_names.size());
+    for (std::uint32_t i = 0; i < gauge_names.size(); ++i) {
+        snap.gauges.emplace_back(
+            gauge_names[i], s.gauges[i].load(std::memory_order_relaxed));
+    }
+
+    snap.histograms.reserve(hist_names.size());
+    for (std::uint32_t i = 0; i < hist_names.size(); ++i) {
+        std::array<std::uint64_t, kBuckets> buckets{};
+        std::uint64_t count = 0, sum_ns = 0;
+        std::uint64_t min_ns = UINT64_MAX, max_ns = 0;
+        for (const auto &sh : shards) {
+            const HistShard &h = sh->hists[i];
+            for (std::uint32_t b = 0; b < kBuckets; ++b)
+                buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+            count += h.count.load(std::memory_order_relaxed);
+            sum_ns += h.sumNs.load(std::memory_order_relaxed);
+            min_ns = std::min(min_ns,
+                              h.minNs.load(std::memory_order_relaxed));
+            max_ns = std::max(max_ns,
+                              h.maxNs.load(std::memory_order_relaxed));
+        }
+        HistogramSnapshot hs;
+        hs.count = count;
+        hs.sumS = double(sum_ns) * 1e-9;
+        hs.minS = count == 0 ? 0.0 : double(min_ns) * 1e-9;
+        hs.maxS = double(max_ns) * 1e-9;
+        auto quantile = [&](double q) {
+            if (count == 0)
+                return 0.0;
+            const std::uint64_t target = std::uint64_t(
+                std::max(1.0, std::ceil(q * double(count))));
+            std::uint64_t cum = 0;
+            for (std::uint32_t b = 0; b < kBuckets; ++b) {
+                cum += buckets[b];
+                if (cum >= target)
+                    return std::min(bucketUpperS(b), hs.maxS);
+            }
+            return hs.maxS;
+        };
+        hs.p50S = quantile(0.50);
+        hs.p90S = quantile(0.90);
+        hs.p99S = quantile(0.99);
+        snap.histograms.emplace_back(hist_names[i], hs);
+    }
+
+    auto by_name = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+    std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    State &s = state();
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        shards = s.shards;
+    }
+    for (const auto &sh : shards) {
+        for (auto &c : sh->counters)
+            c.store(0, std::memory_order_relaxed);
+        for (auto &h : sh->hists) {
+            for (auto &b : h.buckets)
+                b.store(0, std::memory_order_relaxed);
+            h.count.store(0, std::memory_order_relaxed);
+            h.sumNs.store(0, std::memory_order_relaxed);
+            h.minNs.store(UINT64_MAX, std::memory_order_relaxed);
+            h.maxNs.store(0, std::memory_order_relaxed);
+        }
+    }
+    for (auto &g : s.gauges)
+        g.store(0.0, std::memory_order_relaxed);
+}
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::uint64_t
+Snapshot::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+std::vector<std::pair<std::string, double>>
+Snapshot::hitRates() const
+{
+    std::vector<std::pair<std::string, double>> rates;
+    for (const auto &[name, hits] : counters) {
+        const std::size_t suffix = name.rfind(".hits");
+        if (suffix == std::string::npos || suffix + 5 != name.size())
+            continue;
+        const std::string base = name.substr(0, suffix);
+        const std::uint64_t misses = counter(base + ".misses");
+        const std::uint64_t total = hits + misses;
+        if (total == 0)
+            continue;
+        rates.emplace_back(base + ".hit_rate",
+                           double(hits) / double(total));
+    }
+    return rates;
+}
+
+std::string
+Snapshot::format() const
+{
+    std::string out;
+    char line[256];
+    if (!counters.empty()) {
+        out += "counters:\n";
+        for (const auto &[name, v] : counters) {
+            std::snprintf(line, sizeof(line), "  %-36s %12llu\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(v));
+            out += line;
+        }
+    }
+    const auto rates = hitRates();
+    if (!rates.empty()) {
+        out += "derived:\n";
+        for (const auto &[name, r] : rates) {
+            const std::string base = name.substr(0, name.rfind('.'));
+            std::snprintf(
+                line, sizeof(line), "  %-36s %11.1f%%  (%llu/%llu)\n",
+                name.c_str(), 100.0 * r,
+                static_cast<unsigned long long>(counter(base + ".hits")),
+                static_cast<unsigned long long>(
+                    counter(base + ".hits") + counter(base + ".misses")));
+            out += line;
+        }
+    }
+    if (!gauges.empty()) {
+        out += "gauges:\n";
+        for (const auto &[name, v] : gauges) {
+            std::snprintf(line, sizeof(line), "  %-36s %12.4g\n",
+                          name.c_str(), v);
+            out += line;
+        }
+    }
+    if (!histograms.empty()) {
+        out += "histograms:          "
+               "count      mean       p50       p90       p99       max\n";
+        for (const auto &[name, h] : histograms) {
+            std::snprintf(line, sizeof(line),
+                          "  %-16s %8llu %9s %9s %9s %9s %9s\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(h.count),
+                          humanTime(h.meanS()).c_str(),
+                          humanTime(h.p50S).c_str(),
+                          humanTime(h.p90S).c_str(),
+                          humanTime(h.p99S).c_str(),
+                          humanTime(h.maxS).c_str());
+            out += line;
+        }
+    }
+    return out;
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::string s = "{\n  \"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        s += (i ? ", " : "") + jsonQuote(counters[i].first) + ": " +
+             std::to_string(counters[i].second);
+    }
+    s += "},\n  \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        s += (i ? ", " : "") + jsonQuote(gauges[i].first) + ": " +
+             jsonNum(gauges[i].second);
+    }
+    s += "},\n  \"derived\": {";
+    const auto rates = hitRates();
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        s += (i ? ", " : "") + jsonQuote(rates[i].first) + ": " +
+             jsonNum(rates[i].second);
+    }
+    s += "},\n  \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const auto &[name, h] = histograms[i];
+        s += (i ? ",\n    " : "\n    ") + jsonQuote(name) + ": {";
+        s += "\"count\": " + std::to_string(h.count);
+        s += ", \"sum_s\": " + jsonNum(h.sumS);
+        s += ", \"mean_s\": " + jsonNum(h.meanS());
+        s += ", \"min_s\": " + jsonNum(h.minS);
+        s += ", \"max_s\": " + jsonNum(h.maxS);
+        s += ", \"p50_s\": " + jsonNum(h.p50S);
+        s += ", \"p90_s\": " + jsonNum(h.p90S);
+        s += ", \"p99_s\": " + jsonNum(h.p99S);
+        s += "}";
+    }
+    s += histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+    return s;
+}
+
+} // namespace neurometer::obs

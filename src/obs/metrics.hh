@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Process-wide metrics registry: named monotonic counters, gauges, and
+ * latency histograms, unified behind one snapshot/merge API.
+ *
+ * Hot-path writes are sharded per thread: every thread owns a private
+ * slab of relaxed atomics, so an increment is one uncontended
+ * fetch_add with no shared cache line — "lock-free-ish" in the sense
+ * that the only lock in the system guards name interning and shard
+ * registration, never a metric update. snapshot() merges all shards
+ * (including those of threads that have already exited; the registry
+ * keeps every shard alive) into a point-in-time Snapshot that can be
+ * formatted for humans or serialized to JSON for run manifests.
+ *
+ * Handles are cheap value types resolved once by name; call sites keep
+ * them in function-local statics:
+ *
+ *   static const obs::Counter hits = obs::counter("eval_cache.hits");
+ *   hits.inc();
+ *
+ * Histograms record durations in seconds into power-of-two nanosecond
+ * buckets; quantiles reported by a snapshot are bucket upper bounds
+ * (≤ 2x over-estimates, which is plenty for "where does wall-clock
+ * go" questions — use the tracer for exact per-span timings).
+ */
+
+#ifndef NEUROMETER_OBS_METRICS_HH
+#define NEUROMETER_OBS_METRICS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neurometer::obs {
+
+/** Monotonic counter handle (per-thread sharded; see file comment). */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) const;
+
+  private:
+    friend class Registry;
+    explicit Counter(std::uint32_t id) : _id(id) {}
+    std::uint32_t _id;
+};
+
+/** Last-write-wins scalar (not sharded: one atomic per gauge). */
+class Gauge
+{
+  public:
+    void set(double v) const;
+    void add(double v) const;
+
+  private:
+    friend class Registry;
+    explicit Gauge(std::uint32_t id) : _id(id) {}
+    std::uint32_t _id;
+};
+
+/** Latency histogram handle; record() takes seconds. */
+class Histogram
+{
+  public:
+    void record(double seconds) const;
+
+  private:
+    friend class Registry;
+    explicit Histogram(std::uint32_t id) : _id(id) {}
+    std::uint32_t _id;
+};
+
+/** Merged view of one histogram at snapshot time. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double sumS = 0.0;
+    double minS = 0.0;
+    double maxS = 0.0;
+    /** @name Bucket-upper-bound quantiles (see file comment) */
+    /** @{ */
+    double p50S = 0.0;
+    double p90S = 0.0;
+    double p99S = 0.0;
+    /** @} */
+
+    double meanS() const { return count == 0 ? 0.0 : sumS / double(count); }
+};
+
+/**
+ * Point-in-time merge of every shard, sorted by metric name. The one
+ * formatting path for run telemetry: the CLI, the benches, and the
+ * run manifests all render metrics through format()/toJson().
+ */
+struct Snapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /** Value of a counter, or 0 when it was never registered. */
+    std::uint64_t counter(const std::string &name) const;
+
+    /**
+     * Derived ratios: for every counter pair `<base>.hits` /
+     * `<base>.misses` with at least one event, (`<base>.hit_rate`,
+     * rate in [0,1]). This is how cache hit rates reach manifests
+     * without every cache hand-rolling the division.
+     */
+    std::vector<std::pair<std::string, double>> hitRates() const;
+
+    /** Human-readable multi-line rendering (aligned, rate-annotated). */
+    std::string format() const;
+
+    /** JSON object: counters, gauges, derived rates, histograms. */
+    std::string toJson() const;
+};
+
+/** The process-wide metric namespace. */
+class Registry
+{
+  public:
+    /** Intern `name` (registering it on first use) -> stable handle.
+     *  The same name always resolves to the same underlying metric. */
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    Histogram histogram(const std::string &name);
+
+    /** Merge every shard into a consistent-enough point-in-time view
+     *  (individual cells are read with relaxed atomics). */
+    Snapshot snapshot() const;
+
+    /**
+     * Zero every counter/gauge/histogram cell, keeping registrations
+     * and handles valid. Data-race-free against concurrent writers,
+     * but increments in flight may land on either side of the sweep —
+     * reset between phases, not during one (tests, cold-cache benches).
+     */
+    void reset();
+
+  private:
+    friend Registry &registry();
+    Registry() = default;
+};
+
+/** The singleton registry (never destroyed: safe from late threads). */
+Registry &registry();
+
+/** @name Convenience: registry().counter(name) etc. */
+/** @{ */
+inline Counter counter(const std::string &name)
+{
+    return registry().counter(name);
+}
+inline Gauge gauge(const std::string &name)
+{
+    return registry().gauge(name);
+}
+inline Histogram histogram(const std::string &name)
+{
+    return registry().histogram(name);
+}
+inline Snapshot snapshot()
+{
+    return registry().snapshot();
+}
+/** @} */
+
+/** RAII timer: records its scope's duration into a histogram. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram h)
+        : _h(h), _t0(std::chrono::steady_clock::now())
+    {}
+    ~ScopedTimer()
+    {
+        _h.record(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - _t0)
+                      .count());
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram _h;
+    std::chrono::steady_clock::time_point _t0;
+};
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_OBS_METRICS_HH

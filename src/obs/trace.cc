@@ -1,0 +1,214 @@
+#include "obs/trace.hh"
+
+#if NEUROMETER_TRACE_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/manifest.hh"
+
+namespace neurometer::obs {
+
+namespace {
+
+constexpr std::size_t kRingCapacity = std::size_t(1) << 16;
+
+struct TraceEvent
+{
+    const char *name;
+    std::uint64_t arg;
+    std::uint64_t startNs;
+    std::uint64_t durNs;
+};
+
+struct TraceBuffer
+{
+    // Locked by the owning thread per event end and by exporters; the
+    // lock is private to one thread's buffer, so it is effectively
+    // uncontended on the hot path.
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;       ///< write cursor (wraps at capacity)
+    std::uint64_t stored = 0;   ///< min(total written, capacity)
+    int tid = 0;
+};
+
+struct TraceState
+{
+    std::mutex mu; ///< guards the buffer list / tid assignment
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::atomic<bool> enabled{true};
+    int nextTid = 1;
+};
+
+TraceState &
+state()
+{
+    // Leaked on purpose (mirrors obs/metrics): late threads may still
+    // close spans during static destruction.
+    static TraceState *s = new TraceState;
+    return *s;
+}
+
+std::uint64_t
+nowNs()
+{
+    // Anchored at first use so timestamps are small positive offsets.
+    static const std::chrono::steady_clock::time_point anchor =
+        std::chrono::steady_clock::now();
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - anchor)
+            .count());
+}
+
+TraceBuffer &
+localBuffer()
+{
+    thread_local std::shared_ptr<TraceBuffer> tls;
+    if (!tls) {
+        tls = std::make_shared<TraceBuffer>();
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lk(s.mu);
+        tls->tid = s.nextTid++;
+        s.buffers.push_back(tls);
+    }
+    return *tls;
+}
+
+} // namespace
+
+RealTraceScope::RealTraceScope(const char *name, std::uint64_t arg)
+    : _name(name), _arg(arg), _startNs(0),
+      _live(state().enabled.load(std::memory_order_relaxed))
+{
+    if (_live)
+        _startNs = nowNs();
+}
+
+RealTraceScope::~RealTraceScope()
+{
+    if (!_live)
+        return;
+    const std::uint64_t end = nowNs();
+    TraceBuffer &b = localBuffer();
+    std::lock_guard<std::mutex> lk(b.mu);
+    if (b.ring.size() < kRingCapacity) {
+        b.ring.push_back({_name, _arg, _startNs, end - _startNs});
+        b.next = b.ring.size() % kRingCapacity;
+    } else {
+        b.ring[b.next] = {_name, _arg, _startNs, end - _startNs};
+        b.next = (b.next + 1) % kRingCapacity;
+    }
+    b.stored = b.ring.size();
+}
+
+void
+setTraceEnabled(bool on)
+{
+    state().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+traceEnabled()
+{
+    return state().enabled.load(std::memory_order_relaxed);
+}
+
+void
+clearTrace()
+{
+    TraceState &s = state();
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        buffers = s.buffers;
+    }
+    for (const auto &b : buffers) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        b->ring.clear();
+        b->next = 0;
+        b->stored = 0;
+    }
+}
+
+std::uint64_t
+traceEventCount()
+{
+    TraceState &s = state();
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        buffers = s.buffers;
+    }
+    std::uint64_t n = 0;
+    for (const auto &b : buffers) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        n += b->stored;
+    }
+    return n;
+}
+
+std::string
+traceToJson()
+{
+    TraceState &s = state();
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        buffers = s.buffers;
+    }
+
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+    char line[256];
+    for (const auto &b : buffers) {
+        std::vector<TraceEvent> events;
+        int tid;
+        {
+            std::lock_guard<std::mutex> lk(b->mu);
+            tid = b->tid;
+            events.reserve(b->ring.size());
+            // Oldest first: once the ring has wrapped, `next` points
+            // at the oldest surviving event.
+            const std::size_t n = b->ring.size();
+            const std::size_t start =
+                n < kRingCapacity ? 0 : b->next;
+            for (std::size_t i = 0; i < n; ++i)
+                events.push_back(b->ring[(start + i) % n]);
+        }
+        if (events.empty())
+            continue;
+        if (!first)
+            out += ",\n";
+        first = false;
+        std::snprintf(line, sizeof(line),
+                      "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                      "\"pid\": 1, \"tid\": %d, "
+                      "\"args\": {\"name\": \"thread %d\"}}",
+                      tid, tid);
+        out += line;
+        for (const TraceEvent &e : events) {
+            std::snprintf(line, sizeof(line),
+                          ",\n{\"name\": %s, \"cat\": \"neurometer\", "
+                          "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                          "\"pid\": 1, \"tid\": %d, "
+                          "\"args\": {\"arg\": %llu}}",
+                          jsonQuote(e.name).c_str(),
+                          double(e.startNs) / 1e3, double(e.durNs) / 1e3,
+                          tid,
+                          static_cast<unsigned long long>(e.arg));
+            out += line;
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_TRACE_ENABLED

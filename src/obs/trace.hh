@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Scoped tracer: RAII TraceScope spans with thread ids and
+ * steady-clock timestamps, ring-buffered per thread and exported as
+ * Chrome trace-event JSON — load the file in chrome://tracing or
+ * https://ui.perfetto.dev to see where wall-clock goes inside a sweep.
+ *
+ * The tracer is compiled in only when the NEUROMETER_TRACE CMake
+ * option is ON (the default, and on in CI), which defines
+ * NEUROMETER_TRACE_ENABLED=1 for the whole tree. When OFF, TraceScope
+ * aliases an empty struct whose constructor takes and ignores the
+ * same arguments, so call sites compile unchanged and optimize to
+ * nothing — tests static_assert the type is empty.
+ *
+ * When compiled in, tracing can still be switched off at runtime
+ * (setTraceEnabled(false)); a disabled span skips the clock reads.
+ * Span names must be string literals (or otherwise outlive the trace):
+ * only the pointer is stored. The optional integer arg lands in the
+ * event's "args" — sweeps use it for the point index.
+ */
+
+#ifndef NEUROMETER_OBS_TRACE_HH
+#define NEUROMETER_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#ifndef NEUROMETER_TRACE_ENABLED
+#define NEUROMETER_TRACE_ENABLED 0
+#endif
+
+namespace neurometer::obs {
+
+/** The compiled-out stand-in: same shape, zero size, zero cost. */
+struct NullTraceScope
+{
+    explicit NullTraceScope(const char *, std::uint64_t = 0) {}
+    NullTraceScope(const NullTraceScope &) = delete;
+    NullTraceScope &operator=(const NullTraceScope &) = delete;
+};
+
+#if NEUROMETER_TRACE_ENABLED
+
+/** One timed span: records [construction, destruction) of its scope. */
+class RealTraceScope
+{
+  public:
+    explicit RealTraceScope(const char *name, std::uint64_t arg = 0);
+    ~RealTraceScope();
+    RealTraceScope(const RealTraceScope &) = delete;
+    RealTraceScope &operator=(const RealTraceScope &) = delete;
+
+  private:
+    const char *_name;
+    std::uint64_t _arg;
+    std::uint64_t _startNs;
+    bool _live;
+};
+
+using TraceScope = RealTraceScope;
+inline constexpr bool traceCompiledIn = true;
+
+/** Runtime switch (default on). Spans opened while off are dropped. */
+void setTraceEnabled(bool on);
+bool traceEnabled();
+
+/** Drop every buffered event (thread buffers stay registered). */
+void clearTrace();
+
+/** Events currently buffered across all threads. */
+std::uint64_t traceEventCount();
+
+/**
+ * Chrome trace-event JSON of every buffered span: one "X" (complete)
+ * event per span plus a thread_name metadata event per thread. Each
+ * per-thread ring holds the most recent 64Ki spans; older ones are
+ * overwritten (total-started counts are in traceEventCount callers'
+ * hands via metrics counters, not here).
+ */
+std::string traceToJson();
+
+#else // !NEUROMETER_TRACE_ENABLED
+
+using TraceScope = NullTraceScope;
+inline constexpr bool traceCompiledIn = false;
+
+inline void setTraceEnabled(bool) {}
+inline bool traceEnabled()
+{
+    return false;
+}
+inline void clearTrace() {}
+inline std::uint64_t traceEventCount()
+{
+    return 0;
+}
+inline std::string traceToJson()
+{
+    return "{\"traceEvents\": []}\n";
+}
+
+#endif // NEUROMETER_TRACE_ENABLED
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_OBS_TRACE_HH

@@ -1,0 +1,662 @@
+/**
+ * @file
+ * The observability subsystem: metrics-registry correctness under
+ * concurrent increments (this binary also runs in the TSan CI job),
+ * Chrome-trace JSON validity (parsed back by a mini JSON reader),
+ * manifest round-trips, sweep progress observation, and the guarantee
+ * that a TRACE=OFF build compiles TraceScope to an empty struct.
+ */
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON reader — just enough to verify that
+// what obs/ emits is well-formed and contains what we expect. Throws
+// std::runtime_error on malformed input, which fails the test.
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    const JsonValue *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &s) : _s(s) {}
+
+    JsonValue parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (_i != _s.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(_i) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (_i < _s.size() &&
+               (_s[_i] == ' ' || _s[_i] == '\n' || _s[_i] == '\t' ||
+                _s[_i] == '\r'))
+            ++_i;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (_i >= _s.size())
+            fail("unexpected end");
+        return _s[_i];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_i;
+    }
+
+    JsonValue value()
+    {
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.text = string();
+            return v;
+          }
+          case 't':
+          case 'f':
+            return boolean();
+          case 'n':
+            literal("null");
+            return {};
+          default:
+            return number();
+        }
+    }
+
+    void literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++_i)
+            if (_i >= _s.size() || _s[_i] != *p)
+                fail(std::string("bad literal, wanted ") + word);
+    }
+
+    JsonValue boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue number()
+    {
+        const std::size_t start = _i;
+        if (_i < _s.size() && (_s[_i] == '-' || _s[_i] == '+'))
+            ++_i;
+        while (_i < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_i])) ||
+                _s[_i] == '.' || _s[_i] == 'e' || _s[_i] == 'E' ||
+                _s[_i] == '-' || _s[_i] == '+'))
+            ++_i;
+        if (_i == start)
+            fail("expected number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(_s.substr(start, _i - start));
+        return v;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_i >= _s.size())
+                fail("unterminated string");
+            const char c = _s[_i++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_i >= _s.size())
+                fail("unterminated escape");
+            const char e = _s[_i++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (_i + 4 > _s.size())
+                    fail("short \\u escape");
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(_s.substr(_i, 4), nullptr, 16));
+                _i += 4;
+                // Control-plane only: obs emits \u00XX for controls.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++_i;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++_i;
+            return v;
+        }
+        while (true) {
+            std::string key = string();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _i = 0;
+};
+
+JsonValue
+parseJson(const std::string &s)
+{
+    return JsonParser(s).parse();
+}
+
+std::uint64_t
+snapshotCounter(const char *name)
+{
+    return obs::snapshot().counter(name);
+}
+
+// ---------------------------------------------------------------------
+// Compile-time guarantees: the compiled-out TraceScope must cost
+// nothing — an empty struct the optimizer erases entirely.
+
+static_assert(std::is_empty_v<obs::NullTraceScope>,
+              "NullTraceScope must be an empty type");
+#if !NEUROMETER_TRACE_ENABLED
+static_assert(std::is_same_v<obs::TraceScope, obs::NullTraceScope>,
+              "TRACE=OFF must alias TraceScope to the null scope");
+static_assert(!obs::traceCompiledIn);
+#else
+static_assert(obs::traceCompiledIn);
+#endif
+
+// ---------------------------------------------------------------------
+
+TEST(Metrics, CounterSumsAcrossThreads)
+{
+    static const obs::Counter c = obs::counter("test.mt_counter");
+    const std::uint64_t before = snapshotCounter("test.mt_counter");
+
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 20000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([] {
+            for (int i = 0; i < kIncrements; ++i)
+                c.inc();
+        });
+    }
+    for (std::thread &t : ts)
+        t.join();
+
+    EXPECT_EQ(snapshotCounter("test.mt_counter") - before,
+              std::uint64_t(kThreads) * kIncrements);
+}
+
+TEST(Metrics, SameNameSameMetric)
+{
+    const obs::Counter a = obs::counter("test.same_name");
+    const obs::Counter b = obs::counter("test.same_name");
+    const std::uint64_t before = snapshotCounter("test.same_name");
+    a.inc(3);
+    b.inc(4);
+    EXPECT_EQ(snapshotCounter("test.same_name") - before, 7u);
+}
+
+TEST(Metrics, CounterBulkIncrement)
+{
+    const obs::Counter c = obs::counter("test.bulk");
+    const std::uint64_t before = snapshotCounter("test.bulk");
+    c.inc(1000);
+    EXPECT_EQ(snapshotCounter("test.bulk") - before, 1000u);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    const obs::Gauge g = obs::gauge("test.gauge");
+    g.set(2.5);
+    g.add(1.25);
+    const obs::Snapshot snap = obs::snapshot();
+    double v = -1.0;
+    for (const auto &[name, value] : snap.gauges)
+        if (name == "test.gauge")
+            v = value;
+    EXPECT_DOUBLE_EQ(v, 3.75);
+}
+
+TEST(Metrics, HistogramConcurrentStats)
+{
+    static const obs::Histogram h = obs::histogram("test.mt_hist");
+
+    // Record from several threads, exact values: 1us..8us. Count and
+    // sum must be exact; min/max exact; quantiles are bucket upper
+    // bounds, so only monotonicity and bounds are asserted.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(double(1 + (t + i) % 8) * 1e-6);
+        });
+    }
+    for (std::thread &t : ts)
+        t.join();
+
+    const obs::Snapshot snap = obs::snapshot();
+    const obs::HistogramSnapshot *hs = nullptr;
+    for (const auto &[name, s] : snap.histograms)
+        if (name == "test.mt_hist")
+            hs = &s;
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->count, std::uint64_t(kThreads) * kPerThread);
+    // Sum in integral nanoseconds -> exact: each thread cycles 250
+    // full passes over {1..8}us, so 250 * 36us per thread.
+    EXPECT_NEAR(hs->sumS, double(kThreads) * 250.0 * 36.0e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(hs->minS, 1e-6);
+    EXPECT_DOUBLE_EQ(hs->maxS, 8e-6);
+    EXPECT_LE(hs->p50S, hs->p90S);
+    EXPECT_LE(hs->p90S, hs->p99S);
+    EXPECT_GE(hs->p50S, hs->minS);
+    // Upper-bound quantile: at most 2x the true value.
+    EXPECT_LE(hs->p99S, 2.0 * hs->maxS);
+    EXPECT_GT(hs->meanS(), 0.0);
+}
+
+TEST(Metrics, DerivedHitRates)
+{
+    obs::counter("test_cache.hits").inc(3);
+    obs::counter("test_cache.misses").inc(1);
+    const obs::Snapshot snap = obs::snapshot();
+    double rate = -1.0;
+    for (const auto &[name, v] : snap.hitRates())
+        if (name == "test_cache.hit_rate")
+            rate = v;
+    EXPECT_DOUBLE_EQ(rate, 0.75);
+}
+
+TEST(Metrics, SnapshotJsonParses)
+{
+    obs::counter("test.json_counter").inc(42);
+    obs::gauge("test.json_gauge").set(1.5);
+    obs::histogram("test.json_hist").record(1e-3);
+
+    const JsonValue root = parseJson(obs::snapshot().toJson());
+    ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+
+    const JsonValue *counters = root.find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *c = counters->find("test.json_counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_GE(c->number, 42.0);
+
+    const JsonValue *gauges = root.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_NE(gauges->find("test.json_gauge"), nullptr);
+
+    const JsonValue *hists = root.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *h = hists->find("test.json_hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_NE(h->find("count"), nullptr);
+    EXPECT_NE(h->find("p99_s"), nullptr);
+}
+
+TEST(Metrics, FormatMentionsEveryMetric)
+{
+    obs::counter("test.fmt_counter").inc();
+    obs::gauge("test.fmt_gauge").set(7.0);
+    obs::histogram("test.fmt_hist").record(2e-6);
+    const std::string text = obs::snapshot().format();
+    EXPECT_NE(text.find("test.fmt_counter"), std::string::npos);
+    EXPECT_NE(text.find("test.fmt_gauge"), std::string::npos);
+    EXPECT_NE(text.find("test.fmt_hist"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles)
+{
+    const obs::Counter c = obs::counter("test.reset_me");
+    c.inc(5);
+    EXPECT_GE(snapshotCounter("test.reset_me"), 5u);
+    obs::registry().reset();
+    EXPECT_EQ(snapshotCounter("test.reset_me"), 0u);
+    c.inc(); // handle still valid after reset
+    EXPECT_EQ(snapshotCounter("test.reset_me"), 1u);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(Manifest, JsonQuoteEscapes)
+{
+    const std::string quoted =
+        obs::jsonQuote("a\"b\\c\nd\te\x01f");
+    const JsonValue v = parseJson(quoted);
+    ASSERT_EQ(v.kind, JsonValue::Kind::String);
+    EXPECT_EQ(v.text, "a\"b\\c\nd\te\x01f");
+}
+
+TEST(Manifest, JsonNumNonFiniteIsNull)
+{
+    EXPECT_EQ(obs::jsonNum(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(obs::jsonNum(std::nan("")), "null");
+    const JsonValue v = parseJson(obs::jsonNum(0.1));
+    EXPECT_DOUBLE_EQ(v.number, 0.1);
+}
+
+TEST(Manifest, BuilderRendersTypedValues)
+{
+    obs::ManifestBuilder m;
+    m.set("s", "hello \"world\"\n")
+        .set("d", 2.5)
+        .set("i", std::int64_t(-7))
+        .set("b", true)
+        .raw("arr", "[1, 2, 3]");
+    const JsonValue root = parseJson(m.str());
+    ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+    EXPECT_EQ(root.find("s")->text, "hello \"world\"\n");
+    EXPECT_DOUBLE_EQ(root.find("d")->number, 2.5);
+    EXPECT_DOUBLE_EQ(root.find("i")->number, -7.0);
+    EXPECT_TRUE(root.find("b")->boolean);
+    ASSERT_EQ(root.find("arr")->kind, JsonValue::Kind::Array);
+    EXPECT_EQ(root.find("arr")->items.size(), 3u);
+}
+
+TEST(Manifest, RunManifestHeaderAndRoundTrip)
+{
+    obs::ManifestBuilder m =
+        obs::runManifest("test_obs", "test_obs --round-trip");
+    m.set("extra", std::int64_t(1));
+    const std::string path = ::testing::TempDir() + "/obs_manifest.json";
+    obs::writeTextFile(path, m.str());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const JsonValue root = parseJson(content);
+    EXPECT_EQ(root.find("tool")->text, "test_obs");
+    EXPECT_EQ(root.find("command")->text, "test_obs --round-trip");
+    ASSERT_NE(root.find("created_at"), nullptr);
+    ASSERT_NE(root.find("git_describe"), nullptr);
+    ASSERT_NE(root.find("compiler"), nullptr);
+    EXPECT_EQ(root.find("trace_enabled")->boolean,
+              obs::traceCompiledIn);
+    EXPECT_DOUBLE_EQ(root.find("extra")->number, 1.0);
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, WriteMetricsManifestEmbedsSnapshot)
+{
+    obs::counter("test.manifest_counter").inc(9);
+    const std::string path = ::testing::TempDir() + "/obs_metrics.json";
+    obs::writeMetricsManifest("test_obs", path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const JsonValue root = parseJson(content);
+    const JsonValue *metrics = root.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_EQ(metrics->kind, JsonValue::Kind::Object);
+    const JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("test.manifest_counter"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, WriteTextFileFailureThrows)
+{
+    EXPECT_THROW(
+        obs::writeTextFile("/nonexistent-dir/x/y/manifest.json", "{}"),
+        ConfigError);
+}
+
+// ---------------------------------------------------------------------
+
+#if NEUROMETER_TRACE_ENABLED
+TEST(Trace, RoundTripThroughChromeJson)
+{
+    obs::clearTrace();
+    obs::setTraceEnabled(true);
+
+    {
+        obs::TraceScope outer("test.outer", 7);
+        obs::TraceScope inner("test.inner");
+    }
+    std::thread([] {
+        obs::TraceScope span("test.worker", 3);
+    }).join();
+
+    EXPECT_GE(obs::traceEventCount(), 3u);
+    const JsonValue root = parseJson(obs::traceToJson());
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+    std::set<std::string> names;
+    std::set<double> tids;
+    bool saw_thread_name = false;
+    for (const JsonValue &e : events->items) {
+        const std::string ph = e.find("ph")->text;
+        if (ph == "M") {
+            saw_thread_name = true;
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        names.insert(e.find("name")->text);
+        tids.insert(e.find("tid")->number);
+        EXPECT_GE(e.find("dur")->number, 0.0);
+        EXPECT_GE(e.find("ts")->number, 0.0);
+    }
+    EXPECT_TRUE(saw_thread_name);
+    EXPECT_TRUE(names.count("test.outer"));
+    EXPECT_TRUE(names.count("test.inner"));
+    EXPECT_TRUE(names.count("test.worker"));
+    EXPECT_GE(tids.size(), 2u) << "worker thread must get its own tid";
+
+    // The span arg must survive: find test.outer and check args.arg.
+    for (const JsonValue &e : events->items) {
+        if (e.find("ph")->text == "X" &&
+            e.find("name")->text == "test.outer") {
+            const JsonValue *args = e.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_DOUBLE_EQ(args->find("arg")->number, 7.0);
+        }
+    }
+    obs::clearTrace();
+}
+
+TEST(Trace, RuntimeDisableDropsSpans)
+{
+    obs::clearTrace();
+    obs::setTraceEnabled(false);
+    {
+        obs::TraceScope span("test.dropped");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+    obs::setTraceEnabled(true);
+}
+#else
+TEST(Trace, CompiledOutStubIsValidEmptyJson)
+{
+    const JsonValue root = parseJson(obs::traceToJson());
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->items.size(), 0u);
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+#endif
+
+// ---------------------------------------------------------------------
+
+TEST(SweepProgress, ObserverSeesMonotoneDoneAndFinalTotal)
+{
+    ChipConfig base;
+    SweepGrid grid;
+    grid.tuLengths = {8, 16};
+    grid.tuPerCore = {1, 2};
+
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.progressIntervalS = 0.0; // report every point
+    std::mutex mu;
+    std::vector<SweepProgress> seen;
+    opts.onProgress = [&](const SweepProgress &p) {
+        std::lock_guard<std::mutex> lk(mu);
+        seen.push_back(p);
+    };
+
+    SweepEngine engine(base, opts);
+    const std::vector<EvalRecord> records = engine.run(grid);
+    EXPECT_EQ(records.size(), 4u);
+
+    ASSERT_FALSE(seen.empty());
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_GE(seen[i].done, seen[i - 1].done) << "reports reorder";
+    const SweepProgress &last = seen.back();
+    EXPECT_EQ(last.done, 4u);
+    EXPECT_EQ(last.total, 4u);
+    EXPECT_EQ(last.etaS, 0.0);
+    EXPECT_GT(last.pointsPerS, 0.0);
+    EXPECT_GE(last.evalCache.misses, 1u);
+}
+
+TEST(SweepProgress, NoObserverStillCounts)
+{
+    const std::uint64_t before = snapshotCounter("sweep.points");
+    ChipConfig base;
+    SweepGrid grid;
+    grid.tuLengths = {8};
+    SweepEngine engine(base, {});
+    engine.run(grid);
+    EXPECT_GE(snapshotCounter("sweep.points") - before, 1u);
+}
+
+TEST(Instrumentation, ChipBuildFeedsRegistry)
+{
+    const std::uint64_t builds = snapshotCounter("chip.builds");
+    const std::uint64_t searches =
+        snapshotCounter("memory_search.searches");
+    ChipModel chip{ChipConfig{}};
+    (void)chip;
+    EXPECT_EQ(snapshotCounter("chip.builds"), builds + 1);
+    EXPECT_GT(snapshotCounter("memory_search.searches"), searches);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON export against a checked-in
+reference, and sanity-check run manifests.
+
+Benchmark mode (the CI perf-smoke gate):
+
+    compare_bench.py --current bench_now.json \
+        --reference BENCH_memory_opt.json [--tolerance 0.25]
+
+  * every benchmark name in the reference must appear in the current
+    run (missing names mean the bench was renamed without updating the
+    reference);
+  * the pruned-vs-exhaustive memory-optimizer speedup must hold:
+    current speedup >= (1 - tolerance) * reference speedup. Absolute
+    nanoseconds are machine-dependent, so the gate is the *ratio* —
+    stable across hosts and the thing PR a50daf7 actually promised.
+
+Manifest mode (structural validation of an obs run manifest):
+
+    compare_bench.py --manifest sweep.csv.manifest.json
+
+  * required header keys present;
+  * embedded metrics snapshot has counters;
+  * every derived hit rate is a number in [0, 1].
+
+Exit code 0 = all checks pass, 1 = a check failed, 2 = bad usage.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_MANIFEST_KEYS = (
+    "tool",
+    "command",
+    "created_at",
+    "git_describe",
+    "compiler",
+    "build_type",
+    "trace_enabled",
+)
+
+
+def fail(msg):
+    print(f"compare_bench: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def mean_time(benchmarks, prefix):
+    """Mean real_time of all entries whose name starts with prefix."""
+    times = [
+        b["real_time"]
+        for b in benchmarks
+        if b["name"].startswith(prefix) and b.get("run_type") != "aggregate"
+    ]
+    if not times:
+        return None
+    return sum(times) / len(times)
+
+
+def check_benchmarks(current_path, reference_path, tolerance):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(reference_path) as f:
+        reference = json.load(f)
+
+    cur_names = {b["name"] for b in current["benchmarks"]}
+    ref_names = {b["name"] for b in reference["benchmarks"]}
+    missing = sorted(ref_names - cur_names)
+    if missing:
+        return fail(f"benchmarks missing from current run: {missing}")
+
+    checks = 0
+    for pruned, exhaustive in [
+        ("BM_MemoryOptimizer/", "BM_MemoryOptimizerExhaustive/")
+    ]:
+        ref_p = mean_time(reference["benchmarks"], pruned)
+        ref_e = mean_time(reference["benchmarks"], exhaustive)
+        cur_p = mean_time(current["benchmarks"], pruned)
+        cur_e = mean_time(current["benchmarks"], exhaustive)
+        if None in (ref_p, ref_e, cur_p, cur_e):
+            continue
+        ref_speedup = ref_e / ref_p
+        cur_speedup = cur_e / cur_p
+        floor = (1.0 - tolerance) * ref_speedup
+        print(
+            f"compare_bench: {pruned.rstrip('/')}: speedup "
+            f"{cur_speedup:.2f}x vs reference {ref_speedup:.2f}x "
+            f"(floor {floor:.2f}x)"
+        )
+        if cur_speedup < floor:
+            return fail(
+                f"{pruned.rstrip('/')} speedup regressed: "
+                f"{cur_speedup:.2f}x < floor {floor:.2f}x"
+            )
+        checks += 1
+    if checks == 0:
+        return fail("no comparable benchmark pairs found")
+    print(f"compare_bench: OK ({len(ref_names)} names, {checks} ratio checks)")
+    return 0
+
+
+def check_manifest(path):
+    with open(path) as f:
+        manifest = json.load(f)
+
+    missing = [k for k in REQUIRED_MANIFEST_KEYS if k not in manifest]
+    if missing:
+        return fail(f"manifest {path} missing keys: {missing}")
+
+    metrics = manifest.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(f"manifest {path} has no embedded metrics snapshot")
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        return fail(f"manifest {path} metrics snapshot has no counters")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            return fail(f"counter {name} is not a non-negative int: {value!r}")
+    for name, rate in metrics.get("derived", {}).items():
+        if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+            return fail(f"derived rate {name} out of [0,1]: {rate!r}")
+
+    print(
+        f"compare_bench: manifest OK: {manifest['tool']} "
+        f"({len(counters)} counters, "
+        f"{len(metrics.get('derived', {}))} derived rates)"
+    )
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", help="google-benchmark JSON from this run")
+    ap.add_argument("--reference", help="checked-in reference JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression (default 0.25)",
+    )
+    ap.add_argument("--manifest", help="obs run manifest to validate")
+    args = ap.parse_args()
+
+    if args.manifest:
+        return check_manifest(args.manifest)
+    if args.current and args.reference:
+        return check_benchmarks(args.current, args.reference, args.tolerance)
+    ap.print_usage(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,34 @@
 /**
  * @file
  * The `neurometer` command-line front-end: evaluate a chip described
- * by a config file, sweep any schema field over named axes, or list
- * the schema itself. This is the paper's Fig. 1 input interface as an
- * invokable product — a declarative architecture spec in, PAT
- * breakdowns / CSV / JSON out, no C++ required.
+ * by a config file, sweep any schema field over named axes, dump the
+ * metrics a run produced, or list the schema itself. This is the
+ * paper's Fig. 1 input interface as an invokable product — a
+ * declarative architecture spec in, PAT breakdowns / CSV / JSON out,
+ * no C++ required.
  *
  *   neurometer eval chip.cfg [--json]
  *   neurometer sweep chip.cfg --axis core.numTU=1,2,4 [--axis ...]
  *              [--out sweep.csv] [--json] [--threads N]
+ *              [--manifest FILE] [--trace FILE]
+ *   neurometer metrics chip.cfg [--json]
  *   neurometer fields
+ *
+ * Observability (see README "Observability"): sweeps render a live
+ * progress line (points done, rate, ETA, cache hit rates) to stderr
+ * when stderr is a TTY or --verbose is given — never into piped CSV —
+ * and every --out export gets a JSON run manifest (<out>.manifest.json)
+ * plus, when tracing is compiled in, a Chrome trace (<out>.trace.json).
+ * --quiet silences everything except the requested output and errors.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "chip/config_schema.hh"
 #include "neurometer/neurometer.hh"
@@ -23,12 +37,33 @@ using namespace neurometer;
 
 namespace {
 
+/** Global output verbosity, parsed (and stripped) before dispatch. */
+struct Verbosity
+{
+    bool quiet = false;
+    bool verbose = false;
+
+    /** Live progress: wanted on an interactive stderr or --verbose. */
+    bool
+    progress() const
+    {
+        return !quiet && (verbose || isatty(fileno(stderr)) != 0);
+    }
+
+    /** Post-run metrics snapshot on stderr: same policy as progress. */
+    bool
+    stats() const
+    {
+        return progress();
+    }
+};
+
 int
 usage(FILE *to)
 {
     std::fprintf(
         to,
-        "usage: neurometer <command> [args]\n"
+        "usage: neurometer [--quiet|--verbose] <command> [args]\n"
         "\n"
         "  eval <chip.cfg> [--json]\n"
         "      Build the chip and print its power/area/timing report\n"
@@ -36,12 +71,24 @@ usage(FILE *to)
         "\n"
         "  sweep <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
         "        [--out FILE] [--json] [--threads N]\n"
+        "        [--manifest FILE] [--trace FILE]\n"
         "      Cross-product sweep over named schema axes, CSV (or\n"
         "      JSON) to FILE or stdout. Axes apply on top of the\n"
-        "      config file's values.\n"
+        "      config file's values. With --out, a run manifest is\n"
+        "      written to FILE.manifest.json (override: --manifest)\n"
+        "      and, when tracing is compiled in, a Chrome trace to\n"
+        "      FILE.trace.json (override: --trace; open in\n"
+        "      chrome://tracing or ui.perfetto.dev).\n"
+        "\n"
+        "  metrics <chip.cfg> [--json]\n"
+        "      Build the chip, then dump the metrics-registry snapshot\n"
+        "      (counters, cache hit rates, latency histograms).\n"
         "\n"
         "  fields\n"
-        "      List every config field: name, type, default, range.\n");
+        "      List every config field: name, type, default, range.\n"
+        "\n"
+        "  --quiet    suppress progress and stats (errors only)\n"
+        "  --verbose  force progress/stats even when piped\n");
     return to == stderr ? 2 : 0;
 }
 
@@ -127,10 +174,65 @@ cmdEval(const std::vector<std::string> &args)
 }
 
 int
-cmdSweep(const std::vector<std::string> &args)
+cmdMetrics(const std::vector<std::string> &args)
+{
+    std::string path;
+    bool json = false;
+    for (const std::string &a : args) {
+        if (a == "--json")
+            json = true;
+        else if (!a.empty() && a[0] == '-')
+            throw ConfigError("unknown metrics option '" + a + "'");
+        else if (path.empty())
+            path = a;
+        else
+            throw ConfigError("metrics takes one config file");
+    }
+    requireConfig(!path.empty(), "metrics needs a config file");
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+    const ChipModel chip(cfg); // populates the registry
+    (void)chip;
+    const obs::Snapshot snap = obs::snapshot();
+    std::fputs(json ? snap.toJson().c_str() : snap.format().c_str(),
+               stdout);
+    return 0;
+}
+
+/** stderr progress line: "\r[sweep] 123/756 ... ETA 14s ..." */
+void
+renderProgress(const SweepProgress &p)
+{
+    std::fprintf(stderr,
+                 "\r[sweep] %zu/%zu (%3.0f%%)  %6.1f pts/s  ETA %4.0fs"
+                 "  eval-cache %4.1f%%  mem-cache %4.1f%%",
+                 p.done, p.total,
+                 p.total ? 100.0 * double(p.done) / double(p.total)
+                         : 100.0,
+                 p.pointsPerS, p.etaS, 100.0 * p.evalCache.hitRate(),
+                 100.0 * p.memoryCache.hitRate());
+    if (p.done == p.total)
+        std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+/** Shell-ish re-rendering of the invocation for the manifest. */
+std::string
+commandLine(const std::string &cmd, const std::vector<std::string> &args)
+{
+    std::string s = "neurometer " + cmd;
+    for (const std::string &a : args)
+        s += " " + a;
+    return s;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
 {
     std::string path;
     std::string out;
+    std::string manifest_path;
+    std::string trace_path;
     bool json = false;
     int threads = 0;
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
@@ -146,6 +248,10 @@ cmdSweep(const std::vector<std::string> &args)
             json = true;
         } else if (a == "--out") {
             out = next("--out");
+        } else if (a == "--manifest") {
+            manifest_path = next("--manifest");
+        } else if (a == "--trace") {
+            trace_path = next("--trace");
         } else if (a == "--threads") {
             threads = std::atoi(next("--threads").c_str());
         } else if (a == "--axis") {
@@ -179,6 +285,11 @@ cmdSweep(const std::vector<std::string> &args)
     requireConfig(!path.empty(), "sweep needs a config file");
     requireConfig(!axes.empty(),
                   "sweep needs at least one --axis PATH=V1,V2,...");
+    if (!trace_path.empty() && !obs::traceCompiledIn) {
+        std::fprintf(stderr,
+                     "neurometer: warning: --trace ignored (tracing "
+                     "compiled out; rebuild with -DNEUROMETER_TRACE=ON)\n");
+    }
 
     const ChipConfig cfg = ChipConfig::fromFile(path);
 
@@ -195,25 +306,27 @@ cmdSweep(const std::vector<std::string> &args)
                   std::vector<std::string>{
                       std::to_string(cfg.core.tu.cols)});
     }
-    for (auto &[axis_path, values] : axes)
-        grid.axis(axis_path, std::move(values));
+    // Copy (not move) the values in: `axes` is serialized into the
+    // run manifest after the sweep.
+    for (const auto &[axis_path, values] : axes)
+        grid.axis(axis_path, values);
 
     SweepOptions opts;
     opts.threads = threads;
+    if (v.progress())
+        opts.onProgress = renderProgress;
+
+    const auto t0 = std::chrono::steady_clock::now();
     SweepEngine engine(cfg, opts);
     const std::vector<EvalRecord> records = engine.run(grid);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
 
-    const CacheStats cs = engine.cache().stats();
-    const MemoryCacheStats ms = engine.memoryCacheStats();
-    std::fprintf(stderr,
-                 "eval cache: %llu hits / %llu misses (%.1f%%)\n"
-                 "memory-design cache: %llu hits / %llu misses (%.1f%%)\n",
-                 static_cast<unsigned long long>(cs.hits),
-                 static_cast<unsigned long long>(cs.misses),
-                 100.0 * cs.hitRate(),
-                 static_cast<unsigned long long>(ms.hits),
-                 static_cast<unsigned long long>(ms.misses),
-                 100.0 * ms.hitRate());
+    const obs::Snapshot snap = obs::snapshot();
+    if (v.stats())
+        std::fputs(snap.format().c_str(), stderr);
 
     const std::string rendered =
         json ? toJson(records) : toCsv(records);
@@ -221,8 +334,66 @@ cmdSweep(const std::vector<std::string> &args)
         std::fputs(rendered.c_str(), stdout);
     } else {
         writeFile(out, rendered);
-        std::printf("wrote %zu points to %s\n", records.size(),
-                    out.c_str());
+        if (!v.quiet) {
+            std::printf("wrote %zu points to %s\n", records.size(),
+                        out.c_str());
+        }
+    }
+
+    // Run manifest: written next to the export (or wherever --manifest
+    // says), so the CSV stays traceable to exactly this invocation.
+    if (manifest_path.empty() && !out.empty())
+        manifest_path = out + ".manifest.json";
+    if (!manifest_path.empty()) {
+        std::size_t feasible = 0;
+        for (const EvalRecord &r : records)
+            feasible += r.feasible() ? 1 : 0;
+
+        std::string axes_json = "[";
+        for (std::size_t i = 0; i < axes.size(); ++i) {
+            axes_json += (i ? ", {" : "{");
+            axes_json +=
+                "\"path\": " + obs::jsonQuote(axes[i].first) +
+                ", \"values\": [";
+            for (std::size_t k = 0; k < axes[i].second.size(); ++k) {
+                axes_json += (k ? ", " : "") +
+                             obs::jsonQuote(axes[i].second[k]);
+            }
+            axes_json += "]}";
+        }
+        axes_json += "]";
+
+        obs::ManifestBuilder m =
+            obs::runManifest("neurometer sweep",
+                             commandLine("sweep", args));
+        m.set("config_file", path)
+            .set("config", cfg.toString())
+            .raw("axes", axes_json)
+            .set("threads",
+                 std::int64_t(engine.pool().numThreads()))
+            .set("points", std::int64_t(records.size()))
+            .set("feasible", std::int64_t(feasible))
+            .set("output", out.empty() ? "<stdout>" : out)
+            .set("format", json ? "json" : "csv")
+            .set("elapsed_s", elapsed_s)
+            .raw("metrics", snap.toJson());
+        obs::writeTextFile(manifest_path, m.str());
+        if (!v.quiet)
+            std::printf("manifest: %s\n", manifest_path.c_str());
+    }
+
+    // Chrome trace next to the export, when the tracer is available.
+    if (trace_path.empty() && !out.empty() && obs::traceCompiledIn)
+        trace_path = out + ".trace.json";
+    if (!trace_path.empty() && obs::traceCompiledIn) {
+        obs::writeTextFile(trace_path, obs::traceToJson());
+        if (!v.quiet) {
+            std::printf("trace: %s (%llu events; open in "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        trace_path.c_str(),
+                        static_cast<unsigned long long>(
+                            obs::traceEventCount()));
+        }
     }
     return 0;
 }
@@ -232,10 +403,24 @@ cmdSweep(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::vector<std::string> raw(argv + 1, argv + argc);
+
+    // Global verbosity flags may appear anywhere; strip them here so
+    // each subcommand only sees its own options.
+    Verbosity v;
+    std::vector<std::string> rest;
+    for (const std::string &a : raw) {
+        if (a == "--quiet" || a == "-q")
+            v.quiet = true;
+        else if (a == "--verbose" || a == "-v")
+            v.verbose = true;
+        else
+            rest.push_back(a);
+    }
+    if (rest.empty())
         return usage(stderr);
-    const std::string cmd = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+    const std::string cmd = rest.front();
+    std::vector<std::string> args(rest.begin() + 1, rest.end());
 
     try {
         if (cmd == "fields")
@@ -243,7 +428,9 @@ main(int argc, char **argv)
         if (cmd == "eval")
             return cmdEval(args);
         if (cmd == "sweep")
-            return cmdSweep(args);
+            return cmdSweep(args, v);
+        if (cmd == "metrics")
+            return cmdMetrics(args);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage(stdout);
         std::fprintf(stderr, "neurometer: unknown command '%s'\n\n",
