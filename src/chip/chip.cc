@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/fault.hh"
 #include "common/units.hh"
 #include "components/noc.hh"
 #include "components/periph.hh"
@@ -49,6 +50,7 @@ ChipModel::ChipModel(const ChipConfig &cfg) : _cfg(cfg)
         obs::histogram("chip.build_s");
     builds.inc();
     obs::ScopedTimer timer(build_hist);
+    faultInjector().at("chip.build");
 
     {
         // Phase 1: validation, tech resolution, and the core model —

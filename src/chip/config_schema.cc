@@ -208,12 +208,21 @@ ChipConfig::fromString(const std::string &text, const std::string &source)
     ChipConfig cfg;
     std::unordered_set<std::string> seen;
 
+    // No legitimate config line approaches this; a longer one means a
+    // binary or corrupted file, which should fail with a line number
+    // instead of being quoted back verbatim in an error message.
+    constexpr std::size_t kMaxLineBytes = 4096;
+
     std::istringstream in(text);
     std::string raw;
     for (int line = 1; std::getline(in, raw); ++line) {
         const auto loc = [&] {
             return source + ":" + std::to_string(line) + ": ";
         };
+        if (raw.size() > kMaxLineBytes)
+            throw ConfigError(loc() + "line too long (" +
+                              std::to_string(raw.size()) + " bytes, max " +
+                              std::to_string(kMaxLineBytes) + ")");
         // '#' starts a comment anywhere on the line.
         const std::size_t hash = raw.find('#');
         const std::string stmt =

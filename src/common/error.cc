@@ -1,0 +1,80 @@
+#include "common/error.hh"
+
+#include "common/fault.hh"
+
+namespace neurometer {
+
+const char *
+errorCategoryStr(ErrorCategory c)
+{
+    switch (c) {
+      case ErrorCategory::None:
+        return "none";
+      case ErrorCategory::Config:
+        return "config";
+      case ErrorCategory::Model:
+        return "model";
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Cancelled:
+        return "cancelled";
+      case ErrorCategory::Injected:
+        return "injected";
+      case ErrorCategory::Unknown:
+        return "unknown";
+    }
+    return "unknown";
+}
+
+ErrorCategory
+errorCategoryFromStr(const std::string &s)
+{
+    if (s == "none")
+        return ErrorCategory::None;
+    if (s == "config")
+        return ErrorCategory::Config;
+    if (s == "model")
+        return ErrorCategory::Model;
+    if (s == "io")
+        return ErrorCategory::Io;
+    if (s == "cancelled")
+        return ErrorCategory::Cancelled;
+    if (s == "injected")
+        return ErrorCategory::Injected;
+    return ErrorCategory::Unknown;
+}
+
+PointError
+captureCurrentException(const std::string &site)
+{
+    PointError e;
+    e.site = site;
+    try {
+        throw; // re-raise the in-flight exception to dispatch on type
+    } catch (const InjectedFault &f) {
+        e.category = ErrorCategory::Injected;
+        e.site = f.site(); // keep the site the fault was planted at
+        e.message = f.what();
+    } catch (const ConfigError &f) {
+        e.category = ErrorCategory::Config;
+        e.message = f.what();
+    } catch (const ModelError &f) {
+        e.category = ErrorCategory::Model;
+        e.message = f.what();
+    } catch (const IoError &f) {
+        e.category = ErrorCategory::Io;
+        e.message = f.what();
+    } catch (const CancelledError &f) {
+        e.category = ErrorCategory::Cancelled;
+        e.message = f.what();
+    } catch (const std::exception &f) {
+        e.category = ErrorCategory::Unknown;
+        e.message = f.what();
+    } catch (...) {
+        e.category = ErrorCategory::Unknown;
+        e.message = "non-standard exception";
+    }
+    return e;
+}
+
+} // namespace neurometer

@@ -7,11 +7,20 @@
  *     unsatisfiable configuration) — the analog of fatal().
  *   - ModelError is thrown for internal inconsistencies that indicate a
  *     bug in NeuroMeter itself — the analog of panic().
+ *   - IoError is thrown when the filesystem fails underneath an
+ *     otherwise valid request (exports, checkpoints, manifests).
+ *
+ * On top of the exception classes sits a structured taxonomy for
+ * fault-tolerant sweeps: PointError records *what kind* of failure a
+ * design point hit (category), *where* (site), and the message, so a
+ * per-point failure survives into result rows, checkpoints, and run
+ * manifests instead of aborting a multi-hour exploration.
  */
 
 #ifndef NEUROMETER_COMMON_ERROR_HH
 #define NEUROMETER_COMMON_ERROR_HH
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +43,69 @@ class ModelError : public std::logic_error
         : std::logic_error("model error: " + msg)
     {}
 };
+
+/** Filesystem failure underneath a valid request (write, rename). */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &msg)
+        : std::runtime_error("io error: " + msg)
+    {}
+};
+
+/** A run was cancelled cooperatively (SIGINT, deadline, request). */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error("cancelled: " + msg)
+    {}
+};
+
+/**
+ * What kind of failure a design point hit. `None` is the resting state
+ * of an untouched PointError; `Injected` marks a synthetic fault from
+ * the test harness (common/fault.hh); `Unknown` is the catch-all for
+ * exceptions outside the NeuroMeter taxonomy (bad_alloc, user code).
+ */
+enum class ErrorCategory {
+    None,
+    Config,
+    Model,
+    Io,
+    Cancelled,
+    Injected,
+    Unknown,
+};
+
+/** Stable lower_snake name for an ErrorCategory (export/checkpoint). */
+const char *errorCategoryStr(ErrorCategory c);
+
+/** Inverse of errorCategoryStr(); Unknown for unrecognized text. */
+ErrorCategory errorCategoryFromStr(const std::string &s);
+
+/**
+ * One structured per-point failure: the category, the site that raised
+ * it ("memory.search", "chip.build", "sweep.eval", ...), and the
+ * original message. Empty (category None) means "no error".
+ */
+struct PointError
+{
+    ErrorCategory category = ErrorCategory::None;
+    std::string site;
+    std::string message;
+
+    bool ok() const { return category == ErrorCategory::None; }
+
+    bool operator==(const PointError &) const = default;
+};
+
+/**
+ * Classify the in-flight exception into a PointError. Call from inside
+ * a catch block; `site` labels the boundary that caught it. An
+ * InjectedFault (common/fault.hh) keeps the site it was injected at.
+ */
+PointError captureCurrentException(const std::string &site);
 
 /** Throw ConfigError unless a user-supplied condition holds. */
 inline void

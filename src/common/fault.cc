@@ -1,0 +1,129 @@
+#include "common/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace neurometer {
+
+void
+FaultInjector::arm(const std::string &site, Plan plan)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    SiteState &s = _sites[site];
+    s.plan = std::move(plan);
+    s.hits = 0;
+    s.injected = 0;
+    s.active = true;
+    _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::armFromSpec(const std::string &spec)
+{
+    const std::size_t eq = spec.find('=');
+    requireConfig(eq != std::string::npos && eq > 0 &&
+                      eq + 1 < spec.size(),
+                  "fault spec must be SITE=HITS or SITE=every:N, got '" +
+                      spec + "'");
+    const std::string site = spec.substr(0, eq);
+    const std::string rule = spec.substr(eq + 1);
+
+    Plan plan;
+    const auto parse_u64 = [&](const std::string &text) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+        requireConfig(end && *end == '\0' && !text.empty(),
+                      "bad number '" + text + "' in fault spec '" + spec +
+                          "'");
+        return std::uint64_t(v);
+    };
+    if (rule.rfind("every:", 0) == 0) {
+        std::string n = rule.substr(6);
+        const std::size_t plus = n.find('+');
+        if (plus != std::string::npos) {
+            plan.offset = parse_u64(n.substr(plus + 1));
+            n = n.substr(0, plus);
+        }
+        plan.everyN = parse_u64(n);
+        requireConfig(plan.everyN > 0,
+                      "every:N needs N >= 1 in '" + spec + "'");
+    } else {
+        std::size_t b = 0;
+        while (b <= rule.size()) {
+            const std::size_t comma = rule.find(',', b);
+            const std::size_t e =
+                comma == std::string::npos ? rule.size() : comma;
+            if (e > b)
+                plan.failHits.push_back(parse_u64(rule.substr(b, e - b)));
+            b = e + 1;
+        }
+        requireConfig(!plan.failHits.empty(),
+                      "fault spec '" + spec + "' lists no hits");
+    }
+    arm(site, std::move(plan));
+}
+
+void
+FaultInjector::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const auto it = _sites.find(site);
+    if (it != _sites.end())
+        it->second.active = false;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _sites.clear();
+    _armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultInjector::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const auto it = _sites.find(site);
+    return it == _sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+FaultInjector::injected(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const auto it = _sites.find(site);
+    return it == _sites.end() ? 0 : it->second.injected;
+}
+
+void
+FaultInjector::atSlow(const char *site)
+{
+    std::uint64_t hit = 0;
+    bool fail = false;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        const auto it = _sites.find(site);
+        if (it == _sites.end() || !it->second.active)
+            return;
+        SiteState &s = it->second;
+        hit = s.hits++;
+        const Plan &p = s.plan;
+        fail = std::find(p.failHits.begin(), p.failHits.end(), hit) !=
+               p.failHits.end();
+        fail = fail || (p.everyN > 0 && hit % p.everyN == p.offset);
+        if (fail)
+            ++s.injected;
+    }
+    if (fail)
+        throw InjectedFault(site, hit);
+}
+
+FaultInjector &
+faultInjector()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+} // namespace neurometer

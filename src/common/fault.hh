@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * Long-running sweeps must survive per-point failures, checkpoint
+ * partial progress, and never corrupt outputs — claims that can only
+ * be *proven* by making real code paths fail on demand. Hot paths
+ * register themselves as named sites (`faultInjector().at("memory.search")`)
+ * and tests arm a site with a deterministic plan: explicit hit indices
+ * or an every-Nth rule. An armed site counts every hit and throws an
+ * InjectedFault on the planned ones; a disarmed injector costs one
+ * relaxed atomic load per site visit.
+ *
+ * InjectedFault deliberately derives from std::runtime_error directly
+ * — not ConfigError/ModelError — so the result caches (EvalCache,
+ * MemoryDesignCache) never memoize a synthetic failure: the entry is
+ * left uncomputed and a later request for the same key retries.
+ */
+
+#ifndef NEUROMETER_COMMON_FAULT_HH
+#define NEUROMETER_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+/** A synthetic failure raised by an armed fault-injection site. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(const std::string &site, std::uint64_t hit)
+        : std::runtime_error("injected fault at " + site + " (hit #" +
+                             std::to_string(hit) + ")"),
+          _site(site)
+    {}
+
+    /** The site the fault was injected at ("memory.search", ...). */
+    const std::string &site() const { return _site; }
+
+  private:
+    std::string _site;
+};
+
+/** Process-wide registry of instrumented sites and their fault plans. */
+class FaultInjector
+{
+  public:
+    /**
+     * Which hits of a site fail. `failHits` lists explicit 0-based hit
+     * indices; `everyN > 0` additionally fails every Nth hit starting
+     * at `offset` (hit % everyN == offset). Both rules are pure
+     * functions of the per-site hit counter — rerunning the same
+     * serial workload injects the identical faults.
+     */
+    struct Plan
+    {
+        std::vector<std::uint64_t> failHits{};
+        std::uint64_t everyN = 0;
+        std::uint64_t offset = 0;
+    };
+
+    /** Arm `site` with `plan`, resetting its hit/injected counters. */
+    void arm(const std::string &site, Plan plan);
+
+    /**
+     * Arm from a "site=SPEC" string (CLI/CI surface). SPEC is either a
+     * comma list of hit indices ("memory.search=2,5") or
+     * "every:N[+OFFSET]" ("chip.build=every:3+1"). Throws ConfigError
+     * on a malformed spec.
+     */
+    void armFromSpec(const std::string &spec);
+
+    /** Disarm one site (its counters stop advancing). */
+    void disarm(const std::string &site);
+
+    /** Disarm every site and drop all counters. */
+    void reset();
+
+    /** Times an armed `site` was visited (0 when never armed). */
+    std::uint64_t hits(const std::string &site) const;
+
+    /** Faults actually thrown at `site`. */
+    std::uint64_t injected(const std::string &site) const;
+
+    /**
+     * The instrumentation point. Disarmed (the default) this is one
+     * relaxed atomic load. Armed, it counts the hit and throws
+     * InjectedFault when the site's plan says this hit fails.
+     */
+    void
+    at(const char *site)
+    {
+        if (!_armed.load(std::memory_order_relaxed))
+            return;
+        atSlow(site);
+    }
+
+  private:
+    void atSlow(const char *site);
+
+    struct SiteState
+    {
+        Plan plan;
+        std::uint64_t hits = 0;
+        std::uint64_t injected = 0;
+        bool active = false;
+    };
+
+    mutable std::mutex _mu;
+    std::atomic<bool> _armed{false};
+    std::unordered_map<std::string, SiteState> _sites;
+};
+
+/** The process-wide injector every instrumented site consults. */
+FaultInjector &faultInjector();
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_FAULT_HH

@@ -1,0 +1,50 @@
+#include "common/io.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/fault.hh"
+
+namespace neurometer {
+
+void
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    // Unique per process *and* per call: concurrent writers to the
+    // same destination each stage their own temporary, and whichever
+    // rename lands last wins whole.
+    static std::atomic<std::uint64_t> seq{0};
+    const std::string tmp = path + ".tmp." + std::to_string(getpid()) +
+                            "." + std::to_string(seq.fetch_add(1));
+
+    const auto fail = [&](const std::string &what) {
+        std::remove(tmp.c_str());
+        throw IoError(what);
+    };
+
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f.good())
+            fail("cannot open " + tmp + " for writing");
+        f << content;
+        f.close();
+        if (!f.good())
+            fail("failed writing " + tmp);
+    }
+
+    try {
+        faultInjector().at("io.write");
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fail("cannot rename " + tmp + " to " + path);
+}
+
+} // namespace neurometer

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Crash-safe file output.
+ *
+ * Every artifact NeuroMeter writes — sweep CSV/JSON exports, run
+ * manifests, Chrome traces, checkpoints — goes through one helper that
+ * writes to a temporary sibling and atomically renames it into place.
+ * A reader (or a crash, or a cancelled run) therefore only ever sees
+ * either the previous complete file or the new complete file, never a
+ * torn half-write.
+ */
+
+#ifndef NEUROMETER_COMMON_IO_HH
+#define NEUROMETER_COMMON_IO_HH
+
+#include <string>
+
+namespace neurometer {
+
+/**
+ * Write `content` to `path` atomically: the bytes land in a unique
+ * `<path>.tmp.<pid>.<seq>` sibling first (same directory, so the
+ * rename cannot cross filesystems) and are renamed over `path` only
+ * after a successful close. On any failure the temporary is removed
+ * and IoError is thrown — the destination keeps whatever it held.
+ *
+ * Fault-injection site: "io.write" (common/fault.hh).
+ */
+void writeFileAtomic(const std::string &path, const std::string &content);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_IO_HH

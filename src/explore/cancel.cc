@@ -1,0 +1,33 @@
+#include "explore/cancel.hh"
+
+#include <csignal>
+
+namespace neurometer {
+
+namespace {
+
+// The only thing a signal handler may portably do.
+volatile std::sig_atomic_t g_sigint = 0;
+
+extern "C" void
+sigintHandler(int)
+{
+    g_sigint = 1;
+}
+
+} // namespace
+
+void
+CancelToken::armSigint() const
+{
+    _state->sigint = true;
+    std::signal(SIGINT, sigintHandler);
+}
+
+bool
+CancelToken::sigintRaised()
+{
+    return g_sigint != 0;
+}
+
+} // namespace neurometer

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running sweeps.
+ *
+ * A CancelToken is a cheap, copyable handle on shared cancellation
+ * state: an explicit request flag, an optional wall-clock deadline,
+ * and (when armed) the process-wide SIGINT latch. Workers poll
+ * `cancelled()` between units of work; on cancellation, in-flight
+ * points drain, partial results and checkpoints are flushed, and the
+ * caller reports a resumable partial run instead of dying mid-write.
+ */
+
+#ifndef NEUROMETER_EXPLORE_CANCEL_HH
+#define NEUROMETER_EXPLORE_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace neurometer {
+
+/** Copyable handle on shared cancellation state (copies alias it). */
+class CancelToken
+{
+  public:
+    CancelToken() : _state(std::make_shared<State>()) {}
+
+    /** Cancel explicitly (thread- and signal-safe). */
+    void
+    requestCancel() const
+    {
+        _state->flag.store(true, std::memory_order_relaxed);
+    }
+
+    /** Cancel automatically once `seconds` elapse from now. */
+    void
+    cancelAfterSeconds(double seconds) const
+    {
+        const auto ns = std::chrono::steady_clock::now().time_since_epoch() +
+                        std::chrono::nanoseconds(
+                            std::int64_t(seconds * 1e9));
+        _state->deadlineNs.store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(ns)
+                .count(),
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * Route SIGINT into this token: installs the process-wide handler
+     * (a one-line sig_atomic_t latch) and makes cancelled() observe
+     * it. Call once from the CLI before a long run.
+     */
+    void armSigint() const;
+
+    /** True once any source — request, deadline, SIGINT — fired. */
+    bool
+    cancelled() const
+    {
+        if (_state->flag.load(std::memory_order_relaxed))
+            return true;
+        if (_state->sigint && sigintRaised())
+            return true;
+        const std::int64_t dl =
+            _state->deadlineNs.load(std::memory_order_relaxed);
+        if (dl >= 0) {
+            const std::int64_t now =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+            if (now >= dl)
+                return true;
+        }
+        return false;
+    }
+
+    /** Whether the process-wide SIGINT latch has fired (diagnostic). */
+    static bool sigintRaised();
+
+  private:
+    struct State
+    {
+        std::atomic<bool> flag{false};
+        std::atomic<std::int64_t> deadlineNs{-1};
+        bool sigint = false; ///< set once by armSigint(), then read-only
+    };
+
+    std::shared_ptr<State> _state;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_CANCEL_HH

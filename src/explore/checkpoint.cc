@@ -1,0 +1,311 @@
+#include "explore/checkpoint.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/io.hh"
+#include "obs/manifest.hh"
+
+namespace neurometer {
+
+namespace {
+
+constexpr int kVersion = 1;
+
+/** Exact, locale-free double text ("%a" hex-float). */
+std::string
+hexFloat(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/** Render one entry as a single JSONL line (fixed key order). */
+std::string
+entryLine(const CheckpointEntry &e)
+{
+    const PointMetrics &m = e.metrics;
+    std::string s = "{\"key\": " + obs::jsonQuote(e.key);
+    s += std::string(", \"failed\": ") + (e.failed ? "true" : "false");
+    s += ", \"category\": " +
+         obs::jsonQuote(errorCategoryStr(e.error.category));
+    s += ", \"site\": " + obs::jsonQuote(e.error.site);
+    s += ", \"message\": " + obs::jsonQuote(e.error.message);
+    s += std::string(", \"build_ok\": ") + (m.buildOk ? "true" : "false");
+    s += ", \"build_error\": " + obs::jsonQuote(m.buildError);
+    s += ", \"metrics\": [";
+    const double vals[] = {m.peakTops,   m.areaMm2,   m.tdpW,
+                           m.topsPerWatt, m.topsPerTco, m.memAreaPct,
+                           m.tuAreaPct,  m.nocAreaPct, m.ctrlAreaPct};
+    for (std::size_t i = 0; i < std::size(vals); ++i)
+        s += (i ? ", " : "") + obs::jsonQuote(hexFloat(vals[i]));
+    s += "]}";
+    return s;
+}
+
+/**
+ * Strict scanner for the fixed line shapes this file writes. Parsing
+ * failures throw ConfigError tagged with the caller's line number.
+ */
+class LineScanner
+{
+  public:
+    LineScanner(const std::string &line, const std::string &where)
+        : _s(line), _where(where)
+    {}
+
+    void
+    expect(const std::string &lit)
+    {
+        if (_s.compare(_pos, lit.size(), lit) != 0)
+            fail("expected '" + lit + "'");
+        _pos += lit.size();
+    }
+
+    bool
+    boolean()
+    {
+        if (_s.compare(_pos, 4, "true") == 0) {
+            _pos += 4;
+            return true;
+        }
+        if (_s.compare(_pos, 5, "false") == 0) {
+            _pos += 5;
+            return false;
+        }
+        fail("expected a boolean");
+        return false;
+    }
+
+    long
+    integer()
+    {
+        char *end = nullptr;
+        const long v = std::strtol(_s.c_str() + _pos, &end, 10);
+        if (end == _s.c_str() + _pos)
+            fail("expected an integer");
+        _pos = std::size_t(end - _s.c_str());
+        return v;
+    }
+
+    /** JSON string with the escapes obs::jsonQuote produces. */
+    std::string
+    string()
+    {
+        if (_pos >= _s.size() || _s[_pos] != '"')
+            fail("expected a string");
+        ++_pos;
+        std::string out;
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            char c = _s[_pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                fail("truncated escape");
+            const char esc = _s[_pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (_pos + 4 > _s.size())
+                    fail("truncated \\u escape");
+                out += char(std::strtol(
+                    _s.substr(_pos, 4).c_str(), nullptr, 16));
+                _pos += 4;
+                break;
+              }
+              default:
+                fail(std::string("unsupported escape '\\") + esc + "'");
+            }
+        }
+        if (_pos >= _s.size())
+            fail("unterminated string");
+        ++_pos; // closing quote
+        return out;
+    }
+
+    double
+    hexDouble()
+    {
+        const std::string text = string();
+        char *end = nullptr;
+        const double v = std::strtod(text.c_str(), &end);
+        if (!end || *end != '\0' || text.empty())
+            fail("bad metric value '" + text + "'");
+        return v;
+    }
+
+    bool done() const { return _pos == _s.size(); }
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw ConfigError(_where + ": malformed checkpoint: " + why +
+                          " at column " + std::to_string(_pos + 1));
+    }
+
+  private:
+    const std::string &_s;
+    std::string _where;
+    std::size_t _pos = 0;
+};
+
+CheckpointEntry
+parseEntry(const std::string &line, const std::string &where)
+{
+    CheckpointEntry e;
+    LineScanner sc(line, where);
+    sc.expect("{\"key\": ");
+    e.key = sc.string();
+    sc.expect(", \"failed\": ");
+    e.failed = sc.boolean();
+    sc.expect(", \"category\": ");
+    e.error.category = errorCategoryFromStr(sc.string());
+    sc.expect(", \"site\": ");
+    e.error.site = sc.string();
+    sc.expect(", \"message\": ");
+    e.error.message = sc.string();
+    sc.expect(", \"build_ok\": ");
+    e.metrics.buildOk = sc.boolean();
+    sc.expect(", \"build_error\": ");
+    e.metrics.buildError = sc.string();
+    sc.expect(", \"metrics\": [");
+    double *const slots[] = {
+        &e.metrics.peakTops,   &e.metrics.areaMm2,
+        &e.metrics.tdpW,       &e.metrics.topsPerWatt,
+        &e.metrics.topsPerTco, &e.metrics.memAreaPct,
+        &e.metrics.tuAreaPct,  &e.metrics.nocAreaPct,
+        &e.metrics.ctrlAreaPct};
+    for (std::size_t i = 0; i < std::size(slots); ++i) {
+        if (i)
+            sc.expect(", ");
+        *slots[i] = sc.hexDouble();
+    }
+    sc.expect("]}");
+    if (!sc.done())
+        sc.fail("trailing characters");
+    return e;
+}
+
+} // namespace
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::string baseKey,
+                                 std::size_t flushEveryN)
+    : _path(std::move(path)), _baseKey(std::move(baseKey)),
+      _flushEveryN(flushEveryN == 0 ? 1 : flushEveryN)
+{}
+
+void
+SweepCheckpoint::add(const CheckpointEntry &entry)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _entries.push_back(entry);
+    if (++_sinceFlush >= _flushEveryN)
+        flushLocked();
+}
+
+void
+SweepCheckpoint::flush()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    flushLocked();
+}
+
+void
+SweepCheckpoint::flushLocked()
+{
+    std::string out = "{\"neurometer_checkpoint\": " +
+                      std::to_string(kVersion) +
+                      ", \"base\": " + obs::jsonQuote(_baseKey) + "}\n";
+    for (const CheckpointEntry &e : _entries)
+        out += entryLine(e) + "\n";
+    writeFileAtomic(_path, out);
+    _sinceFlush = 0;
+}
+
+std::size_t
+SweepCheckpoint::size() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _entries.size();
+}
+
+void
+SweepCheckpoint::seed(const std::vector<CheckpointEntry> &entries)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    _entries.insert(_entries.end(), entries.begin(), entries.end());
+}
+
+std::unordered_map<std::string, CheckpointEntry>
+SweepCheckpoint::load(const std::string &path, const std::string &baseKey)
+{
+    std::unordered_map<std::string, CheckpointEntry> out;
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good())
+        return out; // no checkpoint yet: resume from nothing
+
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const std::string text = buf.str();
+
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    bool header_seen = false;
+    const bool ends_complete = text.empty() || text.back() == '\n';
+    while (std::getline(in, line)) {
+        ++lineno;
+        // A torn final line (no trailing newline) is silently dropped.
+        if (in.eof() && !ends_complete)
+            break;
+        if (line.empty())
+            continue;
+        const std::string where =
+            path + ":" + std::to_string(lineno);
+        if (!header_seen) {
+            header_seen = true;
+            LineScanner sc(line, where);
+            sc.expect("{\"neurometer_checkpoint\": ");
+            const long version = sc.integer();
+            if (version != kVersion)
+                sc.fail("unsupported checkpoint version " +
+                        std::to_string(version));
+            sc.expect(", \"base\": ");
+            const std::string base = sc.string();
+            sc.expect("}");
+            if (base != baseKey) {
+                throw ConfigError(
+                    where +
+                    ": checkpoint was written for a different base "
+                    "config; refusing to resume");
+            }
+            continue;
+        }
+        CheckpointEntry e = parseEntry(line, where);
+        std::string key = e.key;
+        out.insert_or_assign(std::move(key), std::move(e));
+    }
+    return out;
+}
+
+} // namespace neurometer

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Sweep checkpoints: resumable partial progress for long explorations.
+ *
+ * A checkpoint is a JSONL file — one header line identifying the base
+ * config, then one line per completed point keyed by its canonical
+ * configKey() — rewritten atomically (common/io.hh) every few
+ * completions and on cancellation. Metrics doubles are serialized as
+ * hex-float strings, so a resumed sweep restores *bit-identical*
+ * PointMetrics and its CSV/JSON output matches an uninterrupted run
+ * byte for byte (proven in tests/test_robustness.cc and the CI
+ * kill-and-resume step).
+ */
+
+#ifndef NEUROMETER_EXPLORE_CHECKPOINT_HH
+#define NEUROMETER_EXPLORE_CHECKPOINT_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chip/optimizer.hh"
+#include "common/error.hh"
+
+namespace neurometer {
+
+/** One completed point as persisted in a checkpoint line. */
+struct CheckpointEntry
+{
+    std::string key;       ///< configKey() of the resolved point config
+    bool failed = false;   ///< evaluation threw (isolated, not aborted)
+    PointError error{};    ///< the structured failure when `failed`
+    PointMetrics metrics{};
+
+    bool operator==(const CheckpointEntry &) const = default;
+};
+
+/**
+ * Writer/loader for one sweep's checkpoint file. add() is thread-safe
+ * and rewrites the whole file atomically every `flushEveryN`
+ * completions (and on explicit flush()), so the on-disk file is always
+ * a complete, loadable snapshot.
+ */
+class SweepCheckpoint
+{
+  public:
+    /**
+     * @param path      checkpoint file (created/overwritten atomically)
+     * @param baseKey   configKey() of the engine's base config; stored
+     *                  in the header and verified on load, so a
+     *                  checkpoint cannot silently resume a different
+     *                  chip
+     * @param flushEveryN rewrite cadence in completed points (>= 1)
+     */
+    SweepCheckpoint(std::string path, std::string baseKey,
+                    std::size_t flushEveryN = 32);
+
+    /** Record one completed point; may flush per the cadence. */
+    void add(const CheckpointEntry &entry);
+
+    /** Atomically rewrite the file with everything recorded so far. */
+    void flush();
+
+    /** Completed points recorded (restored seeds included). */
+    std::size_t size() const;
+
+    /**
+     * Load a checkpoint into a key -> entry map. A missing file
+     * returns an empty map (first run of an always-`--resume` command
+     * line); a malformed file, or one whose header names a different
+     * base config, throws ConfigError with the offending line number.
+     * A torn final line — impossible under writeFileAtomic but cheap
+     * to tolerate — is ignored.
+     */
+    static std::unordered_map<std::string, CheckpointEntry>
+    load(const std::string &path, const std::string &baseKey);
+
+    /**
+     * Seed the writer with entries restored from load(), so the next
+     * flush() persists restored + new points alike.
+     */
+    void seed(const std::vector<CheckpointEntry> &entries);
+
+  private:
+    void flushLocked();
+
+    std::string _path;
+    std::string _baseKey;
+    std::size_t _flushEveryN;
+    mutable std::mutex _mu;
+    std::vector<CheckpointEntry> _entries;
+    std::size_t _sinceFlush = 0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_CHECKPOINT_HH

@@ -52,10 +52,35 @@ EvalCache::getOrCompute(const ChipConfig &cfg,
     }
 
     bool computed_here = false;
-    std::call_once(entry->once, [&] {
-        entry->value = compute(cfg);
+    std::unique_lock<std::mutex> lk(entry->mu);
+    while (entry->state != State::Done) {
+        if (entry->state == State::Computing) {
+            entry->cv.wait(lk);
+            continue;
+        }
+        // Claim the entry; compute outside the lock so other keys
+        // (and stats/size) never stall behind a slow model build.
+        entry->state = State::Computing;
+        lk.unlock();
+        PointMetrics value;
+        try {
+            value = compute(cfg);
+        } catch (...) {
+            // A failed compute is not a result: roll back to Empty so
+            // a later request (possibly a blocked waiter) retries.
+            // Counts neither hit nor miss.
+            lk.lock();
+            entry->state = State::Empty;
+            entry->cv.notify_all();
+            throw;
+        }
+        lk.lock();
+        entry->value = value;
+        entry->state = State::Done;
         computed_here = true;
-    });
+        entry->cv.notify_all();
+    }
+    lk.unlock();
     // Per-instance counters feed stats(); the process-wide registry
     // gets the union of every EvalCache in the process.
     static const obs::Counter reg_hits = obs::counter("eval_cache.hits");

@@ -12,13 +12,21 @@
  * Concurrency: the map is guarded by a mutex held only for lookup and
  * insertion — never while a point is being modeled. Concurrent
  * requests for the *same* uncached key rendezvous on a per-entry
- * std::call_once, so each point is computed exactly once.
+ * state machine (Empty -> Computing -> Done) guarded by the entry's
+ * own mutex, so each point is computed exactly once on success. A
+ * compute that throws resets the entry to Empty and wakes any
+ * waiters, one of which retries — so transient failures (e.g. an
+ * injected fault) are never memoized. An explicit condvar rather
+ * than std::call_once: the call_once exceptional path deadlocks
+ * under ThreadSanitizer's interceptors, and the retry-on-failure
+ * semantics are load-bearing here.
  */
 
 #ifndef NEUROMETER_EXPLORE_EVAL_CACHE_HH
 #define NEUROMETER_EXPLORE_EVAL_CACHE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -78,9 +86,13 @@ class EvalCache
     void clear();
 
   private:
+    enum class State { Empty, Computing, Done };
+
     struct Entry
     {
-        std::once_flag once;
+        std::mutex mu;
+        std::condition_variable cv;
+        State state = State::Empty;
         PointMetrics value;
     };
 

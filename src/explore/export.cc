@@ -1,10 +1,10 @@
 #include "explore/export.hh"
 
 #include <cstdio>
-#include <fstream>
 
 #include "circuit/arith.hh"
 #include "common/error.hh"
+#include "common/io.hh"
 
 namespace neurometer {
 
@@ -78,7 +78,8 @@ toCsv(const std::vector<EvalRecord> &records)
     if (!records.empty())
         for (const auto &[path, value] : records.front().named)
             s += path + ',';
-    s += "feasible,why,peak_tops,area_mm2,tdp_w,tops_per_w,"
+    s += "feasible,why,status,error_category,error_site,error_message,"
+         "peak_tops,area_mm2,tdp_w,tops_per_w,"
          "tops_per_tco,mem_area_pct,tu_area_pct,noc_area_pct,"
          "ctrl_area_pct,build_error\n";
     for (const EvalRecord &r : records) {
@@ -96,6 +97,10 @@ toCsv(const std::vector<EvalRecord> &records)
             s += value + ',';
         s += r.feasible() ? "1," : "0,";
         s += std::string(feasibilityStr(r.why)) + ',';
+        s += std::string(pointStatusStr(r.status)) + ',';
+        s += std::string(errorCategoryStr(r.error.category)) + ',';
+        s += csvQuote(r.error.site) + ',';
+        s += csvQuote(r.error.message) + ',';
         s += num(m.peakTops) + ',';
         s += num(m.areaMm2) + ',';
         s += num(m.tdpW) + ',';
@@ -131,6 +136,12 @@ toJson(const std::vector<EvalRecord> &records)
         s += std::string(", \"feasible\": ") +
              (r.feasible() ? "true" : "false");
         s += std::string(", \"why\": \"") + feasibilityStr(r.why) + '"';
+        s += std::string(", \"status\": \"") +
+             pointStatusStr(r.status) + '"';
+        s += std::string(", \"error_category\": \"") +
+             errorCategoryStr(r.error.category) + '"';
+        s += ", \"error_site\": " + jsonQuote(r.error.site);
+        s += ", \"error_message\": " + jsonQuote(r.error.message);
         s += ", \"peak_tops\": " + num(m.peakTops);
         s += ", \"area_mm2\": " + num(m.areaMm2);
         s += ", \"tdp_w\": " + num(m.tdpW);
@@ -150,11 +161,7 @@ toJson(const std::vector<EvalRecord> &records)
 void
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream f(path, std::ios::binary);
-    requireConfig(f.good(), "cannot open " + path + " for writing");
-    f << content;
-    f.close();
-    requireConfig(f.good(), "failed writing " + path);
+    writeFileAtomic(path, content);
 }
 
 } // namespace neurometer

@@ -25,7 +25,11 @@ std::string toCsv(const std::vector<EvalRecord> &records);
 /** A JSON array of flat objects with the same fields as the CSV. */
 std::string toJson(const std::vector<EvalRecord> &records);
 
-/** Write `content` to `path`, throwing ConfigError on I/O failure. */
+/**
+ * Write `content` to `path` atomically (write-temp-then-rename via
+ * common/io.hh); throws IoError on failure. A crash or cancellation
+ * mid-export can never leave a torn file behind.
+ */
 void writeFile(const std::string &path, const std::string &content);
 
 } // namespace neurometer

@@ -3,14 +3,31 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <unordered_set>
 
 #include "chip/config_schema.hh"
 #include "circuit/arith.hh"
+#include "explore/checkpoint.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace neurometer {
+
+const char *
+pointStatusStr(PointStatus s)
+{
+    switch (s) {
+      case PointStatus::Ok:
+        return "ok";
+      case PointStatus::Failed:
+        return "failed";
+      case PointStatus::NotEvaluated:
+        return "not_evaluated";
+    }
+    return "not_evaluated";
+}
 
 namespace {
 
@@ -174,6 +191,8 @@ SweepEngine::run(const SweepGrid &grid)
                                 r.freqHz = clk;
                                 r.memBytes = mem;
                                 r.mulType = mul;
+                                r.status =
+                                    PointStatus::NotEvaluated;
 
                                 ChipConfig cfg = _base;
                                 cfg.nodeNm = node;
@@ -202,17 +221,66 @@ SweepEngine::run(const SweepGrid &grid)
 
     static const obs::Counter runs = obs::counter("sweep.runs");
     static const obs::Counter points = obs::counter("sweep.points");
+    static const obs::Counter points_ok =
+        obs::counter("sweep.points.ok");
+    static const obs::Counter points_failed =
+        obs::counter("sweep.points.failed");
+    static const obs::Counter points_restored =
+        obs::counter("sweep.points.restored");
     static const obs::Histogram point_hist =
         obs::histogram("sweep.point_s");
     runs.inc();
     obs::TraceScope run_span("sweep.run", records.size());
+
+    _lastRun = SweepRunStats{};
+    _lastRun.total = records.size();
+
+    // Checkpoint/resume: keys are only computed when a checkpoint
+    // file is in play; restored points skip evaluation entirely and
+    // re-enter the result bit-identically.
+    std::unique_ptr<SweepCheckpoint> ckpt;
+    std::vector<std::string> keys;
+    std::vector<char> restored(records.size(), 0);
+    if (!_opts.checkpointPath.empty()) {
+        const std::string base_key = configKey(_base);
+        keys.reserve(cfgs.size());
+        for (const ChipConfig &c : cfgs)
+            keys.push_back(configKey(c));
+        ckpt = std::make_unique<SweepCheckpoint>(
+            _opts.checkpointPath, base_key, _opts.checkpointEveryN);
+        if (_opts.resume) {
+            const auto loaded =
+                SweepCheckpoint::load(_opts.checkpointPath, base_key);
+            std::vector<CheckpointEntry> seeds;
+            std::unordered_set<std::string> seeded;
+            for (std::size_t i = 0; i < records.size(); ++i) {
+                const auto it = loaded.find(keys[i]);
+                if (it == loaded.end())
+                    continue;
+                const CheckpointEntry &e = it->second;
+                records[i].metrics = e.metrics;
+                records[i].status = e.failed ? PointStatus::Failed
+                                             : PointStatus::Ok;
+                records[i].error = e.error;
+                records[i].why =
+                    classify(records[i].metrics, _opts.constraints);
+                restored[i] = 1;
+                ++_lastRun.restored;
+                points_restored.inc();
+                if (seeded.insert(keys[i]).second)
+                    seeds.push_back(e);
+            }
+            ckpt->seed(seeds);
+        }
+    }
 
     // Progress plumbing: a shared done-counter, a time-based rate
     // limiter (CAS on the last-report tick so only one thread wins a
     // slot), and a mutex that serializes observer invocations.
     using clock = std::chrono::steady_clock;
     const clock::time_point t0 = clock::now();
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{_lastRun.restored};
+    std::atomic<std::size_t> evaluated{0};
     std::atomic<std::int64_t> last_report_ns{-1};
     std::mutex report_mu;
     const std::int64_t interval_ns =
@@ -233,32 +301,91 @@ SweepEngine::run(const SweepGrid &grid)
         _opts.onProgress(p);
     };
 
-    _pool.parallelFor(records.size(), [&](std::size_t i) {
-        obs::TraceScope span("sweep.point", i);
-        obs::ScopedTimer timer(point_hist);
-        records[i].metrics = _cache.evaluate(cfgs[i]);
-        records[i].why =
-            classify(records[i].metrics, _opts.constraints);
-        points.inc();
-        if (!_opts.onProgress)
-            return;
-        const std::size_t d = done.fetch_add(1) + 1;
-        if (d == records.size())
-            return; // the final report is issued after the loop
-        const std::int64_t now_ns =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                clock::now() - t0)
-                .count();
-        std::int64_t last = last_report_ns.load(std::memory_order_relaxed);
-        if (last >= 0 && now_ns - last < interval_ns)
-            return;
-        if (!last_report_ns.compare_exchange_strong(last, now_ns))
-            return; // another thread took this reporting slot
-        report(d);
-    });
+    _pool.parallelFor(
+        records.size(),
+        [&](std::size_t i) {
+            if (restored[i])
+                return; // resumed from the checkpoint, bit-identical
+            obs::TraceScope span("sweep.point", i);
+            obs::ScopedTimer timer(point_hist);
+            try {
+                records[i].metrics = _cache.evaluate(cfgs[i]);
+                records[i].why =
+                    classify(records[i].metrics, _opts.constraints);
+                records[i].status = PointStatus::Ok;
+                points_ok.inc();
+            } catch (...) {
+                if (_opts.failFast)
+                    throw; // legacy policy: first failure aborts run()
+                records[i].metrics = PointMetrics{};
+                records[i].why =
+                    classify(records[i].metrics, _opts.constraints);
+                records[i].status = PointStatus::Failed;
+                records[i].error =
+                    captureCurrentException("sweep.eval");
+                points_failed.inc();
+            }
+            points.inc();
+            if (ckpt) {
+                ckpt->add({keys[i],
+                           records[i].status == PointStatus::Failed,
+                           records[i].error, records[i].metrics});
+            }
+            const std::size_t ev = evaluated.fetch_add(1) + 1;
+            if (_opts.cancelAfterPoints != 0 &&
+                ev >= _opts.cancelAfterPoints)
+                _opts.cancel.requestCancel();
+            if (!_opts.onProgress)
+                return;
+            const std::size_t d = done.fetch_add(1) + 1;
+            if (d == records.size())
+                return; // the final report is issued after the loop
+            const std::int64_t now_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - t0)
+                    .count();
+            std::int64_t last =
+                last_report_ns.load(std::memory_order_relaxed);
+            if (last >= 0 && now_ns - last < interval_ns)
+                return;
+            if (!last_report_ns.compare_exchange_strong(last, now_ns))
+                return; // another thread took this reporting slot
+            report(d);
+        },
+        &_opts.cancel);
+
+    // Cancelled or not, the checkpoint on disk reflects every
+    // completed point before run() returns.
+    if (ckpt)
+        ckpt->flush();
+
+    for (const EvalRecord &r : records) {
+        switch (r.status) {
+          case PointStatus::Ok:
+            ++_lastRun.ok;
+            break;
+          case PointStatus::Failed:
+            ++_lastRun.failed;
+            break;
+          case PointStatus::NotEvaluated:
+            ++_lastRun.notEvaluated;
+            break;
+        }
+    }
+    _lastRun.evaluated = evaluated.load();
+    _lastRun.cancelled =
+        _opts.cancel.cancelled() && _lastRun.notEvaluated > 0;
 
     if (_opts.onProgress)
-        report(records.size());
+        report(done.load());
+
+    // Points a cancelled run never reached are not results.
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [](const EvalRecord &r) {
+                                     return r.status ==
+                                            PointStatus::NotEvaluated;
+                                 }),
+                  records.end());
 
     if (!_opts.keepInfeasible) {
         records.erase(std::remove_if(records.begin(), records.end(),

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "chip/optimizer.hh"
+#include "common/error.hh"
+#include "explore/cancel.hh"
 #include "explore/eval_cache.hh"
 #include "explore/thread_pool.hh"
 #include "memory/design_cache.hh"
@@ -91,6 +93,18 @@ struct SweepGrid
     std::size_t size() const;
 };
 
+/**
+ * Lifecycle of one sweep point. `Ok` means the evaluation ran to
+ * completion (the point may still be architecturally infeasible — see
+ * `why`); `Failed` means the evaluation threw and the failure was
+ * isolated into the record; `NotEvaluated` marks points a cancelled
+ * run never reached (they are dropped from run()'s result).
+ */
+enum class PointStatus { Ok, Failed, NotEvaluated };
+
+/** Stable lower_snake name for a PointStatus (export columns). */
+const char *pointStatusStr(PointStatus s);
+
 /** One evaluated sweep point: coordinates, metrics, and feasibility. */
 struct EvalRecord
 {
@@ -106,7 +120,16 @@ struct EvalRecord
     PointMetrics metrics;
     Feasibility why = Feasibility::TimingInfeasible;
 
-    bool feasible() const { return why == Feasibility::Feasible; }
+    /** Evaluation outcome; `error` is populated when status==Failed. */
+    PointStatus status = PointStatus::Ok;
+    PointError error{};
+
+    bool
+    feasible() const
+    {
+        return status == PointStatus::Ok &&
+               why == Feasibility::Feasible;
+    }
 
     bool operator==(const EvalRecord &) const = default;
 };
@@ -148,6 +171,40 @@ struct SweepOptions
     SweepObserver onProgress{};
     /** Minimum seconds between onProgress calls (0 = every point). */
     double progressIntervalS = 0.25;
+
+    /** @name Fault tolerance (see README "Robustness") */
+    /** @{ */
+    /**
+     * false (default): a throwing point is isolated into its record
+     * (status = failed, structured PointError) and the sweep carries
+     * on. true: the legacy policy — the first per-point exception
+     * aborts run() (rethrown from the lowest-indexed thrower).
+     */
+    bool failFast = false;
+    /** Cooperative cancellation source (copies share state). */
+    CancelToken cancel{};
+    /** Cancel automatically once this many points evaluated (0=off). */
+    std::size_t cancelAfterPoints = 0;
+    /** JSONL checkpoint file, rewritten atomically (empty = off). */
+    std::string checkpointPath{};
+    /** Load checkpointPath first and skip already-evaluated points. */
+    bool resume = false;
+    /** Checkpoint rewrite cadence, in completed points. */
+    std::size_t checkpointEveryN = 32;
+    /** @} */
+};
+
+/** How the last run() ended: per-status counts and the cancel flag. */
+struct SweepRunStats
+{
+    std::size_t total = 0;       ///< grid points requested
+    std::size_t evaluated = 0;   ///< computed this run (not restored)
+    std::size_t ok = 0;          ///< status ok (restored included)
+    std::size_t failed = 0;      ///< status failed (restored included)
+    std::size_t restored = 0;    ///< skipped via checkpoint resume
+    std::size_t notEvaluated = 0; ///< unreached (cancelled runs)
+    /** True when the run ended early: the token fired with work left. */
+    bool cancelled = false;
 };
 
 /**
@@ -160,8 +217,19 @@ class SweepEngine
   public:
     explicit SweepEngine(ChipConfig base, SweepOptions opts = {});
 
-    /** Evaluate every point of `grid`; records in grid order. */
+    /**
+     * Evaluate every point of `grid`; records in grid order. With the
+     * default failFast=false policy a throwing point becomes a
+     * status=failed record instead of aborting the sweep; points a
+     * cancelled run never reached are dropped from the result (consult
+     * lastRun() for the counts). With checkpointing enabled, completed
+     * points are persisted as they finish and — with resume — restored
+     * bit-identically instead of re-evaluated.
+     */
     std::vector<EvalRecord> run(const SweepGrid &grid);
+
+    /** Outcome of the most recent run() (zeroed before each run). */
+    const SweepRunStats &lastRun() const { return _lastRun; }
 
     /**
      * Core-count maximization for one (X, N) on the shared cache —
@@ -187,6 +255,7 @@ class SweepEngine
     SweepOptions _opts;
     ThreadPool _pool;
     EvalCache _cache;
+    SweepRunStats _lastRun;
 };
 
 } // namespace neurometer

@@ -75,7 +75,8 @@ ThreadPool::submit(std::function<void()> task)
 
 void
 ThreadPool::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &body)
+                        const std::function<void(std::size_t)> &body,
+                        const CancelToken *cancel)
 {
     static const obs::Counter fors =
         obs::counter("thread_pool.parallel_fors");
@@ -85,9 +86,12 @@ ThreadPool::parallelFor(std::size_t count,
         return;
     fors.inc();
     if (_workers.empty()) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            if (cancel && cancel->cancelled())
+                return; // drained: everything before i completed
             body(i); // strict 0..n-1 order: the serial reference path
-        iters.inc(count);
+            iters.inc(1);
+        }
         return;
     }
 
@@ -98,6 +102,13 @@ ThreadPool::parallelFor(std::size_t count,
     std::atomic<std::size_t> next{0};
     std::atomic<bool> abandon{false};
 
+    // Deterministic error pick: among the iterations that threw, keep
+    // the one with the lowest index; workers never let an exception
+    // escape into their future, so the wait loop below cannot lose one.
+    std::mutex err_mu;
+    std::size_t err_idx = std::size_t(-1);
+    std::exception_ptr err;
+
     const std::size_t n_tasks =
         std::min<std::size_t>(std::size_t(_numThreads), count);
     std::vector<std::future<void>> futs;
@@ -105,36 +116,39 @@ ThreadPool::parallelFor(std::size_t count,
     for (std::size_t t = 0; t < n_tasks; ++t) {
         futs.push_back(submit([&] {
             for (;;) {
+                if (abandon.load() || (cancel && cancel->cancelled()))
+                    return;
                 const std::size_t begin = next.fetch_add(chunk);
-                if (begin >= count || abandon.load())
+                if (begin >= count)
                     return;
                 const std::size_t end = std::min(begin + chunk, count);
-                iters.inc(end - begin);
                 for (std::size_t i = begin; i < end; ++i) {
+                    if (abandon.load() ||
+                        (cancel && cancel->cancelled()))
+                        return;
                     try {
                         body(i);
+                        iters.inc(1);
                     } catch (...) {
+                        std::lock_guard<std::mutex> lk(err_mu);
+                        if (i < err_idx) {
+                            err_idx = i;
+                            err = std::current_exception();
+                        }
                         abandon.store(true);
-                        throw; // captured by the packaged_task future
+                        return;
                     }
                 }
             }
         }));
     }
 
-    // Wait for *all* workers before rethrowing, so `next`/`abandon`
-    // stay alive; keep the first exception in submission order.
-    std::exception_ptr first;
-    for (std::future<void> &f : futs) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first)
-                first = std::current_exception();
-        }
-    }
-    if (first)
-        std::rethrow_exception(first);
+    // Wait for *all* workers before rethrowing, so the shared state
+    // above stays alive and no queued work leaks past this call.
+    for (std::future<void> &f : futs)
+        f.get(); // never throws: workers swallow into err above
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace neurometer

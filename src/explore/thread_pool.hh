@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "explore/cancel.hh"
+
 namespace neurometer {
 
 /** A minimal task pool for fan-out evaluation of independent work. */
@@ -46,12 +48,25 @@ class ThreadPool
      * Run body(i) for every i in [0, count) and block until all
      * iterations finish. Work is handed out in dynamically sized
      * chunks from a shared counter, so threads that draw cheap points
-     * steal the remaining range from slow ones. The first exception
-     * any iteration throws is rethrown here, after all workers have
-     * drained (remaining chunks are abandoned).
+     * steal the remaining range from slow ones.
+     *
+     * Exceptions: when one or more iterations throw, the remaining
+     * chunks are abandoned, every worker drains, and the exception
+     * from the *lowest-indexed* throwing iteration (among those that
+     * ran) is rethrown — a deterministic pick, independent of worker
+     * scheduling. With numThreads() == 1 this is exactly the first
+     * iteration that throws. A throwing parallelFor never deadlocks
+     * and leaves no queued work behind: the pool is immediately
+     * reusable.
+     *
+     * Cancellation: when `cancel` is non-null, workers stop drawing
+     * new iterations once it fires; in-flight iterations drain and
+     * parallelFor returns normally (the caller inspects the token and
+     * its own done-bookkeeping to see how far it got).
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &body);
+                     const std::function<void(std::size_t)> &body,
+                     const CancelToken *cancel = nullptr);
 
     /** std::thread::hardware_concurrency() with a floor of 1. */
     static int hardwareThreads();

@@ -64,18 +64,49 @@ MemoryDesignCache::getOrCompute(const std::string &key,
     }
 
     bool computed_here = false;
-    std::call_once(entry->once, [&] {
-        computed_here = true;
-        try {
-            entry->value = compute();
-        } catch (const ConfigError &e) {
-            entry->outcome = Outcome::ConfigFailure;
-            entry->error = stripPrefix(e.what(), "config error: ");
-        } catch (const ModelError &e) {
-            entry->outcome = Outcome::ModelFailure;
-            entry->error = stripPrefix(e.what(), "model error: ");
+    std::unique_lock<std::mutex> lk(entry->mu);
+    while (entry->state != State::Done) {
+        if (entry->state == State::Computing) {
+            entry->cv.wait(lk);
+            continue;
         }
-    });
+        // Claim the entry; search outside the lock so other keys
+        // (and stats/size) never stall behind a slow optimize().
+        entry->state = State::Computing;
+        lk.unlock();
+        Outcome outcome = Outcome::Value;
+        MemoryDesign value;
+        std::string error;
+        try {
+            value = compute();
+        } catch (const ConfigError &e) {
+            outcome = Outcome::ConfigFailure;
+            error = stripPrefix(e.what(), "config error: ");
+        } catch (const ModelError &e) {
+            outcome = Outcome::ModelFailure;
+            error = stripPrefix(e.what(), "model error: ");
+        } catch (...) {
+            // Anything else (an injected fault, bad_alloc) is not a
+            // search result: roll back to Empty so a later request
+            // (possibly a blocked waiter) retries. Counts neither hit
+            // nor miss.
+            lk.lock();
+            entry->state = State::Empty;
+            entry->cv.notify_all();
+            throw;
+        }
+        lk.lock();
+        entry->outcome = outcome;
+        entry->value = value;
+        entry->error = error;
+        entry->state = State::Done;
+        computed_here = true;
+        entry->cv.notify_all();
+    }
+    const Outcome outcome = entry->outcome;
+    const std::string error = entry->error;
+    const MemoryDesign value = entry->value;
+    lk.unlock();
     // clear() zeroes the per-instance atomics below; the registry
     // counters stay monotonic across clears (they are run telemetry,
     // not cache state).
@@ -91,15 +122,15 @@ MemoryDesignCache::getOrCompute(const std::string &key,
         reg_hits.inc();
     }
 
-    switch (entry->outcome) {
+    switch (outcome) {
       case Outcome::ConfigFailure:
-        throw ConfigError(entry->error);
+        throw ConfigError(error);
       case Outcome::ModelFailure:
-        throw ModelError(entry->error);
+        throw ModelError(error);
       case Outcome::Value:
         break;
     }
-    return entry->value;
+    return value;
 }
 
 MemoryDesign

@@ -14,15 +14,20 @@
  * Concurrency mirrors explore/eval_cache: a mutex guards the map only
  * for lookup/insert — never while a design is being computed — and
  * concurrent requests for the same uncached key rendezvous on a
- * per-entry std::call_once, so each design is computed exactly once.
- * Searches that throw (ConfigError/ModelError) are cached too and
- * rethrown with the original message on every later request.
+ * per-entry state machine (Empty -> Computing -> Done) guarded by the
+ * entry's own mutex, so each design is computed exactly once on
+ * success. Searches that throw ConfigError/ModelError are cached too
+ * and rethrown with the original message on every later request; any
+ * other exception (e.g. an injected fault) resets the entry to Empty
+ * and wakes waiters so a later request retries — synthetic failures
+ * are never memoized.
  */
 
 #ifndef NEUROMETER_MEMORY_DESIGN_CACHE_HH
 #define NEUROMETER_MEMORY_DESIGN_CACHE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -91,10 +96,13 @@ class MemoryDesignCache
 
   private:
     enum class Outcome { Value, ConfigFailure, ModelFailure };
+    enum class State { Empty, Computing, Done };
 
     struct Entry
     {
-        std::once_flag once;
+        std::mutex mu;
+        std::condition_variable cv;
+        State state = State::Empty;
         Outcome outcome = Outcome::Value;
         MemoryDesign value;
         std::string error; ///< message minus the class prefix

@@ -7,6 +7,7 @@
 #include "circuit/fit.hh"
 #include "circuit/wire.hh"
 #include "common/error.hh"
+#include "common/fault.hh"
 #include "common/units.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -387,6 +388,7 @@ MemoryModel::search(const MemoryRequest &req, bool pruned,
     static const obs::Histogram search_hist =
         obs::histogram("memory.search_s");
     obs::ScopedTimer timer(search_hist);
+    faultInjector().at("memory.search");
     // evaluate() would reject these on the first candidate; hoisted so
     // both search flavors fail identically even when the screen would
     // discard every candidate before an evaluation runs.

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <ctime>
-#include <fstream>
 
 #include "common/error.hh"
+#include "common/io.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -194,11 +194,9 @@ writeMetricsManifest(const std::string &tool, const std::string &path)
 void
 writeTextFile(const std::string &path, const std::string &content)
 {
-    std::ofstream f(path, std::ios::binary);
-    requireConfig(f.good(), "cannot open " + path + " for writing");
-    f << content;
-    f.close();
-    requireConfig(f.good(), "failed writing " + path);
+    // Manifests and traces are forensic artifacts: a crash mid-write
+    // must never leave a torn JSON behind, so all writes are atomic.
+    writeFileAtomic(path, content);
 }
 
 } // namespace neurometer::obs

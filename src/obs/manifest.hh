@@ -76,7 +76,7 @@ ManifestBuilder runManifest(const std::string &tool,
  */
 void writeMetricsManifest(const std::string &tool, const std::string &path);
 
-/** Write `content` to `path`, throwing ConfigError on I/O failure. */
+/** Atomic write (common/io.hh); throws IoError on I/O failure. */
 void writeTextFile(const std::string &path, const std::string &content);
 
 } // namespace neurometer::obs

@@ -255,6 +255,78 @@ TEST(ConfigFile, MissingDelimiterOrValueIsRejected)
                          "missing key"));
 }
 
+// Robustness satellites: hostile input never crashes the parser — it
+// either parses or produces a line-numbered ConfigError.
+
+TEST(ConfigFile, CrlfLineEndingsParseIdentically)
+{
+    const ChipConfig unix_c =
+        ChipConfig::fromString("tx = 2\nty = 3\ndram = hbm2\n");
+    const ChipConfig crlf_c =
+        ChipConfig::fromString("tx = 2\r\nty = 3\r\ndram = hbm2\r\n");
+    EXPECT_EQ(configKey(unix_c), configKey(crlf_c));
+
+    // And CRLF diagnostics still carry the right line number.
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("tx = 2\r\nbogus = 1\r\n", "w.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "w.cfg:2")) << msg;
+}
+
+TEST(ConfigFile, TruncatedFinalLineStillParses)
+{
+    // A file cut mid-write (no trailing newline) must not lose or
+    // corrupt its last assignment.
+    const ChipConfig c = ChipConfig::fromString("tx = 2\nty = 4");
+    EXPECT_EQ(c.tx, 2);
+    EXPECT_EQ(c.ty, 4);
+
+    // Cut mid-token: a normal line-numbered value error, not a crash.
+    const std::string msg = configErrorOf([] {
+        ChipConfig::fromString("tx = 2\nfreqHz = 1.0e", "t.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "t.cfg:2")) << msg;
+}
+
+TEST(ConfigFile, OverLongLinesAreRejectedWithALineNumber)
+{
+    // 4 KiB is far beyond any legitimate key = value line; beyond it
+    // the parser refuses rather than echoing megabytes back into the
+    // error message.
+    const std::string huge(8192, 'x');
+    const std::string msg = configErrorOf([&] {
+        ChipConfig::fromString("tx = 2\n" + huge + "\n", "big.cfg");
+    });
+    EXPECT_TRUE(contains(msg, "big.cfg:2")) << msg;
+    EXPECT_TRUE(contains(msg, "line too long")) << msg;
+    EXPECT_LT(msg.size(), 256u) << "error echoed the oversized line";
+
+    // At or under the limit, length alone is not an error.
+    const std::string padded =
+        "tx = 2" + std::string(1000, ' ') + "# comment\n";
+    EXPECT_EQ(ChipConfig::fromString(padded).tx, 2);
+}
+
+TEST(ConfigFile, BinaryGarbageNeverCrashesTheParser)
+{
+    // NUL bytes, high-bit noise, lone '=', control characters: every
+    // outcome must be a ConfigError (or a clean parse), never a crash.
+    const std::vector<std::string> garbage = {
+        std::string("\x00\x01\x02\x03", 4),
+        "\xff\xfe\xfd = \xfc\xfb\n",
+        "====\n",
+        std::string(100, '='),
+        "tx = 2\n\x7f\x1b[31m = 3\n",
+    };
+    for (const std::string &text : garbage) {
+        try {
+            ChipConfig::fromString(text, "bin.cfg");
+        } catch (const ConfigError &e) {
+            EXPECT_TRUE(contains(e.what(), "bin.cfg:")) << e.what();
+        }
+    }
+}
+
 TEST(ConfigFile, FromFileReadsAndLabelsDiagnosticsWithThePath)
 {
     const std::string path =

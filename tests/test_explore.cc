@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 
 #include "common/error.hh"
@@ -86,6 +87,115 @@ TEST(ThreadPool, SubmitFutureRethrows)
     auto fut =
         pool.submit([] { throw ModelError("worker exploded"); });
     EXPECT_THROW(fut.get(), ModelError);
+}
+
+TEST(ThreadPool, SerialRethrowsTheStrictlyFirstException)
+{
+    // The serial path runs 0..n-1 in order, so "lowest-indexed
+    // thrower" degenerates to strictly-first: index 11 aborts the loop
+    // before 23 ever runs.
+    ThreadPool pool(1);
+    std::vector<std::size_t> ran;
+    try {
+        pool.parallelFor(100, [&](std::size_t i) {
+            ran.push_back(i);
+            if (i == 11 || i == 23)
+                throw ConfigError("thrower " + std::to_string(i));
+        });
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_STREQ(e.what(), "config error: thrower 11");
+    }
+    EXPECT_EQ(ran.size(), 12u); // 0..11 inclusive, nothing after
+}
+
+TEST(ThreadPool, ParallelSingleThrowerAlwaysWinsDeterministically)
+{
+    // Exactly one iteration throws. Nothing else sets the abandon
+    // flag, so that iteration always runs and the rethrown exception
+    // is its — byte-identical across runs and thread counts.
+    for (int trial = 0; trial < 10; ++trial) {
+        ThreadPool pool(4);
+        try {
+            pool.parallelFor(256, [](std::size_t i) {
+                if (i == 37)
+                    throw ModelError("thrower 37");
+            });
+            FAIL() << "expected ModelError";
+        } catch (const ModelError &e) {
+            EXPECT_STREQ(e.what(), "model error: thrower 37");
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelExceptionPickIsTheLowestIndexThatRan)
+{
+    // With many concurrent throwers the winner must be the lowest
+    // *index* among the iterations that actually ran — not whichever
+    // thread lost the race to report first. The body records every
+    // index it was called with, so the contract is checkable exactly.
+    for (int trial = 0; trial < 10; ++trial) {
+        ThreadPool pool(4);
+        std::mutex mu;
+        std::set<std::size_t> ran;
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                    ran.insert(i);
+                }
+                throw ModelError(std::to_string(i));
+            });
+            FAIL() << "expected ModelError";
+        } catch (const ModelError &e) {
+            ASSERT_FALSE(ran.empty());
+            const std::string want =
+                "model error: " + std::to_string(*ran.begin());
+            EXPECT_EQ(std::string(e.what()), want);
+        }
+    }
+}
+
+TEST(ThreadPool, PoolIsFullyUsableAfterAThrowingParallelFor)
+{
+    // A throwing parallelFor must not deadlock, leak queued work into
+    // later calls, or lose workers: the next call covers every index.
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.parallelFor(500,
+                                      [](std::size_t i) {
+                                          if (i % 7 == 3)
+                                              throw ConfigError("boom");
+                                      }),
+                     ConfigError);
+        constexpr std::size_t n = 2000;
+        std::vector<std::atomic<int>> seen(n);
+        pool.parallelFor(n,
+                         [&](std::size_t i) { seen[i].fetch_add(1); });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(seen[i].load(), 1) << "round " << round
+                                         << " index " << i;
+    }
+}
+
+TEST(ThreadPool, CancellationDrainsWithoutAnException)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        CancelToken cancel;
+        std::atomic<std::size_t> ran{0};
+        // Cancel mid-run: completed iterations stay completed, the
+        // rest are skipped, and parallelFor returns normally.
+        pool.parallelFor(
+            10000,
+            [&](std::size_t) {
+                if (ran.fetch_add(1) + 1 == 50)
+                    cancel.requestCancel();
+            },
+            &cancel);
+        EXPECT_GE(ran.load(), 50u) << "threads=" << threads;
+        EXPECT_LT(ran.load(), 10000u) << "threads=" << threads;
+    }
 }
 
 TEST(EvalCacheKey, IdenticalConfigsShareAKey)

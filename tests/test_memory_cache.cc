@@ -15,6 +15,7 @@
 
 #include "chip/chip.hh"
 #include "common/error.hh"
+#include "common/fault.hh"
 #include "memory/design_cache.hh"
 #include "tech/tech_node.hh"
 
@@ -191,6 +192,77 @@ TEST(MemoryDesignCache, FailuresAreCachedAndRethrownVerbatim)
         }
     }
     EXPECT_EQ(computes, 1);
+}
+
+/**
+ * Cached failures must keep their structured identity: a ConfigError
+ * computed once rethrows as a ConfigError on every hit, a ModelError
+ * as a ModelError — the error *category* a sweep records for a point
+ * (see common/error.hh) is the same whether the failure was computed
+ * or replayed from the cache.
+ */
+TEST(MemoryDesignCache, CachedFailuresKeepTheirErrorCategory)
+{
+    MemoryDesignCache cache;
+    const TechNode tech = TechNode::make(28.0);
+    MemoryRequest r = baseRequest();
+    r.targetCycleS = 1e-12; // 1 THz: unsatisfiable
+
+    const auto category_of = [](auto &&fn) {
+        try {
+            fn();
+        } catch (...) {
+            return captureCurrentException("test").category;
+        }
+        return ErrorCategory::None;
+    };
+
+    // Miss then hit: same category both times.
+    EXPECT_EQ(category_of([&] { cache.optimize(tech, r); }),
+              ErrorCategory::Config);
+    EXPECT_EQ(category_of([&] { cache.optimize(tech, r); }),
+              ErrorCategory::Config);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(category_of([&] {
+                      cache.getOrCompute(
+                          "model-cat", [&]() -> MemoryDesign {
+                              throw ModelError("no fit");
+                          });
+                  }),
+                  ErrorCategory::Model);
+    }
+}
+
+/**
+ * Injected faults are synthetic, not properties of the design point —
+ * caching one would poison every later lookup of the same key. The
+ * cache must let the fault propagate uncached and recompute on the
+ * next request.
+ */
+TEST(MemoryDesignCache, InjectedFaultsAreNotCached)
+{
+    MemoryDesignCache cache;
+    int computes = 0;
+    MemoryDesign seed;
+    seed.banks = 3;
+    seed.feasible = true;
+
+    EXPECT_THROW(cache.getOrCompute("inject-key",
+                                    [&]() -> MemoryDesign {
+                                        ++computes;
+                                        throw InjectedFault(
+                                            "memory.search", 0);
+                                    }),
+                 InjectedFault);
+    // The retry recomputes — and this time succeeds.
+    const MemoryDesign d = cache.getOrCompute("inject-key", [&] {
+        ++computes;
+        return seed;
+    });
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(d.banks, 3);
 }
 
 /**

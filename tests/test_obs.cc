@@ -522,9 +522,10 @@ TEST(Manifest, WriteMetricsManifestEmbedsSnapshot)
 
 TEST(Manifest, WriteTextFileFailureThrows)
 {
+    // Writes are atomic (common/io.hh) and fail with IoError.
     EXPECT_THROW(
         obs::writeTextFile("/nonexistent-dir/x/y/manifest.json", "{}"),
-        ConfigError);
+        IoError);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,673 @@
+/**
+ * @file
+ * Fault-tolerance tests: the deterministic fault injector, per-point
+ * error isolation in SweepEngine (serial and parallel, with the
+ * fail-fast escape hatch), structured error capture, atomic file
+ * writes under injected I/O faults, checkpoint round-trips, and the
+ * headline property — a cancelled-then-resumed sweep produces output
+ * byte-identical to an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chip/optimizer.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/io.hh"
+#include "common/units.hh"
+#include "explore/cancel.hh"
+#include "explore/checkpoint.hh"
+#include "explore/export.hh"
+#include "explore/sweep.hh"
+#include "memory/design_cache.hh"
+
+namespace neurometer {
+namespace {
+
+/** RAII: leave the process-wide injector disarmed after every test. */
+struct InjectorGuard
+{
+    InjectorGuard() { faultInjector().reset(); }
+    ~InjectorGuard() { faultInjector().reset(); }
+};
+
+ChipConfig
+smallBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 8.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    return cfg;
+}
+
+/** A 6-point grid, cheap enough to sweep repeatedly. */
+SweepGrid
+sixPoints()
+{
+    SweepGrid g;
+    g.tuLengths = {8, 16, 32};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}, {2, 1}};
+    return g;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << path;
+    std::string s((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+    return s;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream f(path);
+    return f.good();
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector
+
+TEST(FaultInjector, DisarmedSitesNeverThrowOrCount)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = faultInjector();
+    for (int i = 0; i < 100; ++i)
+        fi.at("robustness.test");
+    EXPECT_EQ(fi.hits("robustness.test"), 0u);
+    EXPECT_EQ(fi.injected("robustness.test"), 0u);
+}
+
+TEST(FaultInjector, ExplicitHitPlanFailsExactlyThosehits)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = faultInjector();
+    FaultInjector::Plan plan;
+    plan.failHits = {1, 3};
+    fi.arm("robustness.test", plan);
+
+    std::vector<int> threw;
+    for (int i = 0; i < 6; ++i) {
+        try {
+            fi.at("robustness.test");
+        } catch (const InjectedFault &e) {
+            threw.push_back(i);
+            EXPECT_EQ(e.site(), "robustness.test");
+        }
+    }
+    EXPECT_EQ(threw, (std::vector<int>{1, 3}));
+    EXPECT_EQ(fi.hits("robustness.test"), 6u);
+    EXPECT_EQ(fi.injected("robustness.test"), 2u);
+}
+
+TEST(FaultInjector, EveryNthPlanIsPeriodic)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = faultInjector();
+    FaultInjector::Plan plan;
+    plan.everyN = 3;
+    plan.offset = 1;
+    fi.arm("robustness.test", plan);
+
+    std::vector<int> threw;
+    for (int i = 0; i < 9; ++i) {
+        try {
+            fi.at("robustness.test");
+        } catch (const InjectedFault &) {
+            threw.push_back(i);
+        }
+    }
+    EXPECT_EQ(threw, (std::vector<int>{1, 4, 7}));
+}
+
+TEST(FaultInjector, RearmingResetsCountersSoRerunsAreIdentical)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = faultInjector();
+    FaultInjector::Plan plan;
+    plan.failHits = {0};
+
+    for (int run = 0; run < 2; ++run) {
+        fi.arm("robustness.test", plan);
+        EXPECT_THROW(fi.at("robustness.test"), InjectedFault);
+        fi.at("robustness.test"); // hit 1: clean on both runs
+        EXPECT_EQ(fi.hits("robustness.test"), 2u);
+        EXPECT_EQ(fi.injected("robustness.test"), 1u);
+    }
+}
+
+TEST(FaultInjector, SpecStringsParseAndMalformedOnesAreRejected)
+{
+    InjectorGuard guard;
+    FaultInjector &fi = faultInjector();
+
+    fi.armFromSpec("robustness.test=2,5");
+    std::vector<int> threw;
+    for (int i = 0; i < 7; ++i) {
+        try {
+            fi.at("robustness.test");
+        } catch (const InjectedFault &) {
+            threw.push_back(i);
+        }
+    }
+    EXPECT_EQ(threw, (std::vector<int>{2, 5}));
+
+    fi.armFromSpec("robustness.test=every:4+2");
+    threw.clear();
+    for (int i = 0; i < 9; ++i) {
+        try {
+            fi.at("robustness.test");
+        } catch (const InjectedFault &) {
+            threw.push_back(i);
+        }
+    }
+    EXPECT_EQ(threw, (std::vector<int>{2, 6}));
+
+    EXPECT_THROW(fi.armFromSpec("no-equals-sign"), ConfigError);
+    EXPECT_THROW(fi.armFromSpec("site="), ConfigError);
+    EXPECT_THROW(fi.armFromSpec("site=notanumber"), ConfigError);
+    EXPECT_THROW(fi.armFromSpec("site=every:0"), ConfigError);
+    EXPECT_THROW(fi.armFromSpec("site=every:x"), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Structured error capture
+
+TEST(PointError, CaptureClassifiesEveryCategory)
+{
+    const auto capture = [](void (*thrower)()) {
+        try {
+            thrower();
+        } catch (...) {
+            return captureCurrentException("test.site");
+        }
+        return PointError{};
+    };
+
+    PointError e = capture([] { throw ConfigError("bad knob"); });
+    EXPECT_EQ(e.category, ErrorCategory::Config);
+    EXPECT_EQ(e.site, "test.site");
+    EXPECT_EQ(e.message, "config error: bad knob");
+
+    e = capture([] { throw ModelError("bad fit"); });
+    EXPECT_EQ(e.category, ErrorCategory::Model);
+
+    e = capture([] { throw IoError("disk gone"); });
+    EXPECT_EQ(e.category, ErrorCategory::Io);
+
+    e = capture([] { throw CancelledError("stop"); });
+    EXPECT_EQ(e.category, ErrorCategory::Cancelled);
+
+    e = capture([] { throw InjectedFault("memory.search", 3); });
+    EXPECT_EQ(e.category, ErrorCategory::Injected);
+    // An injected fault reports the site it fired at, not the catcher.
+    EXPECT_EQ(e.site, "memory.search");
+
+    e = capture([] { throw std::runtime_error("mystery"); });
+    EXPECT_EQ(e.category, ErrorCategory::Unknown);
+
+    e = capture([] { throw 42; });
+    EXPECT_EQ(e.category, ErrorCategory::Unknown);
+}
+
+TEST(PointError, CategoryNamesRoundTrip)
+{
+    for (ErrorCategory c :
+         {ErrorCategory::None, ErrorCategory::Config,
+          ErrorCategory::Model, ErrorCategory::Io,
+          ErrorCategory::Cancelled, ErrorCategory::Injected,
+          ErrorCategory::Unknown})
+        EXPECT_EQ(errorCategoryFromStr(errorCategoryStr(c)), c);
+}
+
+// ---------------------------------------------------------------------
+// Atomic writes
+
+TEST(AtomicWrite, ReplacesContentAndLeavesNoTemporary)
+{
+    const std::string dir = testing::TempDir();
+    const std::string path = dir + "neurometer_atomic_test.txt";
+    writeFileAtomic(path, "first\n");
+    EXPECT_EQ(readFile(path), "first\n");
+    writeFileAtomic(path, "second\n");
+    EXPECT_EQ(readFile(path), "second\n");
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, FailureKeepsTheOldFileIntact)
+{
+    InjectorGuard guard;
+    const std::string path =
+        testing::TempDir() + "neurometer_atomic_fault.txt";
+    writeFileAtomic(path, "precious\n");
+
+    faultInjector().armFromSpec("io.write=0");
+    EXPECT_THROW(writeFileAtomic(path, "torn half-wri"), InjectedFault);
+    // The destination is untouched and the temporary was cleaned up.
+    EXPECT_EQ(readFile(path), "precious\n");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWrite, UnwritableDirectoryThrowsIoError)
+{
+    EXPECT_THROW(
+        writeFileAtomic("/nonexistent-dir/x/y/out.txt", "data"),
+        IoError);
+}
+
+// ---------------------------------------------------------------------
+// Per-point isolation in SweepEngine
+
+TEST(SweepIsolation, InjectedFaultBecomesAFailedRowNotAnAbort)
+{
+    InjectorGuard guard;
+    for (int threads : {1, 4}) {
+        faultInjector().armFromSpec("chip.build=1");
+        SweepOptions opts;
+        opts.threads = threads;
+        SweepEngine engine(smallBase(), opts);
+        const std::vector<EvalRecord> recs = engine.run(sixPoints());
+        faultInjector().reset();
+
+        ASSERT_EQ(recs.size(), 6u) << "threads=" << threads;
+        std::size_t failed = 0;
+        for (const EvalRecord &r : recs) {
+            if (r.status != PointStatus::Failed)
+                continue;
+            ++failed;
+            EXPECT_EQ(r.error.category, ErrorCategory::Injected);
+            EXPECT_EQ(r.error.site, "chip.build");
+            EXPECT_FALSE(r.error.message.empty());
+            EXPECT_FALSE(r.feasible());
+        }
+        EXPECT_EQ(failed, 1u) << "threads=" << threads;
+        EXPECT_EQ(engine.lastRun().failed, 1u);
+        EXPECT_EQ(engine.lastRun().ok, 5u);
+        EXPECT_FALSE(engine.lastRun().cancelled);
+    }
+}
+
+TEST(SweepIsolation, SerialFaultPlacementIsDeterministic)
+{
+    InjectorGuard guard;
+    // Same plan, two runs: the same grid index must fail both times.
+    std::vector<std::size_t> failed_at;
+    for (int run = 0; run < 2; ++run) {
+        faultInjector().armFromSpec("chip.build=2");
+        SweepOptions opts;
+        opts.threads = 1;
+        SweepEngine engine(smallBase(), opts);
+        const std::vector<EvalRecord> recs = engine.run(sixPoints());
+        faultInjector().reset();
+        for (std::size_t i = 0; i < recs.size(); ++i)
+            if (recs[i].status == PointStatus::Failed)
+                failed_at.push_back(i);
+    }
+    ASSERT_EQ(failed_at.size(), 2u);
+    EXPECT_EQ(failed_at[0], failed_at[1]);
+    EXPECT_EQ(failed_at[0], 2u);
+}
+
+TEST(SweepIsolation, InjectedFaultsAreNeverCachedSoRetriesSucceed)
+{
+    InjectorGuard guard;
+    SweepOptions opts;
+    opts.threads = 1;
+
+    // Reference: what the grid looks like with no faults at all.
+    SweepEngine clean(smallBase(), opts);
+    const std::vector<EvalRecord> want = clean.run(sixPoints());
+
+    // Fail one point, then re-run the same engine without the fault:
+    // the failure must not have poisoned the eval or memory caches.
+    memoryDesignCache().clear();
+    faultInjector().armFromSpec("memory.search=0");
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> faulty = engine.run(sixPoints());
+    faultInjector().reset();
+    std::size_t failed = 0;
+    for (const EvalRecord &r : faulty)
+        failed += r.status == PointStatus::Failed;
+    ASSERT_GE(failed, 1u);
+
+    const std::vector<EvalRecord> retry = engine.run(sixPoints());
+    ASSERT_EQ(retry.size(), want.size());
+    for (std::size_t i = 0; i < retry.size(); ++i)
+        EXPECT_EQ(retry[i], want[i]) << "record " << i;
+}
+
+TEST(SweepIsolation, FailFastRestoresTheAbortingPolicy)
+{
+    InjectorGuard guard;
+    faultInjector().armFromSpec("chip.build=0");
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.failFast = true;
+    SweepEngine engine(smallBase(), opts);
+    EXPECT_THROW(engine.run(sixPoints()), InjectedFault);
+}
+
+TEST(SweepIsolation, AllPointsFailedIsStillACompleteRun)
+{
+    InjectorGuard guard;
+    faultInjector().armFromSpec("chip.build=every:1");
+    SweepOptions opts;
+    opts.threads = 2;
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(sixPoints());
+    faultInjector().reset();
+
+    ASSERT_EQ(recs.size(), 6u);
+    for (const EvalRecord &r : recs)
+        EXPECT_EQ(r.status, PointStatus::Failed);
+    EXPECT_EQ(engine.lastRun().failed, 6u);
+    EXPECT_EQ(engine.lastRun().ok, 0u);
+    EXPECT_FALSE(engine.lastRun().cancelled);
+}
+
+TEST(SweepIsolation, FailedRowsExportWithStructuredColumns)
+{
+    InjectorGuard guard;
+    faultInjector().armFromSpec("chip.build=0");
+    SweepOptions opts;
+    opts.threads = 1;
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(sixPoints());
+    faultInjector().reset();
+
+    const std::string csv = toCsv(recs);
+    EXPECT_NE(csv.find("status,error_category,error_site"),
+              std::string::npos);
+    EXPECT_NE(csv.find("failed,injected,\"chip.build\""),
+              std::string::npos)
+        << csv;
+
+    const std::string json = toJson(recs);
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(json.find("\"error_category\": \"injected\""),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Cancellation
+
+TEST(Cancel, TokenSourcesAndCopySemantics)
+{
+    CancelToken t;
+    EXPECT_FALSE(t.cancelled());
+    const CancelToken copy = t; // copies alias the same state
+    t.requestCancel();
+    EXPECT_TRUE(t.cancelled());
+    EXPECT_TRUE(copy.cancelled());
+
+    CancelToken deadline;
+    deadline.cancelAfterSeconds(-1.0); // already elapsed
+    EXPECT_TRUE(deadline.cancelled());
+
+    CancelToken future;
+    future.cancelAfterSeconds(3600.0);
+    EXPECT_FALSE(future.cancelled());
+}
+
+TEST(Cancel, SweepDrainsAndReportsPartialResults)
+{
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.cancelAfterPoints = 2;
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(sixPoints());
+
+    // Serial: exactly 2 evaluated, the rest dropped as not-evaluated.
+    EXPECT_EQ(recs.size(), 2u);
+    const SweepRunStats &s = engine.lastRun();
+    EXPECT_TRUE(s.cancelled);
+    EXPECT_EQ(s.total, 6u);
+    EXPECT_EQ(s.evaluated, 2u);
+    EXPECT_EQ(s.notEvaluated, 4u);
+    for (const EvalRecord &r : recs)
+        EXPECT_EQ(r.status, PointStatus::Ok);
+}
+
+TEST(Cancel, PreCancelledTokenEvaluatesNothing)
+{
+    SweepOptions opts;
+    opts.threads = 2;
+    opts.cancel.requestCancel();
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(sixPoints());
+    EXPECT_TRUE(recs.empty());
+    EXPECT_TRUE(engine.lastRun().cancelled);
+    EXPECT_EQ(engine.lastRun().evaluated, 0u);
+    EXPECT_EQ(engine.lastRun().notEvaluated, 6u);
+}
+
+TEST(Cancel, CompletedRunIsNotPartialEvenIfTheTokenFiresLate)
+{
+    // The token fires after the last point: nothing was skipped, so
+    // the run is complete (CLI exit 0, not 3).
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.cancelAfterPoints = 6;
+    SweepEngine engine(smallBase(), opts);
+    const std::vector<EvalRecord> recs = engine.run(sixPoints());
+    EXPECT_EQ(recs.size(), 6u);
+    EXPECT_FALSE(engine.lastRun().cancelled);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume
+
+TEST(Checkpoint, RoundTripsEntriesBitIdentically)
+{
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_roundtrip.jsonl";
+    std::remove(path.c_str());
+
+    CheckpointEntry ok;
+    ok.key = "key-a";
+    ok.metrics.buildOk = true;
+    ok.metrics.peakTops = 1.0 / 3.0; // not exactly representable in %g
+    ok.metrics.areaMm2 = 123.456789012345678;
+    ok.metrics.tdpW = 2e-301; // subnormal-adjacent round-trip check
+    ok.metrics.topsPerWatt = -0.0;
+
+    CheckpointEntry bad;
+    bad.key = "key-b";
+    bad.failed = true;
+    bad.error = {ErrorCategory::Injected, "memory.search",
+                 "injected fault at memory.search (hit #3)"};
+    bad.metrics.buildOk = false;
+    bad.metrics.buildError = "line1\nline2 \"quoted\"";
+
+    {
+        SweepCheckpoint w(path, "base-key", 100);
+        w.add(ok);
+        w.add(bad);
+        w.flush();
+    }
+    const auto loaded = SweepCheckpoint::load(path, "base-key");
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.at("key-a"), ok);
+    EXPECT_EQ(loaded.at("key-b"), bad);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoaderRejectsGarbageAndForeignBases)
+{
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_bad.jsonl";
+
+    // Missing file: an empty map, not an error (first --resume run).
+    std::remove(path.c_str());
+    EXPECT_TRUE(SweepCheckpoint::load(path, "base").empty());
+
+    // Garbage: a line-numbered ConfigError, never a crash.
+    writeFileAtomic(path, "this is not json\n");
+    EXPECT_THROW(SweepCheckpoint::load(path, "base"), ConfigError);
+
+    // A checkpoint for a different base config must refuse to resume.
+    {
+        SweepCheckpoint w(path, "base-one", 1);
+        CheckpointEntry e;
+        e.key = "k";
+        w.add(e);
+        w.flush();
+    }
+    EXPECT_NO_THROW(SweepCheckpoint::load(path, "base-one"));
+    EXPECT_THROW(SweepCheckpoint::load(path, "base-two"), ConfigError);
+
+    // A torn final line (no trailing newline) is silently dropped.
+    std::string torn = readFile(path);
+    torn += "{\"key\": \"half";
+    writeFileAtomic(path, torn);
+    EXPECT_EQ(SweepCheckpoint::load(path, "base-one").size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeSkipsRestoredPointsEntirely)
+{
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_skip.jsonl";
+    std::remove(path.c_str());
+
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.checkpointPath = path;
+    opts.checkpointEveryN = 1;
+
+    SweepEngine first(smallBase(), opts);
+    first.run(sixPoints());
+    EXPECT_EQ(first.lastRun().evaluated, 6u);
+
+    // A fresh engine (cold eval cache) resuming the full checkpoint
+    // must not evaluate anything: restored points never touch caches.
+    opts.resume = true;
+    SweepEngine second(smallBase(), opts);
+    second.run(sixPoints());
+    EXPECT_EQ(second.lastRun().evaluated, 0u);
+    EXPECT_EQ(second.lastRun().restored, 6u);
+    EXPECT_EQ(second.cache().stats().hits + second.cache().stats().misses,
+              0u)
+        << "restored points consulted the eval cache";
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CancelThenResumeMatchesUninterruptedByteForByte)
+{
+    InjectorGuard guard;
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_resume.jsonl";
+    std::remove(path.c_str());
+    const SweepGrid grid = sixPoints();
+
+    // Reference: one uninterrupted serial run — with a fault, so the
+    // resumed output must reproduce the failed row too.
+    faultInjector().armFromSpec("chip.build=1");
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(smallBase(), ref_opts);
+    const std::vector<EvalRecord> want = ref.run(grid);
+    const std::string want_csv = toCsv(want);
+    const std::string want_json = toJson(want);
+
+    // Interrupted: serial (deterministic fault placement + cut point),
+    // cancelled partway through with checkpointing on.
+    faultInjector().armFromSpec("chip.build=1");
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.checkpointPath = path;
+    opts.checkpointEveryN = 1;
+    opts.cancelAfterPoints = 3;
+    SweepEngine killed(smallBase(), opts);
+    killed.run(grid);
+    EXPECT_TRUE(killed.lastRun().cancelled);
+    EXPECT_EQ(killed.lastRun().evaluated, 3u);
+
+    // Resumed: a fresh engine finishes the job (no faults armed — the
+    // checkpoint replays the original failure instead of retrying it).
+    faultInjector().reset();
+    SweepOptions res_opts;
+    res_opts.threads = 1;
+    res_opts.checkpointPath = path;
+    res_opts.resume = true;
+    SweepEngine resumed(smallBase(), res_opts);
+    const std::vector<EvalRecord> recs = resumed.run(grid);
+    EXPECT_FALSE(resumed.lastRun().cancelled);
+    EXPECT_EQ(resumed.lastRun().restored, 3u);
+    EXPECT_EQ(resumed.lastRun().evaluated, 3u);
+
+    EXPECT_EQ(toCsv(recs), want_csv);
+    EXPECT_EQ(toJson(recs), want_json);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ParallelCancelThenResumeMatchesUninterrupted)
+{
+    // The parallel flavor: the cancellation cut is ragged (whatever
+    // was in flight drains), so only the end state is asserted — the
+    // resumed output must still match a clean serial reference byte
+    // for byte, whether or not the cancel landed before completion.
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_resume_par.jsonl";
+    std::remove(path.c_str());
+    const SweepGrid grid = sixPoints();
+
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(smallBase(), ref_opts);
+    const std::string want_csv = toCsv(ref.run(grid));
+
+    SweepOptions opts;
+    opts.threads = 3;
+    opts.checkpointPath = path;
+    opts.checkpointEveryN = 1;
+    opts.cancelAfterPoints = 2;
+    SweepEngine killed(smallBase(), opts);
+    killed.run(grid);
+
+    SweepOptions res_opts;
+    res_opts.threads = 3;
+    res_opts.checkpointPath = path;
+    res_opts.resume = true;
+    SweepEngine resumed(smallBase(), res_opts);
+    const std::vector<EvalRecord> recs = resumed.run(grid);
+    EXPECT_FALSE(resumed.lastRun().cancelled);
+    EXPECT_GT(resumed.lastRun().restored, 0u);
+    EXPECT_EQ(toCsv(recs), want_csv);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumingACompleteCheckpointIsANoOpRun)
+{
+    const std::string path =
+        testing::TempDir() + "neurometer_ckpt_noop.jsonl";
+    std::remove(path.c_str());
+
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.checkpointPath = path;
+    SweepEngine first(smallBase(), opts);
+    const std::string want = toCsv(first.run(sixPoints()));
+
+    opts.resume = true;
+    SweepEngine again(smallBase(), opts);
+    const std::string got = toCsv(again.run(sixPoints()));
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(again.lastRun().evaluated, 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace neurometer

@@ -11,8 +11,19 @@
  *   neurometer sweep chip.cfg --axis core.numTU=1,2,4 [--axis ...]
  *              [--out sweep.csv] [--json] [--threads N]
  *              [--manifest FILE] [--trace FILE]
+ *              [--checkpoint FILE] [--resume] [--fail-fast]
+ *              [--max-seconds S] [--cancel-after N]
+ *              [--inject SITE=SPEC]
  *   neurometer metrics chip.cfg [--json]
  *   neurometer fields
+ *
+ * Exit codes (see README "Robustness"):
+ *   0  success
+ *   2  usage, config, or I/O error
+ *   3  partial result — the sweep was cancelled (SIGINT,
+ *      --max-seconds, --cancel-after) with points left; resumable
+ *      via --checkpoint/--resume
+ *   4  every evaluated point failed
  *
  * Observability (see README "Observability"): sweeps render a live
  * progress line (points done, rate, ETA, cache hit rates) to stderr
@@ -72,6 +83,9 @@ usage(FILE *to)
         "  sweep <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
         "        [--out FILE] [--json] [--threads N]\n"
         "        [--manifest FILE] [--trace FILE]\n"
+        "        [--checkpoint FILE] [--resume] [--fail-fast]\n"
+        "        [--max-seconds S] [--cancel-after N]\n"
+        "        [--inject SITE=SPEC]\n"
         "      Cross-product sweep over named schema axes, CSV (or\n"
         "      JSON) to FILE or stdout. Axes apply on top of the\n"
         "      config file's values. With --out, a run manifest is\n"
@@ -79,6 +93,19 @@ usage(FILE *to)
         "      and, when tracing is compiled in, a Chrome trace to\n"
         "      FILE.trace.json (override: --trace; open in\n"
         "      chrome://tracing or ui.perfetto.dev).\n"
+        "\n"
+        "      A point that throws becomes a status=failed row (error\n"
+        "      category/site/message columns) and the sweep carries on;\n"
+        "      --fail-fast restores the abort-on-first-error policy.\n"
+        "      --checkpoint FILE persists completed points (atomic\n"
+        "      JSONL); --resume reloads it and skips them, producing\n"
+        "      output identical to an uninterrupted run. Ctrl-C,\n"
+        "      --max-seconds S, or --cancel-after N (testing) cancel\n"
+        "      cooperatively: in-flight points finish, partial results\n"
+        "      + checkpoint + manifest are flushed, exit code 3.\n"
+        "      --inject SITE=SPEC arms the deterministic fault\n"
+        "      injector (sites: memory.search, chip.build, io.write;\n"
+        "      SPEC: comma-separated hit numbers or every:N[+OFF]).\n"
         "\n"
         "  metrics <chip.cfg> [--json]\n"
         "      Build the chip, then dump the metrics-registry snapshot\n"
@@ -88,7 +115,10 @@ usage(FILE *to)
         "      List every config field: name, type, default, range.\n"
         "\n"
         "  --quiet    suppress progress and stats (errors only)\n"
-        "  --verbose  force progress/stats even when piped\n");
+        "  --verbose  force progress/stats even when piped\n"
+        "\n"
+        "exit codes: 0 success; 2 usage/config/io error; 3 partial\n"
+        "(cancelled, resumable); 4 all evaluated points failed\n");
     return to == stderr ? 2 : 0;
 }
 
@@ -233,9 +263,15 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     std::string out;
     std::string manifest_path;
     std::string trace_path;
+    std::string checkpoint_path;
     bool json = false;
+    bool resume = false;
+    bool fail_fast = false;
+    double max_seconds = 0.0;
+    std::size_t cancel_after = 0;
     int threads = 0;
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    std::vector<std::string> injects;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
@@ -252,6 +288,23 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
             manifest_path = next("--manifest");
         } else if (a == "--trace") {
             trace_path = next("--trace");
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next("--checkpoint");
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--fail-fast") {
+            fail_fast = true;
+        } else if (a == "--max-seconds") {
+            max_seconds = std::atof(next("--max-seconds").c_str());
+            requireConfig(max_seconds > 0.0,
+                          "--max-seconds expects a positive number");
+        } else if (a == "--cancel-after") {
+            const int n = std::atoi(next("--cancel-after").c_str());
+            requireConfig(n > 0,
+                          "--cancel-after expects a positive count");
+            cancel_after = std::size_t(n);
+        } else if (a == "--inject") {
+            injects.push_back(next("--inject"));
         } else if (a == "--threads") {
             threads = std::atoi(next("--threads").c_str());
         } else if (a == "--axis") {
@@ -285,6 +338,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     requireConfig(!path.empty(), "sweep needs a config file");
     requireConfig(!axes.empty(),
                   "sweep needs at least one --axis PATH=V1,V2,...");
+    requireConfig(!resume || !checkpoint_path.empty(),
+                  "--resume needs --checkpoint FILE");
     if (!trace_path.empty() && !obs::traceCompiledIn) {
         std::fprintf(stderr,
                      "neurometer: warning: --trace ignored (tracing "
@@ -315,6 +370,15 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     opts.threads = threads;
     if (v.progress())
         opts.onProgress = renderProgress;
+    opts.failFast = fail_fast;
+    opts.checkpointPath = checkpoint_path;
+    opts.resume = resume;
+    opts.cancelAfterPoints = cancel_after;
+    opts.cancel.armSigint();
+    if (max_seconds > 0.0)
+        opts.cancel.cancelAfterSeconds(max_seconds);
+    for (const std::string &spec : injects)
+        faultInjector().armFromSpec(spec);
 
     const auto t0 = std::chrono::steady_clock::now();
     SweepEngine engine(cfg, opts);
@@ -323,6 +387,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+
+    const SweepRunStats &stats = engine.lastRun();
 
     const obs::Snapshot snap = obs::snapshot();
     if (v.stats())
@@ -335,9 +401,19 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     } else {
         writeFile(out, rendered);
         if (!v.quiet) {
-            std::printf("wrote %zu points to %s\n", records.size(),
-                        out.c_str());
+            std::printf("wrote %zu points to %s%s\n", records.size(),
+                        out.c_str(),
+                        stats.cancelled ? " (partial: cancelled)" : "");
         }
+    }
+    if (stats.cancelled && !v.quiet) {
+        std::fprintf(stderr,
+                     "neurometer: sweep cancelled with %zu of %zu "
+                     "points left%s\n",
+                     stats.notEvaluated, stats.total,
+                     checkpoint_path.empty()
+                         ? ""
+                         : "; rerun with --resume to finish");
     }
 
     // Run manifest: written next to the export (or wherever --manifest
@@ -363,6 +439,26 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
         }
         axes_json += "]";
 
+        // Failure summary: the first few failed points, so a manifest
+        // alone is enough to see *what* broke without the CSV.
+        std::string failures_json = "[";
+        std::size_t listed = 0;
+        for (const EvalRecord &r : records) {
+            if (r.status != PointStatus::Failed)
+                continue;
+            if (listed >= 10)
+                break;
+            failures_json += (listed ? ", {" : "{");
+            failures_json +=
+                "\"category\": " +
+                obs::jsonQuote(errorCategoryStr(r.error.category)) +
+                ", \"site\": " + obs::jsonQuote(r.error.site) +
+                ", \"message\": " + obs::jsonQuote(r.error.message) +
+                "}";
+            ++listed;
+        }
+        failures_json += "]";
+
         obs::ManifestBuilder m =
             obs::runManifest("neurometer sweep",
                              commandLine("sweep", args));
@@ -373,6 +469,13 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
                  std::int64_t(engine.pool().numThreads()))
             .set("points", std::int64_t(records.size()))
             .set("feasible", std::int64_t(feasible))
+            .set("points_ok", std::int64_t(stats.ok))
+            .set("points_failed", std::int64_t(stats.failed))
+            .set("points_restored", std::int64_t(stats.restored))
+            .set("points_not_evaluated",
+                 std::int64_t(stats.notEvaluated))
+            .set("cancelled", stats.cancelled)
+            .raw("failures", failures_json)
             .set("output", out.empty() ? "<stdout>" : out)
             .set("format", json ? "json" : "csv")
             .set("elapsed_s", elapsed_s)
@@ -395,6 +498,14 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
                             obs::traceEventCount()));
         }
     }
+
+    // Exit-code contract (see usage): 3 = partial/resumable, 4 = every
+    // evaluated point failed, 0 otherwise (individual failures are in
+    // the status column, not the exit code).
+    if (stats.cancelled)
+        return 3;
+    if (stats.total > 0 && stats.failed == stats.total)
+        return 4;
     return 0;
 }
 
@@ -438,6 +549,9 @@ main(int argc, char **argv)
         return usage(stderr);
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "neurometer: %s\n", e.what());
-        return 1;
+        return 2;
+    } catch (const IoError &e) {
+        std::fprintf(stderr, "neurometer: %s\n", e.what());
+        return 2;
     }
 }
