@@ -1,0 +1,475 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace neurometer::json {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &s) : _s(s) {}
+
+    Value
+    parse()
+    {
+        Value v = value();
+        skipWs();
+        if (_i != _s.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw Error("at byte " + std::to_string(_i) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (_i < _s.size() &&
+               (_s[_i] == ' ' || _s[_i] == '\n' || _s[_i] == '\t' ||
+                _s[_i] == '\r'))
+            ++_i;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (_i >= _s.size())
+            fail("unexpected end");
+        return _s[_i];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_i;
+    }
+
+    Value
+    value()
+    {
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.text = string();
+            return v;
+          }
+          case 't':
+          case 'f':
+            return boolean();
+          case 'n':
+            literal("null");
+            return {};
+          default:
+            return num();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++_i)
+            if (_i >= _s.size() || _s[_i] != *p)
+                fail(std::string("bad literal, wanted ") + word);
+    }
+
+    Value
+    boolean()
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    Value
+    num()
+    {
+        const std::size_t start = _i;
+        if (_i < _s.size() && (_s[_i] == '-' || _s[_i] == '+'))
+            ++_i;
+        while (_i < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_i])) ||
+                _s[_i] == '.' || _s[_i] == 'e' || _s[_i] == 'E' ||
+                _s[_i] == '-' || _s[_i] == '+'))
+            ++_i;
+        if (_i == start)
+            fail("expected number");
+        Value v;
+        v.kind = Value::Kind::Number;
+        try {
+            v.number = std::stod(_s.substr(start, _i - start));
+        } catch (const std::exception &) {
+            fail("bad number '" + _s.substr(start, _i - start) + "'");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_i >= _s.size())
+                fail("unterminated string");
+            const char c = _s[_i++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_i >= _s.size())
+                fail("unterminated escape");
+            const char e = _s[_i++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (_i + 4 > _s.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                try {
+                    code = static_cast<unsigned>(
+                        std::stoul(_s.substr(_i, 4), nullptr, 16));
+                } catch (const std::exception &) {
+                    fail("bad \\u escape");
+                }
+                _i += 4;
+                // Control-plane only: NeuroMeter emits \u00XX for
+                // control chars; wider code points keep the low byte.
+                out += static_cast<char>(code & 0xff);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        if (peek() == ']') {
+            ++_i;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        if (peek() == '}') {
+            ++_i;
+            return v;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = string();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            if (peek() == ',') {
+                ++_i;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &_s;
+    std::size_t _i = 0;
+};
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null:
+        return "null";
+      case Value::Kind::Bool:
+        return "bool";
+      case Value::Kind::Number:
+        return "number";
+      case Value::Kind::String:
+        return "string";
+      case Value::Kind::Array:
+        return "array";
+      case Value::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+kindMismatch(const char *wanted, Value::Kind got)
+{
+    throw Error(std::string("expected ") + wanted + ", got " +
+                kindName(got));
+}
+
+void
+dumpInto(const Value &v, std::string &out)
+{
+    switch (v.kind) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        out += number(v.number);
+        break;
+      case Value::Kind::String:
+        out += quote(v.text);
+        break;
+      case Value::Kind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            if (i)
+                out += ", ";
+            dumpInto(v.items[i], out);
+        }
+        out += ']';
+        break;
+      }
+      case Value::Kind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < v.members.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += quote(v.members[i].first);
+            out += ": ";
+            dumpInto(v.members[i].second, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind != Kind::String)
+        kindMismatch("string", kind);
+    return text;
+}
+
+double
+Value::asNumber() const
+{
+    if (kind != Kind::Number)
+        kindMismatch("number", kind);
+    return number;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind != Kind::Bool)
+        kindMismatch("bool", kind);
+    return boolean;
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpInto(*this, out);
+    return out;
+}
+
+Value
+Value::null()
+{
+    return {};
+}
+
+Value
+Value::boolean_(bool b)
+{
+    Value v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+Value
+Value::number_(double d)
+{
+    Value v;
+    v.kind = Kind::Number;
+    v.number = d;
+    return v;
+}
+
+Value
+Value::string_(std::string s)
+{
+    Value v;
+    v.kind = Kind::String;
+    v.text = std::move(s);
+    return v;
+}
+
+Value
+Value::array_()
+{
+    Value v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+Value
+Value::object_()
+{
+    Value v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    if (kind != Kind::Object)
+        kindMismatch("object", kind);
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+Value &
+Value::push(Value v)
+{
+    if (kind != Kind::Array)
+        kindMismatch("array", kind);
+    items.push_back(std::move(v));
+    return *this;
+}
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+compact(const std::string &text)
+{
+    return parse(text).dump();
+}
+
+} // namespace neurometer::json

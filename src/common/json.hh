@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal JSON value model: recursive-descent parser plus an
+ * escape-correct compact serializer.
+ *
+ * Grown out of the test-only reader in tests/test_obs.cc and promoted
+ * here so the serve/ wire protocol, the obs/ emitters, and the tests
+ * all share one implementation. The scope is deliberately small —
+ * everything NeuroMeter itself emits or accepts parses with it — not
+ * a general standards-lawyer JSON library:
+ *   - numbers are doubles (64-bit ints above 2^53 lose precision),
+ *   - \uXXXX escapes outside Latin-1 are truncated to their low byte
+ *     (NeuroMeter only ever emits \u00XX for control characters),
+ *   - object keys keep insertion order and duplicates are preserved
+ *     (find() returns the first).
+ *
+ * dump() emits a single line with no unescaped control characters, so
+ * a dumped value is always safe to frame as one newline-delimited
+ * message (see serve/net.hh).
+ */
+
+#ifndef NEUROMETER_COMMON_JSON_HH
+#define NEUROMETER_COMMON_JSON_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neurometer::json {
+
+/** Malformed JSON text or a type-mismatched accessor. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg)
+        : std::runtime_error("json error: " + msg)
+    {}
+};
+
+/** One JSON value; which members are meaningful depends on `kind`. */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Value> items;                              ///< Array
+    std::vector<std::pair<std::string, Value>> members;    ///< Object
+
+    /** First member named `key`, or nullptr (object kinds only). */
+    const Value *find(const std::string &key) const;
+
+    /** @name Checked accessors (throw Error on a kind mismatch) */
+    /** @{ */
+    const std::string &asString() const;
+    double asNumber() const;
+    bool asBool() const;
+    /** @} */
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Compact single-line serialization (see file comment). */
+    std::string dump() const;
+
+    /** @name Builders (for assembling responses by hand) */
+    /** @{ */
+    static Value null();
+    static Value boolean_(bool b);
+    static Value number_(double v);
+    static Value string_(std::string s);
+    static Value array_();
+    static Value object_();
+    /** Append a member (object kinds; no duplicate-key check). */
+    Value &set(const std::string &key, Value v);
+    /** Append an element (array kinds). */
+    Value &push(Value v);
+    /** @} */
+};
+
+/** Parse one complete JSON document; throws Error on malformed text
+ *  (including trailing garbage after the value). */
+Value parse(const std::string &text);
+
+/** JSON string literal: quotes + escapes for `"` `\` and controls. */
+std::string quote(const std::string &s);
+
+/** JSON number with round-trip (%.17g) precision; non-finite values
+ *  render as null (JSON has no inf/nan). */
+std::string number(double v);
+
+/** parse() + dump(): re-render pretty-printed JSON (manifests, the
+ *  obs snapshot, export::toJson) onto a single wire-safe line. */
+std::string compact(const std::string &text);
+
+} // namespace neurometer::json
+
+#endif // NEUROMETER_COMMON_JSON_HH

@@ -53,23 +53,44 @@ class CancelToken
      */
     void armSigint() const;
 
-    /** True once any source — request, deadline, SIGINT — fired. */
+    /**
+     * Chain this token to `parent`: cancelled() also reports true once
+     * the parent fires, while requestCancel()/deadlines on this token
+     * leave the parent untouched. This is how a per-request token in
+     * the serve/ daemon observes both its own deadline and the
+     * server-wide shutdown token. Single link, no cycles; call during
+     * setup, before the token is shared across threads (the link
+     * itself is plain data — only the linked states are atomic).
+     */
+    void
+    follow(const CancelToken &parent) const
+    {
+        _state->parent = parent._state;
+    }
+
+    /** True once any source — request, deadline, SIGINT, a followed
+     *  parent token — fired. */
     bool
     cancelled() const
     {
-        if (_state->flag.load(std::memory_order_relaxed))
-            return true;
-        if (_state->sigint && sigintRaised())
-            return true;
-        const std::int64_t dl =
-            _state->deadlineNs.load(std::memory_order_relaxed);
-        if (dl >= 0) {
-            const std::int64_t now =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now().time_since_epoch())
-                    .count();
-            if (now >= dl)
+        for (const State *s = _state.get(); s != nullptr;
+             s = s->parent.get()) {
+            if (s->flag.load(std::memory_order_relaxed))
                 return true;
+            if (s->sigint && sigintRaised())
+                return true;
+            const std::int64_t dl =
+                s->deadlineNs.load(std::memory_order_relaxed);
+            if (dl >= 0) {
+                const std::int64_t now =
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count();
+                if (now >= dl)
+                    return true;
+            }
         }
         return false;
     }
@@ -83,6 +104,8 @@ class CancelToken
         std::atomic<bool> flag{false};
         std::atomic<std::int64_t> deadlineNs{-1};
         bool sigint = false; ///< set once by armSigint(), then read-only
+        /** Chained parent (follow()); set once at setup, then read-only. */
+        std::shared_ptr<State> parent{};
     };
 
     std::shared_ptr<State> _state;

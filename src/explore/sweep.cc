@@ -153,8 +153,21 @@ SweepGrid::size() const
 }
 
 SweepEngine::SweepEngine(ChipConfig base, SweepOptions opts)
-    : _base(std::move(base)), _opts(opts), _pool(opts.threads)
-{}
+    : _base(std::move(base)), _opts(std::move(opts))
+{
+    if (_opts.sharedPool) {
+        _pool = _opts.sharedPool;
+    } else {
+        _ownedPool = std::make_unique<ThreadPool>(_opts.threads);
+        _pool = _ownedPool.get();
+    }
+    if (_opts.sharedCache) {
+        _cache = _opts.sharedCache;
+    } else {
+        _ownedCache = std::make_unique<EvalCache>();
+        _cache = _ownedCache.get();
+    }
+}
 
 std::vector<EvalRecord>
 SweepEngine::run(const SweepGrid &grid)
@@ -295,13 +308,13 @@ SweepEngine::run(const SweepGrid &grid)
         p.etaS = p.pointsPerS > 0.0
                      ? double(p.total - d) / p.pointsPerS
                      : 0.0;
-        p.evalCache = _cache.stats();
+        p.evalCache = _cache->stats();
         p.memoryCache = memoryDesignCache().stats();
         std::lock_guard<std::mutex> lk(report_mu);
         _opts.onProgress(p);
     };
 
-    _pool.parallelFor(
+    _pool->parallelFor(
         records.size(),
         [&](std::size_t i) {
             if (restored[i])
@@ -309,7 +322,7 @@ SweepEngine::run(const SweepGrid &grid)
             obs::TraceScope span("sweep.point", i);
             obs::ScopedTimer timer(point_hist);
             try {
-                records[i].metrics = _cache.evaluate(cfgs[i]);
+                records[i].metrics = _cache->evaluate(cfgs[i]);
                 records[i].why =
                     classify(records[i].metrics, _opts.constraints);
                 records[i].status = PointStatus::Ok;
@@ -403,7 +416,7 @@ SweepEngine::maximizeCores(int tu_length, int tu_per_core,
 {
     return neurometer::maximizeCores(
         _base, tu_length, tu_per_core, constraints,
-        [this](const ChipConfig &cfg) { return _cache.evaluate(cfg); });
+        [this](const ChipConfig &cfg) { return _cache->evaluate(cfg); });
 }
 
 MemoryCacheStats

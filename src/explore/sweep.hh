@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -192,6 +193,17 @@ struct SweepOptions
     /** Checkpoint rewrite cadence, in completed points. */
     std::size_t checkpointEveryN = 32;
     /** @} */
+
+    /** @name Shared-service hookup (see serve/server.hh)
+     * A long-lived host (the serve daemon) passes its process-wide
+     * cache and pool here so every request — and every engine — shares
+     * one set of memoized points and one worker fleet. Null (default):
+     * the engine owns a private cache and a pool sized by `threads`.
+     * Borrowed objects must outlive the engine. */
+    /** @{ */
+    EvalCache *sharedCache = nullptr;
+    ThreadPool *sharedPool = nullptr;
+    /** @} */
 };
 
 /** How the last run() ended: per-status counts and the cancel flag. */
@@ -240,8 +252,12 @@ class SweepEngine
 
     const ChipConfig &base() const { return _base; }
     const SweepOptions &options() const { return _opts; }
-    EvalCache &cache() { return _cache; }
-    ThreadPool &pool() { return _pool; }
+    /** The evaluation cache in use — engine-owned, or the shared one
+     *  injected through SweepOptions::sharedCache. */
+    EvalCache &cache() { return *_cache; }
+    /** The worker pool in use — engine-owned, or the shared one
+     *  injected through SweepOptions::sharedPool. */
+    ThreadPool &pool() { return *_pool; }
 
     /**
      * Hit/miss counters of the process-wide memory-design cache the
@@ -253,8 +269,11 @@ class SweepEngine
   private:
     ChipConfig _base;
     SweepOptions _opts;
-    ThreadPool _pool;
-    EvalCache _cache;
+    /** Owned instances, allocated only when no shared one is given. */
+    std::unique_ptr<ThreadPool> _ownedPool;
+    std::unique_ptr<EvalCache> _ownedCache;
+    ThreadPool *_pool = nullptr;
+    EvalCache *_cache = nullptr;
     SweepRunStats _lastRun;
 };
 

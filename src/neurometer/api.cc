@@ -1,0 +1,80 @@
+#include "neurometer/api.hh"
+
+#include "common/json.hh"
+
+namespace neurometer {
+
+EvalRecord
+evalConfigRecord(const ChipConfig &cfg, EvalCache *cache)
+{
+    EvalRecord r;
+    r.point = {cfg.core.tu.rows, cfg.core.numTU, cfg.tx, cfg.ty};
+    r.nodeNm = cfg.nodeNm;
+    r.freqHz = cfg.freqHz;
+    r.memBytes = cfg.totalMemBytes;
+    r.mulType = cfg.core.tu.mulType;
+    r.metrics = cache ? cache->evaluate(cfg) : measurePoint(cfg);
+    r.why = r.metrics.buildOk ? Feasibility::Feasible
+                              : Feasibility::TimingInfeasible;
+    return r;
+}
+
+SweepGrid
+sweepGridForConfig(const ChipConfig &cfg,
+                   const std::vector<NamedAxis> &axes)
+{
+    // Anchor the typed axes at the config's design point; everything
+    // the caller varies goes through named axes (applied after, so an
+    // axis may also override the geometry fields themselves).
+    SweepGrid grid;
+    grid.tuLengths = {cfg.core.tu.rows};
+    grid.tuPerCore = {cfg.core.numTU};
+    grid.coreGrids = {{cfg.tx, cfg.ty}};
+    if (cfg.core.tu.cols != cfg.core.tu.rows) {
+        // applyDesignPoint squares the TU; restore the config's cols.
+        grid.axis("core.tu.cols",
+                  std::vector<std::string>{
+                      std::to_string(cfg.core.tu.cols)});
+    }
+    for (const NamedAxis &a : axes)
+        grid.axis(a.path, a.values);
+    return grid;
+}
+
+std::string
+fieldRangeText(const FieldDef<ChipConfig> &f)
+{
+    switch (f.kind) {
+      case FieldKind::Bool:
+        return "true/false";
+      case FieldKind::Enum: {
+        std::string s;
+        for (const std::string &n : f.enumNames)
+            s += (s.empty() ? "" : "|") + n;
+        return s;
+      }
+      case FieldKind::Int:
+      case FieldKind::Double:
+        return f.bounds.bounded() ? f.bounds.str() : "-";
+    }
+    return "-";
+}
+
+std::string
+fieldsJson()
+{
+    const ChipConfig defaults;
+    json::Value out = json::Value::array_();
+    for (const FieldDef<ChipConfig> &f : chipSchema().fields()) {
+        json::Value o = json::Value::object_();
+        o.set("name", json::Value::string_(f.name))
+            .set("type", json::Value::string_(fieldKindName(f.kind)))
+            .set("default", json::Value::string_(f.getText(defaults)))
+            .set("range", json::Value::string_(fieldRangeText(f)))
+            .set("doc", json::Value::string_(f.doc));
+        out.push(std::move(o));
+    }
+    return out.dump();
+}
+
+} // namespace neurometer

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The embeddable evaluation API ("libneurometer"): the entry points
+ * that used to live as private helpers inside tools/neurometer_cli.cc,
+ * split out so the CLI, the serve/ daemon, and any future embedder
+ * (search layers, sweep coordinators) evaluate configs through the
+ * exact same code path. Nothing here knows about argv, sockets, or
+ * output formats — inputs are resolved ChipConfigs and named axes,
+ * outputs are EvalRecords and schema descriptions.
+ */
+
+#ifndef NEUROMETER_NEUROMETER_API_HH
+#define NEUROMETER_NEUROMETER_API_HH
+
+#include <string>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/config_schema.hh"
+#include "explore/eval_cache.hh"
+#include "explore/sweep.hh"
+
+namespace neurometer {
+
+/**
+ * Evaluate one fully resolved config into the EvalRecord shape the
+ * export/ writers understand (the `neurometer eval` result). With a
+ * cache, the evaluation is memoized through it — repeat configs cost
+ * a key computation instead of a chip build (the serve/ hot path);
+ * without one it is a plain measurePoint() call.
+ */
+EvalRecord evalConfigRecord(const ChipConfig &cfg,
+                            EvalCache *cache = nullptr);
+
+/**
+ * A sweep grid anchored at `cfg`'s own design point with `axes` layered
+ * on top — the `neurometer sweep` semantics: the config file supplies
+ * the base design, every varied field goes through a named axis (which
+ * may also override the geometry fields themselves). Non-square TUs
+ * survive via an implicit core.tu.cols axis (applyDesignPoint squares
+ * the TU otherwise).
+ */
+SweepGrid sweepGridForConfig(const ChipConfig &cfg,
+                             const std::vector<NamedAxis> &axes);
+
+/** Human-readable allowed-values text of one schema field: bounds for
+ *  numerics, the name list for enums, "true/false" for bools. */
+std::string fieldRangeText(const FieldDef<ChipConfig> &f);
+
+/** The whole config schema as a compact JSON array of
+ *  {name, type, default, range, doc} objects (the serve `fields`
+ *  method; same content as the `neurometer fields` table). */
+std::string fieldsJson();
+
+} // namespace neurometer
+
+#endif // NEUROMETER_NEUROMETER_API_HH

@@ -6,6 +6,7 @@
 
 #include "common/error.hh"
 #include "common/io.hh"
+#include "common/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -21,46 +22,13 @@ namespace neurometer::obs {
 std::string
 jsonQuote(const std::string &s)
 {
-    std::string out = "\"";
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
+    return json::quote(s);
 }
 
 std::string
 jsonNum(double v)
 {
-    if (!std::isfinite(v))
-        return "null";
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    return json::number(v);
 }
 
 std::string

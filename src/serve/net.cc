@@ -1,0 +1,211 @@
+#include "serve/net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+
+namespace neurometer::serve {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+/** poll() one fd for readability; EINTR-safe. 1 = ready, 0 = timeout. */
+int
+pollIn(int fd, int timeout_ms)
+{
+    for (;;) {
+        struct pollfd p;
+        p.fd = fd;
+        p.events = POLLIN;
+        p.revents = 0;
+        const int rc = ::poll(&p, 1, timeout_ms);
+        if (rc >= 0)
+            return rc;
+        if (errno == EINTR)
+            continue; // SIGINT etc.: the caller re-checks its flags
+        throwErrno("poll");
+    }
+}
+
+} // namespace
+
+void
+Fd::reset(int fd)
+{
+    if (_fd >= 0) {
+        // EINTR on close is unrecoverable either way; don't retry
+        // (POSIX leaves the fd state unspecified, retrying can close
+        // a descriptor another thread just opened).
+        ::close(_fd);
+    }
+    _fd = fd;
+}
+
+int
+Fd::release()
+{
+    const int fd = _fd;
+    _fd = -1;
+    return fd;
+}
+
+void
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a vanished peer must be an IoError (EPIPE),
+        // never a process-killing SIGPIPE.
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("send");
+        }
+        p += w;
+        n -= std::size_t(w);
+    }
+}
+
+void
+writeLine(int fd, const std::string &line)
+{
+    std::string framed;
+    framed.reserve(line.size() + 1);
+    framed = line;
+    framed += '\n';
+    writeAll(fd, framed.data(), framed.size());
+}
+
+ReadStatus
+LineReader::readLine(std::string &out, int timeout_ms)
+{
+    for (;;) {
+        const std::size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            // Enforce the cap even when the whole oversize line landed
+            // in one recv() — the check below only sees partial lines.
+            if (nl > _maxLine) {
+                throw IoError("request line exceeds " +
+                              std::to_string(_maxLine) + " bytes");
+            }
+            out.assign(_buf, 0, nl);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back(); // tolerate CRLF clients
+            _buf.erase(0, nl + 1);
+            return ReadStatus::Line;
+        }
+        if (_buf.size() > _maxLine) {
+            throw IoError("request line exceeds " +
+                          std::to_string(_maxLine) + " bytes");
+        }
+
+        if (pollIn(_fd, timeout_ms) == 0)
+            return ReadStatus::Timeout;
+
+        char chunk[65536];
+        ssize_t r;
+        do {
+            r = ::recv(_fd, chunk, sizeof(chunk), 0);
+        } while (r < 0 && errno == EINTR);
+        if (r < 0)
+            throwErrno("recv");
+        if (r == 0) {
+            // Peer closed. A trailing partial line is a torn request:
+            // there is nobody left to answer, drop it.
+            _buf.clear();
+            return ReadStatus::Eof;
+        }
+        _buf.append(chunk, std::size_t(r));
+    }
+}
+
+ListenSocket::ListenSocket(std::uint16_t port, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    _fd.reset(fd);
+
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throwErrno("bind 127.0.0.1:" + std::to_string(port));
+    if (::listen(fd, backlog) != 0)
+        throwErrno("listen");
+
+    // Port 0 = ephemeral: read back what the kernel picked.
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0)
+        throwErrno("getsockname");
+    _port = ntohs(addr.sin_port);
+}
+
+Fd
+ListenSocket::acceptClient(int timeout_ms)
+{
+    if (pollIn(_fd.get(), timeout_ms) == 0)
+        return Fd{};
+    int cfd;
+    do {
+        cfd = ::accept(_fd.get(), nullptr, nullptr);
+    } while (cfd < 0 && errno == EINTR);
+    if (cfd < 0) {
+        // The ready client can vanish between poll and accept.
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return Fd{};
+        throwErrno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Fd{cfd};
+}
+
+Fd
+connectLocal(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket");
+    Fd out{fd};
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0)
+        throwErrno("connect 127.0.0.1:" + std::to_string(port));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return out;
+}
+
+} // namespace neurometer::serve

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Blocking-socket and newline-framing primitives for the evaluation
+ * service (serve/server.hh) and its test clients.
+ *
+ * Everything here is deliberately boring POSIX: RAII file descriptors,
+ * EINTR-safe read/write loops, poll()-bounded blocking so callers can
+ * interleave I/O with shutdown checks, and SIGPIPE-free writes
+ * (MSG_NOSIGNAL) so a client that disconnects mid-response surfaces
+ * as an IoError instead of killing the daemon. Handler code never
+ * touches recv()/send() directly — it speaks lines.
+ */
+
+#ifndef NEUROMETER_SERVE_NET_HH
+#define NEUROMETER_SERVE_NET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neurometer::serve {
+
+/** RAII owner of one file descriptor (socket); movable, not copyable. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : _fd(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&o) noexcept : _fd(o._fd) { o._fd = -1; }
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            _fd = o._fd;
+            o._fd = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+    /** Close the current fd (if any) and adopt `fd`. */
+    void reset(int fd = -1);
+    /** Give up ownership without closing. */
+    int release();
+
+  private:
+    int _fd = -1;
+};
+
+/**
+ * Write all `n` bytes to a socket, restarting on EINTR and short
+ * writes; SIGPIPE is suppressed (MSG_NOSIGNAL). Throws IoError when
+ * the peer is gone or the write fails.
+ */
+void writeAll(int fd, const void *data, std::size_t n);
+
+/** writeAll of `line` plus the terminating '\n' (one framed message).
+ *  `line` must not itself contain a newline (json::Value::dump() and
+ *  the other single-line renderers never do). */
+void writeLine(int fd, const std::string &line);
+
+/** Outcome of one LineReader::readLine call. */
+enum class ReadStatus {
+    Line,    ///< a complete line was delivered
+    Eof,     ///< peer closed (a torn trailing partial line is dropped)
+    Timeout, ///< poll timeout expired with no complete line
+};
+
+/**
+ * Buffered newline-delimited framing over one blocking socket.
+ * Extracts one '\n'-terminated line at a time (terminator stripped,
+ * CRLF tolerated); poll()-based timeouts let callers check a shutdown
+ * flag between blocking stretches. A line longer than `max_line`
+ * throws IoError — the stream cannot be resynchronized, so callers
+ * should answer with an error and drop the connection.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, std::size_t max_line = 1 << 20)
+        : _fd(fd), _maxLine(max_line)
+    {}
+
+    /**
+     * Block until a full line, EOF, or timeout. `timeout_ms` < 0
+     * blocks indefinitely; 0 polls. EINTR restarts the wait.
+     */
+    ReadStatus readLine(std::string &out, int timeout_ms = -1);
+
+  private:
+    int _fd;
+    std::size_t _maxLine;
+    std::string _buf;
+};
+
+/**
+ * A listening TCP socket bound to loopback (the service is a local
+ * evaluation daemon, not an internet-facing server). Port 0 binds an
+ * ephemeral port; port() reports the actual one.
+ */
+class ListenSocket
+{
+  public:
+    explicit ListenSocket(std::uint16_t port, int backlog = 64);
+
+    std::uint16_t port() const { return _port; }
+    int fd() const { return _fd.get(); }
+
+    /**
+     * Accept one client, waiting at most `timeout_ms` (< 0 = forever).
+     * Returns an invalid Fd on timeout; throws IoError on hard accept
+     * failures. EINTR restarts the wait.
+     */
+    Fd acceptClient(int timeout_ms);
+
+  private:
+    Fd _fd;
+    std::uint16_t _port = 0;
+};
+
+/** Connect to the loopback daemon at `port` (tests, smoke clients). */
+Fd connectLocal(std::uint16_t port);
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_NET_HH

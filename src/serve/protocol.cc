@@ -1,0 +1,117 @@
+#include "serve/protocol.hh"
+
+namespace neurometer::serve {
+
+Request
+parseRequest(const std::string &line)
+{
+    json::Value doc;
+    try {
+        doc = json::parse(line);
+    } catch (const json::Error &e) {
+        throw ConfigError(std::string("malformed request: ") +
+                          e.what());
+    }
+    requireConfig(doc.isObject(), "request must be a JSON object");
+
+    Request req;
+    const json::Value *method = doc.find("method");
+    requireConfig(method != nullptr, "request is missing 'method'");
+    requireConfig(method->kind == json::Value::Kind::String,
+                  "'method' must be a string");
+    req.method = method->text;
+
+    if (const json::Value *id = doc.find("id"))
+        req.id = *id;
+    if (const json::Value *params = doc.find("params")) {
+        requireConfig(params->isObject(),
+                      "'params' must be an object");
+        req.params = *params;
+    } else {
+        req.params = json::Value::object_();
+    }
+    return req;
+}
+
+std::string
+okResponse(const json::Value &id, const std::string &result_json)
+{
+    // The result is pre-rendered compact JSON; splice it in verbatim
+    // rather than re-parsing (metrics snapshots can be large).
+    return "{\"id\": " + id.dump() +
+           ", \"ok\": true, \"result\": " + result_json + "}";
+}
+
+std::string
+errorResponse(const json::Value &id, const std::string &category,
+              const std::string &site, const std::string &message)
+{
+    json::Value err = json::Value::object_();
+    err.set("category", json::Value::string_(category))
+        .set("site", json::Value::string_(site))
+        .set("message", json::Value::string_(message));
+    json::Value resp = json::Value::object_();
+    resp.set("id", id)
+        .set("ok", json::Value::boolean_(false))
+        .set("error", std::move(err));
+    return resp.dump();
+}
+
+std::string
+errorResponse(const json::Value &id, const PointError &err)
+{
+    return errorResponse(id, errorCategoryStr(err.category), err.site,
+                         err.message);
+}
+
+std::string
+errorResponse(const json::Value &id, const ServeError &err)
+{
+    return errorResponse(id, err.category, err.site, err.message);
+}
+
+namespace {
+
+const json::Value *
+findParam(const Request &req, const std::string &key)
+{
+    return req.params.isObject() ? req.params.find(key) : nullptr;
+}
+
+} // namespace
+
+std::string
+stringParam(const Request &req, const std::string &key)
+{
+    const json::Value *v = findParam(req, key);
+    requireConfig(v != nullptr,
+                  "method '" + req.method +
+                      "' requires string param '" + key + "'");
+    requireConfig(v->kind == json::Value::Kind::String,
+                  "param '" + key + "' must be a string");
+    return v->text;
+}
+
+double
+numberParamOr(const Request &req, const std::string &key, double def)
+{
+    const json::Value *v = findParam(req, key);
+    if (v == nullptr || v->isNull())
+        return def;
+    requireConfig(v->kind == json::Value::Kind::Number,
+                  "param '" + key + "' must be a number");
+    return v->number;
+}
+
+bool
+boolParamOr(const Request &req, const std::string &key, bool def)
+{
+    const json::Value *v = findParam(req, key);
+    if (v == nullptr || v->isNull())
+        return def;
+    requireConfig(v->kind == json::Value::Kind::Bool,
+                  "param '" + key + "' must be a boolean");
+    return v->boolean;
+}
+
+} // namespace neurometer::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The serve/ wire protocol: newline-delimited JSON request/response.
+ *
+ * One request per line:
+ *
+ *   {"method": "eval", "id": 7, "params": {"config": "..."}}
+ *
+ * `method` is required; `id` is echoed back verbatim (any JSON value,
+ * null when absent) so clients can correlate pipelined requests;
+ * `params` is an optional object of method-specific arguments. One
+ * response per line, either
+ *
+ *   {"id": 7, "ok": true, "result": ...}
+ *   {"id": 7, "ok": false,
+ *    "error": {"category": "...", "site": "...", "message": "..."}}
+ *
+ * Error objects reuse the structured PointError taxonomy
+ * (common/error.hh) plus the serve-specific "busy" category for
+ * admission-control rejections.
+ */
+
+#ifndef NEUROMETER_SERVE_PROTOCOL_HH
+#define NEUROMETER_SERVE_PROTOCOL_HH
+
+#include <string>
+
+#include "common/error.hh"
+#include "common/json.hh"
+
+namespace neurometer::serve {
+
+/** One parsed request line: the method plus its correlation id and
+ *  parameter object (both optional on the wire). */
+struct Request
+{
+    std::string method;
+    json::Value id;     ///< echoed verbatim; Null when absent
+    json::Value params; ///< Object kind; empty object when absent
+};
+
+/**
+ * Parse one request line. Throws ConfigError — not json::Error — on
+ * malformed JSON, a non-object request, a missing/non-string method,
+ * or non-object params, so the caller can answer with a structured
+ * category="config" error without special-casing parse failures.
+ */
+Request parseRequest(const std::string &line);
+
+/**
+ * A structured failure on the serve path, carrying exactly what the
+ * wire error object needs. Thrown by method handlers (admission
+ * rejections, deadline expiry) and turned into an errorResponse() at
+ * the dispatch boundary. Categories follow errorCategoryStr() plus
+ * "busy" (kBusyCategory).
+ */
+struct ServeError
+{
+    std::string category;
+    std::string site;
+    std::string message;
+};
+
+/** Category used for admission-control rejections (not a PointError
+ *  category: the request was never attempted). */
+inline constexpr const char *kBusyCategory = "busy";
+
+/** Success response line (no trailing newline). `result_json` must be
+ *  pre-rendered compact JSON — json::Value::dump(), json::compact() —
+ *  and is embedded verbatim. */
+std::string okResponse(const json::Value &id,
+                       const std::string &result_json);
+
+/** Failure response line from explicit category/site/message text. */
+std::string errorResponse(const json::Value &id,
+                          const std::string &category,
+                          const std::string &site,
+                          const std::string &message);
+
+/** Failure response line from a captured PointError. */
+std::string errorResponse(const json::Value &id, const PointError &err);
+
+/** Failure response line from a ServeError. */
+std::string errorResponse(const json::Value &id, const ServeError &err);
+
+/** @name Param accessors (throw ConfigError on missing/mismatched) */
+/** @{ */
+/** Required string parameter `key`. */
+std::string stringParam(const Request &req, const std::string &key);
+/** Optional numeric parameter `key`; `def` when absent. */
+double numberParamOr(const Request &req, const std::string &key,
+                     double def);
+/** Optional boolean parameter `key`; `def` when absent. */
+bool boolParamOr(const Request &req, const std::string &key, bool def);
+/** @} */
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_PROTOCOL_HH

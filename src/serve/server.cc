@@ -1,0 +1,402 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "chip/config.hh"
+#include "explore/export.hh"
+#include "explore/sweep.hh"
+#include "neurometer/api.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace neurometer::serve {
+
+namespace {
+
+obs::Gauge
+inflightGauge()
+{
+    static const obs::Gauge g = obs::gauge("serve.inflight");
+    return g;
+}
+
+/**
+ * RAII admission slot: atomically claims one in-flight unit unless the
+ * server is already at capacity. Lock-free CAS so a rejected request
+ * never waits behind an admitted one.
+ */
+class InflightSlot
+{
+  public:
+    InflightSlot(std::atomic<int> &inflight, int max)
+        : _inflight(inflight)
+    {
+        int cur = _inflight.load(std::memory_order_relaxed);
+        while (cur < max &&
+               !_inflight.compare_exchange_weak(
+                   cur, cur + 1, std::memory_order_relaxed)) {
+        }
+        _ok = cur < max;
+        if (_ok)
+            inflightGauge().set(double(cur + 1));
+    }
+
+    ~InflightSlot()
+    {
+        if (_ok) {
+            const int now =
+                _inflight.fetch_sub(1, std::memory_order_relaxed) - 1;
+            inflightGauge().set(double(now));
+        }
+    }
+
+    InflightSlot(const InflightSlot &) = delete;
+    InflightSlot &operator=(const InflightSlot &) = delete;
+
+    bool ok() const { return _ok; }
+
+  private:
+    std::atomic<int> &_inflight;
+    bool _ok = false;
+};
+
+/** Chain a per-request token to server shutdown + optional deadline. */
+CancelToken
+requestToken(const Request &req, const CancelToken &server_cancel)
+{
+    CancelToken token;
+    token.follow(server_cancel);
+    const double deadline_ms = numberParamOr(req, "deadline_ms", 0.0);
+    requireConfig(deadline_ms >= 0, "'deadline_ms' must be >= 0");
+    if (deadline_ms > 0)
+        token.cancelAfterSeconds(deadline_ms / 1000.0);
+    return token;
+}
+
+/** Named axes from the request's `axes` param (array of
+ *  {path, values} objects; values may be strings, numbers, bools). */
+std::vector<NamedAxis>
+axesParam(const Request &req)
+{
+    std::vector<NamedAxis> axes;
+    const json::Value *arr =
+        req.params.isObject() ? req.params.find("axes") : nullptr;
+    if (arr == nullptr || arr->isNull())
+        return axes;
+    requireConfig(arr->isArray(), "'axes' must be an array");
+    for (const json::Value &e : arr->items) {
+        requireConfig(e.isObject(),
+                      "each axis must be a {path, values} object");
+        const json::Value *path = e.find("path");
+        requireConfig(path != nullptr &&
+                          path->kind == json::Value::Kind::String,
+                      "axis 'path' must be a string");
+        const json::Value *vals = e.find("values");
+        requireConfig(vals != nullptr && vals->isArray() &&
+                          !vals->items.empty(),
+                      "axis 'values' must be a non-empty array");
+        NamedAxis ax{path->text, {}};
+        for (const json::Value &v : vals->items) {
+            switch (v.kind) {
+              case json::Value::Kind::String:
+                ax.values.push_back(v.text);
+                break;
+              case json::Value::Kind::Number:
+                ax.values.push_back(json::number(v.number));
+                break;
+              case json::Value::Kind::Bool:
+                ax.values.push_back(v.boolean ? "true" : "false");
+                break;
+              default:
+                throw ConfigError(
+                    "axis values must be strings, numbers, or "
+                    "booleans");
+            }
+        }
+        axes.push_back(std::move(ax));
+    }
+    return axes;
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts)
+    : _opts(std::move(opts)), _pool(_opts.threads)
+{
+    _maxInflight = _opts.maxInflight > 0 ? _opts.maxInflight
+                                         : 2 * _pool.numThreads();
+    _startTime = std::chrono::steady_clock::now();
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (_started)
+        return;
+    _listen = std::make_unique<ListenSocket>(_opts.port);
+    _port = _listen->port();
+    _started = true;
+    _acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::run()
+{
+    start();
+    while (!_opts.cancel.cancelled()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(_opts.pollIntervalMs));
+    }
+    stop();
+}
+
+void
+Server::stop()
+{
+    if (!_started || _stopped)
+        return;
+    _stopped = true;
+    _opts.cancel.requestCancel();
+    if (_acceptThread.joinable())
+        _acceptThread.join();
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lk(_connMu);
+        conns.swap(_connThreads);
+    }
+    for (std::thread &t : conns) {
+        if (t.joinable())
+            t.join();
+    }
+    _listen.reset();
+}
+
+void
+Server::acceptLoop()
+{
+    while (!_opts.cancel.cancelled()) {
+        Fd client;
+        try {
+            client = _listen->acceptClient(_opts.pollIntervalMs);
+        } catch (...) {
+            // A transient accept failure (fd pressure, aborted
+            // handshake) must not take the daemon down; back off one
+            // poll interval and keep listening.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(_opts.pollIntervalMs));
+            continue;
+        }
+        if (!client.valid())
+            continue;
+        std::lock_guard<std::mutex> lk(_connMu);
+        _connThreads.emplace_back(
+            [this, fd = std::move(client)]() mutable {
+                connectionLoop(std::move(fd));
+            });
+    }
+}
+
+void
+Server::connectionLoop(Fd client)
+{
+    static const obs::Counter conns = obs::counter("serve.connections");
+    conns.inc();
+    LineReader reader(client.get());
+    std::string line;
+    while (!_opts.cancel.cancelled()) {
+        ReadStatus st;
+        try {
+            st = reader.readLine(line, _opts.pollIntervalMs);
+        } catch (const IoError &e) {
+            // Oversize line or a failed read: the byte stream cannot
+            // be resynchronized, so answer once and drop the client.
+            try {
+                writeLine(client.get(),
+                          errorResponse(
+                              json::Value::null(),
+                              errorCategoryStr(ErrorCategory::Io),
+                              "serve.read", e.what()));
+            } catch (...) {
+            }
+            break;
+        }
+        if (st == ReadStatus::Timeout)
+            continue;
+        if (st == ReadStatus::Eof)
+            break;
+        const std::string resp = dispatchLine(line);
+        try {
+            writeLine(client.get(), resp);
+        } catch (const IoError &) {
+            break; // peer went away mid-response
+        }
+    }
+}
+
+std::string
+Server::dispatchLine(const std::string &line)
+{
+    static const obs::Counter ok_reqs =
+        obs::counter("serve.requests.ok");
+    static const obs::Counter failed_reqs =
+        obs::counter("serve.requests.failed");
+    static const obs::Counter rejected_reqs =
+        obs::counter("serve.requests.rejected");
+    static const obs::Histogram req_hist =
+        obs::histogram("serve.request_s");
+
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (...) {
+        // No trustworthy id to echo on a line that never parsed.
+        failed_reqs.inc();
+        return errorResponse(json::Value::null(),
+                             captureCurrentException("serve.parse"));
+    }
+    try {
+        obs::ScopedTimer timer(req_hist);
+        const std::string result = handle(req);
+        ok_reqs.inc();
+        return okResponse(req.id, result);
+    } catch (const ServeError &e) {
+        (e.category == kBusyCategory ? rejected_reqs : failed_reqs)
+            .inc();
+        return errorResponse(req.id, e);
+    } catch (...) {
+        failed_reqs.inc();
+        return errorResponse(req.id,
+                             captureCurrentException("serve.request"));
+    }
+}
+
+std::string
+Server::handle(const Request &req)
+{
+    if (req.method == "eval") {
+        obs::TraceScope span("serve.eval");
+        static const obs::Histogram h = obs::histogram("serve.eval_s");
+        obs::ScopedTimer t(h);
+        return handleEval(req);
+    }
+    if (req.method == "sweep") {
+        obs::TraceScope span("serve.sweep");
+        static const obs::Histogram h =
+            obs::histogram("serve.sweep_s");
+        obs::ScopedTimer t(h);
+        return handleSweep(req);
+    }
+    if (req.method == "fields") {
+        obs::TraceScope span("serve.fields");
+        return fieldsJson();
+    }
+    if (req.method == "metrics") {
+        obs::TraceScope span("serve.metrics");
+        return json::compact(obs::snapshot().toJson());
+    }
+    if (req.method == "health") {
+        obs::TraceScope span("serve.health");
+        return handleHealth();
+    }
+    throw ConfigError("unknown method '" + req.method + "'");
+}
+
+std::string
+Server::handleEval(const Request &req)
+{
+    InflightSlot slot(_inflight, _maxInflight);
+    if (!slot.ok())
+        throw ServeError{kBusyCategory, "serve.admission",
+                         "server is at max-inflight (" +
+                             std::to_string(_maxInflight) +
+                             " requests); retry later"};
+
+    const CancelToken token = requestToken(req, _opts.cancel);
+    const ChipConfig cfg =
+        ChipConfig::fromString(stringParam(req, "config"), "<request>");
+    if (token.cancelled())
+        throw ServeError{errorCategoryStr(ErrorCategory::Cancelled),
+                         "serve.deadline",
+                         "deadline expired before evaluation started"};
+
+    // The shared pool is the evaluation bottleneck by design: a
+    // deadline that expires while this request waits its turn in the
+    // queue turns into a cancelled error instead of late work.
+    std::vector<EvalRecord> recs(1);
+    auto fut = _pool.submit([&] {
+        if (token.cancelled())
+            throw CancelledError("deadline expired in queue");
+        recs[0] = evalConfigRecord(cfg, &_cache);
+    });
+    try {
+        fut.get();
+    } catch (const CancelledError &e) {
+        throw ServeError{errorCategoryStr(ErrorCategory::Cancelled),
+                         "serve.deadline", e.what()};
+    }
+    return json::parse(toJson(recs)).items.at(0).dump();
+}
+
+std::string
+Server::handleSweep(const Request &req)
+{
+    InflightSlot slot(_inflight, _maxInflight);
+    if (!slot.ok())
+        throw ServeError{kBusyCategory, "serve.admission",
+                         "server is at max-inflight (" +
+                             std::to_string(_maxInflight) +
+                             " requests); retry later"};
+
+    const CancelToken token = requestToken(req, _opts.cancel);
+    const ChipConfig cfg =
+        ChipConfig::fromString(stringParam(req, "config"), "<request>");
+    const SweepGrid grid = sweepGridForConfig(cfg, axesParam(req));
+
+    SweepOptions sopts;
+    sopts.sharedCache = &_cache;
+    sopts.sharedPool = &_pool;
+    sopts.cancel = token;
+    sopts.keepInfeasible = boolParamOr(req, "keep_infeasible", true);
+    SweepEngine engine(cfg, sopts);
+
+    // parallelFor is driven from this connection thread (a non-pool
+    // thread), which the pool supports for concurrent callers.
+    const std::vector<EvalRecord> recs = engine.run(grid);
+    const SweepRunStats &stats = engine.lastRun();
+
+    json::Value out = json::Value::object_();
+    out.set("cancelled", json::Value::boolean_(stats.cancelled))
+        .set("total", json::Value::number_(double(stats.total)))
+        .set("ok", json::Value::number_(double(stats.ok)))
+        .set("failed", json::Value::number_(double(stats.failed)))
+        .set("not_evaluated",
+             json::Value::number_(double(stats.notEvaluated)))
+        .set("points", json::parse(toJson(recs)));
+    return out.dump();
+}
+
+std::string
+Server::handleHealth()
+{
+    const double uptime_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - _startTime)
+            .count();
+    json::Value out = json::Value::object_();
+    out.set("status", json::Value::string_("ok"))
+        .set("uptime_s", json::Value::number_(uptime_s))
+        .set("inflight", json::Value::number_(double(inflight())))
+        .set("max_inflight",
+             json::Value::number_(double(_maxInflight)))
+        .set("threads",
+             json::Value::number_(double(_pool.numThreads())));
+    return out.dump();
+}
+
+} // namespace neurometer::serve

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The evaluation service: a long-lived loopback TCP daemon that keeps
+ * the expensive state — the process-wide memory-design cache, a shared
+ * EvalCache, a warmed worker pool — alive across requests, so repeat
+ * evaluations cost a cache lookup instead of a full chip build.
+ *
+ * Wire protocol (serve/protocol.hh): one JSON object per line in each
+ * direction. Methods:
+ *
+ *   eval    {config, deadline_ms?}         -> one EvalRecord object
+ *   sweep   {config, axes?, deadline_ms?,
+ *            keep_infeasible?}             -> {cancelled, counts, points}
+ *   fields  {}                             -> config schema array
+ *   metrics {}                             -> obs:: snapshot object
+ *   health  {}                             -> {status, uptime_s, ...}
+ *
+ * Concurrency model: one accept thread, one thread per connection
+ * (requests on a connection are served in order), with eval/sweep work
+ * fanned out on the shared ThreadPool. Admission control bounds the
+ * number of in-flight eval/sweep requests (`maxInflight`); requests
+ * beyond it are rejected immediately with a structured "busy" error
+ * rather than queued behind a multi-minute sweep. Per-request
+ * deadlines chain a request CancelToken onto the server's shutdown
+ * token (CancelToken::follow), so both the deadline and SIGINT stop a
+ * sweep cooperatively — in-flight points drain, the partial result is
+ * returned, the daemon survives.
+ *
+ * Failure isolation: a request that throws — malformed JSON, a config
+ * the schema rejects, an injected fault, bad_alloc — becomes one
+ * structured error response (the PointError taxonomy) on that
+ * connection; it never kills the daemon or other connections.
+ */
+
+#ifndef NEUROMETER_SERVE_SERVER_HH
+#define NEUROMETER_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/cancel.hh"
+#include "explore/eval_cache.hh"
+#include "explore/thread_pool.hh"
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+
+namespace neurometer::serve {
+
+/** Daemon knobs (`neurometer serve` flags map onto these 1:1). */
+struct ServeOptions
+{
+    /** Listen port; 0 binds an ephemeral port (see Server::port()). */
+    std::uint16_t port = 0;
+    /** Shared worker-pool threads; 0 = hardware concurrency. */
+    int threads = 0;
+    /** Max concurrent eval/sweep requests before rejecting with a
+     *  "busy" error; 0 = twice the worker-thread count. */
+    int maxInflight = 0;
+    /** Shutdown token: fire it (or SIGINT via armSigint()) to stop.
+     *  Per-request tokens chain onto it with CancelToken::follow(). */
+    CancelToken cancel{};
+    /** Accept/read poll granularity — the upper bound on how long a
+     *  blocked thread takes to notice shutdown (tests shrink it). */
+    int pollIntervalMs = 100;
+};
+
+/**
+ * The daemon. start() binds and spawns the accept thread; run() is
+ * start() plus "block until the shutdown token fires, then drain";
+ * stop() fires the token and joins everything (idempotent — the
+ * destructor calls it too).
+ *
+ * The server owns the process-shared hot state: one EvalCache and one
+ * ThreadPool that every request — and every SweepEngine spun up for a
+ * sweep request, via SweepOptions::sharedCache/sharedPool — uses.
+ */
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind the listen socket and spawn the accept thread. Throws
+     *  IoError when the port is taken. Idempotent. */
+    void start();
+
+    /** start(), then block until the shutdown token fires, then
+     *  stop(). The `neurometer serve` main loop. */
+    void run();
+
+    /** Fire the shutdown token, drain in-flight requests, join every
+     *  thread, close the socket. Idempotent and safe to call from
+     *  another thread (not from a handler). */
+    void stop();
+
+    /** Actual listen port (resolves port 0 after start()). */
+    std::uint16_t port() const { return _port; }
+
+    /** Eval/sweep requests currently admitted (diagnostic). */
+    int inflight() const
+    {
+        return _inflight.load(std::memory_order_relaxed);
+    }
+
+    const ServeOptions &options() const { return _opts; }
+    EvalCache &cache() { return _cache; }
+    ThreadPool &pool() { return _pool; }
+
+    /**
+     * Process one request line into one response line — the whole
+     * protocol minus the sockets. Public so unit tests (and embedders
+     * that bring their own transport) can drive the dispatcher
+     * directly; never throws (failures become error responses).
+     */
+    std::string dispatchLine(const std::string &line);
+
+  private:
+    void acceptLoop();
+    void connectionLoop(Fd client);
+
+    /** Run `req`, returning the compact-JSON result text. Throws
+     *  ServeError (busy, deadline) or model exceptions on failure. */
+    std::string handle(const Request &req);
+
+    std::string handleEval(const Request &req);
+    std::string handleSweep(const Request &req);
+    std::string handleHealth();
+
+    ServeOptions _opts;
+    int _maxInflight = 0;
+    ThreadPool _pool;
+    EvalCache _cache;
+
+    std::unique_ptr<ListenSocket> _listen;
+    std::uint16_t _port = 0;
+    std::thread _acceptThread;
+    std::mutex _connMu;
+    std::vector<std::thread> _connThreads;
+    bool _started = false;
+    bool _stopped = false;
+
+    std::atomic<int> _inflight{0};
+    std::chrono::steady_clock::time_point _startTime{};
+};
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_SERVER_HH

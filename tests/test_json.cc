@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The shared JSON value model (common/json.hh): parser correctness on
+ * well-formed and malformed inputs, escape-correct serialization, the
+ * parse/dump round trip the serve/ wire protocol depends on, and the
+ * single-line framing guarantee of dump().
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using neurometer::json::Error;
+using neurometer::json::Value;
+
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_EQ(neurometer::json::parse("null").kind, Value::Kind::Null);
+    EXPECT_TRUE(neurometer::json::parse("true").asBool());
+    EXPECT_FALSE(neurometer::json::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(neurometer::json::parse("-2.5e3").asNumber(),
+                     -2500.0);
+    EXPECT_EQ(neurometer::json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    const Value v = neurometer::json::parse(
+        R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items[1].asNumber(), 2.0);
+    EXPECT_EQ(a->items[2].find("b")->asString(), "x");
+    EXPECT_TRUE(v.find("c")->find("d")->isNull());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const Value v = neurometer::json::parse(
+        R"("a\"b\\c\nd\tef\r\b\f")");
+    EXPECT_EQ(v.asString(), "a\"b\\c\nd\tef\r\b\f");
+}
+
+TEST(JsonParse, MalformedInputsThrow)
+{
+    EXPECT_THROW(neurometer::json::parse(""), Error);
+    EXPECT_THROW(neurometer::json::parse("{"), Error);
+    EXPECT_THROW(neurometer::json::parse("[1,]"), Error);
+    EXPECT_THROW(neurometer::json::parse("{\"a\" 1}"), Error);
+    EXPECT_THROW(neurometer::json::parse("{1: 2}"), Error);
+    EXPECT_THROW(neurometer::json::parse("\"unterminated"), Error);
+    EXPECT_THROW(neurometer::json::parse("\"bad \\q escape\""), Error);
+    EXPECT_THROW(neurometer::json::parse("truth"), Error);
+    EXPECT_THROW(neurometer::json::parse("42 garbage"), Error);
+    EXPECT_THROW(neurometer::json::parse("nonsense"), Error);
+}
+
+TEST(JsonParse, DuplicateKeysKeepFirstOnFind)
+{
+    const Value v = neurometer::json::parse(R"({"k": 1, "k": 2})");
+    ASSERT_EQ(v.members.size(), 2u);
+    EXPECT_DOUBLE_EQ(v.find("k")->asNumber(), 1.0);
+}
+
+TEST(JsonAccessors, KindMismatchThrows)
+{
+    const Value v = neurometer::json::parse("[1]");
+    EXPECT_THROW((void)v.asString(), Error);
+    EXPECT_THROW((void)v.asNumber(), Error);
+    EXPECT_THROW((void)v.asBool(), Error);
+    EXPECT_EQ(v.find("nope"), nullptr) << "find on non-object is null";
+}
+
+TEST(JsonDump, RoundTripsThroughParse)
+{
+    const std::string src =
+        R"({"s": "line\nbreak \"q\"", "n": 0.1, "i": -42,)"
+        R"( "b": true, "z": null, "arr": [1, "two", false],)"
+        R"( "o": {"nested": [{"deep": 3}]}})";
+    const Value v = neurometer::json::parse(src);
+    const std::string dumped = v.dump();
+    const Value again = neurometer::json::parse(dumped);
+    EXPECT_EQ(again.find("s")->asString(), "line\nbreak \"q\"");
+    EXPECT_DOUBLE_EQ(again.find("n")->asNumber(), 0.1);
+    EXPECT_DOUBLE_EQ(again.find("i")->asNumber(), -42.0);
+    EXPECT_TRUE(again.find("b")->asBool());
+    EXPECT_TRUE(again.find("z")->isNull());
+    EXPECT_EQ(again.find("arr")->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(
+        again.find("o")->find("nested")->items[0].find("deep")->asNumber(),
+        3.0);
+}
+
+TEST(JsonDump, SingleLineFramingGuarantee)
+{
+    // The serve/ protocol frames one dumped value per newline: a dump
+    // must never contain a raw newline, even when strings do.
+    Value v = Value::object_();
+    v.set("msg", Value::string_("a\nb\r\nc"))
+        .set("tab", Value::string_("x\ty"))
+        .set("ctl", Value::string_(std::string(1, '\x02')));
+    const std::string out = v.dump();
+    EXPECT_EQ(out.find('\n'), std::string::npos);
+    EXPECT_EQ(out.find('\r'), std::string::npos);
+    const Value back = neurometer::json::parse(out);
+    EXPECT_EQ(back.find("msg")->asString(), "a\nb\r\nc");
+}
+
+TEST(JsonDump, NumberFidelity)
+{
+    // %.17g round-trips every finite double bit-exactly.
+    const double vals[] = {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 42.0};
+    for (double d : vals) {
+        const Value v = neurometer::json::parse(neurometer::json::number(d));
+        EXPECT_EQ(std::signbit(v.asNumber()), std::signbit(d));
+        EXPECT_DOUBLE_EQ(v.asNumber(), d);
+    }
+    EXPECT_EQ(neurometer::json::number(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(neurometer::json::number(std::nan("")), "null");
+}
+
+TEST(JsonDump, QuoteEscapesEverythingBelowSpace)
+{
+    for (int c = 1; c < 0x20; ++c) {
+        const std::string quoted =
+            neurometer::json::quote(std::string(1, char(c)));
+        EXPECT_EQ(
+            neurometer::json::parse(quoted).asString(),
+            std::string(1, char(c)))
+            << "control char " << c;
+    }
+}
+
+TEST(JsonBuilders, BuildAndDump)
+{
+    Value arr = Value::array_();
+    arr.push(Value::number_(1)).push(Value::string_("x"));
+    Value obj = Value::object_();
+    obj.set("ok", Value::boolean_(true))
+        .set("items", std::move(arr))
+        .set("none", Value::null());
+    const Value back = neurometer::json::parse(obj.dump());
+    EXPECT_TRUE(back.find("ok")->asBool());
+    EXPECT_EQ(back.find("items")->items.size(), 2u);
+    EXPECT_TRUE(back.find("none")->isNull());
+    // Builders enforce kinds.
+    Value num = Value::number_(3);
+    EXPECT_THROW(num.set("k", Value::null()), Error);
+    EXPECT_THROW(num.push(Value::null()), Error);
+}
+
+TEST(JsonCompact, FlattensPrettyPrintedInput)
+{
+    const std::string pretty = "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n";
+    const std::string flat = neurometer::json::compact(pretty);
+    EXPECT_EQ(flat.find('\n'), std::string::npos);
+    EXPECT_EQ(neurometer::json::parse(flat).find("a")->items.size(), 2u);
+}
+
+} // namespace

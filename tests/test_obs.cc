@@ -2,13 +2,13 @@
  * @file
  * The observability subsystem: metrics-registry correctness under
  * concurrent increments (this binary also runs in the TSan CI job),
- * Chrome-trace JSON validity (parsed back by a mini JSON reader),
+ * Chrome-trace JSON validity (parsed back through common/json — the
+ * shared parser this suite's private reader was promoted into),
  * manifest round-trips, sweep progress observation, and the guarantee
  * that a TRACE=OFF build compiles TraceScope to an empty struct.
  */
 
 #include <atomic>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -28,240 +28,12 @@ using namespace neurometer;
 
 namespace {
 
-// ---------------------------------------------------------------------
-// A minimal recursive-descent JSON reader — just enough to verify that
-// what obs/ emits is well-formed and contains what we expect. Throws
-// std::runtime_error on malformed input, which fails the test.
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> members;
-
-    const JsonValue *find(const std::string &key) const
-    {
-        for (const auto &[k, v] : members)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &s) : _s(s) {}
-
-    JsonValue parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (_i != _s.size())
-            fail("trailing garbage");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON error at byte " +
-                                 std::to_string(_i) + ": " + why);
-    }
-
-    void skipWs()
-    {
-        while (_i < _s.size() &&
-               (_s[_i] == ' ' || _s[_i] == '\n' || _s[_i] == '\t' ||
-                _s[_i] == '\r'))
-            ++_i;
-    }
-
-    char peek()
-    {
-        skipWs();
-        if (_i >= _s.size())
-            fail("unexpected end");
-        return _s[_i];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++_i;
-    }
-
-    JsonValue value()
-    {
-        switch (peek()) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"': {
-            JsonValue v;
-            v.kind = JsonValue::Kind::String;
-            v.text = string();
-            return v;
-          }
-          case 't':
-          case 'f':
-            return boolean();
-          case 'n':
-            literal("null");
-            return {};
-          default:
-            return number();
-        }
-    }
-
-    void literal(const char *word)
-    {
-        for (const char *p = word; *p; ++p, ++_i)
-            if (_i >= _s.size() || _s[_i] != *p)
-                fail(std::string("bad literal, wanted ") + word);
-    }
-
-    JsonValue boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (peek() == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-        }
-        return v;
-    }
-
-    JsonValue number()
-    {
-        const std::size_t start = _i;
-        if (_i < _s.size() && (_s[_i] == '-' || _s[_i] == '+'))
-            ++_i;
-        while (_i < _s.size() &&
-               (std::isdigit(static_cast<unsigned char>(_s[_i])) ||
-                _s[_i] == '.' || _s[_i] == 'e' || _s[_i] == 'E' ||
-                _s[_i] == '-' || _s[_i] == '+'))
-            ++_i;
-        if (_i == start)
-            fail("expected number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = std::stod(_s.substr(start, _i - start));
-        return v;
-    }
-
-    std::string string()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (_i >= _s.size())
-                fail("unterminated string");
-            const char c = _s[_i++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (_i >= _s.size())
-                fail("unterminated escape");
-            const char e = _s[_i++];
-            switch (e) {
-              case '"':
-              case '\\':
-              case '/':
-                out += e;
-                break;
-              case 'n':
-                out += '\n';
-                break;
-              case 't':
-                out += '\t';
-                break;
-              case 'r':
-                out += '\r';
-                break;
-              case 'b':
-                out += '\b';
-                break;
-              case 'f':
-                out += '\f';
-                break;
-              case 'u': {
-                if (_i + 4 > _s.size())
-                    fail("short \\u escape");
-                const unsigned code = static_cast<unsigned>(
-                    std::stoul(_s.substr(_i, 4), nullptr, 16));
-                _i += 4;
-                // Control-plane only: obs emits \u00XX for controls.
-                out += static_cast<char>(code & 0xff);
-                break;
-              }
-              default:
-                fail("bad escape");
-            }
-        }
-    }
-
-    JsonValue array()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        if (peek() == ']') {
-            ++_i;
-            return v;
-        }
-        while (true) {
-            v.items.push_back(value());
-            if (peek() == ',') {
-                ++_i;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue object()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        if (peek() == '}') {
-            ++_i;
-            return v;
-        }
-        while (true) {
-            std::string key = string();
-            expect(':');
-            v.members.emplace_back(std::move(key), value());
-            if (peek() == ',') {
-                ++_i;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    const std::string &_s;
-    std::size_t _i = 0;
-};
+using JsonValue = json::Value;
 
 JsonValue
 parseJson(const std::string &s)
 {
-    return JsonParser(s).parse();
+    return json::parse(s);
 }
 
 std::uint64_t

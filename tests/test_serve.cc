@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Evaluation-service tests: the newline framing layer over real
+ * socketpairs, the request/response protocol, the dispatcher driven
+ * directly (no sockets), and full client/server round trips — shared
+ * EvalCache hits across connections, admission-control rejections,
+ * per-request deadlines cancelling a long sweep, malformed input and
+ * injected faults answered as structured errors without taking the
+ * daemon down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+using namespace neurometer::serve;
+
+namespace {
+
+/** The test chip: small and cheap, mirrors test_robustness. */
+ChipConfig
+smallBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 8.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.rows = 8;
+    cfg.core.tu.cols = 8;
+    return cfg;
+}
+
+/** A connected AF_UNIX stream pair (framing works on any stream fd). */
+struct SocketPair
+{
+    Fd a, b;
+
+    SocketPair()
+    {
+        int sv[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+        a.reset(sv[0]);
+        b.reset(sv[1]);
+    }
+};
+
+/** One client connection to an in-process Server. */
+struct Client
+{
+    Fd fd;
+    LineReader reader;
+
+    explicit Client(std::uint16_t port, std::size_t max_line = 8 << 20)
+        : fd(connectLocal(port)), reader(fd.get(), max_line)
+    {}
+
+    void send(const std::string &line) { writeLine(fd.get(), line); }
+
+    json::Value
+    recv(int timeout_ms = 60000)
+    {
+        std::string resp;
+        const ReadStatus st = reader.readLine(resp, timeout_ms);
+        EXPECT_EQ(st, ReadStatus::Line);
+        return st == ReadStatus::Line ? json::parse(resp)
+                                      : json::Value{};
+    }
+
+    json::Value
+    call(const std::string &line, int timeout_ms = 60000)
+    {
+        send(line);
+        return recv(timeout_ms);
+    }
+};
+
+/** {"method": M, "id": ID, "params": {"config": <cfg>, EXTRA}} */
+std::string
+evalRequest(const ChipConfig &cfg, int id,
+            const std::string &extra_params = "")
+{
+    json::Value req = json::Value::object_();
+    json::Value params = json::Value::object_();
+    params.set("config", json::Value::string_(cfg.toString()));
+    req.set("method", json::Value::string_("eval"))
+        .set("id", json::Value::number_(double(id)))
+        .set("params", std::move(params));
+    std::string line = req.dump();
+    if (!extra_params.empty()) {
+        // Splice extra params before the closing braces.
+        const std::size_t pos = line.rfind("}}");
+        line.insert(pos, ", " + extra_params);
+    }
+    return line;
+}
+
+std::uint64_t
+counterNow(const std::string &name)
+{
+    return obs::snapshot().counter(name);
+}
+
+ServeOptions
+quickOpts(int threads, int max_inflight = 0)
+{
+    ServeOptions o;
+    o.port = 0; // ephemeral
+    o.threads = threads;
+    o.maxInflight = max_inflight;
+    o.pollIntervalMs = 20;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Framing (serve/net.hh)
+
+TEST(ServeNet, LineRoundTripAndPipelining)
+{
+    SocketPair sp;
+    // Three frames written as one burst must come back as three lines.
+    writeAll(sp.a.get(), "one\ntwo\nthree\n", 14);
+    LineReader r(sp.b.get());
+    std::string line;
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Line);
+    EXPECT_EQ(line, "one");
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Line);
+    EXPECT_EQ(line, "two");
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Line);
+    EXPECT_EQ(line, "three");
+}
+
+TEST(ServeNet, CrlfToleratedAndTimeoutReported)
+{
+    SocketPair sp;
+    writeLine(sp.a.get(), "hello\r");
+    LineReader r(sp.b.get());
+    std::string line;
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Line);
+    EXPECT_EQ(line, "hello");
+    // Nothing else pending: a bounded wait must report Timeout.
+    EXPECT_EQ(r.readLine(line, 20), ReadStatus::Timeout);
+}
+
+TEST(ServeNet, EofDropsTornTrailingPartial)
+{
+    SocketPair sp;
+    writeAll(sp.a.get(), "complete\npartial-no-newline", 27);
+    sp.a.reset(); // close the writer
+    LineReader r(sp.b.get());
+    std::string line;
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Line);
+    EXPECT_EQ(line, "complete");
+    EXPECT_EQ(r.readLine(line, 1000), ReadStatus::Eof);
+}
+
+TEST(ServeNet, OversizeLineThrowsIoError)
+{
+    SocketPair sp;
+    const std::string big(64, 'x');
+    writeLine(sp.a.get(), big);
+    LineReader r(sp.b.get(), /*max_line=*/16);
+    std::string line;
+    EXPECT_THROW(r.readLine(line, 1000), IoError);
+}
+
+// ---------------------------------------------------------------------
+// Protocol (serve/protocol.hh)
+
+TEST(ServeProtocol, ParseRequestShapes)
+{
+    const Request full = parseRequest(
+        R"({"method": "eval", "id": 7, "params": {"config": "x"}})");
+    EXPECT_EQ(full.method, "eval");
+    EXPECT_EQ(full.id.asNumber(), 7.0);
+    EXPECT_EQ(stringParam(full, "config"), "x");
+
+    // id and params are optional; id echoes as null.
+    const Request bare = parseRequest(R"({"method": "health"})");
+    EXPECT_EQ(bare.method, "health");
+    EXPECT_TRUE(bare.id.isNull());
+    EXPECT_TRUE(bare.params.isObject());
+
+    EXPECT_THROW(parseRequest("not json"), ConfigError);
+    EXPECT_THROW(parseRequest("[1, 2]"), ConfigError);
+    EXPECT_THROW(parseRequest(R"({"id": 1})"), ConfigError);
+    EXPECT_THROW(parseRequest(R"({"method": 5})"), ConfigError);
+    EXPECT_THROW(parseRequest(R"({"method": "m", "params": []})"),
+                 ConfigError);
+}
+
+TEST(ServeProtocol, ParamAccessors)
+{
+    const Request req = parseRequest(
+        R"({"method": "m", "params":)"
+        R"( {"s": "text", "n": 2.5, "b": true}})");
+    EXPECT_EQ(stringParam(req, "s"), "text");
+    EXPECT_EQ(numberParamOr(req, "n", 0.0), 2.5);
+    EXPECT_EQ(numberParamOr(req, "absent", 9.0), 9.0);
+    EXPECT_TRUE(boolParamOr(req, "b", false));
+    EXPECT_TRUE(boolParamOr(req, "absent", true));
+    EXPECT_THROW(stringParam(req, "n"), ConfigError);
+    EXPECT_THROW(numberParamOr(req, "s", 0.0), ConfigError);
+    EXPECT_THROW(boolParamOr(req, "s", false), ConfigError);
+}
+
+TEST(ServeProtocol, ResponseRendering)
+{
+    const json::Value id = json::Value::number_(3.0);
+    const json::Value ok = json::parse(okResponse(id, "{\"x\": 1}"));
+    EXPECT_EQ(ok.find("id")->asNumber(), 3.0);
+    EXPECT_TRUE(ok.find("ok")->asBool());
+    EXPECT_EQ(ok.find("result")->find("x")->asNumber(), 1.0);
+
+    const json::Value err = json::parse(errorResponse(
+        id, PointError{ErrorCategory::Config, "serve.parse", "bad"}));
+    EXPECT_FALSE(err.find("ok")->asBool());
+    const json::Value *e = err.find("error");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->find("category")->asString(), "config");
+    EXPECT_EQ(e->find("site")->asString(), "serve.parse");
+    EXPECT_EQ(e->find("message")->asString(), "bad");
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher, no sockets (Server::dispatchLine)
+
+TEST(ServeDispatch, HealthFieldsMetricsAndErrors)
+{
+    Server server(quickOpts(/*threads=*/1));
+
+    const json::Value health = json::parse(
+        server.dispatchLine(R"({"method": "health", "id": 1})"));
+    EXPECT_TRUE(health.find("ok")->asBool());
+    EXPECT_EQ(health.find("result")->find("status")->asString(), "ok");
+    EXPECT_GE(health.find("result")->find("uptime_s")->asNumber(), 0.0);
+
+    const json::Value fields = json::parse(
+        server.dispatchLine(R"({"method": "fields"})"));
+    EXPECT_TRUE(fields.find("ok")->asBool());
+    EXPECT_TRUE(fields.find("result")->isArray());
+    EXPECT_FALSE(fields.find("result")->items.empty());
+    EXPECT_NE(fields.find("result")->items[0].find("name"), nullptr);
+
+    const json::Value metrics = json::parse(
+        server.dispatchLine(R"({"method": "metrics"})"));
+    EXPECT_TRUE(metrics.find("ok")->asBool());
+    EXPECT_NE(metrics.find("result")->find("counters"), nullptr);
+
+    const json::Value unknown = json::parse(
+        server.dispatchLine(R"({"method": "frobnicate", "id": 9})"));
+    EXPECT_FALSE(unknown.find("ok")->asBool());
+    EXPECT_EQ(unknown.find("id")->asNumber(), 9.0);
+    EXPECT_EQ(unknown.find("error")->find("category")->asString(),
+              "config");
+
+    const json::Value garbage =
+        json::parse(server.dispatchLine("} not json {"));
+    EXPECT_FALSE(garbage.find("ok")->asBool());
+    EXPECT_TRUE(garbage.find("id")->isNull());
+    EXPECT_EQ(garbage.find("error")->find("site")->asString(),
+              "serve.parse");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over TCP
+
+TEST(ServeE2E, RepeatEvalIsServedFromTheSharedCache)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+    const ChipConfig cfg = smallBase();
+
+    Client first(server.port());
+    const json::Value r1 = first.call(evalRequest(cfg, 1));
+    ASSERT_TRUE(r1.find("ok")->asBool()) << r1.dump();
+    EXPECT_EQ(r1.find("id")->asNumber(), 1.0);
+    EXPECT_NE(r1.find("result")->find("status"), nullptr);
+
+    // The same config from a *different* connection must hit the
+    // process-wide EvalCache: one more cache hit, no new memory
+    // searches, and an identical result.
+    const std::uint64_t hits0 = counterNow("eval_cache.hits");
+    const std::uint64_t searches0 = counterNow("memory_search.searches");
+    Client second(server.port());
+    const json::Value r2 = second.call(evalRequest(cfg, 2));
+    ASSERT_TRUE(r2.find("ok")->asBool()) << r2.dump();
+    EXPECT_EQ(counterNow("eval_cache.hits"), hits0 + 1);
+    EXPECT_EQ(counterNow("memory_search.searches"), searches0);
+    EXPECT_EQ(r1.find("result")->dump(), r2.find("result")->dump());
+
+    server.stop();
+    server.stop(); // idempotent
+}
+
+TEST(ServeE2E, MalformedLineAnswersErrorAndKeepsTheConnection)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+
+    Client c(server.port());
+    const json::Value err = c.call("this is not json");
+    EXPECT_FALSE(err.find("ok")->asBool());
+    EXPECT_EQ(err.find("error")->find("category")->asString(),
+              "config");
+
+    // Same connection still serves valid requests.
+    const json::Value ok = c.call(R"({"method": "health", "id": 2})");
+    EXPECT_TRUE(ok.find("ok")->asBool());
+    EXPECT_EQ(ok.find("id")->asNumber(), 2.0);
+}
+
+TEST(ServeE2E, EvalDeadlineExpiryIsAStructuredCancelledError)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+
+    // A deadline that is already unmeetable when the request arrives.
+    Client c(server.port());
+    const json::Value r = c.call(
+        evalRequest(smallBase(), 4, R"("deadline_ms": 1e-6)"));
+    ASSERT_FALSE(r.find("ok")->asBool()) << r.dump();
+    EXPECT_EQ(r.find("error")->find("category")->asString(),
+              "cancelled");
+    EXPECT_EQ(r.find("error")->find("site")->asString(),
+              "serve.deadline");
+
+    // The daemon is unharmed.
+    EXPECT_TRUE(c.call(evalRequest(smallBase(), 5))
+                    .find("ok")
+                    ->asBool());
+}
+
+TEST(ServeE2E, BusyRejectionAndSweepDeadlineCancellation)
+{
+    Server server(quickOpts(/*threads=*/1, /*max_inflight=*/1));
+    server.start();
+    const ChipConfig cfg = smallBase();
+
+    // A sweep big enough to outlive its own deadline at one thread:
+    // thousands of distinct clock rates, each a fresh chip build.
+    std::string values;
+    for (int i = 0; i < 20000; ++i)
+        values += (i ? "," : "") + std::to_string(4e8 + 1e4 * i);
+    const std::string sweep_req =
+        R"({"method": "sweep", "id": 10, "params": {"config": )" +
+        json::quote(cfg.toString()) +
+        R"(, "axes": [{"path": "freqHz", "values": [)" + values +
+        R"(]}], "deadline_ms": 1500}})";
+
+    Client sweeper(server.port());
+    sweeper.send(sweep_req);
+
+    // Wait until the sweep holds the only admission slot...
+    const auto t0 = std::chrono::steady_clock::now();
+    while (server.inflight() < 1 &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(30)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(server.inflight(), 1);
+
+    // ...then a second client's eval must be rejected immediately.
+    const std::uint64_t rejected0 =
+        counterNow("serve.requests.rejected");
+    Client other(server.port());
+    const json::Value busy = other.call(evalRequest(cfg, 11));
+    ASSERT_FALSE(busy.find("ok")->asBool()) << busy.dump();
+    EXPECT_EQ(busy.find("error")->find("category")->asString(),
+              "busy");
+    EXPECT_EQ(busy.find("error")->find("site")->asString(),
+              "serve.admission");
+    EXPECT_EQ(counterNow("serve.requests.rejected"), rejected0 + 1);
+
+    // The sweep's deadline fires; the daemon returns the partial
+    // result instead of late work or a dead connection.
+    const json::Value done = sweeper.recv(/*timeout_ms=*/120000);
+    ASSERT_TRUE(done.find("ok")->asBool()) << done.dump();
+    const json::Value *result = done.find("result");
+    EXPECT_TRUE(result->find("cancelled")->asBool());
+    EXPECT_GT(result->find("not_evaluated")->asNumber(), 0.0);
+    EXPECT_EQ(result->find("total")->asNumber(), 20000.0);
+
+    // With the slot released, the next request is admitted again.
+    EXPECT_TRUE(other.call(evalRequest(cfg, 12)).find("ok")->asBool());
+}
+
+TEST(ServeE2E, InjectedFaultBecomesAnErrorResponseNotACrash)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+
+    // Distinct configs defeat the EvalCache so each eval really
+    // builds a chip (the injection site).
+    ChipConfig faulty = smallBase();
+    faulty.tx = 2;
+    faultInjector().armFromSpec("chip.build=0"); // hit indices are 0-based
+
+    Client c(server.port());
+    const json::Value r = c.call(evalRequest(faulty, 20));
+    faultInjector().reset();
+    ASSERT_FALSE(r.find("ok")->asBool()) << r.dump();
+    EXPECT_EQ(r.find("error")->find("category")->asString(),
+              "injected");
+
+    // The daemon (and the connection) survive; a clean config works.
+    ChipConfig healthy = smallBase();
+    healthy.ty = 2;
+    EXPECT_TRUE(c.call(evalRequest(healthy, 21)).find("ok")->asBool());
+}
+
+TEST(ServeE2E, StoppedServerRefusesConnections)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+    const std::uint16_t port = server.port();
+    {
+        Client c(port);
+        EXPECT_TRUE(
+            c.call(R"({"method": "health"})").find("ok")->asBool());
+    }
+    server.stop();
+    EXPECT_THROW(
+        {
+            Fd fd = connectLocal(port);
+            // Some kernels accept into the dead socket's backlog
+            // momentarily; a read must still see EOF, not a response.
+            LineReader r(fd.get());
+            std::string line;
+            if (r.readLine(line, 500) == ReadStatus::Eof)
+                throw IoError("connection refused or closed");
+        },
+        IoError);
+}
+
+} // namespace

@@ -16,6 +16,7 @@
  *              [--inject SITE=SPEC]
  *   neurometer metrics chip.cfg [--json]
  *   neurometer fields
+ *   neurometer serve --port P [--threads N] [--max-inflight M]
  *
  * Exit codes (see README "Robustness"):
  *   0  success
@@ -114,32 +115,28 @@ usage(FILE *to)
         "  fields\n"
         "      List every config field: name, type, default, range.\n"
         "\n"
+        "  serve --port P [--threads N] [--max-inflight M]\n"
+        "      Run the evaluation service: a loopback TCP daemon that\n"
+        "      keeps the hot caches (memory designs, evaluated points)\n"
+        "      and a warmed worker pool alive across requests. Wire\n"
+        "      protocol: one JSON object per line in each direction —\n"
+        "      {\"method\": \"eval\"|\"sweep\"|\"fields\"|\"metrics\"|\n"
+        "      \"health\", \"id\": <any>, \"params\": {...}}; responses\n"
+        "      echo the id with \"ok\": true and a \"result\", or\n"
+        "      \"ok\": false and a structured \"error\" (category/site/\n"
+        "      message). --port 0 binds an ephemeral port (printed on\n"
+        "      stderr). --threads sizes the shared worker pool (0 =\n"
+        "      all cores); --max-inflight bounds concurrent eval/sweep\n"
+        "      requests (0 = 2x threads) — beyond it, requests are\n"
+        "      rejected immediately with a \"busy\" error. Ctrl-C\n"
+        "      drains in-flight requests and exits 0.\n"
+        "\n"
         "  --quiet    suppress progress and stats (errors only)\n"
         "  --verbose  force progress/stats even when piped\n"
         "\n"
         "exit codes: 0 success; 2 usage/config/io error; 3 partial\n"
         "(cancelled, resumable); 4 all evaluated points failed\n");
     return to == stderr ? 2 : 0;
-}
-
-/** Render the allowed values of a field for the `fields` table. */
-std::string
-rangeText(const FieldDef<ChipConfig> &f)
-{
-    switch (f.kind) {
-      case FieldKind::Bool:
-        return "true/false";
-      case FieldKind::Enum: {
-        std::string s;
-        for (const std::string &n : f.enumNames)
-            s += (s.empty() ? "" : "|") + n;
-        return s;
-      }
-      case FieldKind::Int:
-      case FieldKind::Double:
-        return f.bounds.bounded() ? f.bounds.str() : "-";
-    }
-    return "-";
 }
 
 int
@@ -149,26 +146,9 @@ cmdFields()
     AsciiTable t({"field", "type", "default", "range", "description"});
     for (const FieldDef<ChipConfig> &f : chipSchema().fields())
         t.addRow({f.name, fieldKindName(f.kind), f.getText(defaults),
-                  rangeText(f), f.doc});
+                  fieldRangeText(f), f.doc});
     std::printf("%s\n", t.str().c_str());
     return 0;
-}
-
-/** The loaded config as a one-record EvalRecord set (reuses the
- *  explore/export JSON writer for `eval --json`). */
-EvalRecord
-evalRecordFor(const ChipConfig &cfg)
-{
-    EvalRecord r;
-    r.point = {cfg.core.tu.rows, cfg.core.numTU, cfg.tx, cfg.ty};
-    r.nodeNm = cfg.nodeNm;
-    r.freqHz = cfg.freqHz;
-    r.memBytes = cfg.totalMemBytes;
-    r.mulType = cfg.core.tu.mulType;
-    r.metrics = measurePoint(cfg);
-    r.why = r.metrics.buildOk ? Feasibility::Feasible
-                              : Feasibility::TimingInfeasible;
-    return r;
 }
 
 int
@@ -190,7 +170,7 @@ cmdEval(const std::vector<std::string> &args)
 
     const ChipConfig cfg = ChipConfig::fromFile(path);
     if (json) {
-        std::fputs(toJson({evalRecordFor(cfg)}).c_str(), stdout);
+        std::fputs(toJson({evalConfigRecord(cfg)}).c_str(), stdout);
         return 0;
     }
     const ChipModel chip(cfg);
@@ -348,23 +328,13 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
 
     const ChipConfig cfg = ChipConfig::fromFile(path);
 
-    // Anchor the typed axes at the file's design point; everything the
-    // user varies goes through named axes (applied after, so an axis
-    // may also override the geometry fields themselves).
-    SweepGrid grid;
-    grid.tuLengths = {cfg.core.tu.rows};
-    grid.tuPerCore = {cfg.core.numTU};
-    grid.coreGrids = {{cfg.tx, cfg.ty}};
-    if (cfg.core.tu.cols != cfg.core.tu.rows) {
-        // applyDesignPoint squares the TU; restore the file's cols.
-        grid.axis("core.tu.cols",
-                  std::vector<std::string>{
-                      std::to_string(cfg.core.tu.cols)});
-    }
     // Copy (not move) the values in: `axes` is serialized into the
     // run manifest after the sweep.
+    std::vector<NamedAxis> named_axes;
+    named_axes.reserve(axes.size());
     for (const auto &[axis_path, values] : axes)
-        grid.axis(axis_path, values);
+        named_axes.push_back({axis_path, values});
+    const SweepGrid grid = sweepGridForConfig(cfg, named_axes);
 
     SweepOptions opts;
     opts.threads = threads;
@@ -509,6 +479,61 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     return 0;
 }
 
+int
+cmdServe(const std::vector<std::string> &args, const Verbosity &v)
+{
+    serve::ServeOptions opts;
+    long port = -1;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--port") {
+            port = std::atol(next("--port").c_str());
+            requireConfig(port >= 0 && port <= 65535,
+                          "--port expects 0..65535 (0 = ephemeral)");
+        } else if (a == "--threads") {
+            opts.threads = std::atoi(next("--threads").c_str());
+            requireConfig(opts.threads >= 0,
+                          "--threads expects a non-negative count");
+        } else if (a == "--max-inflight") {
+            opts.maxInflight =
+                std::atoi(next("--max-inflight").c_str());
+            requireConfig(opts.maxInflight >= 0,
+                          "--max-inflight expects a non-negative "
+                          "count (0 = 2x threads)");
+        } else {
+            throw ConfigError("unknown serve option '" + a + "'");
+        }
+    }
+    requireConfig(port >= 0, "serve needs --port (0 = ephemeral)");
+    opts.port = std::uint16_t(port);
+
+    // SIGINT fires the shutdown token: in-flight requests drain,
+    // connections close, and run() returns for a clean exit 0.
+    opts.cancel.armSigint();
+    serve::Server server(std::move(opts));
+    server.start();
+    if (!v.quiet) {
+        std::fprintf(stderr,
+                     "neurometer: serving on 127.0.0.1:%u "
+                     "(%d worker threads, %d in-flight max); "
+                     "Ctrl-C to stop\n",
+                     unsigned(server.port()), server.pool().numThreads(),
+                     server.options().maxInflight > 0
+                         ? server.options().maxInflight
+                         : 2 * server.pool().numThreads());
+        std::fflush(stderr);
+    }
+    server.run();
+    if (!v.quiet)
+        std::fprintf(stderr, "neurometer: serve shut down cleanly\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -542,6 +567,8 @@ main(int argc, char **argv)
             return cmdSweep(args, v);
         if (cmd == "metrics")
             return cmdMetrics(args);
+        if (cmd == "serve")
+            return cmdServe(args, v);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return usage(stdout);
         std::fprintf(stderr, "neurometer: unknown command '%s'\n\n",

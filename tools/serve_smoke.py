@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Smoke test for `neurometer serve` (stdlib only; used by CI).
+
+Starts the daemon on an ephemeral port, drives the newline-delimited
+JSON protocol end to end — eval (twice, the repeat must be served from
+the shared EvalCache), metrics, health — then sends SIGINT and asserts
+the daemon drains and exits 0.
+
+usage: serve_smoke.py <neurometer-binary> <chip.cfg>
+"""
+
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print("serve_smoke: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=60)
+        self.buf = b""
+
+    def call(self, method, request_id, params=None):
+        req = {"method": method, "id": request_id, "params": params or {}}
+        self.sock.sendall(json.dumps(req).encode() + b"\n")
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("server closed the connection mid-response")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        resp = json.loads(line)
+        if resp.get("id") != request_id:
+            fail(f"response id {resp.get('id')!r} != request id {request_id!r}")
+        return resp
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: serve_smoke.py <neurometer-binary> <chip.cfg>")
+    binary, cfg_path = sys.argv[1], sys.argv[2]
+    with open(cfg_path) as f:
+        cfg_text = f.read()
+
+    daemon = subprocess.Popen(
+        [binary, "serve", "--port", "0", "--threads", "2"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # The daemon announces the resolved ephemeral port on stderr.
+        banner = daemon.stderr.readline()
+        m = re.search(r"serving on 127\.0\.0\.1:(\d+)", banner)
+        if not m:
+            fail(f"no port banner on stderr, got: {banner!r}")
+        port = int(m.group(1))
+
+        c = Client(port)
+
+        t0 = time.monotonic()
+        cold = c.call("eval", 1, {"config": cfg_text})
+        cold_ms = 1e3 * (time.monotonic() - t0)
+        if not cold.get("ok"):
+            fail("cold eval failed: " + json.dumps(cold))
+
+        t0 = time.monotonic()
+        warm = c.call("eval", 2, {"config": cfg_text})
+        warm_ms = 1e3 * (time.monotonic() - t0)
+        if not warm.get("ok"):
+            fail("warm eval failed: " + json.dumps(warm))
+        if warm["result"] != cold["result"]:
+            fail("warm eval result differs from cold eval result")
+
+        metrics = c.call("metrics", 3)
+        if not metrics.get("ok"):
+            fail("metrics failed: " + json.dumps(metrics))
+        counters = metrics["result"]["counters"]
+        if counters.get("eval_cache.hits", 0) < 1:
+            fail(f"expected an EvalCache hit on the repeat eval: {counters}")
+        if counters.get("serve.requests.ok", 0) < 2:
+            fail(f"expected >= 2 ok requests: {counters}")
+
+        health = c.call("health", 4)
+        if not health.get("ok") or health["result"]["status"] != "ok":
+            fail("health failed: " + json.dumps(health))
+
+        print(
+            f"serve_smoke: OK (cold eval {cold_ms:.1f} ms, "
+            f"warm eval {warm_ms:.2f} ms, "
+            f"{counters.get('eval_cache.hits', 0)} cache hits)"
+        )
+    except Exception:
+        daemon.kill()
+        daemon.wait()
+        raise
+
+    # SIGINT must drain in-flight work and exit 0 (clean shutdown).
+    daemon.send_signal(signal.SIGINT)
+    code = daemon.wait(timeout=30)
+    if code != 0:
+        fail(f"daemon exited {code} on SIGINT, expected 0")
+    print("serve_smoke: clean SIGINT shutdown")
+
+
+if __name__ == "__main__":
+    main()
