@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Workload x dataflow characterization: every named workload (the
+ * three paper CNNs plus the programmatic transformer block) mapped
+ * under each systolic dataflow (weight-, output-, input-stationary)
+ * on the Sec. V datacenter inference chip. One table per batch
+ * regime; the full result grid is also written into the run manifest
+ * (`dataflow_workloads.manifest.json`) as machine-readable rows, which
+ * is what the EXPERIMENTS.md comparison table is generated from.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipConfig base = datacenterBase();
+    const DesignPoint dp = {64, 2, 2, 4}; // Fig. 10 throughput optimum
+    ChipModel chip = buildChip(base, dp);
+    TfSim sim(chip);
+
+    const std::vector<std::string> wl_names = workloadNames();
+    const Dataflow flows[] = {Dataflow::WeightStationary,
+                              Dataflow::OutputStationary,
+                              Dataflow::InputStationary};
+    const int batches[] = {1, 16};
+
+    std::printf("== Workloads x dataflows on %s ==\n", dp.str().c_str());
+
+    std::string rows_json = "[";
+    bool first = true;
+    for (const int b : batches) {
+        AsciiTable t({"workload", "dataflow", "latency ms", "TOPS",
+                      "TU util", "TOPS/W"});
+        for (const std::string &name : wl_names) {
+            const Workload wl = workloadByName(name);
+            for (const Dataflow df : flows) {
+                SimConfig cfg;
+                cfg.batch = b;
+                cfg.dataflow = df;
+                const SimResult r = sim.run(wl, cfg);
+                t.addRow({name, dataflowName(df),
+                          AsciiTable::num(r.latencyS * 1e3, 3),
+                          AsciiTable::num(r.achievedTops, 2),
+                          AsciiTable::num(r.tuUtilization, 3),
+                          AsciiTable::num(r.achievedTopsPerWatt, 3)});
+                rows_json += first ? "{" : ", {";
+                first = false;
+                rows_json +=
+                    "\"workload\": " + obs::jsonQuote(name) +
+                    ", \"dataflow\": " +
+                    obs::jsonQuote(dataflowName(df)) +
+                    ", \"batch\": " + std::to_string(b) +
+                    ", \"latency_s\": " + obs::jsonNum(r.latencyS) +
+                    ", \"achieved_tops\": " +
+                    obs::jsonNum(r.achievedTops) +
+                    ", \"tu_utilization\": " +
+                    obs::jsonNum(r.tuUtilization) +
+                    ", \"tops_per_watt\": " +
+                    obs::jsonNum(r.achievedTopsPerWatt) + "}";
+            }
+        }
+        std::printf("\n-- batch = %d --\n%s", b, t.str().c_str());
+    }
+    rows_json += "]";
+
+    obs::ManifestBuilder m = obs::runManifest(
+        "bench/dataflow_workloads", "bench/dataflow_workloads");
+    m.set("design_point", dp.str())
+        .set("config", chip.config().toString())
+        .raw("results", rows_json)
+        .raw("metrics", obs::snapshot().toJson());
+    obs::writeTextFile("dataflow_workloads.manifest.json", m.str());
+    std::printf("\nmanifest: dataflow_workloads.manifest.json\n");
+    return 0;
+}

@@ -4,6 +4,74 @@
 
 namespace neurometer {
 
+SimResult
+simulateWorkload(const ChipConfig &cfg, const SimulateRequest &req)
+{
+    SimConfig sc;
+    sc.batch = req.batch;
+    sc.swOptimizations = req.swOptimizations;
+    sc.dataflow = parseDataflow(req.dataflow);
+    const ChipModel chip(cfg);
+    return TfSim(chip).run(workloadByName(req.workload), sc);
+}
+
+std::string
+simResultJson(const SimResult &r, bool include_layers)
+{
+    using json::Value;
+    Value o = Value::object_();
+    o.set("workload", Value::string_(r.workload))
+        .set("dataflow", Value::string_(r.dataflow))
+        .set("batch", Value::number_(r.batch))
+        .set("sw_opt", Value::boolean_(r.swOptimizations))
+        .set("latency_s", Value::number_(r.latencyS))
+        .set("throughput_fps", Value::number_(r.throughputFps))
+        .set("achieved_tops", Value::number_(r.achievedTops))
+        .set("tu_utilization", Value::number_(r.tuUtilization))
+        .set("tops_per_watt", Value::number_(r.achievedTopsPerWatt))
+        .set("tops_per_tco", Value::number_(r.achievedTopsPerTco));
+
+    Value stats = Value::object_();
+    stats.set("tu_ops_per_s", Value::number_(r.stats.tuOpsPerS))
+        .set("vu_ops_per_s", Value::number_(r.stats.vuOpsPerS))
+        .set("mem_read_bytes_per_s",
+             Value::number_(r.stats.memReadBytesPerS))
+        .set("mem_write_bytes_per_s",
+             Value::number_(r.stats.memWriteBytesPerS))
+        .set("noc_byte_hops_per_s",
+             Value::number_(r.stats.nocByteHopsPerS))
+        .set("offchip_bytes_per_s",
+             Value::number_(r.stats.offchipBytesPerS));
+    o.set("stats", std::move(stats));
+
+    Value power = Value::object_();
+    power.set("dynamic_w", Value::number_(r.runtimePower.dynamicW))
+        .set("leakage_w", Value::number_(r.runtimePower.leakageW))
+        .set("total_w", Value::number_(r.runtimePower.total()));
+    o.set("power", std::move(power));
+
+    if (include_layers) {
+        Value layers = Value::array_();
+        for (const LayerResult &l : r.layers) {
+            Value lo = Value::object_();
+            lo.set("name", Value::string_(l.name))
+                .set("unit", Value::string_(l.tensorOp ? "tu" : "vu"))
+                .set("seconds", Value::number_(l.cost.seconds))
+                .set("tu_ops", Value::number_(l.cost.tuOps))
+                .set("vu_ops", Value::number_(l.cost.vuOps))
+                .set("mem_read_bytes",
+                     Value::number_(l.cost.memReadBytes))
+                .set("mem_write_bytes",
+                     Value::number_(l.cost.memWriteBytes))
+                .set("noc_byte_hops",
+                     Value::number_(l.cost.nocByteHops));
+            layers.push(std::move(lo));
+        }
+        o.set("layers", std::move(layers));
+    }
+    return o.dump();
+}
+
 EvalRecord
 evalConfigRecord(const ChipConfig &cfg, EvalCache *cache)
 {

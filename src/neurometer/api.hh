@@ -19,6 +19,7 @@
 #include "chip/config_schema.hh"
 #include "explore/eval_cache.hh"
 #include "explore/sweep.hh"
+#include "perf/tfsim.hh"
 
 namespace neurometer {
 
@@ -42,6 +43,41 @@ EvalRecord evalConfigRecord(const ChipConfig &cfg,
  */
 SweepGrid sweepGridForConfig(const ChipConfig &cfg,
                              const std::vector<NamedAxis> &axes);
+
+/**
+ * One performance-simulation request: a named workload run through the
+ * TfSim per-layer pipeline under a named dataflow. Workload and
+ * dataflow arrive as strings (the CLI/serve surface) and are resolved
+ * through workloadByName()/parseDataflow(), so both frontends reject
+ * unknown names with the same ConfigError text.
+ */
+struct SimulateRequest
+{
+    std::string workload = "resnet50";
+    std::string dataflow = "ws";   ///< ws | os | is
+    int batch = 1;
+    bool swOptimizations = true;
+};
+
+/**
+ * Build the chip for `cfg` and simulate `req` through TfSim. The one
+ * simulation entry point behind `neurometer simulate` and the serve
+ * daemon's `simulate` method — both render the result with
+ * simResultJson, so the two surfaces return byte-identical JSON for
+ * the same (config, workload, dataflow, batch).
+ */
+SimResult simulateWorkload(const ChipConfig &cfg,
+                           const SimulateRequest &req);
+
+/**
+ * The unified SimResult report: run identity (workload, dataflow,
+ * batch, sw_opt), end-to-end metrics, activity rates, and runtime
+ * power. With `include_layers`, appends the per-layer cost table.
+ * Sparse roofline runs rendered through SparseRoofline::simulate()
+ * serialize with the same function.
+ */
+std::string simResultJson(const SimResult &r,
+                          bool include_layers = false);
 
 /** Human-readable allowed-values text of one schema field: bounds for
  *  numerics, the name list for enums, "true/false" for bools. */

@@ -1,0 +1,382 @@
+#include "perf/dataflow.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace neurometer {
+
+const char *
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::WeightStationary:
+        return "ws";
+      case Dataflow::OutputStationary:
+        return "os";
+      case Dataflow::InputStationary:
+        return "is";
+    }
+    throw ModelError("unknown dataflow");
+}
+
+Dataflow
+parseDataflow(const std::string &name)
+{
+    if (name == "ws")
+        return Dataflow::WeightStationary;
+    if (name == "os")
+        return Dataflow::OutputStationary;
+    if (name == "is")
+        return Dataflow::InputStationary;
+    throw ConfigError("unknown dataflow '" + name +
+                      "' (expected ws, os, or is)");
+}
+
+namespace {
+
+/**
+ * Per-operator dispatch/synchronization: descriptor setup, operand
+ * staging kick-off, and the end-of-op barrier all serialize per
+ * participating core. Amortized at large batch, this is what erodes
+ * many-core chips at batch 1 (calibrated to the paper's brawny
+ * trade-off, Sec. III-B2). Shared by every dataflow.
+ */
+double
+syncCycles(double cores_used, bool sw_opt)
+{
+    return (400.0 + 700.0 * std::log2(std::max(1.0, cores_used))) *
+           (sw_opt ? 1.0 : 1.5);
+}
+
+/**
+ * The original TfSim tiling, extracted verbatim from TfSim::run.
+ * Weights are pre-placed in the array; activations stream; an M/N
+ * core split plus an intra-core K-split are searched for the fastest
+ * schedule. Bit-identical to the pre-refactor simulator (regression-
+ * gated against the fig07/fig09/fig10 goldens in tests/test_tfsim.cc).
+ */
+class WeightStationaryMapper final : public DataflowMapper
+{
+  public:
+    Dataflow dataflow() const override
+    {
+        return Dataflow::WeightStationary;
+    }
+
+    LayerCost
+    map(const Op &op, const GemmShape &g, const SimConfig &cfg,
+        const MapperContext &ctx) const override
+    {
+        const double freq = ctx.freqHz;
+        const int X = ctx.tuRows;
+        const int cores = ctx.cores;
+        const double vu_lanes_total = ctx.vuLanesTotal;
+        const double mem_read_bw = ctx.memReadBw;
+        const double mem_write_bw = ctx.memWriteBw;
+        const double noc_bw = ctx.nocBw;
+        const double avg_hops = ctx.avgHops;
+
+        LayerCost lc;
+        const double kt = std::ceil(g.k / X);
+        const double nt = std::ceil(g.n / X);
+
+        // Cross-core partitioning (XLA-style): the scheduler
+        // balances M-shards (spatial/batch rows, free) against
+        // N-shards (leftover cores, costing an activation
+        // broadcast over the NoC). Within a core, each N-tile
+        // forms a chain accumulating its kt K-tiles in place
+        // (weight-stationary local accumulators); idle TUs split
+        // chains in K (requiring an explicit merge), then
+        // replicate in M. The M/N core split is searched for the
+        // fastest schedule, mirroring TF-Sim's graph scheduling.
+        const int tu_core = ctx.tuPerCore;
+        const double cores_m_max =
+            std::clamp(std::ceil(g.m / X), 1.0, double(cores));
+
+        double best_cycles = 0.0;
+        double cores_m = 1.0, cores_n = 1.0, ksplit = 1.0;
+        double m_chunk = 0.0, waves = 1.0;
+        for (double cm = 1.0; cm <= cores_m_max; cm *= 2.0) {
+            const double cn =
+                std::clamp(std::floor(cores / cm), 1.0, nt);
+            const double m_core = std::ceil(g.m / cm);
+            const double nt_core = std::ceil(nt / cn);
+            const double ks =
+                std::clamp(std::floor(tu_core / nt_core), 1.0, kt);
+            const double mr = std::max(
+                1.0, std::min(std::floor(tu_core / (nt_core * ks)),
+                              std::ceil(m_core / X)));
+            const double wv = std::ceil(nt_core / tu_core);
+            const double ktpt = std::ceil(kt / ks);
+            const double mc = std::ceil(m_core / mr);
+            // Weight-load overhead: X cycles per K-tile swap,
+            // hidden by double buffering while streaming.
+            const double ld = cfg.swOptimizations
+                ? std::max(0.0, double(X) - mc)
+                : double(X);
+            const double cyc = wv * ktpt * (mc + 2.0 * X + ld);
+            if (best_cycles == 0.0 || cyc < best_cycles) {
+                best_cycles = cyc;
+                cores_m = cm;
+                cores_n = cn;
+                ksplit = ks;
+                m_chunk = mc;
+                waves = wv;
+            }
+        }
+        const double t_comp = best_cycles / freq;
+
+        const double chains = std::ceil(nt / cores_n);
+        (void)m_chunk;
+
+        // Partial-sum merging on the VU for explicit K-splits.
+        const double psum_adds = g.m * g.n * (ksplit - 1.0);
+        lc.vuOps += psum_adds;
+        const double t_vu =
+            psum_adds / (vu_lanes_total * freq) *
+            (cfg.swOptimizations ? 0.4 : 1.0); // overlap factor
+
+        // Mem traffic: unique activations (im2col windows are
+        // generated from line buffers, not re-read). M-shards
+        // partition the input; N-shards replicate it. Without
+        // graph opts every chain group re-reads its inputs.
+        const double unique_act = std::min(
+            g.m * g.k * op.operandBytes, op.inActBytes() * cfg.batch);
+        const double act_rd =
+            unique_act * cores_n *
+            (cfg.swOptimizations
+                 ? std::max(1.2, waves)
+                 : std::min(chains, 4.0) * std::max(1.0, waves));
+        const double w_rd = g.k * g.n * op.operandBytes;
+        const double out_wr = g.m * g.n * op.operandBytes;
+        const double psum_bytes =
+            (ksplit > 1.0) ? g.m * g.n * 4.0 * (ksplit - 1.0) : 0.0;
+        lc.memReadBytes = act_rd + w_rd + psum_bytes +
+                          op.extraReadBytes * cfg.batch;
+        lc.memWriteBytes =
+            out_wr + psum_bytes + op.extraWriteBytes * cfg.batch;
+        const double t_mem = lc.memReadBytes / mem_read_bw +
+                             lc.memWriteBytes / mem_write_bw;
+
+        // NoC: N-shard input broadcast and M-shard halo exchange.
+        // Weights are pre-placed in the owning core's Mem slice
+        // and refreshed off the critical path (double buffering),
+        // so they cost hops (energy) but not bisection time.
+        double t_noc = 0.0;
+        if (cores > 1) {
+            const double bcast =
+                unique_act * std::max(0.0, cores_n - 1.0);
+            const double halo =
+                cores_m > 1.0 ? 0.1 * unique_act : 0.0;
+            lc.nocByteHops =
+                (bcast + halo + 0.25 * w_rd) * avg_hops * 0.5;
+            t_noc = (bcast + halo) / noc_bw;
+        }
+
+        const double cores_used = cores_m * cores_n;
+        const double sync_cycles =
+            syncCycles(cores_used, cfg.swOptimizations);
+
+        lc.tuOps = op.opsPerSample() * cfg.batch;
+        lc.seconds = std::max({t_comp, t_vu, t_mem, t_noc}) +
+                     sync_cycles / freq;
+        return lc;
+    }
+};
+
+/**
+ * Output-stationary tiling: each PE accumulates one output element
+ * across the whole K reduction, so the GEMM decomposes into
+ * ceil(M/X) * ceil(N/X) output tiles distributed over every TU on the
+ * chip. Both operands stream (no weight pre-load), each tile pays a
+ * 2X skew fill/drain around its K-deep reduction, partial sums never
+ * leave the array (outputs are written exactly once, no VU merge),
+ * and the traffic cost is operand re-reads: activations re-stream per
+ * output-column tile and weights per output-row tile unless double
+ * buffering blocks the reuse.
+ */
+class OutputStationaryMapper final : public DataflowMapper
+{
+  public:
+    Dataflow dataflow() const override
+    {
+        return Dataflow::OutputStationary;
+    }
+
+    LayerCost
+    map(const Op &op, const GemmShape &g, const SimConfig &cfg,
+        const MapperContext &ctx) const override
+    {
+        const double freq = ctx.freqHz;
+        const double X = ctx.tuRows;
+        const int cores = ctx.cores;
+
+        LayerCost lc;
+        const double row_tiles = std::ceil(g.m / X);
+        const double col_tiles = std::ceil(g.n / X);
+        const double tiles = row_tiles * col_tiles;
+        const double tiles_per_tu =
+            std::ceil(tiles / ctx.totalTUs());
+
+        // Fill/drain: 2X systolic skew per tile around the K-deep
+        // in-place reduction; without double buffering the output
+        // drain is not overlapped with the next tile's fill.
+        const double drain =
+            cfg.swOptimizations ? 0.0 : X;
+        const double tile_cycles = g.k + 2.0 * X + drain;
+        const double t_comp = tiles_per_tu * tile_cycles / freq;
+
+        // The OS advantage: partial sums stay put, outputs are
+        // written exactly once, and the VU never merges anything.
+        const double t_vu = 0.0;
+
+        // Buffer traffic: every output-column tile re-streams the
+        // activations and every output-row tile re-streams the
+        // weights; double buffering blocks the reuse down to a
+        // ping-pong pair.
+        const double unique_act = std::min(
+            g.m * g.k * op.operandBytes, op.inActBytes() * cfg.batch);
+        const double act_rd =
+            unique_act * (cfg.swOptimizations
+                              ? std::min(col_tiles, 2.0)
+                              : col_tiles);
+        const double w_rd =
+            g.k * g.n * op.operandBytes *
+            (cfg.swOptimizations ? std::min(row_tiles, 2.0)
+                                 : row_tiles);
+        const double out_wr = g.m * g.n * op.operandBytes;
+        lc.memReadBytes =
+            act_rd + w_rd + op.extraReadBytes * cfg.batch;
+        lc.memWriteBytes = out_wr + op.extraWriteBytes * cfg.batch;
+        const double t_mem = lc.memReadBytes / ctx.memReadBw +
+                             lc.memWriteBytes / ctx.memWriteBw;
+
+        // NoC: with tiles spread across every core, both streaming
+        // operands cross the bisection on their way from the owning
+        // Mem slice to the consuming core (about half the traffic).
+        double t_noc = 0.0;
+        if (cores > 1) {
+            const double crossing = 0.5 * (act_rd + w_rd);
+            lc.nocByteHops = crossing * ctx.avgHops;
+            t_noc = 0.5 * crossing / ctx.nocBw;
+        }
+
+        const double sync_cycles =
+            syncCycles(double(cores), cfg.swOptimizations);
+
+        lc.tuOps = op.opsPerSample() * cfg.batch;
+        lc.seconds = std::max({t_comp, t_vu, t_mem, t_noc}) +
+                     sync_cycles / freq;
+        return lc;
+    }
+};
+
+/**
+ * Input-stationary tiling: an X-by-X activation tile is pinned in the
+ * array while all N weight columns stream past it, so the GEMM
+ * decomposes into ceil(M/X) * ceil(K/X) stationary tiles distributed
+ * over every TU. The price of holding inputs is intrinsic partial
+ * sums: each of the ceil(K/X) tile groups emits a full M-by-N partial
+ * result that the VU must merge (with 4 B accumulator-width spills to
+ * Mem), exactly like a forced K-split in the WS schedule. The payoff
+ * is activation traffic: inputs are read exactly once.
+ */
+class InputStationaryMapper final : public DataflowMapper
+{
+  public:
+    Dataflow dataflow() const override
+    {
+        return Dataflow::InputStationary;
+    }
+
+    LayerCost
+    map(const Op &op, const GemmShape &g, const SimConfig &cfg,
+        const MapperContext &ctx) const override
+    {
+        const double freq = ctx.freqHz;
+        const double X = ctx.tuRows;
+        const int cores = ctx.cores;
+
+        LayerCost lc;
+        const double row_tiles = std::ceil(g.m / X);
+        const double k_tiles = std::ceil(g.k / X);
+        const double tiles = row_tiles * k_tiles;
+        const double tiles_per_tu =
+            std::ceil(tiles / ctx.totalTUs());
+
+        // Per tile: X cycles to pin the next input tile (hidden by
+        // double buffering while at least X weight columns stream),
+        // then N streaming cycles inside a 2X skew.
+        const double ld = cfg.swOptimizations
+            ? std::max(0.0, X - g.n)
+            : X;
+        const double tile_cycles = g.n + 2.0 * X + ld;
+        const double t_comp = tiles_per_tu * tile_cycles / freq;
+
+        // Intrinsic partial-sum merge across the K-tile groups.
+        const double psum_adds = g.m * g.n * (k_tiles - 1.0);
+        lc.vuOps += psum_adds;
+        const double t_vu =
+            psum_adds / (ctx.vuLanesTotal * freq) *
+            (cfg.swOptimizations ? 0.4 : 1.0); // overlap factor
+
+        // The IS advantage: activations are read exactly once.
+        // Weights re-stream per output-row tile; partial results
+        // spill at accumulator width.
+        const double unique_act = std::min(
+            g.m * g.k * op.operandBytes, op.inActBytes() * cfg.batch);
+        const double w_rd =
+            g.k * g.n * op.operandBytes *
+            (cfg.swOptimizations ? std::min(row_tiles, 2.0)
+                                 : row_tiles);
+        const double out_wr = g.m * g.n * op.operandBytes;
+        const double psum_bytes =
+            (k_tiles > 1.0) ? g.m * g.n * 4.0 * (k_tiles - 1.0)
+                            : 0.0;
+        lc.memReadBytes = unique_act + w_rd + psum_bytes +
+                          op.extraReadBytes * cfg.batch;
+        lc.memWriteBytes =
+            out_wr + psum_bytes + op.extraWriteBytes * cfg.batch;
+        const double t_mem = lc.memReadBytes / ctx.memReadBw +
+                             lc.memWriteBytes / ctx.memWriteBw;
+
+        // NoC: streamed weights and psum spills cross the bisection.
+        double t_noc = 0.0;
+        if (cores > 1) {
+            const double crossing = 0.5 * (w_rd + psum_bytes);
+            lc.nocByteHops = crossing * ctx.avgHops;
+            t_noc = 0.5 * crossing / ctx.nocBw;
+        }
+
+        const double sync_cycles =
+            syncCycles(double(cores), cfg.swOptimizations);
+
+        lc.tuOps = op.opsPerSample() * cfg.batch;
+        lc.seconds = std::max({t_comp, t_vu, t_mem, t_noc}) +
+                     sync_cycles / freq;
+        return lc;
+    }
+};
+
+} // namespace
+
+const DataflowMapper &
+mapperFor(Dataflow df)
+{
+    static const WeightStationaryMapper ws;
+    static const OutputStationaryMapper os;
+    static const InputStationaryMapper is;
+    switch (df) {
+      case Dataflow::WeightStationary:
+        return ws;
+      case Dataflow::OutputStationary:
+        return os;
+      case Dataflow::InputStationary:
+        return is;
+    }
+    throw ModelError("unknown dataflow");
+}
+
+} // namespace neurometer

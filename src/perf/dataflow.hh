@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pluggable dataflow mappers for the perf simulator.
+ *
+ * The TF-Sim analog lowers every tensor operator to an im2col GEMM and
+ * maps it onto the chip's systolic TUs. How that GEMM is tiled — which
+ * operand stays resident in the PE array while the others stream —
+ * is the *dataflow*, and it determines the fill/drain overheads, the
+ * partial-sum merge work, and the buffer-traffic terms of each layer:
+ *
+ *   - weight-stationary (WS, TPU-style): weights are pre-loaded into
+ *     the array; activations stream through; partial sums accumulate
+ *     in place along K unless the schedule splits K across TUs.
+ *   - output-stationary (OS): each PE owns one output element for the
+ *     whole K reduction; both operands stream, outputs are written
+ *     exactly once and no partial sums ever leave the array.
+ *   - input-stationary (IS): an activation tile is pinned; weights
+ *     stream past it; every K-tile emits partial sums that must be
+ *     merged on the VU (psum read/write traffic is intrinsic).
+ *
+ * Each mapper turns one (Op, GemmShape) pair into a LayerCost; the
+ * surrounding per-layer pipeline (TfSim::run) is dataflow-agnostic.
+ * The decomposition follows the WS/OS/IS idiom of systolic simulators
+ * (SCALE-Sim / CADOSys layer_sim); the WS mapper is the original
+ * TfSim tiling extracted verbatim and is regression-gated to be
+ * bit-identical to it.
+ */
+
+#ifndef NEUROMETER_PERF_DATAFLOW_HH
+#define NEUROMETER_PERF_DATAFLOW_HH
+
+#include <string>
+
+#include "perf/workload.hh"
+
+namespace neurometer {
+
+/** Which operand the systolic array holds stationary. */
+enum class Dataflow {
+    WeightStationary,
+    OutputStationary,
+    InputStationary,
+};
+
+/** Short wire/CLI name: "ws", "os", "is". */
+const char *dataflowName(Dataflow df);
+
+/** Parse a wire/CLI name; throws ConfigError on anything else. */
+Dataflow parseDataflow(const std::string &name);
+
+/** Simulation knobs. */
+struct SimConfig
+{
+    int batch = 1;
+    /**
+     * Enable graph optimizations: space-to-batch / space-to-depth on
+     * shallow-K convolutions, double buffering of weight tiles, and
+     * batch folding (paper Fig. 7's "after software optimization").
+     */
+    bool swOptimizations = true;
+    /** How tensor ops are tiled onto the TUs. */
+    Dataflow dataflow = Dataflow::WeightStationary;
+};
+
+/** Per-layer accounting accumulated into the run totals. */
+struct LayerCost
+{
+    double seconds = 0.0;
+    double tuOps = 0.0;
+    double vuOps = 0.0;
+    double memReadBytes = 0.0;
+    double memWriteBytes = 0.0;
+    double nocByteHops = 0.0;
+};
+
+/** Machine terms precomputed once per run, shared by every mapper. */
+struct MapperContext
+{
+    double freqHz = 0.0;
+    int tuRows = 0;            ///< X, the systolic edge length
+    int tuPerCore = 0;         ///< N
+    int cores = 0;             ///< Tx * Ty
+    double vuLanesTotal = 0.0; ///< VU lanes summed over cores
+    double memReadBw = 0.0;    ///< on-chip Mem read B/s, all cores
+    double memWriteBw = 0.0;   ///< on-chip Mem write B/s, all cores
+    double nocBw = 0.0;        ///< bisection B/s (huge when 1 core)
+    double avgHops = 0.0;      ///< mean NoC hop count (0 when 1 core)
+
+    /** TUs chip-wide. */
+    int totalTUs() const { return cores * tuPerCore; }
+};
+
+/**
+ * One dataflow's tiling model. Stateless; map() is called once per
+ * tensor op with the (possibly graph-rewritten) GEMM shape and must
+ * fill every LayerCost term, including the op's extra (KV-cache style)
+ * traffic scaled by the batch.
+ */
+class DataflowMapper
+{
+  public:
+    virtual ~DataflowMapper() = default;
+
+    virtual Dataflow dataflow() const = 0;
+
+    /** Map one GEMM-lowered tensor op onto the machine. */
+    virtual LayerCost map(const Op &op, const GemmShape &g,
+                          const SimConfig &cfg,
+                          const MapperContext &ctx) const = 0;
+};
+
+/** The process-wide mapper instance for a dataflow (never null). */
+const DataflowMapper &mapperFor(Dataflow df);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_PERF_DATAFLOW_HH

@@ -8,21 +8,6 @@
 
 namespace neurometer {
 
-namespace {
-
-/** Per-layer accounting accumulated into the run totals. */
-struct LayerCost
-{
-    double seconds = 0.0;
-    double tuOps = 0.0;
-    double vuOps = 0.0;
-    double memReadBytes = 0.0;
-    double memWriteBytes = 0.0;
-    double nocByteHops = 0.0;
-};
-
-} // namespace
-
 SimResult
 TfSim::run(const Workload &wl, const SimConfig &cfg) const
 {
@@ -33,23 +18,34 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
                   "TfSim maps onto systolic TUs; RT-only chips use the "
                   "sparse roofline model");
 
-    const double freq = cc.freqHz;
-    const int X = cc.core.tu.rows;
-    const int n_tu = cc.numCores() * cc.core.numTU;
-    const int cores = cc.numCores();
-    const double vu_lanes_total =
-        double(_chip.core().vuLanes()) * cores;
-    const double mem_read_bw =
-        _chip.core().memDesign().readBwBytesPerS * cores;
-    const double mem_write_bw =
-        _chip.core().memDesign().writeBwBytesPerS * cores;
-    const double noc_bw =
-        cores > 1 ? _chip.config().nocBisectionBwBytesPerS : 1e18;
-    const double avg_hops = cores > 1 ? (cc.tx + cc.ty) / 3.0 : 0.0;
+    MapperContext ctx;
+    ctx.freqHz = cc.freqHz;
+    ctx.tuRows = cc.core.tu.rows;
+    ctx.tuPerCore = cc.core.numTU;
+    ctx.cores = cc.numCores();
+    ctx.vuLanesTotal = double(_chip.core().vuLanes()) * ctx.cores;
+    ctx.memReadBw =
+        _chip.core().memDesign().readBwBytesPerS * ctx.cores;
+    ctx.memWriteBw =
+        _chip.core().memDesign().writeBwBytesPerS * ctx.cores;
+    ctx.nocBw =
+        ctx.cores > 1 ? _chip.config().nocBisectionBwBytesPerS : 1e18;
+    ctx.avgHops = ctx.cores > 1 ? (cc.tx + cc.ty) / 3.0 : 0.0;
+
+    const DataflowMapper &mapper = mapperFor(cfg.dataflow);
+    const int X = ctx.tuRows;
+    const double freq = ctx.freqHz;
 
     double total_seconds = 0.0;
     double tu_ops = 0.0, vu_ops = 0.0;
     double mem_rd = 0.0, mem_wr = 0.0, hops = 0.0;
+
+    SimResult res;
+    res.workload = wl.name;
+    res.dataflow = dataflowName(cfg.dataflow);
+    res.batch = cfg.batch;
+    res.swOptimizations = cfg.swOptimizations;
+    res.layers.reserve(wl.ops.size());
 
     for (const Op &op : wl.ops) {
         LayerCost lc;
@@ -57,7 +53,8 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
             GemmShape g = op.gemm(cfg.batch);
 
             // Space-to-depth/batch: thicken shallow reductions at the
-            // cost of output rows (graph-level rewrite, paper Fig. 7).
+            // cost of output rows (graph-level rewrite, paper Fig. 7;
+            // it reshapes the GEMM before any dataflow maps it).
             if (cfg.swOptimizations && op.kind == OpKind::Conv2D) {
                 int applied = 0;
                 while (g.k < X / 2.0 && g.m >= 4.0 * X && applied < 2) {
@@ -67,132 +64,25 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
                 }
             }
 
-            const double kt = std::ceil(g.k / X);
-            const double nt = std::ceil(g.n / X);
-
-            // Cross-core partitioning (XLA-style): the scheduler
-            // balances M-shards (spatial/batch rows, free) against
-            // N-shards (leftover cores, costing an activation
-            // broadcast over the NoC). Within a core, each N-tile
-            // forms a chain accumulating its kt K-tiles in place
-            // (weight-stationary local accumulators); idle TUs split
-            // chains in K (requiring an explicit merge), then
-            // replicate in M. The M/N core split is searched for the
-            // fastest schedule, mirroring TF-Sim's graph scheduling.
-            const int tu_core = cc.core.numTU;
-            const double cores_m_max = std::clamp(
-                std::ceil(g.m / X), 1.0, double(cores));
-
-            double best_cycles = 0.0;
-            double cores_m = 1.0, cores_n = 1.0, ksplit = 1.0;
-            double m_chunk = 0.0, waves = 1.0;
-            for (double cm = 1.0; cm <= cores_m_max; cm *= 2.0) {
-                const double cn = std::clamp(
-                    std::floor(cores / cm), 1.0, nt);
-                const double m_core = std::ceil(g.m / cm);
-                const double nt_core = std::ceil(nt / cn);
-                const double ks = std::clamp(
-                    std::floor(tu_core / nt_core), 1.0, kt);
-                const double mr = std::max(
-                    1.0,
-                    std::min(std::floor(tu_core / (nt_core * ks)),
-                             std::ceil(m_core / X)));
-                const double wv = std::ceil(nt_core / tu_core);
-                const double ktpt = std::ceil(kt / ks);
-                const double mc = std::ceil(m_core / mr);
-                // Weight-load overhead: X cycles per K-tile swap,
-                // hidden by double buffering while streaming.
-                const double ld = cfg.swOptimizations
-                    ? std::max(0.0, double(X) - mc)
-                    : double(X);
-                const double cyc = wv * ktpt * (mc + 2.0 * X + ld);
-                if (best_cycles == 0.0 || cyc < best_cycles) {
-                    best_cycles = cyc;
-                    cores_m = cm;
-                    cores_n = cn;
-                    ksplit = ks;
-                    m_chunk = mc;
-                    waves = wv;
-                }
-            }
-            const double t_comp = best_cycles / freq;
-
-            const double chains = std::ceil(nt / cores_n);
-            (void)m_chunk;
-
-            // Partial-sum merging on the VU for explicit K-splits.
-            const double psum_adds = g.m * g.n * (ksplit - 1.0);
-            lc.vuOps += psum_adds;
-            const double t_vu =
-                psum_adds / (vu_lanes_total * freq) *
-                (cfg.swOptimizations ? 0.4 : 1.0); // overlap factor
-
-            // Mem traffic: unique activations (im2col windows are
-            // generated from line buffers, not re-read). M-shards
-            // partition the input; N-shards replicate it. Without
-            // graph opts every chain group re-reads its inputs.
-            const double unique_act = std::min(
-                g.m * g.k, op.inActBytes() * cfg.batch);
-            const double act_rd =
-                unique_act * cores_n *
-                (cfg.swOptimizations
-                     ? std::max(1.2, waves)
-                     : std::min(chains, 4.0) * std::max(1.0, waves));
-            const double w_rd = g.k * g.n;
-            const double out_wr = g.m * g.n;
-            const double psum_bytes =
-                (ksplit > 1.0) ? g.m * g.n * 4.0 * (ksplit - 1.0)
-                               : 0.0;
-            lc.memReadBytes = act_rd + w_rd + psum_bytes;
-            lc.memWriteBytes = out_wr + psum_bytes;
-            const double t_mem =
-                lc.memReadBytes / mem_read_bw +
-                lc.memWriteBytes / mem_write_bw;
-
-            // NoC: N-shard input broadcast and M-shard halo exchange.
-            // Weights are pre-placed in the owning core's Mem slice
-            // and refreshed off the critical path (double buffering),
-            // so they cost hops (energy) but not bisection time.
-            double t_noc = 0.0;
-            if (cores > 1) {
-                const double bcast =
-                    unique_act * std::max(0.0, cores_n - 1.0);
-                const double halo =
-                    cores_m > 1.0 ? 0.1 * unique_act : 0.0;
-                lc.nocByteHops =
-                    (bcast + halo + 0.25 * w_rd) * avg_hops * 0.5;
-                t_noc = (bcast + halo) / noc_bw;
-            }
-
-            // Per-operator dispatch/synchronization: descriptor setup,
-            // weight staging kick-off, and the end-of-op barrier all
-            // serialize per participating core. Amortized at large
-            // batch, this is what erodes many-core chips at batch 1
-            // (calibrated to the paper's brawny trade-off, Sec. III-B2).
-            const double cores_used = cores_m * cores_n;
-            const double sync_cycles =
-                (400.0 + 700.0 * std::log2(std::max(1.0, cores_used))) *
-                (cfg.swOptimizations ? 1.0 : 1.5);
-
-            lc.tuOps = op.opsPerSample() * cfg.batch;
-            lc.seconds = std::max({t_comp, t_vu, t_mem, t_noc}) +
-                         sync_cycles / freq;
+            lc = mapper.map(op, g, cfg, ctx);
             tu_ops += lc.tuOps;
         } else {
-            // Vector-unit ops: pooling, activation, eltwise.
+            // Vector-unit ops: pooling, activation, eltwise. Shared
+            // by every dataflow — nothing is mapped onto the TUs.
             const double elems = op.opsPerSample() * cfg.batch;
             lc.vuOps += elems;
-            lc.seconds = elems / (vu_lanes_total * freq);
+            lc.seconds = elems / (ctx.vuLanesTotal * freq);
             lc.memReadBytes = op.inActBytes() * cfg.batch;
             lc.memWriteBytes = op.outActBytes() * cfg.batch;
             lc.seconds = std::max(
-                lc.seconds, lc.memReadBytes / mem_read_bw);
+                lc.seconds, lc.memReadBytes / ctx.memReadBw);
         }
         vu_ops += lc.vuOps;
         mem_rd += lc.memReadBytes;
         mem_wr += lc.memWriteBytes;
         hops += lc.nocByteHops;
         total_seconds += lc.seconds;
+        res.layers.push_back({op.name, op.isTensorOp(), lc});
     }
 
     // Off-chip: weights stream when the model exceeds on-chip Mem;
@@ -200,8 +90,7 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
     // compute; without it the transfer serializes.
     const double params = wl.totalParamBytes();
     const bool resident = params <= 0.9 * cc.totalMemBytes;
-    double offchip_bytes =
-        224.0 * 224.0 * 3.0 * cfg.batch; // input frames
+    double offchip_bytes = wl.inputBytesPerSample * cfg.batch;
     if (!resident)
         offchip_bytes += params; // per batch
     const double t_off = offchip_bytes / cc.offchipBwBytesPerS;
@@ -211,7 +100,6 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
     else
         latency = total_seconds + t_off;
 
-    SimResult res;
     res.latencyS = latency;
     res.throughputFps = cfg.batch / latency;
     res.achievedTops = tu_ops / latency / units::tera;
@@ -238,13 +126,11 @@ TfSim::run(const Workload &wl, const SimConfig &cfg) const
 
 int
 TfSim::maxBatchUnderSlo(const Workload &wl, double slo_s,
-                        bool sw_opt) const
+                        SimConfig cfg) const
 {
     int best = 1;
     for (int b = 1; b <= 256; b *= 2) {
-        SimConfig cfg;
         cfg.batch = b;
-        cfg.swOptimizations = sw_opt;
         const SimResult r = run(wl, cfg);
         if (r.latencyS <= slo_s)
             best = b;

@@ -5,37 +5,44 @@
  * The paper pairs NeuroMeter with TF-Sim, an unpublished TensorFlow
  * graph simulator. This module reproduces the signals that case study
  * consumes: per-layer mapping of im2col GEMMs onto the chip's systolic
- * TUs (weight-stationary tiling, fill/drain, weight-load overlap),
- * multi-core/multi-TU parallelization with partial-sum merge costs,
- * HBM/Mem/NoC roofline terms, and the software graph optimizations the
- * paper names (space-to-batch/depth, double buffering). Its outputs —
- * latency, throughput, utilization, and component activity rates — feed
- * ChipModel::runtimePower exactly like TF-Sim feeds NeuroMeter.
+ * TUs under a pluggable dataflow (weight-/output-/input-stationary
+ * tiling via perf/dataflow.hh, with fill/drain and weight-load
+ * overlap), multi-core/multi-TU parallelization with partial-sum merge
+ * costs, HBM/Mem/NoC roofline terms, and the software graph
+ * optimizations the paper names (space-to-batch/depth, double
+ * buffering). Its outputs — latency, throughput, utilization,
+ * component activity rates, and a per-layer cost table — feed
+ * ChipModel::runtimePower exactly like TF-Sim feeds NeuroMeter. The
+ * sparse/ roofline renders its runs into the same SimResult shape, so
+ * dense and sparse scenarios share one report format.
  */
 
 #ifndef NEUROMETER_PERF_TFSIM_HH
 #define NEUROMETER_PERF_TFSIM_HH
 
 #include "chip/chip.hh"
+#include "perf/dataflow.hh"
 #include "perf/workload.hh"
 
 namespace neurometer {
 
-/** Simulation knobs. */
-struct SimConfig
+/** One simulated layer: the op's name/kind plus its mapped cost. */
+struct LayerResult
 {
-    int batch = 1;
-    /**
-     * Enable graph optimizations: space-to-batch / space-to-depth on
-     * shallow-K convolutions, double buffering of weight tiles, and
-     * batch folding (paper Fig. 7's "after software optimization").
-     */
-    bool swOptimizations = true;
+    std::string name;
+    bool tensorOp = false; ///< mapped onto TUs (vs the VU path)
+    LayerCost cost;
 };
 
 /** End-to-end simulation result for one (workload, batch) run. */
 struct SimResult
 {
+    // Run identity (fills the unified report; see simResultJson).
+    std::string workload;
+    std::string dataflow;        ///< "ws"/"os"/"is", "dense"/"sparse"
+    int batch = 1;
+    bool swOptimizations = true;
+
     double latencyS = 0.0;       ///< one batch, end to end
     double throughputFps = 0.0;  ///< frames per second
     double achievedTops = 0.0;   ///< sustained arithmetic TOPS
@@ -47,6 +54,9 @@ struct SimResult
     double achievedTopsPerWatt = 0.0;
     /** achieved TOPS / (mm^4 * W), scaled like ChipModel's TCO. */
     double achievedTopsPerTco = 0.0;
+
+    /** Per-layer pipeline: one entry per operator, in graph order. */
+    std::vector<LayerResult> layers;
 };
 
 /** The analytical performance simulator bound to a chip model. */
@@ -55,16 +65,17 @@ class TfSim
   public:
     explicit TfSim(const ChipModel &chip) : _chip(chip) {}
 
-    /** Simulate one workload at the given batch size. */
+    /** Simulate one workload at the given batch size and dataflow. */
     SimResult run(const Workload &wl, const SimConfig &cfg) const;
 
     /**
      * Largest batch size (power of two up to 256) whose batch latency
      * meets the SLO; 1 when even batch 1 misses it (paper's
-     * "latency-limited batch size").
+     * "latency-limited batch size"). Every sim knob in `cfg` except
+     * the batch itself (which the search owns) applies to the search.
      */
     int maxBatchUnderSlo(const Workload &wl, double slo_s,
-                         bool sw_opt = true) const;
+                         SimConfig cfg = {}) const;
 
   private:
     const ChipModel &_chip;

@@ -29,7 +29,7 @@ Op::opsPerSample() const
       case OpKind::DepthwiseConv2D:
         return 2.0 * double(outH()) * outW() * cin * kh * kw;
       case OpKind::MatMul:
-        return 2.0 * mmK * mmN;
+        return 2.0 * mmM * mmK * mmN;
       case OpKind::Pool:
         return double(outH()) * outW() * cin * kh * kw;
       case OpKind::Activation:
@@ -45,11 +45,11 @@ Op::paramBytes() const
 {
     switch (kind) {
       case OpKind::Conv2D:
-        return double(cin) * kh * kw * cout;
+        return double(cin) * kh * kw * cout * operandBytes;
       case OpKind::DepthwiseConv2D:
-        return double(cin) * kh * kw;
+        return double(cin) * kh * kw * operandBytes;
       case OpKind::MatMul:
-        return mmK * mmN;
+        return weightless ? 0.0 : mmK * mmN * operandBytes;
       default:
         return 0.0;
     }
@@ -59,8 +59,8 @@ double
 Op::inActBytes() const
 {
     if (kind == OpKind::MatMul)
-        return mmK;
-    return double(h) * w * cin;
+        return mmM * mmK * operandBytes;
+    return double(h) * w * cin * operandBytes;
 }
 
 double
@@ -68,15 +68,15 @@ Op::outActBytes() const
 {
     switch (kind) {
       case OpKind::Conv2D:
-        return double(outH()) * outW() * cout;
+        return double(outH()) * outW() * cout * operandBytes;
       case OpKind::DepthwiseConv2D:
       case OpKind::Pool:
-        return double(outH()) * outW() * cin;
+        return double(outH()) * outW() * cin * operandBytes;
       case OpKind::MatMul:
-        return mmN;
+        return mmM * mmN * operandBytes;
       case OpKind::Activation:
       case OpKind::EltwiseAdd:
-        return double(h) * w * cin;
+        return double(h) * w * cin * operandBytes;
     }
     throw ModelError("unknown op kind");
 }
@@ -99,7 +99,7 @@ Op::gemm(int batch) const
         g.n = 1.0;
         break;
       case OpKind::MatMul:
-        g.m = batch;
+        g.m = double(batch) * mmM;
         g.k = mmK;
         g.n = mmN;
         break;
@@ -152,6 +152,15 @@ double
 Workload::peakDataBytes() const
 {
     return 0.5 * totalActivationBytes();
+}
+
+Workload &
+Workload::setOperandBytes(double bytes)
+{
+    requireConfig(bytes > 0.0, "operand bytes must be > 0");
+    for (Op &op : ops)
+        op.operandBytes = bytes;
+    return *this;
 }
 
 namespace {
@@ -465,6 +474,121 @@ nasnetALarge()
     ops.push_back(pool("avgpool", hw, hw, c, hw, hw));
     ops.push_back(fc("fc1000", c, 1000));
     return wl;
+}
+
+Workload
+transformerBlock(const TransformerConfig &tc)
+{
+    requireConfig(tc.seqLen >= 1, "transformer seqLen must be >= 1");
+    requireConfig(tc.kvLen >= tc.seqLen,
+                  "transformer kvLen must cover the new tokens "
+                  "(kvLen >= seqLen)");
+    requireConfig(tc.dModel >= 1 && tc.dFf >= 1,
+                  "transformer widths must be >= 1");
+    requireConfig(tc.nHeads >= 1 && tc.dModel % tc.nHeads == 0,
+                  "dModel must divide evenly into nHeads");
+    requireConfig(tc.nLayers >= 1, "transformer nLayers must be >= 1");
+    requireConfig(tc.operandBytes > 0.0, "operand bytes must be > 0");
+
+    const double S = tc.seqLen;
+    const double KV = tc.kvLen;
+    const double d = tc.dModel;
+    const int dh = tc.dModel / tc.nHeads;
+    const double kv_cache = 2.0 * KV * d * tc.operandBytes;
+
+    Workload wl;
+    wl.name = "Transformer";
+    // The per-sample input is the new-token stream, not a CNN frame.
+    wl.inputBytesPerSample = S * d * tc.operandBytes;
+
+    auto mm = [&](std::string name, double m, double k, double n,
+                  bool weightless, double extra_rd = 0.0,
+                  double extra_wr = 0.0) {
+        Op op;
+        op.kind = OpKind::MatMul;
+        op.name = std::move(name);
+        op.mmM = m;
+        op.mmK = k;
+        op.mmN = n;
+        op.weightless = weightless;
+        op.extraReadBytes = extra_rd;
+        op.extraWriteBytes = extra_wr;
+        wl.ops.push_back(op);
+    };
+    auto vec = [&](OpKind kind, std::string name, double rows,
+                   double width) {
+        Op op;
+        op.kind = kind;
+        op.name = std::move(name);
+        op.h = int(rows);
+        op.w = 1;
+        op.cin = int(width);
+        wl.ops.push_back(op);
+    };
+
+    for (int l = 0; l < tc.nLayers; ++l) {
+        const std::string b = "blk" + std::to_string(l);
+
+        // Fused QKV projection; the layer's K/V rows land in the
+        // KV cache (write traffic outside the GEMM operand streams).
+        mm(b + "_qkv", S, d, 3.0 * d, false, 0.0,
+           2.0 * S * d * tc.operandBytes);
+
+        // Attention logits Q K^T: per-head [S x dh] * [dh x KV],
+        // folded across heads into M. Activation x activation (the
+        // K operand comes from the cache, costing a cache read).
+        mm(b + "_logits", S * tc.nHeads, dh, KV, true,
+           0.5 * kv_cache); // K half
+
+        vec(OpKind::Activation, b + "_softmax", S * tc.nHeads, KV);
+
+        // attn * V: per-head [S x KV] * [KV x dh], V from the cache.
+        mm(b + "_av", S * tc.nHeads, KV, dh, true,
+           0.5 * kv_cache); // V half
+
+        mm(b + "_out", S, d, d, false);
+        vec(OpKind::EltwiseAdd, b + "_attn_add", S, d);
+
+        mm(b + "_mlp_up", S, d, tc.dFf, false);
+        vec(OpKind::Activation, b + "_gelu", S, tc.dFf);
+        mm(b + "_mlp_down", S, tc.dFf, d, false);
+        vec(OpKind::EltwiseAdd, b + "_mlp_add", S, d);
+    }
+    wl.setOperandBytes(tc.operandBytes);
+    return wl;
+}
+
+Workload
+transformer()
+{
+    return transformerBlock(TransformerConfig{});
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    if (name == "resnet50")
+        return resnet50();
+    if (name == "inception_v3")
+        return inceptionV3();
+    if (name == "nasnet")
+        return nasnetALarge();
+    if (name == "alexnet")
+        return alexnet();
+    if (name == "transformer")
+        return transformer();
+    std::string known;
+    for (const std::string &n : workloadNames())
+        known += (known.empty() ? "" : ", ") + n;
+    throw ConfigError("unknown workload '" + name + "' (expected " +
+                      known + ")");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"resnet50", "inception_v3", "nasnet", "alexnet",
+            "transformer"};
 }
 
 Workload

@@ -46,8 +46,26 @@ struct Op
     int cout = 0;
     int stride = 1;
 
-    // MatMul fields (per sample): out = [1 x k] * [k x n].
-    double mmK = 0.0, mmN = 0.0;
+    // MatMul fields (per sample): out = [m x k] * [k x n]. mmM folds
+    // per-sample row batching (transformer sequence positions); the
+    // classic FC layer is mmM = 1.
+    double mmM = 1.0, mmK = 0.0, mmN = 0.0;
+
+    /** Activation-by-activation MatMul (attention logits, attn * V):
+     *  the [k x n] operand is an activation, not a parameter. */
+    bool weightless = false;
+
+    /** Bytes per operand element (weights and activations). The
+     *  Table II accounting is int8 (1 B); wider precisions scale
+     *  every byte term through here. */
+    double operandBytes = 1.0;
+
+    /** Side-channel memory traffic per sample, outside the operand
+     *  streams the mapper derives from the GEMM shape — KV-cache
+     *  reads/writes on attention ops. Charged to Mem by every
+     *  dataflow mapper, scaled by the batch. */
+    double extraReadBytes = 0.0;
+    double extraWriteBytes = 0.0;
 
     int outH() const;
     int outW() const;
@@ -55,11 +73,11 @@ struct Op
     /** Arithmetic ops per sample (2 per MAC; pooling/eltwise 1/elem). */
     double opsPerSample() const;
 
-    /** Parameter bytes (int8 weights). */
+    /** Parameter bytes (operandBytes wide; 0 for weightless ops). */
     double paramBytes() const;
 
-    double inActBytes() const;  ///< int8 activations in
-    double outActBytes() const; ///< int8 activations out
+    double inActBytes() const;  ///< activation bytes in
+    double outActBytes() const; ///< activation bytes out
 
     /** im2col GEMM shape with the batch folded into M. */
     GemmShape gemm(int batch) const;
@@ -73,6 +91,16 @@ struct Workload
 {
     std::string name;
     std::vector<Op> ops;
+
+    /** Off-chip input bytes per sample (what must stream in per
+     *  inference). Defaults to a 224x224x3 int8 frame, the case
+     *  study's CNN input; transformer workloads set their token
+     *  stream instead. */
+    double inputBytesPerSample = 224.0 * 224.0 * 3.0;
+
+    /** Set the operand width of every operator (quantization axis:
+     *  1 B int8, 2 B bf16, 4 B fp32). Returns *this for chaining. */
+    Workload &setOperandBytes(double bytes);
 
     /** Total arithmetic ops per sample (Table II "#MAC Op"). */
     double totalOps() const;
@@ -99,6 +127,41 @@ Workload nasnetALarge();
 /** AlexNet (for the Eyeriss runtime-power validation, Fig. 5). */
 Workload alexnet();
 /** @} */
+
+/** Shape of one pre-norm transformer decoder block. */
+struct TransformerConfig
+{
+    int seqLen = 512;    ///< new tokens processed per sample
+    int kvLen = 2048;    ///< total attended context (cache + new)
+    int dModel = 4096;
+    int nHeads = 32;
+    int dFf = 16384;     ///< MLP hidden width (4x dModel)
+    int nLayers = 1;     ///< stacked identical blocks
+    double operandBytes = 1.0;
+};
+
+/**
+ * A programmatic transformer block: fused QKV projection, per-head
+ * attention logits (Q K^T) and attn * V as weightless batched GEMMs
+ * with KV-cache read/write traffic, softmax, output projection, and
+ * the two MLP GEMMs — Table-II-style #MAC/#Data/#Param accounting
+ * throughout. Throws ConfigError on inconsistent shapes.
+ */
+Workload transformerBlock(const TransformerConfig &tc);
+
+/** The default transformer block (GPT-style 4096-wide, 512 new tokens
+ *  attending a 2048-token context). */
+Workload transformer();
+
+/**
+ * Workload factory by CLI/wire name: resnet50, inception_v3, nasnet,
+ * alexnet, transformer. Throws ConfigError on unknown names (the
+ * message lists the valid ones).
+ */
+Workload workloadByName(const std::string &name);
+
+/** The names workloadByName accepts, for help text and docs. */
+std::vector<std::string> workloadNames();
 
 } // namespace neurometer
 

@@ -92,6 +92,18 @@ stringParam(const Request &req, const std::string &key)
     return v->text;
 }
 
+std::string
+stringParamOr(const Request &req, const std::string &key,
+              const std::string &def)
+{
+    const json::Value *v = findParam(req, key);
+    if (v == nullptr || v->isNull())
+        return def;
+    requireConfig(v->kind == json::Value::Kind::String,
+                  "param '" + key + "' must be a string");
+    return v->text;
+}
+
 double
 numberParamOr(const Request &req, const std::string &key, double def)
 {

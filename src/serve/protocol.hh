@@ -87,6 +87,9 @@ std::string errorResponse(const json::Value &id, const ServeError &err);
 /** @{ */
 /** Required string parameter `key`. */
 std::string stringParam(const Request &req, const std::string &key);
+/** Optional string parameter `key`; `def` when absent. */
+std::string stringParamOr(const Request &req, const std::string &key,
+                          const std::string &def);
 /** Optional numeric parameter `key`; `def` when absent. */
 double numberParamOr(const Request &req, const std::string &key,
                      double def);

@@ -292,6 +292,13 @@ Server::handle(const Request &req)
         obs::ScopedTimer t(h);
         return handleSweep(req);
     }
+    if (req.method == "simulate") {
+        obs::TraceScope span("serve.simulate");
+        static const obs::Histogram h =
+            obs::histogram("serve.simulate_s");
+        obs::ScopedTimer t(h);
+        return handleSimulate(req);
+    }
     if (req.method == "fields") {
         obs::TraceScope span("serve.fields");
         return fieldsJson();
@@ -341,6 +348,54 @@ Server::handleEval(const Request &req)
                          "serve.deadline", e.what()};
     }
     return json::parse(toJson(recs)).items.at(0).dump();
+}
+
+std::string
+Server::handleSimulate(const Request &req)
+{
+    static const obs::Counter sims = obs::counter("serve.simulations");
+
+    InflightSlot slot(_inflight, _maxInflight);
+    if (!slot.ok())
+        throw ServeError{kBusyCategory, "serve.admission",
+                         "server is at max-inflight (" +
+                             std::to_string(_maxInflight) +
+                             " requests); retry later"};
+
+    const CancelToken token = requestToken(req, _opts.cancel);
+    const ChipConfig cfg =
+        ChipConfig::fromString(stringParam(req, "config"), "<request>");
+    SimulateRequest sreq;
+    sreq.workload = stringParamOr(req, "workload", sreq.workload);
+    sreq.dataflow = stringParamOr(req, "dataflow", sreq.dataflow);
+    const double batch = numberParamOr(req, "batch", 1.0);
+    requireConfig(batch >= 1.0 && batch == double(int(batch)),
+                  "'batch' must be a positive integer");
+    sreq.batch = int(batch);
+    sreq.swOptimizations = boolParamOr(req, "sw_opt", true);
+    const bool layers = boolParamOr(req, "layers", false);
+    if (token.cancelled())
+        throw ServeError{errorCategoryStr(ErrorCategory::Cancelled),
+                         "serve.deadline",
+                         "deadline expired before simulation started"};
+
+    // Same queue discipline as eval: the chip build + per-layer
+    // mapping runs on the shared pool, and a deadline that fires
+    // while queued becomes a cancelled error instead of late work.
+    std::string out;
+    auto fut = _pool.submit([&] {
+        if (token.cancelled())
+            throw CancelledError("deadline expired in queue");
+        out = simResultJson(simulateWorkload(cfg, sreq), layers);
+    });
+    try {
+        fut.get();
+    } catch (const CancelledError &e) {
+        throw ServeError{errorCategoryStr(ErrorCategory::Cancelled),
+                         "serve.deadline", e.what()};
+    }
+    sims.inc();
+    return out;
 }
 
 std::string

@@ -8,12 +8,23 @@
  * Wire protocol (serve/protocol.hh): one JSON object per line in each
  * direction. Methods:
  *
- *   eval    {config, deadline_ms?}         -> one EvalRecord object
- *   sweep   {config, axes?, deadline_ms?,
- *            keep_infeasible?}             -> {cancelled, counts, points}
- *   fields  {}                             -> config schema array
- *   metrics {}                             -> obs:: snapshot object
- *   health  {}                             -> {status, uptime_s, ...}
+ *   eval     {config, deadline_ms?}        -> one EvalRecord object
+ *   simulate {config, workload?, dataflow?,
+ *             batch?, sw_opt?, layers?,
+ *             deadline_ms?}                -> one SimResult object
+ *   sweep    {config, axes?, deadline_ms?,
+ *             keep_infeasible?}            -> {cancelled, counts, points}
+ *   fields   {}                            -> config schema array
+ *   metrics  {}                            -> obs:: snapshot object
+ *   health   {}                            -> {status, uptime_s, ...}
+ *
+ * `simulate` runs the TfSim per-layer performance pipeline (see
+ * neurometer/api.hh simulateWorkload): workload is a named graph
+ * (resnet50, inception_v3, nasnet, alexnet, transformer), dataflow is
+ * ws|os|is, and the result object is byte-identical to what
+ * `neurometer simulate --json` prints for the same inputs. Timings
+ * land in the `serve.simulate_s` histogram and completed runs in the
+ * `serve.simulations` counter.
  *
  * Concurrency model: one accept thread, one thread per connection
  * (requests on a connection are served in order), with eval/sweep work
@@ -132,6 +143,7 @@ class Server
     std::string handle(const Request &req);
 
     std::string handleEval(const Request &req);
+    std::string handleSimulate(const Request &req);
     std::string handleSweep(const Request &req);
     std::string handleHealth();
 

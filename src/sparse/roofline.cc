@@ -68,4 +68,57 @@ SparseRoofline::eval(const SpmvProblem &prob,
     return r;
 }
 
+SimResult
+SparseRoofline::simulate(const SpmvProblem &prob,
+                         const SparseMatrix &weights,
+                         bool sparse_run) const
+{
+    const SparseRunResult e = eval(prob, weights);
+
+    // The same problem terms eval() used (dense compute, operand
+    // footprints), re-derived to fill the per-layer accounting.
+    const double C = 2.0 * double(prob.m) * prob.n * prob.k;
+    const double s_w = double(prob.m) * prob.n;
+    const double s_v = double(prob.n + prob.m) * prob.k;
+    const double out_wr = double(prob.m) * prob.k;
+
+    SimResult res;
+    res.workload = "spmv_" + std::to_string(prob.m) + "x" +
+                   std::to_string(prob.n) + "x" +
+                   std::to_string(prob.k);
+    res.dataflow = sparse_run ? "sparse" : "dense";
+    res.batch = prob.k;
+    res.swOptimizations = sparse_run;
+
+    const double t = sparse_run ? e.tSparseS : e.tDenseS;
+    const double ops = sparse_run ? _alpha * e.y * C : C;
+    const double rd =
+        sparse_run ? s_v + e.beta * e.x * s_w : s_v + s_w;
+
+    res.latencyS = t;
+    res.throughputFps = prob.k / t;
+    res.achievedTops = ops / t / units::tera;
+    res.tuUtilization = res.achievedTops / _chip.peakTops();
+
+    res.stats.tuOpsPerS = ops / t;
+    res.stats.offchipBytesPerS = rd / t;
+    res.stats.memReadBytesPerS = rd / t;
+    res.stats.memWriteBytesPerS = out_wr / t;
+    res.stats.vregBytesPerS = res.stats.tuOpsPerS;
+    res.runtimePower = sparse_run ? e.sparseP : e.denseP;
+    res.achievedTopsPerWatt =
+        res.achievedTops / res.runtimePower.total();
+    const double a = _chip.areaMm2();
+    res.achievedTopsPerTco =
+        res.achievedTops / (a * a * res.runtimePower.total()) * 1e6;
+
+    LayerCost lc;
+    lc.seconds = t;
+    lc.tuOps = ops;
+    lc.memReadBytes = rd;
+    lc.memWriteBytes = out_wr;
+    res.layers.push_back({"spmv", true, lc});
+    return res;
+}
+
 } // namespace neurometer

@@ -16,6 +16,7 @@
 #define NEUROMETER_SPARSE_ROOFLINE_HH
 
 #include "chip/chip.hh"
+#include "perf/tfsim.hh"
 #include "sparse/csr.hh"
 #include "sparse/sparse_matrix.hh"
 
@@ -63,6 +64,17 @@ class SparseRoofline
     /** Evaluate one generated weight matrix on this machine. */
     SparseRunResult eval(const SpmvProblem &prob,
                          const SparseMatrix &weights) const;
+
+    /**
+     * The same evaluation rendered into the unified per-layer
+     * SimResult pipeline the dense simulator produces (one "spmv"
+     * layer; dataflow "sparse" when `sparse_run`, "dense" otherwise),
+     * so dense CNN/transformer runs and sparse SpMV runs share one
+     * report format (simResultJson, the simulate CLI/serve surface).
+     */
+    SimResult simulate(const SpmvProblem &prob,
+                       const SparseMatrix &weights,
+                       bool sparse_run = true) const;
 
   private:
     const ChipModel &_chip;

@@ -272,6 +272,60 @@ TEST(ServeDispatch, HealthFieldsMetricsAndErrors)
               "serve.parse");
 }
 
+TEST(ServeDispatch, SimulateMatchesTheLibraryEntryPointExactly)
+{
+    // The acceptance contract: serve `simulate` and the library's
+    // simulateWorkload/simResultJson pair (which the CLI's
+    // `simulate --json` prints) return the SAME result object for the
+    // same (config, workload, dataflow, batch).
+    Server server(quickOpts(/*threads=*/1));
+    const ChipConfig cfg = smallBase();
+
+    for (const char *df : {"ws", "os", "is"}) {
+        json::Value req = json::Value::object_();
+        json::Value params = json::Value::object_();
+        params.set("config", json::Value::string_(cfg.toString()))
+            .set("workload", json::Value::string_("transformer"))
+            .set("dataflow", json::Value::string_(df))
+            .set("batch", json::Value::number_(4))
+            .set("layers", json::Value::boolean_(true));
+        req.set("method", json::Value::string_("simulate"))
+            .set("id", json::Value::number_(7))
+            .set("params", std::move(params));
+
+        const json::Value resp =
+            json::parse(server.dispatchLine(req.dump()));
+        ASSERT_TRUE(resp.find("ok")->asBool()) << df;
+
+        SimulateRequest sreq;
+        sreq.workload = "transformer";
+        sreq.dataflow = df;
+        sreq.batch = 4;
+        const std::string expected = simResultJson(
+            simulateWorkload(cfg, sreq), /*include_layers=*/true);
+        EXPECT_EQ(resp.find("result")->dump(),
+                  json::parse(expected).dump())
+            << df;
+        EXPECT_EQ(resp.find("result")->find("dataflow")->asString(),
+                  df);
+        EXPECT_FALSE(resp.find("result")->find("layers")->items.empty())
+            << df;
+    }
+
+    // Unknown workload / dataflow become structured config errors.
+    json::Value bad = json::Value::object_();
+    json::Value bp = json::Value::object_();
+    bp.set("config", json::Value::string_(cfg.toString()))
+        .set("workload", json::Value::string_("vgg16"));
+    bad.set("method", json::Value::string_("simulate"))
+        .set("id", json::Value::number_(8))
+        .set("params", std::move(bp));
+    const json::Value err = json::parse(server.dispatchLine(bad.dump()));
+    EXPECT_FALSE(err.find("ok")->asBool());
+    EXPECT_EQ(err.find("error")->find("category")->asString(),
+              "config");
+}
+
 // ---------------------------------------------------------------------
 // End-to-end over TCP
 

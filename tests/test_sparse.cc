@@ -10,7 +10,9 @@
 
 #include "chip/optimizer.hh"
 #include "common/error.hh"
+#include "common/json.hh"
 #include "common/units.hh"
+#include "neurometer/api.hh"
 #include "sparse/csr.hh"
 #include "sparse/roofline.hh"
 #include "sparse/sparse_matrix.hh"
@@ -212,6 +214,43 @@ TEST_F(RooflineFixture, DenseTimeMatchesRooflineClosedForm)
     const double expect = std::max(
         c_ops / (tu32.peakTops() * 1e12), (s_v + s_w) / 700e9);
     EXPECT_NEAR(res.tDenseS, expect, 1e-12);
+}
+
+TEST_F(RooflineFixture, SimulateRendersEvalIntoTheUnifiedPipeline)
+{
+    // simulate() is eval() re-shaped into the dense simulator's
+    // SimResult: the numbers must agree exactly with the underlying
+    // roofline evaluation, and the layer table must carry the run.
+    const SparseRoofline r(tu32, SkipScheme::TensorBlock, 32);
+    const SparseMatrix m = mat(0.9);
+    const SparseRunResult e = r.eval(prob, m);
+
+    const SimResult sp = r.simulate(prob, m, /*sparse_run=*/true);
+    EXPECT_EQ(sp.dataflow, "sparse");
+    EXPECT_EQ(sp.batch, prob.k);
+    EXPECT_EQ(sp.latencyS, e.tSparseS);
+    EXPECT_EQ(sp.runtimePower.total(), e.sparseP.total());
+    ASSERT_EQ(sp.layers.size(), 1u);
+    EXPECT_EQ(sp.layers[0].name, "spmv");
+    EXPECT_TRUE(sp.layers[0].tensorOp);
+    EXPECT_EQ(sp.layers[0].cost.seconds, sp.latencyS);
+    EXPECT_GT(sp.tuUtilization, 0.0);
+    EXPECT_LE(sp.tuUtilization, 1.0);
+
+    const SimResult dn = r.simulate(prob, m, /*sparse_run=*/false);
+    EXPECT_EQ(dn.dataflow, "dense");
+    EXPECT_EQ(dn.latencyS, e.tDenseS);
+    EXPECT_EQ(dn.runtimePower.total(), e.denseP.total());
+    // Dense run retires the full 2*m*n*k compute.
+    const double c_ops = 2.0 * 2048.0 * 2048.0 * 32.0;
+    EXPECT_DOUBLE_EQ(dn.achievedTops,
+                     c_ops / e.tDenseS / units::tera);
+
+    // The unified report renders it like any dense run.
+    const std::string js = simResultJson(sp, /*include_layers=*/true);
+    const json::Value v = json::parse(js);
+    EXPECT_EQ(v.find("dataflow")->asString(), "sparse");
+    EXPECT_EQ(v.find("layers")->items.size(), 1u);
 }
 
 TEST_F(RooflineFixture, RejectsUndersizedProblems)

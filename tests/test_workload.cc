@@ -157,6 +157,103 @@ TEST(Models, AlexNetFcHeavy)
     EXPECT_NEAR(wl.totalParamBytes() / 1e6, 61.0, 6.0);
 }
 
+TEST(Transformer, TableStyleAccounting)
+{
+    // One block at the defaults: S=512 new tokens, KV=2048 cache
+    // length, d=4096, 32 heads, dFf=16384.
+    const TransformerConfig tc;
+    const Workload wl = transformerBlock(tc);
+    const double S = tc.seqLen, KV = tc.kvLen, d = tc.dModel;
+    const double ff = tc.dFf;
+
+    // Params: QKV (d x 3d) + out (d x d) + two MLP GEMMs. The
+    // attention score/context GEMMs are activation x activation —
+    // zero weights.
+    EXPECT_DOUBLE_EQ(wl.totalParamBytes(),
+                     (4.0 * d * d + 2.0 * d * ff) * tc.operandBytes);
+
+    // Tensor-op compute: 2*M*K*N per GEMM; the per-head logits and
+    // attn*V GEMMs fold heads into M and contribute 2*S*d*KV each.
+    double tensor_ops = 0.0;
+    for (const Op &op : wl.ops)
+        if (op.isTensorOp())
+            tensor_ops += op.opsPerSample();
+    EXPECT_DOUBLE_EQ(tensor_ops,
+                     8.0 * S * d * d + 4.0 * S * d * KV +
+                         4.0 * S * d * ff);
+
+    // KV-cache side traffic: the new tokens' K/V rows are written
+    // once (by QKV), and both cache halves are read (logits reads K,
+    // attn*V reads V).
+    double extra_rd = 0.0, extra_wr = 0.0;
+    for (const Op &op : wl.ops) {
+        extra_rd += op.extraReadBytes;
+        extra_wr += op.extraWriteBytes;
+    }
+    EXPECT_DOUBLE_EQ(extra_wr, 2.0 * S * d * tc.operandBytes);
+    EXPECT_DOUBLE_EQ(extra_rd, 2.0 * KV * d * tc.operandBytes);
+
+    // The per-sample input is the token stream, not a CNN frame.
+    EXPECT_DOUBLE_EQ(wl.inputBytesPerSample, S * d * tc.operandBytes);
+}
+
+TEST(Transformer, LayerCountScalesStructure)
+{
+    TransformerConfig tc;
+    tc.nLayers = 4;
+    const Workload wl4 = transformerBlock(tc);
+    const Workload wl1 = transformer();
+    EXPECT_EQ(wl4.ops.size(), 4u * wl1.ops.size());
+    EXPECT_DOUBLE_EQ(wl4.totalParamBytes(),
+                     4.0 * wl1.totalParamBytes());
+}
+
+TEST(Transformer, RejectsBadConfigs)
+{
+    TransformerConfig tc;
+    tc.kvLen = tc.seqLen - 1; // cache shorter than the new tokens
+    EXPECT_THROW(transformerBlock(tc), ConfigError);
+    tc = {};
+    tc.nHeads = 33; // does not divide dModel
+    EXPECT_THROW(transformerBlock(tc), ConfigError);
+    tc = {};
+    tc.operandBytes = 0.0;
+    EXPECT_THROW(transformerBlock(tc), ConfigError);
+}
+
+TEST(OperandBytes, DefaultIsOneByteEverywhere)
+{
+    for (const Workload &wl :
+         {resnet50(), inceptionV3(), nasnetALarge(), alexnet()})
+        for (const Op &op : wl.ops)
+            EXPECT_DOUBLE_EQ(op.operandBytes, 1.0) << op.name;
+}
+
+TEST(OperandBytes, ScalesByteAccountingNotOps)
+{
+    Workload wl = resnet50();
+    const double ops1 = wl.totalOps();
+    const double params1 = wl.totalParamBytes();
+    const double acts1 = wl.totalActivationBytes();
+    wl.setOperandBytes(2.0); // e.g. bf16 operands
+    EXPECT_DOUBLE_EQ(wl.totalOps(), ops1);
+    EXPECT_DOUBLE_EQ(wl.totalParamBytes(), 2.0 * params1);
+    EXPECT_DOUBLE_EQ(wl.totalActivationBytes(), 2.0 * acts1);
+    EXPECT_THROW(wl.setOperandBytes(0.0), ConfigError);
+}
+
+TEST(WorkloadRegistry, ByNameRoundTripAndErrors)
+{
+    const std::vector<std::string> names = workloadNames();
+    EXPECT_EQ(names.size(), 5u);
+    for (const std::string &n : names)
+        EXPECT_FALSE(workloadByName(n).ops.empty()) << n;
+    EXPECT_EQ(workloadByName("resnet50").name, resnet50().name);
+    EXPECT_EQ(workloadByName("transformer").name, "Transformer");
+    EXPECT_THROW(workloadByName("vgg16"), ConfigError);
+    EXPECT_THROW(workloadByName(""), ConfigError);
+}
+
 TEST(Models, AllModelsWellFormed)
 {
     for (const Workload &wl :

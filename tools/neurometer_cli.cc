@@ -14,6 +14,8 @@
  *              [--checkpoint FILE] [--resume] [--fail-fast]
  *              [--max-seconds S] [--cancel-after N]
  *              [--inject SITE=SPEC]
+ *   neurometer simulate chip.cfg [--workload W] [--dataflow ws|os|is]
+ *              [--batch N] [--no-sw-opt] [--layers] [--json]
  *   neurometer metrics chip.cfg [--json]
  *   neurometer fields
  *   neurometer serve --port P [--threads N] [--max-inflight M]
@@ -108,6 +110,16 @@ usage(FILE *to)
         "      injector (sites: memory.search, chip.build, io.write;\n"
         "      SPEC: comma-separated hit numbers or every:N[+OFF]).\n"
         "\n"
+        "  simulate <chip.cfg> [--workload W] [--dataflow ws|os|is]\n"
+        "           [--batch N] [--no-sw-opt] [--layers] [--json]\n"
+        "      Run the analytical performance simulator: map a named\n"
+        "      workload (resnet50, inception_v3, nasnet, alexnet,\n"
+        "      transformer) onto the chip under the chosen systolic\n"
+        "      dataflow and print latency, throughput, utilization,\n"
+        "      and runtime power. --layers adds the per-layer cost\n"
+        "      table; --json emits the same result object the serve\n"
+        "      daemon's `simulate` method returns.\n"
+        "\n"
         "  metrics <chip.cfg> [--json]\n"
         "      Build the chip, then dump the metrics-registry snapshot\n"
         "      (counters, cache hit rates, latency histograms).\n"
@@ -120,8 +132,9 @@ usage(FILE *to)
         "      keeps the hot caches (memory designs, evaluated points)\n"
         "      and a warmed worker pool alive across requests. Wire\n"
         "      protocol: one JSON object per line in each direction —\n"
-        "      {\"method\": \"eval\"|\"sweep\"|\"fields\"|\"metrics\"|\n"
-        "      \"health\", \"id\": <any>, \"params\": {...}}; responses\n"
+        "      {\"method\": \"eval\"|\"simulate\"|\"sweep\"|\"fields\"|\n"
+        "      \"metrics\"|\"health\", \"id\": <any>, \"params\":\n"
+        "      {...}}; responses\n"
         "      echo the id with \"ok\": true and a \"result\", or\n"
         "      \"ok\": false and a structured \"error\" (category/site/\n"
         "      message). --port 0 binds an ephemeral port (printed on\n"
@@ -180,6 +193,84 @@ cmdEval(const std::vector<std::string> &args)
     std::printf("peak perf     : %8.2f TOPS (%s)\n", chip.peakTops(),
                 dataTypeName(cfg.core.tu.mulType).c_str());
     std::printf("peak TOPS/W   : %8.3f\n", chip.peakTopsPerWatt());
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    std::string path;
+    SimulateRequest req;
+    bool json = false;
+    bool layers = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--layers") {
+            layers = true;
+        } else if (a == "--no-sw-opt") {
+            req.swOptimizations = false;
+        } else if (a == "--workload") {
+            req.workload = next("--workload");
+        } else if (a == "--dataflow") {
+            req.dataflow = next("--dataflow");
+        } else if (a == "--batch") {
+            req.batch = std::atoi(next("--batch").c_str());
+            requireConfig(req.batch >= 1,
+                          "--batch expects a positive count");
+        } else if (!a.empty() && a[0] == '-') {
+            throw ConfigError("unknown simulate option '" + a + "'");
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            throw ConfigError("simulate takes one config file");
+        }
+    }
+    requireConfig(!path.empty(), "simulate needs a config file");
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+    const SimResult r = simulateWorkload(cfg, req);
+    if (json) {
+        std::printf("%s\n", simResultJson(r, layers).c_str());
+        return 0;
+    }
+
+    std::printf("workload      : %s (batch %d, %s dataflow%s)\n",
+                r.workload.c_str(), r.batch, r.dataflow.c_str(),
+                r.swOptimizations ? "" : ", sw opts off");
+    std::printf("latency       : %12.6f ms\n", r.latencyS * 1e3);
+    std::printf("throughput    : %12.2f inf/s\n", r.throughputFps);
+    std::printf("achieved perf : %12.3f TOPS (%5.1f%% of peak)\n",
+                r.achievedTops, 100.0 * r.tuUtilization);
+    std::printf("runtime power : %12.2f W (%.2f dynamic, %.2f "
+                "leakage)\n",
+                r.runtimePower.total(), r.runtimePower.dynamicW,
+                r.runtimePower.leakageW);
+    std::printf("TOPS/W        : %12.3f\n", r.achievedTopsPerWatt);
+    if (layers) {
+        AsciiTable t({"layer", "unit", "us", "tu Gops", "vu Gops",
+                      "rd MB", "wr MB"});
+        char buf[64];
+        auto fmt = [&buf](const char *f, double x) {
+            std::snprintf(buf, sizeof buf, f, x);
+            return std::string(buf);
+        };
+        for (const LayerResult &l : r.layers) {
+            t.addRow({l.name, l.tensorOp ? "tu" : "vu",
+                      fmt("%.2f", l.cost.seconds * 1e6),
+                      fmt("%.3f", l.cost.tuOps / 1e9),
+                      fmt("%.3f", l.cost.vuOps / 1e9),
+                      fmt("%.3f", l.cost.memReadBytes / 1e6),
+                      fmt("%.3f", l.cost.memWriteBytes / 1e6)});
+        }
+        std::printf("\n%s\n", t.str().c_str());
+    }
     return 0;
 }
 
@@ -565,6 +656,8 @@ main(int argc, char **argv)
             return cmdEval(args);
         if (cmd == "sweep")
             return cmdSweep(args, v);
+        if (cmd == "simulate")
+            return cmdSimulate(args);
         if (cmd == "metrics")
             return cmdMetrics(args);
         if (cmd == "serve")

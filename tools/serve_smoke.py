@@ -3,8 +3,9 @@
 
 Starts the daemon on an ephemeral port, drives the newline-delimited
 JSON protocol end to end — eval (twice, the repeat must be served from
-the shared EvalCache), metrics, health — then sends SIGINT and asserts
-the daemon drains and exits 0.
+the shared EvalCache), simulate (a workload under two dataflows),
+metrics, health — then sends SIGINT and asserts the daemon drains and
+exits 0.
 
 usage: serve_smoke.py <neurometer-binary> <chip.cfg>
 """
@@ -79,14 +80,54 @@ def main():
         if warm["result"] != cold["result"]:
             fail("warm eval result differs from cold eval result")
 
+        # The performance simulator behind the same daemon: the same
+        # config + workload under two dataflows must both succeed and,
+        # at a compute-bound batch size, disagree on latency (they map
+        # the layers differently; at batch 1 this chip is off-chip
+        # bound and every dataflow hides behind the same stream).
+        sim_ws = c.call(
+            "simulate",
+            10,
+            {
+                "config": cfg_text,
+                "workload": "resnet50",
+                "dataflow": "ws",
+                "batch": 16,
+            },
+        )
+        sim_os = c.call(
+            "simulate",
+            11,
+            {
+                "config": cfg_text,
+                "workload": "resnet50",
+                "dataflow": "os",
+                "batch": 16,
+            },
+        )
+        for name, resp in (("ws", sim_ws), ("os", sim_os)):
+            if not resp.get("ok"):
+                fail(f"simulate {name} failed: " + json.dumps(resp))
+            r = resp["result"]
+            if r["dataflow"] != name or not (0.0 < r["tu_utilization"] <= 1.0):
+                fail(f"simulate {name} result malformed: " + json.dumps(r))
+        if sim_ws["result"]["latency_s"] == sim_os["result"]["latency_s"]:
+            fail("ws and os dataflows produced identical latencies")
+
         metrics = c.call("metrics", 3)
         if not metrics.get("ok"):
             fail("metrics failed: " + json.dumps(metrics))
         counters = metrics["result"]["counters"]
         if counters.get("eval_cache.hits", 0) < 1:
             fail(f"expected an EvalCache hit on the repeat eval: {counters}")
-        if counters.get("serve.requests.ok", 0) < 2:
-            fail(f"expected >= 2 ok requests: {counters}")
+        if counters.get("serve.requests.ok", 0) < 4:
+            fail(f"expected >= 4 ok requests: {counters}")
+        if counters.get("serve.simulations", 0) < 2:
+            fail(f"expected >= 2 simulate runs counted: {counters}")
+        if metrics["result"]["histograms"].get("serve.simulate_s", {}).get(
+            "count", 0
+        ) < 2:
+            fail("serve.simulate_s histogram missing simulate timings")
 
         health = c.call("health", 4)
         if not health.get("ok") or health["result"]["status"] != "ok":
