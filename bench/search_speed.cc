@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Guided-search efficiency: the surrogate-assisted SearchEngine vs
+ * the exhaustive SweepEngine oracle on the fig08-class design space.
+ * Reports evals-to-frontier (the headline <10%-of-grid claim), the
+ * frontier-quality verdict against the oracle (compareFrontiers, 1%
+ * eps per objective), and the wall-clock speedup, then records the
+ * deterministic subset into a run manifest so CI can regression-check
+ * search quality without wall-clock flakes
+ * (tools/compare_bench.py --tolerance).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+ChipConfig
+datacenterBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 32.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    cfg.core.tu.mulType = DataType::Int8;
+    cfg.core.tu.accType = DataType::Int32;
+    return cfg;
+}
+
+// The fig08-class space through named axes, exactly as the oracle
+// acceptance test (tests/test_search.cc) spells it: 336 points.
+SweepGrid
+fig08Grid()
+{
+    SweepGrid g;
+    g.axis("core.tu.rows", {4, 8, 16, 32, 64, 128, 256});
+    g.axis("core.numTU", {1, 2, 4});
+    g.axis("tx", {1, 2, 4, 8});
+    g.axis("ty", {1, 2, 4, 8});
+    return g;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const SweepGrid grid = fig08Grid();
+    const std::vector<Objective> objectives = searchObjectives();
+
+    std::printf("== search_speed: guided search vs exhaustive sweep "
+                "(%zu-point grid) ==\n\n",
+                grid.size());
+
+    // The oracle: evaluate everything, take the true frontier.
+    auto t0 = std::chrono::steady_clock::now();
+    SweepEngine oracle(datacenterBase(), SweepOptions{});
+    const std::vector<EvalRecord> all = oracle.run(grid);
+    const double sweep_s = seconds(t0, std::chrono::steady_clock::now());
+    const std::vector<std::size_t> oracle_frontier =
+        paretoFrontier(all, objectives);
+
+    // The guided search at stock settings (budget = grid / 10).
+    SearchOptions opts;
+    opts.seed = 1;
+    t0 = std::chrono::steady_clock::now();
+    SearchEngine engine(datacenterBase(), opts);
+    const SearchResult found = engine.run(grid);
+    const double search_s = seconds(t0, std::chrono::steady_clock::now());
+
+    const double eps = 0.01;
+    const FrontierComparison cmp =
+        compareFrontiers(all, oracle_frontier, found.records,
+                         found.frontier, objectives, eps);
+
+    const double frac = double(found.stats.selected) / double(grid.size());
+    std::printf("exhaustive sweep:  %zu evals  %7.2f s  "
+                "frontier size %zu\n",
+                all.size(), sweep_s, oracle_frontier.size());
+    std::printf("guided search:     %zu evals  %7.2f s  "
+                "frontier size %zu  (%zu rounds)\n",
+                found.stats.selected, search_s, found.frontier.size(),
+                found.stats.rounds);
+    std::printf("evals-to-frontier: %.1f%% of the grid  "
+                "(%.1fx fewer evaluations)\n",
+                100.0 * frac, 1.0 / frac);
+    std::printf("wall-clock speedup: %.2fx\n", sweep_s / search_s);
+    std::printf("frontier quality:  within_eps=%s  coverage %.2f  "
+                "worst shortfall %.4f  (eps %.2f)\n",
+                cmp.withinEps ? "yes" : "no", cmp.coverage,
+                cmp.worstShortfall, eps);
+
+    const bool pass =
+        cmp.withinEps && found.stats.selected <= grid.size() / 10;
+    std::printf("\nverdict: %s\n", pass ? "PASS" : "FAIL");
+
+    // Deterministic fields first (compare_bench.py checks these),
+    // wall-clock and the metrics snapshot after.
+    obs::ManifestBuilder m =
+        obs::runManifest("bench/search_speed", "bench/search_speed");
+    m.set("grid_points", std::int64_t(grid.size()))
+        .set("seed", std::int64_t(opts.seed))
+        .set("search_evals", std::int64_t(found.stats.selected))
+        .set("search_rounds", std::int64_t(found.stats.rounds))
+        .set("eval_fraction", frac)
+        .set("oracle_frontier_size", std::int64_t(oracle_frontier.size()))
+        .set("found_frontier_size", std::int64_t(found.frontier.size()))
+        .set("within_eps", cmp.withinEps)
+        .set("coverage", cmp.coverage)
+        .set("worst_shortfall", cmp.worstShortfall)
+        .set("eps", eps)
+        .set("hypervolume", found.stats.hypervolume)
+        .set("sweep_s", sweep_s)
+        .set("search_s", search_s)
+        .set("speedup", sweep_s / search_s)
+        .raw("metrics", obs::snapshot().toJson());
+    obs::writeTextFile("search_speed.manifest.json", m.str());
+    std::printf("manifest: search_speed.manifest.json\n");
+    return pass ? 0 : 1;
+}

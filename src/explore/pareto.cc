@@ -1,6 +1,7 @@
 #include "explore/pareto.hh"
 
 #include <algorithm>
+#include <map>
 
 namespace neurometer {
 
@@ -54,7 +55,22 @@ paretoFrontier(const std::vector<EvalRecord> &records,
         if (!dominated)
             frontier.push_back(i);
     }
-    return frontier;
+
+    // Identical objective tuples dominate nothing, so duplicates all
+    // survive the loop above. Keep only the lowest index per tuple:
+    // iterating ascending makes the tie-break stable.
+    std::map<std::vector<double>, std::size_t> seen;
+    std::vector<std::size_t> unique;
+    unique.reserve(frontier.size());
+    for (std::size_t i : frontier) {
+        std::vector<double> tuple;
+        tuple.reserve(objectives.size());
+        for (const Objective &o : objectives)
+            tuple.push_back(o.value(records[i]));
+        if (seen.emplace(std::move(tuple), i).second)
+            unique.push_back(i);
+    }
+    return unique;
 }
 
 std::vector<std::size_t>

@@ -39,7 +39,12 @@ bool dominates(const EvalRecord &a, const EvalRecord &b,
 /**
  * Indices (ascending) of the Pareto-optimal *feasible* records: no
  * other feasible record dominates them. Infeasible records are never
- * on the frontier and never dominate.
+ * on the frontier and never dominate. Records whose objective tuples
+ * are exactly equal are deduplicated — only the lowest index of each
+ * tuple stays on the frontier (a stable tie-break, so re-running over
+ * a grown record list can only append frontier members, never reorder
+ * them). Search loops that re-feed frontier members every round rely
+ * on this to keep the frontier from accreting duplicates.
  */
 std::vector<std::size_t>
 paretoFrontier(const std::vector<EvalRecord> &records,

@@ -1,0 +1,1003 @@
+#include "explore/search.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "explore/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace neurometer {
+
+std::uint64_t
+SearchRng::next()
+{
+    // SplitMix64 (Steele/Lea/Flood): tiny, well-mixed, and identical
+    // on every platform — unlike std:: distributions.
+    _state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = _state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+double
+SearchRng::uniform()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+std::size_t
+SearchRng::below(std::size_t n)
+{
+    return std::size_t(next() % n);
+}
+
+namespace {
+
+double
+topsPerMm2Of(const EvalRecord &r)
+{
+    return r.metrics.areaMm2 > 0.0
+               ? r.metrics.peakTops / r.metrics.areaMm2
+               : 0.0;
+}
+
+struct KnownObjective
+{
+    const char *name;
+    double (*value)(const EvalRecord &);
+    bool maximize;
+};
+
+const KnownObjective kKnownObjectives[] = {
+    {"peak_tops",
+     [](const EvalRecord &r) { return r.metrics.peakTops; }, true},
+    {"area_mm2",
+     [](const EvalRecord &r) { return r.metrics.areaMm2; }, false},
+    {"tdp_w", [](const EvalRecord &r) { return r.metrics.tdpW; },
+     false},
+    {"tops_per_w",
+     [](const EvalRecord &r) { return r.metrics.topsPerWatt; }, true},
+    {"tops_per_tco",
+     [](const EvalRecord &r) { return r.metrics.topsPerTco; }, true},
+    {"tops_per_mm2", topsPerMm2Of, true},
+};
+
+std::string
+knownObjectiveNames()
+{
+    std::string s;
+    for (const KnownObjective &o : kKnownObjectives) {
+        if (!s.empty())
+            s += ", ";
+        s += o.name;
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<Objective>
+searchObjectives()
+{
+    return {objectiveByName("tops_per_w"),
+            objectiveByName("tops_per_mm2")};
+}
+
+Objective
+objectiveByName(const std::string &spec)
+{
+    std::string name = spec;
+    std::string dir;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        dir = spec.substr(colon + 1);
+    }
+    for (const KnownObjective &o : kKnownObjectives) {
+        if (name != o.name)
+            continue;
+        bool maximize = o.maximize;
+        if (!dir.empty()) {
+            requireConfig(dir == "max" || dir == "min",
+                          "objective '" + spec +
+                              "': direction must be :max or :min");
+            maximize = dir == "max";
+        }
+        return {o.name, o.value, maximize};
+    }
+    requireConfig(false, "unknown objective '" + name + "' (known: " +
+                             knownObjectiveNames() + ")");
+    return {};
+}
+
+std::vector<Objective>
+parseObjectives(const std::string &csv)
+{
+    std::vector<Objective> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t end = csv.find(',', start);
+        if (end == std::string::npos)
+            end = csv.size();
+        std::string tok = csv.substr(start, end - start);
+        while (!tok.empty() && tok.front() == ' ')
+            tok.erase(tok.begin());
+        while (!tok.empty() && tok.back() == ' ')
+            tok.pop_back();
+        requireConfig(!tok.empty(),
+                      "empty objective in list '" + csv + "'");
+        out.push_back(objectiveByName(tok));
+        start = end + 1;
+    }
+    requireConfig(!out.empty(), "no objectives given");
+    return out;
+}
+
+namespace {
+
+// ---- Hypervolume (HSO recursive slicing) --------------------------
+
+double
+hvSlice(std::vector<std::vector<double>> pts, std::size_t d)
+{
+    if (pts.empty())
+        return 0.0;
+    if (d == 1) {
+        double m = 0.0;
+        for (const auto &p : pts)
+            m = std::max(m, p[0]);
+        return m;
+    }
+    // Slice along the last coordinate: the slab between consecutive
+    // heights is dominated (in the remaining dims) by every point at
+    // or above its top. stable_sort keeps tie handling — and thus the
+    // floating-point summation order — fully deterministic.
+    std::stable_sort(pts.begin(), pts.end(),
+                     [d](const auto &a, const auto &b) {
+                         return a[d - 1] > b[d - 1];
+                     });
+    double vol = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const double hi = pts[i][d - 1];
+        const double lo =
+            i + 1 < pts.size() ? pts[i + 1][d - 1] : 0.0;
+        if (hi <= lo)
+            continue;
+        std::vector<std::vector<double>> proj(pts.begin(),
+                                              pts.begin() + i + 1);
+        for (auto &p : proj)
+            p.resize(d - 1);
+        vol += (hi - lo) * hvSlice(std::move(proj), d - 1);
+    }
+    return vol;
+}
+
+} // namespace
+
+double
+hypervolume(const std::vector<std::vector<double>> &points,
+            const std::vector<double> &ref)
+{
+    if (points.empty() || ref.empty())
+        return 0.0;
+    std::vector<std::vector<double>> shifted;
+    shifted.reserve(points.size());
+    for (const auto &p : points) {
+        std::vector<double> q(ref.size(), 0.0);
+        for (std::size_t d = 0; d < ref.size(); ++d)
+            q[d] = std::max(0.0, p[d] - ref[d]);
+        shifted.push_back(std::move(q));
+    }
+    return hvSlice(std::move(shifted), ref.size());
+}
+
+// ---- Oracle comparison --------------------------------------------
+
+FrontierComparison
+compareFrontiers(const std::vector<EvalRecord> &oracleRecords,
+                 const std::vector<std::size_t> &oracleFrontier,
+                 const std::vector<EvalRecord> &foundRecords,
+                 const std::vector<std::size_t> &foundFrontier,
+                 const std::vector<Objective> &objectives, double eps)
+{
+    auto oriented = [&](const EvalRecord &r) {
+        std::vector<double> v;
+        v.reserve(objectives.size());
+        for (const Objective &o : objectives)
+            v.push_back(o.maximize ? o.value(r) : -o.value(r));
+        return v;
+    };
+    std::vector<std::vector<double>> oracle, found;
+    for (std::size_t i : oracleFrontier)
+        oracle.push_back(oriented(oracleRecords[i]));
+    for (std::size_t i : foundFrontier)
+        found.push_back(oriented(foundRecords[i]));
+
+    // Relative shortfall of `f` from `o`: the worst per-objective gap
+    // below the oracle point, relative to the oracle's magnitude.
+    auto shortfall = [&](const std::vector<double> &f,
+                         const std::vector<double> &o) {
+        double worst = 0.0;
+        for (std::size_t d = 0; d < o.size(); ++d) {
+            const double denom = std::max(std::abs(o[d]), 1e-12);
+            worst = std::max(worst, (o[d] - f[d]) / denom);
+        }
+        return std::max(0.0, worst);
+    };
+
+    FrontierComparison cmp;
+    for (const auto &f : found) {
+        double nearest = oracle.empty() ? 0.0 : 1e300;
+        for (const auto &o : oracle)
+            nearest = std::min(nearest, shortfall(f, o));
+        cmp.worstShortfall = std::max(cmp.worstShortfall, nearest);
+    }
+    std::size_t matched = 0;
+    for (const auto &o : oracle) {
+        for (const auto &f : found) {
+            if (shortfall(f, o) <= eps) {
+                ++matched;
+                break;
+            }
+        }
+    }
+    cmp.coverage =
+        oracle.empty() ? 0.0 : double(matched) / double(oracle.size());
+    cmp.withinEps = !oracle.empty() && !found.empty() &&
+                    cmp.worstShortfall <= eps;
+    return cmp;
+}
+
+// ---- Surrogate ----------------------------------------------------
+
+namespace {
+
+/** One fitted ridge model over the digit-feature vector. */
+struct RidgeModel
+{
+    std::vector<double> w;
+    bool ok = false;
+
+    double
+    predict(const std::vector<double> &phi) const
+    {
+        double y = 0.0;
+        for (std::size_t i = 0; i < w.size(); ++i)
+            y += w[i] * phi[i];
+        return y;
+    }
+};
+
+/**
+ * Feature complexity ladder; the fitter picks the richest level the
+ * sample count supports (a level needs featureCount + 3 samples).
+ */
+enum class FeatureLevel { Linear, Quadratic, QuadraticCross };
+
+std::size_t
+featureCount(FeatureLevel lvl, std::size_t v)
+{
+    switch (lvl) {
+      case FeatureLevel::Linear:
+        return 1 + v;
+      case FeatureLevel::Quadratic:
+        return 1 + 2 * v;
+      case FeatureLevel::QuadraticCross:
+        return 1 + 2 * v + v * (v - 1) / 2;
+    }
+    return 1 + v;
+}
+
+std::vector<double>
+featurize(const std::vector<std::size_t> &digits,
+          const std::vector<std::size_t> &vary,
+          const std::vector<std::size_t> &card, FeatureLevel lvl)
+{
+    std::vector<double> x;
+    x.reserve(vary.size());
+    for (std::size_t d : vary)
+        x.push_back(card[d] > 1
+                        ? double(digits[d]) / double(card[d] - 1)
+                        : 0.0);
+    std::vector<double> phi;
+    phi.reserve(featureCount(lvl, x.size()));
+    phi.push_back(1.0);
+    for (double v : x)
+        phi.push_back(v);
+    if (lvl != FeatureLevel::Linear)
+        for (double v : x)
+            phi.push_back(v * v);
+    if (lvl == FeatureLevel::QuadraticCross)
+        for (std::size_t i = 0; i < x.size(); ++i)
+            for (std::size_t j = i + 1; j < x.size(); ++j)
+                phi.push_back(x[i] * x[j]);
+    return phi;
+}
+
+/** Ridge fit by normal equations + Gaussian elimination. */
+RidgeModel
+fitRidge(const std::vector<std::vector<double>> &phis,
+         const std::vector<double> &ys)
+{
+    RidgeModel m;
+    if (phis.empty())
+        return m;
+    const std::size_t f = phis[0].size();
+    if (phis.size() < f + 3)
+        return m;
+    // A = X'X + lambda I, b = X'y
+    std::vector<std::vector<double>> a(f, std::vector<double>(f, 0.0));
+    std::vector<double> b(f, 0.0);
+    for (std::size_t s = 0; s < phis.size(); ++s) {
+        for (std::size_t i = 0; i < f; ++i) {
+            b[i] += phis[s][i] * ys[s];
+            for (std::size_t j = 0; j < f; ++j)
+                a[i][j] += phis[s][i] * phis[s][j];
+        }
+    }
+    double trace = 0.0;
+    for (std::size_t i = 0; i < f; ++i)
+        trace += a[i][i];
+    const double lambda = 1e-6 * (trace / double(f)) + 1e-12;
+    for (std::size_t i = 0; i < f; ++i)
+        a[i][i] += lambda;
+    // Gaussian elimination with partial pivoting.
+    std::vector<double> w = b;
+    for (std::size_t col = 0; col < f; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < f; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[piv][col]))
+                piv = r;
+        if (std::abs(a[piv][col]) < 1e-30)
+            return m; // singular despite the ridge: give up
+        std::swap(a[col], a[piv]);
+        std::swap(w[col], w[piv]);
+        for (std::size_t r = col + 1; r < f; ++r) {
+            const double k = a[r][col] / a[col][col];
+            if (k == 0.0)
+                continue;
+            for (std::size_t c = col; c < f; ++c)
+                a[r][c] -= k * a[col][c];
+            w[r] -= k * w[col];
+        }
+    }
+    for (std::size_t col = f; col-- > 0;) {
+        for (std::size_t c = col + 1; c < f; ++c)
+            w[col] -= a[col][c] * w[c];
+        w[col] /= a[col][col];
+    }
+    m.w = std::move(w);
+    m.ok = true;
+    return m;
+}
+
+} // namespace
+
+// ---- Engine -------------------------------------------------------
+
+SearchEngine::SearchEngine(ChipConfig base, SearchOptions opts)
+    : _base(std::move(base)), _opts(std::move(opts))
+{
+    if (_opts.sweep.sharedPool) {
+        _pool = _opts.sweep.sharedPool;
+    } else {
+        _ownedPool = std::make_unique<ThreadPool>(_opts.sweep.threads);
+        _pool = _ownedPool.get();
+    }
+    if (_opts.sweep.sharedCache) {
+        _cache = _opts.sweep.sharedCache;
+    } else {
+        _ownedCache = std::make_unique<EvalCache>();
+        _cache = _ownedCache.get();
+    }
+}
+
+SearchResult
+SearchEngine::run(const SweepGrid &grid)
+{
+    static const obs::Counter runs = obs::counter("search.runs");
+    static const obs::Counter rounds_ctr =
+        obs::counter("search.rounds");
+    static const obs::Counter evals_ctr = obs::counter("search.evals");
+    static const obs::Counter cache_hits_ctr =
+        obs::counter("search.cache_hits");
+    runs.inc();
+
+    const GridExpander ex(grid, _base);
+    obs::TraceScope run_span("search.run", ex.size());
+
+    SearchResult res;
+    res.stats.gridPoints = ex.size();
+    if (ex.size() == 0)
+        return res;
+
+    const std::vector<Objective> objs = _opts.objectives.empty()
+                                            ? searchObjectives()
+                                            : _opts.objectives;
+
+    std::vector<std::size_t> card(ex.dims());
+    std::vector<std::size_t> vary;
+    for (std::size_t d = 0; d < ex.dims(); ++d) {
+        card[d] = ex.cardinality(d);
+        if (card[d] > 1)
+            vary.push_back(d);
+    }
+
+    std::size_t budget =
+        _opts.evalBudget
+            ? _opts.evalBudget
+            : std::max<std::size_t>(16, ex.size() / 10);
+    budget = std::min(budget, ex.size());
+    // Small batches buy more refit rounds per budget, and a lean seed
+    // set leaves the budget to the guided rounds — both measurably
+    // improve frontier recovery on the fig08-class grids.
+    const std::size_t batch = _opts.batchSize ? _opts.batchSize : 2;
+    std::size_t initial =
+        _opts.initialSamples
+            ? _opts.initialSamples
+            : std::max<std::size_t>(vary.size() + 2, budget / 8);
+    initial = std::min(initial, budget);
+
+    SearchRng rng(_opts.seed);
+    SweepOptions &sw = _opts.sweep;
+
+    // Checkpoint/resume shares the sweep ledger format: entries are
+    // keyed by configKey, so a sweep checkpoint warm-starts a search
+    // (and vice versa) with no conversion.
+    std::unique_ptr<SweepCheckpoint> ckpt;
+    std::unordered_map<std::string, CheckpointEntry> loadedCkpt;
+    if (!sw.checkpointPath.empty()) {
+        const std::string base_key = configKey(_base);
+        ckpt = std::make_unique<SweepCheckpoint>(
+            sw.checkpointPath, base_key, sw.checkpointEveryN);
+        if (sw.resume)
+            loadedCkpt =
+                SweepCheckpoint::load(sw.checkpointPath, base_key);
+    }
+    std::unordered_set<std::string> seededKeys;
+
+    std::unordered_set<std::size_t> chosen; // flat indices selected
+    std::vector<std::size_t> flat;          // per record, flat index
+    std::atomic<std::size_t> computed{0};
+
+    using clock = std::chrono::steady_clock;
+    const clock::time_point t0 = clock::now();
+    auto reportProgress = [&] {
+        if (!sw.onProgress)
+            return;
+        SweepProgress p;
+        p.done = res.records.size();
+        p.total = budget;
+        p.elapsedS =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        p.pointsPerS =
+            p.elapsedS > 0.0 ? double(p.done) / p.elapsedS : 0.0;
+        p.etaS = p.pointsPerS > 0.0
+                     ? double(p.total - std::min(p.total, p.done)) /
+                           p.pointsPerS
+                     : 0.0;
+        p.evalCache = _cache->stats();
+        p.memoryCache = memoryDesignCache().stats();
+        sw.onProgress(p);
+    };
+
+    // Evaluate one batch of flat indices in parallel; records land in
+    // selection order. Checkpoint-restored points skip evaluation and
+    // still consume budget — a resumed run replays the identical
+    // trajectory, it just pays for fewer points.
+    auto evaluateBatch = [&](const std::vector<std::size_t> &ks) {
+        if (ks.empty())
+            return;
+        obs::TraceScope round_span("search.round", ks.size());
+        const std::size_t base_i = res.records.size();
+        res.records.resize(base_i + ks.size());
+        std::vector<ChipConfig> cfgs(ks.size());
+        std::vector<char> restored(ks.size(), 0);
+        for (std::size_t j = 0; j < ks.size(); ++j) {
+            flat.push_back(ks[j]);
+            GridPoint p = ex.at(ks[j]);
+            res.records[base_i + j] = std::move(p.record);
+            cfgs[j] = std::move(p.config);
+        }
+        std::vector<std::string> keys;
+        if (ckpt) {
+            keys.resize(ks.size());
+            std::vector<CheckpointEntry> seeds;
+            for (std::size_t j = 0; j < ks.size(); ++j) {
+                keys[j] = configKey(cfgs[j]);
+                const auto it = loadedCkpt.find(keys[j]);
+                if (it == loadedCkpt.end())
+                    continue;
+                EvalRecord &r = res.records[base_i + j];
+                const CheckpointEntry &e = it->second;
+                r.metrics = e.metrics;
+                r.status = e.failed ? PointStatus::Failed
+                                    : PointStatus::Ok;
+                r.error = e.error;
+                r.why = classify(r.metrics, sw.constraints);
+                restored[j] = 1;
+                ++res.stats.restored;
+                if (seededKeys.insert(keys[j]).second)
+                    seeds.push_back(e);
+            }
+            if (!seeds.empty())
+                ckpt->seed(seeds);
+        }
+        const CacheStats before = _cache->stats();
+        _pool->parallelFor(
+            ks.size(),
+            [&](std::size_t j) {
+                if (restored[j])
+                    return;
+                EvalRecord &r = res.records[base_i + j];
+                obs::TraceScope span("search.point", ks[j]);
+                try {
+                    r.metrics = _cache->evaluate(cfgs[j]);
+                    r.why = classify(r.metrics, sw.constraints);
+                    r.status = PointStatus::Ok;
+                } catch (...) {
+                    r.metrics = PointMetrics{};
+                    r.why = classify(r.metrics, sw.constraints);
+                    r.status = PointStatus::Failed;
+                    r.error = captureCurrentException("search.eval");
+                }
+                evals_ctr.inc();
+                if (ckpt)
+                    ckpt->add({keys[j],
+                               r.status == PointStatus::Failed,
+                               r.error, r.metrics});
+                const std::size_t ev = computed.fetch_add(1) + 1;
+                if (sw.cancelAfterPoints != 0 &&
+                    ev >= sw.cancelAfterPoints)
+                    sw.cancel.requestCancel();
+            },
+            &sw.cancel);
+        const CacheStats after = _cache->stats();
+        res.stats.cacheHits += after.hits - before.hits;
+        cache_hits_ctr.inc(after.hits - before.hits);
+        // Points a cancelled batch never reached are not results.
+        for (std::size_t j = ks.size(); j-- > 0;) {
+            if (res.records[base_i + j].status ==
+                PointStatus::NotEvaluated) {
+                res.records.erase(res.records.begin() + (base_i + j));
+                flat.erase(flat.begin() + (base_i + j));
+            }
+        }
+        ++res.stats.rounds;
+        rounds_ctr.inc();
+        reportProgress();
+    };
+
+    auto randomDigits = [&] {
+        std::vector<std::size_t> d(ex.dims(), 0);
+        for (std::size_t v : vary)
+            d[v] = rng.below(card[v]);
+        return d;
+    };
+
+    // ---- Round 0: deterministic Latin-hypercube seeding ----------
+    {
+        std::vector<std::size_t> seedPoints;
+        if (initial > 0) {
+            // One stratum per sample per varying dim, independently
+            // shuffled, with jitter inside each stratum.
+            std::vector<std::vector<std::size_t>> perms(vary.size());
+            for (auto &perm : perms) {
+                perm.resize(initial);
+                for (std::size_t i = 0; i < initial; ++i)
+                    perm[i] = i;
+                for (std::size_t i = initial; i-- > 1;)
+                    std::swap(perm[i], perm[rng.below(i + 1)]);
+            }
+            for (std::size_t i = 0; i < initial; ++i) {
+                std::vector<std::size_t> d(ex.dims(), 0);
+                for (std::size_t j = 0; j < vary.size(); ++j) {
+                    const std::size_t c = card[vary[j]];
+                    const double pos =
+                        (double(perms[j][i]) + rng.uniform()) /
+                        double(initial);
+                    d[vary[j]] = std::min(
+                        c - 1, std::size_t(pos * double(c)));
+                }
+                const std::size_t k = ex.indexOf(d);
+                if (chosen.insert(k).second)
+                    seedPoints.push_back(k);
+            }
+            // Coarse axes collapse strata onto the same digit; top
+            // the sample back up with random fresh points.
+            std::size_t attempts = 0;
+            while (seedPoints.size() < initial &&
+                   chosen.size() < ex.size() &&
+                   attempts++ < 100 * initial) {
+                const std::size_t k = ex.indexOf(randomDigits());
+                if (chosen.insert(k).second)
+                    seedPoints.push_back(k);
+            }
+        }
+        evaluateBatch(seedPoints);
+    }
+
+    // ---- Propose/evaluate/refit rounds ----------------------------
+    auto orientedOf = [&](const EvalRecord &r) {
+        std::vector<double> v;
+        v.reserve(objs.size());
+        for (const Objective &o : objs)
+            v.push_back(o.maximize ? o.value(r) : -o.value(r));
+        return v;
+    };
+
+    std::vector<double> hvRef; // fixed once the first frontier lands
+    double prevHv = 0.0;
+    bool havePrev = false;
+    std::size_t stagnant = 0;
+
+    for (;;) {
+        res.frontier = paretoFrontier(res.records, objs);
+        double hv = 0.0;
+        if (!res.frontier.empty()) {
+            std::vector<std::vector<double>> pts;
+            pts.reserve(res.frontier.size());
+            for (std::size_t i : res.frontier)
+                pts.push_back(orientedOf(res.records[i]));
+            if (hvRef.empty()) {
+                hvRef.assign(objs.size(), 0.0);
+                for (std::size_t d = 0; d < objs.size(); ++d) {
+                    double lo = pts[0][d];
+                    for (const auto &p : pts)
+                        lo = std::min(lo, p[d]);
+                    hvRef[d] =
+                        lo - (1e-9 + 1e-9 * std::abs(lo));
+                }
+            }
+            hv = hypervolume(pts, hvRef);
+        }
+        res.stats.hypervolume = hv;
+        if (res.frontier.empty()) {
+            // Nothing feasible yet: keep exploring on the budget.
+            havePrev = false;
+            stagnant = 0;
+        } else {
+            if (havePrev) {
+                const double rel =
+                    (hv - prevHv) /
+                    std::max(std::abs(prevHv), 1e-12);
+                if (rel > _opts.stagnationEps)
+                    stagnant = 0;
+                else
+                    ++stagnant;
+            }
+            prevHv = hv;
+            havePrev = true;
+        }
+
+        if (sw.cancel.cancelled()) {
+            res.stats.cancelled = true;
+            break;
+        }
+        // Space beats budget when both hold: "every grid point was
+        // evaluated" is the more informative cause than "the budget
+        // (clamped to the grid) ran out".
+        if (chosen.size() >= ex.size()) {
+            res.stats.spaceExhausted = true;
+            break;
+        }
+        if (res.records.size() >= budget) {
+            res.stats.budgetExhausted = true;
+            break;
+        }
+        if (_opts.stagnantRounds != 0 &&
+            stagnant >= _opts.stagnantRounds) {
+            res.stats.stagnated = true;
+            break;
+        }
+
+        // Refit the surrogate on everything evaluated so far.
+        std::vector<std::size_t> train;
+        for (std::size_t i = 0; i < res.records.size(); ++i)
+            if (res.records[i].status == PointStatus::Ok &&
+                res.records[i].metrics.buildOk)
+                train.push_back(i);
+        FeatureLevel lvl = FeatureLevel::Linear;
+        for (FeatureLevel cand :
+             {FeatureLevel::QuadraticCross, FeatureLevel::Quadratic,
+              FeatureLevel::Linear}) {
+            if (train.size() >=
+                featureCount(cand, vary.size()) + 3) {
+                lvl = cand;
+                break;
+            }
+        }
+        std::vector<std::vector<double>> trainPhi;
+        trainPhi.reserve(train.size());
+        for (std::size_t i : train)
+            trainPhi.push_back(
+                featurize(ex.digitsOf(flat[i]), vary, card, lvl));
+        std::vector<RidgeModel> models(objs.size());
+        std::vector<double> normLo(objs.size(), 0.0),
+            normHi(objs.size(), 1.0);
+        bool surrogateOk = !train.empty();
+        for (std::size_t d = 0; d < objs.size(); ++d) {
+            // Oriented values, plus the feasible range: raw metrics
+            // often keep improving into infeasible territory (bigger
+            // chips have better TOPS/mm^2 right past the area cap),
+            // so infeasible training targets are floored slightly
+            // below the worst feasible value. The fitted surface then
+            // peaks near the constraint boundary — where the real
+            // frontier lives — instead of outside it.
+            std::vector<double> ys;
+            ys.reserve(train.size());
+            double lo = 0.0, hi = 0.0, feasLo = 0.0, feasHi = 0.0;
+            bool first = true, feasFirst = true;
+            for (std::size_t t : train) {
+                const EvalRecord &r = res.records[t];
+                const double y = objs[d].maximize
+                                     ? objs[d].value(r)
+                                     : -objs[d].value(r);
+                ys.push_back(y);
+                if (first) {
+                    lo = hi = y;
+                    first = false;
+                } else {
+                    lo = std::min(lo, y);
+                    hi = std::max(hi, y);
+                }
+                if (r.feasible()) {
+                    if (feasFirst) {
+                        feasLo = feasHi = y;
+                        feasFirst = false;
+                    } else {
+                        feasLo = std::min(feasLo, y);
+                        feasHi = std::max(feasHi, y);
+                    }
+                }
+            }
+            if (!feasFirst) {
+                const double penalty =
+                    feasLo - 0.1 * (feasHi - feasLo + 1e-12);
+                for (std::size_t t = 0; t < train.size(); ++t)
+                    if (!res.records[train[t]].feasible())
+                        ys[t] = std::min(ys[t], penalty);
+                lo = feasLo;
+                hi = feasHi;
+            }
+            models[d] = fitRidge(trainPhi, ys);
+            if (!models[d].ok)
+                surrogateOk = false;
+            normLo[d] = lo;
+            normHi[d] = hi > lo ? hi : lo + 1.0;
+        }
+        // Feasibility classifier: the surrogate's scores are damped
+        // by the predicted probability that a candidate is feasible.
+        RidgeModel feasModel;
+        {
+            std::vector<double> ys;
+            ys.reserve(train.size());
+            for (std::size_t i : train)
+                ys.push_back(res.records[i].feasible() ? 1.0 : 0.0);
+            feasModel = fitRidge(trainPhi, ys);
+        }
+
+        // Propose a candidate pool: evolutionary moves on frontier
+        // members plus an annealing-style exploration walk whose
+        // temperature decays with the round count.
+        const double temp = std::max(
+            0.05, std::exp(-double(res.stats.rounds) / 4.0));
+        const std::size_t poolTarget = batch * 8;
+        std::vector<std::size_t> pool;
+        std::unordered_set<std::size_t> inPool;
+        // Pattern-search move: every +/-1 axis neighbor of every
+        // frontier member enters the pool deterministically. Ranked
+        // by the surrogate they cost nothing when unpromising, and
+        // they guarantee the frontier can always take the one grid
+        // step an evolutionary draw might keep missing.
+        auto tryStep = [&](std::vector<std::size_t> d,
+                           std::size_t v, int step) -> bool {
+            if (step < 0 ? d[v] == 0 : d[v] + 1 >= card[v])
+                return false;
+            d[v] += step;
+            const std::size_t k = ex.indexOf(d);
+            if (!chosen.count(k) && inPool.insert(k).second)
+                pool.push_back(k);
+            return true;
+        };
+        for (std::size_t p : res.frontier) {
+            const std::vector<std::size_t> base_d =
+                ex.digitsOf(flat[p]);
+            for (std::size_t v : vary)
+                for (int step : {-1, 1})
+                    tryStep(base_d, v, step);
+            // Diagonal two-axis steps too — but only opposite-sign
+            // pairs: the frontier often rides a constraint boundary,
+            // where the improving move trades one axis up against
+            // another down (same-sign diagonals either blow the
+            // constraint or are plain dominated, and they double the
+            // poll set the budget has to chew through).
+            for (std::size_t a = 0; a < vary.size(); ++a) {
+                for (std::size_t b = a + 1; b < vary.size(); ++b) {
+                    for (int sa : {-1, 1}) {
+                        for (int sb : {-sa}) {
+                            std::vector<std::size_t> d = base_d;
+                            if (sa < 0 ? d[vary[a]] == 0
+                                       : d[vary[a]] + 1 >=
+                                             card[vary[a]])
+                                continue;
+                            d[vary[a]] += sa;
+                            tryStep(d, vary[b], sb);
+                        }
+                    }
+                }
+            }
+        }
+        // Everything in the pool so far is a pattern move; entries
+        // appended below are evolutionary/annealing proposals.
+        const std::size_t patternCount = pool.size();
+        std::size_t attempts = 0;
+        while (pool.size() < poolTarget &&
+               attempts++ < poolTarget * 25) {
+            std::vector<std::size_t> d;
+            const double r = rng.uniform();
+            if (res.frontier.empty() || r < 0.15) {
+                d = randomDigits();
+            } else if (r < 0.6 || res.frontier.size() < 2) {
+                // Mutation: nudge or redraw one or two axes of a
+                // frontier member (two-axis moves reach the diagonal
+                // neighbors single steps can't).
+                const std::size_t p =
+                    res.frontier[rng.below(res.frontier.size())];
+                d = ex.digitsOf(flat[p]);
+                const std::size_t nmut =
+                    vary.size() > 1 && rng.uniform() < 0.35 ? 2 : 1;
+                for (std::size_t m = 0; m < nmut; ++m) {
+                    const std::size_t dim =
+                        vary[rng.below(vary.size())];
+                    if (rng.uniform() < 0.7) {
+                        const bool up = rng.uniform() < 0.5;
+                        if (up && d[dim] + 1 < card[dim])
+                            ++d[dim];
+                        else if (!up && d[dim] > 0)
+                            --d[dim];
+                        else
+                            d[dim] = rng.below(card[dim]);
+                    } else {
+                        d[dim] = rng.below(card[dim]);
+                    }
+                }
+            } else if (r < 0.8) {
+                // Crossover of two frontier parents, axis by axis.
+                const std::size_t pa =
+                    res.frontier[rng.below(res.frontier.size())];
+                const std::size_t pb =
+                    res.frontier[rng.below(res.frontier.size())];
+                const auto da = ex.digitsOf(flat[pa]);
+                const auto db = ex.digitsOf(flat[pb]);
+                d.assign(ex.dims(), 0);
+                for (std::size_t v : vary)
+                    d[v] = rng.uniform() < 0.5 ? da[v] : db[v];
+            } else {
+                // Annealing walk: redraw each axis with prob `temp`.
+                const std::size_t p =
+                    res.frontier[rng.below(res.frontier.size())];
+                d = ex.digitsOf(flat[p]);
+                for (std::size_t v : vary)
+                    if (rng.uniform() < temp)
+                        d[v] = rng.below(card[v]);
+            }
+            const std::size_t k = ex.indexOf(d);
+            if (chosen.count(k) || !inPool.insert(k).second)
+                continue;
+            pool.push_back(k);
+        }
+        if (pool.empty()) {
+            res.stats.spaceExhausted = true;
+            break;
+        }
+
+        // Normalized surrogate predictions, one row per candidate,
+        // plus the predicted feasibility probability. The axes are
+        // typically power-of-two ladders, so a product constraint
+        // like N*tx*ty <= cap is *linear* in digit space — the ridge
+        // classifier separates the feasible region far better than
+        // the quadratic objective surface can represent its cliff.
+        std::vector<std::vector<double>> predNorm(pool.size());
+        std::vector<double> feasProb(pool.size(), 1.0);
+        if (surrogateOk) {
+            for (std::size_t c = 0; c < pool.size(); ++c) {
+                const std::vector<double> phi = featurize(
+                    ex.digitsOf(pool[c]), vary, card, lvl);
+                predNorm[c].reserve(objs.size());
+                for (std::size_t d = 0; d < objs.size(); ++d)
+                    predNorm[c].push_back(
+                        (models[d].predict(phi) - normLo[d]) /
+                        (normHi[d] - normLo[d]));
+                if (feasModel.ok)
+                    feasProb[c] = std::clamp(
+                        feasModel.predict(phi), 0.05, 1.0);
+            }
+        }
+
+        // One random scalarization per batch slot (not per
+        // candidate): each slot draws a weighting over the
+        // objectives and takes the pool's argmax under it. The batch
+        // spreads across the frontier through the weight draws while
+        // each individual pick stays a pure, noise-free exploit.
+        const std::size_t m = std::min(
+            {batch, budget - res.records.size(), pool.size()});
+        // Half of each batch (rounded up) is reserved for pattern
+        // moves: the surrogate ranks them against each other, but
+        // they never have to out-predict an extrapolation spike from
+        // the evolutionary pool. Local frontier steps therefore get
+        // evaluated on merit, which is what lets the search walk the
+        // last few grid steps onto a needle optimum.
+        const std::size_t reservePattern =
+            std::min(patternCount, (m + 1) / 2);
+        std::vector<std::size_t> sel;
+        sel.reserve(m);
+        std::unordered_set<std::size_t> inSel;
+        for (std::size_t slot = 0; slot < m; ++slot) {
+            const std::size_t limit =
+                slot < reservePattern ? patternCount : pool.size();
+            std::size_t best = pool.size();
+            if (!surrogateOk) {
+                // Not enough data to fit yet: explore at random.
+                std::size_t tries = 0;
+                do {
+                    best = rng.below(limit);
+                } while (inSel.count(pool[best]) &&
+                         ++tries < 10 * pool.size());
+                if (inSel.count(pool[best]))
+                    break;
+            } else {
+                std::vector<double> w(objs.size());
+                double wsum = 0.0;
+                for (double &wd : w) {
+                    wd = -std::log(
+                        1.0 - rng.uniform() * (1.0 - 1e-12));
+                    wsum += wd;
+                }
+                double bestScore = 0.0;
+                for (std::size_t c = 0; c < limit; ++c) {
+                    if (inSel.count(pool[c]))
+                        continue;
+                    double s = 0.0;
+                    for (std::size_t d = 0; d < objs.size(); ++d)
+                        s += w[d] * predNorm[c][d];
+                    s /= wsum;
+                    // Constrained acquisition: damp the score by the
+                    // feasibility probability (boost the penalty when
+                    // the score is already negative).
+                    s = s >= 0.0 ? s * feasProb[c] : s / feasProb[c];
+                    if (best == pool.size() || s > bestScore ||
+                        (s == bestScore && pool[c] < pool[best])) {
+                        best = c;
+                        bestScore = s;
+                    }
+                }
+                if (best == pool.size())
+                    break;
+            }
+            sel.push_back(pool[best]);
+            inSel.insert(pool[best]);
+            chosen.insert(pool[best]);
+        }
+        evaluateBatch(sel);
+    }
+
+    if (ckpt)
+        ckpt->flush();
+
+    res.stats.selected = res.records.size();
+    res.stats.computed = computed.load();
+    for (const EvalRecord &r : res.records)
+        if (r.status == PointStatus::Failed)
+            ++res.stats.failed;
+    return res;
+}
+
+} // namespace neurometer

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Guided design-space search: surrogate-assisted Pareto-frontier
+ * recovery in a fraction of the exhaustive sweep's evaluations.
+ *
+ * The fig08 use case (paper Sec. V) sweeps a TPU-like grid for the
+ * TOPS/W x TOPS/mm^2 frontier, but most grid points are dominated and
+ * evaluating them is wasted wall clock. SearchEngine recovers the
+ * frontier adaptively: it seeds with deterministic Latin-hypercube
+ * samples over the grid's axes, fits a cheap quadratic ridge
+ * surrogate per objective over the PointMetrics accumulated so far,
+ * and then runs batched propose-evaluate-refit rounds — evolutionary
+ * mutation/crossover of current frontier members plus a simulated-
+ * annealing-style exploration walk whose temperature decays per
+ * round, with the surrogate ranking each round's candidate pool.
+ * Batches evaluate in parallel through the same EvalCache/ThreadPool
+ * machinery as SweepEngine, so warm starts from prior checkpoints or
+ * a serve daemon's shared cache are free.
+ *
+ * Termination: the evaluation budget runs out, the frontier's
+ * hypervolume stagnates for `stagnantRounds` consecutive rounds, the
+ * whole grid has been selected, or the cancel token fires.
+ *
+ * Determinism: all randomness flows from one SplitMix64 stream
+ * parameterized by SearchOptions::seed, selection is performed on the
+ * driver thread, and results are recorded in selection order — the
+ * same seed reproduces byte-identical output regardless of thread
+ * count, and a resumed run replays the identical trajectory (restored
+ * points consume budget exactly like computed ones). The exhaustive
+ * SweepEngine remains the verification oracle (compareFrontiers).
+ */
+
+#ifndef NEUROMETER_EXPLORE_SEARCH_HH
+#define NEUROMETER_EXPLORE_SEARCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/pareto.hh"
+#include "explore/sweep.hh"
+
+namespace neurometer {
+
+/**
+ * Deterministic SplitMix64 generator. The standard library's
+ * distributions are implementation-defined, so the search uses this
+ * directly — a fixed seed yields the same draws on every platform.
+ */
+class SearchRng
+{
+  public:
+    explicit SearchRng(std::uint64_t seed) : _state(seed) {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+    /** Uniform double in [0, 1). */
+    double uniform();
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::size_t below(std::size_t n);
+
+  private:
+    std::uint64_t _state;
+};
+
+/** The search's default space: maximize TOPS/W and TOPS/mm^2. */
+std::vector<Objective> searchObjectives();
+
+/**
+ * Look up an objective by name, optionally overriding its direction
+ * with a ":max"/":min" suffix ("tdp_w:max"). Known names: peak_tops,
+ * area_mm2, tdp_w, tops_per_w, tops_per_tco, tops_per_mm2. Throws
+ * ConfigError on an unknown name or suffix.
+ */
+Objective objectiveByName(const std::string &spec);
+
+/** Parse a comma-separated objective list ("tops_per_w,area_mm2"). */
+std::vector<Objective> parseObjectives(const std::string &csv);
+
+/** Search knobs. Defaults are tuned for the fig08-class grids. */
+struct SearchOptions
+{
+    /** RNG seed; the whole trajectory is a pure function of it. */
+    std::uint64_t seed = 1;
+    /** Max points to evaluate; 0 = max(16, gridPoints / 10). */
+    std::size_t evalBudget = 0;
+    /** Latin-hypercube seed size; 0 = max(dims + 2, budget / 8). */
+    std::size_t initialSamples = 0;
+    /**
+     * Points evaluated per round. 0 = 2. Deliberately NOT derived
+     * from the thread count: the trajectory must not depend on it.
+     */
+    std::size_t batchSize = 0;
+    /** Stop after this many rounds without hypervolume improvement
+     *  (0 = never; run to the budget). */
+    std::size_t stagnantRounds = 6;
+    /** Relative hypervolume gain below which a round is stagnant. */
+    double stagnationEps = 1e-3;
+    /** Objectives to optimize; empty = searchObjectives(). */
+    std::vector<Objective> objectives{};
+    /**
+     * Evaluation plumbing reused from the sweep layer: threads,
+     * constraints, cancellation, checkpoint/resume, progress observer,
+     * and the serve daemon's shared cache/pool all apply unchanged.
+     * (keepInfeasible and failFast are ignored: the search always
+     * keeps every selected record and always isolates failures.)
+     */
+    SweepOptions sweep{};
+};
+
+/** How one run() ended, plus its headline counters. */
+struct SearchStats
+{
+    std::size_t gridPoints = 0; ///< full cross-product size
+    std::size_t rounds = 0;     ///< seed round included
+    std::size_t selected = 0;   ///< budget consumed (records kept)
+    std::size_t computed = 0;   ///< selected minus checkpoint-restored
+    std::size_t restored = 0;   ///< resumed from the checkpoint ledger
+    std::size_t failed = 0;     ///< selected points whose eval threw
+    std::size_t cacheHits = 0;  ///< EvalCache hits during this run
+    double hypervolume = 0.0;   ///< final frontier hypervolume
+    /** @name Termination cause (exactly one is set, except cancel) */
+    /** @{ */
+    bool budgetExhausted = false;
+    bool stagnated = false;
+    bool spaceExhausted = false; ///< every grid point selected
+    bool cancelled = false;
+    /** @} */
+};
+
+/** Search outcome: records in selection order plus their frontier. */
+struct SearchResult
+{
+    /** Every selected point, in deterministic selection order. The
+     *  vector is export-ready: toCsv()/toJson() apply unchanged. */
+    std::vector<EvalRecord> records;
+    /** Indices into `records` of the Pareto-optimal feasible points. */
+    std::vector<std::size_t> frontier;
+    SearchStats stats;
+};
+
+/**
+ * The guided search engine. Like SweepEngine it binds a base config
+ * to a cache and pool (owned, or shared via SweepOptions); run() may
+ * be called repeatedly and overlapping searches reuse cached points.
+ */
+class SearchEngine
+{
+  public:
+    explicit SearchEngine(ChipConfig base, SearchOptions opts = {});
+
+    /** Search `grid` for the Pareto frontier of the objectives. */
+    SearchResult run(const SweepGrid &grid);
+
+    const ChipConfig &base() const { return _base; }
+    const SearchOptions &options() const { return _opts; }
+    EvalCache &cache() { return *_cache; }
+    ThreadPool &pool() { return *_pool; }
+
+  private:
+    ChipConfig _base;
+    SearchOptions _opts;
+    std::unique_ptr<ThreadPool> _ownedPool;
+    std::unique_ptr<EvalCache> _ownedCache;
+    ThreadPool *_pool = nullptr;
+    EvalCache *_cache = nullptr;
+};
+
+/**
+ * Hypervolume (dominated volume) of the maximization-oriented points
+ * relative to `ref`, by recursive slicing. `points[i][d]` and
+ * `ref[d]` are oriented so bigger is better; coordinates at or below
+ * the reference contribute nothing.
+ */
+double hypervolume(const std::vector<std::vector<double>> &points,
+                   const std::vector<double> &ref);
+
+/** Verdict of compareFrontiers(). */
+struct FrontierComparison
+{
+    /**
+     * Worst relative shortfall of any found-frontier point from its
+     * nearest oracle point, over oriented objectives (0 = every found
+     * point sits exactly on an oracle point).
+     */
+    double worstShortfall = 0.0;
+    /** Fraction of oracle-frontier points matched within eps. */
+    double coverage = 0.0;
+    /** worstShortfall <= eps (and the oracle frontier non-empty). */
+    bool withinEps = false;
+};
+
+/**
+ * Compare a search frontier against the exhaustive oracle: for each
+ * found point, the shortfall from its nearest oracle point (relative,
+ * per oriented objective); for each oracle point, whether some found
+ * point matches it within `eps`.
+ */
+FrontierComparison
+compareFrontiers(const std::vector<EvalRecord> &oracleRecords,
+                 const std::vector<std::size_t> &oracleFrontier,
+                 const std::vector<EvalRecord> &foundRecords,
+                 const std::vector<std::size_t> &foundFrontier,
+                 const std::vector<Objective> &objectives,
+                 double eps);
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_SEARCH_HH

@@ -152,6 +152,97 @@ SweepGrid::size() const
     return n;
 }
 
+GridExpander::GridExpander(SweepGrid grid, ChipConfig base)
+    : _grid(std::move(grid)), _base(std::move(base))
+{
+    _nodes = axisOr(_grid.nodesNm, _base.nodeNm);
+    _clocks = axisOr(_grid.clocksHz, _base.freqHz);
+    _mems = axisOr(_grid.memBytes, _base.totalMemBytes);
+    _muls = axisOr(_grid.mulTypes, _base.core.tu.mulType);
+
+    // Resolve named axes up front: unknown paths and bad values fail
+    // here, before any point is addressed.
+    _named.reserve(_grid.namedAxes.size());
+    for (std::size_t i = 0; i < _grid.namedAxes.size(); ++i) {
+        const NamedAxis &a = _grid.namedAxes[i];
+        requireConfig(!a.values.empty(),
+                      "named axis '" + a.path + "' has no values");
+        NamedDim d;
+        d.field = &chipSchema().at(a.path);
+        d.axisIdx = i;
+        for (const std::string &v : a.values)
+            d.parsed.push_back(d.field->parseText(v));
+        _named.push_back(std::move(d));
+    }
+
+    _card = {_grid.tuLengths.size(), _grid.tuPerCore.size(),
+             _grid.coreGrids.size(), _nodes.size(),   _clocks.size(),
+             _mems.size(),           _muls.size()};
+    for (const NamedDim &d : _named)
+        _card.push_back(d.parsed.size());
+    _size = 1;
+    for (std::size_t c : _card)
+        _size *= c;
+}
+
+std::vector<std::size_t>
+GridExpander::digitsOf(std::size_t k) const
+{
+    std::vector<std::size_t> digits(_card.size(), 0);
+    for (std::size_t d = _card.size(); d-- > 0;) {
+        digits[d] = _card[d] ? k % _card[d] : 0;
+        k /= _card[d] ? _card[d] : 1;
+    }
+    return digits;
+}
+
+std::size_t
+GridExpander::indexOf(const std::vector<std::size_t> &digits) const
+{
+    std::size_t k = 0;
+    for (std::size_t d = 0; d < _card.size(); ++d)
+        k = k * _card[d] + digits[d];
+    return k;
+}
+
+GridPoint
+GridExpander::at(std::size_t k) const
+{
+    const std::vector<std::size_t> dig = digitsOf(k);
+
+    GridPoint p;
+    EvalRecord &r = p.record;
+    const int x = _grid.tuLengths[dig[0]];
+    const int n = _grid.tuPerCore[dig[1]];
+    const auto [tx, ty] = _grid.coreGrids[dig[2]];
+    r.point = {x, n, tx, ty};
+    r.nodeNm = _nodes[dig[3]];
+    r.freqHz = _clocks[dig[4]];
+    r.memBytes = _mems[dig[5]];
+    r.mulType = _muls[dig[6]];
+    r.status = PointStatus::NotEvaluated;
+
+    ChipConfig cfg = _base;
+    cfg.nodeNm = r.nodeNm;
+    cfg.freqHz = r.freqHz;
+    cfg.totalMemBytes = r.memBytes;
+    cfg.core.tu.mulType = r.mulType;
+    if (!_grid.mulTypes.empty())
+        cfg.core.tu.accType = defaultAccumType(r.mulType);
+    cfg = applyDesignPoint(cfg, r.point);
+    // Named axes land last: they win over any typed axis addressing
+    // the same field.
+    for (std::size_t i = 0; i < _named.size(); ++i) {
+        const NamedDim &d = _named[i];
+        const std::size_t idx = dig[7 + i];
+        d.field->set(cfg, d.parsed[idx]);
+        const NamedAxis &a = _grid.namedAxes[d.axisIdx];
+        r.named.emplace_back(a.path, a.values[idx]);
+    }
+    p.config = cfg;
+    return p;
+}
+
 SweepEngine::SweepEngine(ChipConfig base, SweepOptions opts)
     : _base(std::move(base)), _opts(std::move(opts))
 {
@@ -172,64 +263,18 @@ SweepEngine::SweepEngine(ChipConfig base, SweepOptions opts)
 std::vector<EvalRecord>
 SweepEngine::run(const SweepGrid &grid)
 {
-    const auto nodes = axisOr(grid.nodesNm, _base.nodeNm);
-    const auto clocks = axisOr(grid.clocksHz, _base.freqHz);
-    const auto mems = axisOr(grid.memBytes, _base.totalMemBytes);
-    const auto muls = axisOr(grid.mulTypes, _base.core.tu.mulType);
-
-    // Resolve named axes first: unknown paths and bad values fail
-    // here, before any point is evaluated.
-    const std::vector<ResolvedAxis> named =
-        resolveNamedAxes(grid.namedAxes);
-    const std::size_t ncombos = namedComboCount(named);
-
-    // Expand the cross product up front so records land in grid order
-    // no matter which thread evaluates them.
+    // Expand the cross product up front (grid order) so records land
+    // in grid order no matter which thread evaluates them. The
+    // expander performs the early named-axis validation.
+    const GridExpander expander(grid, _base);
     std::vector<EvalRecord> records;
     std::vector<ChipConfig> cfgs;
-    records.reserve(grid.size());
-    cfgs.reserve(grid.size());
-    for (int x : grid.tuLengths) {
-        for (int n : grid.tuPerCore) {
-            for (const auto &[tx, ty] : grid.coreGrids) {
-                for (double node : nodes) {
-                    for (double clk : clocks) {
-                        for (double mem : mems) {
-                            for (DataType mul : muls) {
-                              for (std::size_t k = 0; k < ncombos;
-                                   ++k) {
-                                EvalRecord r;
-                                r.point = {x, n, tx, ty};
-                                r.nodeNm = node;
-                                r.freqHz = clk;
-                                r.memBytes = mem;
-                                r.mulType = mul;
-                                r.status =
-                                    PointStatus::NotEvaluated;
-
-                                ChipConfig cfg = _base;
-                                cfg.nodeNm = node;
-                                cfg.freqHz = clk;
-                                cfg.totalMemBytes = mem;
-                                cfg.core.tu.mulType = mul;
-                                if (!grid.mulTypes.empty()) {
-                                    cfg.core.tu.accType =
-                                        defaultAccumType(mul);
-                                }
-                                cfg = applyDesignPoint(cfg, r.point);
-                                // Named axes land last: they win over
-                                // any typed axis on the same field.
-                                applyNamedCombo(named, k, cfg,
-                                                &r.named);
-                                cfgs.push_back(cfg);
-                                records.push_back(std::move(r));
-                              }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    records.reserve(expander.size());
+    cfgs.reserve(expander.size());
+    for (std::size_t k = 0; k < expander.size(); ++k) {
+        GridPoint p = expander.at(k);
+        records.push_back(std::move(p.record));
+        cfgs.push_back(std::move(p.config));
     }
 
     static const obs::Counter runs = obs::counter("sweep.runs");

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "chip/config_schema.hh"
 #include "chip/optimizer.hh"
 #include "common/error.hh"
 #include "explore/cancel.hh"
@@ -133,6 +134,65 @@ struct EvalRecord
     }
 
     bool operator==(const EvalRecord &) const = default;
+};
+
+/** One materialized grid point: the record skeleton (coordinates
+ *  filled in, status NotEvaluated) and the config to evaluate. */
+struct GridPoint
+{
+    EvalRecord record;
+    ChipConfig config;
+};
+
+/**
+ * Random access into a SweepGrid's cross product without expanding
+ * it. The grid is a mixed-radix number: dimension 0 (tuLengths) is
+ * outermost and the last named axis varies fastest, exactly the order
+ * SweepEngine::run() emits records in — `at(k)` reproduces the k-th
+ * record of an exhaustive sweep bit-for-bit. SweepEngine expands
+ * through this class; SearchEngine (explore/search.hh) uses it to
+ * address points by index without paying for the full expansion.
+ *
+ * Construction resolves the named axes against the schema and throws
+ * ConfigError on an unknown path, empty values, or unparsable text —
+ * the same early validation the sweep engine performs.
+ */
+class GridExpander
+{
+  public:
+    GridExpander(SweepGrid grid, ChipConfig base);
+
+    /** Points in the cross product (== SweepGrid::size()). */
+    std::size_t size() const { return _size; }
+    /** Number of dimensions: 7 typed axes + one per named axis. */
+    std::size_t dims() const { return _card.size(); }
+    /** Values along dimension `d` (1 for unswept optional axes). */
+    std::size_t cardinality(std::size_t d) const { return _card[d]; }
+
+    /** Materialize flat index `k` (grid order). */
+    GridPoint at(std::size_t k) const;
+
+    /** Decode flat index `k` into one digit per dimension. */
+    std::vector<std::size_t> digitsOf(std::size_t k) const;
+    /** Inverse of digitsOf(). */
+    std::size_t indexOf(const std::vector<std::size_t> &digits) const;
+
+  private:
+    struct NamedDim
+    {
+        const FieldDef<ChipConfig> *field;
+        std::size_t axisIdx; ///< into _grid.namedAxes
+        std::vector<double> parsed;
+    };
+
+    SweepGrid _grid;
+    ChipConfig _base;
+    /** Optional axes resolved against the base config's values. */
+    std::vector<double> _nodes, _clocks, _mems;
+    std::vector<DataType> _muls;
+    std::vector<NamedDim> _named;
+    std::vector<std::size_t> _card; ///< radix per dim, dim 0 outermost
+    std::size_t _size = 1;
 };
 
 /**

@@ -109,6 +109,15 @@ sweepGridForConfig(const ChipConfig &cfg,
     return grid;
 }
 
+SearchResult
+searchGridForConfig(const ChipConfig &cfg,
+                    const std::vector<NamedAxis> &axes,
+                    const SearchOptions &opts)
+{
+    SearchEngine engine(cfg, opts);
+    return engine.run(sweepGridForConfig(cfg, axes));
+}
+
 std::string
 fieldRangeText(const FieldDef<ChipConfig> &f)
 {

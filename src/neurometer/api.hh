@@ -18,6 +18,7 @@
 #include "chip/config.hh"
 #include "chip/config_schema.hh"
 #include "explore/eval_cache.hh"
+#include "explore/search.hh"
 #include "explore/sweep.hh"
 #include "perf/tfsim.hh"
 
@@ -43,6 +44,19 @@ EvalRecord evalConfigRecord(const ChipConfig &cfg,
  */
 SweepGrid sweepGridForConfig(const ChipConfig &cfg,
                              const std::vector<NamedAxis> &axes);
+
+/**
+ * Guided search over the same grid sweepGridForConfig() builds — the
+ * `neurometer search` semantics. The config anchors the base design,
+ * `axes` span the space, and the SearchEngine recovers the Pareto
+ * frontier of `opts.objectives` within `opts.evalBudget` evaluations
+ * (see explore/search.hh for the algorithm and its determinism
+ * guarantees). Checkpoint, cancellation, shared cache/pool, and
+ * progress reporting all flow through `opts.sweep` unchanged.
+ */
+SearchResult searchGridForConfig(const ChipConfig &cfg,
+                                 const std::vector<NamedAxis> &axes,
+                                 const SearchOptions &opts = {});
 
 /**
  * One performance-simulation request: a named workload run through the

@@ -5,6 +5,7 @@
 
 #include "chip/config.hh"
 #include "explore/export.hh"
+#include "explore/search.hh"
 #include "explore/sweep.hh"
 #include "neurometer/api.hh"
 #include "obs/metrics.hh"
@@ -292,6 +293,13 @@ Server::handle(const Request &req)
         obs::ScopedTimer t(h);
         return handleSweep(req);
     }
+    if (req.method == "search") {
+        obs::TraceScope span("serve.search");
+        static const obs::Histogram h =
+            obs::histogram("serve.search_s");
+        obs::ScopedTimer t(h);
+        return handleSearch(req);
+    }
     if (req.method == "simulate") {
         obs::TraceScope span("serve.simulate");
         static const obs::Histogram h =
@@ -433,6 +441,73 @@ Server::handleSweep(const Request &req)
         .set("not_evaluated",
              json::Value::number_(double(stats.notEvaluated)))
         .set("points", json::parse(toJson(recs)));
+    return out.dump();
+}
+
+std::string
+Server::handleSearch(const Request &req)
+{
+    static const obs::Counter searches = obs::counter("serve.searches");
+
+    InflightSlot slot(_inflight, _maxInflight);
+    if (!slot.ok())
+        throw ServeError{kBusyCategory, "serve.admission",
+                         "server is at max-inflight (" +
+                             std::to_string(_maxInflight) +
+                             " requests); retry later"};
+
+    const CancelToken token = requestToken(req, _opts.cancel);
+    const ChipConfig cfg =
+        ChipConfig::fromString(stringParam(req, "config"), "<request>");
+    const SweepGrid grid = sweepGridForConfig(cfg, axesParam(req));
+
+    SearchOptions sopts;
+    const double seed = numberParamOr(req, "seed", 1.0);
+    requireConfig(seed >= 0 && seed == double(std::uint64_t(seed)),
+                  "'seed' must be a non-negative integer");
+    sopts.seed = std::uint64_t(seed);
+    const double budget = numberParamOr(req, "budget", 0.0);
+    requireConfig(budget >= 0 && budget == double(int(budget)),
+                  "'budget' must be a non-negative integer");
+    sopts.evalBudget = std::size_t(budget);
+    const std::string objectives =
+        stringParamOr(req, "objectives", "");
+    if (!objectives.empty())
+        sopts.objectives = parseObjectives(objectives);
+    sopts.sweep.sharedCache = &_cache;
+    sopts.sweep.sharedPool = &_pool;
+    sopts.sweep.cancel = token;
+    SearchEngine engine(cfg, sopts);
+
+    const SearchResult r = engine.run(grid);
+
+    const char *termination =
+        r.stats.cancelled         ? "cancelled"
+        : r.stats.budgetExhausted ? "budget"
+        : r.stats.spaceExhausted  ? "space"
+        : r.stats.stagnated       ? "stagnated"
+                                  : "unknown";
+    json::Value frontier = json::Value::array_();
+    for (std::size_t i : r.frontier)
+        frontier.items.push_back(json::Value::number_(double(i)));
+
+    json::Value out = json::Value::object_();
+    out.set("cancelled", json::Value::boolean_(r.stats.cancelled))
+        .set("grid_points",
+             json::Value::number_(double(r.stats.gridPoints)))
+        .set("evals", json::Value::number_(double(r.stats.selected)))
+        .set("rounds", json::Value::number_(double(r.stats.rounds)))
+        .set("restored",
+             json::Value::number_(double(r.stats.restored)))
+        .set("failed", json::Value::number_(double(r.stats.failed)))
+        .set("cache_hits",
+             json::Value::number_(double(r.stats.cacheHits)))
+        .set("hypervolume", json::Value::number_(r.stats.hypervolume))
+        .set("termination", json::Value::string_(termination))
+        .set("frontier", std::move(frontier))
+        .set("points", json::parse(toJson(r.records)));
+    if (!r.stats.cancelled)
+        searches.inc();
     return out.dump();
 }
 

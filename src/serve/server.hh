@@ -14,9 +14,20 @@
  *             deadline_ms?}                -> one SimResult object
  *   sweep    {config, axes?, deadline_ms?,
  *             keep_infeasible?}            -> {cancelled, counts, points}
+ *   search   {config, axes?, budget?, seed?,
+ *             objectives?, deadline_ms?}   -> {stats, frontier, points}
  *   fields   {}                            -> config schema array
  *   metrics  {}                            -> obs:: snapshot object
  *   health   {}                            -> {status, uptime_s, ...}
+ *
+ * `search` runs the guided design-space search (explore/search.hh
+ * SearchEngine) over the request's axes against the daemon's shared
+ * cache and pool: repeat searches — or a search after a sweep of the
+ * same space — rendezvous with already-evaluated points instead of
+ * recomputing them. `objectives` is a comma-separated list (see
+ * parseObjectives); `seed` makes the trajectory reproducible.
+ * Completed runs land in the `serve.searches` counter and the
+ * `serve.search_s` histogram.
  *
  * `simulate` runs the TfSim per-layer performance pipeline (see
  * neurometer/api.hh simulateWorkload): workload is a named graph
@@ -145,6 +156,7 @@ class Server
     std::string handleEval(const Request &req);
     std::string handleSimulate(const Request &req);
     std::string handleSweep(const Request &req);
+    std::string handleSearch(const Request &req);
     std::string handleHealth();
 
     ServeOptions _opts;

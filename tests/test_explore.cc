@@ -346,6 +346,30 @@ TEST(Sweep, ExpandNamedIsFirstAxisOutermost)
     }
 }
 
+TEST(Sweep, ExpandNamedWithNoAxesYieldsJustTheBase)
+{
+    // An axis-less grid is a 1-point space, not an empty one: the
+    // cross product of zero axes is the base design itself.
+    SweepGrid g;
+    const std::vector<ChipConfig> pts =
+        g.expandNamed(datacenterBase());
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].toString(), datacenterBase().toString());
+}
+
+TEST(Sweep, ExpandNamedSinglePointGrid)
+{
+    // Every axis a singleton: still exactly one point, with each
+    // axis value applied on top of the base.
+    SweepGrid g;
+    g.axis("core.tu.rows", {32}).axis("freqHz", {800e6});
+    const std::vector<ChipConfig> pts =
+        g.expandNamed(datacenterBase());
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].core.tu.rows, 32);
+    EXPECT_EQ(pts[0].freqHz, 800e6);
+}
+
 TEST(Sweep, ParallelMatchesSerialBitForBit)
 {
     const SweepGrid grid = smallGrid();
@@ -529,6 +553,40 @@ TEST(Pareto, TopKOrdersDescendingAndSkipsInfeasible)
         recs,
         [](const EvalRecord &r) { return r.metrics.peakTops; }, 2);
     EXPECT_EQ(k, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Pareto, DuplicateTuplesKeepOnlyTheLowestIndex)
+{
+    // Exactly-equal metric tuples dominate nothing, so without the
+    // dedupe pass every copy would land on the frontier. Only the
+    // lowest index of each tuple may survive — a stable tie-break.
+    std::vector<EvalRecord> recs;
+    recs.push_back(fakeRecord(10.0, 100.0, 400.0)); // frontier, kept
+    recs.push_back(fakeRecord(10.0, 100.0, 400.0)); // duplicate of 0
+    recs.push_back(fakeRecord(5.0, 50.0, 200.0));   // frontier, kept
+    recs.push_back(fakeRecord(10.0, 100.0, 400.0)); // duplicate of 0
+    recs.push_back(fakeRecord(5.0, 50.0, 200.0));   // duplicate of 2
+
+    const std::vector<std::size_t> f = paretoFrontier(recs);
+    EXPECT_EQ(f, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Pareto, DegenerateInputs)
+{
+    // Empty in, empty out.
+    EXPECT_TRUE(paretoFrontier({}).empty());
+
+    // A single feasible point is its own frontier.
+    std::vector<EvalRecord> one{fakeRecord(1.0, 1.0, 1.0)};
+    EXPECT_EQ(paretoFrontier(one), (std::vector<std::size_t>{0}));
+
+    // A single infeasible point yields an empty frontier.
+    one[0].why = Feasibility::PowerOverBudget;
+    EXPECT_TRUE(paretoFrontier(one).empty());
+
+    // All points identical: the whole set collapses to index 0.
+    std::vector<EvalRecord> same(4, fakeRecord(2.0, 3.0, 4.0));
+    EXPECT_EQ(paretoFrontier(same), (std::vector<std::size_t>{0}));
 }
 
 TEST(Export, CsvAndJsonShape)

@@ -326,6 +326,76 @@ TEST(ServeDispatch, SimulateMatchesTheLibraryEntryPointExactly)
               "config");
 }
 
+TEST(ServeDispatch, SearchIsDeterministicAndSharesTheDaemonCache)
+{
+    Server server(quickOpts(/*threads=*/2));
+    const ChipConfig cfg = smallBase();
+
+    auto searchRequest = [&](int id) {
+        json::Value axis1 = json::Value::object_();
+        json::Value vals1 = json::Value::array_();
+        for (double v : {1.0, 2.0, 4.0})
+            vals1.items.push_back(json::Value::number_(v));
+        axis1.set("path", json::Value::string_("core.numTU"))
+            .set("values", std::move(vals1));
+        json::Value axis2 = json::Value::object_();
+        json::Value vals2 = json::Value::array_();
+        for (double v : {1.0, 2.0})
+            vals2.items.push_back(json::Value::number_(v));
+        axis2.set("path", json::Value::string_("tx"))
+            .set("values", std::move(vals2));
+        json::Value axes = json::Value::array_();
+        axes.items.push_back(std::move(axis1));
+        axes.items.push_back(std::move(axis2));
+
+        json::Value params = json::Value::object_();
+        params.set("config", json::Value::string_(cfg.toString()))
+            .set("axes", std::move(axes))
+            .set("seed", json::Value::number_(3))
+            .set("objectives",
+                 json::Value::string_("tops_per_w,tops_per_mm2"));
+        json::Value req = json::Value::object_();
+        req.set("method", json::Value::string_("search"))
+            .set("id", json::Value::number_(double(id)))
+            .set("params", std::move(params));
+        return req.dump();
+    };
+
+    const std::uint64_t before = counterNow("serve.searches");
+    const json::Value first =
+        json::parse(server.dispatchLine(searchRequest(1)));
+    ASSERT_TRUE(first.find("ok")->asBool()) << first.dump();
+    const json::Value *r1 = first.find("result");
+    EXPECT_EQ(r1->find("grid_points")->asNumber(), 6.0);
+    EXPECT_EQ(r1->find("evals")->asNumber(), 6.0);
+    EXPECT_EQ(r1->find("termination")->asString(), "space");
+    EXPECT_FALSE(r1->find("frontier")->items.empty());
+    EXPECT_FALSE(r1->find("points")->items.empty());
+    EXPECT_EQ(counterNow("serve.searches"), before + 1);
+
+    // Same seed through the same daemon: identical result, and every
+    // point rendezvouses with the shared cache instead of recomputing.
+    const json::Value second =
+        json::parse(server.dispatchLine(searchRequest(2)));
+    ASSERT_TRUE(second.find("ok")->asBool());
+    const json::Value *r2 = second.find("result");
+    EXPECT_EQ(r1->find("points")->dump(), r2->find("points")->dump());
+    EXPECT_EQ(r1->find("frontier")->dump(),
+              r2->find("frontier")->dump());
+    EXPECT_EQ(r2->find("cache_hits")->asNumber(),
+              r2->find("evals")->asNumber());
+
+    // Objective specs are validated like everywhere else.
+    std::string bad = searchRequest(3);
+    const std::size_t pos = bad.find("tops_per_w,tops_per_mm2");
+    bad.replace(pos, std::string("tops_per_w,tops_per_mm2").size(),
+                "nope");
+    const json::Value err = json::parse(server.dispatchLine(bad));
+    EXPECT_FALSE(err.find("ok")->asBool());
+    EXPECT_EQ(err.find("error")->find("category")->asString(),
+              "config");
+}
+
 // ---------------------------------------------------------------------
 // End-to-end over TCP
 

@@ -23,6 +23,21 @@ Manifest mode (structural validation of an obs run manifest):
   * embedded metrics snapshot has counters;
   * every derived hit rate is a number in [0, 1].
 
+Manifest-compare mode (the search-quality regression gate):
+
+    compare_bench.py --manifest search_speed.manifest.json \
+        --reference bench/manifests/search_speed.manifest.json \
+        [--tolerance 0.25]
+
+  Validates the current manifest structurally, then compares it
+  against the reference on the *deterministic* fields only — the
+  search trajectory is a pure function of the seed, so grid_points,
+  seed, eps, and within_eps must match exactly, while evals-to-
+  frontier may drift by at most `tolerance` (fractional) and coverage
+  may drop by at most the same. Wall-clock fields (sweep_s, search_s,
+  speedup) and build-identity headers are deliberately ignored: they
+  vary per host and would make the gate flaky.
+
 Exit code 0 = all checks pass, 1 = a check failed, 2 = bad usage.
 """
 
@@ -129,6 +144,56 @@ def check_manifest(path):
     return 0
 
 
+def check_manifest_pair(current_path, reference_path, tolerance):
+    if check_manifest(current_path) != 0:
+        return 1
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(reference_path) as f:
+        reference = json.load(f)
+
+    # Exact-match fields: same seed on the same grid must reproduce
+    # the same verdict bit-for-bit.
+    for key in ("grid_points", "seed", "eps", "within_eps"):
+        if key not in reference:
+            continue
+        if current.get(key) != reference[key]:
+            return fail(
+                f"{key} mismatch: current {current.get(key)!r} "
+                f"vs reference {reference[key]!r}"
+            )
+    if reference.get("within_eps") and not current.get("within_eps"):
+        return fail("search frontier no longer within eps of the oracle")
+
+    # Tolerance-bounded fields: evals-to-frontier may drift a little
+    # (algorithm tuning), coverage may not collapse.
+    ref_evals = reference.get("search_evals")
+    cur_evals = current.get("search_evals")
+    if ref_evals and cur_evals:
+        ceiling = (1.0 + tolerance) * ref_evals
+        print(
+            f"compare_bench: evals-to-frontier {cur_evals} vs "
+            f"reference {ref_evals} (ceiling {ceiling:.1f})"
+        )
+        if cur_evals > ceiling:
+            return fail(
+                f"evals-to-frontier regressed: {cur_evals} > "
+                f"ceiling {ceiling:.1f}"
+            )
+    ref_cov = reference.get("coverage")
+    cur_cov = current.get("coverage")
+    if isinstance(ref_cov, (int, float)) and isinstance(cur_cov, (int, float)):
+        floor = (1.0 - tolerance) * ref_cov
+        if cur_cov < floor:
+            return fail(
+                f"oracle-frontier coverage regressed: "
+                f"{cur_cov:.2f} < floor {floor:.2f}"
+            )
+
+    print("compare_bench: manifest comparison OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", help="google-benchmark JSON from this run")
@@ -142,6 +207,9 @@ def main():
     ap.add_argument("--manifest", help="obs run manifest to validate")
     args = ap.parse_args()
 
+    if args.manifest and args.reference:
+        return check_manifest_pair(args.manifest, args.reference,
+                                   args.tolerance)
     if args.manifest:
         return check_manifest(args.manifest)
     if args.current and args.reference:

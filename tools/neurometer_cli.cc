@@ -9,11 +9,16 @@
  *
  *   neurometer eval chip.cfg [--json]
  *   neurometer sweep chip.cfg --axis core.numTU=1,2,4 [--axis ...]
- *              [--out sweep.csv] [--json] [--threads N]
+ *              [--out sweep.csv] [--json] [--threads N] [--top K]
  *              [--manifest FILE] [--trace FILE]
  *              [--checkpoint FILE] [--resume] [--fail-fast]
  *              [--max-seconds S] [--cancel-after N]
  *              [--inject SITE=SPEC]
+ *   neurometer search chip.cfg --axis core.numTU=1,2,4 [--axis ...]
+ *              [--budget N] [--seed S] [--objectives LIST]
+ *              [--batch N] [--initial N] [--top K] [--out FILE]
+ *              [--json] [--threads N] [--checkpoint FILE] [--resume]
+ *              [--manifest FILE] [--trace FILE] [--max-seconds S]
  *   neurometer simulate chip.cfg [--workload W] [--dataflow ws|os|is]
  *              [--batch N] [--no-sw-opt] [--layers] [--json]
  *   neurometer metrics chip.cfg [--json]
@@ -84,7 +89,7 @@ usage(FILE *to)
         "      (--json: machine-readable metrics instead).\n"
         "\n"
         "  sweep <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
-        "        [--out FILE] [--json] [--threads N]\n"
+        "        [--out FILE] [--json] [--threads N] [--top K]\n"
         "        [--manifest FILE] [--trace FILE]\n"
         "        [--checkpoint FILE] [--resume] [--fail-fast]\n"
         "        [--max-seconds S] [--cancel-after N]\n"
@@ -109,6 +114,28 @@ usage(FILE *to)
         "      --inject SITE=SPEC arms the deterministic fault\n"
         "      injector (sites: memory.search, chip.build, io.write;\n"
         "      SPEC: comma-separated hit numbers or every:N[+OFF]).\n"
+        "      --top K prints the K best feasible points by peak\n"
+        "      TOPS as a table (stdout with --out, stderr when the\n"
+        "      CSV itself owns stdout).\n"
+        "\n"
+        "  search <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
+        "         [--budget N] [--seed S] [--objectives LIST]\n"
+        "         [--batch N] [--initial N] [--top K]\n"
+        "         [--out FILE] [--json] [--threads N]\n"
+        "         [--manifest FILE] [--trace FILE]\n"
+        "         [--checkpoint FILE] [--resume]\n"
+        "         [--max-seconds S] [--cancel-after N]\n"
+        "      Guided design-space search: recover the Pareto\n"
+        "      frontier of the objectives (default tops_per_w,\n"
+        "      tops_per_mm2; names from `neurometer fields` metrics,\n"
+        "      optional :max/:min suffix) while evaluating only\n"
+        "      --budget points of the cross product (default: a tenth\n"
+        "      of the grid). Deterministic: the same --seed yields\n"
+        "      byte-identical output regardless of --threads. Output,\n"
+        "      checkpointing, cancellation, manifest, and trace\n"
+        "      behave exactly like sweep; the manifest additionally\n"
+        "      records evals, rounds, hypervolume, termination, and\n"
+        "      the frontier row indices.\n"
         "\n"
         "  simulate <chip.cfg> [--workload W] [--dataflow ws|os|is]\n"
         "           [--batch N] [--no-sw-opt] [--layers] [--json]\n"
@@ -327,6 +354,91 @@ commandLine(const std::string &cmd, const std::vector<std::string> &args)
     return s;
 }
 
+/** Parse one `--axis PATH=V1,V2,...` spec. */
+std::pair<std::string, std::vector<std::string>>
+parseAxisSpec(const std::string &spec)
+{
+    const std::size_t eq = spec.find('=');
+    requireConfig(eq != std::string::npos && eq > 0,
+                  "--axis expects PATH=V1,V2,... got '" + spec + "'");
+    std::vector<std::string> values;
+    std::string axis_path = spec.substr(0, eq);
+    std::size_t b = eq + 1;
+    while (b <= spec.size()) {
+        const std::size_t comma = spec.find(',', b);
+        const std::size_t e =
+            comma == std::string::npos ? spec.size() : comma;
+        if (e > b)
+            values.push_back(spec.substr(b, e - b));
+        b = e + 1;
+    }
+    requireConfig(!values.empty(),
+                  "--axis " + axis_path + " has no values");
+    return {std::move(axis_path), std::move(values)};
+}
+
+/** JSON array of {path, values} objects for the run manifest. */
+std::string
+axesJson(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>
+        &axes)
+{
+    std::string axes_json = "[";
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        axes_json += (i ? ", {" : "{");
+        axes_json += "\"path\": " + obs::jsonQuote(axes[i].first) +
+                     ", \"values\": [";
+        for (std::size_t k = 0; k < axes[i].second.size(); ++k)
+            axes_json +=
+                (k ? ", " : "") + obs::jsonQuote(axes[i].second[k]);
+        axes_json += "]}";
+    }
+    axes_json += "]";
+    return axes_json;
+}
+
+/**
+ * `--top K` rendering: the K best feasible points by the leading
+ * objective (ties to lower index), as an ASCII table on stdout.
+ */
+void
+printTopK(const std::vector<EvalRecord> &records,
+          const std::vector<Objective> &objectives, std::size_t k,
+          FILE *to)
+{
+    const Objective &lead = objectives.front();
+    const auto metric = [&lead](const EvalRecord &r) {
+        return lead.maximize ? lead.value(r) : -lead.value(r);
+    };
+    const std::vector<std::size_t> best = topK(records, metric, k);
+
+    std::vector<std::string> header{"rank", "point"};
+    for (const Objective &o : objectives)
+        header.push_back(o.name + (o.maximize ? " ^" : " v"));
+    AsciiTable t(header);
+    char buf[64];
+    for (std::size_t rank = 0; rank < best.size(); ++rank) {
+        const EvalRecord &r = records[best[rank]];
+        std::string point;
+        for (const auto &[name, value] : r.named) {
+            if (!point.empty())
+                point += " ";
+            point += name + "=" + value;
+        }
+        if (point.empty())
+            point = r.point.str();
+        std::vector<std::string> row{std::to_string(rank + 1),
+                                     std::move(point)};
+        for (const Objective &o : objectives) {
+            std::snprintf(buf, sizeof buf, "%.4f", o.value(r));
+            row.push_back(buf);
+        }
+        t.addRow(std::move(row));
+    }
+    std::fprintf(to, "top %zu by %s:\n%s\n", best.size(),
+                 lead.name.c_str(), t.str().c_str());
+}
+
 int
 cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
 {
@@ -340,6 +452,7 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     bool fail_fast = false;
     double max_seconds = 0.0;
     std::size_t cancel_after = 0;
+    std::size_t top = 0;
     int threads = 0;
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     std::vector<std::string> injects;
@@ -379,25 +492,11 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
         } else if (a == "--threads") {
             threads = std::atoi(next("--threads").c_str());
         } else if (a == "--axis") {
-            const std::string &spec = next("--axis");
-            const std::size_t eq = spec.find('=');
-            requireConfig(eq != std::string::npos && eq > 0,
-                          "--axis expects PATH=V1,V2,... got '" + spec +
-                              "'");
-            std::vector<std::string> values;
-            std::string axis_path = spec.substr(0, eq);
-            std::size_t b = eq + 1;
-            while (b <= spec.size()) {
-                const std::size_t comma = spec.find(',', b);
-                const std::size_t e =
-                    comma == std::string::npos ? spec.size() : comma;
-                if (e > b)
-                    values.push_back(spec.substr(b, e - b));
-                b = e + 1;
-            }
-            requireConfig(!values.empty(),
-                          "--axis " + axis_path + " has no values");
-            axes.emplace_back(std::move(axis_path), std::move(values));
+            axes.push_back(parseAxisSpec(next("--axis")));
+        } else if (a == "--top") {
+            const int n = std::atoi(next("--top").c_str());
+            requireConfig(n > 0, "--top expects a positive count");
+            top = std::size_t(n);
         } else if (!a.empty() && a[0] == '-') {
             throw ConfigError("unknown sweep option '" + a + "'");
         } else if (path.empty()) {
@@ -476,6 +575,11 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
                          ? ""
                          : "; rerun with --resume to finish");
     }
+    // --top table goes to stdout when the export went to a file, and
+    // to stderr when the export owns stdout (piped CSV stays clean).
+    if (top > 0)
+        printTopK(records, defaultObjectives(), top,
+                  out.empty() ? stderr : stdout);
 
     // Run manifest: written next to the export (or wherever --manifest
     // says), so the CSV stays traceable to exactly this invocation.
@@ -486,19 +590,7 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
         for (const EvalRecord &r : records)
             feasible += r.feasible() ? 1 : 0;
 
-        std::string axes_json = "[";
-        for (std::size_t i = 0; i < axes.size(); ++i) {
-            axes_json += (i ? ", {" : "{");
-            axes_json +=
-                "\"path\": " + obs::jsonQuote(axes[i].first) +
-                ", \"values\": [";
-            for (std::size_t k = 0; k < axes[i].second.size(); ++k) {
-                axes_json += (k ? ", " : "") +
-                             obs::jsonQuote(axes[i].second[k]);
-            }
-            axes_json += "]}";
-        }
-        axes_json += "]";
+        const std::string axes_json = axesJson(axes);
 
         // Failure summary: the first few failed points, so a manifest
         // alone is enough to see *what* broke without the CSV.
@@ -566,6 +658,223 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     if (stats.cancelled)
         return 3;
     if (stats.total > 0 && stats.failed == stats.total)
+        return 4;
+    return 0;
+}
+
+int
+cmdSearch(const std::vector<std::string> &args, const Verbosity &v)
+{
+    std::string path;
+    std::string out;
+    std::string manifest_path;
+    std::string trace_path;
+    std::string checkpoint_path;
+    std::string objectives_csv;
+    bool json = false;
+    bool resume = false;
+    double max_seconds = 0.0;
+    std::size_t cancel_after = 0;
+    std::size_t top = 0;
+    int threads = 0;
+    SearchOptions opts;
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--out") {
+            out = next("--out");
+        } else if (a == "--manifest") {
+            manifest_path = next("--manifest");
+        } else if (a == "--trace") {
+            trace_path = next("--trace");
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next("--checkpoint");
+        } else if (a == "--resume") {
+            resume = true;
+        } else if (a == "--seed") {
+            opts.seed = std::strtoull(next("--seed").c_str(), nullptr,
+                                      10);
+        } else if (a == "--budget") {
+            const int n = std::atoi(next("--budget").c_str());
+            requireConfig(n > 0, "--budget expects a positive count");
+            opts.evalBudget = std::size_t(n);
+        } else if (a == "--batch") {
+            const int n = std::atoi(next("--batch").c_str());
+            requireConfig(n > 0, "--batch expects a positive count");
+            opts.batchSize = std::size_t(n);
+        } else if (a == "--initial") {
+            const int n = std::atoi(next("--initial").c_str());
+            requireConfig(n > 0, "--initial expects a positive count");
+            opts.initialSamples = std::size_t(n);
+        } else if (a == "--objectives") {
+            objectives_csv = next("--objectives");
+        } else if (a == "--max-seconds") {
+            max_seconds = std::atof(next("--max-seconds").c_str());
+            requireConfig(max_seconds > 0.0,
+                          "--max-seconds expects a positive number");
+        } else if (a == "--cancel-after") {
+            const int n = std::atoi(next("--cancel-after").c_str());
+            requireConfig(n > 0,
+                          "--cancel-after expects a positive count");
+            cancel_after = std::size_t(n);
+        } else if (a == "--threads") {
+            threads = std::atoi(next("--threads").c_str());
+        } else if (a == "--axis") {
+            axes.push_back(parseAxisSpec(next("--axis")));
+        } else if (a == "--top") {
+            const int n = std::atoi(next("--top").c_str());
+            requireConfig(n > 0, "--top expects a positive count");
+            top = std::size_t(n);
+        } else if (!a.empty() && a[0] == '-') {
+            throw ConfigError("unknown search option '" + a + "'");
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            throw ConfigError("search takes one config file");
+        }
+    }
+    requireConfig(!path.empty(), "search needs a config file");
+    requireConfig(!axes.empty(),
+                  "search needs at least one --axis PATH=V1,V2,...");
+    requireConfig(!resume || !checkpoint_path.empty(),
+                  "--resume needs --checkpoint FILE");
+    if (!objectives_csv.empty())
+        opts.objectives = parseObjectives(objectives_csv);
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+    std::vector<NamedAxis> named_axes;
+    named_axes.reserve(axes.size());
+    for (const auto &[axis_path, values] : axes)
+        named_axes.push_back({axis_path, values});
+    const SweepGrid grid = sweepGridForConfig(cfg, named_axes);
+
+    opts.sweep.threads = threads;
+    if (v.progress())
+        opts.sweep.onProgress = renderProgress;
+    opts.sweep.checkpointPath = checkpoint_path;
+    opts.sweep.resume = resume;
+    opts.sweep.cancelAfterPoints = cancel_after;
+    opts.sweep.cancel.armSigint();
+    if (max_seconds > 0.0)
+        opts.sweep.cancel.cancelAfterSeconds(max_seconds);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    SearchEngine engine(cfg, opts);
+    const SearchResult r = engine.run(grid);
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    const obs::Snapshot snap = obs::snapshot();
+    if (v.stats())
+        std::fputs(snap.format().c_str(), stderr);
+
+    const std::string rendered =
+        json ? toJson(r.records) : toCsv(r.records);
+    if (out.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+    } else {
+        writeFile(out, rendered);
+        if (!v.quiet) {
+            std::printf(
+                "wrote %zu points to %s (searched %zu of %zu grid "
+                "points%s)\n",
+                r.records.size(), out.c_str(), r.stats.selected,
+                r.stats.gridPoints,
+                r.stats.cancelled ? "; partial: cancelled" : "");
+        }
+    }
+    if (r.stats.cancelled && !v.quiet) {
+        std::fprintf(stderr,
+                     "neurometer: search cancelled after %zu points%s\n",
+                     r.stats.selected,
+                     checkpoint_path.empty()
+                         ? ""
+                         : "; rerun with --resume to finish");
+    }
+    const std::vector<Objective> objs =
+        opts.objectives.empty() ? searchObjectives() : opts.objectives;
+    if (top > 0)
+        printTopK(r.records, objs, top, out.empty() ? stderr : stdout);
+
+    if (manifest_path.empty() && !out.empty())
+        manifest_path = out + ".manifest.json";
+    if (!manifest_path.empty()) {
+        std::string objectives_json = "[";
+        for (std::size_t i = 0; i < objs.size(); ++i)
+            objectives_json +=
+                (i ? ", " : "") +
+                obs::jsonQuote(objs[i].name +
+                               (objs[i].maximize ? ":max" : ":min"));
+        objectives_json += "]";
+
+        std::string frontier_json = "[";
+        for (std::size_t i = 0; i < r.frontier.size(); ++i)
+            frontier_json += (i ? ", " : "") +
+                             std::to_string(r.frontier[i]);
+        frontier_json += "]";
+
+        const char *termination =
+            r.stats.cancelled          ? "cancelled"
+            : r.stats.budgetExhausted  ? "budget"
+            : r.stats.spaceExhausted   ? "space"
+            : r.stats.stagnated        ? "stagnated"
+                                       : "unknown";
+
+        obs::ManifestBuilder m = obs::runManifest(
+            "neurometer search", commandLine("search", args));
+        m.set("config_file", path)
+            .set("config", cfg.toString())
+            .raw("axes", axesJson(axes))
+            .raw("objectives", objectives_json)
+            .set("seed", std::int64_t(opts.seed))
+            .set("threads",
+                 std::int64_t(engine.pool().numThreads()))
+            .set("grid_points", std::int64_t(r.stats.gridPoints))
+            .set("evals", std::int64_t(r.stats.selected))
+            .set("rounds", std::int64_t(r.stats.rounds))
+            .set("points_restored", std::int64_t(r.stats.restored))
+            .set("points_failed", std::int64_t(r.stats.failed))
+            .set("cache_hits", std::int64_t(r.stats.cacheHits))
+            .set("hypervolume", r.stats.hypervolume)
+            .set("termination", termination)
+            .set("frontier_size", std::int64_t(r.frontier.size()))
+            .raw("frontier", frontier_json)
+            .set("cancelled", r.stats.cancelled)
+            .set("output", out.empty() ? "<stdout>" : out)
+            .set("format", json ? "json" : "csv")
+            .set("elapsed_s", elapsed_s)
+            .raw("metrics", snap.toJson());
+        obs::writeTextFile(manifest_path, m.str());
+        if (!v.quiet)
+            std::printf("manifest: %s\n", manifest_path.c_str());
+    }
+
+    if (trace_path.empty() && !out.empty() && obs::traceCompiledIn)
+        trace_path = out + ".trace.json";
+    if (!trace_path.empty() && obs::traceCompiledIn) {
+        obs::writeTextFile(trace_path, obs::traceToJson());
+        if (!v.quiet) {
+            std::printf("trace: %s (%llu events; open in "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        trace_path.c_str(),
+                        static_cast<unsigned long long>(
+                            obs::traceEventCount()));
+        }
+    }
+
+    if (r.stats.cancelled)
+        return 3;
+    if (r.stats.selected > 0 && r.stats.failed == r.stats.selected)
         return 4;
     return 0;
 }
@@ -656,6 +965,8 @@ main(int argc, char **argv)
             return cmdEval(args);
         if (cmd == "sweep")
             return cmdSweep(args, v);
+        if (cmd == "search")
+            return cmdSearch(args, v);
         if (cmd == "simulate")
             return cmdSimulate(args);
         if (cmd == "metrics")
