@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/io.hh"
+#include "obs/events.hh"
 #include "obs/manifest.hh"
 
 namespace neurometer {
@@ -240,6 +241,9 @@ SweepCheckpoint::flushLocked()
         out += entryLine(e) + "\n";
     writeFileAtomic(_path, out);
     _sinceFlush = 0;
+    obs::recordEvent(obs::EventSeverity::Info, "checkpoint.flush", "",
+                     _path + ": " + std::to_string(_entries.size()) +
+                         " entries");
 }
 
 std::size_t

@@ -83,7 +83,8 @@ EvalCache::getOrCompute(const ChipConfig &cfg,
     lk.unlock();
     // Per-instance counters feed stats(); the process-wide registry
     // gets the union of every EvalCache in the process.
-    static const obs::Counter reg_hits = obs::counter("eval_cache.hits");
+    static const obs::Counter reg_hits = obs::counter(
+        "eval_cache.hits", "memoized full-chip evaluations reused");
     static const obs::Counter reg_misses =
         obs::counter("eval_cache.misses");
     if (computed_here) {

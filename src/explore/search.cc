@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "explore/checkpoint.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -538,6 +539,7 @@ SearchEngine::run(const SweepGrid &grid)
                     return;
                 EvalRecord &r = res.records[base_i + j];
                 obs::TraceScope span("search.point", ks[j]);
+                const auto p0 = std::chrono::steady_clock::now();
                 try {
                     r.metrics = _cache->evaluate(cfgs[j]);
                     r.why = classify(r.metrics, sw.constraints);
@@ -547,6 +549,21 @@ SearchEngine::run(const SweepGrid &grid)
                     r.why = classify(r.metrics, sw.constraints);
                     r.status = PointStatus::Failed;
                     r.error = captureCurrentException("search.eval");
+                    obs::recordEvent(obs::EventSeverity::Error,
+                                     "search.point_failed",
+                                     sw.requestId,
+                                     pointLabel(r) + ": " +
+                                         r.error.message);
+                }
+                const double point_s =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - p0)
+                        .count();
+                if (obs::recordSlowOp("search.point", pointLabel(r),
+                                      point_s, sw.requestId) == 0) {
+                    obs::recordEvent(obs::EventSeverity::Info,
+                                     "search.slow_point", sw.requestId,
+                                     pointLabel(r));
                 }
                 evals_ctr.inc();
                 if (ckpt)
@@ -679,6 +696,10 @@ SearchEngine::run(const SweepGrid &grid)
 
         if (sw.cancel.cancelled()) {
             res.stats.cancelled = true;
+            obs::recordEvent(obs::EventSeverity::Warn,
+                             "search.cancelled", sw.requestId,
+                             std::to_string(res.records.size()) +
+                                 " points evaluated before cancel");
             break;
         }
         // Space beats budget when both hold: "every grid point was

@@ -10,10 +10,20 @@
 #include "chip/config_schema.hh"
 #include "circuit/arith.hh"
 #include "explore/checkpoint.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace neurometer {
+
+std::string
+pointLabel(const EvalRecord &r)
+{
+    std::string label = r.point.str();
+    for (const auto &[path, value] : r.named)
+        label += " " + path + "=" + value;
+    return label;
+}
 
 const char *
 pointStatusStr(PointStatus s)
@@ -277,16 +287,18 @@ SweepEngine::run(const SweepGrid &grid)
         cfgs.push_back(std::move(p.config));
     }
 
-    static const obs::Counter runs = obs::counter("sweep.runs");
-    static const obs::Counter points = obs::counter("sweep.points");
+    static const obs::Counter runs =
+        obs::counter("sweep.runs", "sweep engine runs started");
+    static const obs::Counter points = obs::counter(
+        "sweep.points", "design points evaluated by sweep runs");
     static const obs::Counter points_ok =
         obs::counter("sweep.points.ok");
-    static const obs::Counter points_failed =
-        obs::counter("sweep.points.failed");
-    static const obs::Counter points_restored =
-        obs::counter("sweep.points.restored");
-    static const obs::Histogram point_hist =
-        obs::histogram("sweep.point_s");
+    static const obs::Counter points_failed = obs::counter(
+        "sweep.points.failed", "sweep points isolated as failed");
+    static const obs::Counter points_restored = obs::counter(
+        "sweep.points.restored", "points restored from a checkpoint");
+    static const obs::Histogram point_hist = obs::histogram(
+        "sweep.point_s", "per-point evaluation wall-clock in seconds");
     runs.inc();
     obs::TraceScope run_span("sweep.run", records.size());
 
@@ -365,7 +377,7 @@ SweepEngine::run(const SweepGrid &grid)
             if (restored[i])
                 return; // resumed from the checkpoint, bit-identical
             obs::TraceScope span("sweep.point", i);
-            obs::ScopedTimer timer(point_hist);
+            const clock::time_point p0 = clock::now();
             try {
                 records[i].metrics = _cache->evaluate(cfgs[i]);
                 records[i].why =
@@ -382,6 +394,22 @@ SweepEngine::run(const SweepGrid &grid)
                 records[i].error =
                     captureCurrentException("sweep.eval");
                 points_failed.inc();
+                obs::recordEvent(obs::EventSeverity::Error,
+                                 "sweep.point_failed", _opts.requestId,
+                                 pointLabel(records[i]) + ": " +
+                                     records[i].error.message);
+            }
+            const double point_s =
+                std::chrono::duration<double>(clock::now() - p0)
+                    .count();
+            point_hist.record(point_s);
+            // Slow-point attribution: keep the worst evaluations (with
+            // the requesting id) queryable from /statusz and manifests.
+            if (obs::recordSlowOp("sweep.point", pointLabel(records[i]),
+                                  point_s, _opts.requestId) == 0) {
+                obs::recordEvent(obs::EventSeverity::Info,
+                                 "sweep.slow_point", _opts.requestId,
+                                 pointLabel(records[i]));
             }
             points.inc();
             if (ckpt) {
@@ -433,6 +461,13 @@ SweepEngine::run(const SweepGrid &grid)
     _lastRun.evaluated = evaluated.load();
     _lastRun.cancelled =
         _opts.cancel.cancelled() && _lastRun.notEvaluated > 0;
+    if (_lastRun.cancelled) {
+        obs::recordEvent(obs::EventSeverity::Warn, "sweep.cancelled",
+                         _opts.requestId,
+                         std::to_string(_lastRun.notEvaluated) + " of " +
+                             std::to_string(_lastRun.total) +
+                             " points not evaluated");
+    }
 
     if (_opts.onProgress)
         report(done.load());

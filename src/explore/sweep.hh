@@ -136,6 +136,10 @@ struct EvalRecord
     bool operator==(const EvalRecord &) const = default;
 };
 
+/** Human label for a record: the (X,N,Tx,Ty) tuple plus any
+ *  named-axis coordinates — slow-point attribution and event text. */
+std::string pointLabel(const EvalRecord &r);
+
 /** One materialized grid point: the record skeleton (coordinates
  *  filled in, status NotEvaluated) and the config to evaluate. */
 struct GridPoint
@@ -253,6 +257,14 @@ struct SweepOptions
     /** Checkpoint rewrite cadence, in completed points. */
     std::size_t checkpointEveryN = 32;
     /** @} */
+
+    /**
+     * Attribution tag for the observability plane: the serve daemon
+     * sets this to the request id ("r42") that asked for the run, and
+     * the engine stamps it onto slow-point records and flight-recorder
+     * events (obs/events.hh). Empty for CLI/library runs.
+     */
+    std::string requestId{};
 
     /** @name Shared-service hookup (see serve/server.hh)
      * A long-lived host (the serve daemon) passes its process-wide

@@ -1,0 +1,220 @@
+#include "obs/events.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+
+namespace neurometer::obs {
+
+namespace {
+
+struct EventState
+{
+    std::mutex mu;
+    std::vector<Event> ring; ///< ring buffer, capacity kEventCapacity
+    std::size_t next = 0;    ///< overwrite position once full
+    std::uint64_t seq = 0;   ///< total ever recorded
+    std::vector<SlowOp> slow; ///< sorted slowest-first, ≤ kSlowOpCapacity
+};
+
+EventState &
+eventState()
+{
+    // Leaked like the metrics registry: engine worker threads may
+    // record events during static destruction.
+    static EventState *s = new EventState;
+    return *s;
+}
+
+std::int64_t
+nowWallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+const char *
+eventSeverityStr(EventSeverity sev)
+{
+    switch (sev) {
+    case EventSeverity::Warn:
+        return "warn";
+    case EventSeverity::Error:
+        return "error";
+    case EventSeverity::Info:
+        break;
+    }
+    return "info";
+}
+
+void
+recordEvent(EventSeverity sev, const std::string &type,
+            const std::string &request_id, const std::string &detail)
+{
+    static const Counter recorded = counter(
+        "obs.events.recorded", "flight-recorder events recorded (ring "
+                               "keeps the most recent 512)");
+    Event e;
+    e.wallMs = nowWallMs();
+    e.severity = sev;
+    e.type = type;
+    e.requestId = request_id;
+    e.detail = detail;
+
+    EventState &s = eventState();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        e.seq = ++s.seq;
+        if (s.ring.size() < kEventCapacity) {
+            s.ring.push_back(std::move(e));
+        } else {
+            s.ring[s.next] = std::move(e);
+            s.next = (s.next + 1) % kEventCapacity;
+        }
+    }
+    recorded.inc();
+}
+
+std::vector<Event>
+recentEvents(std::size_t max_n)
+{
+    EventState &s = eventState();
+    std::vector<Event> out;
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        out.reserve(s.ring.size());
+        // Oldest-first: from the overwrite cursor around the ring.
+        for (std::size_t i = 0; i < s.ring.size(); ++i)
+            out.push_back(s.ring[(s.next + i) % s.ring.size()]);
+    }
+    if (max_n != 0 && out.size() > max_n)
+        out.erase(out.begin(), out.end() - std::ptrdiff_t(max_n));
+    return out;
+}
+
+std::uint64_t
+eventsRecorded()
+{
+    EventState &s = eventState();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.seq;
+}
+
+void
+clearEvents()
+{
+    EventState &s = eventState();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.ring.clear();
+    s.next = 0;
+    s.seq = 0;
+}
+
+std::string
+eventJson(const Event &e)
+{
+    std::string out = "{";
+    out += "\"seq\": " + std::to_string(e.seq);
+    out += ", \"wall_ms\": " + std::to_string(e.wallMs);
+    out += ", \"severity\": " +
+           jsonQuote(eventSeverityStr(e.severity));
+    out += ", \"type\": " + jsonQuote(e.type);
+    out += ", \"request_id\": " + jsonQuote(e.requestId);
+    out += ", \"detail\": " + jsonQuote(e.detail);
+    out += "}";
+    return out;
+}
+
+std::string
+eventsJson(std::size_t max_n)
+{
+    const std::vector<Event> tail = recentEvents(max_n);
+    std::string out = "[";
+    for (std::size_t i = 0; i < tail.size(); ++i)
+        out += (i ? ", " : "") + eventJson(tail[i]);
+    out += "]";
+    return out;
+}
+
+std::string
+eventsToJsonl()
+{
+    std::string out;
+    for (const Event &e : recentEvents())
+        out += eventJson(e) + "\n";
+    return out;
+}
+
+void
+dumpFlightRecorder(const std::string &path)
+{
+    writeTextFile(path, eventsToJsonl());
+}
+
+// ---------------------------------------------------------------------
+
+int
+recordSlowOp(const std::string &site, const std::string &label,
+             double seconds, const std::string &request_id)
+{
+    EventState &s = eventState();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.slow.size() >= kSlowOpCapacity &&
+        seconds <= s.slow.back().seconds)
+        return -1;
+    SlowOp op;
+    op.site = site;
+    op.label = label;
+    op.seconds = seconds;
+    op.requestId = request_id;
+    const auto pos = std::upper_bound(
+        s.slow.begin(), s.slow.end(), op,
+        [](const SlowOp &a, const SlowOp &b) { return a.seconds > b.seconds; });
+    const int rank = int(pos - s.slow.begin());
+    s.slow.insert(pos, std::move(op));
+    if (s.slow.size() > kSlowOpCapacity)
+        s.slow.pop_back();
+    return rank;
+}
+
+std::vector<SlowOp>
+slowOps()
+{
+    EventState &s = eventState();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.slow;
+}
+
+void
+clearSlowOps()
+{
+    EventState &s = eventState();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.slow.clear();
+}
+
+std::string
+slowOpsJson()
+{
+    const std::vector<SlowOp> ops = slowOps();
+    std::string out = "[";
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const SlowOp &op = ops[i];
+        out += i ? ", {" : "{";
+        out += "\"site\": " + jsonQuote(op.site);
+        out += ", \"label\": " + jsonQuote(op.label);
+        out += ", \"seconds\": " + jsonNum(op.seconds);
+        out += ", \"request_id\": " + jsonQuote(op.requestId);
+        out += "}";
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace neurometer::obs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Flight recorder: a process-wide fixed-size ring of structured
+ * events (request lifecycle, point failures, cancellations,
+ * checkpoint flushes, slow-point records) with severity, wall-clock
+ * timestamp, and the serve request id the work was attributed to.
+ *
+ * The ring keeps the last kEventCapacity events; older ones are
+ * overwritten (total recorded count stays queryable). It is meant for
+ * "what was the daemon doing just before X" questions: /statusz
+ * renders the tail, run manifests embed the tail, and `neurometer
+ * serve --flight-recorder FILE` dumps the whole ring as JSONL on
+ * shutdown or a fatal error.
+ *
+ * The same file hosts the slow-op tracker: a bounded worst-N list of
+ * the most expensive point evaluations (by wall-clock), labelled with
+ * the design point and request id, so "which config is eating the
+ * sweep" is answerable live from /statusz and post-hoc from
+ * manifests.
+ *
+ * Writes take one short mutex (no allocation beyond the strings being
+ * stored); this is for events that happen at most a few thousand
+ * times per run, not per-MAC hot paths — use obs::Counter there.
+ */
+
+#ifndef NEUROMETER_OBS_EVENTS_HH
+#define NEUROMETER_OBS_EVENTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neurometer::obs {
+
+/** Events kept in the ring before overwrite. */
+inline constexpr std::size_t kEventCapacity = 512;
+
+/** Worst evaluations retained by the slow-op tracker. */
+inline constexpr std::size_t kSlowOpCapacity = 10;
+
+enum class EventSeverity { Info, Warn, Error };
+
+/** "info" / "warn" / "error". */
+const char *eventSeverityStr(EventSeverity sev);
+
+/** One flight-recorder entry. */
+struct Event
+{
+    std::uint64_t seq = 0;     ///< 1-based monotonic sequence number
+    std::int64_t wallMs = 0;   ///< unix epoch milliseconds
+    EventSeverity severity = EventSeverity::Info;
+    std::string type;      ///< dotted kind, e.g. "request.start"
+    std::string requestId; ///< serve request id ("r42"), may be empty
+    std::string detail;    ///< free-form human text
+};
+
+/** Append to the ring (thread-safe). */
+void recordEvent(EventSeverity sev, const std::string &type,
+                 const std::string &request_id, const std::string &detail);
+
+/** Last events, oldest first; max_n = 0 means the whole ring. */
+std::vector<Event> recentEvents(std::size_t max_n = 0);
+
+/** Total events ever recorded (including overwritten ones). */
+std::uint64_t eventsRecorded();
+
+/** Drop all buffered events and reset the sequence (tests). */
+void clearEvents();
+
+/** One event as a compact JSON object. */
+std::string eventJson(const Event &e);
+
+/** Tail of the ring as a JSON array (for manifests). */
+std::string eventsJson(std::size_t max_n = 0);
+
+/** Whole ring as JSON-lines text, one event per line. */
+std::string eventsToJsonl();
+
+/** Atomically write eventsToJsonl() to `path`; throws IoError. */
+void dumpFlightRecorder(const std::string &path);
+
+// ---------------------------------------------------------------------
+// Slow-op tracker
+
+/** One expensive evaluation, as ranked by the tracker. */
+struct SlowOp
+{
+    std::string site;      ///< where it ran: "sweep.point", "search.point"
+    std::string label;     ///< design point / config description
+    double seconds = 0.0;  ///< eval wall-clock
+    std::string requestId; ///< serve request id, may be empty
+};
+
+/**
+ * Offer an evaluation to the worst-N tracker. Returns the 0-based
+ * rank it entered at (0 = new slowest overall) or -1 when it was not
+ * slow enough to be tracked. Engines record a flight-recorder event
+ * only for rank 0, so "new slowest point" events stay rare.
+ */
+int recordSlowOp(const std::string &site, const std::string &label,
+                 double seconds, const std::string &request_id);
+
+/** Current worst evaluations, slowest first. */
+std::vector<SlowOp> slowOps();
+
+/** Forget all tracked slow ops (tests, per-run manifests). */
+void clearSlowOps();
+
+/** slowOps() as a JSON array (for manifests and /statusz tooling). */
+std::string slowOpsJson();
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_OBS_EVENTS_HH

@@ -1,0 +1,128 @@
+#include "obs/exposition.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace neurometer::obs {
+
+namespace {
+
+bool
+isNameChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** One full metric family: optional HELP, TYPE, then sample lines. */
+void
+family(std::string &out, const Snapshot &snap, const std::string &raw_name,
+       const std::string &exposed, const char *type,
+       const std::string &samples)
+{
+    if (const std::string *d = snap.doc(raw_name))
+        out += "# HELP " + exposed + " " + escapeHelp(*d) + "\n";
+    out += "# TYPE " + exposed + " ";
+    out += type;
+    out += "\n";
+    out += samples;
+}
+
+/** Short float for `le` labels: bucket bounds are powers of two in
+ *  nanoseconds, %g keeps them unambiguous and readable. */
+std::string
+leBound(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name)
+        out += isNameChar(c) ? c : '_';
+    if (out.empty())
+        out = "_";
+    if (std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+escapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+promValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0.0 ? "+Inf" : "-Inf";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+renderPrometheus(const Snapshot &snap)
+{
+    std::string out;
+    out.reserve(4096);
+
+    for (const auto &[name, v] : snap.counters) {
+        const std::string exposed = sanitizeMetricName(name) + "_total";
+        family(out, snap, name, exposed, "counter",
+               exposed + " " + std::to_string(v) + "\n");
+    }
+
+    for (const auto &[name, v] : snap.hitRates()) {
+        const std::string exposed = sanitizeMetricName(name);
+        family(out, snap, name, exposed, "gauge",
+               exposed + " " + promValue(v) + "\n");
+    }
+
+    for (const auto &[name, v] : snap.gauges) {
+        const std::string exposed = sanitizeMetricName(name);
+        family(out, snap, name, exposed, "gauge",
+               exposed + " " + promValue(v) + "\n");
+    }
+
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string exposed = sanitizeMetricName(name);
+        std::string samples;
+        std::uint64_t cum = 0;
+        for (const auto &[upper_s, n] : h.buckets) {
+            cum += n;
+            samples += exposed + "_bucket{le=\"" + leBound(upper_s) +
+                       "\"} " + std::to_string(cum) + "\n";
+        }
+        samples += exposed + "_bucket{le=\"+Inf\"} " +
+                   std::to_string(h.count) + "\n";
+        samples += exposed + "_sum " + promValue(h.sumS) + "\n";
+        samples += exposed + "_count " + std::to_string(h.count) + "\n";
+        family(out, snap, name, exposed, "histogram", samples);
+    }
+
+    return out;
+}
+
+} // namespace neurometer::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for metric snapshots.
+ *
+ * renderPrometheus() turns an obs::Snapshot into the line protocol a
+ * Prometheus/VictoriaMetrics scraper expects: counters become
+ * `<name>_total`, derived hit rates and gauges become plain gauges
+ * (non-finite values use the NaN/+Inf/-Inf literals), and histograms
+ * expand into cumulative `_bucket{le="..."}` series plus `_sum` and
+ * `_count`. Dotted metric names are sanitized into the metric-name
+ * charset `[a-zA-Z_:][a-zA-Z0-9_:]*`, and registration docs (see
+ * Registry::counter(name, doc)) surface as `# HELP` lines.
+ *
+ * The serve daemon's GET /metrics endpoint is the main consumer; the
+ * format is also what `neurometer metrics --url` prints.
+ */
+
+#ifndef NEUROMETER_OBS_EXPOSITION_HH
+#define NEUROMETER_OBS_EXPOSITION_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace neurometer::obs {
+
+/** Content-Type header value for the exposition body. */
+inline constexpr const char *kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/**
+ * Map an internal dotted metric name onto the Prometheus charset:
+ * every character outside [a-zA-Z0-9_] becomes '_', a leading digit
+ * gains a '_' prefix, and an empty name becomes "_".
+ */
+std::string sanitizeMetricName(const std::string &name);
+
+/** Escape HELP text: backslashes and newlines per the format spec. */
+std::string escapeHelp(const std::string &text);
+
+/** Render one sample value: NaN / +Inf / -Inf literals, else %.17g. */
+std::string promValue(double v);
+
+/** Render the whole snapshot as exposition text (trailing newline). */
+std::string renderPrometheus(const Snapshot &snap);
+
+} // namespace neurometer::obs
+
+#endif // NEUROMETER_OBS_EXPOSITION_HH

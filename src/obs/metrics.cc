@@ -47,6 +47,9 @@ struct State
     std::vector<std::string> counterNames;
     std::vector<std::string> gaugeNames;
     std::vector<std::string> histNames;
+    std::vector<std::string> counterDocs;
+    std::vector<std::string> gaugeDocs;
+    std::vector<std::string> histDocs;
     std::vector<std::shared_ptr<Shard>> shards;
     std::array<std::atomic<double>, kMaxGauges> gauges{};
 };
@@ -77,16 +80,22 @@ localShard()
 }
 
 std::uint32_t
-intern(std::vector<std::string> &names, const std::string &name,
-       std::uint32_t cap, const char *kind)
+intern(std::vector<std::string> &names, std::vector<std::string> &docs,
+       const std::string &name, const std::string &doc, std::uint32_t cap,
+       const char *kind)
 {
-    for (std::uint32_t i = 0; i < names.size(); ++i)
-        if (names[i] == name)
+    for (std::uint32_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name) {
+            if (docs[i].empty() && !doc.empty())
+                docs[i] = doc;
             return i;
+        }
+    }
     requireModel(names.size() < cap,
                  std::string("obs: too many registered ") + kind +
                      " metrics (cap " + std::to_string(cap) + ")");
     names.push_back(name);
+    docs.push_back(doc);
     return std::uint32_t(names.size() - 1);
 }
 
@@ -186,27 +195,30 @@ Histogram::record(double seconds) const
 }
 
 Counter
-Registry::counter(const std::string &name)
+Registry::counter(const std::string &name, const std::string &doc)
 {
     State &s = state();
     std::lock_guard<std::mutex> lk(s.mu);
-    return Counter(intern(s.counterNames, name, kMaxCounters, "counter"));
+    return Counter(intern(s.counterNames, s.counterDocs, name, doc,
+                          kMaxCounters, "counter"));
 }
 
 Gauge
-Registry::gauge(const std::string &name)
+Registry::gauge(const std::string &name, const std::string &doc)
 {
     State &s = state();
     std::lock_guard<std::mutex> lk(s.mu);
-    return Gauge(intern(s.gaugeNames, name, kMaxGauges, "gauge"));
+    return Gauge(
+        intern(s.gaugeNames, s.gaugeDocs, name, doc, kMaxGauges, "gauge"));
 }
 
 Histogram
-Registry::histogram(const std::string &name)
+Registry::histogram(const std::string &name, const std::string &doc)
 {
     State &s = state();
     std::lock_guard<std::mutex> lk(s.mu);
-    return Histogram(intern(s.histNames, name, kMaxHistograms, "histogram"));
+    return Histogram(intern(s.histNames, s.histDocs, name, doc,
+                            kMaxHistograms, "histogram"));
 }
 
 Snapshot
@@ -214,16 +226,29 @@ Registry::snapshot() const
 {
     State &s = state();
     std::vector<std::string> counter_names, gauge_names, hist_names;
+    std::vector<std::string> counter_docs, gauge_docs, hist_docs;
     std::vector<std::shared_ptr<Shard>> shards;
     {
         std::lock_guard<std::mutex> lk(s.mu);
         counter_names = s.counterNames;
         gauge_names = s.gaugeNames;
         hist_names = s.histNames;
+        counter_docs = s.counterDocs;
+        gauge_docs = s.gaugeDocs;
+        hist_docs = s.histDocs;
         shards = s.shards;
     }
 
     Snapshot snap;
+    auto keep_docs = [&snap](const std::vector<std::string> &names,
+                             const std::vector<std::string> &docs) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            if (!docs[i].empty())
+                snap.docs.emplace_back(names[i], docs[i]);
+    };
+    keep_docs(counter_names, counter_docs);
+    keep_docs(gauge_names, gauge_docs);
+    keep_docs(hist_names, hist_docs);
     snap.counters.reserve(counter_names.size());
     for (std::uint32_t i = 0; i < counter_names.size(); ++i) {
         std::uint64_t sum = 0;
@@ -259,6 +284,12 @@ Registry::snapshot() const
         hs.sumS = double(sum_ns) * 1e-9;
         hs.minS = count == 0 ? 0.0 : double(min_ns) * 1e-9;
         hs.maxS = double(max_ns) * 1e-9;
+        for (std::uint32_t b = 0; b < kBuckets; ++b)
+            if (buckets[b] != 0)
+                hs.buckets.emplace_back(bucketUpperS(b), buckets[b]);
+        // Quantile = linear interpolation within the containing
+        // power-of-two bucket, clamped to the observed [min, max] so
+        // a one-sample histogram reports the sample itself.
         auto quantile = [&](double q) {
             if (count == 0)
                 return 0.0;
@@ -266,9 +297,17 @@ Registry::snapshot() const
                 std::max(1.0, std::ceil(q * double(count))));
             std::uint64_t cum = 0;
             for (std::uint32_t b = 0; b < kBuckets; ++b) {
+                if (buckets[b] == 0)
+                    continue;
+                if (cum + buckets[b] >= target) {
+                    const double lo = b == 0 ? 0.0 : bucketUpperS(b - 1);
+                    const double hi = bucketUpperS(b);
+                    const double frac =
+                        double(target - cum) / double(buckets[b]);
+                    const double v = lo + frac * (hi - lo);
+                    return std::min(std::max(v, hs.minS), hs.maxS);
+                }
                 cum += buckets[b];
-                if (cum >= target)
-                    return std::min(bucketUpperS(b), hs.maxS);
             }
             return hs.maxS;
         };
@@ -284,6 +323,7 @@ Registry::snapshot() const
     std::sort(snap.counters.begin(), snap.counters.end(), by_name);
     std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
     std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+    std::sort(snap.docs.begin(), snap.docs.end(), by_name);
     return snap;
 }
 
@@ -326,6 +366,15 @@ Snapshot::counter(const std::string &name) const
         if (n == name)
             return v;
     return 0;
+}
+
+const std::string *
+Snapshot::doc(const std::string &name) const
+{
+    for (const auto &[n, d] : docs)
+        if (n == name)
+            return &d;
+    return nullptr;
 }
 
 std::vector<std::pair<std::string, double>>

@@ -19,9 +19,10 @@
  *   hits.inc();
  *
  * Histograms record durations in seconds into power-of-two nanosecond
- * buckets; quantiles reported by a snapshot are bucket upper bounds
- * (≤ 2x over-estimates, which is plenty for "where does wall-clock
- * go" questions — use the tracer for exact per-span timings).
+ * buckets; quantiles reported by a snapshot interpolate linearly
+ * within the containing bucket (clamped to the observed min/max), so
+ * they are estimates bounded by the bucket width — use the tracer for
+ * exact per-span timings.
  */
 
 #ifndef NEUROMETER_OBS_METRICS_HH
@@ -79,12 +80,15 @@ struct HistogramSnapshot
     double sumS = 0.0;
     double minS = 0.0;
     double maxS = 0.0;
-    /** @name Bucket-upper-bound quantiles (see file comment) */
+    /** @name Within-bucket interpolated quantiles (see file comment) */
     /** @{ */
     double p50S = 0.0;
     double p90S = 0.0;
     double p99S = 0.0;
     /** @} */
+    /** Non-empty buckets, ascending: (upper bound in seconds, count).
+     *  Exposition renders these as cumulative `_bucket` series. */
+    std::vector<std::pair<double, std::uint64_t>> buckets;
 
     double meanS() const { return count == 0 ? 0.0 : sumS / double(count); }
 };
@@ -99,9 +103,15 @@ struct Snapshot
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    /** (name, help text) for every metric registered with a doc,
+     *  sorted by name; exposition renders them as HELP lines. */
+    std::vector<std::pair<std::string, std::string>> docs;
 
     /** Value of a counter, or 0 when it was never registered. */
     std::uint64_t counter(const std::string &name) const;
+
+    /** Help text registered for `name`, or nullptr. */
+    const std::string *doc(const std::string &name) const;
 
     /**
      * Derived ratios: for every counter pair `<base>.hits` /
@@ -123,10 +133,13 @@ class Registry
 {
   public:
     /** Intern `name` (registering it on first use) -> stable handle.
-     *  The same name always resolves to the same underlying metric. */
-    Counter counter(const std::string &name);
-    Gauge gauge(const std::string &name);
-    Histogram histogram(const std::string &name);
+     *  The same name always resolves to the same underlying metric.
+     *  A non-empty `doc` becomes the metric's help text (first writer
+     *  wins; later registrations may fill in a missing doc). */
+    Counter counter(const std::string &name, const std::string &doc = "");
+    Gauge gauge(const std::string &name, const std::string &doc = "");
+    Histogram histogram(const std::string &name,
+                        const std::string &doc = "");
 
     /** Merge every shard into a consistent-enough point-in-time view
      *  (individual cells are read with relaxed atomics). */
@@ -150,17 +163,18 @@ Registry &registry();
 
 /** @name Convenience: registry().counter(name) etc. */
 /** @{ */
-inline Counter counter(const std::string &name)
+inline Counter counter(const std::string &name, const std::string &doc = "")
 {
-    return registry().counter(name);
+    return registry().counter(name, doc);
 }
-inline Gauge gauge(const std::string &name)
+inline Gauge gauge(const std::string &name, const std::string &doc = "")
 {
-    return registry().gauge(name);
+    return registry().gauge(name, doc);
 }
-inline Histogram histogram(const std::string &name)
+inline Histogram histogram(const std::string &name,
+                           const std::string &doc = "")
 {
-    return registry().histogram(name);
+    return registry().histogram(name, doc);
 }
 inline Snapshot snapshot()
 {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/manifest.hh"
+#include "obs/metrics.hh"
 
 namespace neurometer::obs {
 
@@ -101,6 +102,13 @@ RealTraceScope::~RealTraceScope()
         b.ring.push_back({_name, _arg, _startNs, end - _startNs});
         b.next = b.ring.size() % kRingCapacity;
     } else {
+        // Overwriting the oldest span: the exported Chrome trace is
+        // silently truncated, so make the loss countable.
+        static const Counter dropped = counter(
+            "obs.trace.dropped_spans",
+            "trace spans overwritten by per-thread ring overflow (the "
+            "exported Chrome trace is missing these)");
+        dropped.inc();
         b.ring[b.next] = {_name, _arg, _startNs, end - _startNs};
         b.next = (b.next + 1) % kRingCapacity;
     }

@@ -1,0 +1,139 @@
+#include "serve/http.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "common/error.hh"
+#include "serve/net.hh"
+
+namespace neurometer::serve {
+
+namespace {
+
+/** Verbs whose request lines flip a connection into HTTP mode. The
+ *  JSON protocol's lines always start with '{', so any of these
+ *  prefixes is unambiguous. */
+const char *const kHttpVerbs[] = {"GET ", "HEAD ", "POST ", "PUT ",
+                                  "DELETE ", "OPTIONS "};
+
+} // namespace
+
+bool
+looksLikeHttp(const std::string &first_line)
+{
+    for (const char *verb : kHttpVerbs)
+        if (first_line.rfind(verb, 0) == 0)
+            return true;
+    return false;
+}
+
+bool
+parseHttpRequestLine(const std::string &line, HttpRequest &out)
+{
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos)
+        return false;
+    out.method = line.substr(0, sp1);
+    out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    out.version = line.substr(sp2 + 1);
+    if (out.method.empty() || out.target.empty() ||
+        out.version.rfind("HTTP/", 0) != 0)
+        return false;
+    const std::size_t query = out.target.find('?');
+    if (query != std::string::npos)
+        out.target.erase(query);
+    return true;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    default:
+        return "Internal Server Error";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &content_type,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      httpStatusText(status) + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+HttpReply
+httpGet(std::uint16_t port, const std::string &target, int timeout_ms)
+{
+    Fd fd = connectLocal(port);
+    const std::string req = "GET " + target +
+                            " HTTP/1.1\r\nHost: 127.0.0.1:" +
+                            std::to_string(port) +
+                            "\r\nConnection: close\r\n\r\n";
+    writeAll(fd.get(), req.data(), req.size());
+
+    // The server always closes after one response: read to EOF.
+    std::string raw;
+    for (;;) {
+        struct pollfd p;
+        p.fd = fd.get();
+        p.events = POLLIN;
+        p.revents = 0;
+        int rc;
+        do {
+            rc = ::poll(&p, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0)
+            throw IoError(std::string("poll: ") + std::strerror(errno));
+        if (rc == 0)
+            throw IoError("http get " + target + ": response timed out");
+        char chunk[65536];
+        ssize_t r;
+        do {
+            r = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+        } while (r < 0 && errno == EINTR);
+        if (r < 0)
+            throw IoError(std::string("recv: ") + std::strerror(errno));
+        if (r == 0)
+            break;
+        raw.append(chunk, std::size_t(r));
+    }
+
+    const std::size_t head_end = raw.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        throw IoError("http get " + target + ": malformed response");
+    const std::size_t line_end = raw.find("\r\n");
+    const std::string status_line = raw.substr(0, line_end);
+    // "HTTP/1.1 200 OK"
+    const std::size_t sp = status_line.find(' ');
+    if (status_line.rfind("HTTP/", 0) != 0 || sp == std::string::npos)
+        throw IoError("http get " + target + ": bad status line \"" +
+                      status_line + "\"");
+    HttpReply reply;
+    reply.status = std::atoi(status_line.c_str() + sp + 1);
+    reply.body = raw.substr(head_end + 4);
+    return reply;
+}
+
+} // namespace neurometer::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 for the observability plane — just enough for a
+ * scraper (Prometheus, curl) to GET /metrics, /health, and /statusz
+ * from the serve daemon's existing listener.
+ *
+ * The daemon speaks newline-framed JSON by default; the connection
+ * loop sniffs the first line and, when it looks like an HTTP request
+ * line ("GET /metrics HTTP/1.1"), switches that connection to HTTP:
+ * headers are drained, one response is written with Content-Length,
+ * and the connection closes (`Connection: close` — scrapers reconnect
+ * per scrape, which keeps the server loop trivial). No TLS, no
+ * chunked encoding, no request bodies: observability GETs only.
+ *
+ * httpGet() is the matching loopback client, used by
+ * `neurometer metrics --url` and the tests.
+ */
+
+#ifndef NEUROMETER_SERVE_HTTP_HH
+#define NEUROMETER_SERVE_HTTP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace neurometer::serve {
+
+/** Parsed HTTP request line. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET"
+    std::string target;  ///< "/metrics" (query string stripped)
+    std::string version; ///< "HTTP/1.1"
+};
+
+/** Does this first line of a connection start an HTTP exchange? */
+bool looksLikeHttp(const std::string &first_line);
+
+/**
+ * Parse "METHOD target HTTP/x.y". Returns false on a malformed line
+ * (caller answers 400). A query string in the target is dropped.
+ */
+bool parseHttpRequestLine(const std::string &line, HttpRequest &out);
+
+/** Canonical reason phrase for the handful of statuses we emit. */
+const char *httpStatusText(int status);
+
+/** A full response: status line, standard headers, body. */
+std::string httpResponse(int status, const std::string &content_type,
+                         const std::string &body);
+
+/** Status + body of a fetched resource. */
+struct HttpReply
+{
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * Blocking GET of `target` from a daemon on 127.0.0.1:`port`. Reads
+ * until the server closes (our responses always close). Throws
+ * IoError on connect/transport failure or an unparseable response.
+ */
+HttpReply httpGet(std::uint16_t port, const std::string &target,
+                  int timeout_ms = 30000);
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_HTTP_HH

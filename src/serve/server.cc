@@ -1,6 +1,7 @@
 #include "serve/server.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "chip/config.hh"
@@ -8,8 +9,12 @@
 #include "explore/search.hh"
 #include "explore/sweep.hh"
 #include "neurometer/api.hh"
+#include "obs/events.hh"
+#include "obs/exposition.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/http.hh"
 
 namespace neurometer::serve {
 
@@ -18,7 +23,8 @@ namespace {
 obs::Gauge
 inflightGauge()
 {
-    static const obs::Gauge g = obs::gauge("serve.inflight");
+    static const obs::Gauge g = obs::gauge(
+        "serve.inflight", "eval/sweep/search requests currently admitted");
     return g;
 }
 
@@ -61,6 +67,13 @@ class InflightSlot
     std::atomic<int> &_inflight;
     bool _ok = false;
 };
+
+/** Flight-recorder request id: "r" + the monotonic request number. */
+std::string
+requestIdStr(std::uint64_t rid)
+{
+    return "r" + std::to_string(rid);
+}
 
 /** Chain a per-request token to server shutdown + optional deadline. */
 CancelToken
@@ -206,7 +219,8 @@ Server::acceptLoop()
 void
 Server::connectionLoop(Fd client)
 {
-    static const obs::Counter conns = obs::counter("serve.connections");
+    static const obs::Counter conns = obs::counter(
+        "serve.connections", "TCP connections accepted by the daemon");
     conns.inc();
     LineReader reader(client.get());
     std::string line;
@@ -231,6 +245,12 @@ Server::connectionLoop(Fd client)
             continue;
         if (st == ReadStatus::Eof)
             break;
+        if (looksLikeHttp(line)) {
+            // A scraper, not a JSON client: answer one HTTP request
+            // and close (our responses say `Connection: close`).
+            httpConnection(client, reader, line);
+            break;
+        }
         const std::string resp = dispatchLine(line);
         try {
             writeLine(client.get(), resp);
@@ -240,17 +260,164 @@ Server::connectionLoop(Fd client)
     }
 }
 
+void
+Server::httpConnection(Fd &client, LineReader &reader,
+                       const std::string &request_line)
+{
+    static const obs::Counter scrapes = obs::counter(
+        "serve.http_requests",
+        "HTTP observability requests served (/metrics, /health, "
+        "/statusz)");
+
+    // Drain the header block; an HTTP/1.1 request ends at the first
+    // empty line and we accept no bodies. Bound the header count so a
+    // hostile client cannot pin the connection thread.
+    std::string header;
+    for (int i = 0; i < 128; ++i) {
+        ReadStatus st;
+        try {
+            st = reader.readLine(header, _opts.pollIntervalMs);
+        } catch (const IoError &) {
+            return; // oversize header line: drop the client
+        }
+        if (st == ReadStatus::Eof)
+            return;
+        if (st == ReadStatus::Timeout) {
+            if (_opts.cancel.cancelled())
+                return;
+            --i;
+            continue;
+        }
+        if (header.empty())
+            break;
+    }
+
+    HttpRequest req;
+    std::string reply;
+    if (!parseHttpRequestLine(request_line, req)) {
+        reply = httpResponse(400, "text/plain; charset=utf-8",
+                             "malformed request line\n");
+    } else {
+        reply = httpReplyFor(req.method, req.target);
+    }
+    scrapes.inc();
+    try {
+        writeAll(client.get(), reply.data(), reply.size());
+    } catch (const IoError &) {
+        // scraper went away mid-response; nothing to salvage
+    }
+}
+
+std::string
+Server::httpReplyFor(const std::string &method, const std::string &target)
+{
+    obs::TraceScope span("serve.http");
+    if (method != "GET") {
+        return httpResponse(405, "text/plain; charset=utf-8",
+                            "only GET is supported\n");
+    }
+    if (target == "/metrics") {
+        return httpResponse(200, obs::kPrometheusContentType,
+                            obs::renderPrometheus(obs::snapshot()));
+    }
+    if (target == "/health") {
+        return httpResponse(200, "application/json",
+                            handleHealth() + "\n");
+    }
+    if (target == "/statusz") {
+        return httpResponse(200, "text/plain; charset=utf-8",
+                            statuszText());
+    }
+    return httpResponse(404, "text/plain; charset=utf-8",
+                        "not found; try /metrics, /health, /statusz\n");
+}
+
+std::string
+Server::statuszText()
+{
+    const obs::Snapshot snap = obs::snapshot();
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      _startTime)
+            .count();
+    char line[256];
+    std::string out = "neurometer serve - statusz\n\n";
+    std::snprintf(line, sizeof(line), "uptime_s:     %.1f\n", uptime_s);
+    out += line;
+    out += "build:        " + obs::BuildInfo::gitDescribe() + " (" +
+           obs::BuildInfo::compiler() + ", " +
+           obs::BuildInfo::buildType() + ")\n";
+    out += "port:         " + std::to_string(_port) + "\n";
+    out += "threads:      " + std::to_string(_pool.numThreads()) + "\n";
+    out += "inflight:     " + std::to_string(inflight()) + " / " +
+           std::to_string(_maxInflight) + "\n";
+    std::snprintf(
+        line, sizeof(line),
+        "requests:     ok=%llu failed=%llu rejected=%llu http=%llu\n",
+        static_cast<unsigned long long>(snap.counter("serve.requests.ok")),
+        static_cast<unsigned long long>(
+            snap.counter("serve.requests.failed")),
+        static_cast<unsigned long long>(
+            snap.counter("serve.requests.rejected")),
+        static_cast<unsigned long long>(
+            snap.counter("serve.http_requests")));
+    out += line;
+
+    const auto rates = snap.hitRates();
+    if (!rates.empty()) {
+        out += "\ncache hit rates:\n";
+        for (const auto &[name, r] : rates) {
+            std::snprintf(line, sizeof(line), "  %-32s %6.1f%%\n",
+                          name.c_str(), 100.0 * r);
+            out += line;
+        }
+    }
+
+    const std::vector<obs::SlowOp> slow = obs::slowOps();
+    if (!slow.empty()) {
+        out += "\nslow points (worst by eval wall-clock):\n";
+        for (std::size_t i = 0; i < slow.size(); ++i) {
+            std::snprintf(line, sizeof(line),
+                          "  %2zu. %10.6fs  %-6s %s [%s]\n", i + 1,
+                          slow[i].seconds,
+                          slow[i].requestId.empty()
+                              ? "-"
+                              : slow[i].requestId.c_str(),
+                          slow[i].label.c_str(), slow[i].site.c_str());
+            out += line;
+        }
+    }
+
+    const std::vector<obs::Event> events = obs::recentEvents(20);
+    std::snprintf(line, sizeof(line),
+                  "\nrecent events (%zu shown of %llu recorded):\n",
+                  events.size(),
+                  static_cast<unsigned long long>(obs::eventsRecorded()));
+    out += line;
+    for (const obs::Event &e : events) {
+        std::snprintf(line, sizeof(line),
+                      "  #%-6llu %-5s %-20s %-6s %s\n",
+                      static_cast<unsigned long long>(e.seq),
+                      obs::eventSeverityStr(e.severity), e.type.c_str(),
+                      e.requestId.empty() ? "-" : e.requestId.c_str(),
+                      e.detail.c_str());
+        out += line;
+    }
+    return out;
+}
+
 std::string
 Server::dispatchLine(const std::string &line)
 {
-    static const obs::Counter ok_reqs =
-        obs::counter("serve.requests.ok");
-    static const obs::Counter failed_reqs =
-        obs::counter("serve.requests.failed");
-    static const obs::Counter rejected_reqs =
-        obs::counter("serve.requests.rejected");
-    static const obs::Histogram req_hist =
-        obs::histogram("serve.request_s");
+    static const obs::Counter ok_reqs = obs::counter(
+        "serve.requests.ok", "RPC requests answered successfully");
+    static const obs::Counter failed_reqs = obs::counter(
+        "serve.requests.failed", "RPC requests that ended in an error");
+    static const obs::Counter rejected_reqs = obs::counter(
+        "serve.requests.rejected",
+        "RPC requests rejected by max-inflight admission control");
+    static const obs::Histogram req_hist = obs::histogram(
+        "serve.request_s", "end-to-end RPC request latency in seconds");
 
     Request req;
     try {
@@ -258,47 +425,63 @@ Server::dispatchLine(const std::string &line)
     } catch (...) {
         // No trustworthy id to echo on a line that never parsed.
         failed_reqs.inc();
+        obs::recordEvent(obs::EventSeverity::Error, "request.fail", "",
+                         "unparseable request line");
         return errorResponse(json::Value::null(),
                              captureCurrentException("serve.parse"));
     }
+    const std::uint64_t rid =
+        _requestSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::string rid_str = requestIdStr(rid);
+    obs::recordEvent(obs::EventSeverity::Info, "request.start", rid_str,
+                     req.method);
     try {
+        obs::TraceScope span("serve.request", rid);
         obs::ScopedTimer timer(req_hist);
-        const std::string result = handle(req);
+        const std::string result = handle(req, rid);
         ok_reqs.inc();
+        obs::recordEvent(obs::EventSeverity::Info, "request.finish",
+                         rid_str, req.method + " ok");
         return okResponse(req.id, result);
     } catch (const ServeError &e) {
-        (e.category == kBusyCategory ? rejected_reqs : failed_reqs)
-            .inc();
+        const bool busy = e.category == kBusyCategory;
+        (busy ? rejected_reqs : failed_reqs).inc();
+        obs::recordEvent(busy ? obs::EventSeverity::Warn
+                              : obs::EventSeverity::Error,
+                         busy ? "request.reject" : "request.fail",
+                         rid_str, req.method + ": " + e.message);
         return errorResponse(req.id, e);
     } catch (...) {
         failed_reqs.inc();
-        return errorResponse(req.id,
-                             captureCurrentException("serve.request"));
+        const PointError err = captureCurrentException("serve.request");
+        obs::recordEvent(obs::EventSeverity::Error, "request.fail",
+                         rid_str, req.method + ": " + err.message);
+        return errorResponse(req.id, err);
     }
 }
 
 std::string
-Server::handle(const Request &req)
+Server::handle(const Request &req, std::uint64_t rid)
 {
     if (req.method == "eval") {
-        obs::TraceScope span("serve.eval");
+        obs::TraceScope span("serve.eval", rid);
         static const obs::Histogram h = obs::histogram("serve.eval_s");
         obs::ScopedTimer t(h);
         return handleEval(req);
     }
     if (req.method == "sweep") {
-        obs::TraceScope span("serve.sweep");
+        obs::TraceScope span("serve.sweep", rid);
         static const obs::Histogram h =
             obs::histogram("serve.sweep_s");
         obs::ScopedTimer t(h);
-        return handleSweep(req);
+        return handleSweep(req, rid);
     }
     if (req.method == "search") {
-        obs::TraceScope span("serve.search");
+        obs::TraceScope span("serve.search", rid);
         static const obs::Histogram h =
             obs::histogram("serve.search_s");
         obs::ScopedTimer t(h);
-        return handleSearch(req);
+        return handleSearch(req, rid);
     }
     if (req.method == "simulate") {
         obs::TraceScope span("serve.simulate");
@@ -407,7 +590,7 @@ Server::handleSimulate(const Request &req)
 }
 
 std::string
-Server::handleSweep(const Request &req)
+Server::handleSweep(const Request &req, std::uint64_t rid)
 {
     InflightSlot slot(_inflight, _maxInflight);
     if (!slot.ok())
@@ -425,6 +608,7 @@ Server::handleSweep(const Request &req)
     sopts.sharedCache = &_cache;
     sopts.sharedPool = &_pool;
     sopts.cancel = token;
+    sopts.requestId = requestIdStr(rid);
     sopts.keepInfeasible = boolParamOr(req, "keep_infeasible", true);
     SweepEngine engine(cfg, sopts);
 
@@ -445,7 +629,7 @@ Server::handleSweep(const Request &req)
 }
 
 std::string
-Server::handleSearch(const Request &req)
+Server::handleSearch(const Request &req, std::uint64_t rid)
 {
     static const obs::Counter searches = obs::counter("serve.searches");
 
@@ -477,6 +661,7 @@ Server::handleSearch(const Request &req)
     sopts.sweep.sharedCache = &_cache;
     sopts.sweep.sharedPool = &_pool;
     sopts.sweep.cancel = token;
+    sopts.sweep.requestId = requestIdStr(rid);
     SearchEngine engine(cfg, sopts);
 
     const SearchResult r = engine.run(grid);

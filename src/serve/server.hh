@@ -20,6 +20,22 @@
  *   metrics  {}                            -> obs:: snapshot object
  *   health   {}                            -> {status, uptime_s, ...}
  *
+ * HTTP observability plane: the same listener also answers plain
+ * HTTP/1.1 GETs — the connection loop sniffs the first line (JSON
+ * requests start with '{', HTTP request lines with a verb) and
+ * serves:
+ *
+ *   GET /metrics  Prometheus text exposition of the obs:: snapshot
+ *   GET /health   the health JSON (same shape as the RPC)
+ *   GET /statusz  human-readable status: uptime, build, inflight,
+ *                 cache hit rates, slow points, recent events
+ *
+ * Every RPC request gets a monotonically increasing id ("r1", "r2",
+ * ...) that threads through the trace span ("serve.request" arg),
+ * flight-recorder events (obs/events.hh), and — for sweep/search —
+ * SweepOptions::requestId, so slow design points recorded by the
+ * engines attribute back to the request that asked for them.
+ *
  * `search` runs the guided design-space search (explore/search.hh
  * SearchEngine) over the request's axes against the daemon's shared
  * cache and pool: repeat searches — or a search after a sweep of the
@@ -145,18 +161,32 @@ class Server
      */
     std::string dispatchLine(const std::string &line);
 
+    /**
+     * Full HTTP response bytes (status line, headers, body) for one
+     * observability request — the GET /metrics | /health | /statusz
+     * dispatcher minus the sockets. Public for the same reason as
+     * dispatchLine.
+     */
+    std::string httpReplyFor(const std::string &method,
+                             const std::string &target);
+
+    /** The human-readable /statusz body. */
+    std::string statuszText();
+
   private:
     void acceptLoop();
     void connectionLoop(Fd client);
+    void httpConnection(Fd &client, LineReader &reader,
+                        const std::string &request_line);
 
     /** Run `req`, returning the compact-JSON result text. Throws
      *  ServeError (busy, deadline) or model exceptions on failure. */
-    std::string handle(const Request &req);
+    std::string handle(const Request &req, std::uint64_t rid);
 
     std::string handleEval(const Request &req);
     std::string handleSimulate(const Request &req);
-    std::string handleSweep(const Request &req);
-    std::string handleSearch(const Request &req);
+    std::string handleSweep(const Request &req, std::uint64_t rid);
+    std::string handleSearch(const Request &req, std::uint64_t rid);
     std::string handleHealth();
 
     ServeOptions _opts;
@@ -173,6 +203,7 @@ class Server
     bool _stopped = false;
 
     std::atomic<int> _inflight{0};
+    std::atomic<std::uint64_t> _requestSeq{0};
     std::chrono::steady_clock::time_point _startTime{};
 };
 

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Prometheus text exposition (obs/exposition.hh): metric-name
+ * sanitization, non-finite sample literals, cumulative histogram
+ * series, HELP escaping, and a line-format validator run over a real
+ * registry snapshot so every line the daemon would serve from
+ * GET /metrics parses. Also pins the within-bucket interpolated
+ * histogram quantiles to exact values (the buckets are powers of two,
+ * so the expected interpolants are computable by hand).
+ */
+
+#include <cmath>
+#include <limits>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "neurometer/neurometer.hh"
+
+using namespace neurometer;
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+bool
+hasLine(const std::string &text, const std::string &wanted)
+{
+    for (const std::string &line : splitLines(text))
+        if (line == wanted)
+            return true;
+    return false;
+}
+
+const obs::HistogramSnapshot *
+findHist(const obs::Snapshot &snap, const std::string &name)
+{
+    for (const auto &[n, h] : snap.histograms)
+        if (n == name)
+            return &h;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Name sanitization and value formatting
+
+TEST(Exposition, SanitizeMetricName)
+{
+    EXPECT_EQ(obs::sanitizeMetricName("eval_cache.hits"),
+              "eval_cache_hits");
+    EXPECT_EQ(obs::sanitizeMetricName("serve.requests.ok"),
+              "serve_requests_ok");
+    EXPECT_EQ(obs::sanitizeMetricName("already_clean"), "already_clean");
+    EXPECT_EQ(obs::sanitizeMetricName("a-b/c d"), "a_b_c_d");
+    EXPECT_EQ(obs::sanitizeMetricName("9lives"), "_9lives");
+    EXPECT_EQ(obs::sanitizeMetricName(""), "_");
+    EXPECT_EQ(obs::sanitizeMetricName("a:b"), "a_b");
+    EXPECT_EQ(obs::sanitizeMetricName("üñï"), "______");
+}
+
+TEST(Exposition, PromValueLiterals)
+{
+    EXPECT_EQ(obs::promValue(std::nan("")), "NaN");
+    EXPECT_EQ(obs::promValue(std::numeric_limits<double>::infinity()),
+              "+Inf");
+    EXPECT_EQ(obs::promValue(-std::numeric_limits<double>::infinity()),
+              "-Inf");
+    EXPECT_EQ(obs::promValue(0.25), "0.25");
+    EXPECT_EQ(obs::promValue(0.0), "0");
+}
+
+TEST(Exposition, EscapeHelp)
+{
+    EXPECT_EQ(obs::escapeHelp("plain text"), "plain text");
+    EXPECT_EQ(obs::escapeHelp("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::escapeHelp("line1\nline2"), "line1\\nline2");
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+
+TEST(Exposition, CounterRendersAsTotalWithHelp)
+{
+    obs::counter("expo.test_requests", "requests seen by the test")
+        .inc(7);
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    EXPECT_TRUE(hasLine(text, "# HELP expo_test_requests_total "
+                              "requests seen by the test"));
+    EXPECT_TRUE(hasLine(text, "# TYPE expo_test_requests_total counter"));
+    EXPECT_NE(text.find("expo_test_requests_total 7"), std::string::npos);
+}
+
+TEST(Exposition, NonFiniteGaugesUseLiterals)
+{
+    obs::gauge("expo.nan_gauge").set(std::nan(""));
+    obs::gauge("expo.inf_gauge")
+        .set(std::numeric_limits<double>::infinity());
+    obs::gauge("expo.neg_inf_gauge")
+        .set(-std::numeric_limits<double>::infinity());
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    EXPECT_TRUE(hasLine(text, "expo_nan_gauge NaN"));
+    EXPECT_TRUE(hasLine(text, "expo_inf_gauge +Inf"));
+    EXPECT_TRUE(hasLine(text, "expo_neg_inf_gauge -Inf"));
+}
+
+TEST(Exposition, EmptyHistogramRendersZeroSeries)
+{
+    obs::histogram("expo.empty_hist"); // registered, never recorded
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    EXPECT_TRUE(hasLine(text, "# TYPE expo_empty_hist histogram"));
+    EXPECT_TRUE(hasLine(text, "expo_empty_hist_bucket{le=\"+Inf\"} 0"));
+    EXPECT_TRUE(hasLine(text, "expo_empty_hist_sum 0"));
+    EXPECT_TRUE(hasLine(text, "expo_empty_hist_count 0"));
+}
+
+TEST(Exposition, HistogramBucketsAreCumulative)
+{
+    const obs::Histogram h = obs::histogram("expo.cum_hist");
+    // Three samples in two distinct power-of-two ns buckets:
+    // 600ns and 700ns land in (512, 1024]ns, 3000ns in (2048, 4096]ns.
+    h.record(600e-9);
+    h.record(700e-9);
+    h.record(3000e-9);
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    EXPECT_TRUE(
+        hasLine(text, "expo_cum_hist_bucket{le=\"1.024e-06\"} 2"));
+    EXPECT_TRUE(
+        hasLine(text, "expo_cum_hist_bucket{le=\"4.096e-06\"} 3"));
+    EXPECT_TRUE(hasLine(text, "expo_cum_hist_bucket{le=\"+Inf\"} 3"));
+    EXPECT_TRUE(hasLine(text, "expo_cum_hist_count 3"));
+
+    // Cumulative counts never decrease across the rendered series.
+    std::uint64_t prev = 0;
+    for (const std::string &line : splitLines(text)) {
+        if (line.rfind("expo_cum_hist_bucket{", 0) != 0)
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        const std::uint64_t v = std::stoull(line.substr(sp + 1));
+        EXPECT_GE(v, prev) << line;
+        prev = v;
+    }
+}
+
+TEST(Exposition, HelpEscapingSurvivesRendering)
+{
+    obs::counter("expo.escaped_doc", "path\\to\nthing").inc();
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    EXPECT_TRUE(hasLine(
+        text, "# HELP expo_escaped_doc_total path\\\\to\\nthing"));
+}
+
+// ---------------------------------------------------------------------
+// The whole snapshot passes a line-format validator
+
+TEST(Exposition, EveryLineOfARealSnapshotParses)
+{
+    // Populate a bit of everything, including hit-rate derivation.
+    obs::counter("expo.val_cache.hits").inc(3);
+    obs::counter("expo.val_cache.misses").inc(1);
+    obs::gauge("expo.val_gauge").set(-2.5e-3);
+    obs::histogram("expo.val_hist").record(1.5e-6);
+
+    const std::string name = "[a-zA-Z_:][a-zA-Z0-9_:]*";
+    const std::regex help("^# HELP " + name + " .*$");
+    const std::regex type("^# TYPE " + name +
+                          " (counter|gauge|histogram|summary|untyped)$");
+    const std::regex sample(
+        "^" + name + R"((\{le="[^"]*"\})? )" +
+        R"((NaN|\+Inf|-Inf|[-+]?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)$)");
+
+    const std::string text = obs::renderPrometheus(obs::snapshot());
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    for (const std::string &line : splitLines(text)) {
+        const bool ok = std::regex_match(line, help) ||
+                        std::regex_match(line, type) ||
+                        std::regex_match(line, sample);
+        EXPECT_TRUE(ok) << "unparseable exposition line: " << line;
+    }
+
+    // The derived hit rate made it out as a gauge.
+    EXPECT_NE(text.find("expo_val_cache_hit_rate 0.75"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Interpolated quantiles (obs/metrics.hh HistogramSnapshot)
+
+TEST(Exposition, InterpolatedQuantilesExactWithinBucket)
+{
+    const obs::Histogram h = obs::histogram("expo.quant_hist");
+    // Both samples land in the (512, 1024]ns bucket. With count = 2:
+    //   p50 target = 1 -> lo + (1/2)(hi - lo) = 512ns + 256ns = 768ns
+    //   p90/p99 target = 2 -> bucket upper bound 1024ns, clamped to
+    //   the observed max of 1000ns.
+    h.record(600e-9);
+    h.record(1000e-9);
+
+    const obs::Snapshot snap = obs::snapshot();
+    const obs::HistogramSnapshot *hs = findHist(snap, "expo.quant_hist");
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->count, 2u);
+    EXPECT_NEAR(hs->minS, 600e-9, 1e-20);
+    EXPECT_NEAR(hs->maxS, 1000e-9, 1e-20);
+    EXPECT_NEAR(hs->p50S, 768e-9, 1e-20);
+    EXPECT_NEAR(hs->p90S, 1000e-9, 1e-20);
+    EXPECT_NEAR(hs->p99S, 1000e-9, 1e-20);
+    EXPECT_DOUBLE_EQ(hs->p90S, hs->maxS);
+
+    // The snapshot's bucket list carries the single non-empty bucket.
+    ASSERT_EQ(hs->buckets.size(), 1u);
+    EXPECT_NEAR(hs->buckets[0].first, 1024e-9, 1e-20);
+    EXPECT_EQ(hs->buckets[0].second, 2u);
+}
+
+TEST(Exposition, SingleSampleQuantilesClampToTheSample)
+{
+    const obs::Histogram h = obs::histogram("expo.one_hist");
+    h.record(3e-6); // (2048, 4096]ns bucket
+    const obs::Snapshot snap = obs::snapshot();
+    const obs::HistogramSnapshot *hs = findHist(snap, "expo.one_hist");
+    ASSERT_NE(hs, nullptr);
+    // Clamping to [min, max] makes every quantile the sample itself.
+    EXPECT_NEAR(hs->p50S, 3e-6, 1e-17);
+    EXPECT_NEAR(hs->p99S, 3e-6, 1e-17);
+    EXPECT_DOUBLE_EQ(hs->p50S, hs->minS);
+    EXPECT_DOUBLE_EQ(hs->p99S, hs->maxS);
+}
+
+TEST(Exposition, SnapshotDocsLookup)
+{
+    obs::counter("expo.documented", "the doc text");
+    const obs::Snapshot snap = obs::snapshot();
+    const std::string *doc = snap.doc("expo.documented");
+    ASSERT_NE(doc, nullptr);
+    EXPECT_EQ(*doc, "the doc text");
+    EXPECT_EQ(snap.doc("expo.never_registered"), nullptr);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 #include <limits>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -373,6 +374,218 @@ TEST(Trace, CompiledOutStubIsValidEmptyJson)
     ASSERT_NE(events, nullptr);
     EXPECT_EQ(events->items.size(), 0u);
     EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+#endif
+
+// ---------------------------------------------------------------------
+// Flight recorder (obs/events.hh)
+
+TEST(Events, RingKeepsOrderAndSequence)
+{
+    obs::clearEvents();
+    obs::recordEvent(obs::EventSeverity::Info, "test.first", "r1", "a");
+    obs::recordEvent(obs::EventSeverity::Warn, "test.second", "", "b");
+    obs::recordEvent(obs::EventSeverity::Error, "test.third", "r2", "c");
+
+    const std::vector<obs::Event> events = obs::recentEvents();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].type, "test.first");
+    EXPECT_EQ(events[1].type, "test.second");
+    EXPECT_EQ(events[2].type, "test.third");
+    EXPECT_EQ(events[0].seq, 1u);
+    EXPECT_EQ(events[2].seq, 3u);
+    EXPECT_EQ(events[0].requestId, "r1");
+    EXPECT_TRUE(events[1].requestId.empty());
+    EXPECT_GT(events[0].wallMs, 0);
+    EXPECT_EQ(obs::eventsRecorded(), 3u);
+
+    // The tail helper really returns the newest entries.
+    const std::vector<obs::Event> tail = obs::recentEvents(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].type, "test.second");
+    EXPECT_EQ(tail[1].type, "test.third");
+
+    EXPECT_STREQ(obs::eventSeverityStr(obs::EventSeverity::Info),
+                 "info");
+    EXPECT_STREQ(obs::eventSeverityStr(obs::EventSeverity::Warn),
+                 "warn");
+    EXPECT_STREQ(obs::eventSeverityStr(obs::EventSeverity::Error),
+                 "error");
+}
+
+TEST(Events, OverflowKeepsTheMostRecentCapacityEvents)
+{
+    obs::clearEvents();
+    const std::size_t total = obs::kEventCapacity + 25;
+    for (std::size_t i = 0; i < total; ++i) {
+        obs::recordEvent(obs::EventSeverity::Info, "test.flood", "",
+                         std::to_string(i));
+    }
+    EXPECT_EQ(obs::eventsRecorded(), total);
+
+    const std::vector<obs::Event> events = obs::recentEvents();
+    ASSERT_EQ(events.size(), obs::kEventCapacity);
+    // Oldest surviving event is number total - capacity; sequence
+    // numbers are still strictly increasing across the whole ring.
+    EXPECT_EQ(events.front().detail,
+              std::to_string(total - obs::kEventCapacity));
+    EXPECT_EQ(events.back().detail, std::to_string(total - 1));
+    for (std::size_t i = 1; i < events.size(); ++i)
+        ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+    obs::clearEvents();
+}
+
+TEST(Events, JsonlRoundTripsThroughTheParser)
+{
+    obs::clearEvents();
+    obs::recordEvent(obs::EventSeverity::Warn, "test.json",
+                     "r7", "detail with \"quotes\"\nand newline");
+    obs::recordEvent(obs::EventSeverity::Info, "test.json2", "", "");
+
+    const std::string jsonl = obs::eventsToJsonl();
+    std::istringstream in(jsonl);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+        const JsonValue e = parseJson(line);
+        ASSERT_EQ(e.kind, JsonValue::Kind::Object) << line;
+        ASSERT_NE(e.find("seq"), nullptr);
+        ASSERT_NE(e.find("wall_ms"), nullptr);
+        ASSERT_NE(e.find("severity"), nullptr);
+        ASSERT_NE(e.find("type"), nullptr);
+        ASSERT_NE(e.find("request_id"), nullptr);
+        ASSERT_NE(e.find("detail"), nullptr);
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+
+    const JsonValue arr = parseJson(obs::eventsJson());
+    ASSERT_EQ(arr.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(arr.items.size(), 2u);
+    EXPECT_EQ(arr.items[0].find("request_id")->text, "r7");
+    EXPECT_EQ(arr.items[0].find("detail")->text,
+              "detail with \"quotes\"\nand newline");
+
+    // The dump file is the same JSONL, written atomically.
+    const std::string path = ::testing::TempDir() + "/obs_flight.jsonl";
+    obs::dumpFlightRecorder(path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string content((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, jsonl);
+    std::remove(path.c_str());
+    obs::clearEvents();
+}
+
+TEST(Events, SlowOpTrackerRanksAndBounds)
+{
+    obs::clearSlowOps();
+    // First op is by definition the new slowest.
+    EXPECT_EQ(obs::recordSlowOp("test.site", "p1", 1.0, "r1"), 0);
+    // Slower -> rank 0; faster -> inserted below the top.
+    EXPECT_EQ(obs::recordSlowOp("test.site", "p2", 2.0, "r2"), 0);
+    EXPECT_EQ(obs::recordSlowOp("test.site", "p3", 1.5, ""), 1);
+
+    std::vector<obs::SlowOp> ops = obs::slowOps();
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].label, "p2");
+    EXPECT_EQ(ops[1].label, "p3");
+    EXPECT_EQ(ops[2].label, "p1");
+    EXPECT_EQ(ops[0].requestId, "r2");
+
+    // Fill to capacity; then too-fast ops are rejected with -1 and the
+    // list never exceeds kSlowOpCapacity.
+    for (std::size_t i = ops.size(); i < obs::kSlowOpCapacity; ++i)
+        obs::recordSlowOp("test.site", "fill", 0.5, "");
+    EXPECT_EQ(obs::slowOps().size(), obs::kSlowOpCapacity);
+    EXPECT_EQ(obs::recordSlowOp("test.site", "too_fast", 0.1, ""), -1);
+    EXPECT_EQ(obs::slowOps().size(), obs::kSlowOpCapacity);
+    // A new slowest still enters at rank 0 and evicts the fastest.
+    EXPECT_EQ(obs::recordSlowOp("test.site", "p4", 3.0, "r9"), 0);
+    ops = obs::slowOps();
+    ASSERT_EQ(ops.size(), obs::kSlowOpCapacity);
+    EXPECT_EQ(ops[0].label, "p4");
+    for (std::size_t i = 1; i < ops.size(); ++i)
+        EXPECT_LE(ops[i].seconds, ops[i - 1].seconds);
+
+    const JsonValue arr = parseJson(obs::slowOpsJson());
+    ASSERT_EQ(arr.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(arr.items.size(), obs::kSlowOpCapacity);
+    EXPECT_EQ(arr.items[0].find("label")->text, "p4");
+    EXPECT_DOUBLE_EQ(arr.items[0].find("seconds")->number, 3.0);
+    EXPECT_EQ(arr.items[0].find("request_id")->text, "r9");
+    obs::clearSlowOps();
+}
+
+TEST(Events, SweepRecordsSlowPointsAndCancellationEvents)
+{
+    obs::clearEvents();
+    obs::clearSlowOps();
+
+    ChipConfig base;
+    SweepGrid grid;
+    grid.tuLengths = {8, 16};
+    SweepOptions opts;
+    opts.threads = 1;
+    opts.requestId = "r42";
+    SweepEngine engine(base, opts);
+    engine.run(grid);
+
+    // Every evaluated point was offered to the tracker; the slowest
+    // carries the request id the engine was attributed to.
+    const std::vector<obs::SlowOp> ops = obs::slowOps();
+    ASSERT_FALSE(ops.empty());
+    EXPECT_EQ(ops[0].site, "sweep.point");
+    EXPECT_EQ(ops[0].requestId, "r42");
+    EXPECT_GT(ops[0].seconds, 0.0);
+    // pointLabel: "(X,N,Tx,Ty)" plus any named-axis assignments.
+    EXPECT_EQ(ops[0].label.rfind('(', 0), 0u) << ops[0].label;
+
+    // The first point is a "new slowest" event.
+    bool saw_slow_event = false;
+    for (const obs::Event &e : obs::recentEvents()) {
+        if (e.type == "sweep.slow_point") {
+            saw_slow_event = true;
+            EXPECT_EQ(e.requestId, "r42");
+        }
+    }
+    EXPECT_TRUE(saw_slow_event);
+
+    // A pre-cancelled sweep leaves a cancellation event behind.
+    CancelToken cancel;
+    cancel.requestCancel();
+    SweepOptions copts;
+    copts.threads = 1;
+    copts.cancel = cancel;
+    SweepEngine cancelled(base, copts);
+    cancelled.run(grid);
+    bool saw_cancel = false;
+    for (const obs::Event &e : obs::recentEvents())
+        if (e.type == "sweep.cancelled")
+            saw_cancel = true;
+    EXPECT_TRUE(saw_cancel);
+    obs::clearEvents();
+    obs::clearSlowOps();
+}
+
+#if NEUROMETER_TRACE_ENABLED
+TEST(Events, TraceRingOverflowCountsDroppedSpans)
+{
+    obs::setTraceEnabled(true);
+    const std::uint64_t before =
+        snapshotCounter("obs.trace.dropped_spans");
+    // A fresh thread gets a fresh per-thread ring; overflow it by a
+    // known margin and the overwrites must be counted.
+    constexpr std::uint64_t kOverflow = 100;
+    std::thread([] {
+        const std::uint64_t cap = 1u << 16; // per-thread ring capacity
+        for (std::uint64_t i = 0; i < cap + kOverflow; ++i)
+            obs::TraceScope span("test.flood");
+    }).join();
+    EXPECT_EQ(snapshotCounter("obs.trace.dropped_spans") - before,
+              kOverflow);
+    obs::clearTrace();
 }
 #endif
 

@@ -543,6 +543,231 @@ TEST(ServeE2E, InjectedFaultBecomesAnErrorResponseNotACrash)
     EXPECT_TRUE(c.call(evalRequest(healthy, 21)).find("ok")->asBool());
 }
 
+// ---------------------------------------------------------------------
+// HTTP observability plane (serve/http.hh + Server::httpReplyFor)
+
+TEST(ServeHttp, RequestLineParsing)
+{
+    EXPECT_TRUE(looksLikeHttp("GET /metrics HTTP/1.1"));
+    EXPECT_TRUE(looksLikeHttp("POST / HTTP/1.0"));
+    EXPECT_FALSE(looksLikeHttp(R"({"method": "health"})"));
+    EXPECT_FALSE(looksLikeHttp(""));
+    EXPECT_FALSE(looksLikeHttp("GETX / HTTP/1.1"));
+
+    HttpRequest req;
+    ASSERT_TRUE(parseHttpRequestLine("GET /metrics HTTP/1.1", req));
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/metrics");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+
+    // Query strings are dropped from the target.
+    ASSERT_TRUE(parseHttpRequestLine("GET /statusz?verbose=1 HTTP/1.1",
+                                     req));
+    EXPECT_EQ(req.target, "/statusz");
+
+    EXPECT_FALSE(parseHttpRequestLine("GET /metrics", req));
+    EXPECT_FALSE(parseHttpRequestLine("", req));
+    EXPECT_FALSE(parseHttpRequestLine("GET  HTTP/1.1", req));
+}
+
+TEST(ServeHttp, ResponseShape)
+{
+    const std::string resp =
+        httpResponse(200, "text/plain; charset=utf-8", "hello\n");
+    EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(resp.find("Content-Type: text/plain; charset=utf-8\r\n"),
+              std::string::npos);
+    EXPECT_NE(resp.find("Content-Length: 6\r\n"), std::string::npos);
+    EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+    // Body follows the blank line.
+    const std::size_t sep = resp.find("\r\n\r\n");
+    ASSERT_NE(sep, std::string::npos);
+    EXPECT_EQ(resp.substr(sep + 4), "hello\n");
+
+    EXPECT_STREQ(httpStatusText(200), "OK");
+    EXPECT_STREQ(httpStatusText(404), "Not Found");
+    EXPECT_STREQ(httpStatusText(405), "Method Not Allowed");
+}
+
+TEST(ServeHttp, ReplyForDispatchesObservabilityTargets)
+{
+    Server server(quickOpts(/*threads=*/1));
+    // One RPC so the request counters exist in the snapshot.
+    server.dispatchLine(R"({"method": "health"})");
+
+    const std::string metrics = server.httpReplyFor("GET", "/metrics");
+    EXPECT_EQ(metrics.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(metrics.find(obs::kPrometheusContentType),
+              std::string::npos);
+    EXPECT_NE(metrics.find("serve_requests_ok_total"),
+              std::string::npos);
+
+    const std::string health = server.httpReplyFor("GET", "/health");
+    EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    const std::size_t sep = health.find("\r\n\r\n");
+    ASSERT_NE(sep, std::string::npos);
+    const json::Value body = json::parse(health.substr(sep + 4));
+    EXPECT_EQ(body.find("status")->asString(), "ok");
+
+    const std::string statusz = server.httpReplyFor("GET", "/statusz");
+    EXPECT_EQ(statusz.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(statusz.find("uptime_s:"), std::string::npos);
+    EXPECT_NE(statusz.find("requests:"), std::string::npos);
+    EXPECT_NE(statusz.find("recent events"), std::string::npos);
+
+    EXPECT_EQ(server.httpReplyFor("GET", "/nope")
+                  .rfind("HTTP/1.1 404 Not Found\r\n", 0),
+              0u);
+    EXPECT_EQ(server.httpReplyFor("POST", "/metrics")
+                  .rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0),
+              0u);
+}
+
+TEST(ServeHttp, EndToEndScrapeOverTheJsonListener)
+{
+    Server server(quickOpts(/*threads=*/1));
+    server.start();
+
+    // A JSON client and an HTTP scraper share one listener.
+    Client rpc(server.port());
+    ASSERT_TRUE(rpc.call(evalRequest(smallBase(), 1))
+                    .find("ok")
+                    ->asBool());
+
+    const std::uint64_t scrapes0 = counterNow("serve.http_requests");
+    const HttpReply metrics = httpGet(server.port(), "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.body.find("serve_requests_ok_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.body.find("eval_cache_misses_total"),
+              std::string::npos);
+    EXPECT_EQ(metrics.body.back(), '\n');
+    EXPECT_EQ(counterNow("serve.http_requests"), scrapes0 + 1);
+
+    const HttpReply health = httpGet(server.port(), "/health");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(json::parse(health.body).find("status")->asString(), "ok");
+
+    const HttpReply statusz = httpGet(server.port(), "/statusz");
+    EXPECT_EQ(statusz.status, 200);
+    EXPECT_NE(statusz.body.find("uptime_s:"), std::string::npos);
+
+    EXPECT_EQ(httpGet(server.port(), "/missing").status, 404);
+
+    // The JSON connection is still healthy after interleaved scrapes.
+    EXPECT_TRUE(
+        rpc.call(R"({"method": "health", "id": 2})").find("ok")->asBool());
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Per-request attribution: ids thread through events and trace spans
+
+TEST(ServeAttribution, EventsCarryTheRequestId)
+{
+    obs::clearEvents();
+    Server server(quickOpts(/*threads=*/1));
+
+    const json::Value ok = json::parse(
+        server.dispatchLine(R"({"method": "health", "id": 1})"));
+    ASSERT_TRUE(ok.find("ok")->asBool());
+
+    std::string rid;
+    bool saw_finish = false;
+    for (const obs::Event &e : obs::recentEvents()) {
+        if (e.type == "request.start") {
+            rid = e.requestId;
+            EXPECT_EQ(e.detail, "health");
+        }
+        if (e.type == "request.finish") {
+            saw_finish = true;
+            EXPECT_EQ(e.requestId, rid);
+            EXPECT_EQ(e.detail, "health ok");
+        }
+    }
+    ASSERT_FALSE(rid.empty());
+    EXPECT_TRUE(saw_finish);
+    // Ids are "r<N>" with N monotonically increasing.
+    EXPECT_EQ(rid[0], 'r');
+    const int n = std::stoi(rid.substr(1));
+    EXPECT_GE(n, 1);
+
+    // A failing request records request.fail under its own id.
+    server.dispatchLine(R"({"method": "frobnicate", "id": 2})");
+    bool saw_fail = false;
+    for (const obs::Event &e : obs::recentEvents()) {
+        if (e.type == "request.fail") {
+            saw_fail = true;
+            EXPECT_EQ(e.requestId, "r" + std::to_string(n + 1));
+        }
+    }
+    EXPECT_TRUE(saw_fail);
+    obs::clearEvents();
+}
+
+TEST(ServeAttribution, SweepSlowPointsAttributeToTheRequest)
+{
+    obs::clearEvents();
+    obs::clearSlowOps();
+    Server server(quickOpts(/*threads=*/1));
+
+    const std::string sweep_req =
+        R"({"method": "sweep", "id": 3, "params": {"config": )" +
+        json::quote(smallBase().toString()) +
+        R"(, "axes": [{"path": "tx", "values": [1, 2]}]}})";
+    const json::Value resp = json::parse(server.dispatchLine(sweep_req));
+    ASSERT_TRUE(resp.find("ok")->asBool()) << resp.dump();
+
+    // The request id that answered the RPC...
+    std::string rid;
+    for (const obs::Event &e : obs::recentEvents())
+        if (e.type == "request.start")
+            rid = e.requestId;
+    ASSERT_FALSE(rid.empty());
+
+    // ...is the one the engine stamped on its slow points.
+    const std::vector<obs::SlowOp> ops = obs::slowOps();
+    ASSERT_FALSE(ops.empty());
+    EXPECT_EQ(ops[0].site, "sweep.point");
+    EXPECT_EQ(ops[0].requestId, rid);
+    obs::clearEvents();
+    obs::clearSlowOps();
+}
+
+#if NEUROMETER_TRACE_ENABLED
+TEST(ServeAttribution, TraceSpanArgMatchesTheEventRequestId)
+{
+    obs::clearTrace();
+    obs::clearEvents();
+    obs::setTraceEnabled(true);
+    Server server(quickOpts(/*threads=*/1));
+    ASSERT_TRUE(json::parse(server.dispatchLine(R"({"method": "health"})"))
+                    .find("ok")
+                    ->asBool());
+
+    std::string rid;
+    for (const obs::Event &e : obs::recentEvents())
+        if (e.type == "request.start")
+            rid = e.requestId;
+    ASSERT_FALSE(rid.empty());
+    const double rid_num = double(std::stoi(rid.substr(1)));
+
+    // The serve.request span's arg is the numeric request id.
+    bool saw_span = false;
+    const json::Value trace = json::parse(obs::traceToJson());
+    for (const json::Value &e : trace.find("traceEvents")->items) {
+        if (e.find("ph")->text != "X" ||
+            e.find("name")->text != "serve.request")
+            continue;
+        saw_span = true;
+        EXPECT_DOUBLE_EQ(e.find("args")->find("arg")->number, rid_num);
+    }
+    EXPECT_TRUE(saw_span);
+    obs::clearTrace();
+    obs::clearEvents();
+}
+#endif
+
 TEST(ServeE2E, StoppedServerRefusesConnections)
 {
     Server server(quickOpts(/*threads=*/1));

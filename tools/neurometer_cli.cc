@@ -147,14 +147,19 @@ usage(FILE *to)
         "      table; --json emits the same result object the serve\n"
         "      daemon's `simulate` method returns.\n"
         "\n"
-        "  metrics <chip.cfg> [--json]\n"
+        "  metrics <chip.cfg> [--json] | metrics --url host:port\n"
         "      Build the chip, then dump the metrics-registry snapshot\n"
         "      (counters, cache hit rates, latency histograms).\n"
+        "      --json prints the machine-readable snapshot; --url\n"
+        "      scrapes GET /metrics from a running serve daemon and\n"
+        "      prints the Prometheus exposition instead (loopback\n"
+        "      only, no config file).\n"
         "\n"
         "  fields\n"
         "      List every config field: name, type, default, range.\n"
         "\n"
         "  serve --port P [--threads N] [--max-inflight M]\n"
+        "        [--flight-recorder FILE]\n"
         "      Run the evaluation service: a loopback TCP daemon that\n"
         "      keeps the hot caches (memory designs, evaluated points)\n"
         "      and a warmed worker pool alive across requests. Wire\n"
@@ -168,8 +173,12 @@ usage(FILE *to)
         "      stderr). --threads sizes the shared worker pool (0 =\n"
         "      all cores); --max-inflight bounds concurrent eval/sweep\n"
         "      requests (0 = 2x threads) — beyond it, requests are\n"
-        "      rejected immediately with a \"busy\" error. Ctrl-C\n"
-        "      drains in-flight requests and exits 0.\n"
+        "      rejected immediately with a \"busy\" error. The same\n"
+        "      listener answers HTTP GET /metrics (Prometheus text\n"
+        "      exposition), /health, and /statusz (human-readable\n"
+        "      live status). Ctrl-C drains in-flight requests and\n"
+        "      exits 0; --flight-recorder dumps the event ring as\n"
+        "      JSONL to FILE on shutdown (clean or fatal).\n"
         "\n"
         "  --quiet    suppress progress and stats (errors only)\n"
         "  --verbose  force progress/stats even when piped\n"
@@ -304,20 +313,61 @@ cmdSimulate(const std::vector<std::string> &args)
 int
 cmdMetrics(const std::vector<std::string> &args)
 {
-    std::string path;
+    std::string path, url;
     bool json = false;
-    for (const std::string &a : args) {
-        if (a == "--json")
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--json") {
             json = true;
-        else if (!a.empty() && a[0] == '-')
+        } else if (a == "--url") {
+            requireConfig(i + 1 < args.size(),
+                          "--url needs host:port");
+            url = args[++i];
+        } else if (!a.empty() && a[0] == '-') {
             throw ConfigError("unknown metrics option '" + a + "'");
-        else if (path.empty())
+        } else if (path.empty()) {
             path = a;
-        else
+        } else {
             throw ConfigError("metrics takes one config file");
+        }
     }
-    requireConfig(!path.empty(), "metrics needs a config file");
 
+    if (!url.empty()) {
+        // Live mode: scrape GET /metrics from a running daemon and
+        // print the Prometheus exposition verbatim.
+        requireConfig(!json,
+                      "--json and --url are mutually exclusive "
+                      "(--url prints the Prometheus exposition)");
+        requireConfig(path.empty(),
+                      "--url scrapes a running daemon; a config file "
+                      "does not apply");
+        std::string host = "127.0.0.1";
+        std::string port_text = url;
+        const std::size_t colon = url.rfind(':');
+        if (colon != std::string::npos) {
+            host = url.substr(0, colon);
+            port_text = url.substr(colon + 1);
+        }
+        requireConfig(host == "127.0.0.1" || host == "localhost",
+                      "the daemon listens on loopback only; --url must "
+                      "target 127.0.0.1 or localhost");
+        char *end = nullptr;
+        const unsigned long port =
+            std::strtoul(port_text.c_str(), &end, 10);
+        requireConfig(end != nullptr && *end == '\0' && port > 0 &&
+                          port <= 65535,
+                      "bad port in --url '" + url + "'");
+        const serve::HttpReply reply =
+            serve::httpGet(std::uint16_t(port), "/metrics");
+        if (reply.status != 200) {
+            throw IoError("GET /metrics from " + url + " returned " +
+                          std::to_string(reply.status));
+        }
+        std::fputs(reply.body.c_str(), stdout);
+        return 0;
+    }
+
+    requireConfig(!path.empty(), "metrics needs a config file");
     const ChipConfig cfg = ChipConfig::fromFile(path);
     const ChipModel chip(cfg); // populates the registry
     (void)chip;
@@ -632,6 +682,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
             .set("output", out.empty() ? "<stdout>" : out)
             .set("format", json ? "json" : "csv")
             .set("elapsed_s", elapsed_s)
+            .raw("slow_points", obs::slowOpsJson())
+            .raw("events", obs::eventsJson(20))
             .raw("metrics", snap.toJson());
         obs::writeTextFile(manifest_path, m.str());
         if (!v.quiet)
@@ -853,6 +905,8 @@ cmdSearch(const std::vector<std::string> &args, const Verbosity &v)
             .set("output", out.empty() ? "<stdout>" : out)
             .set("format", json ? "json" : "csv")
             .set("elapsed_s", elapsed_s)
+            .raw("slow_points", obs::slowOpsJson())
+            .raw("events", obs::eventsJson(20))
             .raw("metrics", snap.toJson());
         obs::writeTextFile(manifest_path, m.str());
         if (!v.quiet)
@@ -884,6 +938,7 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
 {
     serve::ServeOptions opts;
     long port = -1;
+    std::string flight_path;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         auto next = [&](const char *what) -> const std::string & {
@@ -891,7 +946,9 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
                           std::string(what) + " needs an argument");
             return args[++i];
         };
-        if (a == "--port") {
+        if (a == "--flight-recorder") {
+            flight_path = next("--flight-recorder");
+        } else if (a == "--port") {
             port = std::atol(next("--port").c_str());
             requireConfig(port >= 0 && port <= 65535,
                           "--port expects 0..65535 (0 = ephemeral)");
@@ -928,7 +985,27 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
                          : 2 * server.pool().numThreads());
         std::fflush(stderr);
     }
-    server.run();
+    try {
+        server.run();
+    } catch (...) {
+        // Fatal daemon error: preserve the flight recorder before the
+        // error propagates to the exit path — that tail of events is
+        // exactly what a post-mortem needs.
+        if (!flight_path.empty()) {
+            try {
+                obs::dumpFlightRecorder(flight_path);
+            } catch (...) {
+            }
+        }
+        throw;
+    }
+    if (!flight_path.empty()) {
+        obs::dumpFlightRecorder(flight_path);
+        if (!v.quiet) {
+            std::fprintf(stderr, "neurometer: flight recorder: %s\n",
+                         flight_path.c_str());
+        }
+    }
     if (!v.quiet)
         std::fprintf(stderr, "neurometer: serve shut down cleanly\n");
     return 0;

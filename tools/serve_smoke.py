@@ -4,12 +4,15 @@
 Starts the daemon on an ephemeral port, drives the newline-delimited
 JSON protocol end to end — eval (twice, the repeat must be served from
 the shared EvalCache), simulate (a workload under two dataflows),
-metrics, health — then sends SIGINT and asserts the daemon drains and
-exits 0.
+metrics, health — scrapes the HTTP observability plane (/metrics in
+Prometheus exposition format, /health, /statusz) on the same port,
+then sends SIGINT and asserts the daemon drains, dumps its flight
+recorder, and exits 0.
 
-usage: serve_smoke.py <neurometer-binary> <chip.cfg>
+usage: serve_smoke.py <neurometer-binary> <chip.cfg> [flight.jsonl]
 """
 
+import http.client
 import json
 import re
 import signal
@@ -44,18 +47,105 @@ class Client:
         return resp
 
 
+def http_get(port, target):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", target)
+        resp = conn.getresponse()
+        return resp.status, resp.getheader("Content-Type", ""), resp.read()
+    finally:
+        conn.close()
+
+
+# Prometheus text exposition 0.0.4, the subset the daemon emits.
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+EXPO_LINE = re.compile(
+    r"^(# HELP %(n)s .*"
+    r"|# TYPE %(n)s (counter|gauge|histogram)"
+    r"|%(n)s(\{le=\"[^\"]*\"\})? (NaN|\+Inf|-Inf|[-+]?[0-9][0-9.eE+-]*))$"
+    % {"n": NAME}
+)
+
+
+def check_http_plane(port):
+    status, ctype, body = http_get(port, "/metrics")
+    if status != 200:
+        fail(f"GET /metrics -> {status}")
+    if not ctype.startswith("text/plain"):
+        fail(f"GET /metrics content-type {ctype!r}")
+    text = body.decode()
+    if not text.endswith("\n"):
+        fail("/metrics body must end with a newline")
+    for line in text.splitlines():
+        if not EXPO_LINE.match(line):
+            fail(f"unparseable exposition line: {line!r}")
+    for needle in (
+        "serve_requests_ok_total",
+        "eval_cache_hits_total",
+        "serve_request_s_bucket{le=\"+Inf\"}",
+    ):
+        if needle not in text:
+            fail(f"/metrics missing {needle!r}")
+    m = re.search(r"^serve_requests_ok_total (\d+)$", text, re.M)
+    if not m or int(m.group(1)) < 4:
+        fail(f"serve_requests_ok_total < 4 in /metrics: {m and m.group(0)}")
+
+    status, ctype, body = http_get(port, "/health")
+    if status != 200 or json.loads(body)["status"] != "ok":
+        fail(f"GET /health -> {status}: {body!r}")
+
+    status, _, body = http_get(port, "/statusz")
+    text = body.decode()
+    if status != 200:
+        fail(f"GET /statusz -> {status}")
+    for needle in ("uptime_s:", "requests:", "recent events"):
+        if needle not in text:
+            fail(f"/statusz missing {needle!r}")
+    if "request.start" not in text:
+        fail("/statusz shows no request.start events")
+
+    status, _, _ = http_get(port, "/no-such-endpoint")
+    if status != 404:
+        fail(f"GET /no-such-endpoint -> {status}, expected 404")
+    print("serve_smoke: HTTP plane OK (/metrics, /health, /statusz, 404)")
+
+
+def check_flight_recorder(path):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    if not lines:
+        fail("flight recorder dump is empty")
+    rids = set()
+    for ln in lines:
+        e = json.loads(ln)
+        for key in ("seq", "wall_ms", "severity", "type", "request_id"):
+            if key not in e:
+                fail(f"flight-recorder event missing {key!r}: {ln}")
+        if e["request_id"]:
+            rids.add(e["request_id"])
+    if not any(re.fullmatch(r"r\d+", rid) for rid in rids):
+        fail(f"no r<N> request ids in the flight recorder: {sorted(rids)}")
+    types = {json.loads(ln)["type"] for ln in lines}
+    if "request.start" not in types or "request.finish" not in types:
+        fail(f"flight recorder missing request lifecycle events: {types}")
+    print(
+        f"serve_smoke: flight recorder OK ({len(lines)} events, "
+        f"{len(rids)} request ids)"
+    )
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail("usage: serve_smoke.py <neurometer-binary> <chip.cfg>")
+    if len(sys.argv) not in (3, 4):
+        fail("usage: serve_smoke.py <neurometer-binary> <chip.cfg> [flight.jsonl]")
     binary, cfg_path = sys.argv[1], sys.argv[2]
+    flight_path = sys.argv[3] if len(sys.argv) == 4 else None
     with open(cfg_path) as f:
         cfg_text = f.read()
 
-    daemon = subprocess.Popen(
-        [binary, "serve", "--port", "0", "--threads", "2"],
-        stderr=subprocess.PIPE,
-        text=True,
-    )
+    cmd = [binary, "serve", "--port", "0", "--threads", "2"]
+    if flight_path:
+        cmd += ["--flight-recorder", flight_path]
+    daemon = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
     try:
         # The daemon announces the resolved ephemeral port on stderr.
         banner = daemon.stderr.readline()
@@ -133,6 +223,9 @@ def main():
         if not health.get("ok") or health["result"]["status"] != "ok":
             fail("health failed: " + json.dumps(health))
 
+        # The HTTP observability plane answers on the same listener.
+        check_http_plane(port)
+
         print(
             f"serve_smoke: OK (cold eval {cold_ms:.1f} ms, "
             f"warm eval {warm_ms:.2f} ms, "
@@ -149,6 +242,10 @@ def main():
     if code != 0:
         fail(f"daemon exited {code} on SIGINT, expected 0")
     print("serve_smoke: clean SIGINT shutdown")
+
+    # The shutdown path dumps the flight recorder when asked to.
+    if flight_path:
+        check_flight_recorder(flight_path)
 
 
 if __name__ == "__main__":
