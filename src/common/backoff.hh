@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bounded exponential backoff with deterministic jitter.
+ *
+ * Used wherever a client retries a flaky rendezvous: workers
+ * reconnecting to the coordinator, `neurometer metrics --url` racing a
+ * daemon that is still binding its port, smoke scripts starting three
+ * processes at once. The schedule is pure math — no sleeping, no
+ * clocks — so callers own the waiting and tests can assert the exact
+ * delays. Jitter is derived from a splitmix64 stream seeded by the
+ * caller (typically stableHash64 of a worker name), which decorrelates
+ * a fleet of workers without introducing nondeterminism into any
+ * single one.
+ */
+
+#ifndef NEUROMETER_COMMON_BACKOFF_HH
+#define NEUROMETER_COMMON_BACKOFF_HH
+
+#include <cstdint>
+
+namespace neurometer {
+
+/**
+ * The delay schedule: delay k is `initialS * multiplier^k`, capped at
+ * `maxS`, then spread by up to +/- `jitter` (fractional) using a
+ * deterministic per-seed stream. With jitter 0.25 and initial 0.05 the
+ * first delays land around 50ms, 100ms, 200ms ... each within 25% of
+ * nominal.
+ */
+class Backoff
+{
+  public:
+    struct Options
+    {
+        double initialS = 0.05;   ///< first delay, seconds
+        double maxS = 2.0;        ///< cap on the nominal delay
+        double multiplier = 2.0;  ///< growth factor per attempt
+        double jitter = 0.25;     ///< fractional spread, 0 = none
+        std::uint64_t seed = 0;   ///< jitter stream seed
+    };
+
+    Backoff() = default;
+    explicit Backoff(Options opts) : _opts(opts), _state(opts.seed) {}
+
+    /** Delay in seconds for the next attempt; advances the schedule. */
+    double
+    nextS()
+    {
+        double nominal = _opts.initialS;
+        for (unsigned k = 0; k < _attempt && nominal < _opts.maxS; ++k)
+            nominal *= _opts.multiplier;
+        if (nominal > _opts.maxS)
+            nominal = _opts.maxS;
+        ++_attempt;
+        if (_opts.jitter <= 0.0)
+            return nominal;
+        // splitmix64 step -> uniform in [-1, 1) -> scale by jitter.
+        _state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        const double unit =
+            2.0 * (double(z >> 11) * 0x1.0p-53) - 1.0;
+        return nominal * (1.0 + _opts.jitter * unit);
+    }
+
+    /** Attempts issued so far (== nextS() calls). */
+    unsigned attempts() const { return _attempt; }
+
+    /** Restart the schedule (after a successful rendezvous). */
+    void
+    reset()
+    {
+        _attempt = 0;
+        _state = _opts.seed;
+    }
+
+    const Options &options() const { return _opts; }
+
+  private:
+    Options _opts{};
+    unsigned _attempt = 0;
+    std::uint64_t _state = 0;
+};
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_BACKOFF_HH

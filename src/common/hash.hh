@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Stable (process- and host-independent) 64-bit string hashing.
+ *
+ * std::hash makes no cross-run guarantees, so anything persisted or
+ * shared between processes — shard assignment of sweep points, backoff
+ * jitter seeds derived from worker names — must not use it. The FNV-1a
+ * core below is fully specified by its constants; the splitmix-style
+ * finalizer spreads the avalanche so low-modulus reductions (hash % N
+ * shard picks) stay uniform even for near-identical config keys.
+ */
+
+#ifndef NEUROMETER_COMMON_HASH_HH
+#define NEUROMETER_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace neurometer {
+
+/**
+ * Deterministic 64-bit hash of `text`: FNV-1a with a splitmix64
+ * finalizer. The value for a given string is identical across
+ * processes, hosts, compilers, and library versions — it is part of
+ * the sharding contract (a checkpoint row written by shard 2/8 on one
+ * machine must hash to shard 2/8 everywhere).
+ */
+constexpr std::uint64_t
+stableHash64(std::string_view text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
+    for (const char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL; // FNV prime
+    }
+    // splitmix64 finalizer: full avalanche so `h % N` is uniform.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+} // namespace neurometer
+
+#endif // NEUROMETER_COMMON_HASH_HH

@@ -22,6 +22,11 @@ CancelToken::armSigint() const
 {
     _state->sigint = true;
     std::signal(SIGINT, sigintHandler);
+    // SIGTERM latches into the same flag: orchestrators (CI runners,
+    // the coordinator reaping a stuck worker, `timeout(1)`) terminate
+    // with SIGTERM and deserve the identical drain-and-flush shutdown
+    // and exit-code contract as an interactive Ctrl-C.
+    std::signal(SIGTERM, sigintHandler);
 }
 
 bool

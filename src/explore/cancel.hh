@@ -47,9 +47,12 @@ class CancelToken
     }
 
     /**
-     * Route SIGINT into this token: installs the process-wide handler
-     * (a one-line sig_atomic_t latch) and makes cancelled() observe
-     * it. Call once from the CLI before a long run.
+     * Route SIGINT *and* SIGTERM into this token: installs the
+     * process-wide handler (a one-line sig_atomic_t latch) and makes
+     * cancelled() observe it. Both signals get the same drain-and-
+     * flush semantics — orchestrators that SIGTERM a worker see the
+     * identical resumable-partial contract as an interactive Ctrl-C.
+     * Call once from the CLI before a long run.
      */
     void armSigint() const;
 

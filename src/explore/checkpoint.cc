@@ -25,9 +25,11 @@ hexFloat(double v)
     return buf;
 }
 
+} // namespace
+
 /** Render one entry as a single JSONL line (fixed key order). */
 std::string
-entryLine(const CheckpointEntry &e)
+checkpointEntryLine(const CheckpointEntry &e)
 {
     const PointMetrics &m = e.metrics;
     std::string s = "{\"key\": " + obs::jsonQuote(e.key);
@@ -47,6 +49,8 @@ entryLine(const CheckpointEntry &e)
     s += "]}";
     return s;
 }
+
+namespace {
 
 /**
  * Strict scanner for the fixed line shapes this file writes. Parsing
@@ -170,8 +174,10 @@ class LineScanner
     std::size_t _pos = 0;
 };
 
+} // namespace
+
 CheckpointEntry
-parseEntry(const std::string &line, const std::string &where)
+parseCheckpointEntry(const std::string &line, const std::string &where)
 {
     CheckpointEntry e;
     LineScanner sc(line, where);
@@ -207,8 +213,6 @@ parseEntry(const std::string &line, const std::string &where)
     return e;
 }
 
-} // namespace
-
 SweepCheckpoint::SweepCheckpoint(std::string path, std::string baseKey,
                                  std::size_t flushEveryN)
     : _path(std::move(path)), _baseKey(std::move(baseKey)),
@@ -238,7 +242,7 @@ SweepCheckpoint::flushLocked()
                       std::to_string(kVersion) +
                       ", \"base\": " + obs::jsonQuote(_baseKey) + "}\n";
     for (const CheckpointEntry &e : _entries)
-        out += entryLine(e) + "\n";
+        out += checkpointEntryLine(e) + "\n";
     writeFileAtomic(_path, out);
     _sinceFlush = 0;
     obs::recordEvent(obs::EventSeverity::Info, "checkpoint.flush", "",
@@ -260,10 +264,11 @@ SweepCheckpoint::seed(const std::vector<CheckpointEntry> &entries)
     _entries.insert(_entries.end(), entries.begin(), entries.end());
 }
 
-std::unordered_map<std::string, CheckpointEntry>
-SweepCheckpoint::load(const std::string &path, const std::string &baseKey)
+std::vector<CheckpointEntry>
+SweepCheckpoint::loadEntries(const std::string &path,
+                             const std::string &baseKey)
 {
-    std::unordered_map<std::string, CheckpointEntry> out;
+    std::vector<CheckpointEntry> out;
     std::ifstream f(path, std::ios::binary);
     if (!f.good())
         return out; // no checkpoint yet: resume from nothing
@@ -305,7 +310,16 @@ SweepCheckpoint::load(const std::string &path, const std::string &baseKey)
             }
             continue;
         }
-        CheckpointEntry e = parseEntry(line, where);
+        out.push_back(parseCheckpointEntry(line, where));
+    }
+    return out;
+}
+
+std::unordered_map<std::string, CheckpointEntry>
+SweepCheckpoint::load(const std::string &path, const std::string &baseKey)
+{
+    std::unordered_map<std::string, CheckpointEntry> out;
+    for (CheckpointEntry &e : loadEntries(path, baseKey)) {
         std::string key = e.key;
         out.insert_or_assign(std::move(key), std::move(e));
     }

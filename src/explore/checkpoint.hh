@@ -78,6 +78,16 @@ class SweepCheckpoint
     load(const std::string &path, const std::string &baseKey);
 
     /**
+     * Load a checkpoint preserving file order and duplicates — the
+     * raw ledger, where load() gives the resolved map. Sharded merges
+     * (explore/shard.hh) need the order to apply last-writer-wins
+     * across files deterministically. Same error/torn-tail behavior
+     * as load().
+     */
+    static std::vector<CheckpointEntry>
+    loadEntries(const std::string &path, const std::string &baseKey);
+
+    /**
      * Seed the writer with entries restored from load(), so the next
      * flush() persists restored + new points alike.
      */
@@ -93,6 +103,24 @@ class SweepCheckpoint
     std::vector<CheckpointEntry> _entries;
     std::size_t _sinceFlush = 0;
 };
+
+/**
+ * Render one entry as its canonical single-line JSONL form — the exact
+ * bytes SweepCheckpoint writes. Public because this line format *is*
+ * the cross-process interchange format: the coordinator's workers ship
+ * completed points as these lines (serve/worker.hh), and the merge
+ * tool re-emits them, so hex-float metrics survive every hop
+ * bit-identically.
+ */
+std::string checkpointEntryLine(const CheckpointEntry &entry);
+
+/**
+ * Parse one checkpointEntryLine() back. `where` tags ConfigError
+ * messages ("file:line" or a wire description). Strict: the fixed key
+ * order and spacing the writer produces, nothing else.
+ */
+CheckpointEntry parseCheckpointEntry(const std::string &line,
+                                     const std::string &where);
 
 } // namespace neurometer
 

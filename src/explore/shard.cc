@@ -1,0 +1,123 @@
+#include "explore/shard.hh"
+
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/hash.hh"
+#include "explore/eval_cache.hh"
+
+namespace neurometer {
+
+bool
+ShardSpec::owns(std::string_view key) const
+{
+    if (!active())
+        return true;
+    return stableHash64(key) % count == index;
+}
+
+ShardSpec
+ShardSpec::parse(const std::string &text)
+{
+    const std::size_t slash = text.find('/');
+    requireConfig(slash != std::string::npos && slash > 0 &&
+                      slash + 1 < text.size(),
+                  "--shard expects I/N (e.g. 0/4), got '" + text + "'");
+    char *end = nullptr;
+    const unsigned long i =
+        std::strtoul(text.c_str(), &end, 10);
+    requireConfig(end == text.c_str() + slash,
+                  "bad shard index in '" + text + "'");
+    const unsigned long n =
+        std::strtoul(text.c_str() + slash + 1, &end, 10);
+    requireConfig(end != nullptr && *end == '\0' && n >= 1,
+                  "bad shard count in '" + text + "'");
+    requireConfig(i < n, "shard index " + std::to_string(i) +
+                             " out of range for " + std::to_string(n) +
+                             " shards");
+    return ShardSpec{std::size_t(i), std::size_t(n)};
+}
+
+std::string
+ShardSpec::str() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::vector<CheckpointEntry>
+mergeCheckpoints(const std::vector<std::string> &paths,
+                 const std::string &baseKey, MergeStats *stats)
+{
+    MergeStats s;
+    std::vector<CheckpointEntry> merged;
+    /** key -> index into `merged` (first-appearance order). */
+    std::unordered_map<std::string, std::size_t> at;
+    for (const std::string &path : paths) {
+        ++s.files;
+        for (CheckpointEntry &e :
+             SweepCheckpoint::loadEntries(path, baseKey)) {
+            ++s.rows;
+            const auto [it, fresh] = at.try_emplace(e.key, merged.size());
+            if (fresh) {
+                merged.push_back(std::move(e));
+                continue;
+            }
+            ++s.duplicates;
+            CheckpointEntry &have = merged[it->second];
+            // An ok row always beats a failed one: a retried shard
+            // that succeeded supersedes the failure it replaced. Equal
+            // status is last-writer-wins in (file, line) order.
+            if (have.failed && !e.failed)
+                ++s.conflictsResolvedToOk;
+            if (e.failed && !have.failed)
+                continue;
+            have = std::move(e);
+        }
+    }
+    s.unique = merged.size();
+    if (stats)
+        *stats = s;
+    return merged;
+}
+
+AssembledRecords
+assembleRecords(const SweepGrid &grid, const ChipConfig &base,
+                const std::vector<CheckpointEntry> &entries,
+                const DesignConstraints &constraints)
+{
+    constexpr std::size_t kMissingKept = 16;
+
+    std::unordered_map<std::string, const CheckpointEntry *> by_key;
+    by_key.reserve(entries.size());
+    for (const CheckpointEntry &e : entries)
+        by_key.emplace(e.key, &e);
+
+    const GridExpander expander(grid, base);
+    AssembledRecords out;
+    out.records.reserve(expander.size());
+    for (std::size_t k = 0; k < expander.size(); ++k) {
+        GridPoint p = expander.at(k);
+        const std::string key = configKey(p.config);
+        const auto it = by_key.find(key);
+        if (it == by_key.end()) {
+            ++out.missingCount;
+            if (out.missing.size() < kMissingKept)
+                out.missing.push_back({k, key});
+            continue;
+        }
+        // Restore exactly the way a resumed sweep does — the record is
+        // bit-identical to the one a direct evaluation produced.
+        const CheckpointEntry &e = *it->second;
+        EvalRecord &r = p.record;
+        r.metrics = e.metrics;
+        r.status = e.failed ? PointStatus::Failed : PointStatus::Ok;
+        r.error = e.error;
+        r.why = classify(r.metrics, constraints);
+        out.records.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace neurometer

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharded sweeps: deterministic partitioning of a sweep grid across
+ * processes/hosts, and the byte-stable merge of their checkpoints.
+ *
+ * Partitioning hashes each point's canonical configKey() with the
+ * stable hash (common/hash.hh), so shard membership depends only on
+ * the resolved configuration — not on axis ordering, grid index, host,
+ * or process. Two invocations that spell the same cross product in a
+ * different axis order still agree on which of N shards owns every
+ * point, which is what makes overlapping/retried shards safe to merge.
+ *
+ * The merge consumes per-shard checkpoint JSONL files (hex-float
+ * metrics, so values round-trip bit-identically), reconciles duplicate
+ * keys — a successful evaluation always beats a failed one; equal
+ * status resolves last-writer-wins in file order — and reassembles
+ * EvalRecords in grid order, producing CSV/JSON output byte-identical
+ * to an uninterrupted single-process sweep of the same grid.
+ */
+
+#ifndef NEUROMETER_EXPLORE_SHARD_HH
+#define NEUROMETER_EXPLORE_SHARD_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/optimizer.hh"
+#include "explore/checkpoint.hh"
+#include "explore/sweep.hh"
+
+namespace neurometer {
+
+/**
+ * One shard of an N-way partition: this process owns every point whose
+ * stable key hash lands on `index` mod `count`. The default (0/1) is
+ * the whole grid — sharding off.
+ */
+struct ShardSpec
+{
+    std::size_t index = 0; ///< 0-based shard id
+    std::size_t count = 1; ///< total shards; 1 = unsharded
+
+    /** True when the spec actually partitions (count > 1). */
+    bool active() const { return count > 1; }
+
+    /** Does this shard own the point with canonical key `key`? */
+    bool owns(std::string_view key) const;
+
+    /**
+     * Parse "i/N" (e.g. "2/8"). Throws ConfigError unless
+     * 0 <= i < N and N >= 1.
+     */
+    static ShardSpec parse(const std::string &text);
+
+    /** "i/N" rendering (round-trips through parse()). */
+    std::string str() const;
+
+    bool operator==(const ShardSpec &) const = default;
+};
+
+/** What a mergeCheckpoints() call saw and resolved. */
+struct MergeStats
+{
+    std::size_t files = 0;      ///< shard files read
+    std::size_t rows = 0;       ///< entry lines across all files
+    std::size_t unique = 0;     ///< distinct configKey()s
+    std::size_t duplicates = 0; ///< rows beyond the first per key
+    /** Duplicates where a failed row was superseded by an ok row. */
+    std::size_t conflictsResolvedToOk = 0;
+};
+
+/**
+ * Fuse per-shard checkpoint files into one entry set, one entry per
+ * distinct key. Every file must carry the same `baseKey` header
+ * (ConfigError otherwise — shards of different chips cannot merge);
+ * missing files load as empty (a shard that never started) and each
+ * file's torn tail is tolerated independently. Reconciliation per key:
+ * an ok row beats a failed row regardless of order (a retried shard
+ * that succeeded supersedes the crash it replaced); rows of equal
+ * status resolve last-writer-wins in (file, line) order. The result is
+ * ordered by first appearance, suitable for SweepCheckpoint::seed().
+ */
+std::vector<CheckpointEntry>
+mergeCheckpoints(const std::vector<std::string> &paths,
+                 const std::string &baseKey, MergeStats *stats = nullptr);
+
+/** One grid point still missing after a merge (not in any shard). */
+struct MissingPoint
+{
+    std::size_t gridIndex = 0;
+    std::string key;
+};
+
+/** assembleRecords() output: grid-ordered records plus the holes. */
+struct AssembledRecords
+{
+    /** Records for covered points, in grid order — the same order and
+     *  bytes a single-process SweepEngine::run() would produce. */
+    std::vector<EvalRecord> records;
+    /** Points of the grid no merged entry covered (first few kept). */
+    std::vector<MissingPoint> missing;
+    /** Total uncovered points (missing is capped, this is not). */
+    std::size_t missingCount = 0;
+};
+
+/**
+ * Reassemble grid-ordered EvalRecords from merged checkpoint entries:
+ * expand `grid` over `base`, look each point's configKey() up in
+ * `entries`, and restore metrics/status/error exactly the way a
+ * resumed sweep does (classification against `constraints` included).
+ * Covered points are byte-identical to a direct sweep's records;
+ * uncovered points are reported, not fabricated.
+ */
+AssembledRecords
+assembleRecords(const SweepGrid &grid, const ChipConfig &base,
+                const std::vector<CheckpointEntry> &entries,
+                const DesignConstraints &constraints = {});
+
+} // namespace neurometer
+
+#endif // NEUROMETER_EXPLORE_SHARD_HH

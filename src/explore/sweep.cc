@@ -10,6 +10,7 @@
 #include "chip/config_schema.hh"
 #include "circuit/arith.hh"
 #include "explore/checkpoint.hh"
+#include "explore/shard.hh"
 #include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -305,17 +306,35 @@ SweepEngine::run(const SweepGrid &grid)
     _lastRun = SweepRunStats{};
     _lastRun.total = records.size();
 
-    // Checkpoint/resume: keys are only computed when a checkpoint
-    // file is in play; restored points skip evaluation entirely and
-    // re-enter the result bit-identically.
-    std::unique_ptr<SweepCheckpoint> ckpt;
+    // Sharding: point ownership hashes the canonical configKey(), so
+    // keys are needed whenever a shard spec or a checkpoint file is in
+    // play. Foreign points are skipped everywhere below — evaluation,
+    // restore, checkpointing, progress — and dropped from the result.
+    const ShardSpec shard{_opts.shardIndex,
+                          _opts.shardCount == 0 ? 1 : _opts.shardCount};
     std::vector<std::string> keys;
-    std::vector<char> restored(records.size(), 0);
-    if (!_opts.checkpointPath.empty()) {
-        const std::string base_key = configKey(_base);
+    if (!_opts.checkpointPath.empty() || shard.active()) {
         keys.reserve(cfgs.size());
         for (const ChipConfig &c : cfgs)
             keys.push_back(configKey(c));
+    }
+    std::vector<char> owned(records.size(), 1);
+    if (shard.active()) {
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            if (!shard.owns(keys[i])) {
+                owned[i] = 0;
+                ++_lastRun.offShard;
+            }
+        }
+    }
+    const std::size_t owned_total = records.size() - _lastRun.offShard;
+
+    // Checkpoint/resume: restored points skip evaluation entirely and
+    // re-enter the result bit-identically.
+    std::unique_ptr<SweepCheckpoint> ckpt;
+    std::vector<char> restored(records.size(), 0);
+    if (!_opts.checkpointPath.empty()) {
+        const std::string base_key = configKey(_base);
         ckpt = std::make_unique<SweepCheckpoint>(
             _opts.checkpointPath, base_key, _opts.checkpointEveryN);
         if (_opts.resume) {
@@ -324,6 +343,8 @@ SweepEngine::run(const SweepGrid &grid)
             std::vector<CheckpointEntry> seeds;
             std::unordered_set<std::string> seeded;
             for (std::size_t i = 0; i < records.size(); ++i) {
+                if (!owned[i])
+                    continue;
                 const auto it = loaded.find(keys[i]);
                 if (it == loaded.end())
                     continue;
@@ -358,7 +379,7 @@ SweepEngine::run(const SweepGrid &grid)
     auto report = [&](std::size_t d) {
         SweepProgress p;
         p.done = d;
-        p.total = records.size();
+        p.total = owned_total;
         p.elapsedS =
             std::chrono::duration<double>(clock::now() - t0).count();
         p.pointsPerS = p.elapsedS > 0.0 ? double(d) / p.elapsedS : 0.0;
@@ -374,6 +395,8 @@ SweepEngine::run(const SweepGrid &grid)
     _pool->parallelFor(
         records.size(),
         [&](std::size_t i) {
+            if (!owned[i])
+                return; // another shard's point: not ours to touch
             if (restored[i])
                 return; // resumed from the checkpoint, bit-identical
             obs::TraceScope span("sweep.point", i);
@@ -424,7 +447,7 @@ SweepEngine::run(const SweepGrid &grid)
             if (!_opts.onProgress)
                 return;
             const std::size_t d = done.fetch_add(1) + 1;
-            if (d == records.size())
+            if (d == owned_total)
                 return; // the final report is issued after the loop
             const std::int64_t now_ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -445,8 +468,10 @@ SweepEngine::run(const SweepGrid &grid)
     if (ckpt)
         ckpt->flush();
 
-    for (const EvalRecord &r : records) {
-        switch (r.status) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!owned[i])
+            continue; // foreign points are offShard, nothing else
+        switch (records[i].status) {
           case PointStatus::Ok:
             ++_lastRun.ok;
             break;

@@ -258,6 +258,20 @@ struct SweepOptions
     std::size_t checkpointEveryN = 32;
     /** @} */
 
+    /** @name Sharding (see explore/shard.hh)
+     * Deterministic i-of-N partition for multi-process sweeps: the
+     * engine evaluates only points whose stable configKey() hash
+     * (common/hash.hh) lands on `shardIndex mod shardCount`. Foreign
+     * points are never evaluated, restored, checkpointed, or emitted —
+     * they are tallied in SweepRunStats::offShard — so N shard runs
+     * over the same grid partition it exactly, independent of axis
+     * ordering or host. shardCount <= 1 disables sharding. Parse
+     * "i/N" specs with ShardSpec::parse(). */
+    /** @{ */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
+    /** @} */
+
     /**
      * Attribution tag for the observability plane: the serve daemon
      * sets this to the request id ("r42") that asked for the run, and
@@ -287,6 +301,9 @@ struct SweepRunStats
     std::size_t failed = 0;      ///< status failed (restored included)
     std::size_t restored = 0;    ///< skipped via checkpoint resume
     std::size_t notEvaluated = 0; ///< unreached (cancelled runs)
+    /** Points owned by other shards (SweepOptions::shardCount > 1);
+     *  excluded from every other tally and from the result. */
+    std::size_t offShard = 0;
     /** True when the run ended early: the token fired with work left. */
     bool cancelled = false;
 };

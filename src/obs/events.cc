@@ -98,6 +98,17 @@ recentEvents(std::size_t max_n)
     return out;
 }
 
+std::vector<Event>
+eventsOfType(const std::string &type)
+{
+    std::vector<Event> out;
+    for (Event &e : recentEvents(0)) {
+        if (e.type == type)
+            out.push_back(std::move(e));
+    }
+    return out;
+}
+
 std::uint64_t
 eventsRecorded()
 {

@@ -62,6 +62,11 @@ void recordEvent(EventSeverity sev, const std::string &type,
 /** Last events, oldest first; max_n = 0 means the whole ring. */
 std::vector<Event> recentEvents(std::size_t max_n = 0);
 
+/** Ring events of one dotted `type`, oldest first — lifecycle
+ *  assertions ("every lease.expire has a lease.reassign") in tests and
+ *  the coordinator's own degradation accounting. */
+std::vector<Event> eventsOfType(const std::string &type);
+
 /** Total events ever recorded (including overwritten ones). */
 std::uint64_t eventsRecorded();
 

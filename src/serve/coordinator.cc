@@ -1,0 +1,429 @@
+#include "serve/coordinator.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "explore/eval_cache.hh"
+#include "explore/export.hh"
+#include "neurometer/api.hh"
+#include "obs/events.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+
+namespace neurometer::serve {
+
+namespace {
+
+obs::Counter
+leasesGranted()
+{
+    static const obs::Counter c = obs::counter(
+        "coord.leases.granted", "work leases granted to sweep workers");
+    return c;
+}
+
+obs::Counter
+leasesExpired()
+{
+    static const obs::Counter c = obs::counter(
+        "coord.leases.expired",
+        "leases whose heartbeat timeout elapsed (worker presumed dead)");
+    return c;
+}
+
+obs::Counter
+leasesReassigned()
+{
+    static const obs::Counter c = obs::counter(
+        "coord.leases.reassigned",
+        "granted leases containing previously-leased (expired) work");
+    return c;
+}
+
+obs::Counter
+pointsReported()
+{
+    static const obs::Counter c = obs::counter(
+        "coord.points.reported", "sweep points accepted from workers");
+    return c;
+}
+
+obs::Counter
+duplicateRows()
+{
+    static const obs::Counter c = obs::counter(
+        "coord.reports.duplicate_rows",
+        "reported rows for already-done points (idempotent re-runs)");
+    return c;
+}
+
+/** Range text for lease events: "[3..17] (15 pts)". */
+std::string
+indicesLabel(const std::vector<std::size_t> &idx)
+{
+    if (idx.empty())
+        return "[] (0 pts)";
+    const auto [lo, hi] = std::minmax_element(idx.begin(), idx.end());
+    return "[" + std::to_string(*lo) + ".." + std::to_string(*hi) +
+           "] (" + std::to_string(idx.size()) + " pts)";
+}
+
+} // namespace
+
+Coordinator::Coordinator(CoordinateOptions opts, Clock clock)
+    : _opts(std::move(opts)),
+      _clock(clock ? std::move(clock)
+                   : [] { return std::chrono::steady_clock::now(); }),
+      _base(ChipConfig::fromString(_opts.configText, "<coordinate>"))
+{
+    requireConfig(_opts.leaseTimeoutS > 0.0,
+                  "--lease-timeout must be positive");
+    const SweepGrid grid = sweepGridForConfig(_base, _opts.axes);
+    _expander = std::make_unique<GridExpander>(grid, _base);
+    const std::size_t n = _expander->size();
+    requireConfig(n > 0, "coordinate grid is empty");
+
+    _keys.reserve(n);
+    for (std::size_t k = 0; k < n; ++k)
+        _keys.push_back(configKey(_expander->at(k).config));
+
+    _state.assign(n, PointState::Pending);
+    _everLeased.assign(n, 0);
+    _entries.resize(n);
+    for (std::size_t k = 0; k < n; ++k)
+        _pending.push_back(k);
+
+    if (_opts.leaseSize == 0)
+        _opts.leaseSize = std::clamp<std::size_t>(n / 16, 1, 32);
+
+    if (!_opts.checkpointPath.empty()) {
+        _ckpt = std::make_unique<SweepCheckpoint>(
+            _opts.checkpointPath, configKey(_base), 32);
+    }
+    obs::recordEvent(obs::EventSeverity::Info, "coord.start", "",
+                     std::to_string(n) + " points, lease size " +
+                         std::to_string(_opts.leaseSize) + ", timeout " +
+                         std::to_string(_opts.leaseTimeoutS) + "s");
+}
+
+double
+Coordinator::heartbeatS() const
+{
+    return _opts.heartbeatS > 0.0 ? _opts.heartbeatS
+                                  : _opts.leaseTimeoutS / 3.0;
+}
+
+json::Value
+Coordinator::job() const
+{
+    json::Value axes = json::Value::array_();
+    for (const NamedAxis &a : _opts.axes) {
+        json::Value ax = json::Value::object_();
+        ax.set("path", json::Value::string_(a.path));
+        json::Value vals = json::Value::array_();
+        for (const std::string &v : a.values)
+            vals.push(json::Value::string_(v));
+        ax.set("values", std::move(vals));
+        axes.push(std::move(ax));
+    }
+    json::Value out = json::Value::object_();
+    out.set("config", json::Value::string_(_opts.configText))
+        .set("axes", std::move(axes))
+        .set("points", json::Value::number_(double(_keys.size())))
+        .set("lease_timeout_s",
+             json::Value::number_(_opts.leaseTimeoutS))
+        .set("heartbeat_s", json::Value::number_(heartbeatS()));
+    return out;
+}
+
+json::Value
+Coordinator::lease(const std::string &worker)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    json::Value out = json::Value::object_();
+
+    // Pop pending indices off the queue front; stale entries (points a
+    // late report already finished) are skipped, not granted.
+    std::vector<std::size_t> granted;
+    bool reassigned = false;
+    while (!_pending.empty() && granted.size() < _opts.leaseSize) {
+        const std::size_t k = _pending.front();
+        _pending.pop_front();
+        if (_state[k] != PointState::Pending)
+            continue;
+        _state[k] = PointState::Leased;
+        reassigned = reassigned || _everLeased[k];
+        _everLeased[k] = 1;
+        granted.push_back(k);
+    }
+
+    if (granted.empty()) {
+        if (_done == _keys.size()) {
+            out.set("done", json::Value::boolean_(true));
+            return out;
+        }
+        // Everything is leased out but not yet reported: the worker
+        // should idle briefly — an expiry may refill the queue.
+        out.set("wait", json::Value::boolean_(true))
+            .set("retry_ms",
+                 json::Value::number_(std::min(
+                     500.0, 1e3 * _opts.leaseTimeoutS / 4.0)));
+        return out;
+    }
+
+    Lease l;
+    l.id = ++_nextLease;
+    l.worker = worker;
+    l.indices = granted;
+    l.deadline = _clock() + std::chrono::nanoseconds(std::int64_t(
+                                _opts.leaseTimeoutS * 1e9));
+    l.reassigned = reassigned;
+
+    leasesGranted().inc();
+    obs::recordEvent(obs::EventSeverity::Info, "lease.grant", "",
+                     "lease " + std::to_string(l.id) + " -> " + worker +
+                         " " + indicesLabel(granted));
+    if (reassigned) {
+        leasesReassigned().inc();
+        obs::recordEvent(obs::EventSeverity::Warn, "lease.reassign", "",
+                         "lease " + std::to_string(l.id) +
+                             " re-leases expired work to " + worker);
+    }
+
+    json::Value idx = json::Value::array_();
+    for (const std::size_t k : granted)
+        idx.push(json::Value::number_(double(k)));
+    out.set("lease", json::Value::number_(double(l.id)))
+        .set("indices", std::move(idx));
+    _leases.emplace(l.id, std::move(l));
+    return out;
+}
+
+json::Value
+Coordinator::report(const std::string &worker, std::uint64_t leaseId,
+                    const json::Value &rows)
+{
+    requireConfig(rows.isArray(), "'rows' must be an array");
+    std::lock_guard<std::mutex> lk(_mu);
+
+    std::size_t accepted = 0;
+    std::size_t duplicates = 0;
+    for (const json::Value &row : rows.items) {
+        requireConfig(row.isObject(),
+                      "each row must be an {index, entry} object");
+        const json::Value *idx = row.find("index");
+        const json::Value *entry_line = row.find("entry");
+        requireConfig(idx != nullptr &&
+                          idx->kind == json::Value::Kind::Number,
+                      "row 'index' must be a number");
+        requireConfig(entry_line != nullptr &&
+                          entry_line->kind ==
+                              json::Value::Kind::String,
+                      "row 'entry' must be a string");
+        const std::size_t k = std::size_t(idx->number);
+        requireConfig(double(k) == idx->number && k < _keys.size(),
+                      "row index out of range");
+        CheckpointEntry e =
+            parseCheckpointEntry(entry_line->text, "<report>");
+        // The key is the point's identity: a row whose key does not
+        // match its claimed index evaluated the wrong config.
+        requireConfig(e.key == _keys[k],
+                      "row " + std::to_string(k) +
+                          " key does not match the grid point");
+        if (_state[k] == PointState::Done) {
+            // Idempotent re-execution: a late report after expiry and
+            // reassignment. An ok row may still upgrade a failed one.
+            ++duplicates;
+            duplicateRows().inc();
+            if (_entries[k].failed && !e.failed)
+                _entries[k] = std::move(e);
+            continue;
+        }
+        _state[k] = PointState::Done;
+        _entries[k] = std::move(e);
+        ++_done;
+        ++accepted;
+        pointsReported().inc();
+        if (_ckpt)
+            _ckpt->add(_entries[k]);
+    }
+
+    // Close the lease; any of its points the worker did not finish
+    // (cancelled mid-lease) return to the queue immediately. Unknown
+    // lease ids — expired before this report arrived — are tolerated:
+    // the rows above were accepted regardless.
+    const auto it = _leases.find(leaseId);
+    if (it != _leases.end()) {
+        for (const std::size_t k : it->second.indices) {
+            if (_state[k] == PointState::Leased) {
+                _state[k] = PointState::Pending;
+                _pending.push_front(k);
+            }
+        }
+        _leases.erase(it);
+    }
+
+    obs::recordEvent(obs::EventSeverity::Info, "lease.report", "",
+                     worker + " lease " + std::to_string(leaseId) +
+                         ": " + std::to_string(accepted) +
+                         " accepted, " + std::to_string(duplicates) +
+                         " duplicate");
+
+    if (_done == _keys.size() && !_finalized)
+        finalizeLocked();
+
+    json::Value out = json::Value::object_();
+    out.set("done", json::Value::number_(double(_done)))
+        .set("total", json::Value::number_(double(_keys.size())))
+        .set("complete",
+             json::Value::boolean_(_done == _keys.size()))
+        .set("duplicates", json::Value::number_(double(duplicates)));
+    return out;
+}
+
+json::Value
+Coordinator::heartbeat(const std::string &worker, std::uint64_t leaseId)
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    json::Value out = json::Value::object_();
+    const auto it = _leases.find(leaseId);
+    if (it == _leases.end()) {
+        // The lease expired (or never existed): the worker should
+        // abandon it — its points are already back in the queue.
+        out.set("ok", json::Value::boolean_(false))
+            .set("expired", json::Value::boolean_(true));
+        return out;
+    }
+    it->second.deadline =
+        _clock() + std::chrono::nanoseconds(
+                       std::int64_t(_opts.leaseTimeoutS * 1e9));
+    (void)worker;
+    out.set("ok", json::Value::boolean_(true));
+    return out;
+}
+
+std::size_t
+Coordinator::expireStale()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const TimePoint now = _clock();
+    std::size_t expired = 0;
+    for (auto it = _leases.begin(); it != _leases.end();) {
+        if (it->second.deadline > now) {
+            ++it;
+            continue;
+        }
+        Lease l = std::move(it->second);
+        it = _leases.erase(it);
+        ++expired;
+        // Unfinished points go to the FRONT (reverse order, so the
+        // queue preserves ascending grid order): reassign dead work
+        // before untouched work, keeping the tail latency bounded.
+        std::size_t returned = 0;
+        for (auto k = l.indices.rbegin(); k != l.indices.rend(); ++k) {
+            if (_state[*k] == PointState::Leased) {
+                _state[*k] = PointState::Pending;
+                _pending.push_front(*k);
+                ++returned;
+            }
+        }
+        leasesExpired().inc();
+        obs::recordEvent(obs::EventSeverity::Warn, "lease.expire", "",
+                         "lease " + std::to_string(l.id) + " (" +
+                             l.worker + ") timed out; " +
+                             std::to_string(returned) +
+                             " points requeued");
+    }
+    return expired;
+}
+
+std::size_t
+Coordinator::donePoints() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _done;
+}
+
+void
+Coordinator::finalizeLocked()
+{
+    _finalized = true;
+
+    // Reassemble grid-ordered records exactly the way a resumed local
+    // sweep would: every entry came in as a canonical checkpoint line,
+    // so the export is byte-identical to a single-process run.
+    std::vector<EvalRecord> records;
+    records.reserve(_keys.size());
+    for (std::size_t k = 0; k < _keys.size(); ++k) {
+        GridPoint p = _expander->at(k);
+        EvalRecord &r = p.record;
+        const CheckpointEntry &e = _entries[k];
+        r.metrics = e.metrics;
+        r.status = e.failed ? PointStatus::Failed : PointStatus::Ok;
+        r.error = e.error;
+        r.why = classify(r.metrics, _opts.constraints);
+        records.push_back(std::move(r));
+    }
+
+    if (_ckpt)
+        _ckpt->flush();
+    if (!_opts.outPath.empty()) {
+        writeFile(_opts.outPath,
+                  _opts.outJson ? toJson(records) : toCsv(records));
+
+        const obs::Snapshot snap = obs::snapshot();
+        obs::ManifestBuilder m = obs::runManifest(
+            "neurometer coordinate", "neurometer serve --coordinate");
+        m.set("points", std::int64_t(_keys.size()))
+            .set("lease_size", std::int64_t(_opts.leaseSize))
+            .set("lease_timeout_s", _opts.leaseTimeoutS)
+            .set("leases_granted",
+                 std::int64_t(snap.counter("coord.leases.granted")))
+            .set("leases_expired",
+                 std::int64_t(snap.counter("coord.leases.expired")))
+            .set("leases_reassigned",
+                 std::int64_t(snap.counter("coord.leases.reassigned")))
+            .set("duplicate_rows",
+                 std::int64_t(
+                     snap.counter("coord.reports.duplicate_rows")))
+            .set("output", _opts.outPath)
+            .set("format", _opts.outJson ? "json" : "csv")
+            .raw("events", obs::eventsJson(40));
+        obs::writeTextFile(_opts.outPath + ".manifest.json", m.str());
+    }
+
+    obs::recordEvent(obs::EventSeverity::Info, "coord.done", "",
+                     std::to_string(_keys.size()) + " points merged" +
+                         (_opts.outPath.empty()
+                              ? ""
+                              : " -> " + _opts.outPath));
+    _complete.store(true, std::memory_order_release);
+}
+
+std::string
+Coordinator::statusText() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    const TimePoint now = _clock();
+    char line[192];
+    std::string out = "\ncoordinator:\n";
+    std::snprintf(line, sizeof(line),
+                  "  points:       %zu / %zu done, %zu queued, %zu "
+                  "leases active\n",
+                  _done, _keys.size(), _pending.size(), _leases.size());
+    out += line;
+    for (const auto &[id, l] : _leases) {
+        const double left =
+            std::chrono::duration<double>(l.deadline - now).count();
+        std::snprintf(line, sizeof(line),
+                      "  lease %-6llu %-12s %3zu pts, expires in "
+                      "%.1fs\n",
+                      static_cast<unsigned long long>(id),
+                      l.worker.c_str(), l.indices.size(), left);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace neurometer::serve

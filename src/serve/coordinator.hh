@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The sweep coordinator: fault-tolerant work distribution for sharded
+ * sweeps, layered on the serve daemon's JSON-over-TCP protocol.
+ *
+ * `neurometer serve --coordinate` owns one sweep grid and leases index
+ * ranges of it to `neurometer work` processes. The protocol adds four
+ * methods to the daemon:
+ *
+ *   job       {}                          -> {config, axes, points,
+ *                                             lease_timeout_s,
+ *                                             heartbeat_s}
+ *   lease     {worker}                    -> {lease, indices} |
+ *                                            {wait, retry_ms} | {done}
+ *   report    {worker, lease, rows:[{index, entry}]}
+ *                                         -> {done, total, complete,
+ *                                             duplicates}
+ *   heartbeat {worker, lease}             -> {ok} | {ok:false, expired}
+ *
+ * Liveness is heartbeat-based: a lease not renewed within the
+ * configured timeout expires, its unfinished points return to the
+ * front of the queue, and the next lease() call — from any surviving
+ * worker — picks them up (counted in `coord.leases.reassigned`). Rows
+ * travel as checkpointEntryLine() strings, the exact bytes a local
+ * checkpoint would hold, so metrics cross the wire bit-identically and
+ * the finalized export matches a single-process sweep byte for byte.
+ * Reports are idempotent: a point reported twice (late report after
+ * expiry + reassignment) counts once, duplicates are tallied, and an
+ * ok row is never displaced by a failed one.
+ *
+ * Degradation is graceful in both directions: killed workers only slow
+ * the sweep down (their leases expire and reassign), and a sweep with
+ * a single surviving worker still completes.
+ */
+
+#ifndef NEUROMETER_SERVE_COORDINATOR_HH
+#define NEUROMETER_SERVE_COORDINATOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/optimizer.hh"
+#include "common/json.hh"
+#include "explore/checkpoint.hh"
+#include "explore/sweep.hh"
+
+namespace neurometer::serve {
+
+/** `neurometer serve --coordinate` knobs. */
+struct CoordinateOptions
+{
+    /** Master switch: false = the daemon has no coordinator. */
+    bool enabled = false;
+    /** The chip config text every worker evaluates against. */
+    std::string configText{};
+    /** Sweep axes, identical to a local sweep's --axis specs. */
+    std::vector<NamedAxis> axes{};
+    /** Points per lease; 0 = auto (grid/16, clamped to [1, 32]). */
+    std::size_t leaseSize = 0;
+    /** Seconds without a heartbeat/report before a lease expires. */
+    double leaseTimeoutS = 10.0;
+    /** Suggested heartbeat cadence for workers; 0 = timeout / 3. */
+    double heartbeatS = 0.0;
+    /** Merged export written when the sweep completes (empty = none). */
+    std::string outPath{};
+    /** Export JSON instead of CSV. */
+    bool outJson = false;
+    /** Durable checkpoint ledger of reported points (empty = none);
+     *  the finished file is --resume compatible. */
+    std::string checkpointPath{};
+    DesignConstraints constraints{};
+};
+
+/**
+ * The lease ledger and merge endpoint. Thread-safe: connection threads
+ * call job/lease/report/heartbeat concurrently while the server's run
+ * loop drives expireStale(). The steady clock is injectable so expiry
+ * logic is testable without real waiting.
+ */
+class Coordinator
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+    using Clock = std::function<TimePoint()>;
+
+    /** Throws ConfigError on a bad config/axes before any socket
+     *  work — a coordinator that cannot expand its grid never starts. */
+    explicit Coordinator(CoordinateOptions opts, Clock clock = {});
+
+    /** @name Protocol handlers (results for the wire, pre-`ok` wrap) */
+    /** @{ */
+    json::Value job() const;
+    json::Value lease(const std::string &worker);
+    json::Value report(const std::string &worker, std::uint64_t leaseId,
+                       const json::Value &rows);
+    json::Value heartbeat(const std::string &worker,
+                          std::uint64_t leaseId);
+    /** @} */
+
+    /**
+     * Expire leases whose deadline passed: their unfinished points go
+     * back to the *front* of the queue (reassigned before untouched
+     * work) and `coord.leases.expired` counts each. Returns how many
+     * leases expired. Called from the server's poll loop.
+     */
+    std::size_t expireStale();
+
+    /** True once every point is reported and the export is written. */
+    bool complete() const
+    {
+        return _complete.load(std::memory_order_acquire);
+    }
+
+    std::size_t totalPoints() const { return _keys.size(); }
+    std::size_t donePoints() const;
+
+    /** Human-readable section for /statusz: progress, queue depth,
+     *  and every active lease with its worker and time to expiry. */
+    std::string statusText() const;
+
+    const CoordinateOptions &options() const { return _opts; }
+
+  private:
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        std::string worker;
+        std::vector<std::size_t> indices; ///< not yet reported
+        TimePoint deadline{};
+        bool reassigned = false; ///< contained previously-leased work
+    };
+
+    enum class PointState : std::uint8_t { Pending, Leased, Done };
+
+    double heartbeatS() const;
+    void finalizeLocked();
+
+    CoordinateOptions _opts;
+    Clock _clock;
+    ChipConfig _base;
+    std::unique_ptr<GridExpander> _expander;
+    std::vector<std::string> _keys; ///< configKey() per grid index
+
+    mutable std::mutex _mu;
+    std::vector<PointState> _state;
+    std::vector<char> _everLeased; ///< reassignment detection
+    std::vector<CheckpointEntry> _entries; ///< valid where Done
+    std::deque<std::size_t> _pending; ///< grid indices, front = next
+    std::map<std::uint64_t, Lease> _leases;
+    std::uint64_t _nextLease = 0;
+    std::size_t _done = 0;
+    std::unique_ptr<SweepCheckpoint> _ckpt;
+    bool _finalized = false;
+    std::atomic<bool> _complete{false};
+};
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_COORDINATOR_HH

@@ -86,7 +86,10 @@ httpResponse(int status, const std::string &content_type,
 HttpReply
 httpGet(std::uint16_t port, const std::string &target, int timeout_ms)
 {
-    Fd fd = connectLocal(port);
+    // Retry the connect with bounded backoff: scrapers and CLI scripts
+    // routinely race the daemon's startup, and a first-ECONNREFUSED
+    // failure there is noise, not signal.
+    Fd fd = connectLocalRetry(port, timeout_ms);
     const std::string req = "GET " + target +
                             " HTTP/1.1\r\nHost: 127.0.0.1:" +
                             std::to_string(port) +

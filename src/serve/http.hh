@@ -57,8 +57,12 @@ struct HttpReply
 
 /**
  * Blocking GET of `target` from a daemon on 127.0.0.1:`port`. Reads
- * until the server closes (our responses always close). Throws
- * IoError on connect/transport failure or an unparseable response.
+ * until the server closes (our responses always close). The connect
+ * retries ECONNREFUSED with bounded exponential backoff (up to
+ * `timeout_ms`), so callers racing a daemon that is still binding its
+ * port converge instead of failing on the first refusal. Throws
+ * IoError on exhausted/hard connect failure, transport failure, or an
+ * unparseable response.
  */
 HttpReply httpGet(std::uint16_t port, const std::string &target,
                   int timeout_ms = 30000);

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/backoff.hh"
 #include "common/error.hh"
 
 namespace neurometer::serve {
@@ -181,6 +182,32 @@ ListenSocket::acceptClient(int timeout_ms)
     const int one = 1;
     ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return Fd{cfd};
+}
+
+Fd
+connectLocalRetry(std::uint16_t port, int budget_ms, std::uint64_t seed)
+{
+    Backoff backoff({.initialS = 0.02,
+                     .maxS = 0.5,
+                     .multiplier = 2.0,
+                     .jitter = 0.25,
+                     .seed = seed});
+    double waited_s = 0.0;
+    for (;;) {
+        try {
+            return connectLocal(port);
+        } catch (const IoError &) {
+            // Only the startup races are worth retrying: the daemon
+            // has not bound yet (refused) or the SYN got dropped.
+            if (errno != ECONNREFUSED && errno != ETIMEDOUT)
+                throw;
+            const double delay_s = backoff.nextS();
+            if ((waited_s + delay_s) * 1e3 > double(budget_ms))
+                throw;
+            waited_s += delay_s;
+            ::usleep(useconds_t(delay_s * 1e6));
+        }
+    }
 }
 
 Fd

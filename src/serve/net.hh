@@ -127,6 +127,17 @@ class ListenSocket
 /** Connect to the loopback daemon at `port` (tests, smoke clients). */
 Fd connectLocal(std::uint16_t port);
 
+/**
+ * connectLocal with bounded exponential-backoff retries on
+ * ECONNREFUSED/ETIMEDOUT — the race every script loses when it starts
+ * a daemon and connects "immediately". Retries for up to
+ * `budget_ms` of accumulated backoff (common/backoff.hh schedule,
+ * deterministic jitter from `seed`), then rethrows the last IoError.
+ * Hard failures other than refused/timeout are not retried.
+ */
+Fd connectLocalRetry(std::uint16_t port, int budget_ms = 5000,
+                     std::uint64_t seed = 0);
+
 } // namespace neurometer::serve
 
 #endif // NEUROMETER_SERVE_NET_HH

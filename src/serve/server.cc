@@ -140,6 +140,8 @@ Server::Server(ServeOptions opts)
 {
     _maxInflight = _opts.maxInflight > 0 ? _opts.maxInflight
                                          : 2 * _pool.numThreads();
+    if (_opts.coordinate.enabled)
+        _coordinator = std::make_unique<Coordinator>(_opts.coordinate);
     _startTime = std::chrono::steady_clock::now();
 }
 
@@ -163,7 +165,26 @@ void
 Server::run()
 {
     start();
+    // Once the coordinated sweep completes, linger briefly before
+    // closing sockets: workers idling in a {wait, retry_ms} backoff
+    // (<= 500ms) must get their {done} answer instead of a torn
+    // connection. Non-coordinator daemons never set this.
+    std::chrono::steady_clock::time_point drain_until{};
     while (!_opts.cancel.cancelled()) {
+        if (_coordinator != nullptr) {
+            // The poll loop is the coordinator's liveness driver:
+            // expire overdue leases every tick, and shut down once
+            // the sweep is complete, the export is on disk, and the
+            // drain window has passed.
+            _coordinator->expireStale();
+            if (_coordinator->complete()) {
+                const auto now = std::chrono::steady_clock::now();
+                if (drain_until == std::chrono::steady_clock::time_point{})
+                    drain_until = now + std::chrono::seconds(1);
+                else if (now >= drain_until)
+                    break;
+            }
+        }
         std::this_thread::sleep_for(
             std::chrono::milliseconds(_opts.pollIntervalMs));
     }
@@ -363,6 +384,9 @@ Server::statuszText()
             snap.counter("serve.http_requests")));
     out += line;
 
+    if (_coordinator != nullptr)
+        out += _coordinator->statusText();
+
     const auto rates = snap.hitRates();
     if (!rates.empty()) {
         out += "\ncache hit rates:\n";
@@ -501,6 +525,11 @@ Server::handle(const Request &req, std::uint64_t rid)
     if (req.method == "health") {
         obs::TraceScope span("serve.health");
         return handleHealth();
+    }
+    if (req.method == "job" || req.method == "lease" ||
+        req.method == "report" || req.method == "heartbeat") {
+        obs::TraceScope span("serve.coordinate");
+        return handleCoordinate(req);
     }
     throw ConfigError("unknown method '" + req.method + "'");
 }
@@ -694,6 +723,33 @@ Server::handleSearch(const Request &req, std::uint64_t rid)
     if (!r.stats.cancelled)
         searches.inc();
     return out.dump();
+}
+
+std::string
+Server::handleCoordinate(const Request &req)
+{
+    requireConfig(_coordinator != nullptr,
+                  "'" + req.method +
+                      "' requires a coordinating daemon (serve "
+                      "--coordinate)");
+    if (req.method == "job")
+        return _coordinator->job().dump();
+
+    const std::string worker = stringParam(req, "worker");
+    if (req.method == "lease")
+        return _coordinator->lease(worker).dump();
+
+    const double lease = numberParamOr(req, "lease", -1.0);
+    requireConfig(lease >= 0 && lease == double(std::uint64_t(lease)),
+                  "'lease' must be a non-negative integer");
+    const auto leaseId = std::uint64_t(lease);
+    if (req.method == "heartbeat")
+        return _coordinator->heartbeat(worker, leaseId).dump();
+
+    const json::Value *rows =
+        req.params.isObject() ? req.params.find("rows") : nullptr;
+    requireConfig(rows != nullptr, "'rows' is required");
+    return _coordinator->report(worker, leaseId, *rows).dump();
 }
 
 std::string

@@ -85,6 +85,7 @@
 #include "explore/cancel.hh"
 #include "explore/eval_cache.hh"
 #include "explore/thread_pool.hh"
+#include "serve/coordinator.hh"
 #include "serve/net.hh"
 #include "serve/protocol.hh"
 
@@ -106,6 +107,11 @@ struct ServeOptions
     /** Accept/read poll granularity — the upper bound on how long a
      *  blocked thread takes to notice shutdown (tests shrink it). */
     int pollIntervalMs = 100;
+    /** Sweep-coordinator mode (serve/coordinator.hh): when enabled,
+     *  the daemon also answers job/lease/report/heartbeat, run()'s
+     *  poll loop drives lease expiry, and run() returns once every
+     *  point is reported and the merged export is written. */
+    CoordinateOptions coordinate{};
 };
 
 /**
@@ -153,6 +159,9 @@ class Server
     EvalCache &cache() { return _cache; }
     ThreadPool &pool() { return _pool; }
 
+    /** The coordinator when --coordinate is on, else nullptr. */
+    Coordinator *coordinator() { return _coordinator.get(); }
+
     /**
      * Process one request line into one response line — the whole
      * protocol minus the sockets. Public so unit tests (and embedders
@@ -188,11 +197,16 @@ class Server
     std::string handleSweep(const Request &req, std::uint64_t rid);
     std::string handleSearch(const Request &req, std::uint64_t rid);
     std::string handleHealth();
+    /** job/lease/report/heartbeat — the coordinator methods. These
+     *  bypass max-inflight admission: they are bookkeeping, and a
+     *  worker's report must never bounce off a busy daemon. */
+    std::string handleCoordinate(const Request &req);
 
     ServeOptions _opts;
     int _maxInflight = 0;
     ThreadPool _pool;
     EvalCache _cache;
+    std::unique_ptr<Coordinator> _coordinator;
 
     std::unique_ptr<ListenSocket> _listen;
     std::uint16_t _port = 0;

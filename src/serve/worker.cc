@@ -1,0 +1,289 @@
+#include "serve/worker.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/optimizer.hh"
+#include "common/error.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "explore/checkpoint.hh"
+#include "explore/eval_cache.hh"
+#include "explore/sweep.hh"
+#include "neurometer/api.hh"
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+
+namespace neurometer::serve {
+
+namespace {
+
+/** One blocking request/response exchange with the coordinator. */
+class Rpc
+{
+  public:
+    Rpc(Fd fd, CancelToken cancel)
+        : _fd(std::move(fd)), _reader(_fd.get()),
+          _cancel(std::move(cancel))
+    {}
+
+    /** Send `method`+`params`, block for the reply, unwrap `result`.
+     *  A wire-level error becomes ConfigError; EOF becomes IoError. */
+    json::Value
+    call(const std::string &method, json::Value params)
+    {
+        json::Value req = json::Value::object_();
+        req.set("method", json::Value::string_(method))
+            .set("id", json::Value::number_(double(++_seq)))
+            .set("params", std::move(params));
+        writeLine(_fd.get(), req.dump());
+
+        std::string line;
+        for (;;) {
+            const ReadStatus st = _reader.readLine(line, 200);
+            if (st == ReadStatus::Line)
+                break;
+            if (st == ReadStatus::Eof)
+                throw IoError("coordinator closed the connection");
+            if (_cancel.cancelled())
+                throw IoError(
+                    "cancelled while waiting for the coordinator");
+        }
+        const json::Value resp = json::parse(line);
+        const json::Value *ok = resp.find("ok");
+        requireConfig(ok != nullptr, "response missing 'ok'");
+        if (!ok->asBool()) {
+            const json::Value *err = resp.find("error");
+            std::string msg = method + " failed";
+            if (err != nullptr && err->isObject()) {
+                if (const json::Value *m = err->find("message"))
+                    msg += ": " + m->asString();
+            }
+            throw ConfigError(msg);
+        }
+        const json::Value *result = resp.find("result");
+        requireConfig(result != nullptr, "response missing 'result'");
+        return *result;
+    }
+
+  private:
+    Fd _fd;
+    LineReader _reader;
+    CancelToken _cancel;
+    std::uint64_t _seq = 0;
+};
+
+/** The job description, parsed off the wire. */
+struct Job
+{
+    ChipConfig base;
+    std::vector<NamedAxis> axes;
+    std::size_t points = 0;
+    double heartbeatS = 0.0;
+};
+
+Job
+parseJob(const json::Value &v)
+{
+    Job job;
+    const json::Value *config = v.find("config");
+    requireConfig(config != nullptr, "job missing 'config'");
+    job.base = ChipConfig::fromString(config->asString(), "<job>");
+
+    const json::Value *axes = v.find("axes");
+    requireConfig(axes != nullptr && axes->isArray(),
+                  "job missing 'axes'");
+    for (const json::Value &ax : axes->items) {
+        NamedAxis a;
+        const json::Value *path = ax.find("path");
+        const json::Value *values = ax.find("values");
+        requireConfig(path != nullptr && values != nullptr &&
+                          values->isArray(),
+                      "malformed job axis");
+        a.path = path->asString();
+        for (const json::Value &val : values->items)
+            a.values.push_back(val.asString());
+        job.axes.push_back(std::move(a));
+    }
+    if (const json::Value *n = v.find("points"))
+        job.points = std::size_t(n->asNumber());
+    if (const json::Value *hb = v.find("heartbeat_s"))
+        job.heartbeatS = hb->asNumber();
+    return job;
+}
+
+/** Evaluate grid point `k` into its canonical checkpoint entry; an
+ *  evaluation failure is isolated into the entry, not thrown. */
+CheckpointEntry
+evalPoint(const GridExpander &expander, std::size_t k)
+{
+    const GridPoint p = expander.at(k);
+    CheckpointEntry e;
+    e.key = configKey(p.config);
+    try {
+        e.metrics = measurePoint(p.config);
+    } catch (...) {
+        e.failed = true;
+        e.error = captureCurrentException("work.eval");
+    }
+    return e;
+}
+
+} // namespace
+
+int
+runWorker(const WorkerOptions &opts)
+{
+    const std::string name =
+        opts.name.empty() ? "w" + std::to_string(::getpid()) : opts.name;
+
+    Rpc rpc(connectLocalRetry(opts.port, opts.connectBudgetMs,
+                              stableHash64(name)),
+            opts.cancel);
+    const Job job = parseJob(rpc.call("job", json::Value::object_()));
+    const GridExpander expander(sweepGridForConfig(job.base, job.axes),
+                                job.base);
+    requireConfig(expander.size() == job.points || job.points == 0,
+                  "job grid size disagrees with the coordinator");
+
+    // Optional local memo: points this worker (or a predecessor on the
+    // same checkpoint file) already evaluated are re-reported from the
+    // memo instead of re-run. Keys the memo by configKey, same as the
+    // coordinator's ledger.
+    std::unique_ptr<SweepCheckpoint> memo;
+    std::unordered_map<std::string, CheckpointEntry> known;
+    if (!opts.checkpointPath.empty()) {
+        const std::string baseKey = configKey(job.base);
+        known = SweepCheckpoint::load(opts.checkpointPath, baseKey);
+        memo = std::make_unique<SweepCheckpoint>(opts.checkpointPath,
+                                                 baseKey, 8);
+        for (const auto &[key, entry] : known)
+            memo->add(entry);
+    }
+
+    using SteadyClock = std::chrono::steady_clock;
+    std::size_t leasesTaken = 0;
+    for (;;) {
+        if (opts.cancel.cancelled())
+            return 3;
+
+        json::Value params = json::Value::object_();
+        params.set("worker", json::Value::string_(name));
+        const json::Value granted = rpc.call("lease", std::move(params));
+
+        if (const json::Value *done = granted.find("done");
+            done != nullptr && done->asBool()) {
+            if (memo)
+                memo->flush();
+            return 0;
+        }
+        if (granted.find("wait") != nullptr) {
+            double retry_ms = 200.0;
+            if (const json::Value *r = granted.find("retry_ms"))
+                retry_ms = r->asNumber();
+            // Sleep in short slices so cancellation stays responsive.
+            auto left_us = useconds_t(retry_ms * 1e3);
+            while (left_us > 0 && !opts.cancel.cancelled()) {
+                const useconds_t slice =
+                    left_us < 50000 ? left_us : useconds_t(50000);
+                ::usleep(slice);
+                left_us -= slice;
+            }
+            continue;
+        }
+
+        const json::Value *leaseId = granted.find("lease");
+        const json::Value *indices = granted.find("indices");
+        requireConfig(leaseId != nullptr && indices != nullptr &&
+                          indices->isArray(),
+                      "malformed lease grant");
+        ++leasesTaken;
+        const bool abandon = opts.abandonAfterLeases != 0 &&
+                             leasesTaken >= opts.abandonAfterLeases;
+
+        json::Value rows = json::Value::array_();
+        auto last_beat = SteadyClock::now();
+        bool cancelled = false;
+        for (const json::Value &idx : indices->items) {
+            if (opts.cancel.cancelled()) {
+                cancelled = true;
+                break;
+            }
+            const std::size_t k = std::size_t(idx.asNumber());
+            requireConfig(k < expander.size(),
+                          "leased index out of range");
+
+            CheckpointEntry e;
+            const std::string key = configKey(expander.at(k).config);
+            if (const auto it = known.find(key); it != known.end()) {
+                e = it->second; // memoized: re-report, don't re-run
+            } else {
+                e = evalPoint(expander, k);
+                if (opts.throttleMs > 0)
+                    ::usleep(useconds_t(opts.throttleMs) * 1000);
+                known.emplace(e.key, e);
+                if (memo)
+                    memo->add(e);
+            }
+
+            json::Value row = json::Value::object_();
+            row.set("index", json::Value::number_(double(k)))
+                .set("entry",
+                     json::Value::string_(checkpointEntryLine(e)));
+            rows.push(std::move(row));
+
+            if (job.heartbeatS > 0.0) {
+                const double since =
+                    std::chrono::duration<double>(SteadyClock::now() -
+                                                  last_beat)
+                        .count();
+                if (since >= job.heartbeatS) {
+                    json::Value hb = json::Value::object_();
+                    hb.set("worker", json::Value::string_(name))
+                        .set("lease", *leaseId);
+                    const json::Value pong =
+                        rpc.call("heartbeat", std::move(hb));
+                    last_beat = SteadyClock::now();
+                    if (const json::Value *ok = pong.find("ok");
+                        ok != nullptr && !ok->asBool())
+                        break; // lease expired under us: stop early,
+                               // report what we have (idempotent)
+                }
+            }
+        }
+
+        if (abandon) {
+            // Crash simulation: vanish without reporting. The lease
+            // expires on the coordinator and its points reassign.
+            if (memo)
+                memo->flush();
+            return 0;
+        }
+
+        json::Value rep = json::Value::object_();
+        rep.set("worker", json::Value::string_(name))
+            .set("lease", *leaseId)
+            .set("rows", std::move(rows));
+        const json::Value ack = rpc.call("report", std::move(rep));
+
+        if (cancelled) {
+            if (memo)
+                memo->flush();
+            return 3;
+        }
+        if (const json::Value *complete = ack.find("complete");
+            complete != nullptr && complete->asBool()) {
+            if (memo)
+                memo->flush();
+            return 0;
+        }
+    }
+}
+
+} // namespace neurometer::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The sweep worker: `neurometer work` — the client half of the
+ * coordinator protocol (serve/coordinator.hh).
+ *
+ * A worker connects to a coordinating daemon (with bounded-backoff
+ * connect retries, so a fleet launched alongside the coordinator
+ * converges instead of racing the bind), fetches the job description,
+ * then loops: lease a batch of grid indices, evaluate each point
+ * locally (measurePoint, failures isolated into checkpoint rows, never
+ * aborting the lease), heartbeat while the batch runs, and report the
+ * finished rows as canonical checkpointEntryLine() strings. On {wait}
+ * it idles the suggested interval; on {done} it exits 0.
+ *
+ * Fault model: the worker is the expendable side. Its death (SIGKILL
+ * included) costs nothing but the current lease — the coordinator
+ * expires and reassigns it. Re-executing a reassigned lease is safe by
+ * construction: evaluation is deterministic and the coordinator's
+ * report handler is idempotent. An optional local checkpoint memoizes
+ * completed points across worker restarts, so a restarted worker
+ * re-reports rather than re-evaluates work it already finished.
+ */
+
+#ifndef NEUROMETER_SERVE_WORKER_HH
+#define NEUROMETER_SERVE_WORKER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "explore/cancel.hh"
+
+namespace neurometer::serve {
+
+/** `neurometer work` knobs. */
+struct WorkerOptions
+{
+    /** Coordinator port on 127.0.0.1. */
+    std::uint16_t port = 0;
+    /** Worker name in leases/events; empty = "w<pid>". */
+    std::string name{};
+    /** Local checkpoint memo (empty = none): completed points survive
+     *  worker restarts and are re-reported, not re-evaluated. */
+    std::string checkpointPath{};
+    /** Artificial per-point delay — lets tests and smoke scripts hold
+     *  a lease open long enough to kill the worker mid-batch. */
+    int throttleMs = 0;
+    /** Connect-retry budget (serve/net.hh connectLocalRetry). */
+    int connectBudgetMs = 5000;
+    /** Drop the connection and return after N leases without
+     *  reporting the last one — a test hook simulating a crash that
+     *  forces lease expiry + reassignment. 0 = run to completion. */
+    std::size_t abandonAfterLeases = 0;
+    CancelToken cancel{};
+};
+
+/**
+ * Run one worker to completion. Returns the process exit code:
+ * 0 = the sweep completed ({done} received), 3 = cancelled mid-run
+ * (the coordinator will reassign the abandoned lease), 0 also for the
+ * abandonAfterLeases test hook. Throws ConfigError/IoError on a bad
+ * job description or an unrecoverable transport failure.
+ */
+int runWorker(const WorkerOptions &opts);
+
+} // namespace neurometer::serve
+
+#endif // NEUROMETER_SERVE_WORKER_HH

@@ -1,0 +1,1009 @@
+/**
+ * @file
+ * Sharded-sweep and coordinator tests: the stable hash and backoff
+ * primitives, deterministic i-of-N shard partitioning (axis-order
+ * independent), the byte-stable checkpoint merge with its edge cases
+ * (overlap, ok-beats-failed, last-writer-wins, torn tails, empty
+ * shards), the fault-tolerant lease coordinator (grants, heartbeats,
+ * expiry, reassignment, idempotent reports), and the headline
+ * property end to end — a coordinated sweep with an abandoned worker
+ * still produces output byte-identical to a single-process run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chip/config.hh"
+#include "chip/optimizer.hh"
+#include "common/backoff.hh"
+#include "common/error.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "common/units.hh"
+#include "explore/cancel.hh"
+#include "explore/checkpoint.hh"
+#include "explore/eval_cache.hh"
+#include "explore/export.hh"
+#include "explore/shard.hh"
+#include "explore/sweep.hh"
+#include "neurometer/api.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
+#include "serve/coordinator.hh"
+#include "serve/net.hh"
+#include "serve/server.hh"
+#include "serve/worker.hh"
+
+namespace neurometer {
+namespace {
+
+ChipConfig
+smallBase()
+{
+    ChipConfig cfg;
+    cfg.nodeNm = 28.0;
+    cfg.freqHz = 700e6;
+    cfg.totalMemBytes = 8.0 * units::mib;
+    cfg.offchipBwBytesPerS = 700e9;
+    cfg.nocBisectionBwBytesPerS = 256e9;
+    return cfg;
+}
+
+/** A 6-point grid, cheap enough to sweep repeatedly. */
+SweepGrid
+sixPoints()
+{
+    SweepGrid g;
+    g.tuLengths = {8, 16, 32};
+    g.tuPerCore = {1};
+    g.coreGrids = {{1, 1}, {2, 1}};
+    return g;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.good()) << path;
+    std::string s((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+    return s;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream f(path);
+    return f.good();
+}
+
+/** Self-deleting temp path under the test temp dir. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &tag)
+        : path(testing::TempDir() + "shard_" + tag)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+/** All configKey()s of `grid` over `base`, enumeration order. */
+std::vector<std::string>
+gridKeys(const SweepGrid &grid, const ChipConfig &base)
+{
+    const GridExpander x(grid, base);
+    std::vector<std::string> keys;
+    for (std::size_t k = 0; k < x.size(); ++k)
+        keys.push_back(configKey(x.at(k).config));
+    return keys;
+}
+
+CheckpointEntry
+okEntry(const std::string &key, double tops)
+{
+    CheckpointEntry e;
+    e.key = key;
+    e.metrics.buildOk = true;
+    e.metrics.peakTops = tops;
+    return e;
+}
+
+CheckpointEntry
+failedEntry(const std::string &key)
+{
+    CheckpointEntry e;
+    e.key = key;
+    e.failed = true;
+    e.error = {ErrorCategory::Model, "test.site", "injected boom"};
+    return e;
+}
+
+/** Write a well-formed shard checkpoint file holding `entries`. */
+void
+writeShardFile(const std::string &path, const std::string &baseKey,
+               const std::vector<CheckpointEntry> &entries)
+{
+    SweepCheckpoint ck(path, baseKey, 1);
+    ck.seed(entries);
+    ck.flush();
+}
+
+// ---------------------------------------------------------------------
+// stableHash64
+
+TEST(StableHash, DeterministicAcrossCallsAndSpread)
+{
+    static_assert(stableHash64("a") != stableHash64("b"),
+                  "stableHash64 must be usable at compile time");
+    EXPECT_EQ(stableHash64("neurometer"), stableHash64("neurometer"));
+    EXPECT_NE(stableHash64(""), stableHash64(" "));
+
+    // Near-identical keys must still spread across a small modulus:
+    // with 64 keys differing in one digit, no 4-way bucket stays empty.
+    std::set<std::uint64_t> buckets;
+    for (int i = 0; i < 64; ++i)
+        buckets.insert(stableHash64("key" + std::to_string(i)) % 4);
+    EXPECT_EQ(buckets.size(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Backoff
+
+TEST(Backoff, NoJitterScheduleIsExactBoundedDoubling)
+{
+    Backoff b({.initialS = 0.05,
+               .maxS = 2.0,
+               .multiplier = 2.0,
+               .jitter = 0.0,
+               .seed = 0});
+    const std::vector<double> want = {0.05, 0.1, 0.2, 0.4,
+                                      0.8,  1.6, 2.0, 2.0};
+    for (const double w : want)
+        EXPECT_DOUBLE_EQ(b.nextS(), w);
+    EXPECT_EQ(b.attempts(), want.size());
+}
+
+TEST(Backoff, JitterIsBoundedAndDeterministicPerSeed)
+{
+    Backoff::Options opts;
+    opts.seed = 42;
+    Backoff a(opts), b(opts);
+    Backoff other([] {
+        Backoff::Options o;
+        o.seed = 43;
+        return o;
+    }());
+
+    bool differs = false;
+    double nominal = opts.initialS;
+    for (int i = 0; i < 8; ++i) {
+        const double da = a.nextS();
+        const double db = b.nextS();
+        const double dc = other.nextS();
+        EXPECT_DOUBLE_EQ(da, db); // same seed: identical schedule
+        differs = differs || da != dc;
+        EXPECT_GE(da, nominal * (1.0 - opts.jitter));
+        EXPECT_LE(da, nominal * (1.0 + opts.jitter));
+        if (nominal < opts.maxS)
+            nominal = std::min(nominal * opts.multiplier, opts.maxS);
+    }
+    EXPECT_TRUE(differs); // different seeds decorrelate
+}
+
+TEST(Backoff, ResetReplaysTheIdenticalSchedule)
+{
+    Backoff::Options opts;
+    opts.seed = 7;
+    Backoff b(opts);
+    std::vector<double> first;
+    for (int i = 0; i < 5; ++i)
+        first.push_back(b.nextS());
+    b.reset();
+    EXPECT_EQ(b.attempts(), 0u);
+    for (const double w : first)
+        EXPECT_DOUBLE_EQ(b.nextS(), w);
+}
+
+// ---------------------------------------------------------------------
+// ShardSpec
+
+TEST(ShardSpec, ParseRoundTripsThroughStr)
+{
+    const ShardSpec a = ShardSpec::parse("0/1");
+    EXPECT_EQ(a, (ShardSpec{0, 1}));
+    EXPECT_FALSE(a.active());
+
+    const ShardSpec b = ShardSpec::parse("2/8");
+    EXPECT_EQ(b, (ShardSpec{2, 8}));
+    EXPECT_TRUE(b.active());
+    EXPECT_EQ(ShardSpec::parse(b.str()), b);
+}
+
+TEST(ShardSpec, ParseRejectsMalformedSpecs)
+{
+    for (const char *bad : {"", "3", "/4", "3/", "4/4", "5/4", "a/4",
+                            "1/x", "1/0", "1//2"})
+        EXPECT_THROW(ShardSpec::parse(bad), ConfigError) << bad;
+}
+
+TEST(ShardSpec, InactiveSpecOwnsEveryKey)
+{
+    const ShardSpec whole; // 0/1
+    EXPECT_TRUE(whole.owns(""));
+    EXPECT_TRUE(whole.owns("anything at all"));
+}
+
+TEST(ShardSpec, EveryKeyIsOwnedByExactlyOneShard)
+{
+    const std::vector<std::string> keys =
+        gridKeys(sixPoints(), smallBase());
+    ASSERT_EQ(keys.size(), 6u);
+    for (const std::size_t n : {2u, 3u, 5u}) {
+        for (const std::string &key : keys) {
+            std::size_t owners = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                owners += ShardSpec{i, n}.owns(key) ? 1 : 0;
+            EXPECT_EQ(owners, 1u)
+                << key << " with " << n << " shards";
+        }
+    }
+}
+
+TEST(ShardSpec, OwnershipIsIndependentOfAxisOrder)
+{
+    // The same point set spelled with axes in two different orders
+    // enumerates differently, but shard membership is keyed on the
+    // resolved config — the per-shard key sets must match exactly.
+    const ChipConfig base = smallBase();
+    SweepGrid a, b;
+    a.axis("core.tu.rows", {8, 16}).axis("core.numTU", {1, 2});
+    b.axis("core.numTU", {1, 2}).axis("core.tu.rows", {8, 16});
+
+    const std::vector<std::string> ka = gridKeys(a, base);
+    const std::vector<std::string> kb = gridKeys(b, base);
+    ASSERT_EQ(ka.size(), kb.size());
+    EXPECT_NE(ka, kb); // genuinely different enumeration order
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ShardSpec shard{i, 3};
+        std::set<std::string> owned_a, owned_b;
+        for (const std::string &k : ka)
+            if (shard.owns(k))
+                owned_a.insert(k);
+        for (const std::string &k : kb)
+            if (shard.owns(k))
+                owned_b.insert(k);
+        EXPECT_EQ(owned_a, owned_b) << "shard " << shard.str();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded SweepEngine runs
+
+TEST(ShardedSweep, ShardsPartitionTheGridExactly)
+{
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sixPoints();
+
+    SweepOptions full_opts;
+    full_opts.threads = 1;
+    SweepEngine full(base, full_opts);
+    const std::vector<EvalRecord> all = full.run(grid);
+    ASSERT_EQ(all.size(), 6u);
+
+    std::size_t covered = 0, off = 0;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < 3; ++i) {
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.shardIndex = i;
+        opts.shardCount = 3;
+        SweepEngine eng(base, opts);
+        const std::vector<EvalRecord> recs = eng.run(grid);
+        const SweepRunStats &stats = eng.lastRun();
+        EXPECT_EQ(stats.total, 6u);
+        EXPECT_EQ(stats.offShard, 6u - recs.size());
+        EXPECT_EQ(stats.evaluated, recs.size());
+        covered += recs.size();
+        off += stats.offShard;
+        for (const EvalRecord &r : recs)
+            EXPECT_TRUE(seen.insert(pointLabel(r)).second)
+                << "point evaluated by two shards: " << pointLabel(r);
+    }
+    EXPECT_EQ(covered, 6u); // disjoint and complete
+    EXPECT_EQ(off, 12u);    // each shard skips the other two thirds
+}
+
+TEST(ShardedSweep, MergedShardsMatchSingleProcessByteForByte)
+{
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sixPoints();
+    const std::string base_key = configKey(base);
+
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(base, ref_opts);
+    const std::vector<EvalRecord> want = ref.run(grid);
+    const std::string want_csv = toCsv(want);
+    const std::string want_json = toJson(want);
+
+    std::vector<std::string> shard_files;
+    std::vector<std::unique_ptr<TempFile>> tmp;
+    for (std::size_t i = 0; i < 3; ++i) {
+        tmp.push_back(std::make_unique<TempFile>(
+            "merge_shard" + std::to_string(i) + ".jsonl"));
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.shardIndex = i;
+        opts.shardCount = 3;
+        opts.checkpointPath = tmp.back()->path;
+        opts.checkpointEveryN = 1;
+        SweepEngine eng(base, opts);
+        eng.run(grid);
+        shard_files.push_back(tmp.back()->path);
+    }
+
+    MergeStats stats;
+    const std::vector<CheckpointEntry> entries =
+        mergeCheckpoints(shard_files, base_key, &stats);
+    EXPECT_EQ(stats.files, 3u);
+    EXPECT_EQ(stats.rows, 6u);
+    EXPECT_EQ(stats.unique, 6u);
+    EXPECT_EQ(stats.duplicates, 0u);
+
+    const AssembledRecords out =
+        assembleRecords(grid, base, entries);
+    EXPECT_EQ(out.missingCount, 0u);
+    EXPECT_EQ(toCsv(out.records), want_csv);
+    EXPECT_EQ(toJson(out.records), want_json);
+}
+
+// ---------------------------------------------------------------------
+// Merge edge cases
+
+TEST(Merge, OverlappingShardsDeduplicateToTheSameBytes)
+{
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sixPoints();
+    const std::string base_key = configKey(base);
+
+    // One full-coverage checkpoint plus a 2-way sharding of the same
+    // grid: every point appears at least twice across the three files.
+    TempFile full("overlap_full.jsonl");
+    TempFile s0("overlap_s0.jsonl"), s1("overlap_s1.jsonl");
+    std::string want_csv;
+    {
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.checkpointPath = full.path;
+        opts.checkpointEveryN = 1;
+        SweepEngine eng(base, opts);
+        want_csv = toCsv(eng.run(grid));
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        SweepOptions opts;
+        opts.threads = 1;
+        opts.shardIndex = i;
+        opts.shardCount = 2;
+        opts.checkpointPath = i == 0 ? s0.path : s1.path;
+        opts.checkpointEveryN = 1;
+        SweepEngine eng(base, opts);
+        eng.run(grid);
+    }
+
+    MergeStats stats;
+    const std::vector<CheckpointEntry> entries = mergeCheckpoints(
+        {full.path, s0.path, s1.path}, base_key, &stats);
+    EXPECT_EQ(stats.rows, 12u);
+    EXPECT_EQ(stats.unique, 6u);
+    EXPECT_EQ(stats.duplicates, 6u);
+
+    const AssembledRecords out = assembleRecords(grid, base, entries);
+    EXPECT_EQ(out.missingCount, 0u);
+    EXPECT_EQ(toCsv(out.records), want_csv);
+}
+
+TEST(Merge, OkBeatsFailedRegardlessOfFileOrder)
+{
+    TempFile failed_file("conflict_failed.jsonl");
+    TempFile ok_file("conflict_ok.jsonl");
+    writeShardFile(failed_file.path, "bk", {failedEntry("p1")});
+    writeShardFile(ok_file.path, "bk", {okEntry("p1", 3.5)});
+
+    // failed first, ok later: the ok row supersedes.
+    MergeStats stats;
+    std::vector<CheckpointEntry> merged = mergeCheckpoints(
+        {failed_file.path, ok_file.path}, "bk", &stats);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_FALSE(merged[0].failed);
+    EXPECT_EQ(merged[0].metrics.peakTops, 3.5);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.conflictsResolvedToOk, 1u);
+
+    // ok first, failed later: the failed row must NOT displace it.
+    merged = mergeCheckpoints({ok_file.path, failed_file.path}, "bk",
+                              &stats);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_FALSE(merged[0].failed);
+    EXPECT_EQ(merged[0].metrics.peakTops, 3.5);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.conflictsResolvedToOk, 0u);
+}
+
+TEST(Merge, EqualStatusResolvesLastWriterWins)
+{
+    TempFile a("lww_a.jsonl"), b("lww_b.jsonl");
+    writeShardFile(a.path, "bk", {okEntry("p1", 1.0), okEntry("p2", 9.0)});
+    writeShardFile(b.path, "bk", {okEntry("p1", 2.0)});
+
+    const std::vector<CheckpointEntry> merged =
+        mergeCheckpoints({a.path, b.path}, "bk", nullptr);
+    ASSERT_EQ(merged.size(), 2u);
+    // First-appearance order is preserved; the later row's value wins.
+    EXPECT_EQ(merged[0].key, "p1");
+    EXPECT_EQ(merged[0].metrics.peakTops, 2.0);
+    EXPECT_EQ(merged[1].key, "p2");
+    EXPECT_EQ(merged[1].metrics.peakTops, 9.0);
+}
+
+TEST(Merge, TornTailOnlyShardContributesNothing)
+{
+    // A shard killed mid-write leaves a header plus a torn partial
+    // line (no trailing newline). It must load as empty and leave the
+    // merge of the healthy shards untouched.
+    TempFile healthy("torn_healthy.jsonl");
+    TempFile torn("torn_tail.jsonl");
+    writeShardFile(healthy.path, "bk", {okEntry("p1", 1.0)});
+
+    writeShardFile(torn.path, "bk", {});
+    std::string torn_text = readFile(torn.path);
+    torn_text += checkpointEntryLine(okEntry("p2", 2.0)).substr(0, 17);
+    {
+        std::ofstream f(torn.path, std::ios::binary | std::ios::trunc);
+        f << torn_text; // no trailing newline: a torn tail
+    }
+
+    MergeStats stats;
+    const std::vector<CheckpointEntry> merged = mergeCheckpoints(
+        {torn.path, healthy.path}, "bk", &stats);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].key, "p1");
+    EXPECT_EQ(stats.rows, 1u);
+    EXPECT_EQ(stats.files, 2u);
+}
+
+TEST(Merge, EmptyAndMissingShardsAreIdentity)
+{
+    TempFile full("identity_full.jsonl");
+    TempFile empty("identity_empty.jsonl");
+    writeShardFile(full.path, "bk",
+                   {okEntry("p1", 1.0), okEntry("p2", 2.0)});
+    writeShardFile(empty.path, "bk", {}); // header-only: never started
+    const std::string never_written =
+        testing::TempDir() + "shard_identity_nonexistent.jsonl";
+    ASSERT_FALSE(fileExists(never_written));
+
+    const std::vector<CheckpointEntry> alone =
+        mergeCheckpoints({full.path}, "bk", nullptr);
+    const std::vector<CheckpointEntry> padded = mergeCheckpoints(
+        {empty.path, full.path, never_written}, "bk", nullptr);
+    EXPECT_EQ(alone, padded);
+
+    // Merging only empties yields no entries at all.
+    EXPECT_TRUE(
+        mergeCheckpoints({empty.path, never_written}, "bk", nullptr)
+            .empty());
+}
+
+TEST(Merge, RefusesShardsOfADifferentBaseConfig)
+{
+    TempFile ours("base_ours.jsonl");
+    TempFile theirs("base_theirs.jsonl");
+    writeShardFile(ours.path, "bk", {okEntry("p1", 1.0)});
+    writeShardFile(theirs.path, "other-chip", {okEntry("p2", 2.0)});
+    EXPECT_THROW(
+        mergeCheckpoints({ours.path, theirs.path}, "bk", nullptr),
+        ConfigError);
+}
+
+TEST(Assemble, UncoveredPointsAreReportedNotFabricated)
+{
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sixPoints();
+    const AssembledRecords out = assembleRecords(grid, base, {});
+    EXPECT_TRUE(out.records.empty());
+    EXPECT_EQ(out.missingCount, 6u);
+    ASSERT_EQ(out.missing.size(), 6u);
+    EXPECT_EQ(out.missing[0].gridIndex, 0u);
+    EXPECT_FALSE(out.missing[0].key.empty());
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+
+using serve::CoordinateOptions;
+using serve::Coordinator;
+
+/** Manually advanced steady clock for deterministic expiry tests. */
+struct FakeClock
+{
+    std::shared_ptr<Coordinator::TimePoint> now =
+        std::make_shared<Coordinator::TimePoint>(
+            std::chrono::steady_clock::now());
+
+    Coordinator::Clock
+    fn() const
+    {
+        auto p = now;
+        return [p] { return *p; };
+    }
+
+    void
+    advance(double seconds)
+    {
+        *now += std::chrono::nanoseconds(
+            std::int64_t(seconds * 1e9));
+    }
+};
+
+CoordinateOptions
+coordOpts(const std::vector<NamedAxis> &axes)
+{
+    CoordinateOptions opts;
+    opts.enabled = true;
+    opts.configText = smallBase().toString();
+    opts.axes = axes;
+    opts.leaseTimeoutS = 10.0;
+    return opts;
+}
+
+/** Evaluate grid index `k` into a wire row, the way a worker does. */
+json::Value
+rowFor(const GridExpander &x, std::size_t k)
+{
+    CheckpointEntry e;
+    e.key = configKey(x.at(k).config);
+    e.metrics = measurePoint(x.at(k).config);
+    json::Value row = json::Value::object_();
+    row.set("index", json::Value::number_(double(k)))
+        .set("entry", json::Value::string_(checkpointEntryLine(e)));
+    return row;
+}
+
+TEST(Coordinator, JobDescribesTheGridAndCadence)
+{
+    CoordinateOptions opts =
+        coordOpts({{"core.numTU", {"1", "2"}}});
+    opts.heartbeatS = 0.0; // default: timeout / 3
+    const Coordinator coord(opts);
+    EXPECT_EQ(coord.totalPoints(), 2u);
+
+    const json::Value job = coord.job();
+    EXPECT_EQ(job.find("config")->asString(), opts.configText);
+    EXPECT_EQ(job.find("points")->asNumber(), 2.0);
+    EXPECT_EQ(job.find("lease_timeout_s")->asNumber(), 10.0);
+    EXPECT_NEAR(job.find("heartbeat_s")->asNumber(), 10.0 / 3.0, 1e-9);
+    const json::Value *axes = job.find("axes");
+    ASSERT_TRUE(axes != nullptr && axes->isArray());
+    ASSERT_EQ(axes->items.size(), 1u);
+    EXPECT_EQ(axes->items[0].find("path")->asString(), "core.numTU");
+}
+
+TEST(Coordinator, RejectsBadOptionsBeforeStarting)
+{
+    CoordinateOptions bad_timeout =
+        coordOpts({{"core.numTU", {"1"}}});
+    bad_timeout.leaseTimeoutS = 0.0;
+    EXPECT_THROW(Coordinator{bad_timeout}, ConfigError);
+
+    EXPECT_THROW(Coordinator{coordOpts({{"core.bogus", {"1"}}})},
+                 ConfigError);
+}
+
+TEST(Coordinator, LeaseReportFinalizeIsByteIdenticalToDirectSweep)
+{
+    const std::vector<NamedAxis> axes = {
+        {"core.numTU", {"1", "2", "4"}}};
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sweepGridForConfig(base, axes);
+
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(base, ref_opts);
+    const std::string want_csv = toCsv(ref.run(grid));
+
+    TempFile out("coord_out.csv");
+    TempFile manifest("coord_out.csv.manifest.json");
+    CoordinateOptions opts = coordOpts(axes);
+    opts.leaseSize = 2;
+    opts.outPath = out.path;
+    Coordinator coord(opts);
+    const GridExpander x(grid, base);
+
+    // Two workers split the grid 2 + 1; a third finds it all leased.
+    const json::Value g1 = coord.lease("w1");
+    const json::Value g2 = coord.lease("w2");
+    ASSERT_TRUE(g1.find("indices") != nullptr);
+    ASSERT_TRUE(g2.find("indices") != nullptr);
+    EXPECT_EQ(g1.find("indices")->items.size(), 2u);
+    EXPECT_EQ(g2.find("indices")->items.size(), 1u);
+    const json::Value starving = coord.lease("w3");
+    EXPECT_TRUE(starving.find("wait") != nullptr);
+    EXPECT_GT(starving.find("retry_ms")->asNumber(), 0.0);
+
+    for (const json::Value *grant : {&g1, &g2}) {
+        json::Value rows = json::Value::array_();
+        for (const json::Value &idx : grant->find("indices")->items)
+            rows.push(rowFor(x, std::size_t(idx.asNumber())));
+        const json::Value ack = coord.report(
+            "w", std::uint64_t(grant->find("lease")->asNumber()), rows);
+        EXPECT_EQ(ack.find("duplicates")->asNumber(), 0.0);
+    }
+
+    EXPECT_TRUE(coord.complete());
+    EXPECT_EQ(coord.donePoints(), 3u);
+    EXPECT_EQ(readFile(out.path), want_csv);
+    EXPECT_TRUE(fileExists(manifest.path));
+
+    // Once complete, further lease calls answer {done}.
+    const json::Value done = coord.lease("w4");
+    ASSERT_TRUE(done.find("done") != nullptr);
+    EXPECT_TRUE(done.find("done")->asBool());
+}
+
+TEST(Coordinator, ExpiredLeaseRequeuesToFrontAndCountsReassignment)
+{
+    obs::clearEvents();
+    const obs::Snapshot before = obs::snapshot();
+
+    FakeClock clk;
+    CoordinateOptions opts =
+        coordOpts({{"core.numTU", {"1", "2", "4", "8"}}});
+    opts.leaseSize = 2;
+    opts.leaseTimeoutS = 5.0;
+    Coordinator coord(opts, clk.fn());
+
+    const json::Value g1 = coord.lease("doomed");
+    ASSERT_TRUE(g1.find("indices") != nullptr);
+    EXPECT_EQ(coord.expireStale(), 0u); // not yet due
+
+    clk.advance(5.1);
+    EXPECT_EQ(coord.expireStale(), 1u);
+    EXPECT_EQ(coord.expireStale(), 0u); // idempotent
+
+    // The survivor receives exactly the dead worker's points, in
+    // ascending order, from the queue front.
+    const json::Value g2 = coord.lease("survivor");
+    ASSERT_TRUE(g2.find("indices") != nullptr);
+    std::vector<double> got, want;
+    for (const json::Value &v : g2.find("indices")->items)
+        got.push_back(v.asNumber());
+    for (const json::Value &v : g1.find("indices")->items)
+        want.push_back(v.asNumber());
+    EXPECT_EQ(got, want);
+
+    const obs::Snapshot after = obs::snapshot();
+    EXPECT_EQ(after.counter("coord.leases.expired") -
+                  before.counter("coord.leases.expired"),
+              1u);
+    EXPECT_EQ(after.counter("coord.leases.reassigned") -
+                  before.counter("coord.leases.reassigned"),
+              1u);
+    EXPECT_EQ(obs::eventsOfType("lease.expire").size(), 1u);
+    EXPECT_EQ(obs::eventsOfType("lease.reassign").size(), 1u);
+    EXPECT_EQ(obs::eventsOfType("lease.grant").size(), 2u);
+}
+
+TEST(Coordinator, HeartbeatExtendsTheLeaseDeadline)
+{
+    FakeClock clk;
+    CoordinateOptions opts = coordOpts({{"core.numTU", {"1", "2"}}});
+    opts.leaseTimeoutS = 5.0;
+    Coordinator coord(opts, clk.fn());
+
+    const json::Value grant = coord.lease("beater");
+    const auto lease_id =
+        std::uint64_t(grant.find("lease")->asNumber());
+
+    clk.advance(4.0);
+    EXPECT_TRUE(coord.heartbeat("beater", lease_id)
+                    .find("ok")
+                    ->asBool());
+    clk.advance(4.0); // 8s since grant, 4s since renewal: still live
+    EXPECT_EQ(coord.expireStale(), 0u);
+    clk.advance(1.5); // 5.5s since renewal: dead
+    EXPECT_EQ(coord.expireStale(), 1u);
+
+    // A heartbeat for the expired lease tells the worker to abandon.
+    const json::Value pong = coord.heartbeat("beater", lease_id);
+    EXPECT_FALSE(pong.find("ok")->asBool());
+    EXPECT_TRUE(pong.find("expired")->asBool());
+}
+
+TEST(Coordinator, DuplicateReportsAreIdempotentAndOkUpgradesFailed)
+{
+    const std::vector<NamedAxis> axes = {{"core.numTU", {"1", "2"}}};
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sweepGridForConfig(base, axes);
+    const GridExpander x(grid, base);
+
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(base, ref_opts);
+    const std::string want_csv = toCsv(ref.run(grid));
+
+    FakeClock clk;
+    TempFile out("coord_dup_out.csv");
+    TempFile manifest("coord_dup_out.csv.manifest.json");
+    CoordinateOptions opts = coordOpts(axes);
+    opts.leaseSize = 2;
+    opts.leaseTimeoutS = 1.0;
+    opts.outPath = out.path;
+    Coordinator coord(opts, clk.fn());
+
+    // Worker 1 takes the whole grid, then stalls; its lease expires.
+    const json::Value g1 = coord.lease("w1");
+    const auto lease1 = std::uint64_t(g1.find("lease")->asNumber());
+    clk.advance(1.5);
+    ASSERT_EQ(coord.expireStale(), 1u);
+
+    // Worker 2 re-runs point 0 but reports it as FAILED.
+    const json::Value g2 = coord.lease("w2");
+    const auto lease2 = std::uint64_t(g2.find("lease")->asNumber());
+    json::Value failed_rows = json::Value::array_();
+    {
+        CheckpointEntry e = failedEntry(configKey(x.at(0).config));
+        json::Value row = json::Value::object_();
+        row.set("index", json::Value::number_(0.0))
+            .set("entry",
+                 json::Value::string_(checkpointEntryLine(e)));
+        failed_rows.push(std::move(row));
+    }
+    json::Value ack = coord.report("w2", lease2, failed_rows);
+    EXPECT_EQ(ack.find("done")->asNumber(), 1.0);
+    EXPECT_EQ(ack.find("duplicates")->asNumber(), 0.0);
+
+    // Worker 1's late report lands with a long-gone lease id: both
+    // rows are accepted idempotently, and its OK row for point 0
+    // upgrades the failed one already on file.
+    json::Value late_rows = json::Value::array_();
+    late_rows.push(rowFor(x, 0));
+    late_rows.push(rowFor(x, 1));
+    ack = coord.report("w1", lease1, late_rows);
+    EXPECT_EQ(ack.find("done")->asNumber(), 2.0);
+    EXPECT_EQ(ack.find("duplicates")->asNumber(), 1.0);
+    EXPECT_TRUE(ack.find("complete")->asBool());
+
+    // The upgrade means the final export is indistinguishable from a
+    // sweep where nothing ever failed.
+    EXPECT_TRUE(coord.complete());
+    EXPECT_EQ(readFile(out.path), want_csv);
+}
+
+TEST(Coordinator, PartialReportReturnsUnfinishedPointsToTheQueue)
+{
+    const std::vector<NamedAxis> axes = {{"core.numTU", {"1", "2"}}};
+    const ChipConfig base = smallBase();
+    const GridExpander x(sweepGridForConfig(base, axes), base);
+
+    CoordinateOptions opts = coordOpts(axes);
+    opts.leaseSize = 2;
+    Coordinator coord(opts);
+
+    const json::Value g1 = coord.lease("quitter");
+    ASSERT_EQ(g1.find("indices")->items.size(), 2u);
+
+    // A cancelled worker reports only its first point.
+    json::Value rows = json::Value::array_();
+    rows.push(rowFor(x, std::size_t(
+                            g1.find("indices")->items[0].asNumber())));
+    coord.report("quitter",
+                 std::uint64_t(g1.find("lease")->asNumber()), rows);
+
+    // The unreported point is immediately grantable again.
+    const json::Value g2 = coord.lease("finisher");
+    ASSERT_TRUE(g2.find("indices") != nullptr);
+    ASSERT_EQ(g2.find("indices")->items.size(), 1u);
+    EXPECT_EQ(g2.find("indices")->items[0].asNumber(),
+              g1.find("indices")->items[1].asNumber());
+}
+
+TEST(Coordinator, RejectsRowsWhoseKeyDoesNotMatchTheIndex)
+{
+    const std::vector<NamedAxis> axes = {{"core.numTU", {"1", "2"}}};
+    const ChipConfig base = smallBase();
+    const GridExpander x(sweepGridForConfig(base, axes), base);
+
+    CoordinateOptions opts = coordOpts(axes);
+    opts.leaseSize = 2;
+    Coordinator coord(opts);
+    const json::Value g = coord.lease("w");
+
+    // Claim index 0 but carry point 1's key: the row evaluated the
+    // wrong config and must be rejected loudly, not merged.
+    CheckpointEntry e = okEntry(configKey(x.at(1).config), 1.0);
+    json::Value rows = json::Value::array_();
+    json::Value row = json::Value::object_();
+    row.set("index", json::Value::number_(0.0))
+        .set("entry", json::Value::string_(checkpointEntryLine(e)));
+    rows.push(std::move(row));
+    EXPECT_THROW(
+        coord.report("w", std::uint64_t(g.find("lease")->asNumber()),
+                     rows),
+        ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Server wiring (dispatchLine-level, no sockets)
+
+TEST(ServeCoordinate, DispatchLineAnswersCoordinateMethods)
+{
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    opts.coordinate = coordOpts({{"core.numTU", {"1"}}});
+    serve::Server server(opts);
+    ASSERT_TRUE(server.coordinator() != nullptr);
+
+    json::Value resp = json::parse(server.dispatchLine(
+        R"({"method": "job", "id": 1, "params": {}})"));
+    ASSERT_TRUE(resp.find("ok")->asBool())
+        << server.dispatchLine(
+               R"({"method": "job", "id": 1, "params": {}})");
+    EXPECT_EQ(resp.find("result")->find("points")->asNumber(), 1.0);
+
+    resp = json::parse(server.dispatchLine(
+        R"({"method": "lease", "id": 2, "params": {"worker": "w1"}})"));
+    ASSERT_TRUE(resp.find("ok")->asBool());
+    const json::Value &grant = *resp.find("result");
+    ASSERT_TRUE(grant.find("indices") != nullptr);
+
+    // Heartbeat for the granted lease succeeds over the wire too.
+    const std::string hb_req =
+        R"({"method": "heartbeat", "id": 3, "params": {"worker": "w1", "lease": )" +
+        json::number(grant.find("lease")->asNumber()) + "}}";
+    resp = json::parse(server.dispatchLine(hb_req));
+    ASSERT_TRUE(resp.find("ok")->asBool());
+    EXPECT_TRUE(resp.find("result")->find("ok")->asBool());
+
+    // /statusz carries the coordinator section.
+    EXPECT_NE(server.statuszText().find("coordinator:"),
+              std::string::npos);
+}
+
+TEST(ServeCoordinate, CoordinateMethodsErrorWithoutACoordinator)
+{
+    serve::ServeOptions opts;
+    opts.threads = 1;
+    serve::Server server(opts);
+    ASSERT_TRUE(server.coordinator() == nullptr);
+    const json::Value resp = json::parse(server.dispatchLine(
+        R"({"method": "lease", "id": 1, "params": {"worker": "w"}})"));
+    EXPECT_FALSE(resp.find("ok")->asBool());
+}
+
+// ---------------------------------------------------------------------
+// connectLocalRetry
+
+TEST(Net, ConnectLocalRetryConnectsWhenAListenerExists)
+{
+    serve::ListenSocket listener(0);
+    const serve::Fd fd =
+        serve::connectLocalRetry(listener.port(), 1000, 1);
+    EXPECT_TRUE(fd.valid());
+}
+
+TEST(Net, ConnectLocalRetryExhaustsItsBudgetThenThrows)
+{
+    // Find a port that is free right now, then release it.
+    std::uint16_t dead_port = 0;
+    {
+        serve::ListenSocket probe(0);
+        dead_port = probe.port();
+    }
+    EXPECT_THROW(serve::connectLocalRetry(dead_port, 150, 1), IoError);
+}
+
+// ---------------------------------------------------------------------
+// End to end: coordinator daemon + workers, one of which vanishes
+
+TEST(CoordinatedSweep, SurvivesAnAbandonedWorkerByteForByte)
+{
+    obs::clearEvents();
+
+    const std::vector<NamedAxis> axes = {
+        {"core.numTU", {"1", "2"}}, {"core.tu.rows", {"8", "16"}}};
+    const ChipConfig base = smallBase();
+    const SweepGrid grid = sweepGridForConfig(base, axes);
+
+    SweepOptions ref_opts;
+    ref_opts.threads = 1;
+    SweepEngine ref(base, ref_opts);
+    const std::string want_csv = toCsv(ref.run(grid));
+
+    TempFile out("e2e_out.csv");
+    TempFile manifest("e2e_out.csv.manifest.json");
+    TempFile ledger("e2e_ledger.jsonl");
+    serve::ServeOptions sopts;
+    sopts.threads = 2;
+    sopts.pollIntervalMs = 10;
+    sopts.coordinate = coordOpts(axes);
+    sopts.coordinate.leaseSize = 1;
+    sopts.coordinate.leaseTimeoutS = 0.4;
+    sopts.coordinate.outPath = out.path;
+    sopts.coordinate.checkpointPath = ledger.path;
+    serve::Server server(sopts);
+    server.start();
+
+    // Worker 1 takes exactly one lease, evaluates it, and vanishes
+    // without reporting — a SIGKILL stand-in. Its lease must expire
+    // and its point reassign.
+    serve::WorkerOptions w1;
+    w1.port = server.port();
+    w1.name = "doomed";
+    w1.abandonAfterLeases = 1;
+    EXPECT_EQ(serve::runWorker(w1), 0);
+    ASSERT_EQ(obs::eventsOfType("lease.grant").size(), 1u);
+
+    // Worker 2 drains the rest, idles while the dead lease runs out,
+    // then picks up the reassigned point and completes the sweep.
+    serve::WorkerOptions w2;
+    w2.port = server.port();
+    w2.name = "survivor";
+    int rc2 = -1;
+    std::thread t2([&] { rc2 = serve::runWorker(w2); });
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!server.coordinator()->complete() &&
+           std::chrono::steady_clock::now() < deadline) {
+        server.coordinator()->expireStale();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    t2.join();
+    server.stop();
+
+    ASSERT_TRUE(server.coordinator()->complete());
+    EXPECT_EQ(rc2, 0);
+    EXPECT_EQ(server.coordinator()->donePoints(), 4u);
+
+    // The merged export is byte-identical to the single-process run,
+    // and the checkpoint ledger is resume-compatible.
+    EXPECT_EQ(readFile(out.path), want_csv);
+    const AssembledRecords assembled = assembleRecords(
+        grid, base,
+        SweepCheckpoint::loadEntries(ledger.path, configKey(base)));
+    EXPECT_EQ(assembled.missingCount, 0u);
+    EXPECT_EQ(toCsv(assembled.records), want_csv);
+
+    // Every expired lease was reassigned, and the flight recorder
+    // tells the whole story.
+    EXPECT_GE(obs::eventsOfType("lease.expire").size(), 1u);
+    EXPECT_GE(obs::eventsOfType("lease.reassign").size(), 1u);
+    EXPECT_EQ(obs::eventsOfType("coord.done").size(), 1u);
+    EXPECT_TRUE(fileExists(manifest.path));
+}
+
+// ---------------------------------------------------------------------
+// SIGTERM cancellation (last: the signal latch is process-wide)
+
+TEST(Cancel, SigtermLatchesCancellationLikeSigint)
+{
+    CancelToken token;
+    token.armSigint();
+    EXPECT_FALSE(token.cancelled());
+    std::raise(SIGTERM);
+    EXPECT_TRUE(token.cancelled());
+}
+
+} // namespace
+} // namespace neurometer

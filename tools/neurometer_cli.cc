@@ -24,6 +24,10 @@
  *   neurometer metrics chip.cfg [--json]
  *   neurometer fields
  *   neurometer serve --port P [--threads N] [--max-inflight M]
+ *              [--coordinate chip.cfg --axis ... [--lease-size N]
+ *               [--lease-timeout S] [--out FILE]]
+ *   neurometer work --url host:port [--name S] [--checkpoint FILE]
+ *   neurometer merge chip.cfg --axis ... [--out FILE] shard1.jsonl ...
  *
  * Exit codes (see README "Robustness"):
  *   0  success
@@ -93,7 +97,7 @@ usage(FILE *to)
         "        [--manifest FILE] [--trace FILE]\n"
         "        [--checkpoint FILE] [--resume] [--fail-fast]\n"
         "        [--max-seconds S] [--cancel-after N]\n"
-        "        [--inject SITE=SPEC]\n"
+        "        [--inject SITE=SPEC] [--shard I/N]\n"
         "      Cross-product sweep over named schema axes, CSV (or\n"
         "      JSON) to FILE or stdout. Axes apply on top of the\n"
         "      config file's values. With --out, a run manifest is\n"
@@ -117,6 +121,12 @@ usage(FILE *to)
         "      --top K prints the K best feasible points by peak\n"
         "      TOPS as a table (stdout with --out, stderr when the\n"
         "      CSV itself owns stdout).\n"
+        "      --shard I/N evaluates only this shard's deterministic\n"
+        "      1/N slice of the grid (stable configKey hash, the same\n"
+        "      partition on every host and axis ordering); run N\n"
+        "      shards anywhere, each with its own --checkpoint, then\n"
+        "      `neurometer merge` fuses them byte-identically to one\n"
+        "      unsharded run.\n"
         "\n"
         "  search <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
         "         [--budget N] [--seed S] [--objectives LIST]\n"
@@ -158,8 +168,36 @@ usage(FILE *to)
         "  fields\n"
         "      List every config field: name, type, default, range.\n"
         "\n"
+        "  merge <chip.cfg> --axis PATH=V1,V2[,...] [--axis ...]\n"
+        "        [--out FILE] [--json] [--checkpoint FILE]\n"
+        "        <shard1.jsonl> [<shard2.jsonl> ...]\n"
+        "      Fuse per-shard sweep checkpoints into one result set,\n"
+        "      byte-identical to a single-process sweep of the same\n"
+        "      config and axes. Hex-float metrics round-trip exactly;\n"
+        "      overlapping shards reconcile per point (an ok row beats\n"
+        "      a failed one, last writer wins on equal status); a torn\n"
+        "      final line in any shard is tolerated. Points no shard\n"
+        "      covered exit 3 (rerun the missing shard, or --checkpoint\n"
+        "      FILE + `sweep --resume` to finish locally).\n"
+        "\n"
+        "  work --url host:port [--name S] [--checkpoint FILE]\n"
+        "       [--throttle-ms N] [--connect-budget-ms N]\n"
+        "      Join a coordinating daemon (serve --coordinate) as a\n"
+        "      sweep worker: lease points, evaluate, heartbeat, report\n"
+        "      until the sweep completes (exit 0) or cancellation\n"
+        "      (exit 3; the abandoned lease expires and reassigns).\n"
+        "      Workers are expendable — kill -9 loses nothing but the\n"
+        "      current lease. --checkpoint memoizes completed points\n"
+        "      across worker restarts; --throttle-ms slows evaluation\n"
+        "      (testing). The connect retries with bounded backoff, so\n"
+        "      workers may start before the coordinator finishes\n"
+        "      binding.\n"
+        "\n"
         "  serve --port P [--threads N] [--max-inflight M]\n"
         "        [--flight-recorder FILE]\n"
+        "        [--coordinate chip.cfg --axis PATH=V1,V2[,...]\n"
+        "         [--lease-size N] [--lease-timeout S] [--heartbeat S]\n"
+        "         [--out FILE] [--json] [--coord-checkpoint FILE]]\n"
         "      Run the evaluation service: a loopback TCP daemon that\n"
         "      keeps the hot caches (memory designs, evaluated points)\n"
         "      and a warmed worker pool alive across requests. Wire\n"
@@ -179,6 +217,14 @@ usage(FILE *to)
         "      live status). Ctrl-C drains in-flight requests and\n"
         "      exits 0; --flight-recorder dumps the event ring as\n"
         "      JSONL to FILE on shutdown (clean or fatal).\n"
+        "      --coordinate turns the daemon into a fault-tolerant\n"
+        "      sweep coordinator: it leases grid slices to `neurometer\n"
+        "      work` processes, expires leases whose heartbeats stop\n"
+        "      (--lease-timeout, default 10s), reassigns the work, and\n"
+        "      exits 0 once every point is reported and the merged\n"
+        "      export (--out) — byte-identical to a single-process\n"
+        "      sweep — is written. --coord-checkpoint keeps a durable\n"
+        "      --resume-compatible ledger of reported points.\n"
         "\n"
         "  --quiet    suppress progress and stats (errors only)\n"
         "  --verbose  force progress/stats even when piped\n"
@@ -310,6 +356,29 @@ cmdSimulate(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Parse a loopback `--url host:port` into the port; the daemon
+ *  listens on 127.0.0.1 only, so any other host is rejected. */
+std::uint16_t
+parseLoopbackUrl(const std::string &url)
+{
+    std::string host = "127.0.0.1";
+    std::string port_text = url;
+    const std::size_t colon = url.rfind(':');
+    if (colon != std::string::npos) {
+        host = url.substr(0, colon);
+        port_text = url.substr(colon + 1);
+    }
+    requireConfig(host == "127.0.0.1" || host == "localhost",
+                  "the daemon listens on loopback only; --url must "
+                  "target 127.0.0.1 or localhost");
+    char *end = nullptr;
+    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+    requireConfig(end != nullptr && *end == '\0' && port > 0 &&
+                      port <= 65535,
+                  "bad port in --url '" + url + "'");
+    return std::uint16_t(port);
+}
+
 int
 cmdMetrics(const std::vector<std::string> &args)
 {
@@ -341,24 +410,8 @@ cmdMetrics(const std::vector<std::string> &args)
         requireConfig(path.empty(),
                       "--url scrapes a running daemon; a config file "
                       "does not apply");
-        std::string host = "127.0.0.1";
-        std::string port_text = url;
-        const std::size_t colon = url.rfind(':');
-        if (colon != std::string::npos) {
-            host = url.substr(0, colon);
-            port_text = url.substr(colon + 1);
-        }
-        requireConfig(host == "127.0.0.1" || host == "localhost",
-                      "the daemon listens on loopback only; --url must "
-                      "target 127.0.0.1 or localhost");
-        char *end = nullptr;
-        const unsigned long port =
-            std::strtoul(port_text.c_str(), &end, 10);
-        requireConfig(end != nullptr && *end == '\0' && port > 0 &&
-                          port <= 65535,
-                      "bad port in --url '" + url + "'");
         const serve::HttpReply reply =
-            serve::httpGet(std::uint16_t(port), "/metrics");
+            serve::httpGet(parseLoopbackUrl(url), "/metrics");
         if (reply.status != 200) {
             throw IoError("GET /metrics from " + url + " returned " +
                           std::to_string(reply.status));
@@ -504,6 +557,7 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     std::size_t cancel_after = 0;
     std::size_t top = 0;
     int threads = 0;
+    ShardSpec shard;
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     std::vector<std::string> injects;
 
@@ -526,6 +580,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
             checkpoint_path = next("--checkpoint");
         } else if (a == "--resume") {
             resume = true;
+        } else if (a == "--shard") {
+            shard = ShardSpec::parse(next("--shard"));
         } else if (a == "--fail-fast") {
             fail_fast = true;
         } else if (a == "--max-seconds") {
@@ -583,6 +639,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     opts.failFast = fail_fast;
     opts.checkpointPath = checkpoint_path;
     opts.resume = resume;
+    opts.shardIndex = shard.index;
+    opts.shardCount = shard.count;
     opts.cancelAfterPoints = cancel_after;
     opts.cancel.armSigint();
     if (max_seconds > 0.0)
@@ -611,9 +669,19 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
     } else {
         writeFile(out, rendered);
         if (!v.quiet) {
-            std::printf("wrote %zu points to %s%s\n", records.size(),
-                        out.c_str(),
-                        stats.cancelled ? " (partial: cancelled)" : "");
+            if (shard.active()) {
+                std::printf(
+                    "wrote %zu points to %s (shard %s of a %zu-point "
+                    "grid)%s\n",
+                    records.size(), out.c_str(), shard.str().c_str(),
+                    stats.total,
+                    stats.cancelled ? " (partial: cancelled)" : "");
+            } else {
+                std::printf("wrote %zu points to %s%s\n",
+                            records.size(), out.c_str(),
+                            stats.cancelled ? " (partial: cancelled)"
+                                            : "");
+            }
         }
     }
     if (stats.cancelled && !v.quiet) {
@@ -677,6 +745,8 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
             .set("points_restored", std::int64_t(stats.restored))
             .set("points_not_evaluated",
                  std::int64_t(stats.notEvaluated))
+            .set("shard", shard.str())
+            .set("points_off_shard", std::int64_t(stats.offShard))
             .set("cancelled", stats.cancelled)
             .raw("failures", failures_json)
             .set("output", out.empty() ? "<stdout>" : out)
@@ -706,10 +776,12 @@ cmdSweep(const std::vector<std::string> &args, const Verbosity &v)
 
     // Exit-code contract (see usage): 3 = partial/resumable, 4 = every
     // evaluated point failed, 0 otherwise (individual failures are in
-    // the status column, not the exit code).
+    // the status column, not the exit code). Under --shard only this
+    // shard's slice counts — foreign points are nobody's failures.
+    const std::size_t owned_total = stats.total - stats.offShard;
     if (stats.cancelled)
         return 3;
-    if (stats.total > 0 && stats.failed == stats.total)
+    if (owned_total > 0 && stats.failed == owned_total)
         return 4;
     return 0;
 }
@@ -934,11 +1006,160 @@ cmdSearch(const std::vector<std::string> &args, const Verbosity &v)
 }
 
 int
+cmdMerge(const std::vector<std::string> &args, const Verbosity &v)
+{
+    std::string path;
+    std::string out;
+    std::string checkpoint_path;
+    bool json = false;
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    std::vector<std::string> shards;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--out") {
+            out = next("--out");
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next("--checkpoint");
+        } else if (a == "--axis") {
+            axes.push_back(parseAxisSpec(next("--axis")));
+        } else if (!a.empty() && a[0] == '-') {
+            throw ConfigError("unknown merge option '" + a + "'");
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            shards.push_back(a);
+        }
+    }
+    requireConfig(!path.empty(), "merge needs a config file");
+    requireConfig(!axes.empty(),
+                  "merge needs the sweep's --axis PATH=V1,V2,... specs");
+    requireConfig(!shards.empty(),
+                  "merge needs at least one shard checkpoint file");
+
+    const ChipConfig cfg = ChipConfig::fromFile(path);
+    std::vector<NamedAxis> named_axes;
+    named_axes.reserve(axes.size());
+    for (const auto &[axis_path, values] : axes)
+        named_axes.push_back({axis_path, values});
+    const SweepGrid grid = sweepGridForConfig(cfg, named_axes);
+    const std::string base_key = configKey(cfg);
+
+    MergeStats stats;
+    const std::vector<CheckpointEntry> entries =
+        mergeCheckpoints(shards, base_key, &stats);
+    const AssembledRecords assembled =
+        assembleRecords(grid, cfg, entries);
+
+    const std::string rendered =
+        json ? toJson(assembled.records) : toCsv(assembled.records);
+    if (out.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+    } else {
+        writeFile(out, rendered);
+        if (!v.quiet) {
+            std::printf("merged %zu shard files (%zu rows, %zu unique, "
+                        "%zu duplicates) -> %zu points in %s\n",
+                        stats.files, stats.rows, stats.unique,
+                        stats.duplicates, assembled.records.size(),
+                        out.c_str());
+        }
+    }
+
+    // The merged ledger is itself a valid checkpoint: point a
+    // `sweep --resume` at it to evaluate only the missing points.
+    if (!checkpoint_path.empty()) {
+        SweepCheckpoint merged_ckpt(checkpoint_path, base_key);
+        merged_ckpt.seed(entries);
+        merged_ckpt.flush();
+        if (!v.quiet)
+            std::printf("merged checkpoint: %s\n",
+                        checkpoint_path.c_str());
+    }
+
+    if (assembled.missingCount > 0) {
+        std::fprintf(stderr,
+                     "neurometer: merge is missing %zu of %zu grid "
+                     "points (no shard covered them):\n",
+                     assembled.missingCount, grid.size());
+        for (const MissingPoint &m : assembled.missing)
+            std::fprintf(stderr, "  grid index %zu (key %s)\n",
+                         m.gridIndex, m.key.c_str());
+        if (assembled.missingCount > assembled.missing.size())
+            std::fprintf(stderr, "  ... and %zu more\n",
+                         assembled.missingCount -
+                             assembled.missing.size());
+        return 3; // partial, same contract as a cancelled sweep
+    }
+    return 0;
+}
+
+int
+cmdWork(const std::vector<std::string> &args, const Verbosity &v)
+{
+    serve::WorkerOptions opts;
+    std::string url;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            requireConfig(i + 1 < args.size(),
+                          std::string(what) + " needs an argument");
+            return args[++i];
+        };
+        if (a == "--url") {
+            url = next("--url");
+        } else if (a == "--name") {
+            opts.name = next("--name");
+        } else if (a == "--checkpoint") {
+            opts.checkpointPath = next("--checkpoint");
+        } else if (a == "--throttle-ms") {
+            opts.throttleMs = std::atoi(next("--throttle-ms").c_str());
+            requireConfig(opts.throttleMs >= 0,
+                          "--throttle-ms expects a non-negative count");
+        } else if (a == "--connect-budget-ms") {
+            opts.connectBudgetMs =
+                std::atoi(next("--connect-budget-ms").c_str());
+            requireConfig(opts.connectBudgetMs > 0,
+                          "--connect-budget-ms expects a positive "
+                          "count");
+        } else if (a == "--abandon-after") {
+            // Test hook: vanish without reporting after N leases.
+            const int n = std::atoi(next("--abandon-after").c_str());
+            requireConfig(n > 0,
+                          "--abandon-after expects a positive count");
+            opts.abandonAfterLeases = std::size_t(n);
+        } else {
+            throw ConfigError("unknown work option '" + a + "'");
+        }
+    }
+    requireConfig(!url.empty(), "work needs --url host:port");
+    opts.port = parseLoopbackUrl(url);
+    opts.cancel.armSigint();
+
+    const int rc = serve::runWorker(opts);
+    if (!v.quiet) {
+        std::fprintf(stderr, "neurometer: worker %s\n",
+                     rc == 0 ? "finished (sweep complete)"
+                             : "cancelled (lease will reassign)");
+    }
+    return rc;
+}
+
+int
 cmdServe(const std::vector<std::string> &args, const Verbosity &v)
 {
     serve::ServeOptions opts;
     long port = -1;
     std::string flight_path;
+    std::string coord_path;
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         auto next = [&](const char *what) -> const std::string & {
@@ -948,6 +1169,32 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
         };
         if (a == "--flight-recorder") {
             flight_path = next("--flight-recorder");
+        } else if (a == "--coordinate") {
+            coord_path = next("--coordinate");
+        } else if (a == "--axis") {
+            axes.push_back(parseAxisSpec(next("--axis")));
+        } else if (a == "--lease-size") {
+            const int n = std::atoi(next("--lease-size").c_str());
+            requireConfig(n > 0,
+                          "--lease-size expects a positive count");
+            opts.coordinate.leaseSize = std::size_t(n);
+        } else if (a == "--lease-timeout") {
+            opts.coordinate.leaseTimeoutS =
+                std::atof(next("--lease-timeout").c_str());
+            requireConfig(opts.coordinate.leaseTimeoutS > 0.0,
+                          "--lease-timeout expects positive seconds");
+        } else if (a == "--heartbeat") {
+            opts.coordinate.heartbeatS =
+                std::atof(next("--heartbeat").c_str());
+            requireConfig(opts.coordinate.heartbeatS > 0.0,
+                          "--heartbeat expects positive seconds");
+        } else if (a == "--out") {
+            opts.coordinate.outPath = next("--out");
+        } else if (a == "--json") {
+            opts.coordinate.outJson = true;
+        } else if (a == "--coord-checkpoint") {
+            opts.coordinate.checkpointPath =
+                next("--coord-checkpoint");
         } else if (a == "--port") {
             port = std::atol(next("--port").c_str());
             requireConfig(port >= 0 && port <= 65535,
@@ -968,6 +1215,25 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
     }
     requireConfig(port >= 0, "serve needs --port (0 = ephemeral)");
     opts.port = std::uint16_t(port);
+    if (coord_path.empty()) {
+        requireConfig(axes.empty(),
+                      "--axis only applies with --coordinate");
+        requireConfig(opts.coordinate.outPath.empty() &&
+                          opts.coordinate.checkpointPath.empty(),
+                      "--out/--coord-checkpoint only apply with "
+                      "--coordinate");
+    } else {
+        requireConfig(!axes.empty(), "--coordinate needs at least one "
+                                     "--axis PATH=V1,V2,...");
+        // Ship the canonical echo, not the raw file: fromString(
+        // toString()) is exact, so every worker resolves the same
+        // base config (and the same configKeys) the coordinator did.
+        opts.coordinate.configText =
+            ChipConfig::fromFile(coord_path).toString();
+        for (const auto &[axis_path, values] : axes)
+            opts.coordinate.axes.push_back({axis_path, values});
+        opts.coordinate.enabled = true;
+    }
 
     // SIGINT fires the shutdown token: in-flight requests drain,
     // connections close, and run() returns for a clean exit 0.
@@ -983,6 +1249,15 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
                      server.options().maxInflight > 0
                          ? server.options().maxInflight
                          : 2 * server.pool().numThreads());
+        if (server.coordinator() != nullptr) {
+            const serve::CoordinateOptions &c =
+                server.coordinator()->options();
+            std::fprintf(stderr,
+                         "neurometer: coordinating %zu points "
+                         "(lease size %zu, timeout %.1fs)\n",
+                         server.coordinator()->totalPoints(),
+                         c.leaseSize, c.leaseTimeoutS);
+        }
         std::fflush(stderr);
     }
     try {
@@ -1004,6 +1279,27 @@ cmdServe(const std::vector<std::string> &args, const Verbosity &v)
         if (!v.quiet) {
             std::fprintf(stderr, "neurometer: flight recorder: %s\n",
                          flight_path.c_str());
+        }
+    }
+    if (server.coordinator() != nullptr) {
+        if (!server.coordinator()->complete()) {
+            // Shut down (SIGINT/SIGTERM) before every point reported:
+            // a partial, resumable run — same contract as sweep.
+            if (!v.quiet) {
+                std::fprintf(
+                    stderr,
+                    "neurometer: coordinator stopped with %zu of %zu "
+                    "points done\n",
+                    server.coordinator()->donePoints(),
+                    server.coordinator()->totalPoints());
+            }
+            return 3;
+        }
+        if (!v.quiet) {
+            std::fprintf(stderr,
+                         "neurometer: coordinated sweep complete "
+                         "(%zu points)\n",
+                         server.coordinator()->totalPoints());
         }
     }
     if (!v.quiet)
@@ -1048,6 +1344,10 @@ main(int argc, char **argv)
             return cmdSimulate(args);
         if (cmd == "metrics")
             return cmdMetrics(args);
+        if (cmd == "merge")
+            return cmdMerge(args, v);
+        if (cmd == "work")
+            return cmdWork(args, v);
         if (cmd == "serve")
             return cmdServe(args, v);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Smoke test for sharded sweeps and the fault-tolerant coordinator
+(stdlib only; used by CI).
+
+Two acts:
+
+1. Shard + merge: runs a single-process reference sweep, then the same
+   grid as three independent `--shard i/3` processes, and requires
+   `neurometer merge` to fuse their checkpoints into a CSV that is
+   byte-identical (cmp-level) to the reference. A merge missing a
+   shard must exit 3 and name the uncovered points.
+
+2. Coordinator: boots `neurometer serve --coordinate` on an ephemeral
+   port with three `neurometer work` processes, SIGKILLs one of them
+   while it demonstrably holds a lease (polled via /statusz), restarts
+   it, and requires: the daemon to exit 0 with a merged CSV
+   byte-identical to the reference, lease.expire/lease.reassign events
+   in the flight recorder, leases_expired/leases_reassigned counters in
+   the run manifest, and the coordinator checkpoint ledger to be
+   --resume compatible (a resumed local sweep reproduces the same
+   bytes without re-evaluating).
+
+usage: shard_smoke.py <neurometer-binary> <chip.cfg> [flight.jsonl]
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+AXES = ["--axis", "core.numTU=1,2,4", "--axis", "nodeNm=16,28",
+        "--axis", "tx=1,2"]
+POINTS = 12
+
+
+def fail(msg):
+    print("shard_smoke: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def run(cmd, expect=0):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != expect:
+        fail(
+            f"{' '.join(cmd)} exited {proc.returncode}, expected "
+            f"{expect}\nstderr: {proc.stderr}"
+        )
+    return proc
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def http_get(port, target):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", target)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode()
+    finally:
+        conn.close()
+
+
+def check_shard_merge(binary, cfg, tmp):
+    ref = os.path.join(tmp, "ref.csv")
+    run([binary, "--quiet", "sweep", cfg, *AXES, "--threads", "1",
+         "--out", ref])
+
+    shard_files = []
+    total_points = 0
+    for i in range(3):
+        ck = os.path.join(tmp, f"shard{i}.jsonl")
+        out = os.path.join(tmp, f"shard{i}.csv")
+        proc = run([binary, "sweep", cfg, *AXES, "--threads", "1",
+                    "--shard", f"{i}/3", "--checkpoint", ck,
+                    "--out", out])
+        m = re.search(r"wrote (\d+) points .* \(shard " + str(i) +
+                      r"/3 of a (\d+)-point grid\)", proc.stdout)
+        if not m:
+            fail(f"shard {i} did not report its slice: {proc.stdout!r}")
+        total_points += int(m.group(1))
+        if int(m.group(2)) != POINTS:
+            fail(f"shard {i} saw a {m.group(2)}-point grid, "
+                 f"expected {POINTS}")
+        shard_files.append(ck)
+    if total_points != POINTS:
+        fail(f"shards covered {total_points} points, expected {POINTS} "
+             "(overlap or loss)")
+
+    merged = os.path.join(tmp, "merged.csv")
+    run([binary, "--quiet", "merge", cfg, *AXES, "--out", merged,
+         *shard_files])
+    if read_bytes(merged) != read_bytes(ref):
+        fail("merged shard CSV differs from the single-process reference")
+
+    # A merge missing a shard is partial: exit 3, uncovered points named.
+    partial = run([binary, "--quiet", "merge", cfg, *AXES, "--out",
+                   os.path.join(tmp, "partial.csv"), shard_files[0]],
+                  expect=3)
+    if "missing" not in partial.stderr:
+        fail(f"partial merge did not report missing points: "
+             f"{partial.stderr!r}")
+    print(f"shard_smoke: shard+merge OK ({POINTS} points, 3 shards, "
+          "byte-identical)")
+    return ref
+
+
+def check_coordinator(binary, cfg, tmp, ref, flight_path):
+    coord_csv = os.path.join(tmp, "coord.csv")
+    ledger = os.path.join(tmp, "coord_ck.jsonl")
+    cmd = [binary, "serve", "--port", "0", "--threads", "2",
+           "--coordinate", cfg, *AXES, "--lease-size", "1",
+           "--lease-timeout", "2", "--out", coord_csv,
+           "--coord-checkpoint", ledger]
+    if flight_path:
+        cmd += ["--flight-recorder", flight_path]
+    daemon = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+    workers = []
+    try:
+        banner = daemon.stderr.readline()
+        m = re.search(r"serving on 127\.0\.0\.1:(\d+)", banner)
+        if not m:
+            fail(f"no port banner on stderr, got: {banner!r}")
+        port = int(m.group(1))
+        banner = daemon.stderr.readline()
+        if f"coordinating {POINTS} points" not in banner:
+            fail(f"no coordinator banner, got: {banner!r}")
+
+        def spawn(name, throttle_ms, checkpoint=None):
+            wcmd = [binary, "--quiet", "work", "--url",
+                    f"127.0.0.1:{port}", "--name", name,
+                    "--throttle-ms", str(throttle_ms)]
+            if checkpoint:
+                wcmd += ["--checkpoint", checkpoint]
+            return subprocess.Popen(wcmd)
+
+        victim_ck = os.path.join(tmp, "victim_memo.jsonl")
+        victim = spawn("victim", 700, victim_ck)
+        workers.append(spawn("steady-a", 150))
+        workers.append(spawn("steady-b", 150))
+
+        # Wait until the victim demonstrably holds a lease, then
+        # SIGKILL it mid-lease — the crash the coordinator must absorb.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if daemon.poll() is not None:
+                fail("daemon exited before the victim took a lease")
+            status, text = http_get(port, "/statusz")
+            if status != 200:
+                fail(f"GET /statusz -> {status}")
+            if re.search(r"lease \d+\s+victim", text):
+                break
+            time.sleep(0.02)
+        else:
+            fail("victim never appeared in a /statusz lease line")
+        victim.kill()
+        if victim.wait(timeout=30) != -signal.SIGKILL:
+            fail("victim did not die of SIGKILL")
+
+        # Restart it under the same name and memo checkpoint: the
+        # reconnect (bounded backoff) and idempotent re-report paths.
+        workers.append(spawn("victim", 150, victim_ck))
+
+        # The daemon exits 0 on its own once every point is reported
+        # and the merged export is written.
+        code = daemon.wait(timeout=120)
+        if code != 0:
+            fail(f"daemon exited {code}, expected 0 after completion")
+        for w in workers:
+            if w.wait(timeout=60) != 0:
+                fail("a surviving worker exited nonzero")
+    except Exception:
+        daemon.kill()
+        for w in workers:
+            w.kill()
+        raise
+
+    if read_bytes(coord_csv) != read_bytes(ref):
+        fail("coordinated CSV differs from the single-process reference")
+
+    manifest = json.load(open(coord_csv + ".manifest.json"))
+    if manifest["points"] != POINTS:
+        fail(f"manifest points {manifest['points']} != {POINTS}")
+    if manifest["leases_expired"] < 1:
+        fail("manifest shows no expired lease despite the SIGKILL")
+    if manifest["leases_reassigned"] < 1:
+        fail("manifest shows no reassigned lease despite the SIGKILL")
+
+    if flight_path:
+        with open(flight_path) as f:
+            types = [json.loads(ln)["type"] for ln in f if ln.strip()]
+        for needle in ("coord.start", "lease.grant", "lease.expire",
+                       "lease.reassign", "coord.done"):
+            if needle not in types:
+                fail(f"flight recorder missing {needle!r} events")
+
+    # The coordinator ledger is --resume compatible: a local sweep
+    # resumed from it restores every point instead of re-evaluating,
+    # and still reproduces the reference bytes.
+    resumed = os.path.join(tmp, "resumed.csv")
+    run([binary, "--quiet", "sweep", cfg, *AXES, "--threads", "1",
+         "--checkpoint", ledger, "--resume", "--out", resumed])
+    if read_bytes(resumed) != read_bytes(ref):
+        fail("sweep resumed from the coordinator ledger differs from "
+             "the reference")
+
+    print(
+        f"shard_smoke: coordinator OK ({POINTS} points, "
+        f"{manifest['leases_granted']} leases, "
+        f"{manifest['leases_expired']} expired, "
+        f"{manifest['leases_reassigned']} reassigned, byte-identical)"
+    )
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        fail("usage: shard_smoke.py <neurometer-binary> <chip.cfg> "
+             "[flight.jsonl]")
+    binary, cfg = sys.argv[1], sys.argv[2]
+    flight_path = sys.argv[3] if len(sys.argv) == 4 else None
+    with tempfile.TemporaryDirectory(prefix="shard_smoke_") as tmp:
+        ref = check_shard_merge(binary, cfg, tmp)
+        check_coordinator(binary, cfg, tmp, ref, flight_path)
+    print("shard_smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
